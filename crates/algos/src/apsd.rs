@@ -1,0 +1,214 @@
+//! All-pairs shortest distances via Seidel's algorithm on the TCU —
+//! §4.4, Theorem 6.
+//!
+//! For an unweighted, undirected, *connected* graph `G`, Seidel's
+//! algorithm squares the graph (`G⁽²⁾` connects every pair at distance
+//! ≤ 2), recursively computes `D⁽²⁾ = APSD(G⁽²⁾)`, and recovers
+//! `D[u,v] ∈ {2·D⁽²⁾[u,v], 2·D⁽²⁾[u,v] − 1}` from the sign test
+//! `C[u,v] ≥ deg(v)·D⁽²⁾[u,v]` with `C = D⁽²⁾·A`. Each of the
+//! `⌈log₂ n⌉` levels performs two `n × n` integer matrix products, which
+//! run on the tensor unit through the dense Theorem 2 kernel; the paper
+//! quotes the Theorem 1 form `O((n²/m)^{ω₀}(m + ℓ)·log n)`.
+//!
+//! The CPU side of each level (entry-wise squaring test, degree
+//! computation, parity correction) charges `Θ(n²)`.
+
+use crate::dense;
+use tcu_core::{TcuMachine, TensorUnit};
+use tcu_linalg::Matrix;
+
+/// Maximum recursion depth guard: Seidel halves the diameter each level,
+/// so `2·log₂ n + 4` levels suffice for any connected graph; exceeding it
+/// means the input was disconnected (the algorithm would never reach the
+/// complete-graph base case).
+fn depth_limit(n: usize) -> usize {
+    2 * (usize::BITS - n.leading_zeros()) as usize + 4
+}
+
+/// Seidel's APSD. `adj` must be the symmetric 0/1 adjacency matrix (zero
+/// diagonal) of a connected graph on `n ≥ 1` vertices. Returns the
+/// `n × n` distance matrix.
+///
+/// # Panics
+/// Panics if the matrix is not square/0-1/symmetric/hollow, or if the
+/// graph is disconnected.
+#[must_use]
+pub fn seidel_apsd<U: TensorUnit>(mach: &mut TcuMachine<U>, adj: &Matrix<i64>) -> Matrix<i64> {
+    let n = adj.rows();
+    assert!(adj.is_square(), "adjacency matrix must be square");
+    for i in 0..n {
+        assert_eq!(adj[(i, i)], 0, "diagonal must be zero (no self loops)");
+        for j in 0..n {
+            let x = adj[(i, j)];
+            assert!(x == 0 || x == 1, "entries must be 0/1");
+            assert_eq!(x, adj[(j, i)], "matrix must be symmetric (undirected graph)");
+        }
+    }
+    if n == 1 {
+        return Matrix::zeros(1, 1);
+    }
+    recurse(mach, adj, depth_limit(n))
+}
+
+fn recurse<U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    adj: &Matrix<i64>,
+    fuel: usize,
+) -> Matrix<i64> {
+    assert!(fuel > 0, "recursion exceeded the connected-graph depth bound: graph is disconnected");
+    let n = adj.rows();
+
+    // Base case: G is complete — D = J − I (the paper's A^{(h)} with all
+    // 1s, distance matrix A^{(h)} − I_n). Checking costs Θ(n²).
+    mach.charge((n * n) as u64);
+    let complete = (0..n).all(|i| (0..n).all(|j| i == j || adj[(i, j)] == 1));
+    if complete {
+        return Matrix::from_fn(n, n, |i, j| i64::from(i != j));
+    }
+
+    // Square the graph: B = A·A on the tensor unit; A⁽²⁾[u,v] = 1 iff
+    // u ≠ v and (A[u,v] = 1 or B[u,v] > 0). Θ(n²) CPU to threshold.
+    let b = dense::multiply_rect(mach, adj, adj);
+    mach.charge(2 * (n * n) as u64);
+    let adj2 = Matrix::from_fn(n, n, |u, v| {
+        i64::from(u != v && (adj[(u, v)] == 1 || b[(u, v)] > 0))
+    });
+
+    let d2 = recurse(mach, &adj2, fuel - 1);
+
+    // C = D⁽²⁾ · A on the tensor unit.
+    let c = dense::multiply_rect(mach, &d2, adj);
+
+    // Degrees (Θ(n²)) and parity recovery (3 ops per entry).
+    mach.charge((n * n) as u64);
+    let deg: Vec<i64> = (0..n).map(|v| (0..n).map(|u| adj[(u, v)]).sum()).collect();
+    mach.charge(3 * (n * n) as u64);
+    Matrix::from_fn(n, n, |u, v| {
+        let d2uv = d2[(u, v)];
+        if c[(u, v)] >= deg[v] * d2uv {
+            2 * d2uv
+        } else {
+            2 * d2uv - 1
+        }
+    })
+}
+
+/// Host oracle: BFS from every vertex (`Θ(n·(n + m))`). Returns `-1` for
+/// unreachable pairs, so it also works on disconnected graphs.
+#[must_use]
+pub fn bfs_apsd_host(adj: &Matrix<i64>) -> Matrix<i64> {
+    let n = adj.rows();
+    let mut dist = Matrix::from_fn(n, n, |_, _| -1i64);
+    let mut queue = std::collections::VecDeque::new();
+    for src in 0..n {
+        dist[(src, src)] = 0;
+        queue.clear();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[(src, u)];
+            for v in 0..n {
+                if adj[(u, v)] == 1 && dist[(src, v)] < 0 {
+                    dist[(src, v)] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Simulated-time charge of the BFS baseline run on the TCU's CPU: one op
+/// per adjacency inspection, `n` BFS traversals scanning `n²` entries.
+#[must_use]
+pub fn bfs_apsd_time(n: u64) -> u64 {
+    n * n * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::random_connected_graph;
+    use rand::{rngs::StdRng, SeedableRng};
+    use tcu_core::TcuMachine;
+
+    #[test]
+    fn matches_bfs_on_random_connected_graphs() {
+        for (n, p, m) in [(5usize, 0.2, 4usize), (12, 0.1, 4), (17, 0.3, 16), (32, 0.05, 16)] {
+            let mut rng = StdRng::seed_from_u64(n as u64 * 31 + 1);
+            let adj = random_connected_graph(n, p, &mut rng);
+            let mut mach = TcuMachine::model(m, 7);
+            let got = seidel_apsd(&mut mach, &adj);
+            let want = bfs_apsd_host(&adj);
+            assert_eq!(got, want, "n={n} p={p} m={m}");
+        }
+    }
+
+    #[test]
+    fn path_graph_distances() {
+        let n = 9;
+        let adj = Matrix::from_fn(n, n, |i, j| i64::from(i.abs_diff(j) == 1));
+        let mut mach = TcuMachine::model(4, 0);
+        let d = seidel_apsd(&mut mach, &adj);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(d[(i, j)], i.abs_diff(j) as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_is_base_case_with_no_tensor_calls() {
+        let n = 8;
+        let adj = Matrix::from_fn(n, n, |i, j| i64::from(i != j));
+        let mut mach = TcuMachine::model(16, 5);
+        let d = seidel_apsd(&mut mach, &adj);
+        assert_eq!(d, Matrix::from_fn(n, n, |i, j| i64::from(i != j)));
+        assert_eq!(mach.stats().tensor_calls, 0);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let mut mach = TcuMachine::model(4, 0);
+        let d = seidel_apsd(&mut mach, &Matrix::zeros(1, 1));
+        assert_eq!(d, Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    fn two_products_per_level() {
+        // A path of length 8 has diameter 8 → levels until diameter 1:
+        // each level squares; count tensor-bearing levels via call count:
+        // every non-base level does exactly 2 rect-multiplies of an 8×8
+        // matrix with √m = 4 ⇒ 2·(2·2) = 8 calls per level.
+        let n = 8usize;
+        let adj = Matrix::from_fn(n, n, |i, j| i64::from(i.abs_diff(j) == 1));
+        let mut mach = TcuMachine::model(16, 0);
+        let _ = seidel_apsd(&mut mach, &adj);
+        let calls_per_level = 2 * (n as u64 / 4) * (n as u64 / 4);
+        assert_eq!(mach.stats().tensor_calls % calls_per_level, 0);
+        let levels = mach.stats().tensor_calls / calls_per_level;
+        // diameter 7 → ceil(log2 7) = 3 squarings.
+        assert_eq!(levels, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_graph_is_rejected() {
+        // Two isolated edges: 0-1 and 2-3.
+        let mut adj = Matrix::<i64>::zeros(4, 4);
+        adj[(0, 1)] = 1;
+        adj[(1, 0)] = 1;
+        adj[(2, 3)] = 1;
+        adj[(3, 2)] = 1;
+        let mut mach = TcuMachine::model(4, 0);
+        let _ = seidel_apsd(&mut mach, &adj);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn directed_input_is_rejected() {
+        let mut adj = Matrix::<i64>::zeros(4, 4);
+        adj[(0, 1)] = 1;
+        let mut mach = TcuMachine::model(4, 0);
+        let _ = seidel_apsd(&mut mach, &adj);
+    }
+}

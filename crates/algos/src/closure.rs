@@ -1,0 +1,268 @@
+//! Blocked transitive closure on the TCU — §4.3, Theorem 5 (paper
+//! Figures 5–7).
+//!
+//! The adjacency matrix (0/1 integers) is updated in place by a blocked
+//! Floyd–Warshall-style sweep. Kernels `A`, `B`, `C` touch blocks that
+//! overlap the pivot block row/column and must run on the CPU with
+//! (∨, ∧); kernel `D` updates disjoint blocks and — the paper's key
+//! observation — may use (+, ×) followed by clamping to 1, which is
+//! exactly a matrix product the tensor unit can absorb. As in Gaussian
+//! elimination, for each block column `j ≠ k` the weight `X_{k,j}` is
+//! loaded once and every `X_{i,k}` (`i ≠ k`) is streamed through as one
+//! tall operand.
+//!
+//! Theorem 5: time `Θ(n³/√m + (n²/m)·ℓ + n²√m)` for an `n`-vertex graph.
+
+use tcu_core::{TcuMachine, TensorUnit};
+use tcu_linalg::Matrix;
+
+/// Reachability closure of a 0/1 adjacency matrix, in place, blocked on
+/// the tensor unit (paper Figure 7). `d[i][j] = 1` on return iff vertex
+/// `j` is reachable from vertex `i` by a non-empty path (or `i = j` held
+/// a self-loop / was already 1).
+///
+/// # Panics
+/// Panics unless `d` is square 0/1 with `√m | n`.
+pub fn transitive_closure<U: TensorUnit>(mach: &mut TcuMachine<U>, d: &mut Matrix<i64>) {
+    let n = d.rows();
+    assert!(d.is_square(), "adjacency matrix must be square");
+    assert!(d.as_slice().iter().all(|&x| x == 0 || x == 1), "entries must be 0/1");
+    let s = mach.sqrt_m();
+    assert!(n.is_multiple_of(s), "√m = {s} must divide n = {n}");
+    let q = n / s;
+
+    for kk in 0..q {
+        // A( X_kk ): in-block closure.
+        let mut xkk = d.block(kk * s, kk * s, s, s);
+        kernel_a(mach, &mut xkk);
+        d.set_block(kk * s, kk * s, &xkk);
+
+        // B( X_kj, X_kk ): pivot block row.
+        for j in 0..q {
+            if j != kk {
+                let mut xkj = d.block(kk * s, j * s, s, s);
+                kernel_b(mach, &mut xkj, &xkk);
+                d.set_block(kk * s, j * s, &xkj);
+            }
+        }
+
+        // C( X_ik, X_kk ): pivot block column.
+        for i in 0..q {
+            if i != kk {
+                let mut xik = d.block(i * s, kk * s, s, s);
+                kernel_c(mach, &mut xik, &xkk);
+                d.set_block(i * s, kk * s, &xik);
+            }
+        }
+
+        // D( X_ij, X_ik, X_kj ) on the tensor unit: stack all X_ik
+        // (i ≠ k) into one tall operand, one invocation per block column.
+        if q == 1 {
+            continue;
+        }
+        let rows = (q - 1) * s;
+        let mut tall = Matrix::<i64>::zeros(rows, s);
+        let others: Vec<usize> = (0..q).filter(|&i| i != kk).collect();
+        for (bi, &i) in others.iter().enumerate() {
+            tall.set_block(bi * s, 0, &d.block(i * s, kk * s, s, s));
+        }
+        for &j in &others {
+            let xkj = d.block(kk * s, j * s, s, s);
+            let prod = mach.tensor_mul(&tall, &xkj);
+            for (bi, &i) in others.iter().enumerate() {
+                // D's lines 1–7: accumulate the integer product, then
+                // clamp to 1 — two CPU ops per element.
+                mach.charge(2 * (s * s) as u64);
+                let mut xij = d.block(i * s, j * s, s, s);
+                xij.add_assign(&prod.block(bi * s, 0, s, s));
+                let clamped = xij.map(|v| i64::from(v > 0));
+                d.set_block(i * s, j * s, &clamped);
+            }
+        }
+    }
+}
+
+/// Kernel `A` (Figure 7): in-block closure with (∨, ∧); 2 ops per inner
+/// iteration.
+fn kernel_a<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<i64>) {
+    let s = x.rows();
+    for k in 0..s {
+        for i in 0..s {
+            for j in 0..s {
+                x[(i, j)] |= x[(i, k)] & x[(k, j)];
+            }
+        }
+    }
+    mach.charge(2 * (s * s * s) as u64);
+}
+
+/// Kernel `B` (Figure 7): `X[i,j] ∨= Y[i,k] ∧ X[k,j]`.
+fn kernel_b<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<i64>, y: &Matrix<i64>) {
+    let s = x.rows();
+    for k in 0..s {
+        for i in 0..s {
+            for j in 0..s {
+                x[(i, j)] |= y[(i, k)] & x[(k, j)];
+            }
+        }
+    }
+    mach.charge(2 * (s * s * s) as u64);
+}
+
+/// Kernel `C` (Figure 7): `X[i,j] ∨= X[i,k] ∧ Y[k,j]`.
+fn kernel_c<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<i64>, y: &Matrix<i64>) {
+    let s = x.rows();
+    for k in 0..s {
+        for i in 0..s {
+            for j in 0..s {
+                x[(i, j)] |= x[(i, k)] & y[(k, j)];
+            }
+        }
+    }
+    mach.charge(2 * (s * s * s) as u64);
+}
+
+/// Host oracle: the unblocked Figure 5 loop (`Θ(n³)` bit operations).
+/// Returns the closure of a fresh copy.
+#[must_use]
+pub fn transitive_closure_host(d: &Matrix<i64>) -> Matrix<i64> {
+    let n = d.rows();
+    let mut c = d.clone();
+    for k in 0..n {
+        for i in 0..n {
+            if c[(i, k)] == 0 {
+                continue;
+            }
+            for j in 0..n {
+                c[(i, j)] |= c[(k, j)];
+            }
+        }
+    }
+    c
+}
+
+/// Simulated-time charge of running the unblocked Figure 5 loop on the
+/// TCU's CPU (the baseline of experiment E5): 2 ops per inner iteration.
+#[must_use]
+pub fn host_closure_time(n: u64) -> u64 {
+    2 * n * n * n
+}
+
+/// Exact simulated time of [`transitive_closure`] on a model machine.
+#[must_use]
+pub fn transitive_closure_time(n: u64, s: u64, l: u64) -> u64 {
+    let q = n / s;
+    let kernel = 2 * s * s * s;
+    let mut t = 0u64;
+    for _kk in 0..q {
+        t += kernel; // A
+        t += 2 * (q - 1) * kernel; // B and C
+        if q > 1 {
+            t += (q - 1) * ((q - 1) * s * s + l); // tensor calls
+            t += (q - 1) * (q - 1) * 2 * s * s; // accumulate + clamp
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::random_digraph;
+    use rand::{rngs::StdRng, SeedableRng};
+    use tcu_core::TcuMachine;
+
+    fn closure_pair(n: usize, m: usize, density: f64, seed: u64) -> (Matrix<i64>, Matrix<i64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let adj = random_digraph(n, density, &mut rng);
+        let host = transitive_closure_host(&adj);
+        let mut mach = TcuMachine::model(m, 3);
+        let mut dev = adj;
+        transitive_closure(&mut mach, &mut dev);
+        (host, dev)
+    }
+
+    #[test]
+    fn matches_unblocked_oracle() {
+        for (n, m, density) in
+            [(8usize, 4usize, 0.2), (16, 16, 0.1), (32, 16, 0.05), (32, 16, 0.5), (24, 4, 0.15)]
+        {
+            let (host, dev) = closure_pair(n, m, density, 1000 + n as u64);
+            assert_eq!(host, dev, "n={n} m={m} density={density}");
+        }
+    }
+
+    #[test]
+    fn empty_and_complete_graphs() {
+        let mut mach = TcuMachine::model(4, 0);
+        let mut empty = Matrix::<i64>::zeros(8, 8);
+        transitive_closure(&mut mach, &mut empty);
+        assert!(empty.is_zero());
+
+        let mut complete = Matrix::from_fn(8, 8, |_, _| 1i64);
+        let want = complete.clone();
+        transitive_closure(&mut mach, &mut complete);
+        assert_eq!(complete, want);
+    }
+
+    #[test]
+    fn directed_path_closes_to_upper_triangle() {
+        // Edges i -> i+1: closure reaches every j > i.
+        let n = 16;
+        let mut d = Matrix::from_fn(n, n, |i, j| i64::from(j == i + 1));
+        let mut mach = TcuMachine::model(16, 2);
+        transitive_closure(&mut mach, &mut d);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(d[(i, j)], i64::from(j > i), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let adj = random_digraph(16, 0.15, &mut rng);
+        let mut mach = TcuMachine::model(16, 0);
+        let mut once = adj;
+        transitive_closure(&mut mach, &mut once);
+        let mut twice = once.clone();
+        transitive_closure(&mut mach, &mut twice);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn cost_matches_closed_form() {
+        for (n, m, l) in [(16u64, 16usize, 0u64), (32, 16, 999), (32, 4, 5)] {
+            let mut rng = StdRng::seed_from_u64(n);
+            let adj = random_digraph(n as usize, 0.2, &mut rng);
+            let mut mach = TcuMachine::model(m, l);
+            let mut d = adj;
+            transitive_closure(&mut mach, &mut d);
+            let s = (m as f64).sqrt() as u64;
+            assert_eq!(mach.time(), transitive_closure_time(n, s, l), "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn tensor_latency_is_n2_over_m() {
+        let (n, m, l) = (32usize, 16usize, 100_000u64);
+        let mut rng = StdRng::seed_from_u64(3);
+        let adj = random_digraph(n, 0.3, &mut rng);
+        let mut mach = TcuMachine::model(m, l);
+        let mut d = adj;
+        transitive_closure(&mut mach, &mut d);
+        let q = (n / 4) as u64;
+        // q block iterations × (q−1) tall calls each.
+        assert_eq!(mach.stats().tensor_calls, q * (q - 1));
+        assert_eq!(mach.stats().tensor_latency_time, q * (q - 1) * l);
+    }
+
+    #[test]
+    #[should_panic(expected = "entries must be 0/1")]
+    fn rejects_non_boolean_input() {
+        let mut mach = TcuMachine::model(4, 0);
+        let mut d = Matrix::from_fn(4, 4, |i, j| (i + j) as i64);
+        transitive_closure(&mut mach, &mut d);
+    }
+}

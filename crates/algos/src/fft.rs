@@ -1,0 +1,367 @@
+//! Discrete Fourier Transform on the TCU — §4.5, Theorem 7.
+//!
+//! The Cooley–Tukey decomposition with `n₁ = √m`, `n₂ = n/√m`: the input
+//! vector is arranged as an `n₁ × n₂` matrix in row-major order; the `n₂`
+//! column DFTs of size `√m` are *one* tall tensor multiplication by the
+//! Fourier matrix `W_{√m}` (the weights stay resident while all columns
+//! stream through); each entry is scaled by its twiddle factor; the `n₁`
+//! row DFTs of size `n₂` recurse; and the result is read out column-major.
+//! Theorem 7: time `O((n + ℓ)·log_m n)`.
+//!
+//! Everything here is *batched*: [`dft_rows`] transforms every row of a
+//! matrix at once, so at each recursion level the whole batch forms a
+//! single tall left operand and the per-level charge is `O(total + ℓ)`
+//! rather than `ℓ` per subproblem. This is exactly the latency-hiding
+//! observation the paper uses in the stencil upper bound (Lemma 1), and
+//! it generalizes the `n₁ = 4` scheme of Sorna et al. that the paper
+//! cites as a special case.
+//!
+//! Complex arithmetic runs natively on the model's κ-bit words (§4.5
+//! "we assume that the TCU model can perform operations on complex
+//! numbers"; the constant-factor removal is discussed there too).
+
+use tcu_core::{TcuMachine, TensorUnit};
+use tcu_linalg::{Complex64, Matrix, Scalar};
+
+/// The `n × n` Fourier matrix `W[r,c] = ω_n^{rc}`, `ω_n = e^{−2πi/n}`.
+#[must_use]
+pub fn fourier_matrix(n: usize) -> Matrix<Complex64> {
+    Matrix::from_fn(n, n, |r, c| Complex64::root_of_unity(n, (r * c) as i64))
+}
+
+/// DFT of a single vector on the TCU (length a power of two).
+///
+/// # Panics
+/// Panics unless `x.len()` is a power of two and, when `x.len() > √m`,
+/// `√m` is itself a power of two (so that `√m | n` at every level).
+#[must_use]
+pub fn dft<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &[Complex64]) -> Vec<Complex64> {
+    let data = Matrix::from_vec(1, x.len(), x.to_vec());
+    dft_rows(mach, &data).as_slice().to_vec()
+}
+
+/// Inverse DFT via conjugation: `idft(x) = conj(dft(conj(x)))/n`.
+#[must_use]
+pub fn idft<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    mach.charge(n as u64);
+    let conj: Vec<Complex64> = x.iter().map(|z| z.conj()).collect();
+    let y = dft(mach, &conj);
+    mach.charge(2 * n as u64);
+    let scale = 1.0 / n as f64;
+    y.into_iter().map(|z| z.conj().scale(scale)).collect()
+}
+
+/// Batched DFT: transform *every row* of `data` (all rows share one
+/// power-of-two length). The whole batch streams through the tensor unit
+/// together, so latency is paid once per recursion level for the entire
+/// batch.
+///
+/// # Panics
+/// Panics unless the row length is a power of two (and `√m` is a power of
+/// two whenever the row length exceeds it).
+#[must_use]
+pub fn dft_rows<U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    data: &Matrix<Complex64>,
+) -> Matrix<Complex64> {
+    let nc = data.cols();
+    assert!(nc.is_power_of_two(), "DFT length must be a power of two (got {nc})");
+    let s = mach.sqrt_m();
+    if nc > s {
+        assert!(
+            s.is_power_of_two(),
+            "√m = {s} must be a power of two to divide the DFT length at every level"
+        );
+    }
+    rec(mach, data)
+}
+
+fn rec<U: TensorUnit>(mach: &mut TcuMachine<U>, data: &Matrix<Complex64>) -> Matrix<Complex64> {
+    let nc = data.cols();
+    let batch = data.rows();
+    let s = mach.sqrt_m();
+
+    if nc == 1 {
+        return data.clone();
+    }
+    if nc <= s {
+        // Base case: multiplication by the Fourier matrix. When nc < √m,
+        // pack g = √m/nc independent instances side by side against a
+        // block-diagonal diag(W_nc, …, W_nc) weight matrix, so the full
+        // hardware footprint is used and the charge stays O(batch·nc)
+        // instead of O(batch·√m).
+        let g = (s / nc).max(1);
+        if g <= 1 || batch == 1 {
+            mach.charge((nc * nc) as u64); // assemble W_nc
+            let w = fourier_matrix(nc);
+            return mach.tensor_mul_padded(data, &w);
+        }
+        mach.charge((g * nc * nc) as u64); // assemble diag(W_nc, …)
+        let w = fourier_matrix(nc);
+        let bd = Matrix::from_fn(g * nc, g * nc, |i, j| {
+            if i / nc == j / nc {
+                w[(i % nc, j % nc)]
+            } else {
+                Complex64::ZERO
+            }
+        });
+        let packed_rows = batch.div_ceil(g);
+        let packed = Matrix::from_fn(packed_rows, g * nc, |p, q| {
+            let r = p * g + q / nc;
+            if r < batch {
+                data[(r, q % nc)]
+            } else {
+                Complex64::ZERO
+            }
+        });
+        let prod = mach.tensor_mul_padded(&packed, &bd);
+        return Matrix::from_fn(batch, nc, |r, k| prod[(r / g, (r % g) * nc + k)]);
+    }
+
+    let n1 = s;
+    let n2 = nc / s;
+
+    // Step 1 — all column DFTs of size n1 at once: row (r, j) of G holds
+    // column j of row r's n1 × n2 arrangement; one multiplication by
+    // W_{n1} transforms every column of every batch row.
+    mach.charge((n1 * n1) as u64); // assemble W_{√m}
+    let w1 = fourier_matrix(n1);
+    let g = Matrix::from_fn(batch * n2, n1, |rj, i| {
+        let (r, j) = (rj / n2, rj % n2);
+        data[(r, i * n2 + j)]
+    });
+    let u = mach.tensor_mul_padded(&g, &w1);
+
+    // Step 2 — twiddles and transposition into row-DFT layout: H row
+    // (r, k1) holds U[(r, ·), k1] · ω_nc^{k1 ·}. The paper charges O(n)
+    // for twiddles plus transposition; we charge one op per element for
+    // each.
+    mach.charge(2 * (batch * nc) as u64);
+    let h = Matrix::from_fn(batch * n1, n2, |rk, j| {
+        let (r, k1) = (rk / n1, rk % n1);
+        let tw = Complex64::root_of_unity(nc, (k1 * j) as i64);
+        u[(r * n2 + j, k1)].mul(tw)
+    });
+
+    // Step 3 — the n1 row DFTs of size n2, recursively (batched).
+    let v = rec(mach, &h);
+
+    // Step 4 — column-major readout: y[k1 + n1·k2] = V[(r, k1), k2].
+    mach.charge((batch * nc) as u64);
+    Matrix::from_fn(batch, nc, |r, k| {
+        let (k1, k2) = (k % n1, k / n1);
+        v[(r * n1 + k1, k2)]
+    })
+}
+
+/// Exact simulated time of [`dft_rows`] on a model machine (mirrors the
+/// recursion's charges).
+#[must_use]
+pub fn dft_rows_time(nc: u64, batch: u64, s: u64, l: u64) -> u64 {
+    if nc == 1 {
+        return 0;
+    }
+    if nc <= s {
+        let g = (s / nc).max(1);
+        if g <= 1 || batch == 1 {
+            return nc * nc + batch.max(s) * s + l;
+        }
+        return g * nc * nc + batch.div_ceil(g).max(s) * s + l;
+    }
+    let n2 = nc / s;
+    s * s + (batch * n2).max(s) * s + l + 3 * batch * nc + dft_rows_time(n2, batch * s, s, l)
+}
+
+/// Host oracle: the definition-based `Θ(n²)` DFT.
+#[must_use]
+pub fn dft_direct_host(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            x.iter().enumerate().fold(Complex64::ZERO, |acc, (t, &v)| {
+                acc.add(v.mul(Complex64::root_of_unity(n, (t * k) as i64)))
+            })
+        })
+        .collect()
+}
+
+/// Host radix-2 FFT (iterative, bit-reversed), used as the fast oracle and
+/// as the RAM baseline of experiment E7.
+///
+/// # Panics
+/// Panics unless the length is a power of two.
+#[must_use]
+pub fn fft_host(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let mut a = x.to_vec();
+    if n <= 1 {
+        return a;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let w_len = Complex64::root_of_unity(len, 1);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for off in 0..len / 2 {
+                let even = a[start + off];
+                let odd = a[start + off + len / 2].mul(w);
+                a[start + off] = even.add(odd);
+                a[start + off + len / 2] = even.sub(odd);
+                w = w.mul(w_len);
+            }
+        }
+        len <<= 1;
+    }
+    a
+}
+
+/// Simulated-time charge of running the radix-2 host FFT on the TCU's
+/// CPU (the E7 baseline): ~10 ops per butterfly, `n/2·log₂ n` butterflies.
+#[must_use]
+pub fn fft_host_time(n: u64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    5 * n * n.ilog2() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::random_vector_c64;
+    use rand::{rngs::StdRng, SeedableRng};
+    use tcu_core::TcuMachine;
+
+    fn max_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x.sub(*y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_direct_dft_across_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mach = TcuMachine::model(16, 9);
+        for n in [1usize, 2, 4, 8, 16, 32, 64, 256] {
+            let x = random_vector_c64(n, &mut rng);
+            let got = dft(&mut mach, &x);
+            let want = dft_direct_host(&x);
+            assert!(max_diff(&got, &want) < 1e-9 * n as f64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fft_host_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [1usize, 2, 8, 64, 512] {
+            let x = random_vector_c64(n, &mut rng);
+            assert!(max_diff(&fft_host(&x), &dft_direct_host(&x)) < 1e-8, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn idft_inverts_dft() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mach = TcuMachine::model(16, 5);
+        for n in [4usize, 64, 128] {
+            let x = random_vector_c64(n, &mut rng);
+            let forward = dft(&mut mach, &x);
+            let back = idft(&mut mach, &forward);
+            assert!(max_diff(&back, &x) < 1e-10, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let mut mach = TcuMachine::model(4, 0);
+        let n = 16;
+        let mut x = vec![Complex64::ZERO; n];
+        x[0] = Complex64::ONE;
+        let y = dft(&mut mach, &x);
+        for v in y {
+            assert!(v.sub(Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_identity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mach = TcuMachine::model(16, 0);
+        let n = 64;
+        let x = random_vector_c64(n, &mut rng);
+        let y = dft(&mut mach, &x);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum();
+        assert!((ey - n as f64 * ex).abs() < 1e-8 * ey.max(1.0));
+    }
+
+    #[test]
+    fn batched_rows_equal_individual_transforms() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let nc = 32;
+        let rows: Vec<Vec<Complex64>> = (0..5).map(|_| random_vector_c64(nc, &mut rng)).collect();
+        let data = Matrix::from_rows(&rows);
+        let mut mach = TcuMachine::model(16, 3);
+        let batched = dft_rows(&mut mach, &data);
+        for (r, row) in rows.iter().enumerate() {
+            let single = dft_direct_host(row);
+            let got: Vec<Complex64> = batched.row(r).to_vec();
+            assert!(max_diff(&got, &single) < 1e-9, "row {r}");
+        }
+    }
+
+    #[test]
+    fn cost_matches_closed_form() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for (n, m, l) in [(64usize, 16usize, 0u64), (256, 16, 1000), (1024, 64, 33), (8, 16, 5)] {
+            let x = random_vector_c64(n, &mut rng);
+            let mut mach = TcuMachine::model(m, l);
+            let _ = dft(&mut mach, &x);
+            let s = (m as f64).sqrt() as u64;
+            assert_eq!(mach.time(), dft_rows_time(n as u64, 1, s, l), "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn input_of_size_m_uses_two_tensor_calls() {
+        // The paper's base-case remark: n ≤ m needs the unit once for the
+        // n₂ column DFTs and once for the n₁ row DFTs.
+        let mut rng = StdRng::seed_from_u64(7);
+        let (n, m) = (16usize, 16usize);
+        let x = random_vector_c64(n, &mut rng);
+        let mut mach = TcuMachine::model(m, 0);
+        let _ = dft(&mut mach, &x);
+        assert_eq!(mach.stats().tensor_calls, 2);
+    }
+
+    #[test]
+    fn latency_scales_with_levels_not_subproblems() {
+        // Batching means each level pays ℓ once: levels = 1 + log_{√m}(n/√m)
+        // tensor calls in total (plus the W builds).
+        let (n, m, l) = (4096usize, 16usize, 1_000_000u64);
+        let x = vec![Complex64::ONE; n];
+        let mut mach = TcuMachine::model(m, l);
+        let _ = dft(&mut mach, &x);
+        // levels: 4096 -> 1024 -> 256 -> 64 -> 16 -> 4 -> 1 tensor call at
+        // nc=4 base: calls = 6.
+        assert_eq!(mach.stats().tensor_calls, 6);
+        assert_eq!(mach.stats().tensor_latency_time, 6 * l);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_length() {
+        let mut mach = TcuMachine::model(16, 0);
+        let x = vec![Complex64::ONE; 12];
+        let _ = dft(&mut mach, &x);
+    }
+}

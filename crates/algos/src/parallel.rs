@@ -1,0 +1,185 @@
+//! Dense multiplication on *parallel* tensor units — the algorithmic side
+//! of the §6 extension in [`tcu_core::parallel`].
+//!
+//! Theorem 2's blocked multiplication issues `(d/√m)²` independent tall
+//! invocations (one per weight block `B_{k,j}`); on a `p`-unit machine
+//! they schedule as a batch, so the tensor term divides by `p` while the
+//! CPU accumulation stays serial:
+//!
+//! ```text
+//!   T_p(n) = Θ( n^{3/2}/(p·√m) + (n/(p·m))·ℓ + n^{3/2}/√m_CPU-adds )
+//! ```
+//!
+//! i.e. Amdahl-limited by the strip summation: speedup saturates at
+//! `(tensor work)/(CPU work) + 1 ≈ 2` for the plain algorithm unless the
+//! accumulation is tree-reduced on the units too — which
+//! [`multiply_parallel_fused`] models (via the hardware's fused
+//! accumulate), restoring near-linear speedup. The
+//! EP1 experiment sweeps `p` over both variants.
+
+use tcu_core::parallel::ParallelTcuMachine;
+use tcu_core::TensorUnit;
+use tcu_linalg::{Matrix, Scalar};
+
+/// Blocked multiplication with the `(d/√m)²` weight-block invocations
+/// batched across units; strip accumulation on the (serial) CPU.
+///
+/// # Panics
+/// Panics unless operands are square of equal dimension `d` with `√m | d`.
+#[must_use]
+pub fn multiply_parallel<T: Scalar, U: TensorUnit>(
+    mach: &mut ParallelTcuMachine<U>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
+    let d = a.rows();
+    assert!(a.is_square() && b.is_square() && b.rows() == d, "operands must be d×d");
+    let s = mach.sqrt_m();
+    assert!(d % s == 0, "√m = {s} must divide d = {d}");
+    let q = d / s;
+
+    // All q² products are independent: one batch.
+    let strips: Vec<Matrix<T>> = (0..q).map(|k| a.col_strip(k * s, s)).collect();
+    let blocks: Vec<Matrix<T>> =
+        (0..q * q).map(|kj| b.block((kj / q) * s, (kj % q) * s, s, s)).collect();
+    let ops: Vec<(&Matrix<T>, &Matrix<T>)> =
+        (0..q * q).map(|kj| (&strips[kj / q], &blocks[kj])).collect();
+    let prods = mach.tensor_mul_batch(&ops);
+
+    // Serial CPU accumulation per output column-block.
+    let mut c = Matrix::<T>::zeros(d, d);
+    for j in 0..q {
+        let mut acc = prods[j].clone();
+        for k in 1..q {
+            mach.charge((d * s) as u64);
+            acc.add_assign(&prods[k * q + j]);
+        }
+        c.set_block(0, j * s, &acc);
+    }
+    c
+}
+
+/// Like [`multiply_parallel`], but the strip accumulation is folded into
+/// the tensor batches as well (pairwise tree reduction expressed as
+/// multiplications by stacked identity weights), so the whole algorithm
+/// parallelizes and speedup stays near `p`.
+///
+/// The reduction trick: `X + Y = [X | Y] · [I; I]` — a `d × 2√m` by
+/// `2√m × √m`… which exceeds the unit's width, so instead each level
+/// stacks `X` over `Y` as a `2·d_rows × √m` tall operand against the
+/// identity and lets the *unit* stream the adds: `[X; Y]ᵀ`-style folding
+/// needs an addition unit, which the model lacks — so the honest version
+/// here keeps CPU adds but splits them across the `q` column blocks
+/// *between* batches, overlapping nothing; what it demonstrates is the
+/// Amdahl ceiling itself. (Kept as a distinct entry point so EP1 can
+/// report both curves; a fused-accumulate hardware mode — TCs do offer
+/// `D = A·B + C` — would lift the ceiling, and is modelled by passing
+/// `fused = true`.)
+///
+/// With `fused = true` the per-block accumulation is treated as absorbed
+/// into the invocation (the FMA semantics of real tensor cores, §2.1),
+/// removing the CPU term entirely.
+///
+/// # Panics
+/// Panics unless operands are square of equal dimension `d` with `√m | d`.
+#[must_use]
+pub fn multiply_parallel_fused<T: Scalar, U: TensorUnit>(
+    mach: &mut ParallelTcuMachine<U>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    fused: bool,
+) -> Matrix<T> {
+    let d = a.rows();
+    assert!(a.is_square() && b.is_square() && b.rows() == d, "operands must be d×d");
+    let s = mach.sqrt_m();
+    assert!(d % s == 0, "√m = {s} must divide d = {d}");
+    let q = d / s;
+
+    let strips: Vec<Matrix<T>> = (0..q).map(|k| a.col_strip(k * s, s)).collect();
+    let blocks: Vec<Matrix<T>> =
+        (0..q * q).map(|kj| b.block((kj / q) * s, (kj % q) * s, s, s)).collect();
+    let ops: Vec<(&Matrix<T>, &Matrix<T>)> =
+        (0..q * q).map(|kj| (&strips[kj / q], &blocks[kj])).collect();
+    let prods = mach.tensor_mul_batch(&ops);
+
+    let mut c = Matrix::<T>::zeros(d, d);
+    for j in 0..q {
+        let mut acc = prods[j].clone();
+        for k in 1..q {
+            if !fused {
+                mach.charge((d * s) as u64);
+            }
+            acc.add_assign(&prods[k * q + j]);
+        }
+        c.set_block(0, j * s, &acc);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcu_core::{ModelTensorUnit, TcuMachine};
+    use tcu_linalg::ops::matmul_naive;
+
+    fn pseudo(d: usize, seed: i64) -> Matrix<i64> {
+        Matrix::from_fn(d, d, |i, j| ((i as i64 * 11 + j as i64 * 3 + seed) % 13) - 6)
+    }
+
+    #[test]
+    fn parallel_product_is_correct() {
+        let a = pseudo(32, 1);
+        let b = pseudo(32, 2);
+        for p in [1usize, 2, 4, 16, 64] {
+            let mut mach = ParallelTcuMachine::new(ModelTensorUnit::new(16, 9), p);
+            assert_eq!(multiply_parallel(&mut mach, &a, &b), matmul_naive(&a, &b), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn one_unit_matches_serial_theorem_2_time() {
+        let a = pseudo(32, 3);
+        let b = pseudo(32, 4);
+        let mut par = ParallelTcuMachine::new(ModelTensorUnit::new(16, 50), 1);
+        let _ = multiply_parallel(&mut par, &a, &b);
+        let mut ser = TcuMachine::model(16, 50);
+        let _ = crate::dense::multiply(&mut ser, &a, &b);
+        assert_eq!(par.time(), ser.time());
+    }
+
+    #[test]
+    fn tensor_term_divides_by_p() {
+        let a = pseudo(64, 5);
+        let b = pseudo(64, 6);
+        let q = 16u64; // d/s = 64/4
+        let per_call = 64 * 4 + 10;
+        for p in [1usize, 2, 4, 8] {
+            let mut mach = ParallelTcuMachine::new(ModelTensorUnit::new(16, 10), p);
+            let _ = multiply_parallel(&mut mach, &a, &b);
+            let makespan = (q * q).div_ceil(p as u64) * per_call;
+            let cpu = q * (q - 1) * 64 * 4;
+            assert_eq!(mach.time(), makespan + cpu, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn amdahl_ceiling_and_fused_escape() {
+        // Unfused speedup saturates (CPU adds serial); fused keeps scaling.
+        let a = pseudo(64, 7);
+        let b = pseudo(64, 8);
+        let time_with = |p: usize, fused: bool| {
+            let mut mach = ParallelTcuMachine::new(ModelTensorUnit::new(16, 0), p);
+            let c = multiply_parallel_fused(&mut mach, &a, &b, fused);
+            assert_eq!(c, matmul_naive(&a, &b));
+            mach.time()
+        };
+        let s1 = time_with(1, false) as f64;
+        let s64 = time_with(64, false) as f64;
+        let f1 = time_with(1, true) as f64;
+        let f64_ = time_with(64, true) as f64;
+        let unfused_speedup = s1 / s64;
+        let fused_speedup = f1 / f64_;
+        assert!(unfused_speedup < 3.0, "Amdahl-limited: {unfused_speedup:.2}");
+        assert!(fused_speedup > 30.0, "fused accumulate scales: {fused_speedup:.2}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Batch polynomial evaluation on the TCU — §4.8, Theorem 11.
+//!
+//! To evaluate `A(x) = Σ a_i x^i` (degree `n − 1`) at `p` points: build
+//! `X : p × √m` with `X[i,t] = p_i^t`, pack the coefficients column-major
+//! into `A : √m × n/√m`, compute `C = X·A` on the tensor unit (one tall
+//! invocation per `√m`-column block, the `p` rows streaming against each
+//! resident coefficient block), and recombine with the stride powers:
+//! `A(p_i) = Σ_j C[i,j]·(p_i^{√m})^j`. Theorem 11:
+//! `O(p·n/√m + p·√m + (n/m)·ℓ)`.
+//!
+//! The routine is generic over [`Field`] so it runs both on `f64`
+//! (numeric workloads; beware overflow for large degrees) and on the
+//! prime field [`Fp61`](tcu_linalg::Fp61), where every test is exact —
+//! this matches the model's κ-bit-word semantics with no floating-point
+//! caveats.
+
+use tcu_core::{TcuMachine, TensorUnit};
+use tcu_linalg::{Field, Matrix};
+
+/// Evaluate `coeffs` (little-endian: `coeffs[i]` multiplies `x^i`) at
+/// every point, on the tensor unit.
+///
+/// # Panics
+/// Panics if `coeffs` is empty.
+#[must_use]
+pub fn batch_eval<T: Field, U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    coeffs: &[T],
+    points: &[T],
+) -> Vec<T> {
+    assert!(!coeffs.is_empty(), "polynomial must have at least one coefficient");
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let s = mach.sqrt_m();
+    let p = points.len();
+    // Degree padded to a multiple of √m (zero coefficients are harmless).
+    let n = coeffs.len().div_ceil(s) * s;
+    let cols = n / s;
+
+    // X[i,t] = p_i^t for t < √m: one multiplication per entry.
+    mach.charge((p * s) as u64);
+    let mut x = Matrix::<T>::zeros(p, s);
+    for (i, &pt) in points.iter().enumerate() {
+        let mut pw = T::ONE;
+        for t in 0..s {
+            x[(i, t)] = pw;
+            pw = pw.mul(pt);
+        }
+    }
+
+    // Stride powers p_i^{√m·j}: p·(n/√m) multiplications.
+    mach.charge((p * cols) as u64);
+    let mut stride = Matrix::<T>::zeros(p, cols);
+    for (i, &pt) in points.iter().enumerate() {
+        let step = pow(pt, s as u64);
+        let mut pw = T::ONE;
+        for j in 0..cols {
+            stride[(i, j)] = pw;
+            pw = pw.mul(step);
+        }
+    }
+
+    // Coefficient matrix A[t,j] = a_{t + j√m} (column-major packing).
+    let a = Matrix::from_fn(s, cols, |t, j| coeffs.get(t + j * s).copied().unwrap_or(T::ZERO));
+
+    // C = X·A on the tensor unit.
+    let c = crate::dense::multiply_rect(mach, &x, &a);
+
+    // Recombination: A(p_i) = Σ_j C[i,j]·stride[i,j] (2 ops per term).
+    mach.charge(2 * (p * cols) as u64);
+    (0..p)
+        .map(|i| {
+            (0..cols).fold(T::ZERO, |acc, j| acc.add(c[(i, j)].mul(stride[(i, j)])))
+        })
+        .collect()
+}
+
+/// Host Horner evaluation — oracle and `Θ(p·n)` RAM baseline of E11.
+#[must_use]
+pub fn horner_host<T: Field>(coeffs: &[T], points: &[T]) -> Vec<T> {
+    points
+        .iter()
+        .map(|&x| {
+            coeffs
+                .iter()
+                .rev()
+                .fold(T::ZERO, |acc, &c| acc.mul(x).add(c))
+        })
+        .collect()
+}
+
+/// Simulated-time charge of Horner on the TCU CPU: 2 ops per coefficient
+/// per point.
+#[must_use]
+pub fn horner_time(n: u64, p: u64) -> u64 {
+    2 * n * p
+}
+
+/// Exact simulated time of [`batch_eval`] on a model machine (√m = `s`,
+/// `p` points, `n` coefficients after padding to a multiple of `s`).
+#[must_use]
+pub fn batch_eval_time(n_padded: u64, p: u64, s: u64, l: u64) -> u64 {
+    let cols = n_padded / s;
+    let col_blocks = cols.div_ceil(s);
+    // Power tables + recombination.
+    let cpu = p * s + p * cols + 2 * p * cols;
+    // One tall call per √m-column block of A; no cross-block accumulation
+    // (distinct output columns), so multiply_rect adds nothing.
+    let tensor = col_blocks * (p.max(s) * s + l);
+    cpu + tensor
+}
+
+fn pow<T: Field>(base: T, mut e: u64) -> T {
+    let mut b = base;
+    let mut acc = T::ONE;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = acc.mul(b);
+        }
+        b = b.mul(b);
+        e >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use tcu_core::TcuMachine;
+    use tcu_linalg::{Fp61, Scalar};
+
+    fn rand_fp(n: usize, rng: &mut StdRng) -> Vec<Fp61> {
+        (0..n).map(|_| Fp61::new(rng.gen())).collect()
+    }
+
+    #[test]
+    fn exact_over_prime_field() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mach = TcuMachine::model(16, 9);
+        for (n, p) in [(1usize, 1usize), (4, 4), (16, 8), (33, 10), (64, 5), (100, 17)] {
+            let coeffs = rand_fp(n, &mut rng);
+            let points = rand_fp(p, &mut rng);
+            assert_eq!(
+                batch_eval(&mut mach, &coeffs, &points),
+                horner_host(&coeffs, &points),
+                "n={n} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_horner_over_f64() {
+        // Small degree and |x| < 1 keep f64 round-off in check.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mach = TcuMachine::model(16, 0);
+        let coeffs: Vec<f64> = (0..24).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let points: Vec<f64> = (0..7).map(|_| rng.gen_range(-0.9..0.9)).collect();
+        let got = batch_eval(&mut mach, &coeffs, &points);
+        let want = horner_host(&coeffs, &points);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn constant_and_linear_polynomials() {
+        let mut mach = TcuMachine::model(4, 0);
+        // A(x) = 7
+        let v = batch_eval(&mut mach, &[Fp61::new(7)], &[Fp61::new(3), Fp61::new(100)]);
+        assert_eq!(v, vec![Fp61::new(7), Fp61::new(7)]);
+        // A(x) = 2 + 5x at x = 10 → 52
+        let v = batch_eval(&mut mach, &[Fp61::new(2), Fp61::new(5)], &[Fp61::new(10)]);
+        assert_eq!(v, vec![Fp61::new(52)]);
+    }
+
+    #[test]
+    fn cost_matches_closed_form() {
+        for (n, p, m, l) in
+            [(64usize, 8usize, 16usize, 0u64), (256, 32, 16, 1000), (64, 4, 64, 77)]
+        {
+            let mut rng = StdRng::seed_from_u64(3);
+            let coeffs = rand_fp(n, &mut rng);
+            let points = rand_fp(p, &mut rng);
+            let mut mach = TcuMachine::model(m, l);
+            let _ = batch_eval(&mut mach, &coeffs, &points);
+            let s = (m as f64).sqrt() as u64;
+            let n_padded = (n as u64).div_ceil(s) * s;
+            assert_eq!(
+                mach.time(),
+                batch_eval_time(n_padded, p as u64, s, l),
+                "n={n} p={p} m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_term_is_n_over_m() {
+        let (n, p, m, l) = (1024usize, 64usize, 16usize, 50_000u64);
+        let mut rng = StdRng::seed_from_u64(4);
+        let coeffs = rand_fp(n, &mut rng);
+        let points = rand_fp(p, &mut rng);
+        let mut mach = TcuMachine::model(m, l);
+        let _ = batch_eval(&mut mach, &coeffs, &points);
+        assert_eq!(mach.stats().tensor_calls, (n / m) as u64);
+        assert_eq!(mach.stats().tensor_latency_time, (n / m) as u64 * l);
+    }
+
+    #[test]
+    fn beats_horner_when_points_exceed_sqrt_m() {
+        let (n, p, m) = (4096usize, 256usize, 256usize);
+        let mut rng = StdRng::seed_from_u64(5);
+        let coeffs = rand_fp(n, &mut rng);
+        let points = rand_fp(p, &mut rng);
+        let mut mach = TcuMachine::model(m, 100);
+        let _ = batch_eval(&mut mach, &coeffs, &points);
+        assert!(mach.time() < horner_time(n as u64, p as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coefficient")]
+    fn rejects_empty_polynomial() {
+        let mut mach = TcuMachine::model(4, 0);
+        let _ = batch_eval::<Fp61, _>(&mut mach, &[], &[Fp61::ONE]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Reduction and prefix sums on the tensor unit — the algorithms of
+//! Dakkak, Li, Xiong, Gelado & Hwu, *Accelerating reduction and scan
+//! using tensor core units* (ICS 2019), which the paper cites as \[9\] and
+//! credits with coining the "TCU" terminology. Implementing them in the
+//! (m, ℓ)-TCU model shows how the model prices the original TCU
+//! algorithms that motivated it.
+//!
+//! * **Reduction**: arrange the `n` inputs as an `n/√m × √m` matrix `X`;
+//!   `X · 1⃗` (as the first column of a `√m × √m` ones-column matrix)
+//!   yields row sums in one tall invocation; recurse on the `n/√m` row
+//!   sums. Time `O(n + ℓ·log_m n)`.
+//! * **Prefix scan**: `X·U + L·(row-sums-scan broadcast)` where `U` is
+//!   upper-triangular ones — one tall multiplication computes every
+//!   within-row prefix, a recursive scan over the `n/√m` row sums
+//!   supplies the offsets. Time `O(n + ℓ·log_m n)`.
+
+use tcu_core::{TcuMachine, TensorUnit};
+use tcu_linalg::{Matrix, Scalar};
+
+/// Sum of a sequence via tensor-unit reduction.
+#[must_use]
+pub fn reduce<T: Scalar, U: TensorUnit>(mach: &mut TcuMachine<U>, xs: &[T]) -> T {
+    let s = mach.sqrt_m();
+    if xs.is_empty() {
+        return T::ZERO;
+    }
+    if xs.len() <= s {
+        // Small tail: CPU sum.
+        mach.charge(xs.len() as u64);
+        return xs.iter().fold(T::ZERO, |acc, &x| acc.add(x));
+    }
+    // X: ⌈n/√m⌉ × √m (zero-padded); ones-column matrix reduces each row.
+    let rows = xs.len().div_ceil(s);
+    let x = Matrix::from_fn(rows, s, |i, j| xs.get(i * s + j).copied().unwrap_or(T::ZERO));
+    let ones_col = Matrix::from_fn(s, s, |_, j| if j == 0 { T::ONE } else { T::ZERO });
+    let prod = mach.tensor_mul_padded(&x, &ones_col);
+    let row_sums: Vec<T> = (0..rows).map(|i| prod[(i, 0)]).collect();
+    reduce(mach, &row_sums)
+}
+
+/// Inclusive prefix sums via tensor-unit scan.
+#[must_use]
+pub fn prefix_sum<T: Scalar, U: TensorUnit>(mach: &mut TcuMachine<U>, xs: &[T]) -> Vec<T> {
+    let s = mach.sqrt_m();
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= s {
+        mach.charge(n as u64);
+        let mut out = Vec::with_capacity(n);
+        let mut acc = T::ZERO;
+        for &x in xs {
+            acc = acc.add(x);
+            out.push(acc);
+        }
+        return out;
+    }
+    // Row-major layout X : rows × √m; X·U gives within-row prefixes
+    // (U upper-triangular ones: prod[i][j] = Σ_{t ≤ j} X[i][t]).
+    let rows = n.div_ceil(s);
+    let x = Matrix::from_fn(rows, s, |i, j| xs.get(i * s + j).copied().unwrap_or(T::ZERO));
+    let upper = Matrix::from_fn(s, s, |i, j| if i <= j { T::ONE } else { T::ZERO });
+    let within = mach.tensor_mul_padded(&x, &upper);
+
+    // Recursive scan over the row totals (last column) gives offsets.
+    let totals: Vec<T> = (0..rows).map(|i| within[(i, s - 1)]).collect();
+    let offsets = prefix_sum(mach, &totals);
+
+    // Broadcast: out[i·√m + j] = within[i][j] + offset[i−1]. One add each.
+    mach.charge(n as u64);
+    (0..n)
+        .map(|idx| {
+            let (i, j) = (idx / s, idx % s);
+            let base = if i == 0 { T::ZERO } else { offsets[i - 1] };
+            within[(i, j)].add(base)
+        })
+        .collect()
+}
+
+/// Simulated-time charge of the CPU baselines (1 add per element).
+#[must_use]
+pub fn host_scan_time(n: u64) -> u64 {
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcu_core::TcuMachine;
+    use tcu_linalg::Fp61;
+
+    #[test]
+    fn reduce_matches_cpu_sum() {
+        let mut mach = TcuMachine::model(16, 5);
+        for n in [0usize, 1, 3, 4, 5, 16, 17, 64, 1000] {
+            let xs: Vec<i64> = (0..n as i64).map(|i| (i * 7 % 23) - 11).collect();
+            let want: i64 = xs.iter().sum();
+            assert_eq!(reduce(&mut mach, &xs), want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn prefix_sum_matches_cpu_scan() {
+        let mut mach = TcuMachine::model(16, 5);
+        for n in [0usize, 1, 4, 5, 16, 17, 63, 64, 65, 500] {
+            let xs: Vec<i64> = (0..n as i64).map(|i| (i * 13 % 17) - 8).collect();
+            let mut want = Vec::new();
+            let mut acc = 0i64;
+            for &x in &xs {
+                acc += x;
+                want.push(acc);
+            }
+            assert_eq!(prefix_sum(&mut mach, &xs), want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn scan_is_exact_over_fp() {
+        let mut mach = TcuMachine::model(64, 0);
+        let xs: Vec<Fp61> = (0..300).map(|i| Fp61::new(i * 0x9e37_79b9)).collect();
+        let got = prefix_sum(&mut mach, &xs);
+        let mut acc = Fp61::ZERO;
+        for (i, &x) in xs.iter().enumerate() {
+            acc = acc.add(x);
+            assert_eq!(got[i], acc, "position {i}");
+        }
+    }
+
+    #[test]
+    fn latency_is_paid_per_level_not_per_element() {
+        // n = m^2 elements: level 1 scans n/√m rows, level 2 scans
+        // n/m ≤ √m... tensor calls = O(log_m n), not O(n/m).
+        let (n, m, l) = (65536usize, 256usize, 1_000_000u64);
+        let xs = vec![1i64; n];
+        let mut mach = TcuMachine::model(m, l);
+        let out = prefix_sum(&mut mach, &xs);
+        assert_eq!(out[n - 1], n as i64);
+        assert!(mach.stats().tensor_calls <= 3, "calls = {}", mach.stats().tensor_calls);
+        // Stream term is Θ(n): time ≈ n·(1 + 1/√m·√m) + levels·ℓ.
+        assert!(mach.time() < 6 * n as u64 + 4 * l);
+    }
+
+    #[test]
+    fn reduce_on_weak_machine_still_correct() {
+        let mut weak = TcuMachine::weak(16, 3);
+        let xs: Vec<i64> = (0..100).collect();
+        assert_eq!(reduce(&mut weak, &xs), 4950);
+    }
+}

@@ -1,0 +1,335 @@
+//! Output-sensitive sparse matrix multiplication on the TCU — §4.1,
+//! Theorem 3 (after Jacob & Stöckel).
+//!
+//! The balanced-output case: compress the rows of `A` and the columns of
+//! `B` down to the sets that can actually contribute to `C = A·B` —
+//! non-empty rows of `A` (≈ `√Z` of them in balanced instances) and
+//! non-empty columns of `B` — re-index ("a compression algorithm able to
+//! build a re-ordering of the matrix A", §4.1), run ONE dense rectangular
+//! product `Â·B̂` of shape `√Z × √n × √Z` through the Strassen-like TCU
+//! kernel of Theorem 1, and scatter the non-zeros back. Time
+//! `O(√(n/Z)·(Z/m)^{ω₀}·(m + ℓ) + I)`.
+//!
+//! **Scope note (documented substitution).** Jacob & Stöckel hash rows
+//! into `Θ(√Z)` buckets and recover collisions with multiple rounds; this
+//! reproduction uses the *deterministic rank compression* that is exact
+//! whenever the non-empty rows of `A` (resp. columns of `B`) number
+//! `O(√Z)` — which is precisely the balanced-output regime Theorem 3
+//! addresses, and what [`crate::workloads::random_sparse_pair`] generates.
+//! Inputs outside that regime are still multiplied correctly; they simply
+//! degrade toward the dense bound (the compressed dimensions grow).
+
+use tcu_core::{TcuMachine, TensorUnit};
+use tcu_linalg::{Matrix, Scalar};
+
+/// Compressed sparse row matrix over a square `dim × dim` index space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix<T> {
+    dim: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Build from a dense matrix, dropping exact zeros.
+    ///
+    /// # Panics
+    /// Panics unless `dense` is square.
+    #[must_use]
+    pub fn from_dense(dense: &Matrix<T>) -> Self {
+        assert!(dense.is_square(), "CSR substrate models square operands");
+        let dim = dense.rows();
+        let mut row_ptr = Vec::with_capacity(dim + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for i in 0..dim {
+            for j in 0..dim {
+                let v = dense[(i, j)];
+                if v != T::ZERO {
+                    col_idx.push(j);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self { dim, row_ptr, col_idx, vals }
+    }
+
+    /// Build from (row, col, value) triplets (later duplicates overwrite
+    /// earlier ones).
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn from_triplets(dim: usize, triplets: &[(usize, usize, T)]) -> Self {
+        let mut dense = Matrix::<T>::zeros(dim, dim);
+        for &(i, j, v) in triplets {
+            assert!(i < dim && j < dim, "triplet out of range");
+            dense[(i, j)] = v;
+        }
+        Self::from_dense(&dense)
+    }
+
+    /// Densify.
+    #[must_use]
+    pub fn to_dense(&self) -> Matrix<T> {
+        let mut out = Matrix::<T>::zeros(self.dim, self.dim);
+        for i in 0..self.dim {
+            for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                out[(i, self.col_idx[p])] = self.vals[p];
+            }
+        }
+        out
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Iterate row `i` as `(col, value)` pairs.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        (self.row_ptr[i]..self.row_ptr[i + 1]).map(move |p| (self.col_idx[p], self.vals[p]))
+    }
+
+    /// Number of entries with `|value| > tol` (for `f64` matrices coming
+    /// out of Strassen-based paths, where exact zeros acquire epsilon
+    /// residues from the extra additions/subtractions).
+    #[must_use]
+    pub fn nnz_above(&self, tol: f64) -> usize
+    where
+        T: Into<f64> + Copy,
+    {
+        self.vals.iter().filter(|&&v| Into::<f64>::into(v).abs() > tol).count()
+    }
+
+    /// Indices of rows holding at least one non-zero.
+    #[must_use]
+    pub fn nonempty_rows(&self) -> Vec<usize> {
+        (0..self.dim).filter(|&i| self.row_ptr[i] < self.row_ptr[i + 1]).collect()
+    }
+
+    /// Indices of columns holding at least one non-zero.
+    #[must_use]
+    pub fn nonempty_cols(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.dim];
+        for &c in &self.col_idx {
+            seen[c] = true;
+        }
+        (0..self.dim).filter(|&j| seen[j]).collect()
+    }
+}
+
+/// Theorem 3: sparse × sparse through compression plus one dense
+/// rectangular TCU product. Returns the product in CSR form.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn multiply_tcu<T: Scalar, U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+) -> CsrMatrix<T> {
+    assert_eq!(a.dim, b.dim, "dimension mismatch");
+    let d = a.dim;
+    let input_nnz = (a.nnz() + b.nnz()) as u64;
+
+    // Scan for the compression maps: O(I).
+    mach.charge(input_nnz);
+    let rows = a.nonempty_rows();
+    let cols = b.nonempty_cols();
+    let (ra, cb) = (rows.len(), cols.len());
+    if ra == 0 || cb == 0 {
+        return CsrMatrix::from_triplets(d, &[]);
+    }
+
+    // Scatter into the compressed dense operands: Â (ra × d) keeps only
+    // contributing rows; B̂ (d × cb) only contributing columns. O(I).
+    mach.charge(input_nnz);
+    let mut a_hat = Matrix::<T>::zeros(ra, d);
+    for (ci, &i) in rows.iter().enumerate() {
+        for (j, v) in a.row_iter(i) {
+            a_hat[(ci, j)] = v;
+        }
+    }
+    let col_rank: std::collections::HashMap<usize, usize> =
+        cols.iter().enumerate().map(|(r, &c)| (c, r)).collect();
+    let mut b_hat = Matrix::<T>::zeros(d, cb);
+    for i in 0..d {
+        for (j, v) in b.row_iter(i) {
+            if let Some(&cj) = col_rank.get(&j) {
+                b_hat[(i, cj)] = v;
+            }
+        }
+    }
+
+    // Dense √Z × √n × √Z product through the Strassen-like kernel: split
+    // the inner dimension into square chunks of the (power-of-two padded)
+    // compressed size, Strassen each, and accumulate.
+    let zdim = ra.max(cb).next_power_of_two();
+    let chunks = d.div_ceil(zdim);
+    let mut acc = Matrix::<T>::zeros(zdim, zdim);
+    for c in 0..chunks {
+        let w = zdim.min(d - c * zdim);
+        let a_blk = a_hat.block(0, c * zdim, ra, w).pad_to(zdim, zdim);
+        let b_blk = b_hat.block(c * zdim, 0, w, cb).pad_to(zdim, zdim);
+        let p = crate::strassen::multiply_strassen(mach, &a_blk, &b_blk);
+        mach.charge((zdim * zdim) as u64);
+        acc.add_assign(&p);
+    }
+
+    // Scatter non-zeros back through the rank maps: O(ra·cb) = O(Z).
+    mach.charge((ra * cb) as u64);
+    let mut triplets = Vec::new();
+    for (ci, &i) in rows.iter().enumerate() {
+        for (cj, &j) in cols.iter().enumerate() {
+            let v = acc[(ci, cj)];
+            if v != T::ZERO {
+                triplets.push((i, j, v));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(d, &triplets)
+}
+
+/// Host row-wise SpGEMM — oracle and the `O(flops)` RAM baseline.
+/// Returns the product and the number of multiply-adds performed.
+#[must_use]
+pub fn multiply_host<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> (CsrMatrix<T>, u64) {
+    assert_eq!(a.dim, b.dim, "dimension mismatch");
+    let d = a.dim;
+    let mut flops = 0u64;
+    let mut triplets = Vec::new();
+    let mut acc = vec![T::ZERO; d];
+    let mut touched: Vec<usize> = Vec::new();
+    for i in 0..d {
+        for (k, av) in a.row_iter(i) {
+            for (j, bv) in b.row_iter(k) {
+                if acc[j] == T::ZERO {
+                    touched.push(j);
+                }
+                acc[j] = acc[j].add(av.mul(bv));
+                flops += 1;
+            }
+        }
+        for &j in &touched {
+            if acc[j] != T::ZERO {
+                triplets.push((i, j, acc[j]));
+            }
+            acc[j] = T::ZERO;
+        }
+        touched.clear();
+    }
+    (CsrMatrix::from_triplets(d, &triplets), flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::random_sparse_pair;
+    use rand::{rngs::StdRng, SeedableRng};
+    use tcu_core::TcuMachine;
+    use tcu_linalg::ops::{matmul_naive, max_abs_diff};
+
+    #[test]
+    fn csr_roundtrip() {
+        let dense = Matrix::from_rows(&[
+            vec![0.0f64, 1.5, 0.0],
+            vec![0.0, 0.0, 0.0],
+            vec![2.0, 0.0, -3.0],
+        ]);
+        let csr = CsrMatrix::from_dense(&dense);
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.to_dense(), dense);
+        assert_eq!(csr.nonempty_rows(), vec![0, 2]);
+        assert_eq!(csr.nonempty_cols(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn triplets_and_row_iter() {
+        let csr = CsrMatrix::from_triplets(4, &[(1, 2, 5i64), (3, 0, -1), (1, 0, 2)]);
+        assert_eq!(csr.nnz(), 3);
+        let row1: Vec<_> = csr.row_iter(1).collect();
+        assert_eq!(row1, vec![(0, 2), (2, 5)]);
+    }
+
+    #[test]
+    fn tcu_matches_host_and_dense_oracle() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (d, ra, cb, per) in
+            [(16usize, 3usize, 3usize, 4usize), (32, 4, 6, 5), (64, 8, 8, 10), (32, 1, 1, 1)]
+        {
+            let (da, db) = random_sparse_pair(d, ra, cb, per, &mut rng);
+            let a = CsrMatrix::from_dense(&da);
+            let b = CsrMatrix::from_dense(&db);
+            let mut mach = TcuMachine::model(16, 11);
+            let got = multiply_tcu(&mut mach, &a, &b).to_dense();
+            let (host, _) = multiply_host(&a, &b);
+            assert!(max_abs_diff(&got, &host.to_dense()) < 1e-9, "host mismatch d={d}");
+            assert!(max_abs_diff(&got, &matmul_naive(&da, &db)) < 1e-9, "dense mismatch d={d}");
+        }
+    }
+
+    #[test]
+    fn empty_operands_short_circuit() {
+        let zero = CsrMatrix::<f64>::from_triplets(8, &[]);
+        let some = CsrMatrix::from_triplets(8, &[(0, 0, 1.0)]);
+        let mut mach = TcuMachine::model(16, 5);
+        assert_eq!(multiply_tcu(&mut mach, &zero, &some).nnz(), 0);
+        assert_eq!(multiply_tcu(&mut mach, &some, &zero).nnz(), 0);
+        assert_eq!(mach.stats().tensor_calls, 0, "no tensor work for empty products");
+    }
+
+    #[test]
+    fn integer_exactness() {
+        let a = CsrMatrix::from_triplets(8, &[(0, 3, 2i64), (5, 1, -4), (5, 3, 7)]);
+        let b = CsrMatrix::from_triplets(8, &[(3, 6, 3), (1, 6, 5)]);
+        let mut mach = TcuMachine::model(4, 0);
+        let c = multiply_tcu(&mut mach, &a, &b);
+        // c[0,6] = 2·3 = 6; c[5,6] = −4·5 + 7·3 = 1.
+        assert_eq!(c.to_dense()[(0, 6)], 6);
+        assert_eq!(c.to_dense()[(5, 6)], 1);
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn time_scales_with_output_not_input_dimension() {
+        // Same nnz structure embedded in a 4× larger index space: the
+        // compressed product grows only with the inner-dimension scan,
+        // not with d² — the point of output sensitivity.
+        let mut rng = StdRng::seed_from_u64(2);
+        let (small_d, big_d) = (32usize, 128usize);
+        let (da, db) = random_sparse_pair(small_d, 4, 4, 6, &mut rng);
+        let (biga, bigb) = random_sparse_pair(big_d, 4, 4, 6, &mut rng);
+
+        let mut mach_small = TcuMachine::model(16, 10);
+        let _ = multiply_tcu(
+            &mut mach_small,
+            &CsrMatrix::from_dense(&da),
+            &CsrMatrix::from_dense(&db),
+        );
+        let mut mach_big = TcuMachine::model(16, 10);
+        let _ = multiply_tcu(
+            &mut mach_big,
+            &CsrMatrix::from_dense(&biga),
+            &CsrMatrix::from_dense(&bigb),
+        );
+        // 4× the inner dimension costs at most ~4× the time (linear in d,
+        // not quadratic): allow generous slack.
+        assert!(mach_big.time() < mach_small.time() * 8);
+
+        // And a dense d × d product at the bigger size would cost far more.
+        let dense_cost = crate::dense::multiply_time(big_d as u64, 4, 10);
+        assert!(mach_big.time() < dense_cost / 2, "{} vs {}", mach_big.time(), dense_cost);
+    }
+}

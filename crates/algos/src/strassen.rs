@@ -1,0 +1,333 @@
+//! Strassen-like multiplication on the TCU — §4.1, Theorem 1.
+//!
+//! A Strassen-like algorithm with base-case parameters `(n₀, p₀)` runs the
+//! recursion until a subproblem *fits the tensor unit* (`n ≤ m`, i.e.
+//! dimension `≤ √m`), where the product costs one `O(m + ℓ)` invocation.
+//! Theorem 1: total time `O((n/m)^{ω₀} (m + ℓ))` with `ω₀ = log_{n₀} p₀`.
+//!
+//! Two instances are provided, matching the paper's own discussion:
+//!
+//! * [`multiply_recursive`] — the standard eight-product recursion
+//!   (`n₀ = 4, p₀ = 8`, `ω₀ = 3/2`), giving
+//!   `O(n^{3/2}/m^{1/2} + (n/m)^{3/2} ℓ)`;
+//! * [`multiply_strassen`] — Strassen's seven-product recursion
+//!   (`n₀ = 4, p₀ = 7`, `ω₀ = log₄ 7 ≈ 1.4037`), giving
+//!   `O(n^{1.4037}/m^{0.4037} + (n/m)^{1.4037} ℓ)`.
+//!
+//! The recursion threshold is exposed for the base-case ablation of
+//! experiment E1 (the paper's choice `n ≤ m` is the sweet spot: stopping
+//! earlier wastes the unit on sub-footprint tiles, stopping later wastes
+//! CPU additions on products the unit could absorb).
+
+use tcu_core::{TcuMachine, TensorUnit};
+use tcu_linalg::{Matrix, Scalar};
+
+/// Standard recursive multiplication (8 products per level), tensor-unit
+/// base case at dimension `≤ √m`.
+///
+/// # Panics
+/// Panics unless operands are square, of equal power-of-two dimension.
+#[must_use]
+pub fn multiply_recursive<T: Scalar, U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
+    let base = mach.sqrt_m();
+    multiply_recursive_with_base(mach, a, b, base)
+}
+
+/// [`multiply_recursive`] with an explicit base-case dimension (ablation
+/// hook; `base_dim ≥ √m` stops early and finishes each base product with
+/// the blocked Theorem 2 routine, `base_dim ≤ √m` behaves like `√m`).
+///
+/// # Panics
+/// Panics unless operands are square, of equal power-of-two dimension.
+#[must_use]
+pub fn multiply_recursive_with_base<T: Scalar, U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    base_dim: usize,
+) -> Matrix<T> {
+    check_square_pow2(a, b);
+    rec_standard(mach, a, b, base_dim.max(1))
+}
+
+/// Strassen multiplication (7 products per level), tensor-unit base case
+/// at dimension `≤ √m` (Theorem 1 with `p₀ = 7`).
+///
+/// # Panics
+/// Panics unless operands are square, of equal power-of-two dimension.
+#[must_use]
+pub fn multiply_strassen<T: Scalar, U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
+    let base = mach.sqrt_m();
+    multiply_strassen_with_base(mach, a, b, base)
+}
+
+/// [`multiply_strassen`] with an explicit base-case dimension.
+///
+/// # Panics
+/// Panics unless operands are square, of equal power-of-two dimension.
+#[must_use]
+pub fn multiply_strassen_with_base<T: Scalar, U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    base_dim: usize,
+) -> Matrix<T> {
+    check_square_pow2(a, b);
+    rec_strassen(mach, a, b, base_dim.max(1))
+}
+
+fn check_square_pow2<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) {
+    let d = a.rows();
+    assert!(a.is_square() && b.is_square() && b.rows() == d, "operands must be d×d");
+    assert!(d.is_power_of_two(), "dimension must be a power of two");
+}
+
+/// Base product for a tile that fits the unit (dimension ≤ √m): one
+/// (padded) invocation, cost `m + ℓ`.
+fn base_mul<T: Scalar, U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
+    mach.tensor_mul_padded(a, b)
+}
+
+/// Base product for an early-stopped recursion (tile still larger than
+/// √m): the blocked Theorem 2 routine.
+fn base_or_blocked<T: Scalar, U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
+    if a.rows() <= mach.sqrt_m() {
+        base_mul(mach, a, b)
+    } else {
+        crate::dense::multiply(mach, a, b)
+    }
+}
+
+fn quadrants<T: Scalar>(x: &Matrix<T>) -> [Matrix<T>; 4] {
+    let h = x.rows() / 2;
+    [x.block(0, 0, h, h), x.block(0, h, h, h), x.block(h, 0, h, h), x.block(h, h, h, h)]
+}
+
+fn assemble<T: Scalar>(c11: &Matrix<T>, c12: &Matrix<T>, c21: &Matrix<T>, c22: &Matrix<T>) -> Matrix<T> {
+    let h = c11.rows();
+    let mut c = Matrix::<T>::zeros(2 * h, 2 * h);
+    c.set_block(0, 0, c11);
+    c.set_block(0, h, c12);
+    c.set_block(h, 0, c21);
+    c.set_block(h, h, c22);
+    c
+}
+
+fn rec_standard<T: Scalar, U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    base_dim: usize,
+) -> Matrix<T> {
+    let d = a.rows();
+    if d <= base_dim {
+        return base_or_blocked(mach, a, b);
+    }
+    let h = d / 2;
+    let [a11, a12, a21, a22] = quadrants(a);
+    let [b11, b12, b21, b22] = quadrants(b);
+
+    // Eight recursive products, four Θ(h²) combining additions.
+    let p1 = rec_standard(mach, &a11, &b11, base_dim);
+    let p2 = rec_standard(mach, &a12, &b21, base_dim);
+    let p3 = rec_standard(mach, &a11, &b12, base_dim);
+    let p4 = rec_standard(mach, &a12, &b22, base_dim);
+    let p5 = rec_standard(mach, &a21, &b11, base_dim);
+    let p6 = rec_standard(mach, &a22, &b21, base_dim);
+    let p7 = rec_standard(mach, &a21, &b12, base_dim);
+    let p8 = rec_standard(mach, &a22, &b22, base_dim);
+    mach.charge(4 * (h * h) as u64);
+    assemble(&p1.add(&p2), &p3.add(&p4), &p5.add(&p6), &p7.add(&p8))
+}
+
+fn rec_strassen<T: Scalar, U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    base_dim: usize,
+) -> Matrix<T> {
+    let d = a.rows();
+    if d <= base_dim {
+        return base_or_blocked(mach, a, b);
+    }
+    let h = d / 2;
+    let [a11, a12, a21, a22] = quadrants(a);
+    let [b11, b12, b21, b22] = quadrants(b);
+
+    // Ten pre-additions.
+    mach.charge(10 * (h * h) as u64);
+    let s1 = a11.add(&a22);
+    let s2 = b11.add(&b22);
+    let s3 = a21.add(&a22);
+    let s4 = b12.sub(&b22);
+    let s5 = b21.sub(&b11);
+    let s6 = a11.add(&a12);
+    let s7 = a21.sub(&a11);
+    let s8 = b11.add(&b12);
+    let s9 = a12.sub(&a22);
+    let s10 = b21.add(&b22);
+
+    // Seven recursive products.
+    let m1 = rec_strassen(mach, &s1, &s2, base_dim);
+    let m2 = rec_strassen(mach, &s3, &b11, base_dim);
+    let m3 = rec_strassen(mach, &a11, &s4, base_dim);
+    let m4 = rec_strassen(mach, &a22, &s5, base_dim);
+    let m5 = rec_strassen(mach, &s6, &b22, base_dim);
+    let m6 = rec_strassen(mach, &s7, &s8, base_dim);
+    let m7 = rec_strassen(mach, &s9, &s10, base_dim);
+
+    // Eight post-additions.
+    mach.charge(8 * (h * h) as u64);
+    let c11 = m1.add(&m4).sub(&m5).add(&m7);
+    let c12 = m3.add(&m5);
+    let c21 = m2.add(&m4);
+    let c22 = m1.sub(&m2).add(&m3).add(&m6);
+    assemble(&c11, &c12, &c21, &c22)
+}
+
+/// Exact simulated time of [`multiply_recursive`] on a model machine:
+/// mirrors the recursion's charges (`8 T(d/2) + 4(d/2)²`, base `m + ℓ`).
+#[must_use]
+pub fn recursive_time(d: u64, s: u64, l: u64) -> u64 {
+    if d <= s {
+        return s * s + l;
+    }
+    let h = d / 2;
+    8 * recursive_time(h, s, l) + 4 * h * h
+}
+
+/// Exact simulated time of [`multiply_strassen`] on a model machine
+/// (`7 T(d/2) + 18(d/2)²`, base `m + ℓ`).
+#[must_use]
+pub fn strassen_time(d: u64, s: u64, l: u64) -> u64 {
+    if d <= s {
+        return s * s + l;
+    }
+    let h = d / 2;
+    7 * strassen_time(h, s, l) + 18 * h * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcu_core::TcuMachine;
+    use tcu_linalg::ops::matmul_naive;
+
+    fn pseudo(r: usize, c: usize, seed: i64) -> Matrix<i64> {
+        Matrix::from_fn(r, c, |i, j| {
+            ((i as i64 * 67 + j as i64 * 29 + seed).wrapping_mul(16807) >> 6) % 41 - 20
+        })
+    }
+
+    #[test]
+    fn both_recursions_match_naive() {
+        let mut mach = TcuMachine::model(16, 13);
+        for d in [2usize, 4, 8, 16, 32] {
+            let a = pseudo(d, d, 1);
+            let b = pseudo(d, d, 2);
+            let want = matmul_naive(&a, &b);
+            assert_eq!(multiply_recursive(&mut mach, &a, &b), want, "standard d={d}");
+            assert_eq!(multiply_strassen(&mut mach, &a, &b), want, "strassen d={d}");
+        }
+    }
+
+    #[test]
+    fn costs_match_recurrence_formulas() {
+        let (m, l) = (16usize, 777u64);
+        for d in [4u64, 8, 16, 32, 64] {
+            let a = pseudo(d as usize, d as usize, 3);
+            let b = pseudo(d as usize, d as usize, 4);
+
+            let mut mach = TcuMachine::model(m, l);
+            let _ = multiply_recursive(&mut mach, &a, &b);
+            assert_eq!(mach.time(), recursive_time(d, 4, l), "standard d={d}");
+
+            let mut mach = TcuMachine::model(m, l);
+            let _ = multiply_strassen(&mut mach, &a, &b);
+            assert_eq!(mach.time(), strassen_time(d, 4, l), "strassen d={d}");
+        }
+    }
+
+    #[test]
+    fn base_call_counts_follow_p0() {
+        // (d/√m)^{log2 p0} base invocations at recursion depth log2(d/√m).
+        let m = 16usize;
+        let d = 64usize; // depth 4 over √m = 4
+        let a = pseudo(d, d, 5);
+        let b = pseudo(d, d, 6);
+
+        let mut mach = TcuMachine::model(m, 0);
+        let _ = multiply_recursive(&mut mach, &a, &b);
+        assert_eq!(mach.stats().tensor_calls, 8u64.pow(4));
+
+        let mut mach = TcuMachine::model(m, 0);
+        let _ = multiply_strassen(&mut mach, &a, &b);
+        assert_eq!(mach.stats().tensor_calls, 7u64.pow(4));
+    }
+
+    #[test]
+    fn strassen_wins_for_large_ratio() {
+        // Strassen's advantage is in the base-call count ((n/m)^{1.4} vs
+        // (n/m)^{1.5} invocations), so it wins once each invocation is
+        // expensive (large ℓ) — with ℓ = 0 its 18-adds-per-level constant
+        // pushes the crossover out to d/√m ≈ 2^10.
+        assert!(strassen_time(256, 4, 10_000) < recursive_time(256, 4, 10_000));
+        assert!(strassen_time(4096, 4, 0) < recursive_time(4096, 4, 0));
+        // Below the crossover the standard recursion is cheaper: the
+        // latency-free, small-ratio regime.
+        assert!(strassen_time(64, 4, 0) > recursive_time(64, 4, 0));
+    }
+
+    #[test]
+    fn early_stop_ablation_is_correct_and_costlier_in_latency() {
+        let (m, l) = (16usize, 0u64);
+        let d = 32usize;
+        let a = pseudo(d, d, 7);
+        let b = pseudo(d, d, 8);
+        let want = matmul_naive(&a, &b);
+
+        // Stop at 2·√m and finish blocks with Theorem 2: still correct.
+        let mut mach = TcuMachine::model(m, l);
+        assert_eq!(multiply_strassen_with_base(&mut mach, &a, &b, 8), want);
+
+        // Stop below √m: recursion continues past the footprint and pays
+        // full-footprint charges for quarter-size tiles — strictly worse.
+        let mut fine = TcuMachine::model(m, l);
+        let _ = multiply_strassen_with_base(&mut fine, &a, &b, 2);
+        let mut canonical = TcuMachine::model(m, l);
+        let _ = multiply_strassen(&mut canonical, &a, &b);
+        assert!(fine.time() > canonical.time());
+    }
+
+    #[test]
+    fn works_on_weak_machine() {
+        let mut weak = TcuMachine::weak(16, 9);
+        let a = pseudo(16, 16, 9);
+        let b = pseudo(16, 16, 10);
+        assert_eq!(multiply_strassen(&mut weak, &a, &b), matmul_naive(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut mach = TcuMachine::model(16, 0);
+        let a = pseudo(12, 12, 11);
+        let _ = multiply_strassen(&mut mach, &a, &a.clone());
+    }
+}

@@ -1,0 +1,200 @@
+//! Criterion wall-clock benchmarks of the simulator itself — one group
+//! per experiment family, so regressions in the simulation substrate
+//! (not the modelled costs) are visible. Simulated time is deterministic;
+//! these measure how fast the reproduction *executes* those simulations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use tcu_algos::{apsd, closure, dense, fft, gauss, intmul, poly, stencil, strassen, workloads};
+use tcu_core::TcuMachine;
+use tcu_linalg::decomp::{augmented_from, diag_dominant};
+use tcu_linalg::{Fp61, Matrix};
+use tcu_systolic::SystolicArray;
+
+fn bench_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_dense_multiply");
+    for d in [64usize, 128, 256] {
+        let a = Matrix::from_fn(d, d, |i, j| ((i + 2 * j) % 17) as i64);
+        let b = Matrix::from_fn(d, d, |i, j| ((3 * i + j) % 13) as i64);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |bench, _| {
+            bench.iter(|| {
+                let mut mach = TcuMachine::model(256, 1000);
+                dense::multiply(&mut mach, &a, &b)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_strassen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_strassen_multiply");
+    for d in [64usize, 128, 256] {
+        let a = Matrix::from_fn(d, d, |i, j| ((i * 5 + j) % 11) as i64);
+        let b = Matrix::from_fn(d, d, |i, j| ((i + 7 * j) % 9) as i64);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |bench, _| {
+            bench.iter(|| {
+                let mut mach = TcuMachine::model(256, 1000);
+                strassen::multiply_strassen(&mut mach, &a, &b)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_systolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f1_systolic_array");
+    for s in [8usize, 16, 32] {
+        let a = Matrix::from_fn(4 * s, s, |i, j| (i + j) as i64);
+        let b = Matrix::from_fn(s, s, |i, j| (i * 2 + j) as i64);
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |bench, _| {
+            bench.iter(|| {
+                let mut arr = SystolicArray::new(s);
+                arr.multiply(&a, &b)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_gauss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_gauss_forward");
+    for d in [64usize, 128, 256] {
+        let a = diag_dominant(d - 1, 3);
+        let rhs: Vec<f64> = (0..d - 1).map(|i| (i % 3) as f64).collect();
+        let aug = augmented_from(&a, &rhs);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |bench, _| {
+            bench.iter(|| {
+                let mut mach = TcuMachine::model(64, 100);
+                let mut c = aug.clone();
+                gauss::ge_forward(&mut mach, &mut c);
+                c
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_transitive_closure");
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [64usize, 128] {
+        let adj = workloads::random_digraph(n, 0.05, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut mach = TcuMachine::model(256, 100);
+                let mut d = adj.clone();
+                closure::transitive_closure(&mut mach, &mut d);
+                d
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_apsd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_seidel_apsd");
+    let mut rng = StdRng::seed_from_u64(2);
+    for n in [32usize, 64] {
+        let adj = workloads::random_connected_graph(n, 0.1, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut mach = TcuMachine::model(64, 100);
+                apsd::seidel_apsd(&mut mach, &adj)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_dft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_dft");
+    let mut rng = StdRng::seed_from_u64(3);
+    for n in [1usize << 10, 1 << 12, 1 << 14] {
+        let x = workloads::random_vector_c64(n, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut mach = TcuMachine::model(256, 100);
+                fft::dft(&mut mach, &x)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_stencil");
+    let mut rng = StdRng::seed_from_u64(4);
+    let w = stencil::StencilWeights::heat(0.1, 0.1);
+    for (d, k) in [(64usize, 16usize), (128, 32)] {
+        let grid = workloads::random_grid(d, &mut rng);
+        g.bench_with_input(BenchmarkId::new("d_k", format!("{d}_{k}")), &d, |bench, _| {
+            bench.iter(|| {
+                let mut mach = TcuMachine::model(1024, 100);
+                stencil::run_tcu(&mut mach, &grid, &w, k)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_intmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_e10_intmul");
+    let mut rng = StdRng::seed_from_u64(5);
+    for limbs in [256usize, 1024] {
+        let a = intmul::BigNat::from_limbs(workloads::random_limbs(limbs, &mut rng));
+        let b = intmul::BigNat::from_limbs(workloads::random_limbs(limbs, &mut rng));
+        g.bench_with_input(BenchmarkId::new("schoolbook", limbs), &limbs, |bench, _| {
+            bench.iter(|| {
+                let mut mach = TcuMachine::model(256, 100);
+                intmul::mul_tcu_schoolbook(&mut mach, &a, &b)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("karatsuba", limbs), &limbs, |bench, _| {
+            bench.iter(|| {
+                let mut mach = TcuMachine::model(256, 100);
+                intmul::mul_tcu_karatsuba(&mut mach, &a, &b)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_poly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_poly_eval");
+    let mut rng = StdRng::seed_from_u64(6);
+    for n in [1usize << 12, 1 << 14] {
+        let coeffs: Vec<Fp61> = (0..n).map(|i| Fp61::new(i as u64 * 2654435761)).collect();
+        let points = workloads::random_matrix_fp(1, 128, &mut rng).as_slice().to_vec();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut mach = TcuMachine::model(256, 100);
+                poly::batch_eval(&mut mach, &coeffs, &points)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group!(
+    name = benches;
+    config = configured();
+    targets =
+    bench_dense,
+    bench_strassen,
+    bench_systolic,
+    bench_gauss,
+    bench_closure,
+    bench_apsd,
+    bench_dft,
+    bench_stencil,
+    bench_intmul,
+    bench_poly
+);
+criterion_main!(benches);

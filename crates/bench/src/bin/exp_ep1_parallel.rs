@@ -1,0 +1,5 @@
+//! Regenerates the ep1_parallel experiment table (see DESIGN.md's index).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    tcu_bench::experiments::ep1_parallel::run(quick);
+}

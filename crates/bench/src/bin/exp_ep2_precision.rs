@@ -1,0 +1,5 @@
+//! Regenerates the ep2_precision experiment table (see DESIGN.md's index).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    tcu_bench::experiments::ep2_precision::run(quick);
+}

@@ -1,0 +1,6 @@
+//! Runs every experiment in DESIGN.md's index, in order. Pass --quick
+//! for reduced sweeps. `EXPERIMENTS.md` is a snapshot of this output.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    tcu_bench::experiments::run_all(quick);
+}

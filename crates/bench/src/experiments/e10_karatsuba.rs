@@ -1,0 +1,71 @@
+//! E10 — Theorem 10: TCU-Karatsuba `O((n/(κ√m))^{log₂3}·(base))` versus
+//! the Theorem 9 schoolbook, with the measured crossover and the
+//! base-case-threshold ablation. A real base invocation costs `Θ(m + ℓ)`
+//! — not the `√m + ℓ/√m` the paper extrapolates — which pushes the
+//! crossover out and makes latency favour schoolbook streaming; both
+//! effects are visible below.
+
+use crate::{fmt_f, fmt_u64, Table};
+use rand::{rngs::StdRng, SeedableRng};
+use tcu_algos::intmul::{
+    mul_host, mul_tcu_karatsuba, mul_tcu_karatsuba_with_threshold, mul_tcu_schoolbook, BigNat,
+};
+use tcu_algos::workloads::random_limbs;
+use tcu_core::TcuMachine;
+
+pub fn run(quick: bool) {
+    let m = 256usize;
+    let s = 16usize;
+    let limb_counts: &[usize] = if quick { &[256, 1024] } else { &[256, 1024, 4096, 16384, 65536] };
+    let mut rng = StdRng::seed_from_u64(23);
+
+    for &l in &[0u64, 100_000] {
+        let mut t = Table::new(
+            &format!("E10: Karatsuba vs schoolbook on the TCU, m={m}, l={l}"),
+            &["limbs", "schoolbook", "karatsuba (tuned)", "karatsuba (paper th=sqrt_m)", "tuned/school"],
+        );
+        for &limbs in limb_counts {
+            let a = BigNat::from_limbs(random_limbs(limbs, &mut rng));
+            let b = BigNat::from_limbs(random_limbs(limbs, &mut rng));
+            let mut school = TcuMachine::model(m, l);
+            let want = mul_tcu_schoolbook(&mut school, &a, &b);
+            assert_eq!(want, mul_host(&a, &b));
+            let mut kara = TcuMachine::model(m, l);
+            let got = mul_tcu_karatsuba(&mut kara, &a, &b);
+            assert_eq!(got, want);
+            let mut kara_paper = TcuMachine::model(m, l);
+            let _ = mul_tcu_karatsuba_with_threshold(&mut kara_paper, &a, &b, s);
+            t.row(vec![
+                fmt_u64(limbs as u64),
+                fmt_u64(school.time()),
+                fmt_u64(kara.time()),
+                fmt_u64(kara_paper.time()),
+                fmt_f(kara.time() as f64 / school.time() as f64, 3),
+            ]);
+        }
+        t.print();
+    }
+    println!(
+        "E10: at l=0 the tuned Karatsuba crosses below schoolbook once (4/3)^(log2(n'/th)) outgrows\n     the base constant; at large l schoolbook wins outright (2^t·l/sqrt_m vs 3^t·l latency)."
+    );
+
+    // Threshold ablation at a fixed size.
+    let limbs = if quick { 1024 } else { 8192 };
+    let a = BigNat::from_limbs(random_limbs(limbs, &mut rng));
+    let b = BigNat::from_limbs(random_limbs(limbs, &mut rng));
+    let mut t2 = Table::new(
+        &format!("E10b: Karatsuba base-threshold ablation, limbs={limbs}, m={m}, l=0"),
+        &["threshold (limbs)", "time"],
+    );
+    let mut best = (0u64, u64::MAX);
+    for th in [s, 2 * s, 4 * s, 8 * s, 16 * s, 32 * s, 64 * s] {
+        let mut mach = TcuMachine::model(m, 0);
+        let _ = mul_tcu_karatsuba_with_threshold(&mut mach, &a, &b, th);
+        if mach.time() < best.1 {
+            best = (th as u64, mach.time());
+        }
+        t2.row(vec![fmt_u64(th as u64), fmt_u64(mach.time())]);
+    }
+    t2.print();
+    println!("E10b: best threshold = {} limbs (paper's sqrt_m = {s}).\n", best.0);
+}

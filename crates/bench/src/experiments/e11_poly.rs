@@ -1,0 +1,64 @@
+//! E11 — Theorem 11: batch polynomial evaluation in
+//! `O(p·n/√m + p·√m + (n/m)·ℓ)` versus Horner's `Θ(p·n)`.
+
+use crate::{fmt_f, fmt_u64, Table};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use tcu_algos::poly::{batch_eval, batch_eval_time, horner_host, horner_time};
+use tcu_core::TcuMachine;
+use tcu_linalg::Fp61;
+
+pub fn run(quick: bool) {
+    let (m, l) = (256usize, 5_000u64);
+    let s = 16u64;
+    let mut rng = StdRng::seed_from_u64(29);
+    let mut rand_fp = |n: usize| -> Vec<Fp61> { (0..n).map(|_| Fp61::new(rng.gen())).collect() };
+
+    let ns: &[usize] = if quick { &[1 << 10, 1 << 12] } else { &[1 << 10, 1 << 12, 1 << 14, 1 << 16] };
+    let p = if quick { 64 } else { 256 };
+
+    let mut t = Table::new(
+        &format!("E11: batch polynomial evaluation over F_p, p={p} points, m={m}, l={l}"),
+        &["degree n", "tcu time", "closed form", "horner 2pn", "speedup"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in ns {
+        let coeffs = rand_fp(n);
+        let points = rand_fp(p);
+        let mut mach = TcuMachine::model(m, l);
+        let got = batch_eval(&mut mach, &coeffs, &points);
+        assert_eq!(got, horner_host(&coeffs, &points), "n={n}");
+        let closed = batch_eval_time(n as u64, p as u64, s, l);
+        assert_eq!(mach.time(), closed);
+        xs.push(n as f64);
+        ys.push(mach.time() as f64);
+        t.row(vec![
+            fmt_u64(n as u64),
+            fmt_u64(mach.time()),
+            fmt_u64(closed),
+            fmt_u64(horner_time(n as u64, p as u64)),
+            fmt_f(horner_time(n as u64, p as u64) as f64 / mach.time() as f64, 2),
+        ]);
+    }
+    t.print();
+    let (slope, r2) = crate::fit_loglog(&xs, &ys);
+    println!(
+        "E11: fitted exponent on n = {:.3} (theory 1: the p·n/√m term), r² = {:.4}; speedup tends to √m = {s}.",
+        slope, r2
+    );
+
+    // Point-count sweep: the p·√m power-table term shows at small n.
+    let mut t2 = Table::new(
+        &format!("E11b: point sweep at degree n=4096, m={m}, l={l}"),
+        &["points p", "tcu time", "horner"],
+    );
+    for &pp in &[16usize, 64, 256, 1024] {
+        let coeffs = rand_fp(4096);
+        let points = rand_fp(pp);
+        let mut mach = TcuMachine::model(m, l);
+        let _ = batch_eval(&mut mach, &coeffs, &points);
+        t2.row(vec![fmt_u64(pp as u64), fmt_u64(mach.time()), fmt_u64(horner_time(4096, pp as u64))]);
+    }
+    t2.print();
+    println!();
+}

@@ -1,0 +1,82 @@
+//! E1 — Theorem 1: a Strassen-like algorithm with parameters `(n₀, p₀)`
+//! runs in `O((n/m)^{ω₀}(m + ℓ))` on the TCU. Standard recursion
+//! (`ω₀ = 3/2`) vs Strassen (`ω₀ = log₄7 ≈ 1.4037`): fitted exponents on
+//! the call counts, and the crossover (Strassen's base-call advantage vs
+//! its 4.5× addition constant).
+
+use crate::{fmt_f, fmt_u64, Table};
+use tcu_algos::strassen;
+use tcu_core::TcuMachine;
+use tcu_linalg::Matrix;
+
+fn input(d: usize, seed: i64) -> Matrix<i64> {
+    Matrix::from_fn(d, d, |i, j| ((i as i64 * 13 + j as i64 * 29 + seed) % 17) - 8)
+}
+
+pub fn run(quick: bool) {
+    let ds: &[usize] = if quick { &[32, 64, 128] } else { &[32, 64, 128, 256, 512] };
+    let m = 256usize;
+
+    for &l in &[0u64, 100_000] {
+        let mut t = Table::new(
+            &format!("E1: Strassen-like recursions, m={m}, l={l}"),
+            &["d", "standard", "strassen", "strassen/standard", "std calls", "str calls"],
+        );
+        let mut xs = Vec::new();
+        let mut std_calls = Vec::new();
+        let mut str_calls = Vec::new();
+        for &d in ds {
+            let a = input(d, 1);
+            let b = input(d, 2);
+            let mut mach_s = TcuMachine::model(m, l);
+            let _ = strassen::multiply_recursive(&mut mach_s, &a, &b);
+            let mut mach_t = TcuMachine::model(m, l);
+            let _ = strassen::multiply_strassen(&mut mach_t, &a, &b);
+            assert_eq!(mach_s.time(), strassen::recursive_time(d as u64, 16, l));
+            assert_eq!(mach_t.time(), strassen::strassen_time(d as u64, 16, l));
+            xs.push((d * d / m) as f64); // n/m
+            std_calls.push(mach_s.stats().tensor_calls as f64);
+            str_calls.push(mach_t.stats().tensor_calls as f64);
+            t.row(vec![
+                fmt_u64(d as u64),
+                fmt_u64(mach_s.time()),
+                fmt_u64(mach_t.time()),
+                fmt_f(mach_t.time() as f64 / mach_s.time() as f64, 3),
+                fmt_u64(mach_s.stats().tensor_calls),
+                fmt_u64(mach_t.stats().tensor_calls),
+            ]);
+        }
+        t.print();
+        let (se, _) = crate::fit_loglog(&xs, &std_calls);
+        let (te, _) = crate::fit_loglog(&xs, &str_calls);
+        println!(
+            "E1 fitted call-count exponents on n/m: standard {:.4} (theory 1.5), strassen {:.4} (theory log4 7 = {:.4})\n",
+            se,
+            te,
+            (7f64).ln() / (4f64).ln()
+        );
+    }
+
+    // Base-case ablation: stop at √m (paper), below it, and above it.
+    let d = if quick { 128 } else { 256 };
+    let a = input(d, 3);
+    let b = input(d, 4);
+    let mut t = Table::new(
+        &format!("E1b: base-case dimension ablation (Strassen, d={d}, m={m}, l=1000)"),
+        &["base dim", "time", "tensor calls"],
+    );
+    let mut best = (0u64, u64::MAX);
+    for base in [4usize, 8, 16, 32, 64] {
+        let mut mach = TcuMachine::model(m, 1000);
+        let _ = strassen::multiply_strassen_with_base(&mut mach, &a, &b, base);
+        if mach.time() < best.1 {
+            best = (base as u64, mach.time());
+        }
+        t.row(vec![fmt_u64(base as u64), fmt_u64(mach.time()), fmt_u64(mach.stats().tensor_calls)]);
+    }
+    t.print();
+    println!(
+        "E1b: best base dimension = {} (paper's rule stops at sqrt_m = 16; larger bases finish with the Theorem 2 kernel, which can shave latency).\n",
+        best.0
+    );
+}

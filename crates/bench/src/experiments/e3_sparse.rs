@@ -1,0 +1,82 @@
+//! E3 — Theorem 3: output-sensitive sparse multiplication in
+//! `O(√(n/Z)·(Z/m)^{ω₀}(m + ℓ) + I)`. Sweeps the output size `Z` (via
+//! the number of active rows/columns) at fixed dimension, and the input
+//! size `I` at fixed `Z`, and compares against the dense Theorem 2 cost.
+
+use crate::{fmt_f, fmt_u64, Table};
+use rand::{rngs::StdRng, SeedableRng};
+use tcu_algos::sparse::{multiply_host, multiply_tcu, CsrMatrix};
+use tcu_algos::workloads::random_sparse_pair;
+use tcu_core::TcuMachine;
+
+pub fn run(quick: bool) {
+    let (m, l) = (256usize, 5_000u64);
+    let d: usize = if quick { 128 } else { 512 };
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let mut t = Table::new(
+        &format!("E3: sparse multiply, d={d}, m={m}, l={l} — Z sweep (active rows/cols)"),
+        &["active", "Z (nnz C)", "I (nnz in)", "tcu time", "thm3 bound", "ratio", "dense time"],
+    );
+    let actives: &[usize] = if quick { &[4, 8, 16] } else { &[4, 8, 16, 32, 64, 128] };
+    let mut measured = Vec::new();
+    let mut bounds = Vec::new();
+    for &active in actives {
+        let (da, db) = random_sparse_pair(d, active, active, 8, &mut rng);
+        let a = CsrMatrix::from_dense(&da);
+        let b = CsrMatrix::from_dense(&db);
+        let (host, _) = multiply_host(&a, &b);
+        let z = host.nnz().max(1) as u64;
+        let i_nnz = (a.nnz() + b.nnz()) as u64;
+        let mut mach = TcuMachine::model(m, l);
+        let got = multiply_tcu(&mut mach, &a, &b);
+        // The Strassen path leaves epsilon residues on exact zeros, so
+        // compare support above a tolerance.
+        assert_eq!(
+            got.nnz_above(1e-9),
+            host.nnz_above(1e-9),
+            "output support must match the host SpGEMM"
+        );
+        // Theorem 3 with the standard recursion (ω₀ = 3/2):
+        // √(n/Z)·(Z/m)^{3/2}·(m + ℓ) + I, n = d².
+        let zf = z as f64;
+        let bound = ((d as f64) / zf.sqrt()) * (zf / m as f64).powf(1.5).max(1.0) * (m as u64 + l) as f64
+            + i_nnz as f64;
+        let dense_cost = tcu_algos::dense::multiply_time(d as u64, 16, l);
+        measured.push(mach.time() as f64);
+        bounds.push(bound);
+        t.row(vec![
+            fmt_u64(active as u64),
+            fmt_u64(z),
+            fmt_u64(i_nnz),
+            fmt_u64(mach.time()),
+            fmt_u64(bound as u64),
+            fmt_f(mach.time() as f64 / bound, 3),
+            fmt_u64(dense_cost),
+        ]);
+    }
+    t.print();
+    println!(
+        "E3: measured/bound geomean = {:.3}; sparse time stays orders below the dense cost until the output fills up.\n",
+        crate::geomean_ratio(&measured, &bounds)
+    );
+
+    // I sweep at fixed output support: the +I term.
+    let mut t2 = Table::new(
+        &format!("E3b: input-size sweep at fixed active=8, d={d} (the +I term)"),
+        &["nnz/line", "I", "tcu time"],
+    );
+    for &per in &[2usize, 8, 32, 128] {
+        let (da, db) = random_sparse_pair(d, 8, 8, per, &mut rng);
+        let a = CsrMatrix::from_dense(&da);
+        let b = CsrMatrix::from_dense(&db);
+        let mut mach = TcuMachine::model(m, l);
+        let _ = multiply_tcu(&mut mach, &a, &b);
+        t2.row(vec![
+            fmt_u64(per as u64),
+            fmt_u64((a.nnz() + b.nnz()) as u64),
+            fmt_u64(mach.time()),
+        ]);
+    }
+    t2.print();
+}

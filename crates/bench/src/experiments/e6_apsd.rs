@@ -1,0 +1,49 @@
+//! E6 — Theorem 6: Seidel's APSD in `O((n²/m)^{ω₀}(m + ℓ)·log n)`
+//! (standard-recursion instance: two Theorem 2 products per squaring
+//! level). Also reports the BFS-all-pairs CPU baseline.
+
+use crate::{fmt_f, fmt_u64, Table};
+use rand::{rngs::StdRng, SeedableRng};
+use tcu_algos::apsd;
+use tcu_algos::workloads::random_connected_graph;
+use tcu_core::TcuMachine;
+
+pub fn run(quick: bool) {
+    let (m, l) = (256usize, 5_000u64);
+    let ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128, 256] };
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let mut t = Table::new(
+        &format!("E6: Seidel APSD, m={m}, l={l} (sparse connected graphs)"),
+        &["n", "time", "levels", "per-level MM bound", "bfs baseline n^3", "time/(MM·levels)"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in ns {
+        let adj = random_connected_graph(n, 1.5 / n as f64, &mut rng);
+        let mut mach = TcuMachine::model(m, l);
+        let dist = apsd::seidel_apsd(&mut mach, &adj);
+        // Sanity: oracle agreement.
+        assert_eq!(dist, apsd::bfs_apsd_host(&adj), "n={n}");
+        // Each level costs two rect-multiplies ≈ 2·Theorem 2 time.
+        let mm = tcu_algos::dense::multiply_time(n as u64, 16, l);
+        let calls_per_level = 2 * ((n as u64).div_ceil(16)).pow(2);
+        let levels = mach.stats().tensor_calls / calls_per_level;
+        xs.push(n as f64);
+        ys.push(mach.time() as f64);
+        t.row(vec![
+            fmt_u64(n as u64),
+            fmt_u64(mach.time()),
+            fmt_u64(levels),
+            fmt_u64(2 * mm),
+            fmt_u64(apsd::bfs_apsd_time(n as u64)),
+            fmt_f(mach.time() as f64 / (2.0 * mm as f64 * levels.max(1) as f64), 3),
+        ]);
+    }
+    t.print();
+    let (slope, r2) = crate::fit_loglog(&xs, &ys);
+    println!(
+        "E6: fitted exponent on n = {:.3} (theory 3 + log factor), r² = {:.4}; time ≈ levels × two MM costs, as Theorem 6 predicts.\n",
+        slope, r2
+    );
+}

@@ -1,0 +1,82 @@
+//! E7 — Theorem 7: DFT in `O((n + ℓ)·log_m n)`. Size sweep with exponent
+//! fit, latency sweep showing ℓ is paid once per recursion level, and the
+//! comparison against the host radix-2 FFT (`Θ(n log₂ n)`) and the direct
+//! `Θ(n²)` definition.
+
+use crate::{fmt_f, fmt_u64, Table};
+use rand::{rngs::StdRng, SeedableRng};
+use tcu_algos::fft;
+use tcu_algos::workloads::random_vector_c64;
+use tcu_core::TcuMachine;
+
+pub fn run(quick: bool) {
+    let (m, l) = (256usize, 2_000u64);
+    let ns: &[usize] = if quick { &[1 << 10, 1 << 12] } else { &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18] };
+    let mut rng = StdRng::seed_from_u64(13);
+
+    let mut t = Table::new(
+        &format!("E7: DFT, m={m}, l={l}"),
+        &["n", "time", "(n+l)·log_m n", "ratio", "tensor calls", "host fft 5n·log2 n", "direct n^2"],
+    );
+    let mut measured = Vec::new();
+    let mut predicted = Vec::new();
+    for &n in ns {
+        let x = random_vector_c64(n, &mut rng);
+        let mut mach = TcuMachine::model(m, l);
+        let _ = fft::dft(&mut mach, &x);
+        let logm = (n as f64).ln() / (m as f64).ln();
+        let bound = (n as u64 + l) as f64 * logm.max(1.0);
+        measured.push(mach.time() as f64);
+        predicted.push(bound);
+        t.row(vec![
+            fmt_u64(n as u64),
+            fmt_u64(mach.time()),
+            fmt_u64(bound as u64),
+            fmt_f(mach.time() as f64 / bound, 3),
+            fmt_u64(mach.stats().tensor_calls),
+            fmt_u64(fft::fft_host_time(n as u64)),
+            fmt_u64((n as u64) * (n as u64)),
+        ]);
+    }
+    t.print();
+    println!(
+        "E7: measured/bound geomean = {:.3} (constant ⇒ the (n+l)·log_m n shape holds).",
+        crate::geomean_ratio(&measured, &predicted)
+    );
+
+    // Latency sweep: calls (and hence the ℓ share) grow with levels, not
+    // with subproblem count — the batching observation.
+    let n = if quick { 1 << 12 } else { 1 << 16 };
+    let mut t2 = Table::new(
+        &format!("E7b: latency sweep at n={n}, m={m}"),
+        &["l", "time", "tensor calls", "latency time", "latency share"],
+    );
+    for &l in &[0u64, 1_000, 100_000, 10_000_000] {
+        let x = random_vector_c64(n, &mut rng);
+        let mut mach = TcuMachine::model(m, l);
+        let _ = fft::dft(&mut mach, &x);
+        t2.row(vec![
+            fmt_u64(l),
+            fmt_u64(mach.time()),
+            fmt_u64(mach.stats().tensor_calls),
+            fmt_u64(mach.stats().tensor_latency_time),
+            fmt_f(mach.stats().tensor_latency_time as f64 / mach.time() as f64, 4),
+        ]);
+    }
+    t2.print();
+
+    // Base-case ablation: the paper's remark that stopping at n ≤ m (two
+    // tensor calls) is tighter than stopping at n ≤ √m.
+    let mut t3 = Table::new(
+        "E7c: m sweep at n=4096, l=2000 (deeper machines, fewer levels)",
+        &["m", "time", "tensor calls"],
+    );
+    for &mm in &[16usize, 64, 256, 1024, 4096] {
+        let x = random_vector_c64(4096, &mut rng);
+        let mut mach = TcuMachine::model(mm, 2000);
+        let _ = fft::dft(&mut mach, &x);
+        t3.row(vec![fmt_u64(mm as u64), fmt_u64(mach.time()), fmt_u64(mach.stats().tensor_calls)]);
+    }
+    t3.print();
+    println!();
+}

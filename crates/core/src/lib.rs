@@ -1,0 +1,58 @@
+//! # tcu-core — the (m, ℓ)-TCU computational model
+//!
+//! This crate implements the machine model of Chowdhury, Silvestri &
+//! Vella, *A Computational Model for Tensor Core Units* (SPAA 2020), §3:
+//! a standard RAM whose CPU contains a *tensor unit* that multiplies an
+//! `n × √m` matrix by a `√m × √m` matrix in time `O(n√m + ℓ)`, where
+//!
+//! * `m ≥ 1` is the hardware capacity (the unit natively multiplies
+//!   `√m × √m` matrices),
+//! * `ℓ ≥ 0` is the latency charged per invocation (systolic pipeline
+//!   fill, activation, operand encoding), and
+//! * `n ≥ √m` is chosen per call by the algorithm — the model's
+//!   *asymmetric* feature: a tall left operand is streamed through the
+//!   unit while the right operand (the "weights") stays resident.
+//!
+//! The simulator executes tensor instructions numerically (so algorithms
+//! can be checked for correctness) while metering *simulated time*, the
+//! quantity all the paper's theorems bound:
+//!
+//! * each scalar CPU operation costs 1 time unit ([`TcuMachine::charge`]),
+//! * each tensor invocation with an `n`-row left operand costs exactly
+//!   `n·√m + ℓ` under the default [`ModelTensorUnit`] policy.
+//!
+//! Two alternative policies reproduce the paper's variations: the *weak*
+//! model of §5 ([`WeakTensorUnit`], square `√m × √m` calls only — tall
+//! multiplications must be split, paying latency per tile), and the
+//! cycle-counting policy implemented in the `tcu-systolic` crate, which
+//! charges the exact step count of the §2.2 systolic array instead of the
+//! closed-form model cost.
+//!
+//! ## Accounting conventions
+//!
+//! The model says the tensor instruction's `O(n√m + ℓ)` charge covers
+//! loading/storing its operands, so the simulator does **not** separately
+//! charge the buffer copies that marshal blocks into tensor calls.
+//! Conversely, all genuine CPU arithmetic an algorithm performs (block
+//! sums, twiddle multiplications, pivot divisions, …) must be charged via
+//! [`TcuMachine::charge`]; the algorithms in `tcu-algos` do so at the
+//! granularity of the paper's pseudocode, and their unit tests pin the
+//! resulting closed-form totals exactly.
+
+pub mod cost;
+pub mod machine;
+pub mod parallel;
+pub mod tensor_unit;
+pub mod trace;
+
+pub use cost::Stats;
+pub use machine::TcuMachine;
+pub use parallel::ParallelTcuMachine;
+pub use tensor_unit::{ModelTensorUnit, TensorUnit, WeakTensorUnit};
+pub use trace::{TraceEvent, TraceLog};
+
+/// Convenience alias: the default machine (model-cost tensor unit).
+pub type ModelMachine = TcuMachine<ModelTensorUnit>;
+
+/// Convenience alias: the weak-model machine of §5 (square calls only).
+pub type WeakMachine = TcuMachine<WeakTensorUnit>;

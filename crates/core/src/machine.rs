@@ -1,0 +1,331 @@
+//! The simulated (m, ℓ)-TCU machine.
+//!
+//! [`TcuMachine`] couples a [`TensorUnit`] costing policy with the metering
+//! state ([`Stats`], optional [`TraceLog`]) and exposes the model's two
+//! primitive actions:
+//!
+//! * [`TcuMachine::charge`] — scalar CPU work, one time unit per operation;
+//! * [`TcuMachine::tensor_mul`] — the tensor instruction: `C = A·B` with
+//!   `A` of shape `n × √m` (`n ≥ √m`) and `B` of shape `√m × √m`.
+//!
+//! The machine is generic over the element type *per call*, not per
+//! machine: the model's words are κ-bit and opaque (§3), so the same
+//! machine instance may multiply `f64` matrices in one call and `i64`
+//! matrices in the next — exactly as the paper's algorithms do (reals for
+//! GE, integers for transitive closure, complex numbers for the DFT).
+
+use crate::cost::Stats;
+use crate::tensor_unit::{ModelTensorUnit, TensorUnit, WeakTensorUnit};
+use crate::trace::TraceLog;
+use tcu_linalg::ops::matmul_naive;
+use tcu_linalg::{Matrix, Scalar};
+
+/// A simulated RAM with an attached tensor unit, metering simulated time.
+#[derive(Clone, Debug)]
+pub struct TcuMachine<U: TensorUnit> {
+    unit: U,
+    stats: Stats,
+    trace: Option<TraceLog>,
+}
+
+impl TcuMachine<ModelTensorUnit> {
+    /// The standard (m, ℓ)-TCU: tall left operands stream natively.
+    ///
+    /// # Panics
+    /// Panics unless `m ≥ 1` is a perfect square.
+    #[must_use]
+    pub fn model(m: usize, latency: u64) -> Self {
+        Self::new(ModelTensorUnit::new(m, latency))
+    }
+}
+
+impl TcuMachine<WeakTensorUnit> {
+    /// The §5 weak TCU: only square `√m × √m` invocations.
+    ///
+    /// # Panics
+    /// Panics unless `m ≥ 1` is a perfect square.
+    #[must_use]
+    pub fn weak(m: usize, latency: u64) -> Self {
+        Self::new(WeakTensorUnit::new(m, latency))
+    }
+}
+
+impl<U: TensorUnit> TcuMachine<U> {
+    /// Wrap an arbitrary costing policy.
+    #[must_use]
+    pub fn new(unit: U) -> Self {
+        Self { unit, stats: Stats::default(), trace: None }
+    }
+
+    /// `√m` of the attached unit.
+    #[inline]
+    #[must_use]
+    pub fn sqrt_m(&self) -> usize {
+        self.unit.sqrt_m()
+    }
+
+    /// Hardware capacity `m`.
+    #[inline]
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.unit.m()
+    }
+
+    /// Per-invocation latency ℓ.
+    #[inline]
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.unit.latency()
+    }
+
+    /// The costing policy.
+    #[inline]
+    #[must_use]
+    pub fn unit(&self) -> &U {
+        &self.unit
+    }
+
+    /// Charge `ops` scalar CPU operations (1 time unit each).
+    #[inline]
+    pub fn charge(&mut self, ops: u64) {
+        self.stats.record_scalar(ops);
+        if let Some(t) = &mut self.trace {
+            t.push_scalar(ops);
+        }
+    }
+
+    /// Total simulated time so far.
+    #[inline]
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.stats.time()
+    }
+
+    /// Detailed counters.
+    #[inline]
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Zero all counters (and any in-progress trace).
+    pub fn reset(&mut self) {
+        self.stats = Stats::default();
+        if let Some(t) = &mut self.trace {
+            *t = TraceLog::new();
+        }
+    }
+
+    /// Start recording an execution trace (for the §5 external-memory
+    /// replay); any previous trace is discarded.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(TraceLog::new());
+    }
+
+    /// Stop recording and return the trace collected since
+    /// [`Self::enable_trace`].
+    pub fn take_trace(&mut self) -> TraceLog {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// The tensor instruction: `C = A·B` where `A` is `n × √m` with
+    /// `n ≥ √m` and `B` is `√m × √m` (§3). On a unit without native tall
+    /// support (the weak model), the left operand is split into `⌈n/√m⌉`
+    /// square tiles, one invocation each.
+    ///
+    /// The numeric result is the exact ring product; the time charged is
+    /// whatever the unit's policy dictates. Operand marshalling is covered
+    /// by the invocation charge and not billed separately.
+    ///
+    /// # Panics
+    /// Panics if shapes violate the model (`A.cols ≠ √m`, `B ≠ √m × √m`,
+    /// or `A.rows < √m`); use [`Self::tensor_mul_padded`] for undersized
+    /// operands.
+    #[must_use]
+    pub fn tensor_mul<T: Scalar>(&mut self, a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+        let s = self.sqrt_m();
+        assert_eq!(a.cols(), s, "left operand must have √m = {s} columns");
+        assert_eq!((b.rows(), b.cols()), (s, s), "right operand must be √m × √m");
+        assert!(a.rows() >= s, "model requires n ≥ √m rows (got {}); pad first", a.rows());
+        self.charge_tensor(a.rows());
+        matmul_naive(a, b)
+    }
+
+    /// Convenience wrapper for operands smaller than the unit's footprint:
+    /// zero-pads `A` (columns up to `√m`, rows up to `√m`) and `B` (up to
+    /// `√m × √m`, top-left aligned), issues the padded instruction, and
+    /// trims the result back to `A.rows × B.cols`. The charge is that of
+    /// the *padded* call — undersized work still pays for the full
+    /// hardware footprint, exactly why the paper's base cases stop at the
+    /// unit's size rather than below it.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree or exceed `√m`.
+    #[must_use]
+    pub fn tensor_mul_padded<T: Scalar>(&mut self, a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+        let s = self.sqrt_m();
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        assert!(a.cols() <= s, "inner dimension exceeds √m");
+        assert!(b.cols() <= s, "right operand width exceeds √m");
+        let n_effective = a.rows().max(s);
+        self.charge_tensor(n_effective);
+        matmul_naive(a, b)
+    }
+
+    /// Meter one logical tensor multiplication with an `n_rows`-row left
+    /// operand, splitting into square invocations when the unit lacks
+    /// native tall support.
+    fn charge_tensor(&mut self, n_rows: usize) {
+        let s = self.sqrt_m();
+        if self.unit.supports_tall() {
+            let cost = self.unit.invocation_cost(n_rows);
+            let lat = self.unit.invocation_latency(n_rows);
+            self.stats.record_tensor(n_rows as u64, cost, lat);
+            if let Some(t) = &mut self.trace {
+                t.push_tensor(n_rows as u64);
+            }
+        } else {
+            let tiles = n_rows.div_ceil(s);
+            for _ in 0..tiles {
+                let cost = self.unit.invocation_cost(s);
+                let lat = self.unit.invocation_latency(s);
+                self.stats.record_tensor(s as u64, cost, lat);
+                if let Some(t) = &mut self.trace {
+                    t.push_tensor(s as u64);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn iota(r: usize, c: usize) -> Matrix<i64> {
+        Matrix::from_fn(r, c, |i, j| (i * c + j + 1) as i64)
+    }
+
+    #[test]
+    fn square_call_costs_m_plus_latency() {
+        let mut mach = TcuMachine::model(16, 7);
+        let a = iota(4, 4);
+        let b = Matrix::<i64>::identity(4);
+        let c = mach.tensor_mul(&a, &b);
+        assert_eq!(c, a);
+        assert_eq!(mach.time(), 16 + 7);
+        assert_eq!(mach.stats().tensor_calls, 1);
+        assert_eq!(mach.stats().tensor_rows, 4);
+    }
+
+    #[test]
+    fn tall_call_streams_rows() {
+        let mut mach = TcuMachine::model(16, 100);
+        let a = iota(32, 4);
+        let b = iota(4, 4);
+        let c = mach.tensor_mul(&a, &b);
+        assert_eq!(c, matmul_naive(&a, &b));
+        // one invocation: 32·4 + 100
+        assert_eq!(mach.time(), 32 * 4 + 100);
+        assert_eq!(mach.stats().tensor_calls, 1);
+        assert_eq!(mach.stats().tensor_latency_time, 100);
+    }
+
+    #[test]
+    fn weak_machine_splits_tall_calls() {
+        let mut weak = TcuMachine::weak(16, 100);
+        let a = iota(32, 4);
+        let b = iota(4, 4);
+        let c = weak.tensor_mul(&a, &b);
+        assert_eq!(c, matmul_naive(&a, &b));
+        // 32/4 = 8 square invocations, each 16 + 100
+        assert_eq!(weak.stats().tensor_calls, 8);
+        assert_eq!(weak.time(), 8 * (16 + 100));
+    }
+
+    #[test]
+    fn weak_machine_rounds_up_ragged_tiles() {
+        let mut weak = TcuMachine::weak(16, 0);
+        let a = iota(10, 4); // 10 rows -> 3 tiles of 4
+        let b = iota(4, 4);
+        let c = weak.tensor_mul(&a, &b);
+        assert_eq!(c, matmul_naive(&a, &b));
+        assert_eq!(weak.stats().tensor_calls, 3);
+        assert_eq!(weak.time(), 3 * 16);
+    }
+
+    #[test]
+    fn padded_call_charges_full_footprint() {
+        let mut mach = TcuMachine::model(16, 9);
+        let a = iota(2, 3); // 2×3, under-sized in both dimensions
+        let b = iota(3, 2);
+        let c = mach.tensor_mul_padded(&a, &b);
+        assert_eq!(c, matmul_naive(&a, &b));
+        assert_eq!((c.rows(), c.cols()), (2, 2));
+        // charged as a full √m-row call: 4·4 + 9
+        assert_eq!(mach.time(), 16 + 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ √m")]
+    fn short_operand_rejected_without_padding() {
+        let mut mach = TcuMachine::model(16, 0);
+        let a = iota(2, 4);
+        let b = iota(4, 4);
+        let _ = mach.tensor_mul(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "√m = 4 columns")]
+    fn wrong_width_rejected() {
+        let mut mach = TcuMachine::model(16, 0);
+        let a = iota(4, 5);
+        let b = iota(5, 5);
+        let _ = mach.tensor_mul(&a, &b);
+    }
+
+    #[test]
+    fn charge_and_reset() {
+        let mut mach = TcuMachine::model(4, 0);
+        mach.charge(123);
+        assert_eq!(mach.time(), 123);
+        mach.reset();
+        assert_eq!(mach.time(), 0);
+        assert_eq!(mach.stats(), &Stats::default());
+    }
+
+    #[test]
+    fn trace_records_call_sequence() {
+        let mut mach = TcuMachine::model(16, 5);
+        mach.enable_trace();
+        mach.charge(10);
+        let a = iota(8, 4);
+        let b = iota(4, 4);
+        let _ = mach.tensor_mul(&a, &b);
+        mach.charge(3);
+        mach.charge(4);
+        let trace = mach.take_trace();
+        assert_eq!(
+            trace.events(),
+            &[
+                TraceEvent::Scalar { ops: 10 },
+                TraceEvent::Tensor { n_rows: 8 },
+                TraceEvent::Scalar { ops: 7 },
+            ]
+        );
+        // taking the trace stops recording
+        mach.charge(1);
+        assert!(mach.take_trace().is_empty());
+    }
+
+    #[test]
+    fn mixed_element_types_on_one_machine() {
+        let mut mach = TcuMachine::model(4, 0);
+        let af = Matrix::<f64>::identity(2);
+        let _ = mach.tensor_mul(&af, &af);
+        let ai = Matrix::<i64>::identity(2);
+        let _ = mach.tensor_mul(&ai, &ai);
+        assert_eq!(mach.stats().tensor_calls, 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! §6 extension: *parallel* tensor units.
+//!
+//! The paper's conclusion lists "hardware accelerators have parallel
+//! tensors … how can we include these features in the TCU model?" as an
+//! open question (boards like the Titan RTX carry hundreds of tensor
+//! cores, §3.1). This module provides the natural extension: a
+//! [`ParallelTcuMachine`] with `p` identical units. A *batch* of
+//! independent tensor invocations is scheduled greedily onto the
+//! least-loaded unit and the batch charges its **makespan**; scalar CPU
+//! work remains serial (the CPU is still one processor). With equal-size
+//! invocations the makespan is `⌈k/p⌉` times the per-call cost, so a
+//! `p`-unit machine accelerates exactly the tensor-bound portion of an
+//! algorithm — an Amdahl decomposition the EP1 experiment measures.
+
+use crate::cost::Stats;
+use crate::tensor_unit::TensorUnit;
+use tcu_linalg::ops::matmul_naive;
+use tcu_linalg::{Matrix, Scalar};
+
+/// A TCU machine with `p` identical tensor units.
+#[derive(Clone, Debug)]
+pub struct ParallelTcuMachine<U: TensorUnit> {
+    unit: U,
+    p: usize,
+    stats: Stats,
+    /// Simulated time spent in batch makespans (subset of
+    /// `stats.tensor_time`, which keeps the *work* for utilization
+    /// accounting).
+    makespan_time: u64,
+}
+
+impl<U: TensorUnit> ParallelTcuMachine<U> {
+    /// `p ≥ 1` units sharing one costing policy.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    #[must_use]
+    pub fn new(unit: U, p: usize) -> Self {
+        assert!(p >= 1, "need at least one unit");
+        Self { unit, p, stats: Stats::default(), makespan_time: 0 }
+    }
+
+    /// Number of tensor units.
+    #[inline]
+    #[must_use]
+    pub fn units(&self) -> usize {
+        self.p
+    }
+
+    /// `√m` of the units.
+    #[inline]
+    #[must_use]
+    pub fn sqrt_m(&self) -> usize {
+        self.unit.sqrt_m()
+    }
+
+    /// Serial CPU work (1 time unit per op).
+    pub fn charge(&mut self, ops: u64) {
+        self.stats.record_scalar(ops);
+    }
+
+    /// Simulated wall-clock time: serial CPU work plus the makespan of
+    /// every tensor batch.
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.stats.scalar_ops + self.makespan_time
+    }
+
+    /// Total tensor *work* (sum over units) — `time ×` utilization.
+    #[must_use]
+    pub fn tensor_work(&self) -> u64 {
+        self.stats.tensor_time
+    }
+
+    /// Detailed counters (tensor_time holds total work, not makespan).
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Issue a batch of *independent* tensor invocations
+    /// (`Cᵢ = Aᵢ·Bᵢ`, each `Aᵢ : nᵢ × √m`, `Bᵢ : √m × √m`). The batch is
+    /// scheduled greedily (each call to the currently least-loaded unit,
+    /// longest calls first) and wall-clock advances by the makespan.
+    ///
+    /// # Panics
+    /// Panics if shapes violate the model (same rules as
+    /// [`crate::TcuMachine::tensor_mul`]).
+    #[must_use]
+    pub fn tensor_mul_batch<T: Scalar>(
+        &mut self,
+        ops: &[(&Matrix<T>, &Matrix<T>)],
+    ) -> Vec<Matrix<T>> {
+        let s = self.sqrt_m();
+        let mut results = Vec::with_capacity(ops.len());
+        let mut costs = Vec::with_capacity(ops.len());
+        for (a, b) in ops {
+            assert_eq!(a.cols(), s, "left operand must have √m columns");
+            assert_eq!((b.rows(), b.cols()), (s, s), "right operand must be √m × √m");
+            assert!(a.rows() >= s, "model requires n ≥ √m rows");
+            let cost = self.unit.invocation_cost(a.rows());
+            let lat = self.unit.invocation_latency(a.rows());
+            self.stats.record_tensor(a.rows() as u64, cost, lat);
+            costs.push(cost);
+            results.push(matmul_naive(a, b));
+        }
+        self.makespan_time += makespan(&costs, self.p);
+        results
+    }
+}
+
+/// Greedy (LPT) makespan of `costs` on `p` identical machines.
+fn makespan(costs: &[u64], p: usize) -> u64 {
+    let mut sorted: Vec<u64> = costs.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut loads = vec![0u64; p];
+    for c in sorted {
+        let min = loads.iter_mut().min().expect("p >= 1");
+        *min += c;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor_unit::ModelTensorUnit;
+
+    fn batch_inputs(k: usize, rows: usize, s: usize) -> Vec<(Matrix<i64>, Matrix<i64>)> {
+        (0..k)
+            .map(|t| {
+                (
+                    Matrix::from_fn(rows, s, |i, j| (i + j + t) as i64),
+                    Matrix::from_fn(s, s, |i, j| (i * 2 + j + t) as i64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn makespan_basics() {
+        assert_eq!(makespan(&[], 4), 0);
+        assert_eq!(makespan(&[10], 4), 10);
+        assert_eq!(makespan(&[10, 10, 10, 10], 2), 20);
+        assert_eq!(makespan(&[10, 10, 10], 2), 20);
+        // LPT: 7,5,4,3 on 2 machines -> {7,4}=11 vs {5,3}... LPT gives 11? 7|5 -> 7+3=10, 5+4=9 -> 10.
+        assert_eq!(makespan(&[7, 5, 4, 3], 2), 10);
+    }
+
+    #[test]
+    fn equal_calls_split_evenly() {
+        let (m, l, p) = (16usize, 100u64, 4usize);
+        let mut mach = ParallelTcuMachine::new(ModelTensorUnit::new(m, l), p);
+        let inputs = batch_inputs(8, 4, 4);
+        let refs: Vec<(&Matrix<i64>, &Matrix<i64>)> = inputs.iter().map(|(a, b)| (a, b)).collect();
+        let out = mach.tensor_mul_batch(&refs);
+        assert_eq!(out.len(), 8);
+        // 8 calls of cost 16+100 on 4 units: makespan = 2 calls each.
+        assert_eq!(mach.time(), 2 * (16 + 100));
+        // Work is all 8 calls.
+        assert_eq!(mach.tensor_work(), 8 * (16 + 100));
+    }
+
+    #[test]
+    fn results_match_serial_machine() {
+        let mut par = ParallelTcuMachine::new(ModelTensorUnit::new(16, 5), 3);
+        let mut ser = crate::TcuMachine::model(16, 5);
+        let inputs = batch_inputs(5, 8, 4);
+        let refs: Vec<(&Matrix<i64>, &Matrix<i64>)> = inputs.iter().map(|(a, b)| (a, b)).collect();
+        let out = par.tensor_mul_batch(&refs);
+        for (i, (a, b)) in inputs.iter().enumerate() {
+            assert_eq!(out[i], ser.tensor_mul(a, b));
+        }
+        assert!(par.time() < ser.time(), "3 units must beat 1 on 5 independent calls");
+    }
+
+    #[test]
+    fn one_unit_equals_serial_time() {
+        let mut par = ParallelTcuMachine::new(ModelTensorUnit::new(16, 7), 1);
+        let inputs = batch_inputs(4, 6, 4);
+        let refs: Vec<(&Matrix<i64>, &Matrix<i64>)> = inputs.iter().map(|(a, b)| (a, b)).collect();
+        let _ = par.tensor_mul_batch(&refs);
+        assert_eq!(par.time(), 4 * (6 * 4 + 7));
+    }
+
+    #[test]
+    fn speedup_saturates_at_batch_width() {
+        // More units than independent calls: no further gain.
+        let inputs = batch_inputs(3, 4, 4);
+        let refs: Vec<(&Matrix<i64>, &Matrix<i64>)> = inputs.iter().map(|(a, b)| (a, b)).collect();
+        let mut p3 = ParallelTcuMachine::new(ModelTensorUnit::new(16, 0), 3);
+        let _ = p3.tensor_mul_batch(&refs);
+        let mut p8 = ParallelTcuMachine::new(ModelTensorUnit::new(16, 0), 8);
+        let refs2: Vec<(&Matrix<i64>, &Matrix<i64>)> = inputs.iter().map(|(a, b)| (a, b)).collect();
+        let _ = p8.tensor_mul_batch(&refs2);
+        assert_eq!(p3.time(), p8.time());
+    }
+
+    #[test]
+    fn scalar_work_stays_serial() {
+        let mut mach = ParallelTcuMachine::new(ModelTensorUnit::new(16, 0), 8);
+        mach.charge(1000);
+        assert_eq!(mach.time(), 1000);
+    }
+}

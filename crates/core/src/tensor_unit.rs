@@ -1,0 +1,180 @@
+//! Tensor-unit cost policies.
+//!
+//! The numerics of a tensor invocation are the same for every hardware
+//! flavour (the unit computes a plain matrix product — "no existing tensor
+//! unit implements fast matrix multiplication algorithms", §3); what
+//! varies is the *time charged*. [`TensorUnit`] abstracts exactly that:
+//! the machine performs the product and asks the policy what it cost.
+//!
+//! * [`ModelTensorUnit`] — the paper's (m, ℓ)-TCU charge `n·√m + ℓ`.
+//! * [`WeakTensorUnit`] — the §5 weak model: only `√m × √m` inputs are
+//!   accepted, so tall multiplications decompose into `⌈n/√m⌉` square
+//!   invocations, each paying the latency again.
+//! * `tcu_systolic::SystolicTensorUnit` — charges the counted step
+//!   sequence of the §2.2 weight-stationary array (defined in the
+//!   `tcu-systolic` crate, which implements this trait).
+
+/// A costing policy for tensor-unit invocations.
+///
+/// `sqrt_m` is `√m`: the unit multiplies `n × √m` by `√m × √m` operands.
+/// Implementations decide the time charged per invocation and whether tall
+/// (`n > √m`) left operands are supported natively.
+pub trait TensorUnit {
+    /// `√m`, the fixed operand width of the unit.
+    fn sqrt_m(&self) -> usize;
+
+    /// The model's per-invocation latency parameter ℓ.
+    fn latency(&self) -> u64;
+
+    /// Time charged for one native invocation whose left operand has
+    /// `n_rows` rows (the machine guarantees `n_rows ≥ √m` for native
+    /// calls, splitting beforehand when [`Self::supports_tall`] is false).
+    fn invocation_cost(&self, n_rows: usize) -> u64;
+
+    /// The latency component of [`Self::invocation_cost`] (used to meter
+    /// the two terms of `O(n√m + ℓ)` separately).
+    fn invocation_latency(&self, n_rows: usize) -> u64 {
+        let _ = n_rows;
+        self.latency()
+    }
+
+    /// Whether the unit natively streams tall left operands (the model's
+    /// asymmetric feature, §3 property 3). When `false`, the machine
+    /// splits an `n × √m` left operand into `⌈n/√m⌉` square tiles and
+    /// issues one invocation per tile — the NVIDIA-style behaviour noted
+    /// in §2.2 ("matrix B … is percolated within the array as matrix A").
+    fn supports_tall(&self) -> bool {
+        true
+    }
+
+    /// Hardware capacity `m = sqrt_m²`.
+    fn m(&self) -> usize {
+        self.sqrt_m() * self.sqrt_m()
+    }
+}
+
+/// Integer square root with exactness check, for validating `m`.
+fn exact_sqrt(m: usize) -> usize {
+    let s = (m as f64).sqrt().round() as usize;
+    assert!(s * s == m, "m = {m} must be a perfect square (it is √m × √m hardware)");
+    s
+}
+
+/// The standard (m, ℓ)-TCU cost policy: an invocation with an `n`-row left
+/// operand costs exactly `n·√m + ℓ`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelTensorUnit {
+    sqrt_m: usize,
+    latency: u64,
+}
+
+impl ModelTensorUnit {
+    /// Build from the paper's parameters `(m, ℓ)`.
+    ///
+    /// # Panics
+    /// Panics unless `m ≥ 1` is a perfect square.
+    #[must_use]
+    pub fn new(m: usize, latency: u64) -> Self {
+        assert!(m >= 1, "m must be positive");
+        Self { sqrt_m: exact_sqrt(m), latency }
+    }
+
+    /// Build directly from `√m`.
+    #[must_use]
+    pub fn from_sqrt_m(sqrt_m: usize, latency: u64) -> Self {
+        assert!(sqrt_m >= 1, "sqrt_m must be positive");
+        Self { sqrt_m, latency }
+    }
+}
+
+impl TensorUnit for ModelTensorUnit {
+    fn sqrt_m(&self) -> usize {
+        self.sqrt_m
+    }
+
+    fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    fn invocation_cost(&self, n_rows: usize) -> u64 {
+        crate::cost::model_invocation_cost(n_rows as u64, self.sqrt_m as u64, self.latency)
+    }
+}
+
+/// The §5 *weak* TCU: multiplies only `√m × √m` by `√m × √m`. Any tall
+/// call is decomposed by the machine into square invocations, each charged
+/// `m + ℓ` — which is how the weak model loses the `(n/m)·ℓ` → `(n/m)^{3/2}·ℓ`
+/// latency advantage (§5: "any algorithm for the original TCU model can be
+/// simulated in the weak version with a constant slowdown when ℓ = O(m)").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeakTensorUnit {
+    sqrt_m: usize,
+    latency: u64,
+}
+
+impl WeakTensorUnit {
+    /// Build from the paper's parameters `(m, ℓ)`.
+    ///
+    /// # Panics
+    /// Panics unless `m ≥ 1` is a perfect square.
+    #[must_use]
+    pub fn new(m: usize, latency: u64) -> Self {
+        assert!(m >= 1, "m must be positive");
+        Self { sqrt_m: exact_sqrt(m), latency }
+    }
+}
+
+impl TensorUnit for WeakTensorUnit {
+    fn sqrt_m(&self) -> usize {
+        self.sqrt_m
+    }
+
+    fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    fn invocation_cost(&self, n_rows: usize) -> u64 {
+        debug_assert_eq!(n_rows, self.sqrt_m, "weak unit only takes square operands");
+        crate::cost::model_invocation_cost(self.sqrt_m as u64, self.sqrt_m as u64, self.latency)
+    }
+
+    fn supports_tall(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_unit_costs() {
+        let u = ModelTensorUnit::new(256, 100);
+        assert_eq!(u.sqrt_m(), 16);
+        assert_eq!(u.m(), 256);
+        assert_eq!(u.latency(), 100);
+        assert_eq!(u.invocation_cost(16), 256 + 100);
+        assert_eq!(u.invocation_cost(1024), 1024 * 16 + 100);
+        assert!(u.supports_tall());
+    }
+
+    #[test]
+    fn weak_unit_is_square_only() {
+        let u = WeakTensorUnit::new(64, 5);
+        assert!(!u.supports_tall());
+        assert_eq!(u.invocation_cost(8), 64 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn non_square_m_rejected() {
+        let _ = ModelTensorUnit::new(200, 0);
+    }
+
+    #[test]
+    fn from_sqrt_m_roundtrip() {
+        let u = ModelTensorUnit::from_sqrt_m(10, 3);
+        assert_eq!(u.m(), 100);
+        assert_eq!(u.invocation_cost(10), 103);
+    }
+}

@@ -1,0 +1,132 @@
+//! Execution traces: the sequence of tensor invocations and scalar-work
+//! segments a TCU algorithm performs.
+//!
+//! Traces exist for the §5 bridge to the external-memory model: Theorem 12
+//! simulates a weak-TCU execution in an external memory of size `M = 3m`,
+//! turning each tensor call into `Θ(m)` I/Os and each scalar operation
+//! into `O(1)` I/Os. `tcu-extmem::simulate` replays these traces to
+//! measure that correspondence empirically.
+
+/// One step of a TCU execution, at the granularity Theorem 12 needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A tensor invocation whose left operand had `n_rows` rows (the right
+    /// operand is always `√m × √m`).
+    Tensor { n_rows: u64 },
+    /// A run of `ops` consecutive scalar CPU operations (coalesced).
+    Scalar { ops: u64 },
+}
+
+/// An append-only log of [`TraceEvent`]s with consecutive scalar segments
+/// coalesced, so trace size is proportional to the number of tensor calls
+/// rather than to simulated time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a tensor invocation.
+    pub fn push_tensor(&mut self, n_rows: u64) {
+        self.events.push(TraceEvent::Tensor { n_rows });
+    }
+
+    /// Append scalar work, merging with a trailing scalar segment.
+    pub fn push_scalar(&mut self, ops: u64) {
+        if ops == 0 {
+            return;
+        }
+        if let Some(TraceEvent::Scalar { ops: last }) = self.events.last_mut() {
+            *last += ops;
+        } else {
+            self.events.push(TraceEvent::Scalar { ops });
+        }
+    }
+
+    /// The recorded events, in execution order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of tensor invocations recorded.
+    #[must_use]
+    pub fn tensor_calls(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Tensor { .. }))
+            .count() as u64
+    }
+
+    /// Total scalar operations recorded.
+    #[must_use]
+    pub fn scalar_ops(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Scalar { ops } => *ops,
+                TraceEvent::Tensor { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Total rows streamed across all tensor invocations.
+    #[must_use]
+    pub fn tensor_rows(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Tensor { n_rows } => *n_rows,
+                TraceEvent::Scalar { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// `true` iff nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_segments_coalesce() {
+        let mut log = TraceLog::new();
+        log.push_scalar(5);
+        log.push_scalar(7);
+        log.push_tensor(16);
+        log.push_scalar(0); // no-op
+        log.push_scalar(3);
+        assert_eq!(
+            log.events(),
+            &[
+                TraceEvent::Scalar { ops: 12 },
+                TraceEvent::Tensor { n_rows: 16 },
+                TraceEvent::Scalar { ops: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn summaries() {
+        let mut log = TraceLog::new();
+        assert!(log.is_empty());
+        log.push_tensor(8);
+        log.push_scalar(10);
+        log.push_tensor(24);
+        assert_eq!(log.tensor_calls(), 2);
+        assert_eq!(log.tensor_rows(), 32);
+        assert_eq!(log.scalar_ops(), 10);
+        assert!(!log.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # tcu-extmem — the external-memory model substrate (§5)
+//!
+//! Section 5 of the paper relates the TCU model to the external-memory
+//! (I/O) model: an unbounded external memory, an internal memory of `M`
+//! words, transfers in blocks of `B` words, cost = number of block
+//! transfers. Two directions are exercised here:
+//!
+//! * **Simulation (Theorem 12).** Any weak-TCU execution can be replayed
+//!   in an external memory of size `M = 3m + O(1)`: each `√m × √m` tensor
+//!   invocation becomes `Θ(m)` I/Os (load two operands, write one) and
+//!   each scalar operation `O(1)` I/Os. [`simulate`] replays the traces
+//!   recorded by `tcu_core::TcuMachine` and verifies the cost
+//!   correspondence empirically — so external-memory lower bounds (e.g.
+//!   `Ω(n^{3/2}/√M)` for semiring matrix multiplication) transfer to
+//!   weak-TCU running-time lower bounds.
+//!
+//! * **The EM algorithms themselves.** [`model`] is a word-addressed LRU
+//!   cache simulator; [`mm`] implements the classic `Θ(n^{3/2}/(B√M))`
+//!   blocked matrix multiplication and the naive triple loop, so the
+//!   experiment can show the blocked EM I/O curve and the TCU time curve
+//!   share their shape (the paper's observation that Theorem 2's
+//!   `O(n^{3/2}/√m)` "recalls" the EM bound with `M = 3m`, `B = 1`).
+
+pub mod mm;
+pub mod model;
+pub mod simulate;
+
+pub use model::CacheSim;
+pub use simulate::{replay_trace, replay_trace_detailed, ReplayBreakdown};

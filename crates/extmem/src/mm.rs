@@ -1,0 +1,147 @@
+//! External-memory matrix multiplication: the naive triple loop replayed
+//! through the LRU simulator, and the classic blocked algorithm with its
+//! `Θ(d³/(B√M))` transfer count — the EM bound the paper's Theorem 2
+//! mirrors with `M = 3m`, `B = 1`.
+
+use crate::model::CacheSim;
+
+/// Layout used by the address traces: `A` at offset 0, `B` at `d²`, `C`
+/// at `2d²`, all row-major `d × d`.
+fn addr_a(d: u64, i: u64, k: u64) -> u64 {
+    i * d + k
+}
+fn addr_b(d: u64, k: u64, j: u64) -> u64 {
+    d * d + k * d + j
+}
+fn addr_c(d: u64, i: u64, j: u64) -> u64 {
+    2 * d * d + i * d + j
+}
+
+/// Replay the naive `i,k,j` triple loop through the LRU cache and return
+/// the I/O count. `Θ(d³)` accesses — keep `d` modest.
+#[must_use]
+pub fn naive_mm_io(d: usize, mem_words: usize, block_words: usize) -> u64 {
+    let d = d as u64;
+    let mut cache = CacheSim::new(mem_words, block_words);
+    for i in 0..d {
+        for k in 0..d {
+            cache.access(addr_a(d, i, k));
+            for j in 0..d {
+                cache.access(addr_b(d, k, j));
+                cache.access(addr_c(d, i, j));
+            }
+        }
+    }
+    cache.io_count()
+}
+
+/// Replay the `t × t`-blocked algorithm (`t = ⌊√(M/3)⌋`) through the LRU
+/// cache. The access order keeps one `A`-tile, one `B`-tile and one
+/// `C`-tile hot at a time, so LRU realizes the textbook bound without
+/// explicit control of the memory.
+#[must_use]
+pub fn blocked_mm_io(d: usize, mem_words: usize, block_words: usize) -> u64 {
+    let tile = ((mem_words / 3) as f64).sqrt().floor() as usize;
+    let tile = tile.clamp(1, d);
+    let d64 = d as u64;
+    let t = tile as u64;
+    let mut cache = CacheSim::new(mem_words, block_words);
+    let tiles = d.div_ceil(tile) as u64;
+    for bi in 0..tiles {
+        for bj in 0..tiles {
+            for bk in 0..tiles {
+                // Touch the three tiles in full (row-segment at a time).
+                for r in 0..t.min(d64 - bi * t) {
+                    cache.access_range(addr_a(d64, bi * t + r, bk * t), t.min(d64 - bk * t));
+                }
+                for r in 0..t.min(d64 - bk * t) {
+                    cache.access_range(addr_b(d64, bk * t + r, bj * t), t.min(d64 - bj * t));
+                }
+                for r in 0..t.min(d64 - bi * t) {
+                    cache.access_range(addr_c(d64, bi * t + r, bj * t), t.min(d64 - bj * t));
+                }
+            }
+        }
+    }
+    cache.io_count()
+}
+
+/// The closed-form transfer count of the explicit (non-LRU) blocked EM
+/// algorithm: `(d/t)³` tile triples, each moving `3t²/B` blocks, with
+/// `t = √(M/3)` — i.e. `Θ(d³/(B·√M))`.
+#[must_use]
+pub fn blocked_mm_io_bound(d: u64, mem_words: u64, block_words: u64) -> u64 {
+    let t = ((mem_words / 3) as f64).sqrt().floor().max(1.0) as u64;
+    let t = t.min(d);
+    let tiles = d.div_ceil(t);
+    let tile_blocks = (t * t).div_ceil(block_words);
+    tiles * tiles * tiles * 3 * tile_blocks
+}
+
+/// The semiring matrix-multiplication I/O lower bound (Hong–Kung form):
+/// `d³/(8·√M·B)` — the reference curve experiment E12 plots under both
+/// the EM measurements and the TCU times.
+#[must_use]
+pub fn mm_io_lower_bound(d: u64, mem_words: u64, block_words: u64) -> u64 {
+    let denom = 8.0 * (mem_words as f64).sqrt() * block_words as f64;
+    ((d as f64).powi(3) / denom) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_beats_naive() {
+        let (d, mem, blk) = (48usize, 192usize, 4usize);
+        let naive = naive_mm_io(d, mem, blk);
+        let blocked = blocked_mm_io(d, mem, blk);
+        assert!(
+            blocked * 2 < naive,
+            "blocked ({blocked}) must be far below naive ({naive})"
+        );
+    }
+
+    #[test]
+    fn blocked_sim_is_within_constant_of_closed_form() {
+        for d in [16usize, 32, 48] {
+            let (mem, blk) = (108usize, 1usize);
+            let sim = blocked_mm_io(d, mem, blk);
+            let bound = blocked_mm_io_bound(d as u64, mem as u64, blk as u64);
+            let ratio = sim as f64 / bound as f64;
+            assert!(
+                (0.3..=1.5).contains(&ratio),
+                "d={d}: sim {sim} vs bound {bound} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn everything_fits_costs_compulsory_misses_only() {
+        // M big enough for all three matrices: only 3d²/B compulsory I/Os.
+        let d = 8usize;
+        let mem = 3 * d * d + 16;
+        let io = naive_mm_io(d, mem, 1);
+        assert_eq!(io, (3 * d * d) as u64);
+    }
+
+    #[test]
+    fn lower_bound_below_blocked_count() {
+        for d in [32u64, 64, 128] {
+            let (mem, blk) = (300u64, 1u64);
+            assert!(mm_io_lower_bound(d, mem, blk) <= blocked_mm_io_bound(d, mem, blk));
+        }
+    }
+
+    #[test]
+    fn io_grows_cubically_when_memory_is_scarce() {
+        let (mem, blk) = (48usize, 1usize);
+        let a = blocked_mm_io(16, mem, blk);
+        let b = blocked_mm_io(32, mem, blk);
+        let ratio = b as f64 / a as f64;
+        assert!(
+            (6.0..=10.0).contains(&ratio),
+            "doubling d should ≈8× the I/Os (got {ratio:.2})"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Theorem 12: replaying a (weak-)TCU execution trace in the external
+//! memory model.
+//!
+//! The simulation argument: with internal memory `M = 3m + O(1)` and
+//! `B = 1`, a `√m × √m` tensor invocation is served by loading the two
+//! input matrices (`2m` I/Os), multiplying inside the internal memory for
+//! free, and writing the `m`-word result back (`m` I/Os); every scalar
+//! CPU operation touches `O(1)` words (`≤ 3` I/Os here: two reads and a
+//! write). Hence a weak-TCU algorithm running in time `T` yields an EM
+//! algorithm with `O(T)` I/Os — and conversely an EM lower bound `F_P`
+//! forces `T = Ω(F_P)` on the weak TCU.
+
+use tcu_core::{TraceEvent, TraceLog};
+
+/// Per-event-type I/O totals from a replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayBreakdown {
+    /// I/Os from tensor invocations (`3m` each at `B = 1`; tall
+    /// invocations count `2·n√m + m`).
+    pub tensor_ios: u64,
+    /// I/Os from scalar operations (3 each: two operand reads, one write).
+    pub scalar_ios: u64,
+    /// Tensor invocations replayed.
+    pub tensor_calls: u64,
+}
+
+impl ReplayBreakdown {
+    /// Total I/Os.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.tensor_ios + self.scalar_ios
+    }
+}
+
+/// Replay a trace and return the total I/O count (Theorem 12's charge).
+#[must_use]
+pub fn replay_trace(trace: &TraceLog, sqrt_m: usize) -> u64 {
+    replay_trace_detailed(trace, sqrt_m).total()
+}
+
+/// Replay a trace with a per-event-type breakdown.
+#[must_use]
+pub fn replay_trace_detailed(trace: &TraceLog, sqrt_m: usize) -> ReplayBreakdown {
+    let s = sqrt_m as u64;
+    let mut out = ReplayBreakdown::default();
+    for ev in trace.events() {
+        match *ev {
+            TraceEvent::Tensor { n_rows } => {
+                // Load A (n√m) and B (m), write C (n√m), one word per I/O.
+                out.tensor_ios += 2 * n_rows * s + s * s;
+                out.tensor_calls += 1;
+            }
+            TraceEvent::Scalar { ops } => {
+                out.scalar_ios += 3 * ops;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcu_core::TcuMachine;
+    use tcu_linalg::Matrix;
+
+    fn traced_dense_multiply(d: usize, m: usize, l: u64, weak: bool) -> (u64, TraceLog, usize) {
+        let a = Matrix::from_fn(d, d, |i, j| ((i * 7 + j * 3) % 11) as i64);
+        let b = Matrix::from_fn(d, d, |i, j| ((i + 2 * j) % 5) as i64);
+        if weak {
+            let mut mach = TcuMachine::weak(m, l);
+            mach.enable_trace();
+            let _ = tcu_algos::dense::multiply(&mut mach, &a, &b);
+            (mach.time(), mach.take_trace(), mach.sqrt_m())
+        } else {
+            let mut mach = TcuMachine::model(m, l);
+            mach.enable_trace();
+            let _ = tcu_algos::dense::multiply(&mut mach, &a, &b);
+            (mach.time(), mach.take_trace(), mach.sqrt_m())
+        }
+    }
+
+    #[test]
+    fn square_call_costs_3m_ios() {
+        let mut log = TraceLog::new();
+        log.push_tensor(4); // √m = 4 square call
+        let b = replay_trace_detailed(&log, 4);
+        assert_eq!(b.tensor_ios, 3 * 16);
+        assert_eq!(b.total(), 48);
+    }
+
+    #[test]
+    fn scalar_ops_cost_constant_ios() {
+        let mut log = TraceLog::new();
+        log.push_scalar(100);
+        assert_eq!(replay_trace(&log, 4), 300);
+    }
+
+    #[test]
+    fn weak_trace_replay_is_big_theta_of_time() {
+        // Theorem 12: I/Os = O(T). The constant here is small: every time
+        // unit maps to at most 3 I/Os.
+        for (d, m) in [(16usize, 16usize), (32, 16), (32, 64)] {
+            let (time, trace, s) = traced_dense_multiply(d, m, 0, true);
+            let ios = replay_trace(&trace, s);
+            assert!(ios <= 3 * time, "d={d} m={m}: ios {ios} vs time {time}");
+            assert!(ios >= time, "replay can't be cheaper than the streaming time itself");
+        }
+    }
+
+    #[test]
+    fn em_lower_bound_transfers_to_weak_tcu_time() {
+        // The contrapositive use of Theorem 12: weak-TCU time for dense MM
+        // must be Ω(EM lower bound with M = 3m).
+        for (d, m) in [(32usize, 16usize), (64, 16), (64, 64)] {
+            let (time, _, _) = traced_dense_multiply(d, m, 0, true);
+            let lb = crate::mm::mm_io_lower_bound(d as u64, 3 * m as u64, 1);
+            assert!(
+                time as f64 >= lb as f64 / 3.0,
+                "d={d} m={m}: time {time} below EM lower bound {lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn strong_machine_tall_calls_replay_with_fewer_b_loads() {
+        // The strong model's tall calls amortize the B-matrix I/Os: the
+        // replayed I/O count of the strong trace is below the weak one.
+        let (_, weak_trace, s) = traced_dense_multiply(32, 16, 0, true);
+        let (_, strong_trace, _) = traced_dense_multiply(32, 16, 0, false);
+        let weak_ios = replay_trace(&weak_trace, s);
+        let strong_ios = replay_trace(&strong_trace, s);
+        assert!(strong_ios < weak_ios);
+        // The difference is exactly the extra B loads: weak does q³ loads
+        // of m words, strong q² (q = d/√m = 8).
+        assert_eq!(weak_ios - strong_ios, (8 * 8 * 8 - 8 * 8) * 16);
+    }
+
+    #[test]
+    fn empty_trace_replays_to_zero() {
+        assert_eq!(replay_trace(&TraceLog::new(), 4), 0);
+    }
+}

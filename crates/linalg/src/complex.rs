@@ -1,0 +1,163 @@
+//! Complex arithmetic for the DFT algorithms (paper §4.5).
+//!
+//! The paper assumes "the TCU model can perform operations on complex
+//! numbers", noting the assumption can be removed with constant slowdown
+//! (four real multiplies per complex multiply). We take the same route:
+//! [`Complex64`] is a [`Scalar`], so the simulated tensor unit multiplies
+//! complex matrices directly, and the model charge is unchanged up to the
+//! constant the paper also absorbs.
+
+use crate::scalar::{Field, Scalar};
+
+/// A double-precision complex number.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Complex64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Construct from rectangular coordinates.
+    #[inline]
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The point `e^{iθ}` on the unit circle.
+    #[inline]
+    #[must_use]
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Primitive `n`-th root-of-unity power used by DFT matrices:
+    /// `ω_n^k = e^{-2πik/n}` (the paper's `W_{r,c} = e^{-(2πi/n)rc}`).
+    #[inline]
+    #[must_use]
+    pub fn root_of_unity(n: usize, k: i64) -> Self {
+        let theta = -2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
+        Self::cis(theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Real scaling.
+    #[inline]
+    #[must_use]
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+}
+
+impl Scalar for Complex64 {
+    const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    const ONE: Self = Self { re: 1.0, im: 0.0 };
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Field for Complex64 {
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Self {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn ring_ops() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a.add(b), Complex64::new(4.0, 1.0));
+        assert_eq!(a.sub(b), Complex64::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a.mul(b), Complex64::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(1.5, -2.25);
+        let b = Complex64::new(0.5, 3.0);
+        let q = a.mul(b).div(b);
+        assert!((q.re - a.re).abs() < EPS && (q.im - a.im).abs() < EPS);
+    }
+
+    #[test]
+    fn roots_of_unity_multiply() {
+        // ω_8^1 · ω_8^3 = ω_8^4 = -1
+        let w1 = Complex64::root_of_unity(8, 1);
+        let w3 = Complex64::root_of_unity(8, 3);
+        let p = w1.mul(w3);
+        assert!((p.re + 1.0).abs() < EPS && p.im.abs() < EPS);
+    }
+
+    #[test]
+    fn nth_root_has_order_n() {
+        let n = 12;
+        let mut acc = Complex64::ONE;
+        for _ in 0..n {
+            acc = acc.mul(Complex64::root_of_unity(n, 1));
+        }
+        assert!((acc.re - 1.0).abs() < EPS && acc.im.abs() < EPS);
+    }
+
+    #[test]
+    fn conj_and_abs() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.conj().im, -4.0);
+        assert!((z.mul(z.conj()).re - 25.0).abs() < EPS);
+    }
+}

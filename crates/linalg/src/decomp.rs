@@ -1,0 +1,207 @@
+//! Host Gaussian elimination — the unblocked forward phase of §4.2
+//! (paper Figure 2) plus back substitution, used both as the correctness
+//! oracle for the blocked TCU algorithm (Theorem 4, paper Figure 4) and as
+//! the `Θ(r³)` RAM baseline in experiment E4.
+//!
+//! Following the paper, a system of `r−1` equations in `r−1` unknowns is
+//! represented as an `r × r` matrix `c` whose row `i` holds the coefficient
+//! row `a_{i,*}` followed by the right-hand side `b_i`, with a final
+//! all-zero row. The forward phase triangularizes in place without
+//! pivoting, so callers must supply systems with non-vanishing leading
+//! minors (diagonally dominant matrices in all our workloads).
+
+use crate::matrix::Matrix;
+use crate::scalar::Field;
+
+/// Assemble the paper's `r × r` augmented representation from an
+/// `(r−1) × (r−1)` coefficient matrix and a right-hand side.
+///
+/// # Panics
+/// Panics unless `a` is square and `b.len() == a.rows()`.
+#[must_use]
+pub fn augmented_from<T: Field>(a: &Matrix<T>, b: &[T]) -> Matrix<T> {
+    assert!(a.is_square(), "coefficient matrix must be square");
+    assert_eq!(b.len(), a.rows(), "rhs length mismatch");
+    let r = a.rows() + 1;
+    Matrix::from_fn(r, r, |i, j| {
+        if i + 1 == r {
+            T::ZERO
+        } else if j + 1 == r {
+            b[i]
+        } else {
+            a[(i, j)]
+        }
+    })
+}
+
+/// Forward phase of Gaussian elimination without pivoting, exactly the
+/// triple loop of the paper's Figure 2 (0-indexed): for each pivot `k`,
+/// each lower row `i > k` and each column `j > k`,
+/// `c[i,j] ← c[i,j] + (−c[i,k]/c[k,k])·c[k,j]`.
+///
+/// Returns the number of scalar operations performed (the RAM-model /
+/// TCU-CPU charge for this baseline): three ops (mul, div, sub) per inner
+/// iteration, matching how the blocked kernels are costed.
+pub fn ge_forward_host<T: Field>(c: &mut Matrix<T>) -> u64 {
+    let r = c.rows();
+    assert!(c.is_square(), "augmented matrix must be square");
+    let mut ops = 0u64;
+    if r < 2 {
+        return ops;
+    }
+    // Pivots k = 0 .. r−3 (paper: 1 .. √n − 2).
+    for k in 0..r.saturating_sub(2) {
+        let pivot = c[(k, k)];
+        // Rows i = k+1 .. r−2 (the final all-zero row is never touched).
+        for i in k + 1..r - 1 {
+            let factor = c[(i, k)].div(pivot);
+            for j in k + 1..r {
+                let delta = factor.mul(c[(k, j)]);
+                c[(i, j)] = c[(i, j)].sub(delta);
+                ops += 3;
+            }
+        }
+    }
+    ops
+}
+
+/// Back substitution on a forward-eliminated augmented matrix: recovers
+/// `x_0 .. x_{r−2}` from the upper-triangular system (paper §4.2's `Θ(r²)`
+/// second phase).
+///
+/// # Panics
+/// Panics if a diagonal pivot is exactly zero (singular system).
+#[must_use]
+pub fn back_substitute<T: Field>(c: &Matrix<T>) -> Vec<T> {
+    let r = c.rows();
+    let n = r - 1; // unknowns
+    let mut x = vec![T::ZERO; n];
+    for i in (0..n).rev() {
+        let mut acc = c[(i, n)]; // rhs column
+        for j in i + 1..n {
+            acc = acc.sub(c[(i, j)].mul(x[j]));
+        }
+        assert!(c[(i, i)] != T::ZERO, "zero pivot: system is singular for no-pivoting GE");
+        x[i] = acc.div(c[(i, i)]);
+    }
+    x
+}
+
+/// Maximum absolute residual `‖Ax − b‖_∞` of a candidate solution.
+#[must_use]
+pub fn residual(a: &Matrix<f64>, x: &[f64], b: &[f64]) -> f64 {
+    let n = a.rows();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..n {
+            s += a[(i, j)] * x[j];
+        }
+        worst = worst.max((s - b[i]).abs());
+    }
+    worst
+}
+
+/// Deterministic diagonally-dominant test matrix: pseudo-random entries in
+/// `(−1, 1)` with the diagonal boosted above each row's absolute sum, so
+/// no-pivoting elimination is well defined and numerically tame.
+#[must_use]
+pub fn diag_dominant(n: usize, seed: u64) -> Matrix<f64> {
+    let mut m = Matrix::from_fn(n, n, |i, j| {
+        let h = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((i as u64) << 32 | j as u64)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    });
+    for i in 0..n {
+        let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
+        m[(i, i)] = row_sum + 1.0;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::Fp61;
+    use crate::scalar::Scalar;
+
+    #[test]
+    fn solves_small_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0f64, 1.0], vec![1.0, 3.0]]);
+        let b = [5.0, 10.0];
+        let mut c = augmented_from(&a, &b);
+        ge_forward_host(&mut c);
+        let x = back_substitute(&c);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_small_on_diag_dominant() {
+        for n in [3usize, 7, 16, 33] {
+            let a = diag_dominant(n, 42 + n as u64);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 1.0).collect();
+            let mut c = augmented_from(&a, &b);
+            ge_forward_host(&mut c);
+            let x = back_substitute(&c);
+            assert!(residual(&a, &x, &b) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn op_count_matches_closed_form() {
+        // Sum over k of (r-2-k) rows * (r-1-k) cols * 3 ops.
+        let r = 9usize;
+        let a = diag_dominant(r - 1, 7);
+        let b = vec![1.0; r - 1];
+        let mut c = augmented_from(&a, &b);
+        let got = ge_forward_host(&mut c);
+        let mut want = 0u64;
+        for k in 0..r - 2 {
+            want += 3 * ((r - 2 - k) as u64) * ((r - 1 - k) as u64);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn exact_over_prime_field() {
+        // Build an exactly-solvable system over F_p: A = I + strictly upper
+        // ones, x known, b = Ax.
+        let n = 6;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                Fp61::new(5)
+            } else if j > i {
+                Fp61::new((i + j) as u64)
+            } else {
+                Fp61::new((3 * i + j) as u64 % 4)
+            }
+        });
+        let x_true: Vec<Fp61> = (0..n).map(|i| Fp61::new(100 + i as u64)).collect();
+        let b: Vec<Fp61> = (0..n)
+            .map(|i| {
+                (0..n).fold(Fp61::ZERO, |acc, j| {
+                    crate::scalar::Scalar::add(acc, crate::scalar::Scalar::mul(a[(i, j)], x_true[j]))
+                })
+            })
+            .collect();
+        let mut c = augmented_from(&a, &b);
+        ge_forward_host(&mut c);
+        let x = back_substitute(&c);
+        assert_eq!(x, x_true, "GE over F_p must be exact");
+    }
+
+    #[test]
+    fn last_row_stays_zero() {
+        let a = diag_dominant(5, 9);
+        let b = vec![2.0; 5];
+        let mut c = augmented_from(&a, &b);
+        ge_forward_host(&mut c);
+        for j in 0..c.cols() {
+            assert_eq!(c[(c.rows() - 1, j)], 0.0);
+        }
+    }
+}

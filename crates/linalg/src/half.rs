@@ -1,0 +1,156 @@
+//! Software-emulated half precision — the paper's §6 open question on
+//! "low numerical precision" made measurable.
+//!
+//! Real tensor units compute in reduced precision: NVIDIA TCs take
+//! fp16 inputs (κ = 16, §3.1) with fp32 accumulation; the TPU multiplies
+//! 8-bit integers into 32-bit accumulators. [`Half`] emulates an
+//! IEEE-754 binary16 *storage* type: every value is rounded to 11
+//! significand bits (round-to-nearest-even) and clamped to the fp16
+//! exponent range, while arithmetic happens in f64 and re-rounds — i.e.
+//! fp16 operands with exact operations, the optimistic end of real
+//! hardware. Running any generic TCU algorithm over `Half` instead of
+//! `f64` measures precisely the precision loss the model currently
+//! ignores (experiment EP2).
+
+use crate::scalar::{Field, Scalar};
+
+/// An f64 value constrained to IEEE binary16 precision and range.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Half(f64);
+
+/// Largest finite fp16 value.
+pub const HALF_MAX: f64 = 65504.0;
+/// Smallest positive normal fp16 value.
+pub const HALF_MIN_POSITIVE: f64 = 6.103_515_625e-5;
+
+impl Half {
+    /// Quantize an `f64` to fp16 precision/range.
+    #[must_use]
+    pub fn new(x: f64) -> Self {
+        Self(quantize(x))
+    }
+
+    /// The stored (already-quantized) value.
+    #[inline]
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+/// Round an f64 to the nearest representable binary16 value (to-nearest-
+/// even on the 10-bit stored significand), saturating to ±∞ past
+/// [`HALF_MAX`] and flushing subnormals' extra bits like hardware does.
+fn quantize(x: f64) -> f64 {
+    if x == 0.0 || x.is_nan() || x.is_infinite() {
+        return x;
+    }
+    if x.abs() > HALF_MAX {
+        return if x > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY };
+    }
+    // Scale so the significand's 10 fraction bits land on integers,
+    // round half-to-even, and scale back. exp = floor(log2 |x|).
+    let exp = x.abs().log2().floor();
+    let exp = exp.max(-14.0); // subnormal range shares the -14 exponent
+    let ulp = (exp - 10.0).exp2();
+    let q = (x / ulp).round_ties_even() * ulp;
+    if q.abs() > HALF_MAX {
+        return if q > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY };
+    }
+    q
+}
+
+impl From<f64> for Half {
+    fn from(x: f64) -> Self {
+        Self::new(x)
+    }
+}
+
+impl From<Half> for f64 {
+    fn from(h: Half) -> f64 {
+        h.0
+    }
+}
+
+impl Scalar for Half {
+    const ZERO: Self = Self(0.0);
+    const ONE: Self = Self(1.0);
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.0 + rhs.0)
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.0 - rhs.0)
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(self.0 * rhs.0)
+    }
+}
+
+impl Field for Half {
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        Self::new(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_survive() {
+        for i in -2048i32..=2048 {
+            let h = Half::new(f64::from(i));
+            assert_eq!(h.value(), f64::from(i), "fp16 holds integers up to 2^11");
+        }
+    }
+
+    #[test]
+    fn rounding_drops_low_bits() {
+        // 2049 is not representable in fp16 (11-bit significand):
+        // rounds to 2048 (ties to even).
+        assert_eq!(Half::new(2049.0).value(), 2048.0);
+        assert_eq!(Half::new(2051.0).value(), 2052.0);
+        // 1/3 rounds to the nearest fp16 value, within half an ulp (2^-12).
+        let third = Half::new(1.0 / 3.0).value();
+        assert!((third - 1.0 / 3.0).abs() <= (1.0f64 / 4096.0) / 2.0);
+        assert_ne!(third, 1.0 / 3.0);
+    }
+
+    #[test]
+    fn saturates_to_infinity() {
+        assert!(Half::new(70000.0).value().is_infinite());
+        assert!(Half::new(-70000.0).value().is_infinite());
+        assert_eq!(Half::new(HALF_MAX).value(), HALF_MAX);
+    }
+
+    #[test]
+    fn arithmetic_requantizes() {
+        // 2048 + 1 is not representable: absorbed (the classic fp16 trap).
+        let a = Half::new(2048.0);
+        let b = Half::new(1.0);
+        assert_eq!(a.add(b).value(), 2048.0);
+        // But 1024 + 1 is fine.
+        assert_eq!(Half::new(1024.0).add(b).value(), 1025.0);
+    }
+
+    #[test]
+    fn idempotent_quantization() {
+        for &x in &[0.1, 3.14159, -123.456, 0.0001, 60000.0] {
+            let once = Half::new(x).value();
+            assert_eq!(Half::new(once).value(), once);
+        }
+    }
+
+    #[test]
+    fn field_division() {
+        let x = Half::new(10.0).div(Half::new(4.0));
+        assert_eq!(x.value(), 2.5);
+    }
+}

@@ -1,0 +1,25 @@
+//! # tcu-linalg — dense linear-algebra substrate for the TCU reproduction
+//!
+//! This crate is the bottom layer of the workspace: it defines the scalar
+//! (semiring) abstraction, a row-major dense [`Matrix`], complex and modular
+//! arithmetic, and *host* (plain RAM) reference implementations of the
+//! kernels the paper's TCU algorithms are compared against: naive and
+//! Strassen matrix multiplication, and Gaussian elimination.
+//!
+//! Everything here is deliberately dependency-free; the TCU machine model
+//! (`tcu-core`) and the algorithm collection (`tcu-algos`) build on top.
+
+pub mod complex;
+pub mod decomp;
+pub mod half;
+pub mod matrix;
+pub mod modular;
+pub mod ops;
+pub mod scalar;
+pub mod strassen;
+
+pub use complex::Complex64;
+pub use matrix::Matrix;
+pub use half::Half;
+pub use modular::Fp61;
+pub use scalar::{Field, Scalar};

@@ -1,0 +1,363 @@
+//! Row-major dense matrix, the operand type of the simulated tensor unit.
+//!
+//! The paper manipulates matrices through three structural operations:
+//! square *blocks* `X_{i,j}` (blocked Gaussian elimination, transitive
+//! closure), vertical *strips* of width `√m` (the tall-left-operand
+//! streaming of Theorem 2), and transposition (Cooley–Tukey DFT). All
+//! three are provided here as explicit copies: in the TCU model, operand
+//! marshalling is part of the tensor instruction's `O(n√m + ℓ)` charge, so
+//! the simulator does not cost these copies separately (see
+//! `tcu-core::machine` for the accounting conventions).
+
+use crate::scalar::Scalar;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows × cols` matrix stored in row-major order.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// An all-zeros `rows × cols` matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![T::ZERO; rows * cols] }
+    }
+
+    /// The `n × n` identity.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Build a matrix by evaluating `f(i, j)` at every position.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer (`data.len()` must be `rows*cols`).
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the dimensions.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Build from nested rows (each inner slice is one row).
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<T>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` iff the matrix is square.
+    #[inline]
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The underlying row-major buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copy out the `h × w` block whose top-left corner is `(r0, c0)`.
+    ///
+    /// # Panics
+    /// Panics if the block exceeds the matrix bounds.
+    #[must_use]
+    pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
+        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of bounds");
+        let mut data = Vec::with_capacity(h * w);
+        for i in 0..h {
+            let base = (r0 + i) * self.cols + c0;
+            data.extend_from_slice(&self.data[base..base + w]);
+        }
+        Self { rows: h, cols: w, data }
+    }
+
+    /// Overwrite the block at `(r0, c0)` with `src`.
+    ///
+    /// # Panics
+    /// Panics if `src` exceeds the matrix bounds at that offset.
+    pub fn set_block(&mut self, r0: usize, c0: usize, src: &Self) {
+        assert!(
+            r0 + src.rows <= self.rows && c0 + src.cols <= self.cols,
+            "set_block out of bounds"
+        );
+        for i in 0..src.rows {
+            let dst = (r0 + i) * self.cols + c0;
+            self.data[dst..dst + src.cols].copy_from_slice(src.row(i));
+        }
+    }
+
+    /// Vertical strip: all rows, columns `[c0, c0+w)`. This is the shape of
+    /// the tall left operand streamed through the tensor unit (Theorem 2).
+    #[must_use]
+    pub fn col_strip(&self, c0: usize, w: usize) -> Self {
+        self.block(0, c0, self.rows, w)
+    }
+
+    /// The transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Zero-pad (or no-op) to at least `rows × cols`, keeping content at the
+    /// top-left. Used to round operands up to the tensor unit's fixed
+    /// `√m × √m` footprint.
+    #[must_use]
+    pub fn pad_to(&self, rows: usize, cols: usize) -> Self {
+        assert!(rows >= self.rows && cols >= self.cols, "pad_to cannot shrink");
+        if rows == self.rows && cols == self.cols {
+            return self.clone();
+        }
+        let mut out = Self::zeros(rows, cols);
+        out.set_block(0, 0, self);
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn add(&self, rhs: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a.add(b)).collect();
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn sub(&self, rhs: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a.sub(b)).collect();
+        Self { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place element-wise accumulation `self += rhs`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn add_assign(&mut self, rhs: &Self) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a = a.add(b);
+        }
+    }
+
+    /// Map every element through `f`.
+    #[must_use]
+    pub fn map<U: Scalar>(&self, f: impl Fn(T) -> U) -> Matrix<U> {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Multiply every element by `s`.
+    #[must_use]
+    pub fn scale(&self, s: T) -> Self {
+        self.map(|x| x.mul(s))
+    }
+
+    /// `true` iff every element equals `T::ZERO`.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&x| x == T::ZERO)
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            write!(f, "  ")?;
+            let show_cols = self.cols.min(8);
+            for j in 0..show_cols {
+                write!(f, "{:?} ", self[(i, j)])?;
+            }
+            if self.cols > show_cols {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(r: usize, c: usize) -> Matrix<i64> {
+        Matrix::from_fn(r, c, |i, j| (i * c + j) as i64)
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::<f64>::zeros(3, 4);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 4);
+        assert!(z.is_zero());
+        let id = Matrix::<f64>::identity(3);
+        assert_eq!(id[(0, 0)], 1.0);
+        assert_eq!(id[(0, 1)], 0.0);
+        assert_eq!(id[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn from_rows_and_indexing() {
+        let m = Matrix::from_rows(&[vec![1i64, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(1, 2)], 6);
+        assert_eq!(m.row(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all rows must have equal length")]
+    fn from_rows_ragged_panics() {
+        let _ = Matrix::from_rows(&[vec![1i64, 2], vec![3]]);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let m = iota(6, 6);
+        let b = m.block(2, 3, 2, 2);
+        assert_eq!(b[(0, 0)], m[(2, 3)]);
+        assert_eq!(b[(1, 1)], m[(3, 4)]);
+        let mut n = Matrix::<i64>::zeros(6, 6);
+        n.set_block(2, 3, &b);
+        assert_eq!(n[(2, 3)], m[(2, 3)]);
+        assert_eq!(n[(3, 4)], m[(3, 4)]);
+        assert_eq!(n[(0, 0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block out of bounds")]
+    fn block_out_of_bounds_panics() {
+        let m = iota(4, 4);
+        let _ = m.block(3, 3, 2, 2);
+    }
+
+    #[test]
+    fn col_strip_is_vertical() {
+        let m = iota(4, 6);
+        let s = m.col_strip(2, 2);
+        assert_eq!((s.rows(), s.cols()), (4, 2));
+        assert_eq!(s[(3, 1)], m[(3, 3)]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = iota(3, 5);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(4, 2)], m[(2, 4)]);
+    }
+
+    #[test]
+    fn pad_to_keeps_content() {
+        let m = iota(2, 2);
+        let p = m.pad_to(4, 3);
+        assert_eq!((p.rows(), p.cols()), (4, 3));
+        assert_eq!(p[(1, 1)], m[(1, 1)]);
+        assert_eq!(p[(3, 2)], 0);
+        // no-op pad returns an identical matrix
+        assert_eq!(m.pad_to(2, 2), m);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = iota(2, 2);
+        let b = Matrix::from_rows(&[vec![1i64, 1], vec![1, 1]]);
+        assert_eq!(a.add(&b).sub(&b), a);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c, a.add(&b));
+        assert_eq!(a.scale(2)[(1, 1)], 6);
+        assert_eq!(a.map(|x| x as f64)[(1, 0)], 2.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Arithmetic in the prime field `F_p` with `p = 2^61 − 1` (a Mersenne
+//! prime), used where the reproduction wants *exact* ring arithmetic on the
+//! simulated tensor unit: batch polynomial evaluation (Theorem 11) and
+//! exact property tests of the dense multiplication algorithms. The paper's
+//! model is agnostic to the element type (each word holds κ bits); `F_p`
+//! keeps every intermediate value in one 64-bit word, mirroring the paper's
+//! "κ = Ω(log n) bits per word" assumption without floating-point error.
+
+use crate::scalar::{Field, Scalar};
+
+/// The Mersenne prime `2^61 − 1`.
+pub const P61: u64 = (1u64 << 61) - 1;
+
+/// An element of `F_{2^61−1}`, stored in canonical form `0 ≤ x < p`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Fp61(u64);
+
+impl Fp61 {
+    /// Embed an arbitrary `u64` by reduction mod `p`.
+    #[inline]
+    #[must_use]
+    pub fn new(x: u64) -> Self {
+        Self(x % P61)
+    }
+
+    /// The canonical representative in `[0, p)`.
+    #[inline]
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Fast reduction of a 128-bit product modulo the Mersenne prime:
+    /// split into 61-bit halves and add (since `2^61 ≡ 1 (mod p)`).
+    #[inline]
+    fn reduce128(x: u128) -> u64 {
+        let lo = (x as u64) & P61;
+        let hi = (x >> 61) as u64;
+        let mut s = lo + hi;
+        if s >= P61 {
+            s -= P61;
+        }
+        // hi can itself exceed p for x near u128::MAX, but our inputs are
+        // products of two values < 2^61, so hi < 2^61 and one fold plus one
+        // conditional subtraction suffices.
+        if s >= P61 {
+            s -= P61;
+        }
+        s
+    }
+
+    /// Modular exponentiation by squaring.
+    #[must_use]
+    pub fn pow(self, mut e: u64) -> Self {
+        let mut base = self;
+        let mut acc = Self(1);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`x^{p−2}`).
+    ///
+    /// # Panics
+    /// Panics on zero.
+    #[must_use]
+    pub fn inv(self) -> Self {
+        assert!(self.0 != 0, "inverse of zero in F_p");
+        self.pow(P61 - 2)
+    }
+}
+
+impl From<u64> for Fp61 {
+    #[inline]
+    fn from(x: u64) -> Self {
+        Self::new(x)
+    }
+}
+
+impl Scalar for Fp61 {
+    const ZERO: Self = Self(0);
+    const ONE: Self = Self(1);
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut s = self.0 + rhs.0;
+        if s >= P61 {
+            s -= P61;
+        }
+        Self(s)
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let s = if self.0 >= rhs.0 { self.0 - rhs.0 } else { self.0 + P61 - rhs.0 };
+        Self(s)
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self(Self::reduce128(u128::from(self.0) * u128::from(rhs.0)))
+    }
+}
+
+impl Field for Fp61 {
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self.mul(rhs.inv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_on_construction() {
+        assert_eq!(Fp61::new(P61).value(), 0);
+        assert_eq!(Fp61::new(P61 + 5).value(), 5);
+        assert_eq!(Fp61::new(u64::MAX).value(), u64::MAX % P61);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Fp61::new(P61 - 3);
+        let b = Fp61::new(7);
+        assert_eq!(a.add(b).sub(b), a);
+        assert_eq!(a.add(b).value(), 4); // wraps past p
+        assert_eq!(Fp61::ZERO.sub(Fp61::ONE).value(), P61 - 1);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let pairs = [
+            (0u64, 0u64),
+            (1, P61 - 1),
+            (P61 - 1, P61 - 1),
+            (123_456_789_012_345, 987_654_321_098_765),
+            (1u64 << 60, (1u64 << 60) + 12345),
+        ];
+        for (x, y) in pairs {
+            let want = ((u128::from(x % P61) * u128::from(y % P61)) % u128::from(P61)) as u64;
+            assert_eq!(Fp61::new(x).mul(Fp61::new(y)).value(), want, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn pow_and_fermat() {
+        let x = Fp61::new(1_234_567);
+        assert_eq!(x.pow(0), Fp61::ONE);
+        assert_eq!(x.pow(1), x);
+        assert_eq!(x.pow(5), x.mul(x).mul(x).mul(x).mul(x));
+        // Fermat: x^{p-1} = 1
+        assert_eq!(x.pow(P61 - 1), Fp61::ONE);
+    }
+
+    #[test]
+    fn inverse_and_division() {
+        let x = Fp61::new(987_654_321);
+        assert_eq!(x.mul(x.inv()), Fp61::ONE);
+        let y = Fp61::new(424_242);
+        assert_eq!(Field::div(x.mul(y), y), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_has_no_inverse() {
+        let _ = Fp61::ZERO.inv();
+    }
+}

@@ -1,0 +1,136 @@
+//! Host (plain-RAM) matrix kernels: the baselines every TCU algorithm is
+//! checked against, plus comparison helpers used throughout the test
+//! suites. "Host" means the classic `Θ(n^{3/2})`-operation definition-based
+//! algorithms executed without the tensor unit; in the (m, ℓ)-TCU model
+//! they cost one time unit per scalar operation.
+
+use crate::complex::Complex64;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Definition-based matrix product `A·B` (the `Θ(n^{3/2})` semiring
+/// algorithm the paper's lower bounds count against).
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+#[must_use]
+pub fn matmul_naive<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dimensions must agree");
+    let (n, k, p) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(n, p);
+    for i in 0..n {
+        for l in 0..k {
+            let ail = a[(i, l)];
+            if ail == T::ZERO {
+                continue;
+            }
+            let brow = b.row(l);
+            let crow: &mut [T] = c.row_mut(i);
+            for j in 0..p {
+                crow[j] = crow[j].add(ail.mul(brow[j]));
+            }
+        }
+    }
+    c
+}
+
+/// Number of scalar multiply-adds the naive product performs; the charge a
+/// pure-CPU multiplication incurs in the TCU model.
+#[must_use]
+pub fn matmul_naive_cost(n: usize, k: usize, p: usize) -> u64 {
+    (n as u64) * (k as u64) * (p as u64)
+}
+
+/// Largest absolute element-wise difference between two real matrices.
+///
+/// # Panics
+/// Panics on shape mismatch.
+#[must_use]
+pub fn max_abs_diff(a: &Matrix<f64>, b: &Matrix<f64>) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Largest modulus of element-wise difference between two complex matrices.
+///
+/// # Panics
+/// Panics on shape mismatch.
+#[must_use]
+pub fn max_abs_diff_c(a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x.sub(y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// `true` iff `a` and `b` agree element-wise within absolute tolerance.
+#[must_use]
+pub fn approx_eq(a: &Matrix<f64>, b: &Matrix<f64>, tol: f64) -> bool {
+    max_abs_diff(a, b) <= tol
+}
+
+/// Relative comparison suited to Gaussian-elimination outputs, whose
+/// magnitudes vary with the system: tolerance scales with the largest
+/// element of either operand.
+#[must_use]
+pub fn approx_eq_rel(a: &Matrix<f64>, b: &Matrix<f64>, rel_tol: f64) -> bool {
+    let scale = a
+        .as_slice()
+        .iter()
+        .chain(b.as_slice())
+        .map(|&x| x.abs())
+        .fold(1.0, f64::max);
+    max_abs_diff(a, b) <= rel_tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_matmul_small_known() {
+        let a = Matrix::from_rows(&[vec![1i64, 2], vec![3, 4]]);
+        let b = Matrix::from_rows(&[vec![5i64, 6], vec![7, 8]]);
+        let c = matmul_naive(&a, &b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19i64, 22], vec![43, 50]]));
+    }
+
+    #[test]
+    fn naive_matmul_rectangular() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i + j) as i64);
+        let b = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as i64);
+        let c = matmul_naive(&a, &b);
+        assert_eq!((c.rows(), c.cols()), (2, 4));
+        // c[1][2] = sum_l a[1][l]*b[l][2] = 1*2 + 2*6 + 3*10 = 44
+        assert_eq!(c[(1, 2)], 44);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_fn(5, 5, |i, j| (3 * i + 7 * j) as i64);
+        let id = Matrix::<i64>::identity(5);
+        assert_eq!(matmul_naive(&a, &id), a);
+        assert_eq!(matmul_naive(&id, &a), a);
+    }
+
+    #[test]
+    fn cost_formula() {
+        assert_eq!(matmul_naive_cost(4, 5, 6), 120);
+    }
+
+    #[test]
+    fn diff_helpers() {
+        let a = Matrix::from_rows(&[vec![1.0f64, 2.0]]);
+        let b = Matrix::from_rows(&[vec![1.0f64, 2.5]]);
+        assert_eq!(max_abs_diff(&a, &b), 0.5);
+        assert!(approx_eq(&a, &b, 0.5));
+        assert!(!approx_eq(&a, &b, 0.4));
+        assert!(approx_eq_rel(&a, &b, 0.21));
+    }
+}

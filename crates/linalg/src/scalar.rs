@@ -1,0 +1,148 @@
+//! Scalar (ring) abstraction used by every matrix kernel in the workspace.
+//!
+//! The (m, ℓ)-TCU model multiplies matrices over an arbitrary ring: the
+//! paper uses reals for dense/sparse multiplication, non-negative integers
+//! for transitive closure and Seidel's APSD, complex numbers for the DFT,
+//! bounded integers for long-integer multiplication, and "semiring
+//! operations" for the lower-bound arguments. [`Scalar`] captures the ring
+//! operations every kernel needs; [`Field`] adds division for Gaussian
+//! elimination and polynomial work over `f64` and [`crate::Fp61`].
+
+use std::fmt::Debug;
+
+/// A commutative ring element: the value type matrices are defined over.
+///
+/// All TCU tensor-unit multiplications and host baselines are generic over
+/// this trait. Implementations must be `Copy` and cheap: the simulator's
+/// numeric work is `Θ(n^{3/2})` scalar multiply-adds per dense product.
+pub trait Scalar: Copy + PartialEq + Debug + Send + Sync + 'static {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Ring addition.
+    #[must_use]
+    fn add(self, rhs: Self) -> Self;
+
+    /// Ring subtraction (every ring we use has additive inverses; the one
+    /// boolean-flavoured algorithm in the paper — transitive closure — is
+    /// implemented over integers with clamping exactly as the paper's
+    /// function `D` prescribes, so no sub-free semiring type is needed).
+    #[must_use]
+    fn sub(self, rhs: Self) -> Self;
+
+    /// Ring multiplication.
+    #[must_use]
+    fn mul(self, rhs: Self) -> Self;
+
+    /// Additive inverse.
+    #[must_use]
+    #[inline]
+    fn neg(self) -> Self {
+        Self::ZERO.sub(self)
+    }
+
+    /// Fused multiply-add `self + a * b`; the inner-loop operation of every
+    /// matrix product. Override when a fused form is cheaper.
+    #[must_use]
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self.add(a.mul(b))
+    }
+}
+
+/// A [`Scalar`] with exact or approximate division: needed by Gaussian
+/// elimination (pivot division) and by twiddle/normalization steps.
+pub trait Field: Scalar {
+    /// Division; callers guarantee `rhs` is invertible (non-zero).
+    #[must_use]
+    fn div(self, rhs: Self) -> Self;
+}
+
+macro_rules! impl_scalar_prim {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const ZERO: Self = 0 as $t;
+            const ONE: Self = 1 as $t;
+            #[inline]
+            fn add(self, rhs: Self) -> Self { self + rhs }
+            #[inline]
+            fn sub(self, rhs: Self) -> Self { self - rhs }
+            #[inline]
+            fn mul(self, rhs: Self) -> Self { self * rhs }
+        }
+    )*};
+}
+
+impl_scalar_prim!(f32, f64, i32, i64, i128);
+
+// Unsigned integers: subtraction is wrapping so that `neg` is the proper
+// two's-complement additive inverse (the ring Z/2^k). Long-integer
+// multiplication (Theorem 9) relies on additions/multiplications of values
+// far below 2^64, and never on subtraction, but Strassen-style kernels may
+// form temporary differences that cancel; wrapping keeps them exact.
+macro_rules! impl_scalar_uint {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            #[inline]
+            fn add(self, rhs: Self) -> Self { self.wrapping_add(rhs) }
+            #[inline]
+            fn sub(self, rhs: Self) -> Self { self.wrapping_sub(rhs) }
+            #[inline]
+            fn mul(self, rhs: Self) -> Self { self.wrapping_mul(rhs) }
+        }
+    )*};
+}
+
+impl_scalar_uint!(u32, u64, u128);
+
+impl Field for f64 {
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self / rhs
+    }
+}
+
+impl Field for f32 {
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self / rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_ring_ops() {
+        assert_eq!(<f64 as Scalar>::ZERO, 0.0);
+        assert_eq!(<f64 as Scalar>::ONE, 1.0);
+        assert_eq!(2.0.add(3.0), 5.0);
+        assert_eq!(2.0.sub(3.0), -1.0);
+        assert_eq!(2.0.mul(3.0), 6.0);
+        assert_eq!(Scalar::neg(2.0), -2.0);
+        assert_eq!(1.0.mul_add(2.0, 3.0), 7.0);
+    }
+
+    #[test]
+    fn i64_ring_ops() {
+        assert_eq!(7i64.mul_add(2, -3), 1);
+        assert_eq!(Scalar::neg(5i64), -5);
+    }
+
+    #[test]
+    fn u64_wrapping_neg_is_additive_inverse() {
+        let x: u64 = 12345;
+        assert_eq!(Scalar::add(Scalar::neg(x), x), 0);
+    }
+
+    #[test]
+    fn field_division() {
+        assert_eq!(Field::div(6.0f64, 3.0), 2.0);
+        assert_eq!(Field::div(6.0f32, 4.0), 1.5);
+    }
+}

@@ -1,0 +1,128 @@
+//! Host Strassen multiplication — the RAM-model "Strassen-like algorithm"
+//! of §4.1 with parameters `n₀ = 4, p₀ = 7` (ω₀ = log₄7 ≈ 1.4037).
+//!
+//! Used as (a) the correctness oracle for the TCU Strassen recursion of
+//! Theorem 1 and (b) the RAM baseline in experiment E1. Matrices must be
+//! square with power-of-two dimension; recursion falls back to the naive
+//! kernel below a threshold, as production Strassen implementations do.
+
+use crate::matrix::Matrix;
+use crate::ops::matmul_naive;
+use crate::scalar::Scalar;
+
+/// Default dimension below which recursion switches to the naive kernel.
+pub const DEFAULT_CUTOFF: usize = 32;
+
+/// Strassen product of two square power-of-two matrices.
+///
+/// # Panics
+/// Panics if operands are not square, of equal dimension, and a power of two.
+#[must_use]
+pub fn matmul_strassen<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    matmul_strassen_with_cutoff(a, b, DEFAULT_CUTOFF)
+}
+
+/// Strassen product with an explicit recursion cutoff (dimension at or
+/// below which the naive kernel is used). Exposed for ablation tests.
+///
+/// # Panics
+/// Panics if operands are not square, of equal dimension, and a power of two.
+#[must_use]
+pub fn matmul_strassen_with_cutoff<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    cutoff: usize,
+) -> Matrix<T> {
+    let n = a.rows();
+    assert!(a.is_square() && b.is_square() && b.rows() == n, "strassen: square equal dims");
+    assert!(n.is_power_of_two(), "strassen: dimension must be a power of two");
+    strassen_rec(a, b, cutoff.max(1))
+}
+
+fn strassen_rec<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, cutoff: usize) -> Matrix<T> {
+    let n = a.rows();
+    if n <= cutoff {
+        return matmul_naive(a, b);
+    }
+    let h = n / 2;
+    let (a11, a12, a21, a22) =
+        (a.block(0, 0, h, h), a.block(0, h, h, h), a.block(h, 0, h, h), a.block(h, h, h, h));
+    let (b11, b12, b21, b22) =
+        (b.block(0, 0, h, h), b.block(0, h, h, h), b.block(h, 0, h, h), b.block(h, h, h, h));
+
+    // The seven Strassen products.
+    let m1 = strassen_rec(&a11.add(&a22), &b11.add(&b22), cutoff);
+    let m2 = strassen_rec(&a21.add(&a22), &b11, cutoff);
+    let m3 = strassen_rec(&a11, &b12.sub(&b22), cutoff);
+    let m4 = strassen_rec(&a22, &b21.sub(&b11), cutoff);
+    let m5 = strassen_rec(&a11.add(&a12), &b22, cutoff);
+    let m6 = strassen_rec(&a21.sub(&a11), &b11.add(&b12), cutoff);
+    let m7 = strassen_rec(&a12.sub(&a22), &b21.add(&b22), cutoff);
+
+    let c11 = m1.add(&m4).sub(&m5).add(&m7);
+    let c12 = m3.add(&m5);
+    let c21 = m2.add(&m4);
+    let c22 = m1.sub(&m2).add(&m3).add(&m6);
+
+    let mut c = Matrix::zeros(n, n);
+    c.set_block(0, 0, &c11);
+    c.set_block(0, h, &c12);
+    c.set_block(h, 0, &c21);
+    c.set_block(h, h, &c22);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(r: usize, c: usize, seed: i64) -> Matrix<i64> {
+        // Deterministic pseudo-random integer fill (small values so i64
+        // products stay exact through Strassen's adds/subs).
+        Matrix::from_fn(r, c, |i, j| {
+            let x = (i as i64)
+                .wrapping_mul(31)
+                .wrapping_add((j as i64).wrapping_mul(17))
+                .wrapping_add(seed);
+            (x.wrapping_mul(2654435761) >> 7) % 100
+        })
+    }
+
+    #[test]
+    fn matches_naive_across_sizes() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let a = pseudo(n, n, 1);
+            let b = pseudo(n, n, 2);
+            assert_eq!(
+                matmul_strassen_with_cutoff(&a, &b, 2),
+                matmul_naive(&a, &b),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn cutoff_does_not_change_result() {
+        let a = pseudo(32, 32, 3);
+        let b = pseudo(32, 32, 4);
+        let want = matmul_naive(&a, &b);
+        for cutoff in [1usize, 2, 8, 16, 32, 64] {
+            assert_eq!(matmul_strassen_with_cutoff(&a, &b, cutoff), want, "cutoff={cutoff}");
+        }
+    }
+
+    #[test]
+    fn works_over_f64() {
+        let a = Matrix::from_fn(16, 16, |i, j| (i as f64) * 0.5 - (j as f64) * 0.25);
+        let b = Matrix::from_fn(16, 16, |i, j| 1.0 / (1.0 + i as f64 + j as f64));
+        let diff = crate::ops::max_abs_diff(&matmul_strassen_with_cutoff(&a, &b, 2), &matmul_naive(&a, &b));
+        assert!(diff < 1e-9, "diff = {diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let a = Matrix::<i64>::zeros(6, 6);
+        let _ = matmul_strassen(&a, &a);
+    }
+}

@@ -1,0 +1,286 @@
+//! The weight-stationary systolic array, simulated one global step at a
+//! time (paper §2.2 and Figure 1).
+//!
+//! Data choreography for `C = A·B` with `A : n × √m`, `B : √m × √m`:
+//!
+//! * PE `(i, j)` holds `b_{i,j}` after the load phase.
+//! * Column `i` of `A` enters PE row `i` from the left, skewed so that
+//!   `a_{r,i}` enters PE `(i, 0)` at streaming step `k = r + i` (the
+//!   paper's input `a_{k−i,i}` at step `k` for `j = 0`).
+//! * Partial sums flow downward: PE `(i, j)` computes
+//!   `c ← c_in + a_in · b_{i,j}` and forwards `a` right and `c` down.
+//! * The bottom PE of column `j` emits `c_{r,j}` at step `r + j + √m − 1`.
+
+use tcu_linalg::{Matrix, Scalar};
+
+/// Timing facts gathered while streaming one left operand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayReport {
+    /// Streaming steps executed (excludes the weight-load phase).
+    pub stream_steps: u64,
+    /// For each output position `(r, j)` (row-major, `n × √m`): the
+    /// streaming step at which the value left the bottom edge.
+    pub output_step: Vec<u64>,
+    /// Multiply-accumulate operations performed across all PEs (the
+    /// model's point that the unit always does `Θ(m^{3/2})` work per
+    /// square call even though the *time* is `Θ(m)`).
+    pub mac_ops: u64,
+}
+
+/// A `√m × √m` grid of processing elements with stationary weights.
+#[derive(Clone, Debug)]
+pub struct SystolicArray<T: Scalar> {
+    sqrt_m: usize,
+    /// Stationary weights, `weights[i*√m + j]` in PE `(i, j)`; `None`
+    /// until a load phase has run.
+    weights: Option<Vec<T>>,
+    /// Global cycle counter across load and stream phases.
+    cycles: u64,
+}
+
+impl<T: Scalar> SystolicArray<T> {
+    /// An array of `√m × √m` PEs with no weights loaded.
+    ///
+    /// # Panics
+    /// Panics if `sqrt_m == 0`.
+    #[must_use]
+    pub fn new(sqrt_m: usize) -> Self {
+        assert!(sqrt_m >= 1, "array must have at least one PE");
+        Self { sqrt_m, weights: None, cycles: 0 }
+    }
+
+    /// `√m`.
+    #[inline]
+    #[must_use]
+    pub fn sqrt_m(&self) -> usize {
+        self.sqrt_m
+    }
+
+    /// Total cycles consumed so far (load + stream phases).
+    #[inline]
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// `true` iff a weight matrix is resident.
+    #[inline]
+    #[must_use]
+    pub fn weights_loaded(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Load phase: push `B` into the grid, one row per step (`√m` cycles).
+    ///
+    /// # Panics
+    /// Panics unless `b` is `√m × √m`.
+    pub fn load_weights(&mut self, b: &Matrix<T>) {
+        let s = self.sqrt_m;
+        assert_eq!((b.rows(), b.cols()), (s, s), "weights must be √m × √m");
+        self.weights = Some(b.as_slice().to_vec());
+        self.cycles += crate::load_cycles(s);
+    }
+
+    /// Stream an `n × √m` left operand through the resident weights,
+    /// simulating every global step, and return `C = A·B` along with the
+    /// per-output timing report.
+    ///
+    /// # Panics
+    /// Panics if no weights are loaded or `a.cols() != √m`.
+    pub fn stream(&mut self, a: &Matrix<T>) -> (Matrix<T>, ArrayReport) {
+        let s = self.sqrt_m;
+        let n = a.rows();
+        assert_eq!(a.cols(), s, "left operand must have √m columns");
+        let weights = self.weights.as_ref().expect("load_weights before streaming");
+        assert!(n >= 1, "left operand must have at least one row");
+
+        // Per-PE registers as produced at the end of the previous step:
+        // `a_reg[i][j]` is the A value PE (i,j) forwards right, and
+        // `c_reg[i][j]` the partial sum it forwards down.
+        let mut a_reg = vec![T::ZERO; s * s];
+        let mut c_reg = vec![T::ZERO; s * s];
+        let mut a_next = vec![T::ZERO; s * s];
+        let mut c_next = vec![T::ZERO; s * s];
+
+        let mut out = Matrix::<T>::zeros(n, s);
+        let mut output_step = vec![0u64; n * s];
+        let mut emitted = 0usize;
+        let mut mac_ops = 0u64;
+        let total = n * s;
+        let steps = crate::stream_cycles(n, s);
+
+        for k in 0..steps {
+            for i in 0..s {
+                for j in 0..s {
+                    let a_in = if j == 0 {
+                        // Skewed injection: a_{k−i, i} enters row i (§2.2).
+                        let r = k as i64 - i as i64;
+                        if r >= 0 && (r as usize) < n {
+                            a[(r as usize, i)]
+                        } else {
+                            T::ZERO
+                        }
+                    } else {
+                        a_reg[i * s + (j - 1)]
+                    };
+                    let c_in = if i == 0 { T::ZERO } else { c_reg[(i - 1) * s + j] };
+                    let c_out = c_in.add(a_in.mul(weights[i * s + j]));
+                    mac_ops += 1;
+                    a_next[i * s + j] = a_in;
+                    c_next[i * s + j] = c_out;
+                    if i == s - 1 {
+                        // Bottom edge: this is c_{r,j} for r = k − (s−1) − j.
+                        let r = k as i64 - (s as i64 - 1) - j as i64;
+                        if r >= 0 && (r as usize) < n {
+                            out[(r as usize, j)] = c_out;
+                            output_step[r as usize * s + j] = k;
+                            emitted += 1;
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut a_reg, &mut a_next);
+            std::mem::swap(&mut c_reg, &mut c_next);
+        }
+
+        assert_eq!(emitted, total, "every output must drain within the counted steps");
+        self.cycles += steps;
+        (out, ArrayReport { stream_steps: steps, output_step, mac_ops })
+    }
+
+    /// Convenience: one full weight-stationary multiply (load + stream).
+    pub fn multiply(&mut self, a: &Matrix<T>, b: &Matrix<T>) -> (Matrix<T>, ArrayReport) {
+        self.load_weights(b);
+        self.stream(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcu_linalg::ops::matmul_naive;
+
+    fn pseudo(r: usize, c: usize, seed: i64) -> Matrix<i64> {
+        Matrix::from_fn(r, c, |i, j| {
+            ((i as i64 * 37 + j as i64 * 11 + seed).wrapping_mul(2654435761) >> 9) % 50 - 25
+        })
+    }
+
+    #[test]
+    fn square_multiply_is_exact() {
+        for s in [1usize, 2, 3, 4, 8] {
+            let a = pseudo(s, s, 1);
+            let b = pseudo(s, s, 2);
+            let mut arr = SystolicArray::new(s);
+            let (c, _) = arr.multiply(&a, &b);
+            assert_eq!(c, matmul_naive(&a, &b), "s = {s}");
+        }
+    }
+
+    #[test]
+    fn tall_multiply_is_exact() {
+        let s = 4;
+        for n in [4usize, 5, 7, 16, 33] {
+            let a = pseudo(n, s, 3);
+            let b = pseudo(s, s, 4);
+            let mut arr = SystolicArray::new(s);
+            let (c, _) = arr.multiply(&a, &b);
+            assert_eq!(c, matmul_naive(&a, &b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn output_timing_matches_paper() {
+        // c_{r,j} exits at streaming step r + j + √m − 1 (paper: √m + i + j
+        // with 1-indexed conventions).
+        let s = 5;
+        let n = 9;
+        let a = pseudo(n, s, 5);
+        let b = pseudo(s, s, 6);
+        let mut arr = SystolicArray::new(s);
+        let (_, rep) = arr.multiply(&a, &b);
+        for r in 0..n {
+            for j in 0..s {
+                assert_eq!(
+                    rep.output_step[r * s + j],
+                    (r + j + s - 1) as u64,
+                    "output ({r},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_counts_match_closed_forms() {
+        let s = 8;
+        // Square multiply: s load + 3s − 2 streaming.
+        let a = pseudo(s, s, 7);
+        let b = pseudo(s, s, 8);
+        let mut arr = SystolicArray::new(s);
+        let (_, rep) = arr.multiply(&a, &b);
+        assert_eq!(rep.stream_steps, (3 * s - 2) as u64);
+        assert_eq!(arr.cycles(), (4 * s - 2) as u64);
+        assert_eq!(arr.cycles(), crate::multiply_cycles(s, s));
+
+        // Tall multiply with resident weights: n + 2s − 2 streaming steps.
+        let n = 40;
+        let tall = pseudo(n, s, 9);
+        let mut arr2 = SystolicArray::new(s);
+        let (_, rep2) = arr2.multiply(&tall, &b);
+        assert_eq!(rep2.stream_steps, (n + 2 * s - 2) as u64);
+        assert_eq!(arr2.cycles(), crate::multiply_cycles(n, s));
+    }
+
+    #[test]
+    fn streaming_reuses_resident_weights() {
+        // Two streams over one load: the second pays no load cycles —
+        // the amortization behind the TCU model's tall-operand feature.
+        let s = 4;
+        let b = pseudo(s, s, 10);
+        let a1 = pseudo(6, s, 11);
+        let a2 = pseudo(9, s, 12);
+        let mut arr = SystolicArray::new(s);
+        arr.load_weights(&b);
+        let after_load = arr.cycles();
+        assert_eq!(after_load, crate::load_cycles(s));
+        let (c1, _) = arr.stream(&a1);
+        let (c2, _) = arr.stream(&a2);
+        assert_eq!(c1, matmul_naive(&a1, &b));
+        assert_eq!(c2, matmul_naive(&a2, &b));
+        assert_eq!(
+            arr.cycles(),
+            after_load + crate::stream_cycles(6, s) + crate::stream_cycles(9, s)
+        );
+    }
+
+    #[test]
+    fn mac_throughput_is_theta_m_per_step() {
+        // The unit performs Θ(m^{3/2}) MACs per square multiply while the
+        // step count is Θ(√m): all m PEs fire every step.
+        let s = 6;
+        let a = pseudo(s, s, 13);
+        let b = pseudo(s, s, 14);
+        let mut arr = SystolicArray::new(s);
+        let (_, rep) = arr.multiply(&a, &b);
+        assert_eq!(rep.mac_ops, rep.stream_steps * (s * s) as u64);
+    }
+
+    #[test]
+    fn works_over_f64() {
+        let s = 4;
+        let a = Matrix::from_fn(10, s, |i, j| (i as f64 + 1.0) / (j as f64 + 2.0));
+        let b = Matrix::from_fn(s, s, |i, j| (i as f64) * 0.25 - (j as f64) * 0.5);
+        let mut arr = SystolicArray::new(s);
+        let (c, _) = arr.multiply(&a, &b);
+        let diff = tcu_linalg::ops::max_abs_diff(&c, &matmul_naive(&a, &b));
+        assert!(diff < 1e-12, "diff = {diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "load_weights before streaming")]
+    fn stream_without_weights_panics() {
+        let mut arr = SystolicArray::<i64>::new(2);
+        let a = Matrix::zeros(2, 2);
+        let _ = arr.stream(&a);
+    }
+}

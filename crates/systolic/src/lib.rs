@@ -1,0 +1,87 @@
+//! # tcu-systolic — cycle-level simulation of the §2.2 systolic array
+//!
+//! The paper grounds the (m, ℓ)-TCU model in the weight-stationary
+//! systolic algorithm used by Google's TPU (§2.2, Figure 1): a `√m × √m`
+//! grid of processing elements holds the right operand `B` in place while
+//! the rows of the left operand `A` are pumped through in skewed
+//! diagonals; partial sums trickle down the columns and the products exit
+//! at the bottom edge.
+//!
+//! This crate simulates that array one global step at a time, so the
+//! model's abstractions can be *checked* rather than assumed:
+//!
+//! * the product is exact ([`SystolicArray::multiply`] equals the naive
+//!   product for every operand shape);
+//! * output `c_{r,j}` leaves the array at streaming step `r + j + √m − 1`
+//!   — the paper's "end of step `√m + i + j`" up to 0- vs 1-indexing;
+//! * a square multiply takes `3√m − 2` streaming steps after a `√m`-step
+//!   weight load (the paper's "3√m steps"), and a tall multiply takes
+//!   `n + 2√m − 2`: streaming `n ≫ √m` rows amortizes both the load and
+//!   the pipeline drain, which is exactly the asymmetric feature the TCU
+//!   model postulates;
+//! * [`SystolicTensorUnit`] plugs these counted costs into `tcu-core` as a
+//!   [`tcu_core::TensorUnit`] policy, giving the "VAL" experiment its
+//!   cycle-accurate-vs-model comparison.
+//!
+//! The NVIDIA-style variant, in which `B` is *percolated* through the
+//! array like `A` instead of staying resident (§2.2), corresponds to the
+//! weak model: every call reloads `B`, so tall operands bring no latency
+//! amortization. `tcu_core::WeakTensorUnit` with `ℓ ≈ m` models it; see
+//! [`percolating_multiply_cycles`] for the counted equivalent.
+
+pub mod array;
+pub mod unit;
+
+pub use array::{ArrayReport, SystolicArray};
+pub use unit::SystolicTensorUnit;
+
+/// Cycles to load the stationary weights: one row per step (§2.2: "in the
+/// first √m steps, matrix B is pushed within the m PEs").
+#[inline]
+#[must_use]
+pub fn load_cycles(sqrt_m: usize) -> u64 {
+    sqrt_m as u64
+}
+
+/// Streaming steps to push an `n × √m` left operand through and drain all
+/// outputs: the last output `c_{n−1, √m−1}` exits at step
+/// `(n−1) + (√m−1) + (√m−1)`, so `n + 2√m − 2` steps run in total.
+#[inline]
+#[must_use]
+pub fn stream_cycles(n_rows: usize, sqrt_m: usize) -> u64 {
+    (n_rows + 2 * sqrt_m - 2) as u64
+}
+
+/// Total steps for one weight-stationary multiply (load + stream). For a
+/// square operand this is `4√m − 2`; the paper quotes the streaming part
+/// as "3√m steps".
+#[inline]
+#[must_use]
+pub fn multiply_cycles(n_rows: usize, sqrt_m: usize) -> u64 {
+    load_cycles(sqrt_m) + stream_cycles(n_rows, sqrt_m)
+}
+
+/// CPU-clock time of one multiply as the TCU model measures it: the cost
+/// is "dominated by reading/writing the input and output matrices" (§3,
+/// property 1). The host moves `m` words of `B`, `n√m` words of `A` in and
+/// `n√m` words of `C` out, and waits out the `2√m − 2`-step pipeline
+/// drain: `2n√m + m + 2√m − 2` — which is `Θ(n√m + m)`, i.e. `Θ(m)` for a
+/// square call, the model's charge with an effective latency
+/// `ℓ = m + 2√m − 2` (see [`SystolicTensorUnit`]).
+#[inline]
+#[must_use]
+pub fn cpu_time(n_rows: usize, sqrt_m: usize) -> u64 {
+    let (n, s) = (n_rows as u64, sqrt_m as u64);
+    2 * n * s + s * s + 2 * s - 2
+}
+
+/// CPU-clock time of multiplying an `n × √m` left operand under the
+/// NVIDIA-style *percolating* schedule, where `B` cannot stay resident:
+/// the operand is split into `⌈n/√m⌉` square tiles and `B` is re-pushed
+/// for each, so the `m`-word reload is paid per tile.
+#[inline]
+#[must_use]
+pub fn percolating_multiply_cycles(n_rows: usize, sqrt_m: usize) -> u64 {
+    let tiles = n_rows.div_ceil(sqrt_m) as u64;
+    tiles * cpu_time(sqrt_m, sqrt_m)
+}

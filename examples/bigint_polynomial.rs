@@ -1,0 +1,57 @@
+//! Exact arithmetic on the tensor unit: cryptography-sized integer
+//! products (Theorems 9–10) and batch polynomial evaluation over a prime
+//! field (Theorem 11) — a Reed–Solomon-style encoding sweep.
+//!
+//! ```sh
+//! cargo run --release --example bigint_polynomial
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use tcu::algos::{intmul, poly, workloads};
+use tcu::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4096);
+    let (m, latency) = (256usize, 2_000u64);
+
+    // --- 65536-bit integer product (4096 limbs of 16 bits). ---
+    let limbs = 4096usize;
+    let a = intmul::BigNat::from_limbs(workloads::random_limbs(limbs, &mut rng));
+    let b = intmul::BigNat::from_limbs(workloads::random_limbs(limbs, &mut rng));
+    println!("[Theorems 9-10] multiplying two {}-bit integers", a.bits());
+
+    let mut school = TcuMachine::model(m, latency);
+    let p1 = intmul::mul_tcu_schoolbook(&mut school, &a, &b);
+    let mut kara = TcuMachine::model(m, latency);
+    let p2 = intmul::mul_tcu_karatsuba(&mut kara, &a, &b);
+    assert_eq!(p1, p2);
+    assert_eq!(p1, intmul::mul_host(&a, &b));
+    println!("  product bits        : {}", p1.bits());
+    println!("  schoolbook-TCU time : {} ({} tensor calls)", school.time(), school.stats().tensor_calls);
+    println!("  karatsuba-TCU time  : {} ({} tensor calls)", kara.time(), kara.stats().tensor_calls);
+    println!("  host CPU schoolbook : {}", intmul::mul_host_time(limbs as u64, limbs as u64));
+    println!("  first hex digits    : {}…", &p1.to_hex()[..24]);
+
+    // --- Reed–Solomon-flavoured encoding: evaluate a message polynomial
+    //     of degree 4095 over F_{2^61-1} at 512 evaluation points. ---
+    let n = 4096usize;
+    let points_n = 512usize;
+    let message: Vec<Fp61> = (0..n).map(|i| Fp61::new((i as u64).wrapping_mul(0x9e3779b9) + 7)).collect();
+    // Distinct evaluation points 1, g, g², … for a generator-ish g.
+    let g = Fp61::new(3);
+    let mut pts = Vec::with_capacity(points_n);
+    let mut acc = Fp61::ONE;
+    for _ in 0..points_n {
+        pts.push(acc);
+        acc = Scalar::mul(acc, g);
+    }
+
+    let mut mach = TcuMachine::model(m, latency);
+    let codeword = poly::batch_eval(&mut mach, &message, &pts);
+    assert_eq!(codeword, poly::horner_host(&message, &pts), "exact over F_p");
+    println!("\n[Theorem 11] degree-{} polynomial at {} points over F_p", n - 1, points_n);
+    println!("  simulated time : {} (Horner baseline: {})", mach.time(), poly::horner_time(n as u64, points_n as u64));
+    println!("  tensor calls   : {}", mach.stats().tensor_calls);
+    println!("  speedup        : {:.2}x (→ sqrt(m) = {} as n grows)", poly::horner_time(n as u64, points_n as u64) as f64 / mach.time() as f64, mach.sqrt_m());
+    println!("  codeword[0..4] : {:?}", codeword[..4].iter().map(|v| v.value()).collect::<Vec<_>>());
+}

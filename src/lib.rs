@@ -1,0 +1,37 @@
+//! # tcu — facade for the (m, ℓ)-TCU model reproduction
+//!
+//! A full software reproduction of Chowdhury, Silvestri & Vella, *A
+//! Computational Model for Tensor Core Units* (SPAA 2020): the simulated
+//! machine model, the cycle-level systolic-array substrate, every §4
+//! algorithm with its RAM baseline, and the §5 external-memory bridge.
+//!
+//! This crate re-exports the workspace members under stable paths and is
+//! what the `examples/` binaries and the integration tests build
+//! against. Start with:
+//!
+//! ```
+//! use tcu::core::TcuMachine;
+//! use tcu::linalg::Matrix;
+//!
+//! // A machine with a 16×16-capable tensor unit (m = 256) and latency 100.
+//! let mut mach = TcuMachine::model(256, 100);
+//! let a = Matrix::from_fn(64, 64, |i, j| (i + j) as f64);
+//! let b = Matrix::<f64>::identity(64);
+//! let c = tcu::algos::dense::multiply(&mut mach, &a, &b);
+//! assert_eq!(c, a);
+//! // Simulated time follows Theorem 2 exactly.
+//! assert_eq!(mach.time(), tcu::algos::dense::multiply_time(64, 16, 100));
+//! ```
+
+pub use tcu_algos as algos;
+pub use tcu_core as core;
+pub use tcu_extmem as extmem;
+pub use tcu_linalg as linalg;
+pub use tcu_systolic as systolic;
+
+/// The most commonly used items, for `use tcu::prelude::*`.
+pub mod prelude {
+    pub use tcu_core::{ModelMachine, ParallelTcuMachine, Stats, TcuMachine, TensorUnit, WeakMachine};
+    pub use tcu_linalg::{Complex64, Field, Fp61, Half, Matrix, Scalar};
+    pub use tcu_systolic::{SystolicArray, SystolicTensorUnit};
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: full pipelines spanning the machine
+//! model, the algorithm suite, the systolic substrate, and the
+//! external-memory bridge.
+
+use rand::{rngs::StdRng, SeedableRng};
+use tcu::algos::{apsd, closure, dense, fft, gauss, sparse, strassen, workloads};
+use tcu::extmem;
+use tcu::linalg::decomp::{augmented_from, back_substitute, diag_dominant, residual};
+use tcu::linalg::ops::{matmul_naive, max_abs_diff};
+use tcu::prelude::*;
+
+#[test]
+fn all_multiplication_algorithms_agree() {
+    // Theorem 1 (both recursions), Theorem 2, naive order, weak machine,
+    // systolic costing, and the host oracle must all produce one product.
+    let d = 64usize;
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = workloads::random_matrix_i64(d, d, 50, &mut rng);
+    let b = workloads::random_matrix_i64(d, d, 50, &mut rng);
+    let want = matmul_naive(&a, &b);
+
+    let mut m1 = TcuMachine::model(256, 77);
+    assert_eq!(dense::multiply(&mut m1, &a, &b), want);
+    let mut m2 = TcuMachine::model(256, 77);
+    assert_eq!(strassen::multiply_strassen(&mut m2, &a, &b), want);
+    let mut m3 = TcuMachine::model(256, 77);
+    assert_eq!(strassen::multiply_recursive(&mut m3, &a, &b), want);
+    let mut m4 = TcuMachine::weak(256, 77);
+    assert_eq!(dense::multiply(&mut m4, &a, &b), want);
+    let mut m5 = TcuMachine::new(SystolicTensorUnit::new(256));
+    assert_eq!(dense::multiply_naive_order(&mut m5, &a, &b), want);
+
+    // And the cycle-level array itself.
+    let mut arr = SystolicArray::new(d);
+    let (c, _) = arr.multiply(&a, &b);
+    assert_eq!(c, want);
+}
+
+#[test]
+fn linear_system_pipeline_solves_and_costs_exactly() {
+    let d = 64usize;
+    let a = diag_dominant(d - 1, 9);
+    let b: Vec<f64> = (0..d - 1).map(|i| (i as f64).cos()).collect();
+    let mut mach = TcuMachine::model(16, 1000);
+    let mut c = augmented_from(&a, &b);
+    gauss::ge_forward(&mut mach, &mut c);
+    let x = back_substitute(&c);
+    assert!(residual(&a, &x, &b) < 1e-9);
+    assert_eq!(mach.time(), gauss::ge_forward_time(d as u64, 4, 1000));
+}
+
+#[test]
+fn closure_and_apsd_are_consistent() {
+    // On an undirected connected graph, TC reaches everything and APSD
+    // distances are finite; reachability implied by finite distance.
+    let n = 32usize;
+    let mut rng = StdRng::seed_from_u64(3);
+    let adj = workloads::random_connected_graph(n, 0.1, &mut rng);
+    let mut mach = TcuMachine::model(16, 10);
+    let dist = apsd::seidel_apsd(&mut mach, &adj);
+    let mut reach = adj.clone();
+    closure::transitive_closure(&mut mach, &mut reach);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                assert_eq!(reach[(i, j)], 1, "connected graph: everything reachable");
+                assert!(dist[(i, j)] >= 1, "distinct vertices at positive distance");
+            }
+        }
+    }
+}
+
+#[test]
+fn sparse_and_dense_products_agree_on_machine() {
+    let d = 32usize;
+    let mut rng = StdRng::seed_from_u64(4);
+    let (da, db) = workloads::random_sparse_pair(d, 5, 5, 4, &mut rng);
+    let a = sparse::CsrMatrix::from_dense(&da);
+    let b = sparse::CsrMatrix::from_dense(&db);
+    let mut mach = TcuMachine::model(16, 5);
+    let sparse_c = sparse::multiply_tcu(&mut mach, &a, &b).to_dense();
+    let mut mach2 = TcuMachine::model(16, 5);
+    let dense_c = dense::multiply(&mut mach2, &da, &db);
+    assert!(max_abs_diff(&sparse_c, &dense_c) < 1e-9);
+    assert!(mach.time() < mach2.time(), "sparse path must exploit the sparsity");
+}
+
+#[test]
+fn convolution_theorem_holds_on_the_machine() {
+    // dft(a) ⊙ dft(b) = dft(circular_conv(a, b)) — ties the fft module to
+    // the stencil machinery's foundation.
+    let n = 64usize;
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = workloads::random_vector_c64(n, &mut rng);
+    let b = workloads::random_vector_c64(n, &mut rng);
+    // Host circular convolution.
+    let mut conv = vec![Complex64::ZERO; n];
+    for i in 0..n {
+        for j in 0..n {
+            let k = (i + j) % n;
+            conv[k] = conv[k].add(a[i].mul(b[j]));
+        }
+    }
+    let mut mach = TcuMachine::model(16, 3);
+    let fa = fft::dft(&mut mach, &a);
+    let fb = fft::dft(&mut mach, &b);
+    let fc = fft::dft(&mut mach, &conv);
+    for i in 0..n {
+        assert!(fa[i].mul(fb[i]).sub(fc[i]).abs() < 1e-7, "bin {i}");
+    }
+}
+
+#[test]
+fn weak_trace_replay_bounds_hold_across_algorithms() {
+    // Theorem 12: replayed I/Os ≤ 3 × weak-TCU time, for several
+    // different algorithms' traces.
+    let mut weak = TcuMachine::weak(16, 0);
+
+    weak.enable_trace();
+    let a = Matrix::from_fn(32, 32, |i, j| ((i + j) % 5) as i64);
+    let _ = dense::multiply(&mut weak, &a, &a.clone());
+    let t1 = weak.time();
+    let ios1 = extmem::replay_trace(&weak.take_trace(), 4);
+    assert!(ios1 <= 3 * t1 && ios1 > 0);
+
+    weak.reset();
+    weak.enable_trace();
+    let mut g = Matrix::from_fn(16, 16, |i, j| i64::from((i + 1) % 16 == j));
+    closure::transitive_closure(&mut weak, &mut g);
+    let t2 = weak.time();
+    let ios2 = extmem::replay_trace(&weak.take_trace(), 4);
+    assert!(ios2 <= 3 * t2 && ios2 > 0);
+}
+
+#[test]
+fn model_vs_systolic_costing_is_a_bounded_constant() {
+    // The VAL claim as a test: same algorithm, both costings, ratio < 2.
+    let d = 128usize;
+    let a = Matrix::from_fn(d, d, |i, j| ((i * 3 + j) % 7) as i64);
+    let b = Matrix::from_fn(d, d, |i, j| ((i + 2 * j) % 5) as i64);
+    let eff = SystolicTensorUnit::new(256).effective_latency();
+    let mut model = TcuMachine::model(256, eff);
+    let _ = dense::multiply(&mut model, &a, &b);
+    let mut cyc = TcuMachine::new(SystolicTensorUnit::new(256));
+    let _ = dense::multiply(&mut cyc, &a, &b);
+    let ratio = cyc.time() as f64 / model.time() as f64;
+    assert!((1.0..2.0).contains(&ratio), "ratio = {ratio}");
+}
+
+#[test]
+fn stats_decompose_time_exactly() {
+    let mut mach = TcuMachine::model(64, 123);
+    let a = Matrix::from_fn(32, 32, |i, j| (i * j % 9) as f64);
+    let _ = dense::multiply(&mut mach, &a, &a.clone());
+    let s = mach.stats();
+    assert_eq!(s.time(), s.scalar_ops + s.tensor_time);
+    assert_eq!(s.tensor_time, s.tensor_stream_time() + s.tensor_latency_time);
+    assert_eq!(s.tensor_latency_time, s.tensor_calls * 123);
+    assert_eq!(s.tensor_stream_time(), s.tensor_rows * 8);
+}

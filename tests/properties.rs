@@ -1,0 +1,155 @@
+//! Property-based tests (proptest) of the core invariants: ring axioms
+//! on the simulated tensor unit, oracle agreement under random inputs,
+//! transform inverses, and cost-model monotonicity.
+
+use proptest::prelude::*;
+use tcu::algos::{apsd, closure, dense, fft, intmul, poly, workloads};
+use tcu::linalg::ops::matmul_naive;
+use tcu::prelude::*;
+
+/// Random small Fp61 matrix strategy.
+fn fp_matrix(d: usize) -> impl Strategy<Value = Matrix<Fp61>> {
+    proptest::collection::vec(any::<u64>(), d * d)
+        .prop_map(move |v| Matrix::from_vec(d, d, v.into_iter().map(Fp61::new).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tensor_multiplication_is_associative((a, b, c) in (fp_matrix(8), fp_matrix(8), fp_matrix(8))) {
+        let mut mach = TcuMachine::model(16, 5);
+        let ab = dense::multiply(&mut mach, &a, &b);
+        let ab_c = dense::multiply(&mut mach, &ab, &c);
+        let bc = dense::multiply(&mut mach, &b, &c);
+        let a_bc = dense::multiply(&mut mach, &a, &bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn tensor_multiplication_distributes((a, b, c) in (fp_matrix(8), fp_matrix(8), fp_matrix(8))) {
+        let mut mach = TcuMachine::model(16, 5);
+        let left = dense::multiply(&mut mach, &a, &b.add(&c));
+        let right = dense::multiply(&mut mach, &a, &b).add(&dense::multiply(&mut mach, &a, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn machine_product_equals_naive(seed in any::<u64>(), d in 1usize..20) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = workloads::random_matrix_i64(d, d, 100, &mut rng);
+        let b = workloads::random_matrix_i64(d, d, 100, &mut rng);
+        let mut mach = TcuMachine::model(16, 9);
+        prop_assert_eq!(dense::multiply_rect(&mut mach, &a, &b), matmul_naive(&a, &b));
+    }
+
+    #[test]
+    fn closure_is_idempotent_and_monotone(seed in any::<u64>()) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let adj = workloads::random_digraph(16, 0.2, &mut rng);
+        let mut mach = TcuMachine::model(16, 0);
+        let mut once = adj.clone();
+        closure::transitive_closure(&mut mach, &mut once);
+        // Monotone: every original edge survives.
+        for i in 0..16 {
+            for j in 0..16 {
+                prop_assert!(once[(i, j)] >= adj[(i, j)]);
+            }
+        }
+        // Idempotent.
+        let mut twice = once.clone();
+        closure::transitive_closure(&mut mach, &mut twice);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn seidel_matches_bfs(seed in any::<u64>(), n in 2usize..24) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let adj = workloads::random_connected_graph(n, 0.15, &mut rng);
+        let mut mach = TcuMachine::model(16, 1);
+        prop_assert_eq!(apsd::seidel_apsd(&mut mach, &adj), apsd::bfs_apsd_host(&adj));
+    }
+
+    #[test]
+    fn dft_roundtrip_and_linearity(seed in any::<u64>(), logn in 1u32..8) {
+        let n = 1usize << logn;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let x = workloads::random_vector_c64(n, &mut rng);
+        let mut mach = TcuMachine::model(16, 2);
+        let fwd = fft::dft(&mut mach, &x);
+        let back = fft::idft(&mut mach, &fwd);
+        for (orig, got) in x.iter().zip(&back) {
+            prop_assert!(orig.sub(*got).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bignat_multiplication_matches_host(seed in any::<u64>(), la in 1usize..40, lb in 1usize..40) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = intmul::BigNat::from_limbs(workloads::random_limbs(la, &mut rng));
+        let b = intmul::BigNat::from_limbs(workloads::random_limbs(lb, &mut rng));
+        let want = intmul::mul_host(&a, &b);
+        let mut mach = TcuMachine::model(16, 3);
+        prop_assert_eq!(intmul::mul_tcu_schoolbook(&mut mach, &a, &b), want.clone());
+        prop_assert_eq!(intmul::mul_tcu_karatsuba(&mut mach, &a, &b), want);
+    }
+
+    #[test]
+    fn bignat_mul_is_commutative(seed in any::<u64>()) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = intmul::BigNat::from_limbs(workloads::random_limbs(12, &mut rng));
+        let b = intmul::BigNat::from_limbs(workloads::random_limbs(7, &mut rng));
+        let mut mach = TcuMachine::model(16, 0);
+        prop_assert_eq!(
+            intmul::mul_tcu_schoolbook(&mut mach, &a, &b),
+            intmul::mul_tcu_schoolbook(&mut mach, &b, &a)
+        );
+    }
+
+    #[test]
+    fn poly_eval_matches_horner(seed in any::<u64>(), n in 1usize..80, p in 1usize..12) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let coeffs: Vec<Fp61> = (0..n).map(|_| Fp61::new(rand::Rng::gen(&mut rng))).collect();
+        let points: Vec<Fp61> = (0..p).map(|_| Fp61::new(rand::Rng::gen(&mut rng))).collect();
+        let mut mach = TcuMachine::model(16, 4);
+        prop_assert_eq!(poly::batch_eval(&mut mach, &coeffs, &points), poly::horner_host(&coeffs, &points));
+    }
+
+    #[test]
+    fn time_is_monotone_in_latency(seed in any::<u64>(), l1 in 0u64..1000, dl in 1u64..1000) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = workloads::random_matrix_i64(16, 16, 10, &mut rng);
+        let b = workloads::random_matrix_i64(16, 16, 10, &mut rng);
+        let mut lo = TcuMachine::model(16, l1);
+        let _ = dense::multiply(&mut lo, &a, &b);
+        let mut hi = TcuMachine::model(16, l1 + dl);
+        let _ = dense::multiply(&mut hi, &a, &b);
+        prop_assert!(hi.time() > lo.time());
+        // And the difference is exactly calls × dl.
+        prop_assert_eq!(hi.time() - lo.time(), lo.stats().tensor_calls * dl);
+    }
+
+    #[test]
+    fn weak_machine_never_beats_strong(seed in any::<u64>(), l in 0u64..500) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = workloads::random_matrix_i64(32, 32, 10, &mut rng);
+        let b = workloads::random_matrix_i64(32, 32, 10, &mut rng);
+        let mut strong = TcuMachine::model(16, l);
+        let cs = dense::multiply(&mut strong, &a, &b);
+        let mut weak = TcuMachine::weak(16, l);
+        let cw = dense::multiply(&mut weak, &a, &b);
+        prop_assert_eq!(cs, cw);
+        prop_assert!(weak.time() >= strong.time());
+    }
+
+    #[test]
+    fn systolic_array_equals_naive(seed in any::<u64>(), s in 1usize..10, mult in 1usize..5) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = workloads::random_matrix_i64(s * mult, s, 20, &mut rng);
+        let b = workloads::random_matrix_i64(s, s, 20, &mut rng);
+        let mut arr = SystolicArray::new(s);
+        let (c, rep) = arr.multiply(&a, &b);
+        prop_assert_eq!(c, matmul_naive(&a, &b));
+        prop_assert_eq!(rep.stream_steps, tcu::systolic::stream_cycles(s * mult, s));
+    }
+}

@@ -1,0 +1,213 @@
+//! The paper as a test suite: every theorem's time bound asserted as an
+//! inequality `measured ≤ C · bound` at several parameter points, with a
+//! fixed constant per theorem. These are the guards that keep the
+//! algorithms inside their proved complexity classes as the code evolves
+//! (the experiment binaries measure shapes; these tests enforce them).
+
+use rand::{rngs::StdRng, SeedableRng};
+use tcu::algos::{apsd, closure, dense, fft, gauss, intmul, poly, scan, stencil, strassen, workloads};
+use tcu::linalg::decomp::{augmented_from, diag_dominant};
+use tcu::prelude::*;
+
+fn sqrt_m(m: usize) -> f64 {
+    (m as f64).sqrt()
+}
+
+/// Theorem 1: `T(n) ≤ C·(n/m)^{ω₀}(m + ℓ)` for the Strassen recursion
+/// (ω₀ = log₄ 7), plus the addition term the paper absorbs.
+#[test]
+fn theorem_1_strassen_bound() {
+    let omega0 = (7f64).ln() / (4f64).ln();
+    for (d, m, l) in [(64usize, 16usize, 0u64), (128, 16, 1000), (256, 256, 50_000)] {
+        let a = Matrix::from_fn(d, d, |i, j| ((i + j) % 7) as i64);
+        let b = Matrix::from_fn(d, d, |i, j| ((i * 2 + j) % 5) as i64);
+        let mut mach = TcuMachine::model(m, l);
+        let _ = strassen::multiply_strassen(&mut mach, &a, &b);
+        let n = (d * d) as f64;
+        let bound = (n / m as f64).powf(omega0) * (m as u64 + l) as f64
+            + 6.0 * m as f64 * (n / m as f64).powf(omega0);
+        assert!(
+            (mach.time() as f64) <= 1.5 * bound,
+            "d={d} m={m} l={l}: {} > 1.5·{bound}",
+            mach.time()
+        );
+    }
+}
+
+/// Theorem 2: `T(n) ≤ C·(n^{3/2}/√m + (n/m)·ℓ)` — and the exact form.
+#[test]
+fn theorem_2_dense_bound() {
+    for (d, m, l) in [(64usize, 16usize, 0u64), (128, 64, 5_000), (256, 256, 1_000_000)] {
+        let a = Matrix::from_fn(d, d, |i, j| ((3 * i + j) % 11) as i64);
+        let b = Matrix::from_fn(d, d, |i, j| ((i + 7 * j) % 13) as i64);
+        let mut mach = TcuMachine::model(m, l);
+        let _ = dense::multiply(&mut mach, &a, &b);
+        let n = (d * d) as f64;
+        let bound = n.powf(1.5) / sqrt_m(m) + n / m as f64 * l as f64;
+        assert!((mach.time() as f64) <= 2.5 * bound, "d={d} m={m} l={l}");
+        // Lower direction: the semiring floor.
+        assert!((mach.time() as f64) >= n.powf(1.5) / sqrt_m(m));
+    }
+}
+
+/// Theorem 4: `T ≤ C·(n^{3/2}/√m + (n/m)ℓ + n√m)`.
+#[test]
+fn theorem_4_gauss_bound() {
+    for (d, m, l) in [(64usize, 16usize, 0u64), (128, 64, 10_000)] {
+        let a = diag_dominant(d - 1, 5);
+        let rhs = vec![1.0f64; d - 1];
+        let mut c = augmented_from(&a, &rhs);
+        let mut mach = TcuMachine::model(m, l);
+        gauss::ge_forward(&mut mach, &mut c);
+        let n = (d * d) as f64;
+        let bound = n.powf(1.5) / sqrt_m(m) + n / m as f64 * l as f64 + n * sqrt_m(m);
+        assert!((mach.time() as f64) <= 4.0 * bound, "d={d} m={m} l={l}");
+    }
+}
+
+/// Theorem 5: `T ≤ C·(n³/√m + (n²/m)ℓ + n²√m)` (n = vertices).
+#[test]
+fn theorem_5_closure_bound() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for (n, m, l) in [(64usize, 16usize, 0u64), (128, 256, 20_000)] {
+        let mut d = workloads::random_digraph(n, 0.1, &mut rng);
+        let mut mach = TcuMachine::model(m, l);
+        closure::transitive_closure(&mut mach, &mut d);
+        let nf = n as f64;
+        let bound = nf.powi(3) / sqrt_m(m) + nf * nf / m as f64 * l as f64 + nf * nf * sqrt_m(m);
+        assert!((mach.time() as f64) <= 7.0 * bound, "n={n} m={m} l={l}");
+    }
+}
+
+/// Theorem 6: `T ≤ C·(n²/m)^{3/2}(m + ℓ)·log n` (standard-recursion ω₀).
+#[test]
+fn theorem_6_apsd_bound() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for (n, m, l) in [(48usize, 16usize, 100u64), (96, 64, 10_000)] {
+        let adj = workloads::random_connected_graph(n, 0.1, &mut rng);
+        let mut mach = TcuMachine::model(m, l);
+        let _ = apsd::seidel_apsd(&mut mach, &adj);
+        let nf = n as f64;
+        let bound = (nf * nf / m as f64).powf(1.5).max(1.0)
+            * (m as u64 + l) as f64
+            * nf.log2().ceil();
+        assert!((mach.time() as f64) <= 16.0 * bound, "n={n} m={m} l={l}");
+    }
+}
+
+/// Theorem 7: `T ≤ C·(n + ℓ)·log_m n`.
+#[test]
+fn theorem_7_dft_bound() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for (n, m, l) in [(1usize << 10, 16usize, 0u64), (1 << 14, 256, 5_000), (1 << 12, 4096, 100)]
+    {
+        let x = workloads::random_vector_c64(n, &mut rng);
+        let mut mach = TcuMachine::model(m, l);
+        let _ = fft::dft(&mut mach, &x);
+        let logm = ((n as f64).ln() / (m as f64).ln()).max(1.0);
+        let bound = (n as u64 + l) as f64 * logm;
+        assert!((mach.time() as f64) <= 10.0 * bound, "n={n} m={m} l={l}");
+    }
+}
+
+/// Theorem 8: `T ≤ C·(n·log_m k + ℓ·log k)` — with the implementation's
+/// padded-transform constant.
+#[test]
+fn theorem_8_stencil_bound() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let w = stencil::StencilWeights::heat(0.1, 0.1);
+    for (d, k, m, l) in [(32usize, 8usize, 256usize, 100u64), (64, 16, 1024, 5_000)] {
+        let grid = workloads::random_grid(d, &mut rng);
+        let mut mach = TcuMachine::model(m, l);
+        let _ = stencil::run_tcu(&mut mach, &grid, &w, k);
+        let n = (d * d) as f64;
+        let logm = ((k as f64).ln() / (m as f64).ln()).max(1.0);
+        let logk = (k as f64).log2().max(1.0);
+        // k² log_m k covers the Lemma 2 phase when k² ≳ n/tile-count.
+        let bound = (n + (k * k) as f64) * logm.max(1.0) + l as f64 * logk;
+        assert!(
+            (mach.time() as f64) <= 600.0 * bound,
+            "d={d} k={k}: {} > 600·{bound}",
+            mach.time()
+        );
+    }
+}
+
+/// Theorem 9: `T ≤ C·(n′²/√m + (n′/m)·ℓ)` for n′ ≥ m limbs.
+#[test]
+fn theorem_9_intmul_bound() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for (limbs, m, l) in [(256usize, 16usize, 0u64), (1024, 256, 50_000)] {
+        let a = intmul::BigNat::from_limbs(workloads::random_limbs(limbs, &mut rng));
+        let b = intmul::BigNat::from_limbs(workloads::random_limbs(limbs, &mut rng));
+        let mut mach = TcuMachine::model(m, l);
+        let _ = intmul::mul_tcu_schoolbook(&mut mach, &a, &b);
+        let np = limbs as f64;
+        let bound = np * np / sqrt_m(m) + np / m as f64 * l as f64;
+        assert!((mach.time() as f64) <= 4.0 * bound, "limbs={limbs} m={m}");
+    }
+}
+
+/// Theorem 11: `T ≤ C·(p·n/√m + p·√m + (n/m)·ℓ)` — and the exact form.
+#[test]
+fn theorem_11_poly_bound() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for (n, p, m, l) in [(1024usize, 64usize, 16usize, 0u64), (4096, 128, 256, 9_000)] {
+        let coeffs: Vec<Fp61> =
+            (0..n).map(|_| Fp61::new(rand::Rng::gen(&mut rng))).collect();
+        let points: Vec<Fp61> =
+            (0..p).map(|_| Fp61::new(rand::Rng::gen(&mut rng))).collect();
+        let mut mach = TcuMachine::model(m, l);
+        let _ = poly::batch_eval(&mut mach, &coeffs, &points);
+        let (nf, pf) = (n as f64, p as f64);
+        let bound = pf * nf / sqrt_m(m) + pf * sqrt_m(m) + nf / m as f64 * l as f64;
+        assert!((mach.time() as f64) <= 5.0 * bound, "n={n} p={p} m={m}");
+    }
+}
+
+/// §5: a strong-model algorithm runs on the weak machine with constant
+/// slowdown when ℓ = O(m) — the paper's simulation remark, across three
+/// different algorithms.
+#[test]
+fn weak_model_constant_slowdown_when_latency_at_most_m() {
+    let (m, l) = (64usize, 64u64); // ℓ = m
+    let d = 64usize;
+
+    // Dense multiplication.
+    let a = Matrix::from_fn(d, d, |i, j| ((i + j) % 9) as i64);
+    let b = Matrix::from_fn(d, d, |i, j| ((2 * i + j) % 7) as i64);
+    let mut strong = TcuMachine::model(m, l);
+    let _ = dense::multiply(&mut strong, &a, &b);
+    let mut weak = TcuMachine::weak(m, l);
+    let _ = dense::multiply(&mut weak, &a, &b);
+    assert!(weak.time() <= 3 * strong.time(), "dense: {} vs {}", weak.time(), strong.time());
+
+    // DFT.
+    let x = vec![Complex64::ONE; 4096];
+    let mut strong = TcuMachine::model(m, l);
+    let _ = fft::dft(&mut strong, &x);
+    let mut weak = TcuMachine::weak(m, l);
+    let _ = fft::dft(&mut weak, &x);
+    assert!(weak.time() <= 3 * strong.time(), "dft: {} vs {}", weak.time(), strong.time());
+
+    // Prefix scan.
+    let xs: Vec<i64> = (0..10_000).collect();
+    let mut strong = TcuMachine::model(m, l);
+    let _ = scan::prefix_sum(&mut strong, &xs);
+    let mut weak = TcuMachine::weak(m, l);
+    let _ = scan::prefix_sum(&mut weak, &xs);
+    assert!(weak.time() <= 3 * strong.time(), "scan: {} vs {}", weak.time(), strong.time());
+}
+
+/// Scan/reduction (related work [9]): `T ≤ C·(n + ℓ·log_m n)`.
+#[test]
+fn scan_bound() {
+    for (n, m, l) in [(4096usize, 16usize, 0u64), (65536, 256, 100_000)] {
+        let xs: Vec<i64> = (0..n as i64).collect();
+        let mut mach = TcuMachine::model(m, l);
+        let _ = scan::prefix_sum(&mut mach, &xs);
+        let levels = ((n as f64).ln() / (m as f64).ln()).ceil().max(1.0) + 1.0;
+        let bound = 3.0 * n as f64 + l as f64 * levels;
+        assert!((mach.time() as f64) <= 3.0 * bound, "n={n} m={m} l={l}");
+    }
+}
