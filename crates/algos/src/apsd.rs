@@ -41,7 +41,11 @@ pub fn seidel_apsd<U: TensorUnit>(mach: &mut TcuMachine<U>, adj: &Matrix<i64>) -
         for j in 0..n {
             let x = adj[(i, j)];
             assert!(x == 0 || x == 1, "entries must be 0/1");
-            assert_eq!(x, adj[(j, i)], "matrix must be symmetric (undirected graph)");
+            assert_eq!(
+                x,
+                adj[(j, i)],
+                "matrix must be symmetric (undirected graph)"
+            );
         }
     }
     if n == 1 {
@@ -50,12 +54,11 @@ pub fn seidel_apsd<U: TensorUnit>(mach: &mut TcuMachine<U>, adj: &Matrix<i64>) -
     recurse(mach, adj, depth_limit(n))
 }
 
-fn recurse<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
-    adj: &Matrix<i64>,
-    fuel: usize,
-) -> Matrix<i64> {
-    assert!(fuel > 0, "recursion exceeded the connected-graph depth bound: graph is disconnected");
+fn recurse<U: TensorUnit>(mach: &mut TcuMachine<U>, adj: &Matrix<i64>, fuel: usize) -> Matrix<i64> {
+    assert!(
+        fuel > 0,
+        "recursion exceeded the connected-graph depth bound: graph is disconnected"
+    );
     let n = adj.rows();
 
     // Base case: G is complete — D = J − I (the paper's A^{(h)} with all
@@ -133,7 +136,12 @@ mod tests {
 
     #[test]
     fn matches_bfs_on_random_connected_graphs() {
-        for (n, p, m) in [(5usize, 0.2, 4usize), (12, 0.1, 4), (17, 0.3, 16), (32, 0.05, 16)] {
+        for (n, p, m) in [
+            (5usize, 0.2, 4usize),
+            (12, 0.1, 4),
+            (17, 0.3, 16),
+            (32, 0.05, 16),
+        ] {
             let mut rng = StdRng::seed_from_u64(n as u64 * 31 + 1);
             let adj = random_connected_graph(n, p, &mut rng);
             let mut mach = TcuMachine::model(m, 7);

@@ -26,7 +26,10 @@ use tcu_linalg::Matrix;
 pub fn transitive_closure<U: TensorUnit>(mach: &mut TcuMachine<U>, d: &mut Matrix<i64>) {
     let n = d.rows();
     assert!(d.is_square(), "adjacency matrix must be square");
-    assert!(d.as_slice().iter().all(|&x| x == 0 || x == 1), "entries must be 0/1");
+    assert!(
+        d.as_slice().iter().all(|&x| x == 0 || x == 1),
+        "entries must be 0/1"
+    );
     let s = mach.sqrt_m();
     assert!(n.is_multiple_of(s), "√m = {s} must divide n = {n}");
     let q = n / s;
@@ -184,9 +187,13 @@ mod tests {
 
     #[test]
     fn matches_unblocked_oracle() {
-        for (n, m, density) in
-            [(8usize, 4usize, 0.2), (16, 16, 0.1), (32, 16, 0.05), (32, 16, 0.5), (24, 4, 0.15)]
-        {
+        for (n, m, density) in [
+            (8usize, 4usize, 0.2),
+            (16, 16, 0.1),
+            (32, 16, 0.05),
+            (32, 16, 0.5),
+            (24, 4, 0.15),
+        ] {
             let (host, dev) = closure_pair(n, m, density, 1000 + n as u64);
             assert_eq!(host, dev, "n={n} m={m} density={density}");
         }

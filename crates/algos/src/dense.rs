@@ -38,9 +38,15 @@ pub fn multiply<T: Scalar, U: TensorUnit>(
     b: &Matrix<T>,
 ) -> Matrix<T> {
     let d = a.rows();
-    assert!(a.is_square() && b.is_square() && b.rows() == d, "operands must be d×d");
+    assert!(
+        a.is_square() && b.is_square() && b.rows() == d,
+        "operands must be d×d"
+    );
     let s = mach.sqrt_m();
-    assert!(d.is_multiple_of(s), "√m = {s} must divide d = {d} (pad or use multiply_rect)");
+    assert!(
+        d.is_multiple_of(s),
+        "√m = {s} must divide d = {d} (pad or use multiply_rect)"
+    );
     multiply_rect(mach, a, b)
 }
 
@@ -107,7 +113,10 @@ pub fn multiply_naive_order<T: Scalar, U: TensorUnit>(
     b: &Matrix<T>,
 ) -> Matrix<T> {
     let d = a.rows();
-    assert!(a.is_square() && b.is_square() && b.rows() == d, "operands must be d×d");
+    assert!(
+        a.is_square() && b.is_square() && b.rows() == d,
+        "operands must be d×d"
+    );
     let s = mach.sqrt_m();
     assert!(d.is_multiple_of(s), "√m = {s} must divide d = {d}");
     let qb = d / s;
@@ -170,10 +179,20 @@ mod tests {
     #[test]
     fn rect_matches_naive_with_ragged_shapes() {
         let mut mach = TcuMachine::model(16, 3);
-        for (p, r, q) in [(5usize, 3usize, 7usize), (4, 4, 4), (9, 17, 2), (1, 1, 1), (12, 8, 20)] {
+        for (p, r, q) in [
+            (5usize, 3usize, 7usize),
+            (4, 4, 4),
+            (9, 17, 2),
+            (1, 1, 1),
+            (12, 8, 20),
+        ] {
             let a = pseudo(p, r, 3);
             let b = pseudo(r, q, 4);
-            assert_eq!(multiply_rect(&mut mach, &a, &b), matmul_naive(&a, &b), "{p}x{r}x{q}");
+            assert_eq!(
+                multiply_rect(&mut mach, &a, &b),
+                matmul_naive(&a, &b),
+                "{p}x{r}x{q}"
+            );
         }
     }
 
@@ -182,7 +201,10 @@ mod tests {
         let mut mach = TcuMachine::model(16, 7);
         let a = pseudo(16, 16, 5);
         let b = pseudo(16, 16, 6);
-        assert_eq!(multiply_naive_order(&mut mach, &a, &b), matmul_naive(&a, &b));
+        assert_eq!(
+            multiply_naive_order(&mut mach, &a, &b),
+            matmul_naive(&a, &b)
+        );
     }
 
     #[test]

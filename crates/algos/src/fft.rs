@@ -66,7 +66,10 @@ pub fn dft_rows<U: TensorUnit>(
     data: &Matrix<Complex64>,
 ) -> Matrix<Complex64> {
     let nc = data.cols();
-    assert!(nc.is_power_of_two(), "DFT length must be a power of two (got {nc})");
+    assert!(
+        nc.is_power_of_two(),
+        "DFT length must be a power of two (got {nc})"
+    );
     let s = mach.sqrt_m();
     if nc > s {
         assert!(
@@ -244,7 +247,10 @@ mod tests {
     use tcu_core::TcuMachine;
 
     fn max_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| x.sub(*y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.sub(*y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -264,7 +270,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for n in [1usize, 2, 8, 64, 512] {
             let x = random_vector_c64(n, &mut rng);
-            assert!(max_diff(&fft_host(&x), &dft_direct_host(&x)) < 1e-8, "n = {n}");
+            assert!(
+                max_diff(&fft_host(&x), &dft_direct_host(&x)) < 1e-8,
+                "n = {n}"
+            );
         }
     }
 
@@ -322,7 +331,12 @@ mod tests {
     #[test]
     fn cost_matches_closed_form() {
         let mut rng = StdRng::seed_from_u64(6);
-        for (n, m, l) in [(64usize, 16usize, 0u64), (256, 16, 1000), (1024, 64, 33), (8, 16, 5)] {
+        for (n, m, l) in [
+            (64usize, 16usize, 0u64),
+            (256, 16, 1000),
+            (1024, 64, 33),
+            (8, 16, 5),
+        ] {
             let x = random_vector_c64(n, &mut rng);
             let mut mach = TcuMachine::model(m, l);
             let _ = dft(&mut mach, &x);

@@ -128,11 +128,7 @@ fn kernel_b<T: Field, U: TensorUnit>(
 /// Kernel `C` (Figure 4): prepare a block in the pivot block column —
 /// each column `j` receives the elimination updates of the in-block
 /// pivots preceding it.
-fn kernel_c<T: Field, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
-    x: &mut Matrix<T>,
-    y: &Matrix<T>,
-) {
+fn kernel_c<T: Field, U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<T>, y: &Matrix<T>) {
     let s = x.rows();
     let mut ops = 0u64;
     for k in 0..s {
@@ -155,9 +151,13 @@ fn kernel_c<T: Field, U: TensorUnit>(
 pub fn ge_forward_time(d: u64, s: u64, l: u64) -> u64 {
     let q = d / s;
     // Per-call kernel op counts.
-    let a_ops: u64 = (0..s.saturating_sub(1)).map(|k| 3 * (s - 1 - k) * (s - 1 - k)).sum();
-    let b_ops: u64 =
-        (0..s.saturating_sub(1)).map(|k| 3 * (s - 1 - k) * s).sum::<u64>() + 2 * s * s;
+    let a_ops: u64 = (0..s.saturating_sub(1))
+        .map(|k| 3 * (s - 1 - k) * (s - 1 - k))
+        .sum();
+    let b_ops: u64 = (0..s.saturating_sub(1))
+        .map(|k| 3 * (s - 1 - k) * s)
+        .sum::<u64>()
+        + 2 * s * s;
     let c_ops: u64 = (0..s).map(|k| 3 * s * (s - 1 - k)).sum();
     let mut t = 0u64;
     for kk in 0..q {
@@ -176,7 +176,9 @@ pub fn ge_forward_time(d: u64, s: u64, l: u64) -> u64 {
 mod tests {
     use super::*;
     use tcu_core::TcuMachine;
-    use tcu_linalg::decomp::{augmented_from, back_substitute, diag_dominant, ge_forward_host, residual};
+    use tcu_linalg::decomp::{
+        augmented_from, back_substitute, diag_dominant, ge_forward_host, residual,
+    };
     use tcu_linalg::ops::approx_eq_rel;
     use tcu_linalg::{Fp61, Scalar};
 
@@ -217,7 +219,10 @@ mod tests {
         ge_forward(&mut mach, &mut c);
         let x = back_substitute(&c);
         assert!(residual(&a, &x, &b) < 1e-8);
-        assert!(mach.stats().tensor_calls > 0, "the update must use the tensor unit");
+        assert!(
+            mach.stats().tensor_calls > 0,
+            "the update must use the tensor unit"
+        );
     }
 
     #[test]

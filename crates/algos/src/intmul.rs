@@ -62,7 +62,10 @@ impl BigNat {
     /// Panics if a limb is out of range.
     #[must_use]
     pub fn from_limbs(limbs: Vec<u64>) -> Self {
-        assert!(limbs.iter().all(|&l| l < LIMB_BASE), "limbs must be < 2^{LIMB_BITS}");
+        assert!(
+            limbs.iter().all(|&l| l < LIMB_BASE),
+            "limbs must be < 2^{LIMB_BITS}"
+        );
         let mut v = Self { limbs };
         v.trim();
         v
@@ -92,7 +95,8 @@ impl BigNat {
         match self.limbs.last() {
             None => 0,
             Some(&top) => {
-                (self.limbs.len() as u64 - 1) * u64::from(LIMB_BITS) + u64::from(64 - top.leading_zeros())
+                (self.limbs.len() as u64 - 1) * u64::from(LIMB_BITS)
+                    + u64::from(64 - top.leading_zeros())
             }
         }
     }
@@ -160,7 +164,10 @@ impl BigNat {
             }
             out.push(d as u64);
         }
-        assert!(borrow == 0 && other.limbs.len() <= self.limbs.len(), "BigNat::sub underflow");
+        assert!(
+            borrow == 0 && other.limbs.len() <= self.limbs.len(),
+            "BigNat::sub underflow"
+        );
         Self::from_limbs(out)
     }
 
@@ -361,7 +368,9 @@ pub fn mul_host_karatsuba(a: &BigNat, b: &BigNat) -> BigNat {
     let (b0, b1) = (b.low(h), b.high(h));
     let p0 = mul_host_karatsuba(&a0, &b0);
     let p2 = mul_host_karatsuba(&a1, &b1);
-    let p1 = mul_host_karatsuba(&a0.add(&a1), &b0.add(&b1)).sub(&p0).sub(&p2);
+    let p1 = mul_host_karatsuba(&a0.add(&a1), &b0.add(&b1))
+        .sub(&p0)
+        .sub(&p2);
     p0.add(&p1.shl_limbs(h)).add(&p2.shl_limbs(2 * h))
 }
 
@@ -414,7 +423,11 @@ mod tests {
         for limbs in [1usize, 7, 16, 33, 64, 127] {
             let a = rand_nat(limbs, &mut rng);
             let b = rand_nat(limbs, &mut rng);
-            assert_eq!(mul_host_karatsuba(&a, &b), mul_host(&a, &b), "limbs={limbs}");
+            assert_eq!(
+                mul_host_karatsuba(&a, &b),
+                mul_host(&a, &b),
+                "limbs={limbs}"
+            );
         }
     }
 
@@ -422,7 +435,14 @@ mod tests {
     fn tcu_schoolbook_matches_host() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut mach = TcuMachine::model(16, 5);
-        for (la, lb) in [(1usize, 1usize), (4, 4), (5, 3), (16, 16), (33, 18), (64, 64)] {
+        for (la, lb) in [
+            (1usize, 1usize),
+            (4, 4),
+            (5, 3),
+            (16, 16),
+            (33, 18),
+            (64, 64),
+        ] {
             let a = rand_nat(la, &mut rng);
             let b = rand_nat(lb, &mut rng);
             assert_eq!(
@@ -513,8 +533,14 @@ mod tests {
     fn zero_and_identity_cases() {
         let mut mach = TcuMachine::model(16, 0);
         let a = BigNat::from_u64(12345);
-        assert_eq!(mul_tcu_schoolbook(&mut mach, &a, &BigNat::zero()), BigNat::zero());
-        assert_eq!(mul_tcu_karatsuba(&mut mach, &BigNat::zero(), &a), BigNat::zero());
+        assert_eq!(
+            mul_tcu_schoolbook(&mut mach, &a, &BigNat::zero()),
+            BigNat::zero()
+        );
+        assert_eq!(
+            mul_tcu_karatsuba(&mut mach, &BigNat::zero(), &a),
+            BigNat::zero()
+        );
         assert_eq!(mul_tcu_schoolbook(&mut mach, &a, &BigNat::from_u64(1)), a);
     }
 }

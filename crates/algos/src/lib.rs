@@ -28,8 +28,8 @@
 
 pub mod apsd;
 pub mod closure;
-pub mod fft;
 pub mod dense;
+pub mod fft;
 pub mod gauss;
 pub mod intmul;
 pub mod parallel;

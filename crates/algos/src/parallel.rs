@@ -33,17 +33,22 @@ pub fn multiply_parallel<T: Scalar, U: TensorUnit>(
     b: &Matrix<T>,
 ) -> Matrix<T> {
     let d = a.rows();
-    assert!(a.is_square() && b.is_square() && b.rows() == d, "operands must be d×d");
+    assert!(
+        a.is_square() && b.is_square() && b.rows() == d,
+        "operands must be d×d"
+    );
     let s = mach.sqrt_m();
-    assert!(d % s == 0, "√m = {s} must divide d = {d}");
+    assert!(d.is_multiple_of(s), "√m = {s} must divide d = {d}");
     let q = d / s;
 
     // All q² products are independent: one batch.
     let strips: Vec<Matrix<T>> = (0..q).map(|k| a.col_strip(k * s, s)).collect();
-    let blocks: Vec<Matrix<T>> =
-        (0..q * q).map(|kj| b.block((kj / q) * s, (kj % q) * s, s, s)).collect();
-    let ops: Vec<(&Matrix<T>, &Matrix<T>)> =
-        (0..q * q).map(|kj| (&strips[kj / q], &blocks[kj])).collect();
+    let blocks: Vec<Matrix<T>> = (0..q * q)
+        .map(|kj| b.block((kj / q) * s, (kj % q) * s, s, s))
+        .collect();
+    let ops: Vec<(&Matrix<T>, &Matrix<T>)> = (0..q * q)
+        .map(|kj| (&strips[kj / q], &blocks[kj]))
+        .collect();
     let prods = mach.tensor_mul_batch(&ops);
 
     // Serial CPU accumulation per output column-block.
@@ -90,16 +95,21 @@ pub fn multiply_parallel_fused<T: Scalar, U: TensorUnit>(
     fused: bool,
 ) -> Matrix<T> {
     let d = a.rows();
-    assert!(a.is_square() && b.is_square() && b.rows() == d, "operands must be d×d");
+    assert!(
+        a.is_square() && b.is_square() && b.rows() == d,
+        "operands must be d×d"
+    );
     let s = mach.sqrt_m();
-    assert!(d % s == 0, "√m = {s} must divide d = {d}");
+    assert!(d.is_multiple_of(s), "√m = {s} must divide d = {d}");
     let q = d / s;
 
     let strips: Vec<Matrix<T>> = (0..q).map(|k| a.col_strip(k * s, s)).collect();
-    let blocks: Vec<Matrix<T>> =
-        (0..q * q).map(|kj| b.block((kj / q) * s, (kj % q) * s, s, s)).collect();
-    let ops: Vec<(&Matrix<T>, &Matrix<T>)> =
-        (0..q * q).map(|kj| (&strips[kj / q], &blocks[kj])).collect();
+    let blocks: Vec<Matrix<T>> = (0..q * q)
+        .map(|kj| b.block((kj / q) * s, (kj % q) * s, s, s))
+        .collect();
+    let ops: Vec<(&Matrix<T>, &Matrix<T>)> = (0..q * q)
+        .map(|kj| (&strips[kj / q], &blocks[kj]))
+        .collect();
     let prods = mach.tensor_mul_batch(&ops);
 
     let mut c = Matrix::<T>::zeros(d, d);
@@ -123,7 +133,9 @@ mod tests {
     use tcu_linalg::ops::matmul_naive;
 
     fn pseudo(d: usize, seed: i64) -> Matrix<i64> {
-        Matrix::from_fn(d, d, |i, j| ((i as i64 * 11 + j as i64 * 3 + seed) % 13) - 6)
+        Matrix::from_fn(d, d, |i, j| {
+            ((i as i64 * 11 + j as i64 * 3 + seed) % 13) - 6
+        })
     }
 
     #[test]
@@ -132,7 +144,11 @@ mod tests {
         let b = pseudo(32, 2);
         for p in [1usize, 2, 4, 16, 64] {
             let mut mach = ParallelTcuMachine::new(ModelTensorUnit::new(16, 9), p);
-            assert_eq!(multiply_parallel(&mut mach, &a, &b), matmul_naive(&a, &b), "p = {p}");
+            assert_eq!(
+                multiply_parallel(&mut mach, &a, &b),
+                matmul_naive(&a, &b),
+                "p = {p}"
+            );
         }
     }
 
@@ -179,7 +195,13 @@ mod tests {
         let f64_ = time_with(64, true) as f64;
         let unfused_speedup = s1 / s64;
         let fused_speedup = f1 / f64_;
-        assert!(unfused_speedup < 3.0, "Amdahl-limited: {unfused_speedup:.2}");
-        assert!(fused_speedup > 30.0, "fused accumulate scales: {fused_speedup:.2}");
+        assert!(
+            unfused_speedup < 3.0,
+            "Amdahl-limited: {unfused_speedup:.2}"
+        );
+        assert!(
+            fused_speedup > 30.0,
+            "fused accumulate scales: {fused_speedup:.2}"
+        );
     }
 }

@@ -28,7 +28,10 @@ pub fn batch_eval<T: Field, U: TensorUnit>(
     coeffs: &[T],
     points: &[T],
 ) -> Vec<T> {
-    assert!(!coeffs.is_empty(), "polynomial must have at least one coefficient");
+    assert!(
+        !coeffs.is_empty(),
+        "polynomial must have at least one coefficient"
+    );
     if points.is_empty() {
         return Vec::new();
     }
@@ -62,7 +65,9 @@ pub fn batch_eval<T: Field, U: TensorUnit>(
     }
 
     // Coefficient matrix A[t,j] = a_{t + j√m} (column-major packing).
-    let a = Matrix::from_fn(s, cols, |t, j| coeffs.get(t + j * s).copied().unwrap_or(T::ZERO));
+    let a = Matrix::from_fn(s, cols, |t, j| {
+        coeffs.get(t + j * s).copied().unwrap_or(T::ZERO)
+    });
 
     // C = X·A on the tensor unit.
     let c = crate::dense::multiply_rect(mach, &x, &a);
@@ -70,9 +75,7 @@ pub fn batch_eval<T: Field, U: TensorUnit>(
     // Recombination: A(p_i) = Σ_j C[i,j]·stride[i,j] (2 ops per term).
     mach.charge(2 * (p * cols) as u64);
     (0..p)
-        .map(|i| {
-            (0..cols).fold(T::ZERO, |acc, j| acc.add(c[(i, j)].mul(stride[(i, j)])))
-        })
+        .map(|i| (0..cols).fold(T::ZERO, |acc, j| acc.add(c[(i, j)].mul(stride[(i, j)]))))
         .collect()
 }
 
@@ -139,7 +142,14 @@ mod tests {
     fn exact_over_prime_field() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut mach = TcuMachine::model(16, 9);
-        for (n, p) in [(1usize, 1usize), (4, 4), (16, 8), (33, 10), (64, 5), (100, 17)] {
+        for (n, p) in [
+            (1usize, 1usize),
+            (4, 4),
+            (16, 8),
+            (33, 10),
+            (64, 5),
+            (100, 17),
+        ] {
             let coeffs = rand_fp(n, &mut rng);
             let points = rand_fp(p, &mut rng);
             assert_eq!(
@@ -177,9 +187,11 @@ mod tests {
 
     #[test]
     fn cost_matches_closed_form() {
-        for (n, p, m, l) in
-            [(64usize, 8usize, 16usize, 0u64), (256, 32, 16, 1000), (64, 4, 64, 77)]
-        {
+        for (n, p, m, l) in [
+            (64usize, 8usize, 16usize, 0u64),
+            (256, 32, 16, 1000),
+            (64, 4, 64, 77),
+        ] {
             let mut rng = StdRng::seed_from_u64(3);
             let coeffs = rand_fp(n, &mut rng);
             let points = rand_fp(p, &mut rng);

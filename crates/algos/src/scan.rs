@@ -31,7 +31,9 @@ pub fn reduce<T: Scalar, U: TensorUnit>(mach: &mut TcuMachine<U>, xs: &[T]) -> T
     }
     // X: ⌈n/√m⌉ × √m (zero-padded); ones-column matrix reduces each row.
     let rows = xs.len().div_ceil(s);
-    let x = Matrix::from_fn(rows, s, |i, j| xs.get(i * s + j).copied().unwrap_or(T::ZERO));
+    let x = Matrix::from_fn(rows, s, |i, j| {
+        xs.get(i * s + j).copied().unwrap_or(T::ZERO)
+    });
     let ones_col = Matrix::from_fn(s, s, |_, j| if j == 0 { T::ONE } else { T::ZERO });
     let prod = mach.tensor_mul_padded(&x, &ones_col);
     let row_sums: Vec<T> = (0..rows).map(|i| prod[(i, 0)]).collect();
@@ -59,7 +61,9 @@ pub fn prefix_sum<T: Scalar, U: TensorUnit>(mach: &mut TcuMachine<U>, xs: &[T]) 
     // Row-major layout X : rows × √m; X·U gives within-row prefixes
     // (U upper-triangular ones: prod[i][j] = Σ_{t ≤ j} X[i][t]).
     let rows = n.div_ceil(s);
-    let x = Matrix::from_fn(rows, s, |i, j| xs.get(i * s + j).copied().unwrap_or(T::ZERO));
+    let x = Matrix::from_fn(rows, s, |i, j| {
+        xs.get(i * s + j).copied().unwrap_or(T::ZERO)
+    });
     let upper = Matrix::from_fn(s, s, |i, j| if i <= j { T::ONE } else { T::ZERO });
     let within = mach.tensor_mul_padded(&x, &upper);
 
@@ -136,7 +140,11 @@ mod tests {
         let mut mach = TcuMachine::model(m, l);
         let out = prefix_sum(&mut mach, &xs);
         assert_eq!(out[n - 1], n as i64);
-        assert!(mach.stats().tensor_calls <= 3, "calls = {}", mach.stats().tensor_calls);
+        assert!(
+            mach.stats().tensor_calls <= 3,
+            "calls = {}",
+            mach.stats().tensor_calls
+        );
         // Stream term is Θ(n): time ≈ n·(1 + 1/√m·√m) + levels·ℓ.
         assert!(mach.time() < 6 * n as u64 + 4 * l);
     }

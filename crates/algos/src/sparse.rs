@@ -54,7 +54,12 @@ impl<T: Scalar> CsrMatrix<T> {
             }
             row_ptr.push(col_idx.len());
         }
-        Self { dim, row_ptr, col_idx, vals }
+        Self {
+            dim,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Build from (row, col, value) triplets (later duplicates overwrite
@@ -109,13 +114,18 @@ impl<T: Scalar> CsrMatrix<T> {
     where
         T: Into<f64> + Copy,
     {
-        self.vals.iter().filter(|&&v| Into::<f64>::into(v).abs() > tol).count()
+        self.vals
+            .iter()
+            .filter(|&&v| Into::<f64>::into(v).abs() > tol)
+            .count()
     }
 
     /// Indices of rows holding at least one non-zero.
     #[must_use]
     pub fn nonempty_rows(&self) -> Vec<usize> {
-        (0..self.dim).filter(|&i| self.row_ptr[i] < self.row_ptr[i + 1]).collect()
+        (0..self.dim)
+            .filter(|&i| self.row_ptr[i] < self.row_ptr[i + 1])
+            .collect()
     }
 
     /// Indices of columns holding at least one non-zero.
@@ -266,17 +276,26 @@ mod tests {
     #[test]
     fn tcu_matches_host_and_dense_oracle() {
         let mut rng = StdRng::seed_from_u64(1);
-        for (d, ra, cb, per) in
-            [(16usize, 3usize, 3usize, 4usize), (32, 4, 6, 5), (64, 8, 8, 10), (32, 1, 1, 1)]
-        {
+        for (d, ra, cb, per) in [
+            (16usize, 3usize, 3usize, 4usize),
+            (32, 4, 6, 5),
+            (64, 8, 8, 10),
+            (32, 1, 1, 1),
+        ] {
             let (da, db) = random_sparse_pair(d, ra, cb, per, &mut rng);
             let a = CsrMatrix::from_dense(&da);
             let b = CsrMatrix::from_dense(&db);
             let mut mach = TcuMachine::model(16, 11);
             let got = multiply_tcu(&mut mach, &a, &b).to_dense();
             let (host, _) = multiply_host(&a, &b);
-            assert!(max_abs_diff(&got, &host.to_dense()) < 1e-9, "host mismatch d={d}");
-            assert!(max_abs_diff(&got, &matmul_naive(&da, &db)) < 1e-9, "dense mismatch d={d}");
+            assert!(
+                max_abs_diff(&got, &host.to_dense()) < 1e-9,
+                "host mismatch d={d}"
+            );
+            assert!(
+                max_abs_diff(&got, &matmul_naive(&da, &db)) < 1e-9,
+                "dense mismatch d={d}"
+            );
         }
     }
 
@@ -287,7 +306,11 @@ mod tests {
         let mut mach = TcuMachine::model(16, 5);
         assert_eq!(multiply_tcu(&mut mach, &zero, &some).nnz(), 0);
         assert_eq!(multiply_tcu(&mut mach, &some, &zero).nnz(), 0);
-        assert_eq!(mach.stats().tensor_calls, 0, "no tensor work for empty products");
+        assert_eq!(
+            mach.stats().tensor_calls,
+            0,
+            "no tensor work for empty products"
+        );
     }
 
     #[test]
@@ -330,6 +353,11 @@ mod tests {
 
         // And a dense d × d product at the bigger size would cost far more.
         let dense_cost = crate::dense::multiply_time(big_d as u64, 4, 10);
-        assert!(mach_big.time() < dense_cost / 2, "{} vs {}", mach_big.time(), dense_cost);
+        assert!(
+            mach_big.time() < dense_cost / 2,
+            "{} vs {}",
+            mach_big.time(),
+            dense_cost
+        );
     }
 }

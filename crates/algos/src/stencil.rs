@@ -40,7 +40,11 @@ impl StencilWeights {
     /// `r_x`/`r_y`, diagonals 0.
     #[must_use]
     pub fn heat(rx: f64, ry: f64) -> Self {
-        Self([[0.0, ry, 0.0], [rx, 1.0 - 2.0 * rx - 2.0 * ry, rx], [0.0, ry, 0.0]])
+        Self([
+            [0.0, ry, 0.0],
+            [rx, 1.0 - 2.0 * rx - 2.0 * ry, rx],
+            [0.0, ry, 0.0],
+        ])
     }
 
     /// Identity stencil (centre 1): every sweep is a no-op.
@@ -219,8 +223,15 @@ pub fn run_tcu_with_weights<U: TensorUnit>(
     let d = grid.rows();
     assert!(grid.is_square(), "grid must be square");
     assert!(k >= 1, "k must be positive");
-    assert!(d.is_multiple_of(k), "tile size k = {k} must divide the grid dimension d = {d}");
-    assert_eq!((wk.rows(), wk.cols()), (2 * k + 1, 2 * k + 1), "weights must be (2k+1)²");
+    assert!(
+        d.is_multiple_of(k),
+        "tile size k = {k} must divide the grid dimension d = {d}"
+    );
+    assert_eq!(
+        (wk.rows(), wk.cols()),
+        (2 * k + 1, 2 * k + 1),
+        "weights must be (2k+1)²"
+    );
 
     // Flip for convolution-as-correlation, pad, and transform once. The
     // transform size exploits the paper's circular trick: the full linear
@@ -316,12 +327,17 @@ fn transform2_batch<U: TensorUnit>(
         return mats;
     }
     let size = mats[0].rows();
-    assert!(mats.iter().all(|m| m.rows() == size && m.cols() == size), "equal square sizes");
+    assert!(
+        mats.iter().all(|m| m.rows() == size && m.cols() == size),
+        "equal square sizes"
+    );
     let count = mats.len();
 
     let conj_all = |mach: &mut TcuMachine<U>, ms: Vec<Matrix<Complex64>>| {
         mach.charge((count * size * size) as u64);
-        ms.into_iter().map(|m| m.map(Complex64::conj)).collect::<Vec<_>>()
+        ms.into_iter()
+            .map(|m| m.map(Complex64::conj))
+            .collect::<Vec<_>>()
     };
 
     let mut work = if inverse { conj_all(mach, mats) } else { mats };
@@ -345,7 +361,10 @@ fn transform2_batch<U: TensorUnit>(
     if inverse {
         let scale = 1.0 / (size * size) as f64;
         mach.charge(2 * (count * size * size) as u64);
-        work = work.into_iter().map(|m| m.map(|z| z.conj().scale(scale))).collect();
+        work = work
+            .into_iter()
+            .map(|m| m.map(|z| z.conj().scale(scale)))
+            .collect();
     }
     work
 }

@@ -86,7 +86,10 @@ pub fn multiply_strassen_with_base<T: Scalar, U: TensorUnit>(
 
 fn check_square_pow2<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) {
     let d = a.rows();
-    assert!(a.is_square() && b.is_square() && b.rows() == d, "operands must be d×d");
+    assert!(
+        a.is_square() && b.is_square() && b.rows() == d,
+        "operands must be d×d"
+    );
     assert!(d.is_power_of_two(), "dimension must be a power of two");
 }
 
@@ -116,10 +119,20 @@ fn base_or_blocked<T: Scalar, U: TensorUnit>(
 
 fn quadrants<T: Scalar>(x: &Matrix<T>) -> [Matrix<T>; 4] {
     let h = x.rows() / 2;
-    [x.block(0, 0, h, h), x.block(0, h, h, h), x.block(h, 0, h, h), x.block(h, h, h, h)]
+    [
+        x.block(0, 0, h, h),
+        x.block(0, h, h, h),
+        x.block(h, 0, h, h),
+        x.block(h, h, h, h),
+    ]
 }
 
-fn assemble<T: Scalar>(c11: &Matrix<T>, c12: &Matrix<T>, c21: &Matrix<T>, c22: &Matrix<T>) -> Matrix<T> {
+fn assemble<T: Scalar>(
+    c11: &Matrix<T>,
+    c12: &Matrix<T>,
+    c21: &Matrix<T>,
+    c22: &Matrix<T>,
+) -> Matrix<T> {
     let h = c11.rows();
     let mut c = Matrix::<T>::zeros(2 * h, 2 * h);
     c.set_block(0, 0, c11);
@@ -242,7 +255,11 @@ mod tests {
             let a = pseudo(d, d, 1);
             let b = pseudo(d, d, 2);
             let want = matmul_naive(&a, &b);
-            assert_eq!(multiply_recursive(&mut mach, &a, &b), want, "standard d={d}");
+            assert_eq!(
+                multiply_recursive(&mut mach, &a, &b),
+                want,
+                "standard d={d}"
+            );
             assert_eq!(multiply_strassen(&mut mach, &a, &b), want, "strassen d={d}");
         }
     }

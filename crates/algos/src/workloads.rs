@@ -172,8 +172,12 @@ mod tests {
     fn sparse_pair_respects_support() {
         let mut rng = StdRng::seed_from_u64(4);
         let (a, b) = random_sparse_pair(32, 4, 5, 6, &mut rng);
-        let nonempty_rows = (0..32).filter(|&i| (0..32).any(|j| a[(i, j)] != 0.0)).count();
-        let nonempty_cols = (0..32).filter(|&j| (0..32).any(|i| b[(i, j)] != 0.0)).count();
+        let nonempty_rows = (0..32)
+            .filter(|&i| (0..32).any(|j| a[(i, j)] != 0.0))
+            .count();
+        let nonempty_cols = (0..32)
+            .filter(|&j| (0..32).any(|i| b[(i, j)] != 0.0))
+            .count();
         assert!(nonempty_rows <= 4);
         assert!(nonempty_cols <= 5);
     }

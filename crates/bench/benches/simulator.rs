@@ -127,12 +127,16 @@ fn bench_stencil(c: &mut Criterion) {
     let w = stencil::StencilWeights::heat(0.1, 0.1);
     for (d, k) in [(64usize, 16usize), (128, 32)] {
         let grid = workloads::random_grid(d, &mut rng);
-        g.bench_with_input(BenchmarkId::new("d_k", format!("{d}_{k}")), &d, |bench, _| {
-            bench.iter(|| {
-                let mut mach = TcuMachine::model(1024, 100);
-                stencil::run_tcu(&mut mach, &grid, &w, k)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("d_k", format!("{d}_{k}")),
+            &d,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut mach = TcuMachine::model(1024, 100);
+                    stencil::run_tcu(&mut mach, &grid, &w, k)
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -164,7 +168,9 @@ fn bench_poly(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(6);
     for n in [1usize << 12, 1 << 14] {
         let coeffs: Vec<Fp61> = (0..n).map(|i| Fp61::new(i as u64 * 2654435761)).collect();
-        let points = workloads::random_matrix_fp(1, 128, &mut rng).as_slice().to_vec();
+        let points = workloads::random_matrix_fp(1, 128, &mut rng)
+            .as_slice()
+            .to_vec();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| {
                 let mut mach = TcuMachine::model(256, 100);

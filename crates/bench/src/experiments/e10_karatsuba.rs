@@ -16,13 +16,23 @@ use tcu_core::TcuMachine;
 pub fn run(quick: bool) {
     let m = 256usize;
     let s = 16usize;
-    let limb_counts: &[usize] = if quick { &[256, 1024] } else { &[256, 1024, 4096, 16384, 65536] };
+    let limb_counts: &[usize] = if quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096, 16384, 65536]
+    };
     let mut rng = StdRng::seed_from_u64(23);
 
     for &l in &[0u64, 100_000] {
         let mut t = Table::new(
             &format!("E10: Karatsuba vs schoolbook on the TCU, m={m}, l={l}"),
-            &["limbs", "schoolbook", "karatsuba (tuned)", "karatsuba (paper th=sqrt_m)", "tuned/school"],
+            &[
+                "limbs",
+                "schoolbook",
+                "karatsuba (tuned)",
+                "karatsuba (paper th=sqrt_m)",
+                "tuned/school",
+            ],
         );
         for &limbs in limb_counts {
             let a = BigNat::from_limbs(random_limbs(limbs, &mut rng));
@@ -67,5 +77,8 @@ pub fn run(quick: bool) {
         t2.row(vec![fmt_u64(th as u64), fmt_u64(mach.time())]);
     }
     t2.print();
-    println!("E10b: best threshold = {} limbs (paper's sqrt_m = {s}).\n", best.0);
+    println!(
+        "E10b: best threshold = {} limbs (paper's sqrt_m = {s}).\n",
+        best.0
+    );
 }

@@ -13,12 +13,22 @@ pub fn run(quick: bool) {
     let mut rng = StdRng::seed_from_u64(29);
     let mut rand_fp = |n: usize| -> Vec<Fp61> { (0..n).map(|_| Fp61::new(rng.gen())).collect() };
 
-    let ns: &[usize] = if quick { &[1 << 10, 1 << 12] } else { &[1 << 10, 1 << 12, 1 << 14, 1 << 16] };
+    let ns: &[usize] = if quick {
+        &[1 << 10, 1 << 12]
+    } else {
+        &[1 << 10, 1 << 12, 1 << 14, 1 << 16]
+    };
     let p = if quick { 64 } else { 256 };
 
     let mut t = Table::new(
         &format!("E11: batch polynomial evaluation over F_p, p={p} points, m={m}, l={l}"),
-        &["degree n", "tcu time", "closed form", "horner 2pn", "speedup"],
+        &[
+            "degree n",
+            "tcu time",
+            "closed form",
+            "horner 2pn",
+            "speedup",
+        ],
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -37,7 +47,10 @@ pub fn run(quick: bool) {
             fmt_u64(mach.time()),
             fmt_u64(closed),
             fmt_u64(horner_time(n as u64, p as u64)),
-            fmt_f(horner_time(n as u64, p as u64) as f64 / mach.time() as f64, 2),
+            fmt_f(
+                horner_time(n as u64, p as u64) as f64 / mach.time() as f64,
+                2,
+            ),
         ]);
     }
     t.print();
@@ -57,7 +70,11 @@ pub fn run(quick: bool) {
         let points = rand_fp(pp);
         let mut mach = TcuMachine::model(m, l);
         let _ = batch_eval(&mut mach, &coeffs, &points);
-        t2.row(vec![fmt_u64(pp as u64), fmt_u64(mach.time()), fmt_u64(horner_time(4096, pp as u64))]);
+        t2.row(vec![
+            fmt_u64(pp as u64),
+            fmt_u64(mach.time()),
+            fmt_u64(horner_time(4096, pp as u64)),
+        ]);
     }
     t2.print();
     println!();

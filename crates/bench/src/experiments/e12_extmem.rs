@@ -12,11 +12,22 @@ use tcu_linalg::Matrix;
 
 pub fn run(quick: bool) {
     let d: usize = if quick { 64 } else { 256 };
-    let ms: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256, 1024] };
+    let ms: &[usize] = if quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 256, 1024]
+    };
 
     let mut t = Table::new(
         &format!("E12: weak-TCU time vs external-memory I/Os, dense {d}x{d} multiply, l=0"),
-        &["m (M=3m)", "weak time", "replayed I/Os", "I/Os/time", "EM blocked (LRU sim)", "Hong-Kung LB"],
+        &[
+            "m (M=3m)",
+            "weak time",
+            "replayed I/Os",
+            "I/Os/time",
+            "EM blocked (LRU sim)",
+            "Hong-Kung LB",
+        ],
     );
     for &m in ms {
         let a = Matrix::from_fn(d, d, |i, j| ((i * 5 + j) % 13) as i64 - 6);

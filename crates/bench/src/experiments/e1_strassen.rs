@@ -10,17 +10,30 @@ use tcu_core::TcuMachine;
 use tcu_linalg::Matrix;
 
 fn input(d: usize, seed: i64) -> Matrix<i64> {
-    Matrix::from_fn(d, d, |i, j| ((i as i64 * 13 + j as i64 * 29 + seed) % 17) - 8)
+    Matrix::from_fn(d, d, |i, j| {
+        ((i as i64 * 13 + j as i64 * 29 + seed) % 17) - 8
+    })
 }
 
 pub fn run(quick: bool) {
-    let ds: &[usize] = if quick { &[32, 64, 128] } else { &[32, 64, 128, 256, 512] };
+    let ds: &[usize] = if quick {
+        &[32, 64, 128]
+    } else {
+        &[32, 64, 128, 256, 512]
+    };
     let m = 256usize;
 
     for &l in &[0u64, 100_000] {
         let mut t = Table::new(
             &format!("E1: Strassen-like recursions, m={m}, l={l}"),
-            &["d", "standard", "strassen", "strassen/standard", "std calls", "str calls"],
+            &[
+                "d",
+                "standard",
+                "strassen",
+                "strassen/standard",
+                "std calls",
+                "str calls",
+            ],
         );
         let mut xs = Vec::new();
         let mut std_calls = Vec::new();
@@ -72,7 +85,11 @@ pub fn run(quick: bool) {
         if mach.time() < best.1 {
             best = (base as u64, mach.time());
         }
-        t.row(vec![fmt_u64(base as u64), fmt_u64(mach.time()), fmt_u64(mach.stats().tensor_calls)]);
+        t.row(vec![
+            fmt_u64(base as u64),
+            fmt_u64(mach.time()),
+            fmt_u64(mach.stats().tensor_calls),
+        ]);
     }
     t.print();
     println!(

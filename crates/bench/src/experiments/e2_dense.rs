@@ -9,17 +9,30 @@ use tcu_core::TcuMachine;
 use tcu_linalg::Matrix;
 
 fn input(d: usize, seed: i64) -> Matrix<i64> {
-    Matrix::from_fn(d, d, |i, j| ((i as i64 * 37 + j as i64 * 11 + seed) % 23) - 11)
+    Matrix::from_fn(d, d, |i, j| {
+        ((i as i64 * 37 + j as i64 * 11 + seed) % 23) - 11
+    })
 }
 
 pub fn run(quick: bool) {
-    let ds: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512, 1024] };
+    let ds: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
     let (m, l) = (256usize, 10_000u64);
     let s = 16u64;
 
     let mut t = Table::new(
         &format!("E2: dense d x d multiply, m={m}, l={l} (predicted exponent on d: 3)"),
-        &["d", "time", "predicted", "ratio", "tensor calls", "latency share"],
+        &[
+            "d",
+            "time",
+            "predicted",
+            "ratio",
+            "tensor calls",
+            "latency share",
+        ],
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -38,7 +51,10 @@ pub fn run(quick: bool) {
             fmt_u64(predicted),
             fmt_f(mach.time() as f64 / predicted as f64, 3),
             fmt_u64(mach.stats().tensor_calls),
-            fmt_f(mach.stats().tensor_latency_time as f64 / mach.time() as f64, 3),
+            fmt_f(
+                mach.stats().tensor_latency_time as f64 / mach.time() as f64,
+                3,
+            ),
         ]);
     }
     t.print();
@@ -53,7 +69,13 @@ pub fn run(quick: bool) {
     let d = if quick { 128 } else { 512 };
     let mut t2 = Table::new(
         &format!("E2b: latency ablation at d={d}, m={m} (who pays l how often)"),
-        &["l", "thm2 (tall A)", "naive order", "weak machine", "thm2 latency calls"],
+        &[
+            "l",
+            "thm2 (tall A)",
+            "naive order",
+            "weak machine",
+            "thm2 latency calls",
+        ],
     );
     for &l in &[0u64, 1_000, 100_000, 10_000_000] {
         let a = input(d, 3);
@@ -86,6 +108,10 @@ pub fn run(quick: bool) {
         fmt_u64(floor),
         fmt_u64(mach.time()),
         fmt_u64(2 * floor),
-        if mach.time() >= floor && mach.time() <= 2 * floor { "WITHIN 2x OF OPTIMAL" } else { "CHECK" }
+        if mach.time() >= floor && mach.time() <= 2 * floor {
+            "WITHIN 2x OF OPTIMAL"
+        } else {
+            "CHECK"
+        }
     );
 }

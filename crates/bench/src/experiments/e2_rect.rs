@@ -24,8 +24,8 @@ pub fn run(quick: bool) {
         let mut mach = TcuMachine::model(m, l);
         let _ = dense::multiply_rect(&mut mach, &a, &b);
         // Corollary 1: r·n/√m + (r√n/m)·ℓ with n = d².
-        let bound = (r as u64) * (d as u64) * (d as u64) / s
-            + (r as u64) * (d as u64) / (m as u64) * l;
+        let bound =
+            (r as u64) * (d as u64) * (d as u64) / s + (r as u64) * (d as u64) / (m as u64) * l;
         measured.push(mach.time() as f64);
         predicted.push(bound as f64);
         t.row(vec![

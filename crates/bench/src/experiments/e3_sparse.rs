@@ -16,9 +16,21 @@ pub fn run(quick: bool) {
 
     let mut t = Table::new(
         &format!("E3: sparse multiply, d={d}, m={m}, l={l} — Z sweep (active rows/cols)"),
-        &["active", "Z (nnz C)", "I (nnz in)", "tcu time", "thm3 bound", "ratio", "dense time"],
+        &[
+            "active",
+            "Z (nnz C)",
+            "I (nnz in)",
+            "tcu time",
+            "thm3 bound",
+            "ratio",
+            "dense time",
+        ],
     );
-    let actives: &[usize] = if quick { &[4, 8, 16] } else { &[4, 8, 16, 32, 64, 128] };
+    let actives: &[usize] = if quick {
+        &[4, 8, 16]
+    } else {
+        &[4, 8, 16, 32, 64, 128]
+    };
     let mut measured = Vec::new();
     let mut bounds = Vec::new();
     for &active in actives {
@@ -40,8 +52,9 @@ pub fn run(quick: bool) {
         // Theorem 3 with the standard recursion (ω₀ = 3/2):
         // √(n/Z)·(Z/m)^{3/2}·(m + ℓ) + I, n = d².
         let zf = z as f64;
-        let bound = ((d as f64) / zf.sqrt()) * (zf / m as f64).powf(1.5).max(1.0) * (m as u64 + l) as f64
-            + i_nnz as f64;
+        let bound =
+            ((d as f64) / zf.sqrt()) * (zf / m as f64).powf(1.5).max(1.0) * (m as u64 + l) as f64
+                + i_nnz as f64;
         let dense_cost = tcu_algos::dense::multiply_time(d as u64, 16, l);
         measured.push(mach.time() as f64);
         bounds.push(bound);

@@ -11,11 +11,22 @@ use tcu_linalg::decomp::{augmented_from, diag_dominant};
 pub fn run(quick: bool) {
     let (m, l) = (64usize, 5_000u64);
     let s = 8u64;
-    let ds: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512, 1024] };
+    let ds: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
 
     let mut t = Table::new(
         &format!("E4: blocked GE forward phase, m={m}, l={l}"),
-        &["d=sqrt(n)", "time", "closed form", "unblocked (3 ops/iter)", "thm2 MM time", "GE/MM"],
+        &[
+            "d=sqrt(n)",
+            "time",
+            "closed form",
+            "unblocked (3 ops/iter)",
+            "thm2 MM time",
+            "GE/MM",
+        ],
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();

@@ -10,12 +10,23 @@ use tcu_core::TcuMachine;
 pub fn run(quick: bool) {
     let (m, l) = (256usize, 5_000u64);
     let s = 16u64;
-    let ns: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let ns: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
     let mut rng = StdRng::seed_from_u64(7);
 
     let mut t = Table::new(
         &format!("E5: transitive closure, m={m}, l={l}"),
-        &["n", "time", "closed form", "unblocked 2n^3", "speedup", "latency share"],
+        &[
+            "n",
+            "time",
+            "closed form",
+            "unblocked 2n^3",
+            "speedup",
+            "latency share",
+        ],
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -34,7 +45,10 @@ pub fn run(quick: bool) {
             fmt_u64(closed),
             fmt_u64(host),
             fmt_f(host as f64 / mach.time() as f64, 2),
-            fmt_f(mach.stats().tensor_latency_time as f64 / mach.time() as f64, 3),
+            fmt_f(
+                mach.stats().tensor_latency_time as f64 / mach.time() as f64,
+                3,
+            ),
         ]);
     }
     t.print();

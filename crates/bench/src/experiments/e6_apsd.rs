@@ -10,12 +10,23 @@ use tcu_core::TcuMachine;
 
 pub fn run(quick: bool) {
     let (m, l) = (256usize, 5_000u64);
-    let ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128, 256] };
+    let ns: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256]
+    };
     let mut rng = StdRng::seed_from_u64(11);
 
     let mut t = Table::new(
         &format!("E6: Seidel APSD, m={m}, l={l} (sparse connected graphs)"),
-        &["n", "time", "levels", "per-level MM bound", "bfs baseline n^3", "time/(MM·levels)"],
+        &[
+            "n",
+            "time",
+            "levels",
+            "per-level MM bound",
+            "bfs baseline n^3",
+            "time/(MM·levels)",
+        ],
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -37,7 +48,10 @@ pub fn run(quick: bool) {
             fmt_u64(levels),
             fmt_u64(2 * mm),
             fmt_u64(apsd::bfs_apsd_time(n as u64)),
-            fmt_f(mach.time() as f64 / (2.0 * mm as f64 * levels.max(1) as f64), 3),
+            fmt_f(
+                mach.time() as f64 / (2.0 * mm as f64 * levels.max(1) as f64),
+                3,
+            ),
         ]);
     }
     t.print();

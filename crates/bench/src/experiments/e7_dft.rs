@@ -11,12 +11,24 @@ use tcu_core::TcuMachine;
 
 pub fn run(quick: bool) {
     let (m, l) = (256usize, 2_000u64);
-    let ns: &[usize] = if quick { &[1 << 10, 1 << 12] } else { &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18] };
+    let ns: &[usize] = if quick {
+        &[1 << 10, 1 << 12]
+    } else {
+        &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]
+    };
     let mut rng = StdRng::seed_from_u64(13);
 
     let mut t = Table::new(
         &format!("E7: DFT, m={m}, l={l}"),
-        &["n", "time", "(n+l)·log_m n", "ratio", "tensor calls", "host fft 5n·log2 n", "direct n^2"],
+        &[
+            "n",
+            "time",
+            "(n+l)·log_m n",
+            "ratio",
+            "tensor calls",
+            "host fft 5n·log2 n",
+            "direct n^2",
+        ],
     );
     let mut measured = Vec::new();
     let mut predicted = Vec::new();
@@ -60,7 +72,10 @@ pub fn run(quick: bool) {
             fmt_u64(mach.time()),
             fmt_u64(mach.stats().tensor_calls),
             fmt_u64(mach.stats().tensor_latency_time),
-            fmt_f(mach.stats().tensor_latency_time as f64 / mach.time() as f64, 4),
+            fmt_f(
+                mach.stats().tensor_latency_time as f64 / mach.time() as f64,
+                4,
+            ),
         ]);
     }
     t2.print();
@@ -75,7 +90,11 @@ pub fn run(quick: bool) {
         let x = random_vector_c64(4096, &mut rng);
         let mut mach = TcuMachine::model(mm, 2000);
         let _ = fft::dft(&mut mach, &x);
-        t3.row(vec![fmt_u64(mm as u64), fmt_u64(mach.time()), fmt_u64(mach.stats().tensor_calls)]);
+        t3.row(vec![
+            fmt_u64(mm as u64),
+            fmt_u64(mach.time()),
+            fmt_u64(mach.stats().tensor_calls),
+        ]);
     }
     t3.print();
     println!();

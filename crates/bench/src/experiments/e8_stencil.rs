@@ -14,14 +14,29 @@ pub fn run(quick: bool) {
     let m = 4096usize;
     let l = 1_000u64;
     let d: usize = if quick { 64 } else { 256 };
-    let ks: &[usize] = if quick { &[4, 16, 64] } else { &[4, 16, 64, 128, 256] };
+    let ks: &[usize] = if quick {
+        &[4, 16, 64]
+    } else {
+        &[4, 16, 64, 128, 256]
+    };
     let w = StencilWeights::heat(0.1, 0.1);
     let mut rng = StdRng::seed_from_u64(17);
     let grid = random_grid(d, &mut rng);
 
     let mut t = Table::new(
-        &format!("E8: (n,k)-stencil, grid {d}x{d} (n = {}), m={m}, l={l}", d * d),
-        &["k", "lemma2 (weights)", "lemma1 (apply)", "tcu total", "direct n·k", "speedup", "max err"],
+        &format!(
+            "E8: (n,k)-stencil, grid {d}x{d} (n = {}), m={m}, l={l}",
+            d * d
+        ),
+        &[
+            "k",
+            "lemma2 (weights)",
+            "lemma1 (apply)",
+            "tcu total",
+            "direct n·k",
+            "speedup",
+            "max err",
+        ],
     );
     for &k in ks {
         if !d.is_multiple_of(k) {

@@ -11,12 +11,23 @@ use tcu_core::TcuMachine;
 pub fn run(quick: bool) {
     let (m, l) = (256usize, 5_000u64);
     let s = 16u64;
-    let limb_counts: &[usize] = if quick { &[64, 256] } else { &[64, 256, 1024, 4096, 16384] };
+    let limb_counts: &[usize] = if quick {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096, 16384]
+    };
     let mut rng = StdRng::seed_from_u64(19);
 
     let mut t = Table::new(
         &format!("E9: schoolbook integer multiply on the TCU, m={m}, l={l}"),
-        &["bits", "limbs n'", "tcu time", "thm9 bound", "ratio", "host schoolbook"],
+        &[
+            "bits",
+            "limbs n'",
+            "tcu time",
+            "thm9 bound",
+            "ratio",
+            "host schoolbook",
+        ],
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();

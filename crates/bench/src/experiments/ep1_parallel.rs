@@ -4,7 +4,7 @@
 //! exposing the Amdahl ceiling of the serial CPU strip-summation.
 
 use crate::{fmt_f, fmt_u64, Table};
-use tcu_algos::parallel::{multiply_parallel_fused, multiply_parallel};
+use tcu_algos::parallel::{multiply_parallel, multiply_parallel_fused};
 use tcu_core::parallel::ParallelTcuMachine;
 use tcu_core::ModelTensorUnit;
 use tcu_linalg::Matrix;
@@ -17,7 +17,14 @@ pub fn run(quick: bool) {
 
     let mut t = Table::new(
         &format!("EP1: p parallel tensor units, d={d}, m={m}, l={l} (batched Theorem 2)"),
-        &["p", "time (CPU adds serial)", "speedup", "time (fused accumulate)", "speedup fused", "utilization"],
+        &[
+            "p",
+            "time (CPU adds serial)",
+            "speedup",
+            "time (fused accumulate)",
+            "speedup fused",
+            "utilization",
+        ],
     );
     let mut base = 0u64;
     let mut base_fused = 0u64;

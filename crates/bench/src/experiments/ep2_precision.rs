@@ -12,12 +12,22 @@ use tcu_linalg::{Half, Matrix};
 
 pub fn run(quick: bool) {
     let m = 256usize;
-    let ds: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128, 256, 512] };
+    let ds: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256, 512]
+    };
     let mut rng = StdRng::seed_from_u64(31);
 
     let mut t = Table::new(
         &format!("EP2: fp16-operand multiplication error vs f64 reference, m={m}"),
-        &["d", "max rel error", "mean rel error", "err/sqrt(d)", "ulp16 = 2^-11"],
+        &[
+            "d",
+            "max rel error",
+            "mean rel error",
+            "err/sqrt(d)",
+            "ulp16 = 2^-11",
+        ],
     );
     for &d in ds {
         let af = Matrix::from_fn(d, d, |_, _| rng.gen_range(-1.0..1.0f64));
@@ -32,7 +42,11 @@ pub fn run(quick: bool) {
 
         let mut max_rel = 0.0f64;
         let mut sum_rel = 0.0f64;
-        let scale: f64 = exact.as_slice().iter().fold(0.0f64, |acc, &x| acc.max(x.abs())).max(1e-30);
+        let scale: f64 = exact
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |acc, &x| acc.max(x.abs()))
+            .max(1e-30);
         for (e, h) in exact.as_slice().iter().zip(approx.as_slice()) {
             let rel = (e - h.value()).abs() / scale;
             max_rel = max_rel.max(rel);

@@ -9,11 +9,23 @@ use tcu_linalg::Matrix;
 use tcu_systolic::{multiply_cycles, percolating_multiply_cycles, SystolicArray};
 
 pub fn run(quick: bool) {
-    let ms: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256, 1024, 4096] };
+    let ms: &[usize] = if quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 256, 1024, 4096]
+    };
 
     let mut t = Table::new(
         "F1: systolic array cycles (square multiply; counted vs closed form 4√m − 2)",
-        &["m", "sqrt_m", "counted", "closed", "paper 3√m stream", "MACs", "MACs/step"],
+        &[
+            "m",
+            "sqrt_m",
+            "counted",
+            "closed",
+            "paper 3√m stream",
+            "MACs",
+            "MACs/step",
+        ],
     );
     for &m in ms {
         let s = (m as f64).sqrt() as usize;
@@ -36,7 +48,13 @@ pub fn run(quick: bool) {
 
     let mut t2 = Table::new(
         "F1b: tall streaming vs per-tile percolation (n rows through √m × √m weights)",
-        &["sqrt_m", "n/sqrt_m", "stationary cycles", "percolating cycles", "ratio"],
+        &[
+            "sqrt_m",
+            "n/sqrt_m",
+            "stationary cycles",
+            "percolating cycles",
+            "ratio",
+        ],
     );
     for &m in ms {
         let s = (m as f64).sqrt() as usize;
@@ -62,8 +80,11 @@ pub fn run(quick: bool) {
     let b = Matrix::<i64>::identity(s);
     let mut arr = SystolicArray::new(s);
     let (_, rep) = arr.multiply(&a, &b);
-    let ok = (0..2 * s)
-        .all(|r| (0..s).all(|j| rep.output_step[r * s + j] == (r + j + s - 1) as u64));
-    println!("F1c: output c[r][j] exits at step r + j + sqrt_m - 1: {}", if ok { "VERIFIED" } else { "FAILED" });
+    let ok =
+        (0..2 * s).all(|r| (0..s).all(|j| rep.output_step[r * s + j] == (r + j + s - 1) as u64));
+    println!(
+        "F1c: output c[r][j] exits at step r + j + sqrt_m - 1: {}",
+        if ok { "VERIFIED" } else { "FAILED" }
+    );
     println!();
 }

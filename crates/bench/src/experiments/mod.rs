@@ -2,6 +2,9 @@
 //! `run(quick: bool)`: `quick` shrinks the sweeps for smoke tests; the
 //! full sweeps are what `EXPERIMENTS.md` records.
 
+pub mod e10_karatsuba;
+pub mod e11_poly;
+pub mod e12_extmem;
 pub mod e1_strassen;
 pub mod e2_dense;
 pub mod e2_rect;
@@ -12,9 +15,6 @@ pub mod e6_apsd;
 pub mod e7_dft;
 pub mod e8_stencil;
 pub mod e9_intmul;
-pub mod e10_karatsuba;
-pub mod e11_poly;
-pub mod e12_extmem;
 pub mod ep1_parallel;
 pub mod ep2_precision;
 pub mod f1_systolic;

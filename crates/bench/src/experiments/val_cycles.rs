@@ -12,7 +12,11 @@ use tcu_linalg::Matrix;
 use tcu_systolic::SystolicTensorUnit;
 
 pub fn run(quick: bool) {
-    let ds: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let ds: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
     let m = 256usize;
     let eff_l = SystolicTensorUnit::new(m).effective_latency();
 

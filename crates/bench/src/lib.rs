@@ -32,7 +32,11 @@ impl Table {
 
     /// Append one row (stringified cells).
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row arity must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
         self.rows.push(cells);
     }
 
@@ -82,7 +86,10 @@ impl Table {
 pub fn fit_loglog(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     assert_eq!(xs.len(), ys.len());
     assert!(xs.len() >= 2, "need at least two points to fit");
-    assert!(xs.iter().chain(ys).all(|&v| v > 0.0), "log-log fit needs positive data");
+    assert!(
+        xs.iter().chain(ys).all(|&v| v > 0.0),
+        "log-log fit needs positive data"
+    );
     let lx: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
     let ly: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
     let n = lx.len() as f64;
@@ -93,7 +100,11 @@ pub fn fit_loglog(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     let slope = sxy / sxx;
     // r².
     let syy: f64 = ly.iter().map(|&y| (y - my) * (y - my)).sum();
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     (slope, r2)
 }
 
@@ -174,7 +185,11 @@ mod tests {
     #[test]
     fn loglog_fit_handles_noise() {
         let xs: [f64; 5] = [2.0, 4.0, 8.0, 16.0, 32.0];
-        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| x.powi(2) * (1.0 + 0.01 * i as f64)).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x.powi(2) * (1.0 + 0.01 * i as f64))
+            .collect();
         let (slope, r2) = fit_loglog(&xs, &ys);
         assert!((slope - 2.0).abs() < 0.02);
         assert!(r2 > 0.999);

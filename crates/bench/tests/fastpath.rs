@@ -1,0 +1,91 @@
+//! Fast-path assertions for the experiment harness: tiny-`n` versions of
+//! the checks E1 (Strassen), E2 (dense), and E7 (DFT) perform internally,
+//! so `cargo test -q` exercises the harness's algorithm/closed-form
+//! plumbing in milliseconds without running full sweeps (those stay in
+//! `smoke.rs` via each experiment's quick mode).
+
+use tcu_algos::{dense, fft, strassen, workloads};
+use tcu_core::TcuMachine;
+use tcu_linalg::ops::matmul_naive;
+use tcu_linalg::{Matrix, Scalar};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// E1 at d = 32: both recursions match the oracle and their Theorem 1
+/// closed forms, and Strassen issues fewer tensor calls than standard.
+#[test]
+fn e1_strassen_fastpath() {
+    let d = 32usize;
+    let (m, l) = (256usize, 1000u64);
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    let a = workloads::random_matrix_i64(d, d, 50, &mut rng);
+    let b = workloads::random_matrix_i64(d, d, 50, &mut rng);
+    let want = matmul_naive(&a, &b);
+
+    let mut std_mach = TcuMachine::model(m, l);
+    assert_eq!(strassen::multiply_recursive(&mut std_mach, &a, &b), want);
+    assert_eq!(std_mach.time(), strassen::recursive_time(d as u64, 16, l));
+
+    let mut str_mach = TcuMachine::model(m, l);
+    assert_eq!(strassen::multiply_strassen(&mut str_mach, &a, &b), want);
+    assert_eq!(str_mach.time(), strassen::strassen_time(d as u64, 16, l));
+
+    assert!(
+        str_mach.stats().tensor_calls < std_mach.stats().tensor_calls,
+        "Strassen (7 subproblems) must issue fewer tensor calls than standard (8)"
+    );
+}
+
+/// E2 at d = 32: the blocked product matches the oracle, costs exactly the
+/// Theorem 2 closed form, and the tall-operand streaming beats the naive
+/// call order once latency is nonzero.
+#[test]
+fn e2_dense_fastpath() {
+    let d = 32usize;
+    let (m, l) = (256usize, 1000u64);
+    let a = Matrix::from_fn(d, d, |i, j| ((3 * i + j) % 13) as i64 - 6);
+    let b = Matrix::from_fn(d, d, |i, j| ((i + 5 * j) % 11) as i64 - 5);
+    let want = matmul_naive(&a, &b);
+
+    let mut mach = TcuMachine::model(m, l);
+    assert_eq!(dense::multiply(&mut mach, &a, &b), want);
+    assert_eq!(mach.time(), dense::multiply_time(d as u64, 16, l));
+
+    let mut naive = TcuMachine::model(m, l);
+    assert_eq!(dense::multiply_naive_order(&mut naive, &a, &b), want);
+    assert_eq!(
+        naive.time(),
+        dense::multiply_naive_order_time(d as u64, 16, l)
+    );
+    assert!(
+        mach.time() < naive.time(),
+        "streaming tall operands must amortize latency over the naive order"
+    );
+}
+
+/// E7 at n = 16: the TCU DFT matches the direct host transform, inverts
+/// exactly, and the machine meters a nonzero simulated time for it.
+#[test]
+fn e7_dft_fastpath() {
+    let n = 16usize;
+    let mut rng = StdRng::seed_from_u64(0xE7);
+    let x = workloads::random_vector_c64(n, &mut rng);
+
+    let mut mach = TcuMachine::model(16, 10);
+    let fwd = fft::dft(&mut mach, &x);
+    assert!(mach.time() > 0, "the DFT must charge simulated time");
+
+    let host = fft::dft_direct_host(&x);
+    for (i, (got, want)) in fwd.iter().zip(&host).enumerate() {
+        assert!(
+            got.sub(*want).abs() < 1e-9,
+            "bin {i} disagrees with host DFT"
+        );
+    }
+
+    let back = fft::idft(&mut mach, &fwd);
+    for (orig, got) in x.iter().zip(&back) {
+        assert!(orig.sub(*got).abs() < 1e-9, "idft(dft(x)) must return x");
+    }
+}

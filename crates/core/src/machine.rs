@@ -54,7 +54,11 @@ impl<U: TensorUnit> TcuMachine<U> {
     /// Wrap an arbitrary costing policy.
     #[must_use]
     pub fn new(unit: U) -> Self {
-        Self { unit, stats: Stats::default(), trace: None }
+        Self {
+            unit,
+            stats: Stats::default(),
+            trace: None,
+        }
     }
 
     /// `√m` of the attached unit.
@@ -145,8 +149,16 @@ impl<U: TensorUnit> TcuMachine<U> {
     pub fn tensor_mul<T: Scalar>(&mut self, a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
         let s = self.sqrt_m();
         assert_eq!(a.cols(), s, "left operand must have √m = {s} columns");
-        assert_eq!((b.rows(), b.cols()), (s, s), "right operand must be √m × √m");
-        assert!(a.rows() >= s, "model requires n ≥ √m rows (got {}); pad first", a.rows());
+        assert_eq!(
+            (b.rows(), b.cols()),
+            (s, s),
+            "right operand must be √m × √m"
+        );
+        assert!(
+            a.rows() >= s,
+            "model requires n ≥ √m rows (got {}); pad first",
+            a.rows()
+        );
         self.charge_tensor(a.rows());
         matmul_naive(a, b)
     }

@@ -37,7 +37,12 @@ impl<U: TensorUnit> ParallelTcuMachine<U> {
     #[must_use]
     pub fn new(unit: U, p: usize) -> Self {
         assert!(p >= 1, "need at least one unit");
-        Self { unit, p, stats: Stats::default(), makespan_time: 0 }
+        Self {
+            unit,
+            p,
+            stats: Stats::default(),
+            makespan_time: 0,
+        }
     }
 
     /// Number of tensor units.
@@ -96,7 +101,11 @@ impl<U: TensorUnit> ParallelTcuMachine<U> {
         let mut costs = Vec::with_capacity(ops.len());
         for (a, b) in ops {
             assert_eq!(a.cols(), s, "left operand must have √m columns");
-            assert_eq!((b.rows(), b.cols()), (s, s), "right operand must be √m × √m");
+            assert_eq!(
+                (b.rows(), b.cols()),
+                (s, s),
+                "right operand must be √m × √m"
+            );
             assert!(a.rows() >= s, "model requires n ≥ √m rows");
             let cost = self.unit.invocation_cost(a.rows());
             let lat = self.unit.invocation_latency(a.rows());
@@ -171,7 +180,10 @@ mod tests {
         for (i, (a, b)) in inputs.iter().enumerate() {
             assert_eq!(out[i], ser.tensor_mul(a, b));
         }
-        assert!(par.time() < ser.time(), "3 units must beat 1 on 5 independent calls");
+        assert!(
+            par.time() < ser.time(),
+            "3 units must beat 1 on 5 independent calls"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub trait TensorUnit {
 /// Integer square root with exactness check, for validating `m`.
 fn exact_sqrt(m: usize) -> usize {
     let s = (m as f64).sqrt().round() as usize;
-    assert!(s * s == m, "m = {m} must be a perfect square (it is √m × √m hardware)");
+    assert!(
+        s * s == m,
+        "m = {m} must be a perfect square (it is √m × √m hardware)"
+    );
     s
 }
 
@@ -76,7 +79,10 @@ impl ModelTensorUnit {
     #[must_use]
     pub fn new(m: usize, latency: u64) -> Self {
         assert!(m >= 1, "m must be positive");
-        Self { sqrt_m: exact_sqrt(m), latency }
+        Self {
+            sqrt_m: exact_sqrt(m),
+            latency,
+        }
     }
 
     /// Build directly from `√m`.
@@ -120,7 +126,10 @@ impl WeakTensorUnit {
     #[must_use]
     pub fn new(m: usize, latency: u64) -> Self {
         assert!(m >= 1, "m must be positive");
-        Self { sqrt_m: exact_sqrt(m), latency }
+        Self {
+            sqrt_m: exact_sqrt(m),
+            latency,
+        }
     }
 }
 

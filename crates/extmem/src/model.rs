@@ -28,7 +28,10 @@ impl CacheSim {
     #[must_use]
     pub fn new(mem_words: usize, block_words: usize) -> Self {
         assert!(block_words >= 1, "block size must be positive");
-        assert!(mem_words >= block_words, "internal memory must hold at least one block");
+        assert!(
+            mem_words >= block_words,
+            "internal memory must hold at least one block"
+        );
         Self {
             block_words: block_words as u64,
             capacity_blocks: mem_words / block_words,

@@ -104,7 +104,10 @@ mod tests {
             let (time, trace, s) = traced_dense_multiply(d, m, 0, true);
             let ios = replay_trace(&trace, s);
             assert!(ios <= 3 * time, "d={d} m={m}: ios {ios} vs time {time}");
-            assert!(ios >= time, "replay can't be cheaper than the streaming time itself");
+            assert!(
+                ios >= time,
+                "replay can't be cheaper than the streaming time itself"
+            );
         }
     }
 

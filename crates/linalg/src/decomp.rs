@@ -81,7 +81,10 @@ pub fn back_substitute<T: Field>(c: &Matrix<T>) -> Vec<T> {
         for j in i + 1..n {
             acc = acc.sub(c[(i, j)].mul(x[j]));
         }
-        assert!(c[(i, i)] != T::ZERO, "zero pivot: system is singular for no-pivoting GE");
+        assert!(
+            c[(i, i)] != T::ZERO,
+            "zero pivot: system is singular for no-pivoting GE"
+        );
         x[i] = acc.div(c[(i, i)]);
     }
     x
@@ -184,7 +187,10 @@ mod tests {
         let b: Vec<Fp61> = (0..n)
             .map(|i| {
                 (0..n).fold(Fp61::ZERO, |acc, j| {
-                    crate::scalar::Scalar::add(acc, crate::scalar::Scalar::mul(a[(i, j)], x_true[j]))
+                    crate::scalar::Scalar::add(
+                        acc,
+                        crate::scalar::Scalar::mul(a[(i, j)], x_true[j]),
+                    )
                 })
             })
             .collect();

@@ -46,7 +46,11 @@ fn quantize(x: f64) -> f64 {
         return x;
     }
     if x.abs() > HALF_MAX {
-        return if x > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY };
+        return if x > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     // Scale so the significand's 10 fraction bits land on integers,
     // round half-to-even, and scale back. exp = floor(log2 |x|).
@@ -55,7 +59,11 @@ fn quantize(x: f64) -> f64 {
     let ulp = (exp - 10.0).exp2();
     let q = (x / ulp).round_ties_even() * ulp;
     if q.abs() > HALF_MAX {
-        return if q > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY };
+        return if q > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     q
 }
@@ -142,7 +150,7 @@ mod tests {
 
     #[test]
     fn idempotent_quantization() {
-        for &x in &[0.1, 3.14159, -123.456, 0.0001, 60000.0] {
+        for &x in &[0.1, std::f64::consts::PI, -123.456, 0.0001, 60000.0] {
             let once = Half::new(x).value();
             assert_eq!(Half::new(once).value(), once);
         }

@@ -19,7 +19,7 @@ pub mod scalar;
 pub mod strassen;
 
 pub use complex::Complex64;
-pub use matrix::Matrix;
 pub use half::Half;
+pub use matrix::Matrix;
 pub use modular::Fp61;
 pub use scalar::{Field, Scalar};

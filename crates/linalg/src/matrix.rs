@@ -24,7 +24,11 @@ impl<T: Scalar> Matrix<T> {
     /// An all-zeros `rows × cols` matrix.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![T::ZERO; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -55,7 +59,11 @@ impl<T: Scalar> Matrix<T> {
     /// Panics if the buffer length does not match the dimensions.
     #[must_use]
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Self { rows, cols, data }
     }
 
@@ -72,7 +80,11 @@ impl<T: Scalar> Matrix<T> {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     #[inline]
@@ -126,13 +138,20 @@ impl<T: Scalar> Matrix<T> {
     /// Panics if the block exceeds the matrix bounds.
     #[must_use]
     pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of bounds");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "block out of bounds"
+        );
         let mut data = Vec::with_capacity(h * w);
         for i in 0..h {
             let base = (r0 + i) * self.cols + c0;
             data.extend_from_slice(&self.data[base..base + w]);
         }
-        Self { rows: h, cols: w, data }
+        Self {
+            rows: h,
+            cols: w,
+            data,
+        }
     }
 
     /// Overwrite the block at `(r0, c0)` with `src`.
@@ -168,7 +187,10 @@ impl<T: Scalar> Matrix<T> {
     /// `√m × √m` footprint.
     #[must_use]
     pub fn pad_to(&self, rows: usize, cols: usize) -> Self {
-        assert!(rows >= self.rows && cols >= self.cols, "pad_to cannot shrink");
+        assert!(
+            rows >= self.rows && cols >= self.cols,
+            "pad_to cannot shrink"
+        );
         if rows == self.rows && cols == self.cols {
             return self.clone();
         }
@@ -183,9 +205,22 @@ impl<T: Scalar> Matrix<T> {
     /// Panics on dimension mismatch.
     #[must_use]
     pub fn add(&self, rhs: &Self) -> Self {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a.add(b)).collect();
-        Self { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add: shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a.add(b))
+            .collect();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise difference.
@@ -194,9 +229,22 @@ impl<T: Scalar> Matrix<T> {
     /// Panics on dimension mismatch.
     #[must_use]
     pub fn sub(&self, rhs: &Self) -> Self {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a.sub(b)).collect();
-        Self { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a.sub(b))
+            .collect();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place element-wise accumulation `self += rhs`.
@@ -204,7 +252,11 @@ impl<T: Scalar> Matrix<T> {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn add_assign(&mut self, rhs: &Self) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add_assign: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add_assign: shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a = a.add(b);
         }
@@ -213,7 +265,11 @@ impl<T: Scalar> Matrix<T> {
     /// Map every element through `f`.
     #[must_use]
     pub fn map<U: Scalar>(&self, f: impl Fn(T) -> U) -> Matrix<U> {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Multiply every element by `s`.

@@ -97,7 +97,11 @@ impl Scalar for Fp61 {
 
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        let s = if self.0 >= rhs.0 { self.0 - rhs.0 } else { self.0 + P61 - rhs.0 };
+        let s = if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + P61 - rhs.0
+        };
         Self(s)
     }
 

@@ -34,8 +34,14 @@ pub fn matmul_strassen_with_cutoff<T: Scalar>(
     cutoff: usize,
 ) -> Matrix<T> {
     let n = a.rows();
-    assert!(a.is_square() && b.is_square() && b.rows() == n, "strassen: square equal dims");
-    assert!(n.is_power_of_two(), "strassen: dimension must be a power of two");
+    assert!(
+        a.is_square() && b.is_square() && b.rows() == n,
+        "strassen: square equal dims"
+    );
+    assert!(
+        n.is_power_of_two(),
+        "strassen: dimension must be a power of two"
+    );
     strassen_rec(a, b, cutoff.max(1))
 }
 
@@ -45,10 +51,18 @@ fn strassen_rec<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, cutoff: usize) -> Matri
         return matmul_naive(a, b);
     }
     let h = n / 2;
-    let (a11, a12, a21, a22) =
-        (a.block(0, 0, h, h), a.block(0, h, h, h), a.block(h, 0, h, h), a.block(h, h, h, h));
-    let (b11, b12, b21, b22) =
-        (b.block(0, 0, h, h), b.block(0, h, h, h), b.block(h, 0, h, h), b.block(h, h, h, h));
+    let (a11, a12, a21, a22) = (
+        a.block(0, 0, h, h),
+        a.block(0, h, h, h),
+        a.block(h, 0, h, h),
+        a.block(h, h, h, h),
+    );
+    let (b11, b12, b21, b22) = (
+        b.block(0, 0, h, h),
+        b.block(0, h, h, h),
+        b.block(h, 0, h, h),
+        b.block(h, h, h, h),
+    );
 
     // The seven Strassen products.
     let m1 = strassen_rec(&a11.add(&a22), &b11.add(&b22), cutoff);
@@ -107,7 +121,11 @@ mod tests {
         let b = pseudo(32, 32, 4);
         let want = matmul_naive(&a, &b);
         for cutoff in [1usize, 2, 8, 16, 32, 64] {
-            assert_eq!(matmul_strassen_with_cutoff(&a, &b, cutoff), want, "cutoff={cutoff}");
+            assert_eq!(
+                matmul_strassen_with_cutoff(&a, &b, cutoff),
+                want,
+                "cutoff={cutoff}"
+            );
         }
     }
 
@@ -115,7 +133,10 @@ mod tests {
     fn works_over_f64() {
         let a = Matrix::from_fn(16, 16, |i, j| (i as f64) * 0.5 - (j as f64) * 0.25);
         let b = Matrix::from_fn(16, 16, |i, j| 1.0 / (1.0 + i as f64 + j as f64));
-        let diff = crate::ops::max_abs_diff(&matmul_strassen_with_cutoff(&a, &b, 2), &matmul_naive(&a, &b));
+        let diff = crate::ops::max_abs_diff(
+            &matmul_strassen_with_cutoff(&a, &b, 2),
+            &matmul_naive(&a, &b),
+        );
         assert!(diff < 1e-9, "diff = {diff}");
     }
 

@@ -1,0 +1,214 @@
+//! Hermetic stand-in for the `criterion` crate.
+//!
+//! Provides the API shape the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a plain
+//! `Instant`-based timer. No statistics beyond min/mean/max are computed;
+//! the point is that `cargo bench` compiles, runs, and prints comparable
+//! wall-clock numbers without any registry dependency.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (a bag of timing knobs).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Soft cap on total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Untimed warm-up duration per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// A named collection of benchmarks sharing the driver's settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark: `f` receives a [`Bencher`] and `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        bencher.report(&id.repr);
+    }
+
+    /// End the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier printed next to a benchmark's timings.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// Id with an explicit function name and parameter.
+    pub fn new(name: impl core::fmt::Display, parameter: impl core::fmt::Display) -> Self {
+        Self {
+            repr: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id from the swept parameter alone.
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
+        Self {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+/// Timer handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`: warm up untimed, then record up to `sample_size` samples
+    /// (stopping early once the measurement-time budget is spent).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(f());
+        }
+        self.samples.clear();
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if measure_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {id:<24} (no samples recorded)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / u32::try_from(self.samples.len()).unwrap_or(u32::MAX);
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "  {id:<24} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Bundle benchmark functions into a group runner (criterion's macro shape).
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $cfg:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut group = c.benchmark_group("shim-self-test");
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).sum::<u64>()
+            });
+        });
+        group.finish();
+        assert!(ran >= 5, "closure should run during warm-up and sampling");
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("karatsuba", 256).repr, "karatsuba/256");
+        assert_eq!(BenchmarkId::from_parameter(64).repr, "64");
+    }
+}

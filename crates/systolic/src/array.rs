@@ -46,7 +46,11 @@ impl<T: Scalar> SystolicArray<T> {
     #[must_use]
     pub fn new(sqrt_m: usize) -> Self {
         assert!(sqrt_m >= 1, "array must have at least one PE");
-        Self { sqrt_m, weights: None, cycles: 0 }
+        Self {
+            sqrt_m,
+            weights: None,
+            cycles: 0,
+        }
     }
 
     /// `√m`.
@@ -91,7 +95,10 @@ impl<T: Scalar> SystolicArray<T> {
         let s = self.sqrt_m;
         let n = a.rows();
         assert_eq!(a.cols(), s, "left operand must have √m columns");
-        let weights = self.weights.as_ref().expect("load_weights before streaming");
+        let weights = self
+            .weights
+            .as_ref()
+            .expect("load_weights before streaming");
         assert!(n >= 1, "left operand must have at least one row");
 
         // Per-PE registers as produced at the end of the previous step:
@@ -123,7 +130,11 @@ impl<T: Scalar> SystolicArray<T> {
                     } else {
                         a_reg[i * s + (j - 1)]
                     };
-                    let c_in = if i == 0 { T::ZERO } else { c_reg[(i - 1) * s + j] };
+                    let c_in = if i == 0 {
+                        T::ZERO
+                    } else {
+                        c_reg[(i - 1) * s + j]
+                    };
                     let c_out = c_in.add(a_in.mul(weights[i * s + j]));
                     mac_ops += 1;
                     a_next[i * s + j] = a_in;
@@ -143,9 +154,19 @@ impl<T: Scalar> SystolicArray<T> {
             std::mem::swap(&mut c_reg, &mut c_next);
         }
 
-        assert_eq!(emitted, total, "every output must drain within the counted steps");
+        assert_eq!(
+            emitted, total,
+            "every output must drain within the counted steps"
+        );
         self.cycles += steps;
-        (out, ArrayReport { stream_steps: steps, output_step, mac_ops })
+        (
+            out,
+            ArrayReport {
+                stream_steps: steps,
+                output_step,
+                mac_ops,
+            },
+        )
     }
 
     /// Convenience: one full weight-stationary multiply (load + stream).

@@ -94,7 +94,10 @@ mod tests {
         let c = mach.tensor_mul(&a, &b);
         assert_eq!(c, a);
         assert_eq!(mach.time(), crate::cpu_time(8, 4));
-        assert_eq!(mach.stats().tensor_latency_time, SystolicTensorUnit::new(16).effective_latency());
+        assert_eq!(
+            mach.stats().tensor_latency_time,
+            SystolicTensorUnit::new(16).effective_latency()
+        );
     }
 
     #[test]

@@ -27,16 +27,29 @@ fn main() {
     assert_eq!(p1, p2);
     assert_eq!(p1, intmul::mul_host(&a, &b));
     println!("  product bits        : {}", p1.bits());
-    println!("  schoolbook-TCU time : {} ({} tensor calls)", school.time(), school.stats().tensor_calls);
-    println!("  karatsuba-TCU time  : {} ({} tensor calls)", kara.time(), kara.stats().tensor_calls);
-    println!("  host CPU schoolbook : {}", intmul::mul_host_time(limbs as u64, limbs as u64));
+    println!(
+        "  schoolbook-TCU time : {} ({} tensor calls)",
+        school.time(),
+        school.stats().tensor_calls
+    );
+    println!(
+        "  karatsuba-TCU time  : {} ({} tensor calls)",
+        kara.time(),
+        kara.stats().tensor_calls
+    );
+    println!(
+        "  host CPU schoolbook : {}",
+        intmul::mul_host_time(limbs as u64, limbs as u64)
+    );
     println!("  first hex digits    : {}…", &p1.to_hex()[..24]);
 
     // --- Reed–Solomon-flavoured encoding: evaluate a message polynomial
     //     of degree 4095 over F_{2^61-1} at 512 evaluation points. ---
     let n = 4096usize;
     let points_n = 512usize;
-    let message: Vec<Fp61> = (0..n).map(|i| Fp61::new((i as u64).wrapping_mul(0x9e3779b9) + 7)).collect();
+    let message: Vec<Fp61> = (0..n)
+        .map(|i| Fp61::new((i as u64).wrapping_mul(0x9e3779b9) + 7))
+        .collect();
     // Distinct evaluation points 1, g, g², … for a generator-ish g.
     let g = Fp61::new(3);
     let mut pts = Vec::with_capacity(points_n);
@@ -48,10 +61,29 @@ fn main() {
 
     let mut mach = TcuMachine::model(m, latency);
     let codeword = poly::batch_eval(&mut mach, &message, &pts);
-    assert_eq!(codeword, poly::horner_host(&message, &pts), "exact over F_p");
-    println!("\n[Theorem 11] degree-{} polynomial at {} points over F_p", n - 1, points_n);
-    println!("  simulated time : {} (Horner baseline: {})", mach.time(), poly::horner_time(n as u64, points_n as u64));
+    assert_eq!(
+        codeword,
+        poly::horner_host(&message, &pts),
+        "exact over F_p"
+    );
+    println!(
+        "\n[Theorem 11] degree-{} polynomial at {} points over F_p",
+        n - 1,
+        points_n
+    );
+    println!(
+        "  simulated time : {} (Horner baseline: {})",
+        mach.time(),
+        poly::horner_time(n as u64, points_n as u64)
+    );
     println!("  tensor calls   : {}", mach.stats().tensor_calls);
-    println!("  speedup        : {:.2}x (→ sqrt(m) = {} as n grows)", poly::horner_time(n as u64, points_n as u64) as f64 / mach.time() as f64, mach.sqrt_m());
-    println!("  codeword[0..4] : {:?}", codeword[..4].iter().map(|v| v.value()).collect::<Vec<_>>());
+    println!(
+        "  speedup        : {:.2}x (→ sqrt(m) = {} as n grows)",
+        poly::horner_time(n as u64, points_n as u64) as f64 / mach.time() as f64,
+        mach.sqrt_m()
+    );
+    println!(
+        "  codeword[0..4] : {:?}",
+        codeword[..4].iter().map(|v| v.value()).collect::<Vec<_>>()
+    );
 }

@@ -25,7 +25,11 @@ fn main() {
     println!("[Theorem 5] transitive closure of a {n}-vertex follow graph");
     println!("  direct follow edges : {before_edges}");
     println!("  reachable pairs     : {reachable_pairs}");
-    println!("  simulated time      : {} (unblocked CPU loop: {})", mach.time(), closure::host_closure_time(n as u64));
+    println!(
+        "  simulated time      : {} (unblocked CPU loop: {})",
+        mach.time(),
+        closure::host_closure_time(n as u64)
+    );
     println!("  tensor calls        : {}", mach.stats().tensor_calls);
 
     // Cross-check one assertion of the closure against the definition.
@@ -51,7 +55,11 @@ fn main() {
     println!("\n[Theorem 6] Seidel APSD on a {n2}-vertex friendship graph");
     println!("  average separation : {:.2}", total as f64 / pairs as f64);
     println!("  diameter           : {diameter}");
-    println!("  simulated time     : {} (BFS-all-pairs baseline: {})", mach2.time(), apsd::bfs_apsd_time(n2 as u64));
+    println!(
+        "  simulated time     : {} (BFS-all-pairs baseline: {})",
+        mach2.time(),
+        apsd::bfs_apsd_time(n2 as u64)
+    );
     println!("  tensor calls       : {}", mach2.stats().tensor_calls);
 
     // Oracle check: Seidel agrees with BFS.
@@ -64,6 +72,9 @@ fn main() {
     println!("\n[§1.1/[5]] triangle count via A²⊙A");
     println!("  triangles      : {triangles}");
     println!("  simulated time : {}", mach3.time());
-    assert_eq!(triangles, tcu::algos::triangles::count_triangles_host(&friends));
+    assert_eq!(
+        triangles,
+        tcu::algos::triangles::count_triangles_host(&friends)
+    );
     println!("  verified against triple enumeration: OK");
 }

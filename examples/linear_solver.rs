@@ -8,7 +8,9 @@
 //! ```
 
 use tcu::algos::gauss;
-use tcu::linalg::decomp::{augmented_from, back_substitute, diag_dominant, ge_forward_host, residual};
+use tcu::linalg::decomp::{
+    augmented_from, back_substitute, diag_dominant, ge_forward_host, residual,
+};
 use tcu::prelude::*;
 
 fn main() {
@@ -27,11 +29,21 @@ fn main() {
     let x = back_substitute(&c);
     let r = residual(&a, &x, &b);
 
-    println!("[Theorem 4] blocked Gaussian elimination, {}x{} system", d - 1, d - 1);
+    println!(
+        "[Theorem 4] blocked Gaussian elimination, {}x{} system",
+        d - 1,
+        d - 1
+    );
     println!("  simulated time  : {}", mach.time());
-    println!("  closed form     : {}", gauss::ge_forward_time(d as u64, 8, latency));
+    println!(
+        "  closed form     : {}",
+        gauss::ge_forward_time(d as u64, 8, latency)
+    );
     println!("  tensor calls    : {}", mach.stats().tensor_calls);
-    println!("  latency share   : {:.2}%", 100.0 * mach.stats().tensor_latency_time as f64 / mach.time() as f64);
+    println!(
+        "  latency share   : {:.2}%",
+        100.0 * mach.stats().tensor_latency_time as f64 / mach.time() as f64
+    );
     println!("  residual |Ax-b| : {r:.3e}");
     assert!(r < 1e-8, "solver must actually solve the system");
 
@@ -39,7 +51,10 @@ fn main() {
     let mut host = c0;
     let host_ops = ge_forward_host(&mut host);
     println!("\n  unblocked CPU charge : {host_ops}");
-    println!("  TCU speedup          : {:.2}x", host_ops as f64 / mach.time() as f64);
+    println!(
+        "  TCU speedup          : {:.2}x",
+        host_ops as f64 / mach.time() as f64
+    );
     println!(
         "  blocked == unblocked : {}",
         tcu::linalg::ops::approx_eq_rel(&host, &c, 1e-9)
@@ -48,5 +63,8 @@ fn main() {
     // Theorem 4's optimality remark: GE cost tracks the Theorem 2
     // multiplication cost once sqrt(n) >= m.
     let mm = tcu::algos::dense::multiply_time(d as u64, 8, latency);
-    println!("\n  Theorem 2 MM time    : {mm} (GE/MM = {:.3})", mach.time() as f64 / mm as f64);
+    println!(
+        "\n  Theorem 2 MM time    : {mm} (GE/MM = {:.3})",
+        mach.time() as f64 / mm as f64
+    );
 }

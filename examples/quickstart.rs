@@ -14,7 +14,11 @@ fn main() {
     // a free parameter — pick something TPU-ish to make it visible.
     let (m, latency) = (256usize, 1_000u64);
     let mut mach = TcuMachine::model(m, latency);
-    println!("(m, l)-TCU: sqrt(m) = {}, l = {}", mach.sqrt_m(), mach.latency());
+    println!(
+        "(m, l)-TCU: sqrt(m) = {}, l = {}",
+        mach.sqrt_m(),
+        mach.latency()
+    );
 
     // Two 512×512 operands.
     let d = 512usize;
@@ -27,8 +31,14 @@ fn main() {
     println!("  simulated time : {}", mach.time());
     println!("  tensor calls   : {}", mach.stats().tensor_calls);
     println!("  rows streamed  : {}", mach.stats().tensor_rows);
-    println!("  latency share  : {:.2}%", 100.0 * mach.stats().tensor_latency_time as f64 / mach.time() as f64);
-    println!("  closed form    : {}", dense::multiply_time(d as u64, 16, latency));
+    println!(
+        "  latency share  : {:.2}%",
+        100.0 * mach.stats().tensor_latency_time as f64 / mach.time() as f64
+    );
+    println!(
+        "  closed form    : {}",
+        dense::multiply_time(d as u64, 16, latency)
+    );
     println!("  c[7][9]        : {}", c[(7, 9)]);
 
     // The same product on the weak (§5) machine: square calls only, so
@@ -36,7 +46,11 @@ fn main() {
     let mut weak = TcuMachine::weak(m, latency);
     let _ = dense::multiply(&mut weak, &a, &b);
     println!("\n[Weak model] same multiply, square calls only");
-    println!("  simulated time : {} ({:.2}x the strong model)", weak.time(), weak.time() as f64 / mach.time() as f64);
+    println!(
+        "  simulated time : {} ({:.2}x the strong model)",
+        weak.time(),
+        weak.time() as f64 / mach.time() as f64
+    );
     println!("  tensor calls   : {}", weak.stats().tensor_calls);
 
     // Theorem 1: Strassen recursion with the tensor unit as base case.
@@ -45,11 +59,19 @@ fn main() {
     assert_eq!(c, cs, "both algorithms compute the same product");
     println!("\n[Theorem 1] Strassen recursion (omega_0 = log4 7)");
     println!("  simulated time : {}", smach.time());
-    println!("  tensor calls   : {} (vs {} for 8-way recursion: 7^t vs 8^t)", smach.stats().tensor_calls, 8u64.pow(5));
+    println!(
+        "  tensor calls   : {} (vs {} for 8-way recursion: 7^t vs 8^t)",
+        smach.stats().tensor_calls,
+        8u64.pow(5)
+    );
 
     // Cycle-accurate costing: swap the costing policy, keep the algorithm.
     let mut cyc = TcuMachine::new(SystolicTensorUnit::new(m));
     let _ = dense::multiply(&mut cyc, &a, &b);
     println!("\n[Systolic costing] same algorithm, counted array cycles");
-    println!("  simulated time : {} ({:.3}x the model charge)", cyc.time(), cyc.time() as f64 / mach.time() as f64);
+    println!(
+        "  simulated time : {} ({:.3}x the model charge)",
+        cyc.time(),
+        cyc.time() as f64 / mach.time() as f64
+    );
 }

@@ -22,25 +22,42 @@ fn main() {
                 .map(|&(f, a)| a * (2.0 * std::f64::consts::PI * f * t as f64 / n as f64).cos())
                 .sum();
             // Deterministic pseudo-noise.
-            let noise = (((t as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * 0.2;
+            let noise = (((t as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 40) as f64
+                / (1u64 << 24) as f64
+                - 0.5)
+                * 0.2;
             Complex64::new(x + noise, 0.0)
         })
         .collect();
 
     let mut mach = TcuMachine::model(m, latency);
     let spectrum = fft::dft(&mut mach, &signal);
-    let mut peaks: Vec<(usize, f64)> = spectrum[..n / 2].iter().map(|z| z.abs()).enumerate().collect();
+    let mut peaks: Vec<(usize, f64)> = spectrum[..n / 2]
+        .iter()
+        .map(|z| z.abs())
+        .enumerate()
+        .collect();
     peaks.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("[Theorem 7] DFT of a {n}-sample signal");
-    println!("  simulated time : {} (host radix-2 FFT charge: {})", mach.time(), fft::fft_host_time(n as u64));
-    println!("  tensor calls   : {} (one per recursion level — batched latency)", mach.stats().tensor_calls);
+    println!(
+        "  simulated time : {} (host radix-2 FFT charge: {})",
+        mach.time(),
+        fft::fft_host_time(n as u64)
+    );
+    println!(
+        "  tensor calls   : {} (one per recursion level — batched latency)",
+        mach.stats().tensor_calls
+    );
     println!("  top spectral peaks (bin, magnitude):");
     for &(bin, mag) in peaks.iter().take(3) {
         println!("    bin {bin:>5}  |X| = {mag:.1}");
     }
     let found: Vec<usize> = peaks.iter().take(3).map(|&(b, _)| b).collect();
     for &(f, _) in &tones {
-        assert!(found.contains(&(f as usize)), "tone at bin {f} must be recovered");
+        assert!(
+            found.contains(&(f as usize)),
+            "tone at bin {f} must be recovered"
+        );
     }
     println!("  all injected tones recovered: OK");
 
@@ -69,11 +86,18 @@ fn main() {
     println!("\n[Theorem 8] heat equation: {k} sweeps of a {d}x{d} grid in one convolution pass");
     println!("  centre temperature : {centre:.2}  (was 100.0)");
     println!("  corner temperature : {corner:.4} (was 0.0)");
-    println!("  simulated time     : {} (direct k-sweep charge: {})", mach2.time(), direct_mach.time());
+    println!(
+        "  simulated time     : {} (direct k-sweep charge: {})",
+        mach2.time(),
+        direct_mach.time()
+    );
     println!("  max |tcu - direct| : {err:.2e}");
     assert!(err < 1e-6);
     // Mass conservation on the torus (heat weights sum to 1).
     let mass_before: f64 = grid.as_slice().iter().sum();
     let mass_after: f64 = after.as_slice().iter().sum();
-    println!("  heat conserved     : {:.6} -> {:.6}", mass_before, mass_after);
+    println!(
+        "  heat conserved     : {:.6} -> {:.6}",
+        mass_before, mass_after
+    );
 }

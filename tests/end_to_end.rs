@@ -82,7 +82,10 @@ fn sparse_and_dense_products_agree_on_machine() {
     let mut mach2 = TcuMachine::model(16, 5);
     let dense_c = dense::multiply(&mut mach2, &da, &db);
     assert!(max_abs_diff(&sparse_c, &dense_c) < 1e-9);
-    assert!(mach.time() < mach2.time(), "sparse path must exploit the sparsity");
+    assert!(
+        mach.time() < mach2.time(),
+        "sparse path must exploit the sparsity"
+    );
 }
 
 #[test]
@@ -95,10 +98,10 @@ fn convolution_theorem_holds_on_the_machine() {
     let b = workloads::random_vector_c64(n, &mut rng);
     // Host circular convolution.
     let mut conv = vec![Complex64::ZERO; n];
-    for i in 0..n {
-        for j in 0..n {
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
             let k = (i + j) % n;
-            conv[k] = conv[k].add(a[i].mul(b[j]));
+            conv[k] = conv[k].add(ai.mul(bj));
         }
     }
     let mut mach = TcuMachine::model(16, 3);
@@ -154,7 +157,10 @@ fn stats_decompose_time_exactly() {
     let _ = dense::multiply(&mut mach, &a, &a.clone());
     let s = mach.stats();
     assert_eq!(s.time(), s.scalar_ops + s.tensor_time);
-    assert_eq!(s.tensor_time, s.tensor_stream_time() + s.tensor_latency_time);
+    assert_eq!(
+        s.tensor_time,
+        s.tensor_stream_time() + s.tensor_latency_time
+    );
     assert_eq!(s.tensor_latency_time, s.tensor_calls * 123);
     assert_eq!(s.tensor_stream_time(), s.tensor_rows * 8);
 }

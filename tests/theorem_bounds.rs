@@ -5,7 +5,9 @@
 //! (the experiment binaries measure shapes; these tests enforce them).
 
 use rand::{rngs::StdRng, SeedableRng};
-use tcu::algos::{apsd, closure, dense, fft, gauss, intmul, poly, scan, stencil, strassen, workloads};
+use tcu::algos::{
+    apsd, closure, dense, fft, gauss, intmul, poly, scan, stencil, strassen, workloads,
+};
 use tcu::linalg::decomp::{augmented_from, diag_dominant};
 use tcu::prelude::*;
 
@@ -18,7 +20,11 @@ fn sqrt_m(m: usize) -> f64 {
 #[test]
 fn theorem_1_strassen_bound() {
     let omega0 = (7f64).ln() / (4f64).ln();
-    for (d, m, l) in [(64usize, 16usize, 0u64), (128, 16, 1000), (256, 256, 50_000)] {
+    for (d, m, l) in [
+        (64usize, 16usize, 0u64),
+        (128, 16, 1000),
+        (256, 256, 50_000),
+    ] {
         let a = Matrix::from_fn(d, d, |i, j| ((i + j) % 7) as i64);
         let b = Matrix::from_fn(d, d, |i, j| ((i * 2 + j) % 5) as i64);
         let mut mach = TcuMachine::model(m, l);
@@ -37,7 +43,11 @@ fn theorem_1_strassen_bound() {
 /// Theorem 2: `T(n) ≤ C·(n^{3/2}/√m + (n/m)·ℓ)` — and the exact form.
 #[test]
 fn theorem_2_dense_bound() {
-    for (d, m, l) in [(64usize, 16usize, 0u64), (128, 64, 5_000), (256, 256, 1_000_000)] {
+    for (d, m, l) in [
+        (64usize, 16usize, 0u64),
+        (128, 64, 5_000),
+        (256, 256, 1_000_000),
+    ] {
         let a = Matrix::from_fn(d, d, |i, j| ((3 * i + j) % 11) as i64);
         let b = Matrix::from_fn(d, d, |i, j| ((i + 7 * j) % 13) as i64);
         let mut mach = TcuMachine::model(m, l);
@@ -88,9 +98,8 @@ fn theorem_6_apsd_bound() {
         let mut mach = TcuMachine::model(m, l);
         let _ = apsd::seidel_apsd(&mut mach, &adj);
         let nf = n as f64;
-        let bound = (nf * nf / m as f64).powf(1.5).max(1.0)
-            * (m as u64 + l) as f64
-            * nf.log2().ceil();
+        let bound =
+            (nf * nf / m as f64).powf(1.5).max(1.0) * (m as u64 + l) as f64 * nf.log2().ceil();
         assert!((mach.time() as f64) <= 16.0 * bound, "n={n} m={m} l={l}");
     }
 }
@@ -99,8 +108,11 @@ fn theorem_6_apsd_bound() {
 #[test]
 fn theorem_7_dft_bound() {
     let mut rng = StdRng::seed_from_u64(3);
-    for (n, m, l) in [(1usize << 10, 16usize, 0u64), (1 << 14, 256, 5_000), (1 << 12, 4096, 100)]
-    {
+    for (n, m, l) in [
+        (1usize << 10, 16usize, 0u64),
+        (1 << 14, 256, 5_000),
+        (1 << 12, 4096, 100),
+    ] {
         let x = workloads::random_vector_c64(n, &mut rng);
         let mut mach = TcuMachine::model(m, l);
         let _ = fft::dft(&mut mach, &x);
@@ -153,10 +165,12 @@ fn theorem_9_intmul_bound() {
 fn theorem_11_poly_bound() {
     let mut rng = StdRng::seed_from_u64(6);
     for (n, p, m, l) in [(1024usize, 64usize, 16usize, 0u64), (4096, 128, 256, 9_000)] {
-        let coeffs: Vec<Fp61> =
-            (0..n).map(|_| Fp61::new(rand::Rng::gen(&mut rng))).collect();
-        let points: Vec<Fp61> =
-            (0..p).map(|_| Fp61::new(rand::Rng::gen(&mut rng))).collect();
+        let coeffs: Vec<Fp61> = (0..n)
+            .map(|_| Fp61::new(rand::Rng::gen(&mut rng)))
+            .collect();
+        let points: Vec<Fp61> = (0..p)
+            .map(|_| Fp61::new(rand::Rng::gen(&mut rng)))
+            .collect();
         let mut mach = TcuMachine::model(m, l);
         let _ = poly::batch_eval(&mut mach, &coeffs, &points);
         let (nf, pf) = (n as f64, p as f64);
@@ -180,7 +194,12 @@ fn weak_model_constant_slowdown_when_latency_at_most_m() {
     let _ = dense::multiply(&mut strong, &a, &b);
     let mut weak = TcuMachine::weak(m, l);
     let _ = dense::multiply(&mut weak, &a, &b);
-    assert!(weak.time() <= 3 * strong.time(), "dense: {} vs {}", weak.time(), strong.time());
+    assert!(
+        weak.time() <= 3 * strong.time(),
+        "dense: {} vs {}",
+        weak.time(),
+        strong.time()
+    );
 
     // DFT.
     let x = vec![Complex64::ONE; 4096];
@@ -188,7 +207,12 @@ fn weak_model_constant_slowdown_when_latency_at_most_m() {
     let _ = fft::dft(&mut strong, &x);
     let mut weak = TcuMachine::weak(m, l);
     let _ = fft::dft(&mut weak, &x);
-    assert!(weak.time() <= 3 * strong.time(), "dft: {} vs {}", weak.time(), strong.time());
+    assert!(
+        weak.time() <= 3 * strong.time(),
+        "dft: {} vs {}",
+        weak.time(),
+        strong.time()
+    );
 
     // Prefix scan.
     let xs: Vec<i64> = (0..10_000).collect();
@@ -196,7 +220,12 @@ fn weak_model_constant_slowdown_when_latency_at_most_m() {
     let _ = scan::prefix_sum(&mut strong, &xs);
     let mut weak = TcuMachine::weak(m, l);
     let _ = scan::prefix_sum(&mut weak, &xs);
-    assert!(weak.time() <= 3 * strong.time(), "scan: {} vs {}", weak.time(), strong.time());
+    assert!(
+        weak.time() <= 3 * strong.time(),
+        "scan: {} vs {}",
+        weak.time(),
+        strong.time()
+    );
 }
 
 /// Scan/reduction (related work [9]): `T ≤ C·(n + ℓ·log_m n)`.
