@@ -67,19 +67,21 @@ pub fn transitive_closure<U: TensorUnit>(mach: &mut TcuMachine<U>, d: &mut Matri
         let mut tall = Matrix::<i64>::zeros(rows, s);
         let others: Vec<usize> = (0..q).filter(|&i| i != kk).collect();
         for (bi, &i) in others.iter().enumerate() {
-            tall.set_block(bi * s, 0, &d.block(i * s, kk * s, s, s));
+            tall.set_block_view(bi * s, 0, d.subview(i * s, kk * s, s, s));
         }
         for &j in &others {
+            // The weight block X_kj is disjoint from every updated block
+            // X_ij (i ≠ k), but the borrow checker cannot see that
+            // through one matrix, so it is staged through a copy; the
+            // updates themselves run in place through views.
             let xkj = d.block(kk * s, j * s, s, s);
-            let prod = mach.tensor_mul(&tall, &xkj);
+            let prod = mach.tensor_mul_view(tall.view(), xkj.view());
             for (bi, &i) in others.iter().enumerate() {
                 // D's lines 1–7: accumulate the integer product, then
                 // clamp to 1 — two CPU ops per element.
                 mach.charge(2 * (s * s) as u64);
-                let mut xij = d.block(i * s, j * s, s, s);
-                xij.add_assign(&prod.block(bi * s, 0, s, s));
-                let clamped = xij.map(|v| i64::from(v > 0));
-                d.set_block(i * s, j * s, &clamped);
+                d.subview_mut(i * s, j * s, s, s)
+                    .zip_apply(prod.subview(bi * s, 0, s, s), |x, p| i64::from(x + p > 0));
             }
         }
     }

@@ -23,7 +23,7 @@
 //! strong machine.
 
 use tcu_core::{TcuMachine, TensorUnit};
-use tcu_linalg::{Matrix, Scalar};
+use tcu_linalg::{Matrix, MatrixView, Scalar};
 
 /// Blocked square multiplication (Theorem 2): `C = A·B` for `d × d`
 /// operands.
@@ -37,9 +37,24 @@ pub fn multiply<T: Scalar, U: TensorUnit>(
     a: &Matrix<T>,
     b: &Matrix<T>,
 ) -> Matrix<T> {
+    multiply_view(mach, a.view(), b.view())
+}
+
+/// [`multiply`] on borrowed operand views (zero-copy: strips and weight
+/// blocks are subviews, never materialized).
+///
+/// # Panics
+/// Panics unless the views are square of equal dimension `d` with
+/// `√m | d`.
+#[must_use]
+pub fn multiply_view<T: Scalar, U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    a: MatrixView<'_, T>,
+    b: MatrixView<'_, T>,
+) -> Matrix<T> {
     let d = a.rows();
     assert!(
-        a.is_square() && b.is_square() && b.rows() == d,
+        a.cols() == d && b.rows() == d && b.cols() == d,
         "operands must be d×d"
     );
     let s = mach.sqrt_m();
@@ -47,7 +62,7 @@ pub fn multiply<T: Scalar, U: TensorUnit>(
         d.is_multiple_of(s),
         "√m = {s} must divide d = {d} (pad or use multiply_rect)"
     );
-    multiply_rect(mach, a, b)
+    multiply_rect_view(mach, a, b)
 }
 
 /// Rectangular multiplication (Corollary 1 and the general workhorse):
@@ -64,6 +79,22 @@ pub fn multiply_rect<T: Scalar, U: TensorUnit>(
     a: &Matrix<T>,
     b: &Matrix<T>,
 ) -> Matrix<T> {
+    multiply_rect_view(mach, a.view(), b.view())
+}
+
+/// [`multiply_rect`] on borrowed operand views: every strip of `A` and
+/// block of `B` is carved as a subview and streamed straight into the
+/// tensor unit — the seed's per-invocation `block`/`col_strip` copies
+/// are gone, and the simulated charges are unchanged.
+///
+/// # Panics
+/// Panics if inner dimensions disagree.
+#[must_use]
+pub fn multiply_rect_view<T: Scalar, U: TensorUnit>(
+    mach: &mut TcuMachine<U>,
+    a: MatrixView<'_, T>,
+    b: MatrixView<'_, T>,
+) -> Matrix<T> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let (p, r, q) = (a.rows(), a.cols(), b.cols());
     let s = mach.sqrt_m();
@@ -73,28 +104,28 @@ pub fn multiply_rect<T: Scalar, U: TensorUnit>(
     let mut c = Matrix::<T>::zeros(p, q);
     for j in 0..jb {
         let jw = s.min(q - j * s);
-        let mut acc: Option<Matrix<T>> = None;
         for k in 0..kb {
             let kw = s.min(r - k * s);
             // Strip of A: all p rows, columns [k·s, k·s + kw).
-            let strip = a.block(0, k * s, p, kw);
-            let blk = b.block(k * s, j * s, kw, jw);
-            let prod = if kw == s && jw == s && p >= s {
-                mach.tensor_mul(&strip, &blk)
+            let strip = a.subview(0, k * s, p, kw);
+            let blk = b.subview(k * s, j * s, kw, jw);
+            if kw == s && jw == s && p >= s {
+                // Hot path: stream the strip with the product fused into
+                // C's column block — no intermediate product matrix.
+                let mut out = c.subview_mut(0, j * s, p, jw);
+                mach.tensor_mul_acc_view(strip, blk, &mut out);
             } else {
-                mach.tensor_mul_padded(&strip, &blk)
-            };
-            match &mut acc {
-                None => acc = Some(prod),
-                Some(sum) => {
-                    // CPU accumulation of strip products (Theorem 2's
-                    // "final summation"): one add per output element.
-                    mach.charge((p * jw) as u64);
-                    sum.add_assign(&prod);
-                }
+                let prod = mach.tensor_mul_padded_view(strip, blk);
+                c.subview_mut(0, j * s, p, jw).add_assign(prod.view());
+            }
+            if k > 0 {
+                // CPU accumulation of strip products (Theorem 2's
+                // "final summation"): one add per output element. The
+                // host fuses the add into the kernel, the simulated
+                // charge is unchanged.
+                mach.charge((p * jw) as u64);
             }
         }
-        c.set_block(0, j * s, &acc.expect("at least one inner block"));
     }
     c
 }
@@ -123,15 +154,15 @@ pub fn multiply_naive_order<T: Scalar, U: TensorUnit>(
     let mut c = Matrix::<T>::zeros(d, d);
     for i in 0..qb {
         for j in 0..qb {
-            let mut acc = Matrix::<T>::zeros(s, s);
             for k in 0..qb {
-                let aik = a.block(i * s, k * s, s, s);
-                let bkj = b.block(k * s, j * s, s, s);
-                let prod = mach.tensor_mul(&aik, &bkj);
+                let mut out = c.subview_mut(i * s, j * s, s, s);
+                mach.tensor_mul_acc_view(
+                    a.subview(i * s, k * s, s, s),
+                    b.subview(k * s, j * s, s, s),
+                    &mut out,
+                );
                 mach.charge((s * s) as u64);
-                acc.add_assign(&prod);
             }
-            c.set_block(i * s, j * s, &acc);
         }
     }
     c

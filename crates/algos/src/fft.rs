@@ -98,7 +98,7 @@ fn rec<U: TensorUnit>(mach: &mut TcuMachine<U>, data: &Matrix<Complex64>) -> Mat
         if g <= 1 || batch == 1 {
             mach.charge((nc * nc) as u64); // assemble W_nc
             let w = fourier_matrix(nc);
-            return mach.tensor_mul_padded(data, &w);
+            return mach.tensor_mul_padded_view(data.view(), w.view());
         }
         mach.charge((g * nc * nc) as u64); // assemble diag(W_nc, …)
         let w = fourier_matrix(nc);
@@ -118,7 +118,7 @@ fn rec<U: TensorUnit>(mach: &mut TcuMachine<U>, data: &Matrix<Complex64>) -> Mat
                 Complex64::ZERO
             }
         });
-        let prod = mach.tensor_mul_padded(&packed, &bd);
+        let prod = mach.tensor_mul_padded_view(packed.view(), bd.view());
         return Matrix::from_fn(batch, nc, |r, k| prod[(r / g, (r % g) * nc + k)]);
     }
 
@@ -134,7 +134,7 @@ fn rec<U: TensorUnit>(mach: &mut TcuMachine<U>, data: &Matrix<Complex64>) -> Mat
         let (r, j) = (rj / n2, rj % n2);
         data[(r, i * n2 + j)]
     });
-    let u = mach.tensor_mul_padded(&g, &w1);
+    let u = mach.tensor_mul_padded_view(g.view(), w1.view());
 
     // Step 2 — twiddles and transposition into row-DFT layout: H row
     // (r, k1) holds U[(r, ·), k1] · ω_nc^{k1 ·}. The paper charges O(n)

@@ -59,23 +59,26 @@ pub fn ge_forward<T: Field, U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Mat
         }
 
         // D( X_ij, X_ik, X'_j ) on the tensor unit: per block column j,
-        // load X'_j as weights and stream every X_ik at once.
+        // load X'_j as weights and stream every X_ik at once. The block
+        // column is a contiguous row range of X but the blocks are not
+        // adjacent in memory, so the tall operand is the one gather this
+        // algorithm still materializes; products and accumulation flow
+        // through zero-copy views.
         let rows = (q - kk - 1) * s;
         if rows == 0 {
             continue;
         }
         let mut tall = Matrix::<T>::zeros(rows, s);
         for (bi, i) in (kk + 1..q).enumerate() {
-            tall.set_block(bi * s, 0, &x.block(i * s, kk * s, s, s));
+            tall.set_block_view(bi * s, 0, x.subview(i * s, kk * s, s, s));
         }
         for (bj, j) in (kk + 1..q).enumerate() {
-            let prod = mach.tensor_mul(&tall, &xprime[bj]);
+            let prod = mach.tensor_mul_view(tall.view(), xprime[bj].view());
             for (bi, i) in (kk + 1..q).enumerate() {
-                // Accumulate P into X_ij: one CPU add per element.
+                // Accumulate P into X_ij in place: one CPU add per element.
                 mach.charge((s * s) as u64);
-                let mut xij = x.block(i * s, j * s, s, s);
-                xij.add_assign(&prod.block(bi * s, 0, s, s));
-                x.set_block(i * s, j * s, &xij);
+                x.subview_mut(i * s, j * s, s, s)
+                    .add_assign(prod.subview(bi * s, 0, s, s));
             }
         }
     }

@@ -19,7 +19,7 @@
 
 use tcu_core::parallel::ParallelTcuMachine;
 use tcu_core::TensorUnit;
-use tcu_linalg::{Matrix, Scalar};
+use tcu_linalg::{Matrix, MatrixView, Scalar};
 
 /// Blocked multiplication with the `(d/√m)²` weight-block invocations
 /// batched across units; strip accumulation on the (serial) CPU.
@@ -41,15 +41,16 @@ pub fn multiply_parallel<T: Scalar, U: TensorUnit>(
     assert!(d.is_multiple_of(s), "√m = {s} must divide d = {d}");
     let q = d / s;
 
-    // All q² products are independent: one batch.
-    let strips: Vec<Matrix<T>> = (0..q).map(|k| a.col_strip(k * s, s)).collect();
-    let blocks: Vec<Matrix<T>> = (0..q * q)
-        .map(|kj| b.block((kj / q) * s, (kj % q) * s, s, s))
+    // All q² products are independent: one batch of zero-copy views
+    // (strips and weight blocks are carved straight out of A and B).
+    let ops: Vec<(MatrixView<'_, T>, MatrixView<'_, T>)> = (0..q * q)
+        .map(|kj| {
+            let strip = a.col_strip_view((kj / q) * s, s);
+            let block = b.subview((kj / q) * s, (kj % q) * s, s, s);
+            (strip, block)
+        })
         .collect();
-    let ops: Vec<(&Matrix<T>, &Matrix<T>)> = (0..q * q)
-        .map(|kj| (&strips[kj / q], &blocks[kj]))
-        .collect();
-    let prods = mach.tensor_mul_batch(&ops);
+    let prods = mach.tensor_mul_batch_views(&ops);
 
     // Serial CPU accumulation per output column-block.
     let mut c = Matrix::<T>::zeros(d, d);
@@ -59,7 +60,7 @@ pub fn multiply_parallel<T: Scalar, U: TensorUnit>(
             mach.charge((d * s) as u64);
             acc.add_assign(&prods[k * q + j]);
         }
-        c.set_block(0, j * s, &acc);
+        c.set_block_view(0, j * s, acc.view());
     }
     c
 }
@@ -103,14 +104,14 @@ pub fn multiply_parallel_fused<T: Scalar, U: TensorUnit>(
     assert!(d.is_multiple_of(s), "√m = {s} must divide d = {d}");
     let q = d / s;
 
-    let strips: Vec<Matrix<T>> = (0..q).map(|k| a.col_strip(k * s, s)).collect();
-    let blocks: Vec<Matrix<T>> = (0..q * q)
-        .map(|kj| b.block((kj / q) * s, (kj % q) * s, s, s))
+    let ops: Vec<(MatrixView<'_, T>, MatrixView<'_, T>)> = (0..q * q)
+        .map(|kj| {
+            let strip = a.col_strip_view((kj / q) * s, s);
+            let block = b.subview((kj / q) * s, (kj % q) * s, s, s);
+            (strip, block)
+        })
         .collect();
-    let ops: Vec<(&Matrix<T>, &Matrix<T>)> = (0..q * q)
-        .map(|kj| (&strips[kj / q], &blocks[kj]))
-        .collect();
-    let prods = mach.tensor_mul_batch(&ops);
+    let prods = mach.tensor_mul_batch_views(&ops);
 
     let mut c = Matrix::<T>::zeros(d, d);
     for j in 0..q {

@@ -35,7 +35,7 @@ pub fn reduce<T: Scalar, U: TensorUnit>(mach: &mut TcuMachine<U>, xs: &[T]) -> T
         xs.get(i * s + j).copied().unwrap_or(T::ZERO)
     });
     let ones_col = Matrix::from_fn(s, s, |_, j| if j == 0 { T::ONE } else { T::ZERO });
-    let prod = mach.tensor_mul_padded(&x, &ones_col);
+    let prod = mach.tensor_mul_padded_view(x.view(), ones_col.view());
     let row_sums: Vec<T> = (0..rows).map(|i| prod[(i, 0)]).collect();
     reduce(mach, &row_sums)
 }
@@ -65,7 +65,7 @@ pub fn prefix_sum<T: Scalar, U: TensorUnit>(mach: &mut TcuMachine<U>, xs: &[T]) 
         xs.get(i * s + j).copied().unwrap_or(T::ZERO)
     });
     let upper = Matrix::from_fn(s, s, |i, j| if i <= j { T::ONE } else { T::ZERO });
-    let within = mach.tensor_mul_padded(&x, &upper);
+    let within = mach.tensor_mul_padded_view(x.view(), upper.view());
 
     // Recursive scan over the row totals (last column) gives offsets.
     let totals: Vec<T> = (0..rows).map(|i| within[(i, s - 1)]).collect();

@@ -191,8 +191,8 @@ pub fn multiply_tcu<T: Scalar, U: TensorUnit>(
     let mut acc = Matrix::<T>::zeros(zdim, zdim);
     for c in 0..chunks {
         let w = zdim.min(d - c * zdim);
-        let a_blk = a_hat.block(0, c * zdim, ra, w).pad_to(zdim, zdim);
-        let b_blk = b_hat.block(c * zdim, 0, w, cb).pad_to(zdim, zdim);
+        let a_blk = a_hat.block(0, c * zdim, ra, w).into_padded(zdim, zdim);
+        let b_blk = b_hat.block(c * zdim, 0, w, cb).into_padded(zdim, zdim);
         let p = crate::strassen::multiply_strassen(mach, &a_blk, &b_blk);
         mach.charge((zdim * zdim) as u64);
         acc.add_assign(&p);

@@ -354,7 +354,7 @@ fn transform2_batch<U: TensorUnit>(
         let transformed = fft::dft_rows(mach, &stacked);
         mach.charge((count * size * size) as u64); // transposition movement
         work = (0..count)
-            .map(|t| transformed.block(t * size, 0, size, size).transpose())
+            .map(|t| transformed.subview(t * size, 0, size, size).transpose())
             .collect();
     }
 

@@ -20,7 +20,7 @@
 //! CPU additions on products the unit could absorb).
 
 use tcu_core::{TcuMachine, TensorUnit};
-use tcu_linalg::{Matrix, Scalar};
+use tcu_linalg::{Matrix, MatrixView, Scalar};
 
 /// Standard recursive multiplication (8 products per level), tensor-unit
 /// base case at dimension `≤ √m`.
@@ -50,8 +50,8 @@ pub fn multiply_recursive_with_base<T: Scalar, U: TensorUnit>(
     b: &Matrix<T>,
     base_dim: usize,
 ) -> Matrix<T> {
-    check_square_pow2(a, b);
-    rec_standard(mach, a, b, base_dim.max(1))
+    check_square_pow2(a.view(), b.view());
+    rec_standard(mach, a.view(), b.view(), base_dim.max(1))
 }
 
 /// Strassen multiplication (7 products per level), tensor-unit base case
@@ -80,14 +80,14 @@ pub fn multiply_strassen_with_base<T: Scalar, U: TensorUnit>(
     b: &Matrix<T>,
     base_dim: usize,
 ) -> Matrix<T> {
-    check_square_pow2(a, b);
-    rec_strassen(mach, a, b, base_dim.max(1))
+    check_square_pow2(a.view(), b.view());
+    rec_strassen(mach, a.view(), b.view(), base_dim.max(1))
 }
 
-fn check_square_pow2<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) {
+fn check_square_pow2<T: Scalar>(a: MatrixView<'_, T>, b: MatrixView<'_, T>) {
     let d = a.rows();
     assert!(
-        a.is_square() && b.is_square() && b.rows() == d,
+        a.cols() == d && b.rows() == d && b.cols() == d,
         "operands must be d×d"
     );
     assert!(d.is_power_of_two(), "dimension must be a power of two");
@@ -97,34 +97,65 @@ fn check_square_pow2<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) {
 /// (padded) invocation, cost `m + ℓ`.
 fn base_mul<T: Scalar, U: TensorUnit>(
     mach: &mut TcuMachine<U>,
-    a: &Matrix<T>,
-    b: &Matrix<T>,
+    a: MatrixView<'_, T>,
+    b: MatrixView<'_, T>,
 ) -> Matrix<T> {
-    mach.tensor_mul_padded(a, b)
+    mach.tensor_mul_padded_view(a, b)
 }
 
 /// Base product for an early-stopped recursion (tile still larger than
 /// √m): the blocked Theorem 2 routine.
 fn base_or_blocked<T: Scalar, U: TensorUnit>(
     mach: &mut TcuMachine<U>,
-    a: &Matrix<T>,
-    b: &Matrix<T>,
+    a: MatrixView<'_, T>,
+    b: MatrixView<'_, T>,
 ) -> Matrix<T> {
     if a.rows() <= mach.sqrt_m() {
         base_mul(mach, a, b)
     } else {
-        crate::dense::multiply(mach, a, b)
+        crate::dense::multiply_view(mach, a, b)
     }
 }
 
-fn quadrants<T: Scalar>(x: &Matrix<T>) -> [Matrix<T>; 4] {
+/// The four quadrants as zero-copy views — the recursion descends
+/// through the original backing buffers without materializing a single
+/// sub-block.
+fn quadrants<T: Scalar>(x: MatrixView<'_, T>) -> [MatrixView<'_, T>; 4] {
     let h = x.rows() / 2;
     [
-        x.block(0, 0, h, h),
-        x.block(0, h, h, h),
-        x.block(h, 0, h, h),
-        x.block(h, h, h, h),
+        x.subview(0, 0, h, h),
+        x.subview(0, h, h, h),
+        x.subview(h, 0, h, h),
+        x.subview(h, h, h, h),
     ]
+}
+
+/// Element-wise combination of two views, materialized (the recursion's
+/// combining terms are genuinely new values, so they must own storage).
+fn combine_views<T: Scalar>(
+    a: MatrixView<'_, T>,
+    b: MatrixView<'_, T>,
+    f: impl Fn(T, T) -> T,
+) -> Matrix<T> {
+    debug_assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    let mut out = Matrix::<T>::zeros(a.rows(), a.cols());
+    for i in 0..a.rows() {
+        let (ra, rb) = (a.row(i), b.row(i));
+        for (o, (&x, &y)) in out.row_mut(i).iter_mut().zip(ra.iter().zip(rb)) {
+            *o = f(x, y);
+        }
+    }
+    out
+}
+
+/// `a + b` over views.
+fn add_views<T: Scalar>(a: MatrixView<'_, T>, b: MatrixView<'_, T>) -> Matrix<T> {
+    combine_views(a, b, T::add)
+}
+
+/// `a − b` over views.
+fn sub_views<T: Scalar>(a: MatrixView<'_, T>, b: MatrixView<'_, T>) -> Matrix<T> {
+    combine_views(a, b, T::sub)
 }
 
 fn assemble<T: Scalar>(
@@ -144,8 +175,8 @@ fn assemble<T: Scalar>(
 
 fn rec_standard<T: Scalar, U: TensorUnit>(
     mach: &mut TcuMachine<U>,
-    a: &Matrix<T>,
-    b: &Matrix<T>,
+    a: MatrixView<'_, T>,
+    b: MatrixView<'_, T>,
     base_dim: usize,
 ) -> Matrix<T> {
     let d = a.rows();
@@ -157,22 +188,22 @@ fn rec_standard<T: Scalar, U: TensorUnit>(
     let [b11, b12, b21, b22] = quadrants(b);
 
     // Eight recursive products, four Θ(h²) combining additions.
-    let p1 = rec_standard(mach, &a11, &b11, base_dim);
-    let p2 = rec_standard(mach, &a12, &b21, base_dim);
-    let p3 = rec_standard(mach, &a11, &b12, base_dim);
-    let p4 = rec_standard(mach, &a12, &b22, base_dim);
-    let p5 = rec_standard(mach, &a21, &b11, base_dim);
-    let p6 = rec_standard(mach, &a22, &b21, base_dim);
-    let p7 = rec_standard(mach, &a21, &b12, base_dim);
-    let p8 = rec_standard(mach, &a22, &b22, base_dim);
+    let p1 = rec_standard(mach, a11, b11, base_dim);
+    let p2 = rec_standard(mach, a12, b21, base_dim);
+    let p3 = rec_standard(mach, a11, b12, base_dim);
+    let p4 = rec_standard(mach, a12, b22, base_dim);
+    let p5 = rec_standard(mach, a21, b11, base_dim);
+    let p6 = rec_standard(mach, a22, b21, base_dim);
+    let p7 = rec_standard(mach, a21, b12, base_dim);
+    let p8 = rec_standard(mach, a22, b22, base_dim);
     mach.charge(4 * (h * h) as u64);
     assemble(&p1.add(&p2), &p3.add(&p4), &p5.add(&p6), &p7.add(&p8))
 }
 
 fn rec_strassen<T: Scalar, U: TensorUnit>(
     mach: &mut TcuMachine<U>,
-    a: &Matrix<T>,
-    b: &Matrix<T>,
+    a: MatrixView<'_, T>,
+    b: MatrixView<'_, T>,
     base_dim: usize,
 ) -> Matrix<T> {
     let d = a.rows();
@@ -185,25 +216,25 @@ fn rec_strassen<T: Scalar, U: TensorUnit>(
 
     // Ten pre-additions.
     mach.charge(10 * (h * h) as u64);
-    let s1 = a11.add(&a22);
-    let s2 = b11.add(&b22);
-    let s3 = a21.add(&a22);
-    let s4 = b12.sub(&b22);
-    let s5 = b21.sub(&b11);
-    let s6 = a11.add(&a12);
-    let s7 = a21.sub(&a11);
-    let s8 = b11.add(&b12);
-    let s9 = a12.sub(&a22);
-    let s10 = b21.add(&b22);
+    let s1 = add_views(a11, a22);
+    let s2 = add_views(b11, b22);
+    let s3 = add_views(a21, a22);
+    let s4 = sub_views(b12, b22);
+    let s5 = sub_views(b21, b11);
+    let s6 = add_views(a11, a12);
+    let s7 = sub_views(a21, a11);
+    let s8 = add_views(b11, b12);
+    let s9 = sub_views(a12, a22);
+    let s10 = add_views(b21, b22);
 
     // Seven recursive products.
-    let m1 = rec_strassen(mach, &s1, &s2, base_dim);
-    let m2 = rec_strassen(mach, &s3, &b11, base_dim);
-    let m3 = rec_strassen(mach, &a11, &s4, base_dim);
-    let m4 = rec_strassen(mach, &a22, &s5, base_dim);
-    let m5 = rec_strassen(mach, &s6, &b22, base_dim);
-    let m6 = rec_strassen(mach, &s7, &s8, base_dim);
-    let m7 = rec_strassen(mach, &s9, &s10, base_dim);
+    let m1 = rec_strassen(mach, s1.view(), s2.view(), base_dim);
+    let m2 = rec_strassen(mach, s3.view(), b11, base_dim);
+    let m3 = rec_strassen(mach, a11, s4.view(), base_dim);
+    let m4 = rec_strassen(mach, a22, s5.view(), base_dim);
+    let m5 = rec_strassen(mach, s6.view(), b22, base_dim);
+    let m6 = rec_strassen(mach, s7.view(), s8.view(), base_dim);
+    let m7 = rec_strassen(mach, s9.view(), s10.view(), base_dim);
 
     // Eight post-additions.
     mach.charge(8 * (h * h) as u64);

@@ -1,0 +1,270 @@
+//! Host-kernel wall-clock benchmark: the seed `matmul_naive` execution
+//! path versus the tiled (and optionally threaded) view kernels, at the
+//! simulator's hot-path shapes. Emits machine-readable
+//! `BENCH_matmul.json` next to the working directory (override with
+//! `--out <path>`); `--quick` shrinks sizes/reps for the CI smoke run.
+//!
+//! Two families are measured:
+//!
+//! * `tensor_mul n=<n>` — one tensor instruction: `A (n × √m) · B
+//!   (√m × √m)`, the host work behind every simulated invocation.
+//!   The seed variant re-creates the operand marshalling the seed
+//!   callers performed (allocating `block` copies) plus `matmul_naive`;
+//!   the view variants run the packed tiled kernel over zero-copy
+//!   subviews of the same operands.
+//! * `blocked d=<d>` — the full Theorem 2 blocked multiplication of
+//!   `d × d` operands (the E2 hot path), seed flow (block copies +
+//!   `matmul_naive` + copy-back) versus the view flow.
+//!
+//! All variants are checked element-equal against `matmul_naive` before
+//! timing, so the numbers can never come from a wrong kernel.
+
+use std::time::Instant;
+use tcu_linalg::kernels;
+use tcu_linalg::ops::matmul_naive;
+use tcu_linalg::{Matrix, Scalar};
+
+const SQRT_M: usize = 16;
+
+/// Frozen replica of the seed `matmul_naive` inner loop (separate
+/// multiply and add, zero-skip), so the baseline stays the *seed* kernel
+/// even though the live `matmul_naive` oracle now shares `mul_add` with
+/// the tiled kernels.
+fn matmul_seed(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dimensions must agree");
+    let (n, k, p) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(n, p);
+    for i in 0..n {
+        for l in 0..k {
+            let ail = a[(i, l)];
+            if ail == f64::ZERO {
+                continue;
+            }
+            let brow = b.row(l);
+            let crow: &mut [f64] = c.row_mut(i);
+            for j in 0..p {
+                crow[j] = crow[j].add(ail.mul(brow[j]));
+            }
+        }
+    }
+    c
+}
+
+struct Case {
+    name: String,
+    n: usize,
+    sqrt_m: usize,
+    reps: u32,
+    seed_ns: f64,
+    tiled_ns: f64,
+    par_ns: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_matmul.json".to_string(), Clone::clone);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    let tall_sizes: &[usize] = if quick { &[64, 512] } else { &[64, 512, 2048] };
+    let blocked_sizes: &[usize] = if quick { &[128] } else { &[256, 512] };
+
+    let mut cases = Vec::new();
+    for &n in tall_sizes {
+        cases.push(bench_tensor_mul(n, quick, threads));
+    }
+    for &d in blocked_sizes {
+        cases.push(bench_blocked(d, quick, threads));
+    }
+
+    let mut table = tcu_bench::Table::new(
+        "BENCH matmul — seed naive vs tiled view kernel (host wall-clock)",
+        &[
+            "case",
+            "reps",
+            "seed ns/op",
+            "tiled ns/op",
+            "par ns/op",
+            "speedup",
+            "par speedup",
+        ],
+    );
+    for c in &cases {
+        table.row(vec![
+            c.name.clone(),
+            c.reps.to_string(),
+            tcu_bench::fmt_f(c.seed_ns, 0),
+            tcu_bench::fmt_f(c.tiled_ns, 0),
+            tcu_bench::fmt_f(c.par_ns, 0),
+            tcu_bench::fmt_f(c.seed_ns / c.tiled_ns, 2),
+            tcu_bench::fmt_f(c.seed_ns / c.par_ns, 2),
+        ]);
+    }
+    table.print();
+
+    let json = render_json(&cases, quick, threads);
+    std::fs::write(&out_path, &json).expect("write BENCH_matmul.json");
+    println!("wrote {out_path}");
+}
+
+/// Best-of-3-runs wall-clock of `f` in ns/op, after one warmup run
+/// (minimum filters scheduler noise on shared machines).
+fn time_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    std::hint::black_box(f());
+    let runs = 3;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        let dt = t0.elapsed().as_nanos() as f64 / f64::from(reps);
+        best = best.min(dt);
+    }
+    best
+}
+
+fn workload(r: usize, c: usize, seed: u64) -> Matrix<f64> {
+    Matrix::from_fn(r, c, |i, j| {
+        let x = (i as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((j as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(seed);
+        (x % 4096) as f64 / 2048.0 - 1.0
+    })
+}
+
+/// One simulated tensor instruction: `A (n × √m) · B (√m × √m)`. The
+/// seed path includes the caller-side `block` copy that marshalled the
+/// strip out of a wider matrix (as `dense::multiply` did).
+fn bench_tensor_mul(n: usize, quick: bool, threads: usize) -> Case {
+    let s = SQRT_M;
+    // A lives inside a wider matrix, as in the blocked algorithms.
+    let wide = workload(n, 4 * s, 1);
+    let b = workload(s, s, 2);
+
+    // The tiled kernels must equal the live oracle exactly; the frozen
+    // seed replica differs from a fused-FMA build only in the last ulp.
+    let want = matmul_naive(&wide.block(0, s, n, s), &b);
+    assert_eq!(kernels::matmul(wide.subview(0, s, n, s), b.view()), want);
+    assert_eq!(
+        kernels::matmul_threads(wide.subview(0, s, n, s), b.view(), threads),
+        want
+    );
+    assert!(tcu_linalg::ops::max_abs_diff(&matmul_seed(&wide.block(0, s, n, s), &b), &want) < 1e-9);
+
+    let reps: u32 = if quick { 20 } else { 200 };
+    let seed_ns = time_ns(reps, || {
+        let strip = wide.block(0, s, n, s);
+        matmul_seed(&strip, &b)
+    });
+    let tiled_ns = time_ns(reps, || kernels::matmul(wide.subview(0, s, n, s), b.view()));
+    let par_ns = time_ns(reps, || {
+        kernels::matmul_threads(wide.subview(0, s, n, s), b.view(), threads)
+    });
+    Case {
+        name: format!("tensor_mul n={n}"),
+        n,
+        sqrt_m: s,
+        reps,
+        seed_ns,
+        tiled_ns,
+        par_ns,
+    }
+}
+
+/// The Theorem 2 blocked multiplication host flow for `d × d` operands:
+/// per block column, stream strip × block products and accumulate.
+fn bench_blocked(d: usize, quick: bool, threads: usize) -> Case {
+    let s = SQRT_M;
+    let a = workload(d, d, 3);
+    let b = workload(d, d, 4);
+    let q = d / s;
+
+    let seed_flow = || {
+        let mut c = Matrix::<f64>::zeros(d, d);
+        for j in 0..q {
+            let mut acc: Option<Matrix<f64>> = None;
+            for k in 0..q {
+                let strip = a.block(0, k * s, d, s);
+                let blk = b.block(k * s, j * s, s, s);
+                let prod = matmul_seed(&strip, &blk);
+                match &mut acc {
+                    None => acc = Some(prod),
+                    Some(sum) => sum.add_assign(&prod),
+                }
+            }
+            c.set_block(0, j * s, &acc.expect("q >= 1"));
+        }
+        c
+    };
+    let view_flow = |threads: usize| {
+        let mut c = Matrix::<f64>::zeros(d, d);
+        for j in 0..q {
+            for k in 0..q {
+                let mut out = c.subview_mut(0, j * s, d, s);
+                kernels::matmul_acc_threads(
+                    &mut out,
+                    a.subview(0, k * s, d, s),
+                    b.subview(k * s, j * s, s, s),
+                    threads,
+                );
+            }
+        }
+        c
+    };
+
+    assert_eq!(view_flow(1), view_flow(threads));
+    assert!(tcu_linalg::ops::max_abs_diff(&seed_flow(), &view_flow(1)) < 1e-6 * d as f64);
+
+    let reps: u32 = if quick { 3 } else { 10 };
+    let seed_ns = time_ns(reps, seed_flow);
+    let tiled_ns = time_ns(reps, || view_flow(1));
+    let par_ns = time_ns(reps, || view_flow(threads));
+    Case {
+        name: format!("blocked d={d}"),
+        n: d,
+        sqrt_m: s,
+        reps,
+        seed_ns,
+        tiled_ns,
+        par_ns,
+    }
+}
+
+fn render_json(cases: &[Case], quick: bool, threads: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"matmul\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"host_threads\": {threads},\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"name\": \"{}\", \"n\": {}, \"sqrt_m\": {}, \"reps\": {}, \
+             \"seed_ns_per_op\": {:.1}, \"tiled_ns_per_op\": {:.1}, \
+             \"parallel_ns_per_op\": {:.1}, \"speedup_tiled\": {:.3}, \
+             \"speedup_parallel\": {:.3}",
+            c.name,
+            c.n,
+            c.sqrt_m,
+            c.reps,
+            c.seed_ns,
+            c.tiled_ns,
+            c.par_ns,
+            c.seed_ns / c.tiled_ns,
+            c.seed_ns / c.par_ns,
+        ));
+        out.push('}');
+        if i + 1 < cases.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

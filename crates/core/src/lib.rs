@@ -48,7 +48,7 @@ pub mod trace;
 pub use cost::Stats;
 pub use machine::TcuMachine;
 pub use parallel::ParallelTcuMachine;
-pub use tensor_unit::{ModelTensorUnit, TensorUnit, WeakTensorUnit};
+pub use tensor_unit::{exact_sqrt, ModelTensorUnit, TensorUnit, WeakTensorUnit};
 pub use trace::{TraceEvent, TraceLog};
 
 /// Convenience alias: the default machine (model-cost tensor unit).

@@ -17,8 +17,8 @@
 use crate::cost::Stats;
 use crate::tensor_unit::{ModelTensorUnit, TensorUnit, WeakTensorUnit};
 use crate::trace::TraceLog;
-use tcu_linalg::ops::matmul_naive;
-use tcu_linalg::{Matrix, Scalar};
+use tcu_linalg::kernels;
+use tcu_linalg::{Matrix, MatrixView, Scalar};
 
 /// A simulated RAM with an attached tensor unit, metering simulated time.
 #[derive(Clone, Debug)]
@@ -26,6 +26,12 @@ pub struct TcuMachine<U: TensorUnit> {
     unit: U,
     stats: Stats,
     trace: Option<TraceLog>,
+    /// Host worker threads for executing tensor instructions (the
+    /// *simulator's* wall-clock, never simulated time). Defaults to 1;
+    /// opt in via [`Self::set_host_threads`] or `TCU_HOST_THREADS`. The
+    /// parallel kernel's row-band split is deterministic, so numeric
+    /// results are identical for every setting.
+    host_threads: usize,
 }
 
 impl TcuMachine<ModelTensorUnit> {
@@ -51,14 +57,36 @@ impl TcuMachine<WeakTensorUnit> {
 }
 
 impl<U: TensorUnit> TcuMachine<U> {
-    /// Wrap an arbitrary costing policy.
+    /// Wrap an arbitrary costing policy. Host execution starts
+    /// single-threaded unless `TCU_HOST_THREADS` requests more workers.
     #[must_use]
     pub fn new(unit: U) -> Self {
+        let host_threads = std::env::var("TCU_HOST_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
         Self {
             unit,
             stats: Stats::default(),
             trace: None,
+            host_threads,
         }
+    }
+
+    /// Opt in to (or back out of) parallel host execution of tensor
+    /// instructions. Affects wall-clock only: simulated time, `Stats`,
+    /// traces, and numeric results are identical for every value — the
+    /// kernel's row-band split is deterministic.
+    pub fn set_host_threads(&mut self, threads: usize) {
+        self.host_threads = threads.max(1);
+    }
+
+    /// Current host worker count for tensor-instruction execution.
+    #[inline]
+    #[must_use]
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
     }
 
     /// `√m` of the attached unit.
@@ -147,6 +175,23 @@ impl<U: TensorUnit> TcuMachine<U> {
     /// operands.
     #[must_use]
     pub fn tensor_mul<T: Scalar>(&mut self, a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+        self.tensor_mul_view(a.view(), b.view())
+    }
+
+    /// [`Self::tensor_mul`] on borrowed operand views: the zero-copy hot
+    /// path. Blocked algorithms pass subviews of their larger matrices
+    /// directly, so no block is materialized just to be multiplied; the
+    /// product is computed by the tiled host kernel (parallel across
+    /// deterministic row bands when [`Self::set_host_threads`] opted in).
+    ///
+    /// # Panics
+    /// Same shape rules as [`Self::tensor_mul`].
+    #[must_use]
+    pub fn tensor_mul_view<T: Scalar>(
+        &mut self,
+        a: MatrixView<'_, T>,
+        b: MatrixView<'_, T>,
+    ) -> Matrix<T> {
         let s = self.sqrt_m();
         assert_eq!(a.cols(), s, "left operand must have √m = {s} columns");
         assert_eq!(
@@ -160,7 +205,41 @@ impl<U: TensorUnit> TcuMachine<U> {
             a.rows()
         );
         self.charge_tensor(a.rows());
-        matmul_naive(a, b)
+        kernels::matmul_threads(a, b, self.host_threads)
+    }
+
+    /// [`Self::tensor_mul_view`] with the product accumulated straight
+    /// into `out` (`out += A·B`) — the `D = A·B + C` dataflow of real
+    /// tensor cores, exposed as a *host-level* fusion: the simulated
+    /// charge is exactly that of `tensor_mul`, and callers that bill the
+    /// accumulation as CPU work (Theorem 2's "final summation") must
+    /// still [`Self::charge`] it explicitly, so `Stats`/trace output is
+    /// identical to the product-then-add flow. What the fusion removes
+    /// is the host's intermediate product matrix and second pass.
+    ///
+    /// # Panics
+    /// Shape rules of [`Self::tensor_mul_view`], plus `out` must be
+    /// `a.rows × √m`.
+    pub fn tensor_mul_acc_view<T: Scalar>(
+        &mut self,
+        a: MatrixView<'_, T>,
+        b: MatrixView<'_, T>,
+        out: &mut tcu_linalg::MatrixViewMut<'_, T>,
+    ) {
+        let s = self.sqrt_m();
+        assert_eq!(a.cols(), s, "left operand must have √m = {s} columns");
+        assert_eq!(
+            (b.rows(), b.cols()),
+            (s, s),
+            "right operand must be √m × √m"
+        );
+        assert!(
+            a.rows() >= s,
+            "model requires n ≥ √m rows (got {}); pad first",
+            a.rows()
+        );
+        self.charge_tensor(a.rows());
+        kernels::matmul_acc_threads(out, a, b, self.host_threads);
     }
 
     /// Convenience wrapper for operands smaller than the unit's footprint:
@@ -175,13 +254,27 @@ impl<U: TensorUnit> TcuMachine<U> {
     /// Panics if the inner dimensions disagree or exceed `√m`.
     #[must_use]
     pub fn tensor_mul_padded<T: Scalar>(&mut self, a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+        self.tensor_mul_padded_view(a.view(), b.view())
+    }
+
+    /// [`Self::tensor_mul_padded`] on borrowed operand views (see
+    /// [`Self::tensor_mul_view`]).
+    ///
+    /// # Panics
+    /// Same shape rules as [`Self::tensor_mul_padded`].
+    #[must_use]
+    pub fn tensor_mul_padded_view<T: Scalar>(
+        &mut self,
+        a: MatrixView<'_, T>,
+        b: MatrixView<'_, T>,
+    ) -> Matrix<T> {
         let s = self.sqrt_m();
         assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
         assert!(a.cols() <= s, "inner dimension exceeds √m");
         assert!(b.cols() <= s, "right operand width exceeds √m");
         let n_effective = a.rows().max(s);
         self.charge_tensor(n_effective);
-        matmul_naive(a, b)
+        kernels::matmul_threads(a, b, self.host_threads)
     }
 
     /// Meter one logical tensor multiplication with an `n_rows`-row left
@@ -214,9 +307,47 @@ impl<U: TensorUnit> TcuMachine<U> {
 mod tests {
     use super::*;
     use crate::trace::TraceEvent;
+    use tcu_linalg::ops::matmul_naive;
 
     fn iota(r: usize, c: usize) -> Matrix<i64> {
         Matrix::from_fn(r, c, |i, j| (i * c + j + 1) as i64)
+    }
+
+    #[test]
+    fn view_call_equals_owned_call_in_result_and_cost() {
+        let big = Matrix::from_fn(16, 12, |i, j| (3 * i + 5 * j) as i64);
+        let wts = Matrix::from_fn(8, 8, |i, j| (i * 2 + j) as i64);
+        let a = big.block(2, 3, 8, 4);
+        let b = wts.block(2, 2, 4, 4);
+
+        let mut owned = TcuMachine::model(16, 9);
+        let c_owned = owned.tensor_mul(&a, &b);
+        let mut viewed = TcuMachine::model(16, 9);
+        let c_viewed = viewed.tensor_mul_view(big.subview(2, 3, 8, 4), wts.subview(2, 2, 4, 4));
+        assert_eq!(c_owned, c_viewed);
+        assert_eq!(owned.stats(), viewed.stats());
+        assert_eq!(c_owned, matmul_naive(&a, &b));
+    }
+
+    #[test]
+    fn host_threads_change_nothing_observable() {
+        // 300 rows: enough for a real multi-band split (threads are
+        // clamped so every band has at least the kernel's minimum rows).
+        let a = iota(300, 4);
+        let b = iota(4, 4);
+        let mut serial = TcuMachine::model(16, 3);
+        serial.enable_trace();
+        let cs = serial.tensor_mul(&a, &b);
+
+        let mut parallel = TcuMachine::model(16, 3);
+        parallel.set_host_threads(4);
+        assert_eq!(parallel.host_threads(), 4);
+        parallel.enable_trace();
+        let cp = parallel.tensor_mul(&a, &b);
+
+        assert_eq!(cs, cp);
+        assert_eq!(serial.stats(), parallel.stats());
+        assert_eq!(serial.take_trace(), parallel.take_trace());
     }
 
     #[test]

@@ -14,8 +14,8 @@
 
 use crate::cost::Stats;
 use crate::tensor_unit::TensorUnit;
-use tcu_linalg::ops::matmul_naive;
-use tcu_linalg::{Matrix, Scalar};
+use tcu_linalg::kernels;
+use tcu_linalg::{Matrix, MatrixView, Scalar};
 
 /// A TCU machine with `p` identical tensor units.
 #[derive(Clone, Debug)]
@@ -96,10 +96,26 @@ impl<U: TensorUnit> ParallelTcuMachine<U> {
         &mut self,
         ops: &[(&Matrix<T>, &Matrix<T>)],
     ) -> Vec<Matrix<T>> {
+        let views: Vec<(MatrixView<'_, T>, MatrixView<'_, T>)> =
+            ops.iter().map(|(a, b)| (a.view(), b.view())).collect();
+        self.tensor_mul_batch_views(&views)
+    }
+
+    /// [`Self::tensor_mul_batch`] on borrowed operand views — the
+    /// zero-copy path used by the §6 parallel algorithms, which carve
+    /// every strip and weight block directly out of the input matrices.
+    ///
+    /// # Panics
+    /// Panics if shapes violate the model.
+    #[must_use]
+    pub fn tensor_mul_batch_views<T: Scalar>(
+        &mut self,
+        ops: &[(MatrixView<'_, T>, MatrixView<'_, T>)],
+    ) -> Vec<Matrix<T>> {
         let s = self.sqrt_m();
         let mut results = Vec::with_capacity(ops.len());
         let mut costs = Vec::with_capacity(ops.len());
-        for (a, b) in ops {
+        for &(a, b) in ops {
             assert_eq!(a.cols(), s, "left operand must have √m columns");
             assert_eq!(
                 (b.rows(), b.cols()),
@@ -111,7 +127,7 @@ impl<U: TensorUnit> ParallelTcuMachine<U> {
             let lat = self.unit.invocation_latency(a.rows());
             self.stats.record_tensor(a.rows() as u64, cost, lat);
             costs.push(cost);
-            results.push(matmul_naive(a, b));
+            results.push(kernels::matmul(a, b));
         }
         self.makespan_time += makespan(&costs, self.p);
         results

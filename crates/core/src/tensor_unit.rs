@@ -54,13 +54,41 @@ pub trait TensorUnit {
 }
 
 /// Integer square root with exactness check, for validating `m`.
-fn exact_sqrt(m: usize) -> usize {
-    let s = (m as f64).sqrt().round() as usize;
+///
+/// Pure-integer Newton iteration — no `f64` round trip. The float trick
+/// (`(m as f64).sqrt().round()`) loses integer precision once `m`
+/// approaches `2^53`: the cast rounds `m` itself, so the recovered root
+/// can be off by one and a genuine perfect square near the cliff gets
+/// rejected (and on 32-bit targets the `s * s` check could wrap). The
+/// Newton sequence below works in `u128`, converges monotonically from
+/// above, and is exact for every `usize`.
+///
+/// # Panics
+/// Panics unless `m` is a perfect square.
+pub fn exact_sqrt(m: usize) -> usize {
+    let s = isqrt_u128(m as u128) as usize;
     assert!(
-        s * s == m,
+        s.checked_mul(s) == Some(m),
         "m = {m} must be a perfect square (it is √m × √m hardware)"
     );
     s
+}
+
+/// Floor integer square root by Newton's method: `x_{k+1} = (x_k + v/x_k)/2`
+/// starting above the root, strictly decreasing until it crosses it.
+fn isqrt_u128(v: u128) -> u128 {
+    if v < 2 {
+        return v;
+    }
+    // Initial guess ≥ √v: 2^⌈bits/2⌉ where bits = position of the MSB.
+    let bits = 128 - v.leading_zeros();
+    let mut x = 1u128 << bits.div_ceil(2);
+    let mut y = (x + v / x) / 2;
+    while y < x {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    x
 }
 
 /// The standard (m, ℓ)-TCU cost policy: an invocation with an `n`-row left
@@ -185,5 +213,40 @@ mod tests {
         let u = ModelTensorUnit::from_sqrt_m(10, 3);
         assert_eq!(u.m(), 100);
         assert_eq!(u.invocation_cost(10), 103);
+    }
+
+    #[test]
+    fn exact_sqrt_handles_squares_near_2_pow_53() {
+        // 94906267² = 9007199515875089 > 2^53: `(m as f64)` is no longer
+        // exact here, so the old float round trip could mis-recover the
+        // root. The integer Newton path must accept every true square…
+        for s in [94_906_265usize, 94_906_266, 94_906_267, 1 << 31] {
+            let m = s * s;
+            assert_eq!(exact_sqrt(m), s, "s = {s}");
+        }
+        // …including the largest square representable in usize.
+        let smax = usize::MAX.isqrt();
+        assert_eq!(exact_sqrt(smax * smax), smax);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn exact_sqrt_rejects_neighbor_of_large_square() {
+        let s = 94_906_267usize;
+        let _ = exact_sqrt(s * s - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn exact_sqrt_rejects_neighbor_above_large_square() {
+        let s = 94_906_267usize;
+        let _ = exact_sqrt(s * s + 1);
+    }
+
+    #[test]
+    fn exact_sqrt_small_values() {
+        for s in 0usize..=64 {
+            assert_eq!(exact_sqrt(s * s), s);
+        }
     }
 }

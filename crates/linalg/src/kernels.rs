@@ -1,0 +1,421 @@
+//! Tiled host kernels for the simulator's hot path.
+//!
+//! Every simulated tensor instruction ends in a host matrix product;
+//! [`crate::ops::matmul_naive`] defines the semantics (and stays the test
+//! oracle), while the kernels here compute the *same sum in the same
+//! per-element order* but organized for the cache and the register file:
+//!
+//! * [`pack_b`] copies the right operand once per invocation into
+//!   column panels of width `NR`, so the micro-kernel reads `B` as
+//!   contiguous, reusable rows regardless of the source view's stride;
+//! * the `MR × NR` register-blocked micro-kernel keeps a full tile of
+//!   `C` in accumulators across the entire inner (`k`) loop, eliminating
+//!   the per-`k` round trips through `C` that dominate the naive triple
+//!   loop;
+//! * [`matmul_threads`] adds an opt-in parallel path that splits the
+//!   tall left operand into **deterministic row bands** — band
+//!   boundaries depend only on `(rows, threads)`, each band is written
+//!   by exactly one worker via disjoint `split_at_mut` chunks, and every
+//!   element is accumulated in the same `k` order as the serial kernel —
+//!   so results are bit-identical for every thread count.
+//!
+//! Accumulation order matters: for each output element the `k` loop runs
+//! in ascending order from a zero accumulator, exactly like
+//! `matmul_naive`, so integer and `F_p` results are equal and float
+//! results agree under IEEE `==` (the only divergence is the sign of a
+//! zero, which `==` ignores). Determinism of the *simulated* machine is
+//! untouched — these kernels never see `Stats` or traces.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::view::{MatrixView, MatrixViewMut};
+
+/// Minimum rows per parallel band: below this, a band's kernel work is
+/// cheaper than spawning the thread that would run it.
+const MIN_BAND_ROWS: usize = 128;
+
+/// Micro-kernel height: rows of `C` kept in accumulators per tile.
+const MR: usize = 4;
+/// Micro-kernel width: one packed `B` panel. `4 × 16` keeps the whole
+/// accumulator tile in vector registers (8 zmm of `f64` with AVX-512,
+/// 16 ymm with AVX2) and covers the hot `√m = 16` shape with a single
+/// panel, so the left operand is traversed once per invocation.
+const NR: usize = 16;
+
+/// `C = A·B` through the tiled kernel, single-threaded.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+#[must_use]
+pub fn matmul<T: Scalar>(a: MatrixView<'_, T>, b: MatrixView<'_, T>) -> Matrix<T> {
+    matmul_threads(a, b, 1)
+}
+
+/// `C = A·B` through the tiled kernel, splitting the left operand's rows
+/// into `threads` deterministic bands executed under
+/// [`std::thread::scope`]. `threads ≤ 1` (or too few rows) runs the
+/// serial kernel on the calling thread; results are identical either
+/// way, element for element.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+#[must_use]
+pub fn matmul_threads<T: Scalar>(
+    a: MatrixView<'_, T>,
+    b: MatrixView<'_, T>,
+    threads: usize,
+) -> Matrix<T> {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dimensions must agree");
+    let mut c = Matrix::<T>::zeros(a.rows(), b.cols());
+    run::<T, false>(&mut c.view_mut(), a, b, threads);
+    c
+}
+
+/// Fused accumulate `C += A·B` into a (possibly strided) destination
+/// view — the `D = A·B + C` shape real tensor cores execute. Eliminates
+/// the intermediate product matrix and the separate accumulation pass of
+/// the blocked algorithms; the per-element sum order matches
+/// `matmul_naive` followed by an element add, so results agree with the
+/// unfused flow.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()` or `c` is not `a.rows × b.cols`.
+pub fn matmul_acc<T: Scalar>(
+    c: &mut MatrixViewMut<'_, T>,
+    a: MatrixView<'_, T>,
+    b: MatrixView<'_, T>,
+) {
+    matmul_acc_threads(c, a, b, 1);
+}
+
+/// [`matmul_acc`] with the deterministic row-band parallel path.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()` or `c` is not `a.rows × b.cols`.
+pub fn matmul_acc_threads<T: Scalar>(
+    c: &mut MatrixViewMut<'_, T>,
+    a: MatrixView<'_, T>,
+    b: MatrixView<'_, T>,
+    threads: usize,
+) {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dimensions must agree");
+    assert_eq!(
+        (c.rows(), c.cols()),
+        (a.rows(), b.cols()),
+        "matmul_acc: output shape mismatch"
+    );
+    run::<T, true>(c, a, b, threads);
+}
+
+/// Shared driver: pack `B`, then run the band kernel serially or over
+/// deterministic row bands. `ACC` selects accumulate-into vs overwrite.
+fn run<T: Scalar, const ACC: bool>(
+    c: &mut MatrixViewMut<'_, T>,
+    a: MatrixView<'_, T>,
+    b: MatrixView<'_, T>,
+    threads: usize,
+) {
+    let (n, k, p) = (a.rows(), a.cols(), b.cols());
+    if n == 0 || p == 0 {
+        return;
+    }
+    let packed = pack_b(b);
+    // Spawning scoped threads costs ~10µs each; a band below
+    // MIN_BAND_ROWS rows is cheaper to compute than to dispatch, so
+    // small invocations (every √m × √m base case, for one) stay serial
+    // even when the caller opted into more workers. Results are
+    // bit-identical either way, so the threshold is pure policy.
+    let threads = threads.clamp(1, (n / MIN_BAND_ROWS).max(1));
+    if threads == 1 {
+        mul_band::<T, ACC>(a, &packed, k, p, &mut c.reborrow());
+        return;
+    }
+
+    // Deterministic row bands: ⌈n/threads⌉-sized from the top, remainder
+    // spread over the leading bands. Boundaries depend only on
+    // (n, threads); each band's output is a disjoint mutable view.
+    let base = n / threads;
+    let extra = n % threads;
+    std::thread::scope(|scope| {
+        let mut rest = c.reborrow();
+        let mut row = 0usize;
+        for t in 0..threads {
+            let h = base + usize::from(t < extra);
+            if h == 0 {
+                continue;
+            }
+            let (mut band_out, tail) = rest.split_at_row(h);
+            rest = tail;
+            let band_in = a.subview(row, 0, h, k);
+            let packed_ref = &packed;
+            scope.spawn(move || mul_band::<T, ACC>(band_in, packed_ref, k, p, &mut band_out));
+            row += h;
+        }
+    });
+}
+
+/// Pack `b` into column panels of width [`NR`]: panel `q` holds columns
+/// `[q·NR, q·NR + NR)` as `k` consecutive rows of `NR` elements
+/// (zero-padded on the ragged right edge). One pack per invocation makes
+/// every micro-kernel `B` access a contiguous forward scan.
+fn pack_b<T: Scalar>(b: MatrixView<'_, T>) -> Vec<T> {
+    let (k, p) = (b.rows(), b.cols());
+    let panels = p.div_ceil(NR).max(1);
+    let mut packed = vec![T::ZERO; panels * k * NR];
+    for q in 0..panels {
+        let j0 = q * NR;
+        let w = NR.min(p.saturating_sub(j0));
+        if w == 0 {
+            continue;
+        }
+        let panel = &mut packed[q * k * NR..(q + 1) * k * NR];
+        for kk in 0..k {
+            panel[kk * NR..kk * NR + w].copy_from_slice(&b.row(kk)[j0..j0 + w]);
+        }
+    }
+    packed
+}
+
+/// Serial tiled kernel over one row band: `c` is the band's `h × p`
+/// output view (possibly strided), `packed` the full packed `B`.
+///
+/// The hot shapes are square `√m × √m` right operands; dispatching them
+/// to inlined copies of the band loop with *literal* dimensions lets the
+/// compiler fully unroll the inner product and keep the register tile
+/// clean (the runtime-dimension fallback is ~2× slower on the `√m = 16`
+/// shape). All arms run identical code, so results are identical.
+fn mul_band<T: Scalar, const ACC: bool>(
+    a: MatrixView<'_, T>,
+    packed: &[T],
+    k: usize,
+    p: usize,
+    c: &mut MatrixViewMut<'_, T>,
+) {
+    match (k, p) {
+        (4, 4) => mul_band_impl::<T, ACC>(a, packed, 4, 4, c),
+        (8, 8) => mul_band_impl::<T, ACC>(a, packed, 8, 8, c),
+        (16, 16) => mul_band_impl::<T, ACC>(a, packed, 16, 16, c),
+        (32, 32) => mul_band_impl::<T, ACC>(a, packed, 32, 32, c),
+        _ => mul_band_impl::<T, ACC>(a, packed, k, p, c),
+    }
+}
+
+#[inline(always)]
+fn mul_band_impl<T: Scalar, const ACC: bool>(
+    a: MatrixView<'_, T>,
+    packed: &[T],
+    k: usize,
+    p: usize,
+    c: &mut MatrixViewMut<'_, T>,
+) {
+    let h = a.rows();
+    debug_assert_eq!((c.rows(), c.cols()), (h, p));
+    let panels = p.div_ceil(NR);
+    let mut i0 = 0usize;
+    while i0 < h {
+        let mr = MR.min(h - i0);
+        for q in 0..panels {
+            let j0 = q * NR;
+            let w = NR.min(p - j0);
+            let panel = &packed[q * k * NR..(q + 1) * k * NR];
+            if mr == MR {
+                micro_kernel::<T, MR, ACC>(a, i0, panel, k, j0, w, c);
+            } else {
+                match mr {
+                    1 => micro_kernel::<T, 1, ACC>(a, i0, panel, k, j0, w, c),
+                    2 => micro_kernel::<T, 2, ACC>(a, i0, panel, k, j0, w, c),
+                    _ => micro_kernel::<T, 3, ACC>(a, i0, panel, k, j0, w, c),
+                }
+            }
+        }
+        i0 += mr;
+    }
+}
+
+/// `RB × NR` register tile: accumulate rows `[i0, i0 + RB)` of the band
+/// against one packed panel, then spill to `c` (overwriting, or adding
+/// when `ACC`). The `kk` loop ascends from zero accumulators — the exact
+/// per-element order of `matmul_naive`.
+#[inline(always)]
+fn micro_kernel<T: Scalar, const RB: usize, const ACC: bool>(
+    a: MatrixView<'_, T>,
+    i0: usize,
+    panel: &[T],
+    k: usize,
+    j0: usize,
+    w: usize,
+    c: &mut MatrixViewMut<'_, T>,
+) {
+    let mut acc = [[T::ZERO; NR]; RB];
+    let mut arows: [&[T]; RB] = [&[]; RB];
+    for (r, ar) in arows.iter_mut().enumerate() {
+        *ar = a.row(i0 + r);
+    }
+    for kk in 0..k {
+        let brow = &panel[kk * NR..kk * NR + NR];
+        for r in 0..RB {
+            let av = arows[r][kk];
+            let accr = &mut acc[r];
+            for jj in 0..NR {
+                accr[jj] = accr[jj].mul_add(av, brow[jj]);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let crow = &mut c.row_mut(i0 + r)[j0..j0 + w];
+        if ACC {
+            for (o, &v) in crow.iter_mut().zip(&accr[..w]) {
+                *o = o.add(v);
+            }
+        } else {
+            crow.copy_from_slice(&accr[..w]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex64;
+    use crate::modular::Fp61;
+    use crate::ops::matmul_naive;
+
+    fn pseudo(r: usize, c: usize, seed: i64) -> Matrix<i64> {
+        Matrix::from_fn(r, c, |i, j| {
+            ((i as i64 * 131 + j as i64 * 31 + seed).wrapping_mul(48271) >> 5) % 97 - 48
+        })
+    }
+
+    #[test]
+    fn tiled_matches_naive_over_shapes() {
+        for (n, k, p) in [
+            (1usize, 1usize, 1usize),
+            (4, 4, 4),
+            (5, 3, 7),
+            (16, 16, 16),
+            (33, 16, 16),
+            (512, 16, 16),
+            (7, 1, 9),
+            (2, 19, 31),
+            (13, 8, 8),
+        ] {
+            let a = pseudo(n, k, 1);
+            let b = pseudo(k, p, 2);
+            assert_eq!(
+                matmul(a.view(), b.view()),
+                matmul_naive(&a, &b),
+                "{n}x{k}x{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_on_strided_views_matches_copies() {
+        let big_a = pseudo(20, 24, 3);
+        let big_b = pseudo(24, 24, 4);
+        let av = big_a.subview(2, 3, 9, 5);
+        let bv = big_b.subview(1, 7, 5, 11);
+        let want = matmul_naive(&big_a.block(2, 3, 9, 5), &big_b.block(1, 7, 5, 11));
+        assert_eq!(matmul(av, bv), want);
+    }
+
+    #[test]
+    fn parallel_bands_are_bit_identical() {
+        // 517 rows: 4 real bands (≥ MIN_BAND_ROWS each) with a ragged
+        // remainder spread over the leading ones.
+        let a = pseudo(517, 16, 5);
+        let b = pseudo(16, 16, 6);
+        let serial = matmul(a.view(), b.view());
+        for threads in [2usize, 3, 4, 7, 64] {
+            assert_eq!(
+                matmul_threads(a.view(), b.view(), threads),
+                serial,
+                "threads = {threads}"
+            );
+        }
+        // Small operands fall back to the serial kernel regardless.
+        let small = pseudo(37, 16, 7);
+        assert_eq!(
+            matmul_threads(small.view(), b.view(), 8),
+            matmul(small.view(), b.view())
+        );
+    }
+
+    #[test]
+    fn float_results_equal_naive() {
+        let a = Matrix::from_fn(23, 12, |i, j| (i as f64 - 3.5) * 0.25 + j as f64 * 0.125);
+        let b = Matrix::from_fn(12, 17, |i, j| (j as f64 - 8.0) * 0.5 - i as f64 * 0.0625);
+        assert_eq!(matmul(a.view(), b.view()), matmul_naive(&a, &b));
+        assert_eq!(matmul_threads(a.view(), b.view(), 3), matmul_naive(&a, &b));
+    }
+
+    #[test]
+    fn field_and_complex_scalars() {
+        let a = Matrix::from_fn(9, 6, |i, j| Fp61::new((i as u64 * 131 + j as u64) << 7));
+        let b = Matrix::from_fn(6, 10, |i, j| Fp61::new((j as u64 * 31 + i as u64) << 9));
+        assert_eq!(matmul(a.view(), b.view()), matmul_naive(&a, &b));
+
+        let ca = Matrix::from_fn(8, 8, |i, j| Complex64::root_of_unity(16, (i * j) as i64));
+        let cb = Matrix::from_fn(8, 8, |i, j| Complex64::root_of_unity(16, (i + j) as i64));
+        assert_eq!(matmul(ca.view(), cb.view()), matmul_naive(&ca, &cb));
+    }
+
+    #[test]
+    fn fused_accumulate_equals_product_plus_add() {
+        let big = pseudo(30, 40, 11);
+        let wts = pseudo(20, 20, 12);
+        let a = big.subview(1, 2, 21, 16);
+        let b = wts.subview(3, 1, 16, 16);
+        // Unfused reference: C0 + A·B.
+        let mut want = pseudo(21, 16, 13);
+        want.add_assign(&matmul(a, b));
+        // Fused, serial and threaded, must agree exactly.
+        for threads in [1usize, 3, 5] {
+            let mut c = pseudo(21, 16, 13);
+            matmul_acc_threads(&mut c.view_mut(), a, b, threads);
+            assert_eq!(c, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fused_accumulate_into_strided_block() {
+        let a = pseudo(8, 4, 21);
+        let b = pseudo(4, 4, 22);
+        let mut want_inner = pseudo(8, 4, 23);
+        want_inner.add_assign(&matmul(a.view(), b.view()));
+
+        // Destination is a block of a larger matrix; surrounding entries
+        // must be untouched.
+        let mut host = Matrix::<i64>::zeros(12, 10);
+        host.set_block_view(2, 3, pseudo(8, 4, 23).view());
+        let before = host.clone();
+        let mut dst = host.subview_mut(2, 3, 8, 4);
+        matmul_acc(&mut dst, a.view(), b.view());
+        assert_eq!(host.block(2, 3, 8, 4), want_inner);
+        for i in 0..12 {
+            for j in 0..10 {
+                if !(2..10).contains(&i) || !(3..7).contains(&j) {
+                    assert_eq!(host[(i, j)], before[(i, j)], "({i},{j}) clobbered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let a = Matrix::<i64>::zeros(0, 4);
+        let b = pseudo(4, 4, 7);
+        assert_eq!(matmul(a.view(), b.view()), Matrix::<i64>::zeros(0, 4));
+        let a = pseudo(3, 4, 8);
+        let b = Matrix::<i64>::zeros(4, 0);
+        assert_eq!(matmul(a.view(), b.view()), Matrix::<i64>::zeros(3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn rejects_mismatched_inner_dims() {
+        let a = pseudo(3, 4, 9);
+        let b = pseudo(5, 3, 10);
+        let _ = matmul(a.view(), b.view());
+    }
+}

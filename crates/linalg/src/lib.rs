@@ -12,14 +12,17 @@
 pub mod complex;
 pub mod decomp;
 pub mod half;
+pub mod kernels;
 pub mod matrix;
 pub mod modular;
 pub mod ops;
 pub mod scalar;
 pub mod strassen;
+pub mod view;
 
 pub use complex::Complex64;
 pub use half::Half;
 pub use matrix::Matrix;
 pub use modular::Fp61;
 pub use scalar::{Field, Scalar};
+pub use view::{MatrixView, MatrixViewMut};

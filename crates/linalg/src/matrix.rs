@@ -176,15 +176,17 @@ impl<T: Scalar> Matrix<T> {
         self.block(0, c0, self.rows, w)
     }
 
-    /// The transpose.
+    /// The transpose, gathered in 32×32 cache tiles (see
+    /// [`crate::view::MatrixView::transpose`], which this delegates to).
     #[must_use]
     pub fn transpose(&self) -> Self {
-        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+        self.view().transpose()
     }
 
     /// Zero-pad (or no-op) to at least `rows × cols`, keeping content at the
     /// top-left. Used to round operands up to the tensor unit's fixed
-    /// `√m × √m` footprint.
+    /// `√m × √m` footprint. Prefer [`Matrix::into_padded`] when the
+    /// original is consumable — the no-op case then costs nothing.
     #[must_use]
     pub fn pad_to(&self, rows: usize, cols: usize) -> Self {
         assert!(
@@ -196,6 +198,25 @@ impl<T: Scalar> Matrix<T> {
         }
         let mut out = Self::zeros(rows, cols);
         out.set_block(0, 0, self);
+        out
+    }
+
+    /// Consuming [`Matrix::pad_to`]: when the matrix already has the
+    /// requested shape it is returned as-is — no clone, no traversal.
+    ///
+    /// # Panics
+    /// Panics if the target shape shrinks either dimension.
+    #[must_use]
+    pub fn into_padded(self, rows: usize, cols: usize) -> Self {
+        assert!(
+            rows >= self.rows && cols >= self.cols,
+            "into_padded cannot shrink"
+        );
+        if rows == self.rows && cols == self.cols {
+            return self;
+        }
+        let mut out = Self::zeros(rows, cols);
+        out.set_block(0, 0, &self);
         out
     }
 
@@ -392,6 +413,37 @@ mod tests {
         let m = iota(3, 5);
         assert_eq!(m.transpose().transpose(), m);
         assert_eq!(m.transpose()[(4, 2)], m[(2, 4)]);
+    }
+
+    #[test]
+    fn blocked_transpose_matches_gather_across_tile_edges() {
+        // Sizes straddling the 32×32 tile: exact multiples, ragged tails,
+        // thin shapes.
+        for (r, c) in [(32, 32), (33, 31), (64, 40), (1, 100), (100, 1), (70, 70)] {
+            let m = iota(r, c);
+            let t = m.transpose();
+            assert_eq!((t.rows(), t.cols()), (c, r), "{r}x{c}");
+            let want = Matrix::from_fn(c, r, |i, j| m[(j, i)]);
+            assert_eq!(t, want, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn into_padded_noop_and_grow() {
+        let m = iota(3, 3);
+        let same = m.clone().into_padded(3, 3);
+        assert_eq!(same, m);
+        let grown = m.clone().into_padded(5, 4);
+        assert_eq!((grown.rows(), grown.cols()), (5, 4));
+        assert_eq!(grown[(2, 2)], m[(2, 2)]);
+        assert_eq!(grown[(4, 3)], 0);
+        assert_eq!(grown, m.pad_to(5, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "into_padded cannot shrink")]
+    fn into_padded_rejects_shrink() {
+        let _ = iota(3, 3).into_padded(2, 3);
     }
 
     #[test]

@@ -21,13 +21,12 @@ pub fn matmul_naive<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     for i in 0..n {
         for l in 0..k {
             let ail = a[(i, l)];
-            if ail == T::ZERO {
-                continue;
-            }
             let brow = b.row(l);
             let crow: &mut [T] = c.row_mut(i);
             for j in 0..p {
-                crow[j] = crow[j].add(ail.mul(brow[j]));
+                // Same `mul_add` the tiled kernels use, so oracle and
+                // kernels agree element-exactly on every scalar type.
+                crow[j] = crow[j].mul_add(ail, brow[j]);
             }
         }
     }

@@ -75,7 +75,38 @@ macro_rules! impl_scalar_prim {
     )*};
 }
 
-impl_scalar_prim!(f32, f64, i32, i64, i128);
+impl_scalar_prim!(i32, i64, i128);
+
+// Floats: when the target has hardware FMA, fuse the multiply-add the
+// matrix kernels are built from (one rounding, and the instruction the
+// micro-kernel's throughput lives on). Without the target feature, fall
+// back to the separate multiply + add — `f64::mul_add` would otherwise
+// lower to a libm call that is an order of magnitude slower than the
+// unfused pair. Every matmul path (naive oracle and tiled kernels) goes
+// through this same method, so they agree exactly either way.
+macro_rules! impl_scalar_float {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            #[inline]
+            fn add(self, rhs: Self) -> Self { self + rhs }
+            #[inline]
+            fn sub(self, rhs: Self) -> Self { self - rhs }
+            #[inline]
+            fn mul(self, rhs: Self) -> Self { self * rhs }
+            #[inline]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                #[cfg(target_feature = "fma")]
+                { a.mul_add(b, self) }
+                #[cfg(not(target_feature = "fma"))]
+                { self + a * b }
+            }
+        }
+    )*};
+}
+
+impl_scalar_float!(f32, f64);
 
 // Unsigned integers: subtraction is wrapping so that `neg` is the proper
 // two's-complement additive inverse (the ring Z/2^k). Long-integer

@@ -11,7 +11,7 @@
 //!   `c ← c_in + a_in · b_{i,j}` and forwards `a` right and `c` down.
 //! * The bottom PE of column `j` emits `c_{r,j}` at step `r + j + √m − 1`.
 
-use tcu_linalg::{Matrix, Scalar};
+use tcu_linalg::{Matrix, MatrixView, Scalar};
 
 /// Timing facts gathered while streaming one left operand.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,9 +79,22 @@ impl<T: Scalar> SystolicArray<T> {
     /// # Panics
     /// Panics unless `b` is `√m × √m`.
     pub fn load_weights(&mut self, b: &Matrix<T>) {
+        self.load_weights_view(b.view());
+    }
+
+    /// [`Self::load_weights`] from a borrowed view — weight blocks carved
+    /// out of a larger matrix load without an intermediate copy.
+    ///
+    /// # Panics
+    /// Panics unless `b` is `√m × √m`.
+    pub fn load_weights_view(&mut self, b: MatrixView<'_, T>) {
         let s = self.sqrt_m;
         assert_eq!((b.rows(), b.cols()), (s, s), "weights must be √m × √m");
-        self.weights = Some(b.as_slice().to_vec());
+        let mut w = Vec::with_capacity(s * s);
+        for i in 0..s {
+            w.extend_from_slice(b.row(i));
+        }
+        self.weights = Some(w);
         self.cycles += crate::load_cycles(s);
     }
 
@@ -92,6 +105,15 @@ impl<T: Scalar> SystolicArray<T> {
     /// # Panics
     /// Panics if no weights are loaded or `a.cols() != √m`.
     pub fn stream(&mut self, a: &Matrix<T>) -> (Matrix<T>, ArrayReport) {
+        self.stream_view(a.view())
+    }
+
+    /// [`Self::stream`] of a borrowed left-operand view (zero-copy tall
+    /// streaming).
+    ///
+    /// # Panics
+    /// Panics if no weights are loaded or `a.cols() != √m`.
+    pub fn stream_view(&mut self, a: MatrixView<'_, T>) -> (Matrix<T>, ArrayReport) {
         let s = self.sqrt_m;
         let n = a.rows();
         assert_eq!(a.cols(), s, "left operand must have √m columns");
@@ -123,7 +145,7 @@ impl<T: Scalar> SystolicArray<T> {
                         // Skewed injection: a_{k−i, i} enters row i (§2.2).
                         let r = k as i64 - i as i64;
                         if r >= 0 && (r as usize) < n {
-                            a[(r as usize, i)]
+                            a.at(r as usize, i)
                         } else {
                             T::ZERO
                         }
@@ -171,8 +193,17 @@ impl<T: Scalar> SystolicArray<T> {
 
     /// Convenience: one full weight-stationary multiply (load + stream).
     pub fn multiply(&mut self, a: &Matrix<T>, b: &Matrix<T>) -> (Matrix<T>, ArrayReport) {
-        self.load_weights(b);
-        self.stream(a)
+        self.multiply_view(a.view(), b.view())
+    }
+
+    /// [`Self::multiply`] over borrowed views.
+    pub fn multiply_view(
+        &mut self,
+        a: MatrixView<'_, T>,
+        b: MatrixView<'_, T>,
+    ) -> (Matrix<T>, ArrayReport) {
+        self.load_weights_view(b);
+        self.stream_view(a)
     }
 }
 
@@ -208,6 +239,26 @@ mod tests {
             let (c, _) = arr.multiply(&a, &b);
             assert_eq!(c, matmul_naive(&a, &b), "n = {n}");
         }
+    }
+
+    #[test]
+    fn strided_views_stream_like_owned_operands() {
+        // Operands carved as views out of larger matrices must produce
+        // the identical product, report, and cycle count.
+        let s = 4;
+        let wide = pseudo(12, 10, 11);
+        let weights = pseudo(8, 8, 12);
+        let a = wide.block(2, 3, 9, s);
+        let b = weights.block(1, 2, s, s);
+
+        let mut owned = SystolicArray::new(s);
+        let (c_owned, rep_owned) = owned.multiply(&a, &b);
+        let mut viewed = SystolicArray::new(s);
+        let (c_viewed, rep_viewed) =
+            viewed.multiply_view(wide.subview(2, 3, 9, s), weights.subview(1, 2, s, s));
+        assert_eq!(c_owned, c_viewed);
+        assert_eq!(rep_owned, rep_viewed);
+        assert_eq!(owned.cycles(), viewed.cycles());
     }
 
     #[test]

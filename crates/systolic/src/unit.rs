@@ -28,9 +28,9 @@ impl SystolicTensorUnit {
     #[must_use]
     pub fn new(m: usize) -> Self {
         assert!(m >= 1, "m must be positive");
-        let s = (m as f64).sqrt().round() as usize;
-        assert!(s * s == m, "m = {m} must be a perfect square");
-        Self { sqrt_m: s }
+        Self {
+            sqrt_m: tcu_core::exact_sqrt(m),
+        }
     }
 
     /// Build directly from `√m`.

@@ -1,0 +1,149 @@
+//! Cost-invariance pins for the host-execution-layer refactor.
+//!
+//! The zero-copy view / tiled-kernel work is allowed to change how fast
+//! the *host* executes a tensor instruction, but never what the
+//! instruction *costs in the model*. These tests pin the full `Stats`
+//! counters and a byte-level digest of the `TraceLog` for three
+//! representative experiment workloads — E1 (Strassen), E2 (dense
+//! Theorem 2), E7 (DFT) — to the exact values produced by the seed
+//! `matmul_naive` execution layer. Any refactor that perturbs simulated
+//! accounting (an extra charge, a reordered tensor call, a changed row
+//! count) fails here with the first divergent counter.
+//!
+//! Re-capturing (only legitimate after an *intentional* model change):
+//! `TCU_CAPTURE_BASELINE=1 cargo test --test cost_invariance -- --nocapture`
+//! prints the current constants instead of asserting.
+
+use tcu::algos::{dense, fft, strassen};
+use tcu::core::{Stats, TcuMachine, TraceEvent, TraceLog};
+use tcu::linalg::{Complex64, Matrix};
+
+/// FNV-1a over the exact event stream: event kind tag plus its payload,
+/// little-endian. Two traces digest equal iff they are byte-identical.
+fn trace_digest(trace: &TraceLog) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(PRIME);
+    };
+    for ev in trace.events() {
+        let (tag, payload) = match ev {
+            TraceEvent::Tensor { n_rows } => (b'T', *n_rows),
+            TraceEvent::Scalar { ops } => (b'S', *ops),
+        };
+        eat(tag);
+        for b in payload.to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
+/// The five `Stats` counters plus trace length and digest — everything
+/// observable about a simulated execution's accounting.
+#[derive(Debug, PartialEq, Eq)]
+struct Pin {
+    tensor_calls: u64,
+    tensor_rows: u64,
+    tensor_time: u64,
+    tensor_latency_time: u64,
+    scalar_ops: u64,
+    trace_events: usize,
+    trace_digest: u64,
+}
+
+fn pin_of(stats: &Stats, trace: &TraceLog) -> Pin {
+    Pin {
+        tensor_calls: stats.tensor_calls,
+        tensor_rows: stats.tensor_rows,
+        tensor_time: stats.tensor_time,
+        tensor_latency_time: stats.tensor_latency_time,
+        scalar_ops: stats.scalar_ops,
+        trace_events: trace.events().len(),
+        trace_digest: trace_digest(trace),
+    }
+}
+
+fn check(name: &str, got: &Pin, want: &Pin) {
+    if std::env::var_os("TCU_CAPTURE_BASELINE").is_some() {
+        println!("{name}: {got:?}");
+        return;
+    }
+    assert_eq!(got, want, "{name}: simulated accounting diverged from seed");
+}
+
+/// The deterministic integer workload generator shared by the pins (same
+/// shape as the experiment harness's `pseudo` helpers, frozen here so the
+/// pins cannot drift with workload-module edits).
+fn pseudo(r: usize, c: usize, seed: i64) -> Matrix<i64> {
+    Matrix::from_fn(r, c, |i, j| {
+        ((i as i64 * 131 + j as i64 * 31 + seed).wrapping_mul(48271) >> 5) % 97 - 48
+    })
+}
+
+#[test]
+fn e1_strassen_accounting_pinned() {
+    let mut mach = TcuMachine::model(16, 77);
+    mach.enable_trace();
+    let a = pseudo(64, 64, 1);
+    let b = pseudo(64, 64, 2);
+    let _ = strassen::multiply_strassen(&mut mach, &a, &b);
+    let trace = mach.take_trace();
+    let got = pin_of(mach.stats(), &trace);
+    let want = Pin {
+        tensor_calls: 2401,
+        tensor_rows: 9604,
+        tensor_time: 223_293,
+        tensor_latency_time: 184_877,
+        scalar_ops: 205_920,
+        trace_events: 2745,
+        trace_digest: 2_006_890_368_983_787_374,
+    };
+    check("e1_strassen", &got, &want);
+}
+
+#[test]
+fn e2_dense_accounting_pinned() {
+    let mut mach = TcuMachine::model(16, 1000);
+    mach.enable_trace();
+    let a = pseudo(64, 64, 3);
+    let b = pseudo(64, 64, 4);
+    let _ = dense::multiply(&mut mach, &a, &b);
+    let trace = mach.take_trace();
+    let got = pin_of(mach.stats(), &trace);
+    let want = Pin {
+        tensor_calls: 256,
+        tensor_rows: 16_384,
+        tensor_time: 321_536,
+        tensor_latency_time: 256_000,
+        scalar_ops: 61_440,
+        trace_events: 496,
+        trace_digest: 11_155_911_134_592_380_965,
+    };
+    check("e2_dense", &got, &want);
+}
+
+#[test]
+fn e7_dft_accounting_pinned() {
+    let mut mach = TcuMachine::model(16, 33);
+    mach.enable_trace();
+    let n = 256usize;
+    let x: Vec<Complex64> = (0..n)
+        .map(|t| Complex64::root_of_unity(n, (t * t % n) as i64))
+        .collect();
+    let _ = fft::dft(&mut mach, &x);
+    let trace = mach.take_trace();
+    let got = pin_of(mach.stats(), &trace);
+    let want = Pin {
+        tensor_calls: 4,
+        tensor_rows: 256,
+        tensor_time: 1156,
+        tensor_latency_time: 132,
+        scalar_ops: 2368,
+        trace_events: 9,
+        trace_digest: 3_216_342_104_721_461_981,
+    };
+    check("e7_dft", &got, &want);
+}

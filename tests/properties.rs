@@ -1,10 +1,12 @@
 //! Property-based tests (proptest) of the core invariants: ring axioms
 //! on the simulated tensor unit, oracle agreement under random inputs,
-//! transform inverses, and cost-model monotonicity.
+//! transform inverses, cost-model monotonicity, and exact agreement of
+//! the tiled/parallel host kernels with the naive oracle.
 
 use proptest::prelude::*;
 use tcu::algos::{apsd, closure, dense, fft, intmul, poly, workloads};
 use tcu::linalg::ops::matmul_naive;
+use tcu::linalg::{kernels, MatrixView};
 use tcu::prelude::*;
 
 /// Random small Fp61 matrix strategy.
@@ -140,6 +142,109 @@ proptest! {
         let cw = dense::multiply(&mut weak, &a, &b);
         prop_assert_eq!(cs, cw);
         prop_assert!(weak.time() >= strong.time());
+    }
+
+    #[test]
+    fn tiled_kernel_equals_naive_i64(seed in any::<u64>(), n in 1usize..40, k in 1usize..24, p in 1usize..24) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = workloads::random_matrix_i64(n, k, 50, &mut rng);
+        let b = workloads::random_matrix_i64(k, p, 50, &mut rng);
+        let want = matmul_naive(&a, &b);
+        prop_assert_eq!(kernels::matmul(a.view(), b.view()), want.clone());
+        // Strided operand views (blocks of larger matrices) agree too.
+        let wide_a = workloads::random_matrix_i64(n + 3, k + 5, 50, &mut rng);
+        let wide_b = workloads::random_matrix_i64(k + 2, p + 4, 50, &mut rng);
+        let av = wide_a.subview(1, 2, n, k);
+        let bv = wide_b.subview(2, 3, k, p);
+        prop_assert_eq!(
+            kernels::matmul(av, bv),
+            matmul_naive(&av.to_matrix(), &bv.to_matrix())
+        );
+    }
+
+    #[test]
+    fn parallel_kernel_bit_identical_for_every_thread_count(seed in any::<u64>(), n in 1usize..520, threads in 1usize..9) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let s = 16;
+        let a = workloads::random_matrix_i64(n, s, 100, &mut rng);
+        let b = workloads::random_matrix_i64(s, s, 100, &mut rng);
+        let serial = kernels::matmul(a.view(), b.view());
+        prop_assert_eq!(serial.clone(), matmul_naive(&a, &b));
+        prop_assert_eq!(kernels::matmul_threads(a.view(), b.view(), threads), serial);
+    }
+
+    #[test]
+    fn tiled_kernel_equals_naive_f64(seed in any::<u64>(), n in 1usize..32, k in 1usize..20) {
+        // Floats: the tiled kernel and the oracle share the same
+        // per-element mul_add order, so they agree under IEEE ==.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = Matrix::from_fn(n, k, |_, _| rand::Rng::gen_range(&mut rng, -4.0f64..4.0));
+        let b = Matrix::from_fn(k, k, |_, _| rand::Rng::gen_range(&mut rng, -4.0f64..4.0));
+        let want = matmul_naive(&a, &b);
+        prop_assert_eq!(kernels::matmul(a.view(), b.view()), want.clone());
+        prop_assert_eq!(kernels::matmul_threads(a.view(), b.view(), 4), want);
+    }
+
+    #[test]
+    fn tiled_kernel_equals_naive_fp61(seed in any::<u64>(), n in 1usize..24, k in 1usize..18, p in 1usize..18) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = Matrix::from_fn(n, k, |_, _| Fp61::new(rand::Rng::gen(&mut rng)));
+        let b = Matrix::from_fn(k, p, |_, _| Fp61::new(rand::Rng::gen(&mut rng)));
+        prop_assert_eq!(kernels::matmul(a.view(), b.view()), matmul_naive(&a, &b));
+    }
+
+    #[test]
+    fn fused_accumulate_equals_unfused(seed in any::<u64>(), n in 1usize..400, threads in 1usize..5) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let s = 8;
+        let a = workloads::random_matrix_i64(n, s, 30, &mut rng);
+        let b = workloads::random_matrix_i64(s, s, 30, &mut rng);
+        let c0 = workloads::random_matrix_i64(n, s, 30, &mut rng);
+        let mut want = c0.clone();
+        want.add_assign(&matmul_naive(&a, &b));
+        let mut got = c0;
+        kernels::matmul_acc_threads(&mut got.view_mut(), a.view(), b.view(), threads);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn machine_view_calls_equal_owned_calls(seed in any::<u64>(), n in 4usize..32) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let s = 4;
+        let wide = workloads::random_matrix_i64(n + 2, 3 * s, 40, &mut rng);
+        let wts = workloads::random_matrix_i64(2 * s, 2 * s, 40, &mut rng);
+        let a = wide.block(1, s, n, s);
+        let b = wts.block(s, 0, s, s);
+
+        let mut owned = TcuMachine::model(16, 7);
+        owned.enable_trace();
+        let co = owned.tensor_mul(&a, &b);
+        let mut viewed = TcuMachine::model(16, 7);
+        viewed.set_host_threads(3);
+        viewed.enable_trace();
+        let cv = viewed.tensor_mul_view(wide.subview(1, s, n, s), wts.subview(s, 0, s, s));
+        prop_assert_eq!(co, cv);
+        prop_assert_eq!(owned.stats(), viewed.stats());
+        prop_assert_eq!(owned.take_trace(), viewed.take_trace());
+    }
+
+    #[test]
+    fn batch_views_match_owned_batch(seed in any::<u64>(), q in 1usize..5) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let s = 4;
+        let d = q * s;
+        let a = workloads::random_matrix_i64(d, d, 20, &mut rng);
+        let b = workloads::random_matrix_i64(d, d, 20, &mut rng);
+        let ops: Vec<(MatrixView<'_, i64>, MatrixView<'_, i64>)> = (0..q * q)
+            .map(|kj| (a.col_strip_view((kj / q) * s, s), b.subview((kj / q) * s, (kj % q) * s, s, s)))
+            .collect();
+        let mut par = ParallelTcuMachine::new(tcu::core::ModelTensorUnit::new(16, 5), 2);
+        let prods = par.tensor_mul_batch_views(&ops);
+        for (kj, prod) in prods.iter().enumerate() {
+            let strip = a.col_strip((kj / q) * s, s);
+            let blk = b.block((kj / q) * s, (kj % q) * s, s, s);
+            prop_assert_eq!(prod.clone(), matmul_naive(&strip, &blk));
+        }
     }
 
     #[test]
