@@ -14,7 +14,7 @@
 //! computation, parity correction) charges `Θ(n²)`.
 
 use crate::dense;
-use tcu_core::{TcuMachine, TensorUnit};
+use tcu_core::{Executor, TcuMachine, TensorUnit};
 use tcu_linalg::Matrix;
 
 /// Maximum recursion depth guard: Seidel halves the diameter each level,
@@ -33,7 +33,10 @@ fn depth_limit(n: usize) -> usize {
 /// Panics if the matrix is not square/0-1/symmetric/hollow, or if the
 /// graph is disconnected.
 #[must_use]
-pub fn seidel_apsd<U: TensorUnit>(mach: &mut TcuMachine<U>, adj: &Matrix<i64>) -> Matrix<i64> {
+pub fn seidel_apsd<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    adj: &Matrix<i64>,
+) -> Matrix<i64> {
     let n = adj.rows();
     assert!(adj.is_square(), "adjacency matrix must be square");
     for i in 0..n {
@@ -54,7 +57,11 @@ pub fn seidel_apsd<U: TensorUnit>(mach: &mut TcuMachine<U>, adj: &Matrix<i64>) -
     recurse(mach, adj, depth_limit(n))
 }
 
-fn recurse<U: TensorUnit>(mach: &mut TcuMachine<U>, adj: &Matrix<i64>, fuel: usize) -> Matrix<i64> {
+fn recurse<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    adj: &Matrix<i64>,
+    fuel: usize,
+) -> Matrix<i64> {
     assert!(
         fuel > 0,
         "recursion exceeded the connected-graph depth bound: graph is disconnected"

@@ -13,7 +13,7 @@
 //!
 //! Theorem 5: time `Θ(n³/√m + (n²/m)·ℓ + n²√m)` for an `n`-vertex graph.
 
-use tcu_core::{TcuMachine, TensorUnit};
+use tcu_core::{Executor, TcuMachine, TensorUnit};
 use tcu_linalg::Matrix;
 
 /// Reachability closure of a 0/1 adjacency matrix, in place, blocked on
@@ -23,7 +23,10 @@ use tcu_linalg::Matrix;
 ///
 /// # Panics
 /// Panics unless `d` is square 0/1 with `√m | n`.
-pub fn transitive_closure<U: TensorUnit>(mach: &mut TcuMachine<U>, d: &mut Matrix<i64>) {
+pub fn transitive_closure<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    d: &mut Matrix<i64>,
+) {
     let n = d.rows();
     assert!(d.is_square(), "adjacency matrix must be square");
     assert!(
@@ -89,7 +92,7 @@ pub fn transitive_closure<U: TensorUnit>(mach: &mut TcuMachine<U>, d: &mut Matri
 
 /// Kernel `A` (Figure 7): in-block closure with (∨, ∧); 2 ops per inner
 /// iteration.
-fn kernel_a<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<i64>) {
+fn kernel_a<U: TensorUnit, E: Executor>(mach: &mut TcuMachine<U, E>, x: &mut Matrix<i64>) {
     let s = x.rows();
     for k in 0..s {
         for i in 0..s {
@@ -102,7 +105,11 @@ fn kernel_a<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<i64>) {
 }
 
 /// Kernel `B` (Figure 7): `X[i,j] ∨= Y[i,k] ∧ X[k,j]`.
-fn kernel_b<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<i64>, y: &Matrix<i64>) {
+fn kernel_b<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    x: &mut Matrix<i64>,
+    y: &Matrix<i64>,
+) {
     let s = x.rows();
     for k in 0..s {
         for i in 0..s {
@@ -115,7 +122,11 @@ fn kernel_b<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<i64>, y: &Ma
 }
 
 /// Kernel `C` (Figure 7): `X[i,j] ∨= X[i,k] ∧ Y[k,j]`.
-fn kernel_c<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<i64>, y: &Matrix<i64>) {
+fn kernel_c<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    x: &mut Matrix<i64>,
+    y: &Matrix<i64>,
+) {
     let s = x.rows();
     for k in 0..s {
         for i in 0..s {

@@ -22,7 +22,7 @@
 //! product and therefore pays `Θ((n/m)^{3/2})` invocations even on the
 //! strong machine.
 
-use tcu_core::{TcuMachine, TensorUnit};
+use tcu_core::{Executor, TcuMachine, TensorUnit};
 use tcu_linalg::{Matrix, MatrixView, Scalar};
 
 /// Blocked square multiplication (Theorem 2): `C = A·B` for `d × d`
@@ -32,8 +32,8 @@ use tcu_linalg::{Matrix, MatrixView, Scalar};
 /// Panics unless `A` and `B` are square of equal dimension `d` with
 /// `√m | d`. Use [`multiply_rect`] for general shapes.
 #[must_use]
-pub fn multiply<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn multiply<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: &Matrix<T>,
     b: &Matrix<T>,
 ) -> Matrix<T> {
@@ -47,8 +47,8 @@ pub fn multiply<T: Scalar, U: TensorUnit>(
 /// Panics unless the views are square of equal dimension `d` with
 /// `√m | d`.
 #[must_use]
-pub fn multiply_view<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn multiply_view<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: MatrixView<'_, T>,
     b: MatrixView<'_, T>,
 ) -> Matrix<T> {
@@ -74,8 +74,8 @@ pub fn multiply_view<T: Scalar, U: TensorUnit>(
 /// # Panics
 /// Panics if inner dimensions disagree.
 #[must_use]
-pub fn multiply_rect<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn multiply_rect<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: &Matrix<T>,
     b: &Matrix<T>,
 ) -> Matrix<T> {
@@ -90,8 +90,8 @@ pub fn multiply_rect<T: Scalar, U: TensorUnit>(
 /// # Panics
 /// Panics if inner dimensions disagree.
 #[must_use]
-pub fn multiply_rect_view<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn multiply_rect_view<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: MatrixView<'_, T>,
     b: MatrixView<'_, T>,
 ) -> Matrix<T> {
@@ -138,8 +138,8 @@ pub fn multiply_rect_view<T: Scalar, U: TensorUnit>(
 /// # Panics
 /// Panics unless operands are square of equal dimension `d` with `√m | d`.
 #[must_use]
-pub fn multiply_naive_order<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn multiply_naive_order<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: &Matrix<T>,
     b: &Matrix<T>,
 ) -> Matrix<T> {

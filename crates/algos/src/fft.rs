@@ -20,7 +20,7 @@
 //! "we assume that the TCU model can perform operations on complex
 //! numbers"; the constant-factor removal is discussed there too).
 
-use tcu_core::{TcuMachine, TensorUnit};
+use tcu_core::{Executor, TcuMachine, TensorUnit};
 use tcu_linalg::{Complex64, Matrix, Scalar};
 
 /// The `n × n` Fourier matrix `W[r,c] = ω_n^{rc}`, `ω_n = e^{−2πi/n}`.
@@ -35,14 +35,20 @@ pub fn fourier_matrix(n: usize) -> Matrix<Complex64> {
 /// Panics unless `x.len()` is a power of two and, when `x.len() > √m`,
 /// `√m` is itself a power of two (so that `√m | n` at every level).
 #[must_use]
-pub fn dft<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &[Complex64]) -> Vec<Complex64> {
+pub fn dft<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    x: &[Complex64],
+) -> Vec<Complex64> {
     let data = Matrix::from_vec(1, x.len(), x.to_vec());
     dft_rows(mach, &data).as_slice().to_vec()
 }
 
 /// Inverse DFT via conjugation: `idft(x) = conj(dft(conj(x)))/n`.
 #[must_use]
-pub fn idft<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &[Complex64]) -> Vec<Complex64> {
+pub fn idft<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    x: &[Complex64],
+) -> Vec<Complex64> {
     let n = x.len();
     mach.charge(n as u64);
     let conj: Vec<Complex64> = x.iter().map(|z| z.conj()).collect();
@@ -61,8 +67,8 @@ pub fn idft<U: TensorUnit>(mach: &mut TcuMachine<U>, x: &[Complex64]) -> Vec<Com
 /// Panics unless the row length is a power of two (and `√m` is a power of
 /// two whenever the row length exceeds it).
 #[must_use]
-pub fn dft_rows<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn dft_rows<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     data: &Matrix<Complex64>,
 ) -> Matrix<Complex64> {
     let nc = data.cols();
@@ -80,7 +86,10 @@ pub fn dft_rows<U: TensorUnit>(
     rec(mach, data)
 }
 
-fn rec<U: TensorUnit>(mach: &mut TcuMachine<U>, data: &Matrix<Complex64>) -> Matrix<Complex64> {
+fn rec<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    data: &Matrix<Complex64>,
+) -> Matrix<Complex64> {
     let nc = data.cols();
     let batch = data.rows();
     let s = mach.sqrt_m();

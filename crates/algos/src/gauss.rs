@@ -20,7 +20,7 @@
 //! the tests check full-matrix agreement over both `f64` (tolerance) and
 //! the prime field `F_p` (equality).
 
-use tcu_core::{TcuMachine, TensorUnit};
+use tcu_core::{Executor, TcuMachine, TensorUnit};
 use tcu_linalg::{Field, Matrix};
 
 /// Forward phase of blocked Gaussian elimination (paper Figure 4),
@@ -29,7 +29,10 @@ use tcu_linalg::{Field, Matrix};
 /// # Panics
 /// Panics unless `x` is square with `√m | √n`, or if a pivot used by the
 /// no-pivoting scheme is zero.
-pub fn ge_forward<T: Field, U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<T>) {
+pub fn ge_forward<T: Field, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    x: &mut Matrix<T>,
+) {
     let d = x.rows();
     assert!(x.is_square(), "augmented matrix must be square");
     let s = mach.sqrt_m();
@@ -86,7 +89,7 @@ pub fn ge_forward<T: Field, U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Mat
 
 /// Kernel `A` (Figure 4): unblocked no-pivot elimination inside one
 /// `√m × √m` block; 3 scalar ops per inner iteration.
-fn kernel_a<T: Field, U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<T>) {
+fn kernel_a<T: Field, U: TensorUnit, E: Executor>(mach: &mut TcuMachine<U, E>, x: &mut Matrix<T>) {
     let s = x.rows();
     let mut ops = 0u64;
     for k in 0..s.saturating_sub(1) {
@@ -105,8 +108,8 @@ fn kernel_a<T: Field, U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<T>
 /// Kernel `B` (Figure 4): eliminate a block `X` in the pivot block row
 /// using the diagonal block `Y`, then return `X'` with
 /// `X'[i,j] = −X[i,j]/Y[i,i]`.
-fn kernel_b<T: Field, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+fn kernel_b<T: Field, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     x: &mut Matrix<T>,
     y: &Matrix<T>,
 ) -> Matrix<T> {
@@ -131,7 +134,11 @@ fn kernel_b<T: Field, U: TensorUnit>(
 /// Kernel `C` (Figure 4): prepare a block in the pivot block column —
 /// each column `j` receives the elimination updates of the in-block
 /// pivots preceding it.
-fn kernel_c<T: Field, U: TensorUnit>(mach: &mut TcuMachine<U>, x: &mut Matrix<T>, y: &Matrix<T>) {
+fn kernel_c<T: Field, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    x: &mut Matrix<T>,
+    y: &Matrix<T>,
+) {
     let s = x.rows();
     let mut ops = 0u64;
     for k in 0..s {

@@ -20,7 +20,7 @@
 //! Host baselines (schoolbook and pure Karatsuba) serve as correctness
 //! oracles and as the RAM comparison curves in experiments E9/E10.
 
-use tcu_core::{TcuMachine, TensorUnit};
+use tcu_core::{Executor, TcuMachine, TensorUnit};
 use tcu_linalg::Matrix;
 
 /// Limb width in bits (κ′). Limbs are stored in `u64`s but always lie in
@@ -245,8 +245,8 @@ fn carry_normalize(acc: &[u64]) -> BigNat {
 /// `B′`, folds the product entries into the convolution coefficients, and
 /// carry-propagates.
 #[must_use]
-pub fn mul_tcu_schoolbook<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn mul_tcu_schoolbook<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: &BigNat,
     b: &BigNat,
 ) -> BigNat {
@@ -318,8 +318,8 @@ fn b_limb_rev(np: usize, t: usize, j: usize, s: usize, b_limb: &impl Fn(usize) -
 /// [`mul_tcu_karatsuba_with_threshold`] with `√m` for the paper-literal
 /// recursion.
 #[must_use]
-pub fn mul_tcu_karatsuba<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn mul_tcu_karatsuba<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: &BigNat,
     b: &BigNat,
 ) -> BigNat {
@@ -330,8 +330,8 @@ pub fn mul_tcu_karatsuba<U: TensorUnit>(
 /// [`mul_tcu_karatsuba`] with an explicit base-case limb count (ablation
 /// hook for the crossover experiment E10).
 #[must_use]
-pub fn mul_tcu_karatsuba_with_threshold<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn mul_tcu_karatsuba_with_threshold<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: &BigNat,
     b: &BigNat,
     threshold_limbs: usize,

@@ -18,7 +18,7 @@
 //! EP1 experiment sweeps `p` over both variants.
 
 use tcu_core::parallel::ParallelTcuMachine;
-use tcu_core::TensorUnit;
+use tcu_core::{Executor, TensorUnit};
 use tcu_linalg::{Matrix, MatrixView, Scalar};
 
 /// Blocked multiplication with the `(d/√m)²` weight-block invocations
@@ -27,8 +27,8 @@ use tcu_linalg::{Matrix, MatrixView, Scalar};
 /// # Panics
 /// Panics unless operands are square of equal dimension `d` with `√m | d`.
 #[must_use]
-pub fn multiply_parallel<T: Scalar, U: TensorUnit>(
-    mach: &mut ParallelTcuMachine<U>,
+pub fn multiply_parallel<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut ParallelTcuMachine<U, E>,
     a: &Matrix<T>,
     b: &Matrix<T>,
 ) -> Matrix<T> {
@@ -89,8 +89,8 @@ pub fn multiply_parallel<T: Scalar, U: TensorUnit>(
 /// # Panics
 /// Panics unless operands are square of equal dimension `d` with `√m | d`.
 #[must_use]
-pub fn multiply_parallel_fused<T: Scalar, U: TensorUnit>(
-    mach: &mut ParallelTcuMachine<U>,
+pub fn multiply_parallel_fused<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut ParallelTcuMachine<U, E>,
     a: &Matrix<T>,
     b: &Matrix<T>,
     fused: bool,

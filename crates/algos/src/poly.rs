@@ -14,7 +14,7 @@
 //! this matches the model's κ-bit-word semantics with no floating-point
 //! caveats.
 
-use tcu_core::{TcuMachine, TensorUnit};
+use tcu_core::{Executor, TcuMachine, TensorUnit};
 use tcu_linalg::{Field, Matrix};
 
 /// Evaluate `coeffs` (little-endian: `coeffs[i]` multiplies `x^i`) at
@@ -23,8 +23,8 @@ use tcu_linalg::{Field, Matrix};
 /// # Panics
 /// Panics if `coeffs` is empty.
 #[must_use]
-pub fn batch_eval<T: Field, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn batch_eval<T: Field, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     coeffs: &[T],
     points: &[T],
 ) -> Vec<T> {
@@ -234,6 +234,6 @@ mod tests {
     #[should_panic(expected = "at least one coefficient")]
     fn rejects_empty_polynomial() {
         let mut mach = TcuMachine::model(4, 0);
-        let _ = batch_eval::<Fp61, _>(&mut mach, &[], &[Fp61::ONE]);
+        let _ = batch_eval::<Fp61, _, _>(&mut mach, &[], &[Fp61::ONE]);
     }
 }

@@ -14,12 +14,12 @@
 //!   within-row prefix, a recursive scan over the `n/√m` row sums
 //!   supplies the offsets. Time `O(n + ℓ·log_m n)`.
 
-use tcu_core::{TcuMachine, TensorUnit};
+use tcu_core::{Executor, TcuMachine, TensorUnit};
 use tcu_linalg::{Matrix, Scalar};
 
 /// Sum of a sequence via tensor-unit reduction.
 #[must_use]
-pub fn reduce<T: Scalar, U: TensorUnit>(mach: &mut TcuMachine<U>, xs: &[T]) -> T {
+pub fn reduce<T: Scalar, U: TensorUnit, E: Executor>(mach: &mut TcuMachine<U, E>, xs: &[T]) -> T {
     let s = mach.sqrt_m();
     if xs.is_empty() {
         return T::ZERO;
@@ -42,7 +42,10 @@ pub fn reduce<T: Scalar, U: TensorUnit>(mach: &mut TcuMachine<U>, xs: &[T]) -> T
 
 /// Inclusive prefix sums via tensor-unit scan.
 #[must_use]
-pub fn prefix_sum<T: Scalar, U: TensorUnit>(mach: &mut TcuMachine<U>, xs: &[T]) -> Vec<T> {
+pub fn prefix_sum<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    xs: &[T],
+) -> Vec<T> {
     let s = mach.sqrt_m();
     let n = xs.len();
     if n == 0 {

@@ -19,7 +19,7 @@
 //! Inputs outside that regime are still multiplied correctly; they simply
 //! degrade toward the dense bound (the compressed dimensions grow).
 
-use tcu_core::{TcuMachine, TensorUnit};
+use tcu_core::{Executor, TcuMachine, TensorUnit};
 use tcu_linalg::{Matrix, Scalar};
 
 /// Compressed sparse row matrix over a square `dim × dim` index space.
@@ -145,8 +145,8 @@ impl<T: Scalar> CsrMatrix<T> {
 /// # Panics
 /// Panics on dimension mismatch.
 #[must_use]
-pub fn multiply_tcu<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn multiply_tcu<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
 ) -> CsrMatrix<T> {

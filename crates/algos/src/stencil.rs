@@ -26,7 +26,7 @@
 //! Theorem 7 DFT applies directly; asymptotics are unchanged.
 
 use crate::fft;
-use tcu_core::{TcuMachine, TensorUnit};
+use tcu_core::{Executor, TcuMachine, TensorUnit};
 use tcu_linalg::{Complex64, Matrix, Scalar};
 
 /// One-sweep 3×3 stencil weights: `w[a][b]` multiplies the neighbour at
@@ -93,8 +93,8 @@ pub fn run_host(grid: &Matrix<f64>, w: &StencilWeights, k: usize) -> Matrix<f64>
 /// `k` sweeps executed directly on the TCU's CPU — the `Θ(n·k)` baseline
 /// of experiment E8 (2 ops per non-zero weight per cell per sweep).
 #[must_use]
-pub fn run_direct<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn run_direct<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     grid: &Matrix<f64>,
     w: &StencilWeights,
     k: usize,
@@ -144,8 +144,8 @@ fn poly_mul_host(p: &Matrix<f64>, q: &Matrix<f64>) -> Matrix<f64> {
 /// squaring of the weight polynomial, each product a TCU convolution:
 /// `O(k² log_m k + ℓ log k)`.
 #[must_use]
-pub fn weight_matrix<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn weight_matrix<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     w: &StencilWeights,
     k: usize,
 ) -> Matrix<f64> {
@@ -165,8 +165,8 @@ pub fn weight_matrix<U: TensorUnit>(
 }
 
 /// Polynomial (coefficient-table) product via padded 2-D TCU convolution.
-fn poly_mul_tcu<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+fn poly_mul_tcu<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     p: &Matrix<f64>,
     q: &Matrix<f64>,
 ) -> Matrix<f64> {
@@ -194,8 +194,8 @@ fn poly_mul_tcu<U: TensorUnit>(
 /// Panics unless the grid is square with `k | d` (`d` the grid dimension)
 /// and `k ≥ 1`.
 #[must_use]
-pub fn run_tcu<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn run_tcu<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     grid: &Matrix<f64>,
     w: &StencilWeights,
     k: usize,
@@ -214,8 +214,8 @@ pub fn run_tcu<U: TensorUnit>(
 /// Panics unless the grid is square with `k | d` and `wk` is
 /// `(2k+1) × (2k+1)`.
 #[must_use]
-pub fn run_tcu_with_weights<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn run_tcu_with_weights<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     grid: &Matrix<f64>,
     wk: &Matrix<f64>,
     k: usize,
@@ -303,23 +303,23 @@ fn to_complex_padded(m: &Matrix<f64>, size: usize) -> Matrix<Complex64> {
 /// Batched forward 2-D DFT of equal-size square complex matrices: row
 /// transforms for every matrix in one [`fft::dft_rows`] batch, transpose,
 /// column transforms likewise.
-pub fn dft2_batch<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn dft2_batch<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     mats: Vec<Matrix<Complex64>>,
 ) -> Vec<Matrix<Complex64>> {
     transform2_batch(mach, mats, false)
 }
 
 /// Batched inverse 2-D DFT (conjugation trick plus `1/S²` scaling).
-pub fn idft2_batch<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn idft2_batch<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     mats: Vec<Matrix<Complex64>>,
 ) -> Vec<Matrix<Complex64>> {
     transform2_batch(mach, mats, true)
 }
 
-fn transform2_batch<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+fn transform2_batch<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     mats: Vec<Matrix<Complex64>>,
     inverse: bool,
 ) -> Vec<Matrix<Complex64>> {
@@ -333,7 +333,7 @@ fn transform2_batch<U: TensorUnit>(
     );
     let count = mats.len();
 
-    let conj_all = |mach: &mut TcuMachine<U>, ms: Vec<Matrix<Complex64>>| {
+    let conj_all = |mach: &mut TcuMachine<U, E>, ms: Vec<Matrix<Complex64>>| {
         mach.charge((count * size * size) as u64);
         ms.into_iter()
             .map(|m| m.map(Complex64::conj))

@@ -19,7 +19,7 @@
 //! earlier wastes the unit on sub-footprint tiles, stopping later wastes
 //! CPU additions on products the unit could absorb).
 
-use tcu_core::{TcuMachine, TensorUnit};
+use tcu_core::{Executor, TcuMachine, TensorUnit};
 use tcu_linalg::{Matrix, MatrixView, Scalar};
 
 /// Standard recursive multiplication (8 products per level), tensor-unit
@@ -28,8 +28,8 @@ use tcu_linalg::{Matrix, MatrixView, Scalar};
 /// # Panics
 /// Panics unless operands are square, of equal power-of-two dimension.
 #[must_use]
-pub fn multiply_recursive<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn multiply_recursive<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: &Matrix<T>,
     b: &Matrix<T>,
 ) -> Matrix<T> {
@@ -44,8 +44,8 @@ pub fn multiply_recursive<T: Scalar, U: TensorUnit>(
 /// # Panics
 /// Panics unless operands are square, of equal power-of-two dimension.
 #[must_use]
-pub fn multiply_recursive_with_base<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn multiply_recursive_with_base<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: &Matrix<T>,
     b: &Matrix<T>,
     base_dim: usize,
@@ -60,8 +60,8 @@ pub fn multiply_recursive_with_base<T: Scalar, U: TensorUnit>(
 /// # Panics
 /// Panics unless operands are square, of equal power-of-two dimension.
 #[must_use]
-pub fn multiply_strassen<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn multiply_strassen<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: &Matrix<T>,
     b: &Matrix<T>,
 ) -> Matrix<T> {
@@ -74,8 +74,8 @@ pub fn multiply_strassen<T: Scalar, U: TensorUnit>(
 /// # Panics
 /// Panics unless operands are square, of equal power-of-two dimension.
 #[must_use]
-pub fn multiply_strassen_with_base<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn multiply_strassen_with_base<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: &Matrix<T>,
     b: &Matrix<T>,
     base_dim: usize,
@@ -95,8 +95,8 @@ fn check_square_pow2<T: Scalar>(a: MatrixView<'_, T>, b: MatrixView<'_, T>) {
 
 /// Base product for a tile that fits the unit (dimension ≤ √m): one
 /// (padded) invocation, cost `m + ℓ`.
-fn base_mul<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+fn base_mul<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: MatrixView<'_, T>,
     b: MatrixView<'_, T>,
 ) -> Matrix<T> {
@@ -105,8 +105,8 @@ fn base_mul<T: Scalar, U: TensorUnit>(
 
 /// Base product for an early-stopped recursion (tile still larger than
 /// √m): the blocked Theorem 2 routine.
-fn base_or_blocked<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+fn base_or_blocked<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: MatrixView<'_, T>,
     b: MatrixView<'_, T>,
 ) -> Matrix<T> {
@@ -173,8 +173,8 @@ fn assemble<T: Scalar>(
     c
 }
 
-fn rec_standard<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+fn rec_standard<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: MatrixView<'_, T>,
     b: MatrixView<'_, T>,
     base_dim: usize,
@@ -200,8 +200,8 @@ fn rec_standard<T: Scalar, U: TensorUnit>(
     assemble(&p1.add(&p2), &p3.add(&p4), &p5.add(&p6), &p7.add(&p8))
 }
 
-fn rec_strassen<T: Scalar, U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+fn rec_strassen<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     a: MatrixView<'_, T>,
     b: MatrixView<'_, T>,
     base_dim: usize,

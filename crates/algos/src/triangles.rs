@@ -9,7 +9,7 @@
 //! `Θ(n²)` CPU — `O(n³/√m + (n²/m)ℓ + n²)` with the standard recursion.
 
 use crate::dense;
-use tcu_core::{TcuMachine, TensorUnit};
+use tcu_core::{Executor, TcuMachine, TensorUnit};
 use tcu_linalg::Matrix;
 
 /// Number of triangles in an undirected simple graph, via `A²⊙A` on the
@@ -19,7 +19,10 @@ use tcu_linalg::Matrix;
 /// Panics unless `adj` is a square, symmetric 0/1 matrix with zero
 /// diagonal.
 #[must_use]
-pub fn count_triangles<U: TensorUnit>(mach: &mut TcuMachine<U>, adj: &Matrix<i64>) -> u64 {
+pub fn count_triangles<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    adj: &Matrix<i64>,
+) -> u64 {
     let n = adj.rows();
     assert!(adj.is_square(), "adjacency matrix must be square");
     for i in 0..n {
@@ -49,8 +52,8 @@ pub fn count_triangles<U: TensorUnit>(mach: &mut TcuMachine<U>, adj: &Matrix<i64
 /// Returns `(u, v, count)` triples for `u < v`, counting only edges that
 /// participate in at least one triangle.
 #[must_use]
-pub fn edge_triangle_counts<U: TensorUnit>(
-    mach: &mut TcuMachine<U>,
+pub fn edge_triangle_counts<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
     adj: &Matrix<i64>,
 ) -> Vec<(usize, usize, i64)> {
     let n = adj.rows();

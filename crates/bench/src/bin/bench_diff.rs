@@ -1,0 +1,148 @@
+//! Compare a freshly measured `BENCH_matmul.json` against the committed
+//! baseline and flag speedup regressions.
+//!
+//! Usage: `bench_diff <fresh.json> <baseline.json> [--threshold <pct>]
+//! [--informational]`
+//!
+//! Comparison is on `speedup_tiled` per case (matched by name): the
+//! seed-kernel-vs-tiled-kernel ratio measured on the *same* machine in
+//! the same run, so the check is meaningful across hosts of different
+//! absolute speed. Cases present in only one file (the CI smoke run
+//! sweeps fewer sizes than the committed full run) are reported and
+//! skipped. A case regresses when its fresh speedup falls more than
+//! `threshold` percent (default 20) below the baseline's.
+//!
+//! Exit status is non-zero when any case regresses, unless
+//! `--informational` is passed — the mode CI uses on small shared
+//! runners, where wall-clock noise makes a hard gate counterproductive;
+//! there the findings surface as GitHub warning annotations instead.
+
+use std::process::ExitCode;
+
+struct CaseSpeedup {
+    name: String,
+    speedup_tiled: f64,
+}
+
+/// Extract `(name, speedup_tiled)` pairs from the bench JSON. The file
+/// is machine-written by `bench_matmul` with one case object per line,
+/// so a line-oriented field scan is exact for it (no general JSON
+/// parser needed — the workspace is dependency-free by design).
+fn parse_cases(text: &str) -> Vec<CaseSpeedup> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "name") else {
+            continue;
+        };
+        let Some(speedup_tiled) = field_num(line, "speedup_tiled") else {
+            continue;
+        };
+        out.push(CaseSpeedup {
+            name,
+            speedup_tiled,
+        });
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tail = line.split(&format!("\"{key}\": \"")).nth(1)?;
+    Some(tail.split('"').next()?.to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tail = line.split(&format!("\"{key}\": ")).nth(1)?;
+    tail.trim_start()
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let informational = args.iter().any(|a| a == "--informational");
+    let mut threshold = 20.0f64;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--informational" => {}
+            "--threshold" => {
+                threshold = it.next().and_then(|v| v.parse().ok()).unwrap_or(threshold);
+            }
+            _ => files.push(arg.clone()),
+        }
+    }
+    let [fresh_path, base_path] = files.as_slice() else {
+        eprintln!(
+            "usage: bench_diff <fresh.json> <baseline.json> [--threshold <pct>] [--informational]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let fresh = parse_cases(&read(fresh_path));
+    let base = parse_cases(&read(base_path));
+    if fresh.is_empty() || base.is_empty() {
+        eprintln!(
+            "bench_diff: no cases parsed (fresh: {}, baseline: {})",
+            fresh.len(),
+            base.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    for f in &fresh {
+        let Some(b) = base.iter().find(|b| b.name == f.name) else {
+            println!("{:<20}  fresh-only case, skipped", f.name);
+            continue;
+        };
+        compared += 1;
+        let delta_pct = (f.speedup_tiled / b.speedup_tiled - 1.0) * 100.0;
+        let regressed = delta_pct < -threshold;
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "{:<20}  speedup {:.2}x vs baseline {:.2}x  ({:+.1}%)  {verdict}",
+            f.name, f.speedup_tiled, b.speedup_tiled, delta_pct
+        );
+        if regressed {
+            regressions += 1;
+            // GitHub annotation: warning in informational mode, error
+            // when the gate is hard.
+            let level = if informational { "warning" } else { "error" };
+            println!(
+                "::{level}::bench {}: tiled speedup {:.2}x fell {:.1}% below the committed \
+                 baseline {:.2}x (threshold {threshold}%)",
+                f.name, f.speedup_tiled, -delta_pct, b.speedup_tiled
+            );
+        }
+    }
+    for b in &base {
+        if !fresh.iter().any(|f| f.name == b.name) {
+            println!("{:<20}  baseline-only case, skipped", b.name);
+        }
+    }
+    println!(
+        "bench_diff: {compared} case(s) compared, {regressions} regression(s), threshold {threshold}%{}",
+        if informational { " (informational)" } else { "" }
+    );
+    if compared == 0 {
+        // No overlap means the gate checked nothing — a case rename or
+        // sweep change, not noise, so it fails even in informational mode.
+        println!("::error::bench_diff compared zero cases: fresh and baseline share no case names");
+        return ExitCode::from(2);
+    }
+    if regressions > 0 && !informational {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,6 +1,5 @@
 //! Regenerates the e2_dense experiment table (see DESIGN.md's index).
 //! Pass --quick for the reduced smoke-test sweep.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    tcu_bench::experiments::e2_dense::run(quick);
+    tcu_bench::experiment_main(tcu_bench::experiments::e2_dense::run);
 }

@@ -1,6 +1,5 @@
 //! Regenerates the e9_intmul experiment table (see DESIGN.md's index).
 //! Pass --quick for the reduced smoke-test sweep.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    tcu_bench::experiments::e9_intmul::run(quick);
+    tcu_bench::experiment_main(tcu_bench::experiments::e9_intmul::run);
 }

@@ -1,5 +1,5 @@
 //! Regenerates the ep1_parallel experiment table (see DESIGN.md's index).
+//! Pass --quick for the reduced smoke-test sweep.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    tcu_bench::experiments::ep1_parallel::run(quick);
+    tcu_bench::experiment_main(tcu_bench::experiments::ep1_parallel::run);
 }

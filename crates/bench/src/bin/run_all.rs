@@ -1,6 +1,5 @@
 //! Runs every experiment in DESIGN.md's index, in order. Pass --quick
 //! for reduced sweeps. `EXPERIMENTS.md` is a snapshot of this output.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    tcu_bench::experiments::run_all(quick);
+    tcu_bench::experiment_main(tcu_bench::experiments::run_all);
 }

@@ -11,6 +11,16 @@
 
 pub mod experiments;
 
+/// Shared CLI entry point for every experiment binary: parses the one
+/// flag the harness supports (`--quick`, the reduced smoke-test sweep)
+/// and invokes the experiment with it. The 18 `exp_*` binaries and
+/// `run_all` are one-line wrappers over this, so flag handling and any
+/// future harness plumbing live in exactly one place.
+pub fn experiment_main(run: fn(bool)) {
+    let quick = std::env::args().any(|a| a == "--quick");
+    run(quick);
+}
+
 /// A printable experiment table.
 #[derive(Clone, Debug)]
 pub struct Table {

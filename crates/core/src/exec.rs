@@ -1,0 +1,269 @@
+//! Pluggable execution backends for the [`crate::op::TensorOp`] stream.
+//!
+//! The machine splits a tensor instruction into two orthogonal halves:
+//! *accounting* (what the invocation costs in simulated time — decided
+//! by the [`crate::TensorUnit`] policy, recorded in [`crate::Stats`] and
+//! the trace) and *numerics* (how the host actually computes the
+//! product). [`Executor`] abstracts the second half, so the same
+//! instruction stream can run on the tiled host kernels
+//! ([`HostExecutor`]), the cycle-level systolic array
+//! (`tcu_systolic::SystolicExecutor`), or not at all
+//! ([`ReplayExecutor`], which re-derives accounting from a recorded
+//! trace without touching a single matrix element).
+//!
+//! Because accounting never flows through the executor, swapping
+//! backends can never perturb `Stats` or trace digests — the invariant
+//! `tests/cost_invariance.rs` pins. What an executor *returns* from
+//! [`Executor::execute`] is its own native cost measure (host flops,
+//! counted array cycles, zero for replay); experiments use it to compare
+//! backends against the model charge, the machine ignores it.
+
+use crate::op::TensorOp;
+use tcu_linalg::kernels;
+use tcu_linalg::{MatrixView, MatrixViewMut, Scalar};
+
+/// A numeric backend for tensor instructions.
+///
+/// `execute` computes `out (+)= a · b` exactly as `op` describes
+/// (overwrite vs accumulate per `op.accumulate`; operand shapes are
+/// pre-validated by the machine) and returns the backend's native cost
+/// of doing so. Implementations must be deterministic: the same op and
+/// operands always produce bit-identical output.
+pub trait Executor {
+    /// Backend name for diagnostics and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Execute one op numerically; returns the backend-native cost
+    /// (host flops, counted cycles, …) — *not* the simulated charge,
+    /// which the machine's [`crate::TensorUnit`] policy decides.
+    fn execute<T: Scalar>(
+        &mut self,
+        op: &TensorOp,
+        a: MatrixView<'_, T>,
+        b: MatrixView<'_, T>,
+        out: &mut MatrixViewMut<'_, T>,
+    ) -> u64;
+}
+
+/// The default backend: the tiled, register-blocked host kernels of
+/// `tcu-linalg` (packed `B` panels, deterministic row-band parallelism).
+///
+/// Worker count starts at 1 (or `TCU_HOST_THREADS`); it affects host
+/// wall-clock only — the row-band split is deterministic, so results are
+/// bit-identical for every setting.
+#[derive(Clone, Debug)]
+pub struct HostExecutor {
+    threads: usize,
+}
+
+impl HostExecutor {
+    /// Single-threaded unless `TCU_HOST_THREADS` requests more workers.
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::env::var("TCU_HOST_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
+        Self { threads }
+    }
+
+    /// Fixed worker count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Current worker count.
+    #[inline]
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Change the worker count (clamped to ≥ 1).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+}
+
+impl Default for HostExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor for HostExecutor {
+    fn name(&self) -> &'static str {
+        "host"
+    }
+
+    fn execute<T: Scalar>(
+        &mut self,
+        op: &TensorOp,
+        a: MatrixView<'_, T>,
+        b: MatrixView<'_, T>,
+        out: &mut MatrixViewMut<'_, T>,
+    ) -> u64 {
+        kernels::matmul_into(out, a, b, op.accumulate, self.threads);
+        // Native cost: scalar multiply-adds performed.
+        (op.rows * op.inner * op.width) as u64
+    }
+}
+
+/// The accounting-only backend: executes no numerics at all.
+///
+/// Two uses:
+///
+/// * plugged into a machine (`TcuMachine::with_executor(unit,
+///   ReplayExecutor::default())`), it turns every issued op into pure
+///   accounting — the op stream is charged and traced, outputs stay
+///   zero;
+/// * [`ReplayExecutor::run`] re-runs a recorded [`crate::TraceLog`] as a
+///   program, re-deriving [`crate::Stats`] (and an identical fresh
+///   trace) from a costing policy without touching numerics — the §5
+///   external-memory replays and the trace-invariance property tests
+///   are built on this.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayExecutor {
+    trace: crate::trace::TraceLog,
+}
+
+impl ReplayExecutor {
+    /// Wrap a recorded trace for replay via [`Self::run`].
+    #[must_use]
+    pub fn new(trace: crate::trace::TraceLog) -> Self {
+        Self { trace }
+    }
+
+    /// The wrapped trace.
+    #[must_use]
+    pub fn trace(&self) -> &crate::trace::TraceLog {
+        &self.trace
+    }
+
+    /// Re-run the recorded op stream under `unit`'s costing policy:
+    /// every tensor event is re-charged (per recorded invocation — tall
+    /// splits were already applied when the trace was recorded) and
+    /// every scalar segment re-billed. Returns the re-derived stats and
+    /// the regenerated trace; replaying under the unit that recorded the
+    /// trace reproduces both exactly.
+    #[must_use]
+    pub fn run<U: crate::TensorUnit>(&self, unit: &U) -> (crate::Stats, crate::trace::TraceLog) {
+        let mut stats = crate::Stats::default();
+        let mut trace = crate::trace::TraceLog::new();
+        replay_events(&self.trace, unit, &mut stats, Some(&mut trace));
+        (stats, trace)
+    }
+}
+
+/// The one replay core (shared by [`ReplayExecutor::run`] and
+/// `TcuMachine::replay`): re-charge every event of `trace` under `unit`,
+/// accumulating into `stats` and — when recording — regenerating the
+/// event stream into `out`.
+pub(crate) fn replay_events<U: crate::TensorUnit>(
+    trace: &crate::trace::TraceLog,
+    unit: &U,
+    stats: &mut crate::Stats,
+    mut out: Option<&mut crate::trace::TraceLog>,
+) {
+    for ev in trace.events() {
+        match *ev {
+            crate::trace::TraceEvent::Tensor { op, .. } => {
+                let cost = unit.invocation_cost(op.rows);
+                let lat = unit.invocation_latency(op.rows);
+                stats.record_tensor(op.rows as u64, cost, lat);
+                if let Some(t) = out.as_deref_mut() {
+                    t.push_tensor(op, cost);
+                }
+            }
+            crate::trace::TraceEvent::Scalar { ops } => {
+                stats.record_scalar(ops);
+                if let Some(t) = out.as_deref_mut() {
+                    t.push_scalar(ops);
+                }
+            }
+        }
+    }
+}
+
+impl Executor for ReplayExecutor {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn execute<T: Scalar>(
+        &mut self,
+        _op: &TensorOp,
+        _a: MatrixView<'_, T>,
+        _b: MatrixView<'_, T>,
+        _out: &mut MatrixViewMut<'_, T>,
+    ) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcu_linalg::ops::matmul_naive;
+    use tcu_linalg::Matrix;
+
+    fn pseudo(r: usize, c: usize, seed: i64) -> Matrix<i64> {
+        Matrix::from_fn(r, c, |i, j| ((i * 5 + j * 3) as i64 + seed) % 17 - 8)
+    }
+
+    #[test]
+    fn host_executor_overwrites_or_accumulates_per_op() {
+        let a = pseudo(8, 4, 1);
+        let b = pseudo(4, 4, 2);
+        let want = matmul_naive(&a, &b);
+
+        let mut exec = HostExecutor::with_threads(1);
+        let mut out = Matrix::from_fn(8, 4, |_, _| 99i64);
+        let flops = exec.execute(
+            &TensorOp::mul(8, 4),
+            a.view(),
+            b.view(),
+            &mut out.view_mut(),
+        );
+        assert_eq!(out, want);
+        assert_eq!(flops, 8 * 4 * 4);
+
+        let mut acc = want.clone();
+        let _ = exec.execute(
+            &TensorOp::mul_acc(8, 4),
+            a.view(),
+            b.view(),
+            &mut acc.view_mut(),
+        );
+        let mut doubled = want.clone();
+        doubled.add_assign(&want);
+        assert_eq!(acc, doubled);
+    }
+
+    #[test]
+    fn replay_executor_skips_numerics() {
+        let a = pseudo(4, 4, 3);
+        let b = pseudo(4, 4, 4);
+        let mut out = Matrix::<i64>::zeros(4, 4);
+        let cost = ReplayExecutor::default().execute(
+            &TensorOp::mul(4, 4),
+            a.view(),
+            b.view(),
+            &mut out.view_mut(),
+        );
+        assert_eq!(cost, 0);
+        assert_eq!(out, Matrix::<i64>::zeros(4, 4));
+    }
+
+    #[test]
+    fn env_free_constructors() {
+        assert_eq!(HostExecutor::with_threads(0).threads(), 1);
+        assert_eq!(HostExecutor::with_threads(7).threads(), 7);
+        assert_eq!(HostExecutor::with_threads(7).name(), "host");
+        assert_eq!(ReplayExecutor::default().name(), "replay");
+    }
+}

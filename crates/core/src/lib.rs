@@ -28,6 +28,19 @@
 //! charges the exact step count of the §2.2 systolic array instead of the
 //! closed-form model cost.
 //!
+//! ## Execution stack
+//!
+//! Every tensor invocation lowers to a [`TensorOp`] descriptor issued
+//! through [`TcuMachine::issue_into`] — the single seam between the
+//! *accounting* half (the [`TensorUnit`] costing policy, [`Stats`], the
+//! [`TraceLog`]) and the *numeric* half (a pluggable [`Executor`]:
+//! tiled host kernels by default, the cycle-level systolic array via
+//! `tcu_systolic::SystolicExecutor`, or no numerics at all via
+//! [`ReplayExecutor`]). Traces record the full per-invocation op plus
+//! its charged cost, so a trace is a replayable program:
+//! [`TcuMachine::replay`] re-derives `Stats` from one without touching
+//! a matrix element.
+//!
 //! ## Accounting conventions
 //!
 //! The model says the tensor instruction's `O(n√m + ℓ)` charge covers
@@ -40,14 +53,18 @@
 //! resulting closed-form totals exactly.
 
 pub mod cost;
+pub mod exec;
 pub mod machine;
+pub mod op;
 pub mod parallel;
 pub mod tensor_unit;
 pub mod trace;
 
 pub use cost::Stats;
+pub use exec::{Executor, HostExecutor, ReplayExecutor};
 pub use machine::TcuMachine;
-pub use parallel::ParallelTcuMachine;
+pub use op::{PadPolicy, TensorOp};
+pub use parallel::{partition_lpt, ParallelTcuMachine, Partition};
 pub use tensor_unit::{exact_sqrt, ModelTensorUnit, TensorUnit, WeakTensorUnit};
 pub use trace::{TraceEvent, TraceLog};
 

@@ -1,12 +1,19 @@
 //! The simulated (m, ℓ)-TCU machine.
 //!
-//! [`TcuMachine`] couples a [`TensorUnit`] costing policy with the metering
-//! state ([`Stats`], optional [`TraceLog`]) and exposes the model's two
-//! primitive actions:
+//! [`TcuMachine`] couples a [`TensorUnit`] costing policy, an
+//! [`Executor`] numeric backend, and the metering state ([`Stats`],
+//! optional [`TraceLog`]). It exposes the model's two primitive actions:
 //!
 //! * [`TcuMachine::charge`] — scalar CPU work, one time unit per operation;
-//! * [`TcuMachine::tensor_mul`] — the tensor instruction: `C = A·B` with
-//!   `A` of shape `n × √m` (`n ≥ √m`) and `B` of shape `√m × √m`.
+//! * [`TcuMachine::issue`] — the tensor instruction, described by a
+//!   [`TensorOp`]: `C = A·B` with `A` of shape `n × √m` (`n ≥ √m`) and
+//!   `B` of shape `√m × √m`.
+//!
+//! Every public `tensor_mul*` variant is a thin wrapper that lowers to
+//! one `TensorOp` and routes it through the single
+//! [`TcuMachine::issue_into`] entry point; accounting (the `TensorUnit`
+//! charge, `Stats`, the trace) and numerics (the `Executor`) never mix,
+//! so swapping backends cannot perturb simulated time.
 //!
 //! The machine is generic over the element type *per call*, not per
 //! machine: the model's words are κ-bit and opaque (§3), so the same
@@ -15,23 +22,22 @@
 //! GE, integers for transitive closure, complex numbers for the DFT).
 
 use crate::cost::Stats;
+use crate::exec::{Executor, HostExecutor};
+use crate::op::{PadPolicy, TensorOp};
 use crate::tensor_unit::{ModelTensorUnit, TensorUnit, WeakTensorUnit};
 use crate::trace::TraceLog;
-use tcu_linalg::kernels;
-use tcu_linalg::{Matrix, MatrixView, Scalar};
+use tcu_linalg::{Matrix, MatrixView, MatrixViewMut, Scalar};
 
 /// A simulated RAM with an attached tensor unit, metering simulated time.
+///
+/// `U` decides what invocations *cost*; `E` decides how their numerics
+/// are *computed* (default: the tiled host kernels).
 #[derive(Clone, Debug)]
-pub struct TcuMachine<U: TensorUnit> {
+pub struct TcuMachine<U: TensorUnit, E: Executor = HostExecutor> {
     unit: U,
+    exec: E,
     stats: Stats,
     trace: Option<TraceLog>,
-    /// Host worker threads for executing tensor instructions (the
-    /// *simulator's* wall-clock, never simulated time). Defaults to 1;
-    /// opt in via [`Self::set_host_threads`] or `TCU_HOST_THREADS`. The
-    /// parallel kernel's row-band split is deterministic, so numeric
-    /// results are identical for every setting.
-    host_threads: usize,
 }
 
 impl TcuMachine<ModelTensorUnit> {
@@ -57,21 +63,12 @@ impl TcuMachine<WeakTensorUnit> {
 }
 
 impl<U: TensorUnit> TcuMachine<U> {
-    /// Wrap an arbitrary costing policy. Host execution starts
-    /// single-threaded unless `TCU_HOST_THREADS` requests more workers.
+    /// Wrap an arbitrary costing policy over the default host-kernel
+    /// backend. Host execution starts single-threaded unless
+    /// `TCU_HOST_THREADS` requests more workers.
     #[must_use]
     pub fn new(unit: U) -> Self {
-        let host_threads = std::env::var("TCU_HOST_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(1)
-            .max(1);
-        Self {
-            unit,
-            stats: Stats::default(),
-            trace: None,
-            host_threads,
-        }
+        Self::with_executor(unit, HostExecutor::new())
     }
 
     /// Opt in to (or back out of) parallel host execution of tensor
@@ -79,14 +76,42 @@ impl<U: TensorUnit> TcuMachine<U> {
     /// traces, and numeric results are identical for every value — the
     /// kernel's row-band split is deterministic.
     pub fn set_host_threads(&mut self, threads: usize) {
-        self.host_threads = threads.max(1);
+        self.exec.set_threads(threads);
     }
 
     /// Current host worker count for tensor-instruction execution.
     #[inline]
     #[must_use]
     pub fn host_threads(&self) -> usize {
-        self.host_threads
+        self.exec.threads()
+    }
+}
+
+impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
+    /// Couple a costing policy with an explicit numeric backend — e.g.
+    /// `tcu_systolic::SystolicExecutor` for cycle-level array numerics,
+    /// or [`crate::ReplayExecutor`] for accounting-only runs.
+    #[must_use]
+    pub fn with_executor(unit: U, exec: E) -> Self {
+        Self {
+            unit,
+            exec,
+            stats: Stats::default(),
+            trace: None,
+        }
+    }
+
+    /// The numeric backend.
+    #[inline]
+    #[must_use]
+    pub fn executor(&self) -> &E {
+        &self.exec
+    }
+
+    /// Mutable access to the numeric backend (e.g. to re-tune it).
+    #[inline]
+    pub fn executor_mut(&mut self) -> &mut E {
+        &mut self.exec
     }
 
     /// `√m` of the attached unit.
@@ -160,6 +185,85 @@ impl<U: TensorUnit> TcuMachine<U> {
         self.trace.take().unwrap_or_default()
     }
 
+    /// The single tensor-instruction entry point: validate `op` against
+    /// the unit and the operand views, charge it under the costing
+    /// policy (recording one trace event per hardware invocation), and
+    /// hand the numerics to the executor, which computes
+    /// `out (+)= A·B` per `op.accumulate`.
+    ///
+    /// # Panics
+    /// Panics if `op` violates the model's shape contract for this
+    /// unit, or if the views do not carry `op`'s operand shapes, or if
+    /// `out` is not `op.rows × op.width`.
+    pub fn issue_into<T: Scalar>(
+        &mut self,
+        op: TensorOp,
+        a: MatrixView<'_, T>,
+        b: MatrixView<'_, T>,
+        out: &mut MatrixViewMut<'_, T>,
+    ) {
+        assert_eq!(
+            (a.rows(), a.cols()),
+            (op.rows, op.inner),
+            "left operand does not match the op descriptor"
+        );
+        match op.pad {
+            PadPolicy::Strict => assert_eq!(
+                (b.rows(), b.cols()),
+                (op.inner, op.width),
+                "right operand must be √m × √m"
+            ),
+            PadPolicy::ZeroPad => {
+                assert_eq!(b.rows(), op.inner, "inner dimensions must agree");
+                assert_eq!(
+                    b.cols(),
+                    op.width,
+                    "right operand does not match the op descriptor"
+                );
+            }
+        }
+        op.validate(self.sqrt_m());
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (op.rows, op.width),
+            "matmul_acc: output shape mismatch"
+        );
+        self.charge_op(&op);
+        let _ = self.exec.execute(&op, a, b, out);
+    }
+
+    /// [`Self::issue_into`] allocating the `rows × width` product
+    /// (for non-accumulating ops).
+    ///
+    /// # Panics
+    /// Shape rules of [`Self::issue_into`], plus `op.accumulate` must
+    /// be `false` (an accumulating op needs a destination to add into).
+    #[must_use]
+    pub fn issue<T: Scalar>(
+        &mut self,
+        op: TensorOp,
+        a: MatrixView<'_, T>,
+        b: MatrixView<'_, T>,
+    ) -> Matrix<T> {
+        assert!(
+            !op.accumulate,
+            "accumulating ops need a destination: use issue_into"
+        );
+        let mut out = Matrix::<T>::zeros(op.rows, op.width);
+        self.issue_into(op, a, b, &mut out.view_mut());
+        out
+    }
+
+    /// Re-run a recorded trace as a program through this machine's
+    /// costing policy: every tensor event is re-charged per recorded
+    /// invocation (tall splits were applied when the trace was
+    /// recorded) and every scalar segment re-billed — no numerics run.
+    /// Replaying a trace on a machine with the unit that recorded it
+    /// reproduces `Stats` and the trace stream exactly.
+    pub fn replay(&mut self, trace: &TraceLog) {
+        crate::exec::replay_events(trace, &self.unit, &mut self.stats, self.trace.as_mut());
+    }
+
     /// The tensor instruction: `C = A·B` where `A` is `n × √m` with
     /// `n ≥ √m` and `B` is `√m × √m` (§3). On a unit without native tall
     /// support (the weak model), the left operand is split into `⌈n/√m⌉`
@@ -180,9 +284,7 @@ impl<U: TensorUnit> TcuMachine<U> {
 
     /// [`Self::tensor_mul`] on borrowed operand views: the zero-copy hot
     /// path. Blocked algorithms pass subviews of their larger matrices
-    /// directly, so no block is materialized just to be multiplied; the
-    /// product is computed by the tiled host kernel (parallel across
-    /// deterministic row bands when [`Self::set_host_threads`] opted in).
+    /// directly, so no block is materialized just to be multiplied.
     ///
     /// # Panics
     /// Same shape rules as [`Self::tensor_mul`].
@@ -192,20 +294,7 @@ impl<U: TensorUnit> TcuMachine<U> {
         a: MatrixView<'_, T>,
         b: MatrixView<'_, T>,
     ) -> Matrix<T> {
-        let s = self.sqrt_m();
-        assert_eq!(a.cols(), s, "left operand must have √m = {s} columns");
-        assert_eq!(
-            (b.rows(), b.cols()),
-            (s, s),
-            "right operand must be √m × √m"
-        );
-        assert!(
-            a.rows() >= s,
-            "model requires n ≥ √m rows (got {}); pad first",
-            a.rows()
-        );
-        self.charge_tensor(a.rows());
-        kernels::matmul_threads(a, b, self.host_threads)
+        self.issue(strict_op(&a, &b, false), a, b)
     }
 
     /// [`Self::tensor_mul_view`] with the product accumulated straight
@@ -224,22 +313,9 @@ impl<U: TensorUnit> TcuMachine<U> {
         &mut self,
         a: MatrixView<'_, T>,
         b: MatrixView<'_, T>,
-        out: &mut tcu_linalg::MatrixViewMut<'_, T>,
+        out: &mut MatrixViewMut<'_, T>,
     ) {
-        let s = self.sqrt_m();
-        assert_eq!(a.cols(), s, "left operand must have √m = {s} columns");
-        assert_eq!(
-            (b.rows(), b.cols()),
-            (s, s),
-            "right operand must be √m × √m"
-        );
-        assert!(
-            a.rows() >= s,
-            "model requires n ≥ √m rows (got {}); pad first",
-            a.rows()
-        );
-        self.charge_tensor(a.rows());
-        kernels::matmul_acc_threads(out, a, b, self.host_threads);
+        self.issue_into(strict_op(&a, &b, true), a, b, out);
     }
 
     /// Convenience wrapper for operands smaller than the unit's footprint:
@@ -268,44 +344,58 @@ impl<U: TensorUnit> TcuMachine<U> {
         a: MatrixView<'_, T>,
         b: MatrixView<'_, T>,
     ) -> Matrix<T> {
-        let s = self.sqrt_m();
-        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-        assert!(a.cols() <= s, "inner dimension exceeds √m");
-        assert!(b.cols() <= s, "right operand width exceeds √m");
-        let n_effective = a.rows().max(s);
-        self.charge_tensor(n_effective);
-        kernels::matmul_threads(a, b, self.host_threads)
+        self.issue(TensorOp::padded(a.rows(), a.cols(), b.cols()), a, b)
     }
 
-    /// Meter one logical tensor multiplication with an `n_rows`-row left
-    /// operand, splitting into square invocations when the unit lacks
-    /// native tall support.
-    fn charge_tensor(&mut self, n_rows: usize) {
+    /// Meter one logical op: one native invocation on units with tall
+    /// support, `⌈n/√m⌉` square invocations otherwise. Trace events
+    /// record the *per-invocation* descriptor (rows as charged).
+    fn charge_op(&mut self, op: &TensorOp) {
         let s = self.sqrt_m();
+        let n = op.charge_rows(s);
         if self.unit.supports_tall() {
-            let cost = self.unit.invocation_cost(n_rows);
-            let lat = self.unit.invocation_latency(n_rows);
-            self.stats.record_tensor(n_rows as u64, cost, lat);
+            let cost = self.unit.invocation_cost(n);
+            let lat = self.unit.invocation_latency(n);
+            self.stats.record_tensor(n as u64, cost, lat);
             if let Some(t) = &mut self.trace {
-                t.push_tensor(n_rows as u64);
+                t.push_tensor(TensorOp { rows: n, ..*op }, cost);
             }
         } else {
-            let tiles = n_rows.div_ceil(s);
+            let tiles = n.div_ceil(s);
             for _ in 0..tiles {
                 let cost = self.unit.invocation_cost(s);
                 let lat = self.unit.invocation_latency(s);
                 self.stats.record_tensor(s as u64, cost, lat);
                 if let Some(t) = &mut self.trace {
-                    t.push_tensor(s as u64);
+                    t.push_tensor(TensorOp { rows: s, ..*op }, cost);
                 }
             }
         }
     }
 }
 
+/// Lower a strict `tensor_mul*` call to its descriptor: the op records
+/// the shapes the caller actually passed, so [`TensorOp::validate`]
+/// reports model-contract violations (wrong width, too few rows) with
+/// the operands' dimensions.
+fn strict_op<T: Scalar>(
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    accumulate: bool,
+) -> TensorOp {
+    TensorOp {
+        rows: a.rows(),
+        inner: a.cols(),
+        width: b.cols(),
+        accumulate,
+        pad: PadPolicy::Strict,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::ReplayExecutor;
     use crate::trace::TraceEvent;
     use tcu_linalg::ops::matmul_naive;
 
@@ -429,6 +519,24 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "does not match the op descriptor")]
+    fn op_view_mismatch_rejected() {
+        let mut mach = TcuMachine::model(16, 0);
+        let a = iota(8, 4);
+        let b = iota(4, 4);
+        let _ = mach.issue(TensorOp::mul(9, 4), a.view(), b.view());
+    }
+
+    #[test]
+    #[should_panic(expected = "use issue_into")]
+    fn accumulating_op_needs_destination() {
+        let mut mach = TcuMachine::model(16, 0);
+        let a = iota(8, 4);
+        let b = iota(4, 4);
+        let _ = mach.issue(TensorOp::mul_acc(8, 4), a.view(), b.view());
+    }
+
+    #[test]
     fn charge_and_reset() {
         let mut mach = TcuMachine::model(4, 0);
         mach.charge(123);
@@ -453,13 +561,47 @@ mod tests {
             trace.events(),
             &[
                 TraceEvent::Scalar { ops: 10 },
-                TraceEvent::Tensor { n_rows: 8 },
+                TraceEvent::Tensor {
+                    op: TensorOp::mul(8, 4),
+                    cost: 8 * 4 + 5
+                },
                 TraceEvent::Scalar { ops: 7 },
             ]
         );
         // taking the trace stops recording
         mach.charge(1);
         assert!(mach.take_trace().is_empty());
+    }
+
+    #[test]
+    fn replay_reproduces_stats_and_trace() {
+        let mut mach = TcuMachine::model(16, 5);
+        mach.enable_trace();
+        mach.charge(10);
+        let a = iota(8, 4);
+        let b = iota(4, 4);
+        let _ = mach.tensor_mul(&a, &b);
+        let _ = mach.tensor_mul_padded(&iota(2, 3), &iota(3, 2));
+        let trace = mach.take_trace();
+
+        let mut replayed = TcuMachine::with_executor(*mach.unit(), ReplayExecutor::default());
+        replayed.enable_trace();
+        replayed.replay(&trace);
+        assert_eq!(replayed.stats(), mach.stats());
+        assert_eq!(replayed.take_trace(), trace);
+    }
+
+    #[test]
+    fn replay_executor_machine_charges_without_numerics() {
+        let a = iota(8, 4);
+        let b = iota(4, 4);
+        let mut numeric = TcuMachine::model(16, 5);
+        let mut ghost = TcuMachine::with_executor(*numeric.unit(), ReplayExecutor::default());
+        let c_num = numeric.tensor_mul(&a, &b);
+        let c_ghost = ghost.tensor_mul(&a, &b);
+        assert_eq!(numeric.stats(), ghost.stats());
+        assert_eq!(c_num, matmul_naive(&a, &b));
+        assert_eq!(c_ghost, Matrix::<i64>::zeros(8, 4));
     }
 
     #[test]

@@ -5,23 +5,31 @@
 //! open question (boards like the Titan RTX carry hundreds of tensor
 //! cores, §3.1). This module provides the natural extension: a
 //! [`ParallelTcuMachine`] with `p` identical units. A *batch* of
-//! independent tensor invocations is scheduled greedily onto the
-//! least-loaded unit and the batch charges its **makespan**; scalar CPU
-//! work remains serial (the CPU is still one processor). With equal-size
-//! invocations the makespan is `⌈k/p⌉` times the per-call cost, so a
-//! `p`-unit machine accelerates exactly the tensor-bound portion of an
-//! algorithm — an Amdahl decomposition the EP1 experiment measures.
+//! independent [`TensorOp`]s is scheduled over a deterministic LPT
+//! partition ([`partition_lpt`]) and the batch charges its **makespan**;
+//! scalar CPU work remains serial (the CPU is still one processor). With
+//! equal-size invocations the makespan is `⌈k/p⌉` times the per-call
+//! cost, so a `p`-unit machine accelerates exactly the tensor-bound
+//! portion of an algorithm — an Amdahl decomposition the EP1 experiment
+//! measures.
+//!
+//! Scheduling operates purely on op descriptors and unit costs — the
+//! numerics of every op flow through the same pluggable [`Executor`]
+//! backend as the serial machine, so there is exactly one
+//! multiplication code path in the workspace.
 
 use crate::cost::Stats;
+use crate::exec::{Executor, HostExecutor};
+use crate::op::TensorOp;
 use crate::tensor_unit::TensorUnit;
-use tcu_linalg::kernels;
 use tcu_linalg::{Matrix, MatrixView, Scalar};
 
 /// A TCU machine with `p` identical tensor units.
 #[derive(Clone, Debug)]
-pub struct ParallelTcuMachine<U: TensorUnit> {
+pub struct ParallelTcuMachine<U: TensorUnit, E: Executor = HostExecutor> {
     unit: U,
     p: usize,
+    exec: E,
     stats: Stats,
     /// Simulated time spent in batch makespans (subset of
     /// `stats.tensor_time`, which keeps the *work* for utilization
@@ -30,16 +38,29 @@ pub struct ParallelTcuMachine<U: TensorUnit> {
 }
 
 impl<U: TensorUnit> ParallelTcuMachine<U> {
-    /// `p ≥ 1` units sharing one costing policy.
+    /// `p ≥ 1` units sharing one costing policy, over the default
+    /// host-kernel backend.
     ///
     /// # Panics
     /// Panics if `p == 0`.
     #[must_use]
     pub fn new(unit: U, p: usize) -> Self {
+        Self::with_executor(unit, p, HostExecutor::new())
+    }
+}
+
+impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
+    /// `p ≥ 1` units sharing one costing policy and one numeric backend.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    #[must_use]
+    pub fn with_executor(unit: U, p: usize, exec: E) -> Self {
         assert!(p >= 1, "need at least one unit");
         Self {
             unit,
             p,
+            exec,
             stats: Stats::default(),
             makespan_time: 0,
         }
@@ -83,10 +104,82 @@ impl<U: TensorUnit> ParallelTcuMachine<U> {
         &self.stats
     }
 
+    /// The hardware invocations one logical op decomposes into: a single
+    /// `charge_rows`-row invocation on units with native tall support,
+    /// `⌈n/√m⌉` independent square tiles otherwise — the same split the
+    /// serial machine's charge path applies, so parallel and serial
+    /// accounting agree per op (tiles also schedule independently, which
+    /// is exactly what a partitioned tall operand allows).
+    fn invocation_rows(&self, op: &TensorOp) -> Vec<usize> {
+        let s = self.sqrt_m();
+        let n = op.charge_rows(s);
+        if self.unit.supports_tall() {
+            vec![n]
+        } else {
+            vec![s; n.div_ceil(s)]
+        }
+    }
+
+    /// The deterministic schedule this machine would use for a batch of
+    /// ops, without executing anything: per-invocation unit assignment
+    /// and per-unit loads under the unit's costing policy (an op that
+    /// tall-splits contributes one schedulable invocation per tile).
+    #[must_use]
+    pub fn plan(&self, ops: &[TensorOp]) -> Partition {
+        let costs: Vec<u64> = ops
+            .iter()
+            .flat_map(|op| self.invocation_rows(op))
+            .map(|rows| self.unit.invocation_cost(rows))
+            .collect();
+        partition_lpt(&costs, self.p)
+    }
+
+    /// Issue a batch of *independent* ops (`Cᵢ = Aᵢ·Bᵢ`): each op is
+    /// validated and charged exactly as on the serial machine (including
+    /// the tall-split into square invocations on units without native
+    /// tall support), the resulting invocations are scheduled over
+    /// [`partition_lpt`], wall-clock advances by the makespan, and every
+    /// op's numerics run through the executor in batch order (scheduling
+    /// is pure accounting, so results are independent of the partition).
+    ///
+    /// # Panics
+    /// Panics if an op violates the model's shape contract or its views
+    /// (same rules as [`crate::TcuMachine::issue`]), or if an op has
+    /// `accumulate` set (batch products are returned, not accumulated).
+    #[must_use]
+    pub fn issue_batch<T: Scalar>(
+        &mut self,
+        batch: &[(TensorOp, MatrixView<'_, T>, MatrixView<'_, T>)],
+    ) -> Vec<Matrix<T>> {
+        let s = self.sqrt_m();
+        let mut costs = Vec::with_capacity(batch.len());
+        for (op, a, b) in batch {
+            assert!(!op.accumulate, "batch ops return their products");
+            assert!(
+                op.matches((a.rows(), a.cols()), (b.rows(), b.cols())),
+                "operands do not match the op descriptor"
+            );
+            op.validate(s);
+            for rows in self.invocation_rows(op) {
+                let cost = self.unit.invocation_cost(rows);
+                let lat = self.unit.invocation_latency(rows);
+                self.stats.record_tensor(rows as u64, cost, lat);
+                costs.push(cost);
+            }
+        }
+        self.makespan_time += partition_lpt(&costs, self.p).makespan();
+        batch
+            .iter()
+            .map(|(op, a, b)| {
+                let mut out = Matrix::<T>::zeros(op.rows, op.width);
+                let _ = self.exec.execute(op, *a, *b, &mut out.view_mut());
+                out
+            })
+            .collect()
+    }
+
     /// Issue a batch of *independent* tensor invocations
-    /// (`Cᵢ = Aᵢ·Bᵢ`, each `Aᵢ : nᵢ × √m`, `Bᵢ : √m × √m`). The batch is
-    /// scheduled greedily (each call to the currently least-loaded unit,
-    /// longest calls first) and wall-clock advances by the makespan.
+    /// (`Cᵢ = Aᵢ·Bᵢ`, each `Aᵢ : nᵢ × √m`, `Bᵢ : √m × √m`).
     ///
     /// # Panics
     /// Panics if shapes violate the model (same rules as
@@ -104,6 +197,8 @@ impl<U: TensorUnit> ParallelTcuMachine<U> {
     /// [`Self::tensor_mul_batch`] on borrowed operand views — the
     /// zero-copy path used by the §6 parallel algorithms, which carve
     /// every strip and weight block directly out of the input matrices.
+    /// Thin wrapper: lowers each pair to a [`TensorOp`] and issues the
+    /// batch.
     ///
     /// # Panics
     /// Panics if shapes violate the model.
@@ -113,37 +208,54 @@ impl<U: TensorUnit> ParallelTcuMachine<U> {
         ops: &[(MatrixView<'_, T>, MatrixView<'_, T>)],
     ) -> Vec<Matrix<T>> {
         let s = self.sqrt_m();
-        let mut results = Vec::with_capacity(ops.len());
-        let mut costs = Vec::with_capacity(ops.len());
-        for &(a, b) in ops {
-            assert_eq!(a.cols(), s, "left operand must have √m columns");
-            assert_eq!(
-                (b.rows(), b.cols()),
-                (s, s),
-                "right operand must be √m × √m"
-            );
-            assert!(a.rows() >= s, "model requires n ≥ √m rows");
-            let cost = self.unit.invocation_cost(a.rows());
-            let lat = self.unit.invocation_latency(a.rows());
-            self.stats.record_tensor(a.rows() as u64, cost, lat);
-            costs.push(cost);
-            results.push(kernels::matmul(a, b));
-        }
-        self.makespan_time += makespan(&costs, self.p);
-        results
+        let batch: Vec<(TensorOp, MatrixView<'_, T>, MatrixView<'_, T>)> = ops
+            .iter()
+            .map(|&(a, b)| (TensorOp::mul(a.rows(), s), a, b))
+            .collect();
+        self.issue_batch(&batch)
     }
 }
 
-/// Greedy (LPT) makespan of `costs` on `p` identical machines.
-fn makespan(costs: &[u64], p: usize) -> u64 {
-    let mut sorted: Vec<u64> = costs.to_vec();
-    sorted.sort_unstable_by(|a, b| b.cmp(a));
-    let mut loads = vec![0u64; p];
-    for c in sorted {
-        let min = loads.iter_mut().min().expect("p >= 1");
-        *min += c;
+/// A deterministic schedule of op costs onto `p` identical units.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// `assignment[i]` is the unit op `i` runs on.
+    pub assignment: Vec<usize>,
+    /// Total cost assigned to each unit.
+    pub loads: Vec<u64>,
+}
+
+impl Partition {
+    /// The batch's simulated wall-clock: the maximum unit load.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.loads.iter().copied().max().unwrap_or(0)
     }
-    loads.into_iter().max().unwrap_or(0)
+}
+
+/// Deterministic LPT (longest-processing-time-first) partition of
+/// `costs` onto `p` identical units: ops are placed in decreasing cost
+/// order (ties broken by lower index first) onto the currently
+/// least-loaded unit (ties broken by lower unit index). Determinism is
+/// the point — the same batch always maps to the same partition, so
+/// recorded schedules can be re-derived exactly (cf. deterministic
+/// work-unit partitioning in Bobpp-style runtimes).
+///
+/// # Panics
+/// Panics if `p == 0`.
+#[must_use]
+pub fn partition_lpt(costs: &[u64], p: usize) -> Partition {
+    assert!(p >= 1, "need at least one unit");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    let mut assignment = vec![0usize; costs.len()];
+    let mut loads = vec![0u64; p];
+    for i in order {
+        let unit = (0..p).min_by_key(|&u| (loads[u], u)).expect("p >= 1");
+        assignment[i] = unit;
+        loads[unit] += costs[i];
+    }
+    Partition { assignment, loads }
 }
 
 #[cfg(test)]
@@ -162,14 +274,46 @@ mod tests {
             .collect()
     }
 
+    fn makespan(costs: &[u64], p: usize) -> u64 {
+        partition_lpt(costs, p).makespan()
+    }
+
     #[test]
     fn makespan_basics() {
         assert_eq!(makespan(&[], 4), 0);
         assert_eq!(makespan(&[10], 4), 10);
         assert_eq!(makespan(&[10, 10, 10, 10], 2), 20);
         assert_eq!(makespan(&[10, 10, 10], 2), 20);
-        // LPT: 7,5,4,3 on 2 machines -> {7,4}=11 vs {5,3}... LPT gives 11? 7|5 -> 7+3=10, 5+4=9 -> 10.
+        // LPT: 7,5,4,3 on 2 machines -> 7+3=10, 5+4=9 -> 10.
         assert_eq!(makespan(&[7, 5, 4, 3], 2), 10);
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_consistent() {
+        let costs = [7u64, 5, 7, 3, 5];
+        let part = partition_lpt(&costs, 2);
+        assert_eq!(part, partition_lpt(&costs, 2));
+        // Loads must be the per-unit sums of the assignment.
+        let mut loads = vec![0u64; 2];
+        for (i, &u) in part.assignment.iter().enumerate() {
+            loads[u] += costs[i];
+        }
+        assert_eq!(loads, part.loads);
+        // Equal costs tie-break by index: op 0 before op 2.
+        assert_eq!(part.assignment[0], 0);
+        assert_eq!(part.assignment[2], 1);
+    }
+
+    #[test]
+    fn plan_matches_charged_makespan() {
+        let (m, l, p) = (16usize, 100u64, 4usize);
+        let mut mach = ParallelTcuMachine::new(ModelTensorUnit::new(m, l), p);
+        let ops: Vec<TensorOp> = (0..8).map(|_| TensorOp::mul(4, 4)).collect();
+        let plan = mach.plan(&ops);
+        let inputs = batch_inputs(8, 4, 4);
+        let refs: Vec<(&Matrix<i64>, &Matrix<i64>)> = inputs.iter().map(|(a, b)| (a, b)).collect();
+        let _ = mach.tensor_mul_batch(&refs);
+        assert_eq!(mach.time(), plan.makespan());
     }
 
     #[test]
@@ -222,6 +366,31 @@ mod tests {
         let refs2: Vec<(&Matrix<i64>, &Matrix<i64>)> = inputs.iter().map(|(a, b)| (a, b)).collect();
         let _ = p8.tensor_mul_batch(&refs2);
         assert_eq!(p3.time(), p8.time());
+    }
+
+    #[test]
+    fn weak_units_split_tall_batch_ops_like_serial() {
+        use crate::tensor_unit::WeakTensorUnit;
+        // One 12-row tall op (3 square tiles) plus one square op = 4
+        // invocations, matching the serial weak machine's accounting.
+        let inputs = [
+            batch_inputs(1, 12, 4).remove(0),
+            batch_inputs(1, 4, 4).remove(0),
+        ];
+        let refs: Vec<(&Matrix<i64>, &Matrix<i64>)> = inputs.iter().map(|(a, b)| (a, b)).collect();
+        let mut par = ParallelTcuMachine::new(WeakTensorUnit::new(16, 7), 2);
+        let out = par.tensor_mul_batch(&refs);
+        let mut ser = crate::TcuMachine::weak(16, 7);
+        for (i, (a, b)) in inputs.iter().enumerate() {
+            assert_eq!(out[i], ser.tensor_mul(a, b));
+        }
+        assert_eq!(par.stats(), ser.stats());
+        assert_eq!(par.stats().tensor_calls, 4);
+        // 4 equal invocations on 2 units: makespan = 2 calls.
+        assert_eq!(par.time(), 2 * (16 + 7));
+        // plan() agrees with what the batch charged.
+        let ops = [TensorOp::mul(12, 4), TensorOp::mul(4, 4)];
+        assert_eq!(par.plan(&ops).makespan(), par.time());
     }
 
     #[test]

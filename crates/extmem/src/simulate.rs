@@ -45,9 +45,12 @@ pub fn replay_trace_detailed(trace: &TraceLog, sqrt_m: usize) -> ReplayBreakdown
     let mut out = ReplayBreakdown::default();
     for ev in trace.events() {
         match *ev {
-            TraceEvent::Tensor { n_rows } => {
+            // The trace carries full per-invocation `TensorOp`s; the EM
+            // charge depends only on the charged row count (`op.rows` —
+            // tall splits and padding were applied at record time).
+            TraceEvent::Tensor { op, .. } => {
                 // Load A (n√m) and B (m), write C (n√m), one word per I/O.
-                out.tensor_ios += 2 * n_rows * s + s * s;
+                out.tensor_ios += 2 * (op.rows as u64) * s + s * s;
                 out.tensor_calls += 1;
             }
             TraceEvent::Scalar { ops } => {
@@ -83,7 +86,8 @@ mod tests {
     #[test]
     fn square_call_costs_3m_ios() {
         let mut log = TraceLog::new();
-        log.push_tensor(4); // √m = 4 square call
+        // √m = 4 square call, model charge m = 16.
+        log.push_tensor(tcu_core::TensorOp::mul(4, 4), 16);
         let b = replay_trace_detailed(&log, 4);
         assert_eq!(b.tensor_ios, 3 * 16);
         assert_eq!(b.total(), 48);

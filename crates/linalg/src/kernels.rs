@@ -17,7 +17,13 @@
 //!   boundaries depend only on `(rows, threads)`, each band is written
 //!   by exactly one worker via disjoint `split_at_mut` chunks, and every
 //!   element is accumulated in the same `k` order as the serial kernel —
-//!   so results are bit-identical for every thread count.
+//!   so results are bit-identical for every thread count;
+//! * [`matmul_into`] is the runtime-dispatch entry the executor layer
+//!   keys off a `TensorOp`'s accumulate flag;
+//! * [`pack_a`] / [`matmul_acc_packed`] pack a tall strip once into
+//!   interleaved row panels so blocked flows that re-stream the same
+//!   strip per block column read a compact sequential buffer instead of
+//!   page-strided rows.
 //!
 //! Accumulation order matters: for each output element the `k` loop runs
 //! in ascending order from a zero accumulator, exactly like
@@ -105,6 +111,186 @@ pub fn matmul_acc_threads<T: Scalar>(
         "matmul_acc: output shape mismatch"
     );
     run::<T, true>(c, a, b, threads);
+}
+
+/// Unified entry point for the executor layer: `C (+)= A·B` with the
+/// accumulate flag decided at runtime (the `TensorOp.accumulate` bit of
+/// `tcu-core`'s IR dispatches here). Overwrite mode writes every element
+/// of `c`, so the destination needs no pre-zeroing.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()` or `c` is not `a.rows × b.cols`.
+pub fn matmul_into<T: Scalar>(
+    c: &mut MatrixViewMut<'_, T>,
+    a: MatrixView<'_, T>,
+    b: MatrixView<'_, T>,
+    accumulate: bool,
+    threads: usize,
+) {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dimensions must agree");
+    assert_eq!(
+        (c.rows(), c.cols()),
+        (a.rows(), b.cols()),
+        "matmul_acc: output shape mismatch"
+    );
+    if accumulate {
+        run::<T, true>(c, a, b, threads);
+    } else {
+        run::<T, false>(c, a, b, threads);
+    }
+}
+
+/// A left operand packed once into contiguous [`MR`]-row panels:
+/// `panel t`, covering rows `[t·MR, t·MR + MR)`, stores slot `kk` as the
+/// `MR` column-`kk` values of those rows (zero-padded past the ragged
+/// bottom edge). One pack per *strip* — not per invocation — is the
+/// cache lever for blocked flows: a `d × √m` strip of a `d × d` matrix
+/// has page-sized row strides (TLB-hostile, one cache line per row
+/// touch), and the blocked algorithm re-streams it once per block
+/// column. Packing converts all of those re-reads into sequential scans
+/// of a compact buffer that stays cache-resident across uses.
+#[derive(Clone, Debug)]
+pub struct PackedA<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> PackedA<T> {
+    /// Rows of the packed operand.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the packed operand.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// Pack `a` into [`MR`]-row interleaved panels (see [`PackedA`]).
+#[must_use]
+pub fn pack_a<T: Scalar>(a: MatrixView<'_, T>) -> PackedA<T> {
+    let (n, k) = (a.rows(), a.cols());
+    let tiles = n.div_ceil(MR);
+    let mut data = vec![T::ZERO; tiles * k * MR];
+    for t in 0..tiles {
+        let i0 = t * MR;
+        let h = MR.min(n - i0);
+        let panel = &mut data[t * k * MR..(t + 1) * k * MR];
+        for r in 0..h {
+            let arow = a.row(i0 + r);
+            for kk in 0..k {
+                panel[kk * MR + r] = arow[kk];
+            }
+        }
+    }
+    PackedA {
+        rows: n,
+        cols: k,
+        data,
+    }
+}
+
+/// Fused accumulate `C += A·B` with a pre-packed left operand
+/// (serial; blocked callers parallelize across strips). Element results
+/// and per-element accumulation order are identical to
+/// [`matmul_acc`] — only the memory layout of `A` differs.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()` or `c` is not `a.rows × b.cols`.
+pub fn matmul_acc_packed<T: Scalar>(
+    c: &mut MatrixViewMut<'_, T>,
+    a: &PackedA<T>,
+    b: MatrixView<'_, T>,
+) {
+    let (n, k, p) = (a.rows, a.cols, b.cols());
+    assert_eq!(k, b.rows(), "matmul: inner dimensions must agree");
+    assert_eq!(
+        (c.rows(), c.cols()),
+        (n, p),
+        "matmul_acc: output shape mismatch"
+    );
+    if n == 0 || p == 0 || k == 0 {
+        // An empty inner dimension accumulates nothing.
+        return;
+    }
+    let packed_b = pack_b(b);
+    // Same const-dimension dispatch as `mul_band`: the hot square
+    // shapes run fully unrolled inner products.
+    match (k, p) {
+        (4, 4) => packed_band_impl::<T>(a, &packed_b, 4, 4, c),
+        (8, 8) => packed_band_impl::<T>(a, &packed_b, 8, 8, c),
+        (16, 16) => packed_band_impl::<T>(a, &packed_b, 16, 16, c),
+        (32, 32) => packed_band_impl::<T>(a, &packed_b, 32, 32, c),
+        _ => packed_band_impl::<T>(a, &packed_b, k, p, c),
+    }
+}
+
+#[inline(always)]
+fn packed_band_impl<T: Scalar>(
+    a: &PackedA<T>,
+    packed_b: &[T],
+    k: usize,
+    p: usize,
+    c: &mut MatrixViewMut<'_, T>,
+) {
+    let n = a.rows;
+    let panels = p.div_ceil(NR);
+    for (t, apanel) in a.data.chunks_exact(k * MR).enumerate() {
+        let i0 = t * MR;
+        let mr = MR.min(n - i0);
+        for q in 0..panels {
+            let j0 = q * NR;
+            let w = NR.min(p - j0);
+            let bpanel = &packed_b[q * k * NR..(q + 1) * k * NR];
+            match mr {
+                1 => micro_kernel_packed::<T, 1>(apanel, bpanel, k, j0, w, i0, c),
+                2 => micro_kernel_packed::<T, 2>(apanel, bpanel, k, j0, w, i0, c),
+                3 => micro_kernel_packed::<T, 3>(apanel, bpanel, k, j0, w, i0, c),
+                _ => micro_kernel_packed::<T, MR>(apanel, bpanel, k, j0, w, i0, c),
+            }
+        }
+    }
+}
+
+/// [`micro_kernel`] over a packed `A` panel: slot `kk` holds the `MR`
+/// row values contiguously, so the inner loop is two forward scans. The
+/// `kk` loop ascends from zero accumulators — the exact per-element
+/// order of `matmul_naive`, so results are bit-identical to the
+/// view-reading kernel.
+#[inline(always)]
+fn micro_kernel_packed<T: Scalar, const RB: usize>(
+    apanel: &[T],
+    bpanel: &[T],
+    k: usize,
+    j0: usize,
+    w: usize,
+    i0: usize,
+    c: &mut MatrixViewMut<'_, T>,
+) {
+    let mut acc = [[T::ZERO; NR]; RB];
+    for kk in 0..k {
+        let avals = &apanel[kk * MR..kk * MR + MR];
+        let brow = &bpanel[kk * NR..kk * NR + NR];
+        for r in 0..RB {
+            let av = avals[r];
+            let accr = &mut acc[r];
+            for jj in 0..NR {
+                accr[jj] = accr[jj].mul_add(av, brow[jj]);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let crow = &mut c.row_mut(i0 + r)[j0..j0 + w];
+        for (o, &v) in crow.iter_mut().zip(&accr[..w]) {
+            *o = o.add(v);
+        }
+    }
 }
 
 /// Shared driver: pack `B`, then run the band kernel serially or over
@@ -399,6 +585,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn runtime_dispatch_matches_const_paths() {
+        let a = pseudo(21, 16, 31);
+        let b = pseudo(16, 16, 32);
+        let want = matmul(a.view(), b.view());
+
+        // Overwrite mode must ignore (and fully replace) prior contents.
+        let mut c = pseudo(21, 16, 33);
+        matmul_into(&mut c.view_mut(), a.view(), b.view(), false, 1);
+        assert_eq!(c, want);
+
+        let mut acc = pseudo(21, 16, 33);
+        let mut want_acc = pseudo(21, 16, 33);
+        want_acc.add_assign(&want);
+        matmul_into(&mut acc.view_mut(), a.view(), b.view(), true, 2);
+        assert_eq!(acc, want_acc);
+    }
+
+    #[test]
+    fn packed_a_strip_path_is_bit_identical() {
+        // The blocked-flow shape: a tall strided strip re-used against
+        // many weight blocks.
+        let d = 96usize;
+        let s = 16usize;
+        let a = pseudo(d, d, 41);
+        let b = pseudo(d, d, 42);
+        for k in [0usize, 2] {
+            let strip = a.subview(0, k * s, d, s);
+            let pa = pack_a(strip);
+            assert_eq!((pa.rows(), pa.cols()), (d, s));
+            for j in 0..d / s {
+                let blk = b.subview(k * s, j * s, s, s);
+                let mut want = pseudo(d, s, 43 + j as i64);
+                let mut got = want.clone();
+                matmul_acc(&mut want.view_mut(), strip, blk);
+                matmul_acc_packed(&mut got.view_mut(), &pa, blk);
+                assert_eq!(got, want, "k={k} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_a_handles_ragged_rows_and_float() {
+        let a = Matrix::from_fn(11, 7, |i, j| (i as f64 - 2.5) * 0.5 + j as f64 * 0.125);
+        let b = Matrix::from_fn(7, 5, |i, j| (j as f64 - 1.0) * 0.25 - i as f64 * 0.0625);
+        let mut want = Matrix::<f64>::zeros(11, 5);
+        matmul_acc(&mut want.view_mut(), a.view(), b.view());
+        let mut got = Matrix::<f64>::zeros(11, 5);
+        matmul_acc_packed(&mut got.view_mut(), &pack_a(a.view()), b.view());
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -157,7 +157,11 @@ impl<T: Scalar> SystolicArray<T> {
                     } else {
                         c_reg[(i - 1) * s + j]
                     };
-                    let c_out = c_in.add(a_in.mul(weights[i * s + j]));
+                    // Same fused multiply-add (and the same ascending-k
+                    // accumulation order) as the host kernels, so the
+                    // two executor backends agree element-for-element —
+                    // on floats too, not just exact rings.
+                    let c_out = c_in.mul_add(a_in, weights[i * s + j]);
                     mac_ops += 1;
                     a_next[i * s + j] = a_in;
                     c_next[i * s + j] = c_out;

@@ -1,0 +1,170 @@
+//! [`SystolicExecutor`]: tensor-op numerics computed by the cycle-level
+//! weight-stationary array instead of the tiled host kernels.
+//!
+//! Plugged into `tcu_core::TcuMachine::with_executor`, every issued
+//! `TensorOp` is executed by simulating the §2.2 array one global step
+//! at a time — load `B` into the grid, pump `A` through in skewed
+//! diagonals, collect the outputs at the bottom edge. Accounting is
+//! untouched (the machine's [`tcu_core::TensorUnit`] policy decides the
+//! simulated charge); what this backend changes is *how* the numbers
+//! are produced, and what [`tcu_core::Executor::execute`] returns is
+//! the counted array cycles — the backend-native cost the VAL
+//! experiment compares against the model charge.
+//!
+//! The array performs the same fused multiply-add in the same
+//! ascending-`k` order as the host kernels, so the two backends agree
+//! element-for-element on every scalar type, floats included.
+
+use crate::array::SystolicArray;
+use tcu_core::{Executor, TensorOp};
+use tcu_linalg::{Matrix, MatrixView, MatrixViewMut, Scalar};
+
+/// Numeric backend driving a [`SystolicArray`] per invocation.
+///
+/// Stateless between ops (each op loads its own weights), so one
+/// executor serves any mix of shapes up to the machine's `√m`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SystolicExecutor;
+
+impl SystolicExecutor {
+    /// A fresh executor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Executor for SystolicExecutor {
+    fn name(&self) -> &'static str {
+        "systolic"
+    }
+
+    fn execute<T: Scalar>(
+        &mut self,
+        op: &TensorOp,
+        a: MatrixView<'_, T>,
+        b: MatrixView<'_, T>,
+        out: &mut MatrixViewMut<'_, T>,
+    ) -> u64 {
+        if op.rows == 0 {
+            return 0;
+        }
+        // The grid is square; undersized (padded-policy) operands run on
+        // an array sized to the larger operand side, with zero padding —
+        // zeros stream through PEs without changing any output.
+        let side = op.inner.max(op.width).max(1);
+        let mut arr = SystolicArray::<T>::new(side);
+        let prod = if op.inner == side && op.width == side {
+            let (prod, _) = arr.multiply_view(a, b);
+            prod
+        } else {
+            let a_pad = Matrix::from_fn(op.rows, side, |i, j| {
+                if j < op.inner {
+                    a.at(i, j)
+                } else {
+                    T::ZERO
+                }
+            });
+            let b_pad = Matrix::from_fn(side, side, |i, j| {
+                if i < op.inner && j < op.width {
+                    b.at(i, j)
+                } else {
+                    T::ZERO
+                }
+            });
+            let (prod, _) = arr.multiply_view(a_pad.view(), b_pad.view());
+            prod
+        };
+        for i in 0..op.rows {
+            let crow = out.row_mut(i);
+            let prow = prod.row(i);
+            if op.accumulate {
+                for j in 0..op.width {
+                    crow[j] = crow[j].add(prow[j]);
+                }
+            } else {
+                crow[..op.width].copy_from_slice(&prow[..op.width]);
+            }
+        }
+        arr.cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcu_core::{HostExecutor, TcuMachine, WeakTensorUnit};
+    use tcu_linalg::ops::matmul_naive;
+
+    fn pseudo(r: usize, c: usize, seed: i64) -> Matrix<i64> {
+        Matrix::from_fn(r, c, |i, j| {
+            ((i as i64 * 31 + j as i64 * 17 + seed).wrapping_mul(48271) >> 7) % 23 - 11
+        })
+    }
+
+    #[test]
+    fn machine_over_systolic_executor_matches_host_numerics_and_stats() {
+        let a = pseudo(12, 4, 1);
+        let b = pseudo(4, 4, 2);
+        let mut host = TcuMachine::with_executor(WeakTensorUnit::new(16, 9), HostExecutor::new());
+        let mut sys =
+            TcuMachine::with_executor(WeakTensorUnit::new(16, 9), SystolicExecutor::new());
+        host.enable_trace();
+        sys.enable_trace();
+        let ch = host.tensor_mul(&a, &b);
+        let cs = sys.tensor_mul(&a, &b);
+        assert_eq!(ch, cs);
+        assert_eq!(ch, matmul_naive(&a, &b));
+        assert_eq!(host.stats(), sys.stats());
+        assert_eq!(host.take_trace(), sys.take_trace());
+    }
+
+    #[test]
+    fn padded_ops_run_on_a_padded_grid() {
+        let a = pseudo(2, 3, 3);
+        let b = pseudo(3, 2, 4);
+        let mut sys = TcuMachine::with_executor(WeakTensorUnit::new(16, 0), SystolicExecutor);
+        let c = sys.tensor_mul_padded(&a, &b);
+        assert_eq!(c, matmul_naive(&a, &b));
+        assert_eq!((c.rows(), c.cols()), (2, 2));
+    }
+
+    #[test]
+    fn accumulating_ops_add_into_the_destination() {
+        let a = pseudo(8, 4, 5);
+        let b = pseudo(4, 4, 6);
+        let mut base = pseudo(8, 4, 7);
+        let mut want = base.clone();
+        want.add_assign(&matmul_naive(&a, &b));
+        let mut sys = TcuMachine::with_executor(WeakTensorUnit::new(16, 0), SystolicExecutor);
+        sys.tensor_mul_acc_view(a.view(), b.view(), &mut base.view_mut());
+        assert_eq!(base, want);
+    }
+
+    #[test]
+    fn float_results_agree_with_host_kernels_exactly() {
+        let a = Matrix::from_fn(9, 4, |i, j| (i as f64 - 3.5) * 0.25 + j as f64 * 0.125);
+        let b = Matrix::from_fn(4, 4, |i, j| (j as f64 - 2.0) * 0.5 - i as f64 * 0.0625);
+        let mut host = TcuMachine::with_executor(WeakTensorUnit::new(16, 0), HostExecutor::new());
+        let mut sys = TcuMachine::with_executor(WeakTensorUnit::new(16, 0), SystolicExecutor);
+        // IEEE bit equality, not tolerance: both backends fuse the same
+        // multiply-add in the same order.
+        assert_eq!(host.tensor_mul(&a, &b), sys.tensor_mul(&a, &b));
+    }
+
+    #[test]
+    fn executor_reports_counted_cycles() {
+        let mut exec = SystolicExecutor::new();
+        let a = pseudo(8, 4, 8);
+        let b = pseudo(4, 4, 9);
+        let mut out = Matrix::<i64>::zeros(8, 4);
+        let cycles = exec.execute(
+            &tcu_core::TensorOp::mul(8, 4),
+            a.view(),
+            b.view(),
+            &mut out.view_mut(),
+        );
+        assert_eq!(cycles, crate::multiply_cycles(8, 4));
+        assert_eq!(out, matmul_naive(&a, &b));
+    }
+}

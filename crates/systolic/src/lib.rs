@@ -30,9 +30,11 @@
 //! [`percolating_multiply_cycles`] for the counted equivalent.
 
 pub mod array;
+pub mod exec;
 pub mod unit;
 
 pub use array::{ArrayReport, SystolicArray};
+pub use exec::SystolicExecutor;
 pub use unit::SystolicTensorUnit;
 
 /// Cycles to load the stationary weights: one row per step (§2.2: "in the

@@ -32,8 +32,9 @@ pub use tcu_systolic as systolic;
 /// The most commonly used items, for `use tcu::prelude::*`.
 pub mod prelude {
     pub use tcu_core::{
-        ModelMachine, ParallelTcuMachine, Stats, TcuMachine, TensorUnit, WeakMachine,
+        Executor, HostExecutor, ModelMachine, PadPolicy, ParallelTcuMachine, ReplayExecutor, Stats,
+        TcuMachine, TensorOp, TensorUnit, WeakMachine,
     };
     pub use tcu_linalg::{Complex64, Field, Fp61, Half, Matrix, Scalar};
-    pub use tcu_systolic::{SystolicArray, SystolicTensorUnit};
+    pub use tcu_systolic::{SystolicArray, SystolicExecutor, SystolicTensorUnit};
 }

@@ -14,31 +14,16 @@
 //! `TCU_CAPTURE_BASELINE=1 cargo test --test cost_invariance -- --nocapture`
 //! prints the current constants instead of asserting.
 
-use tcu::algos::{dense, fft, strassen};
-use tcu::core::{Stats, TcuMachine, TraceEvent, TraceLog};
-use tcu::linalg::{Complex64, Matrix};
+use tcu::algos::{closure, dense, fft, gauss, strassen};
+use tcu::core::{Stats, TcuMachine, TraceLog};
+use tcu::linalg::{Complex64, Fp61, Matrix};
 
-/// FNV-1a over the exact event stream: event kind tag plus its payload,
-/// little-endian. Two traces digest equal iff they are byte-identical.
+/// `TraceLog::digest` hashes the seed trace schema (event tag + rows /
+/// ops, little-endian FNV-1a), so the pinned values below are the exact
+/// digests the seed `matmul_naive` execution layer produced — the
+/// `TensorOp` upgrade must not move them.
 fn trace_digest(trace: &TraceLog) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |byte: u8| {
-        h ^= u64::from(byte);
-        h = h.wrapping_mul(PRIME);
-    };
-    for ev in trace.events() {
-        let (tag, payload) = match ev {
-            TraceEvent::Tensor { n_rows } => (b'T', *n_rows),
-            TraceEvent::Scalar { ops } => (b'S', *ops),
-        };
-        eat(tag);
-        for b in payload.to_le_bytes() {
-            eat(b);
-        }
-    }
-    h
+    trace.digest()
 }
 
 /// The five `Stats` counters plus trace length and digest — everything
@@ -123,6 +108,56 @@ fn e2_dense_accounting_pinned() {
         trace_digest: 11_155_911_134_592_380_965,
     };
     check("e2_dense", &got, &want);
+}
+
+#[test]
+fn e4_gauss_accounting_pinned() {
+    let mut mach = TcuMachine::model(16, 55);
+    mach.enable_trace();
+    let mut x = Matrix::from_fn(64, 64, |i, j| {
+        // Diagonally dominant over F_p so the no-pivot scheme never hits
+        // a zero pivot.
+        if i == j {
+            Fp61::new(1 + (i as u64 * 131 + j as u64 * 31) % 89)
+        } else {
+            Fp61::new((i as u64 * 131 + j as u64 * 31 + 7) % 89)
+        }
+    });
+    gauss::ge_forward(&mut mach, &mut x);
+    let trace = mach.take_trace();
+    let got = pin_of(mach.stats(), &trace);
+    let want = Pin {
+        tensor_calls: 120,
+        tensor_rows: 4960,
+        tensor_time: 26_440,
+        tensor_latency_time: 6600,
+        scalar_ops: 41_632,
+        trace_events: 241,
+        trace_digest: 7_179_844_610_916_943_285,
+    };
+    check("e4_gauss", &got, &want);
+}
+
+#[test]
+fn e5_closure_accounting_pinned() {
+    let mut mach = TcuMachine::model(16, 21);
+    mach.enable_trace();
+    let mut d = Matrix::from_fn(64, 64, |i, j| {
+        i64::from((i * 67 + j * 29 + (i * j) % 13) % 7 == 0)
+    });
+    closure::transitive_closure(&mut mach, &mut d);
+    let trace = mach.take_trace();
+    let got = pin_of(mach.stats(), &trace);
+    let want = Pin {
+        tensor_calls: 240,
+        tensor_rows: 14_400,
+        tensor_time: 62_640,
+        tensor_latency_time: 5040,
+        scalar_ops: 178_688,
+        trace_events: 481,
+        trace_digest: 13_192_882_950_631_958_147,
+    };
+    check("e5_closure", &got, &want);
 }
 
 #[test]

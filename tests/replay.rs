@@ -1,0 +1,181 @@
+//! Property tests for the `TensorOp` IR seam:
+//!
+//! * **Replay closure** — replaying any recorded trace through the unit
+//!   that recorded it reproduces `Stats`, the digest, and the full
+//!   event stream (descriptors and costs included) exactly, for random
+//!   op programs and for real algorithm workloads, on both the model
+//!   and weak machines.
+//! * **Backend agreement** — `HostExecutor` and `SystolicExecutor`
+//!   produce element-for-element identical products (and identical
+//!   accounting) for random weak-model shapes, over integers and
+//!   floats: both backends fuse the same multiply-add in the same
+//!   ascending-`k` order.
+
+use proptest::prelude::*;
+use tcu::algos::{closure, dense, strassen};
+use tcu::core::{ModelTensorUnit, WeakTensorUnit};
+use tcu::linalg::ops::matmul_naive;
+use tcu::prelude::*;
+
+/// Issue a deterministic pseudo-random op program (strict tall calls,
+/// padded calls, fused accumulations, interleaved scalar work) on `mach`.
+fn run_program<U: TensorUnit, E: Executor>(mach: &mut TcuMachine<U, E>, seed: u64, len: usize) {
+    let s = mach.sqrt_m();
+    let mut state = seed | 1;
+    let mut next = |bound: usize| {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 33) as usize % bound
+    };
+    for _ in 0..len {
+        match next(4) {
+            0 => {
+                let n = s + next(3 * s);
+                let a = Matrix::from_fn(n, s, |i, j| (i + 2 * j) as i64 % 7 - 3);
+                let b = Matrix::from_fn(s, s, |i, j| (2 * i + j) as i64 % 5 - 2);
+                let _ = mach.tensor_mul(&a, &b);
+            }
+            1 => {
+                let r = 1 + next(2 * s);
+                let k = 1 + next(s);
+                let w = 1 + next(s);
+                let a = Matrix::from_fn(r, k, |i, j| (i * 3 + j) as i64 % 9 - 4);
+                let b = Matrix::from_fn(k, w, |i, j| (i + j * 5) as i64 % 9 - 4);
+                let _ = mach.tensor_mul_padded(&a, &b);
+            }
+            2 => {
+                let n = s + next(2 * s);
+                let a = Matrix::from_fn(n, s, |i, j| (i ^ j) as i64 % 6 - 3);
+                let b = Matrix::from_fn(s, s, |i, j| (i * j) as i64 % 6 - 3);
+                let mut out = Matrix::<i64>::zeros(n, s);
+                mach.tensor_mul_acc_view(a.view(), b.view(), &mut out.view_mut());
+            }
+            _ => mach.charge(1 + next(50) as u64),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn replaying_a_random_program_reproduces_accounting(seed in any::<u64>(), len in 1usize..40) {
+        for weak in [false, true] {
+            let (stats, trace, unit_m, lat) = if weak {
+                let mut mach = TcuMachine::weak(16, 33);
+                mach.enable_trace();
+                run_program(&mut mach, seed, len);
+                (mach.stats().clone(), mach.take_trace(), 16, 33)
+            } else {
+                let mut mach = TcuMachine::model(16, 33);
+                mach.enable_trace();
+                run_program(&mut mach, seed, len);
+                (mach.stats().clone(), mach.take_trace(), 16, 33)
+            };
+
+            // Machine-level replay: accounting only, no numerics.
+            if weak {
+                let mut re = TcuMachine::with_executor(
+                    WeakTensorUnit::new(unit_m, lat), ReplayExecutor::default());
+                re.enable_trace();
+                re.replay(&trace);
+                prop_assert_eq!(re.stats(), &stats);
+                let replayed = re.take_trace();
+                prop_assert_eq!(replayed.digest(), trace.digest());
+                prop_assert_eq!(replayed.events(), trace.events());
+            } else {
+                let mut re = TcuMachine::with_executor(
+                    ModelTensorUnit::new(unit_m, lat), ReplayExecutor::default());
+                re.enable_trace();
+                re.replay(&trace);
+                prop_assert_eq!(re.stats(), &stats);
+                let replayed = re.take_trace();
+                prop_assert_eq!(replayed.digest(), trace.digest());
+                prop_assert_eq!(replayed.events(), trace.events());
+            }
+        }
+    }
+
+    #[test]
+    fn replaying_real_workload_traces_reproduces_accounting(seed in any::<u64>()) {
+        let d = 32usize;
+        let a = Matrix::from_fn(d, d, |i, j| ((i * 7 + j * 3) as i64 + seed as i64 % 11) % 13 - 6);
+        let b = Matrix::from_fn(d, d, |i, j| ((i + 5 * j) as i64 + seed as i64 % 7) % 13 - 6);
+
+        // Dense Theorem 2 on the model machine; Strassen exercises the
+        // padded path; closure exercises fused accumulation patterns.
+        let mut mach = TcuMachine::model(16, 21);
+        mach.enable_trace();
+        let _ = dense::multiply(&mut mach, &a, &b);
+        let _ = strassen::multiply_strassen(&mut mach, &a, &b);
+        let mut adj = Matrix::from_fn(d, d, |i, j| {
+            i64::from((i * 5 + j * 11 + seed as usize).is_multiple_of(4))
+        });
+        closure::transitive_closure(&mut mach, &mut adj);
+        let trace = mach.take_trace();
+
+        let exec = ReplayExecutor::new(trace.clone());
+        let (stats, replayed) = exec.run(mach.unit());
+        prop_assert_eq!(&stats, mach.stats());
+        prop_assert_eq!(replayed.digest(), trace.digest());
+        prop_assert_eq!(replayed.events(), trace.events());
+    }
+
+    #[test]
+    fn host_and_systolic_executors_agree_elementwise_i64(
+        seed in any::<u64>(), n_tiles in 1usize..5,
+    ) {
+        let s = 4usize;
+        let n = n_tiles * s;
+        let a = Matrix::from_fn(n, s, |i, j| {
+            ((i as u64 * 31 + j as u64 * 17).wrapping_add(seed) % 41) as i64 - 20
+        });
+        let b = Matrix::from_fn(s, s, |i, j| {
+            ((i as u64 * 13 + j as u64 * 7).wrapping_add(seed >> 8) % 41) as i64 - 20
+        });
+
+        let mut host = TcuMachine::with_executor(WeakTensorUnit::new(16, 5), HostExecutor::new());
+        let mut sys = TcuMachine::with_executor(WeakTensorUnit::new(16, 5), SystolicExecutor::new());
+        host.enable_trace();
+        sys.enable_trace();
+        let ch = host.tensor_mul(&a, &b);
+        let cs = sys.tensor_mul(&a, &b);
+        prop_assert_eq!(&ch, &cs);
+        prop_assert_eq!(ch, matmul_naive(&a, &b));
+        prop_assert_eq!(host.stats(), sys.stats());
+        prop_assert_eq!(host.take_trace(), sys.take_trace());
+    }
+
+    #[test]
+    fn host_and_systolic_executors_agree_elementwise_f64(seed in any::<u64>()) {
+        let s = 4usize;
+        let a = Matrix::from_fn(3 * s, s, |i, j| {
+            ((i as u64 * 29 + j as u64 * 23).wrapping_add(seed) % 97) as f64 / 16.0 - 3.0
+        });
+        let b = Matrix::from_fn(s, s, |i, j| {
+            ((i as u64 * 19 + j as u64 * 11).wrapping_add(seed >> 5) % 97) as f64 / 32.0 - 1.5
+        });
+        let mut host = TcuMachine::with_executor(WeakTensorUnit::new(16, 0), HostExecutor::new());
+        let mut sys = TcuMachine::with_executor(WeakTensorUnit::new(16, 0), SystolicExecutor::new());
+        // IEEE `==`, not tolerance: both backends fuse identically.
+        prop_assert_eq!(host.tensor_mul(&a, &b), sys.tensor_mul(&a, &b));
+    }
+
+    #[test]
+    fn padded_ops_agree_across_executors(seed in any::<u64>()) {
+        let s = 4usize;
+        let rows = 1 + (seed % 7) as usize;
+        let k = 1 + (seed >> 3) as usize % s;
+        let w = 1 + (seed >> 6) as usize % s;
+        let a = Matrix::from_fn(rows, k, |i, j| ((i * 3 + j * 5) as i64 + (seed % 9) as i64) % 11 - 5);
+        let b = Matrix::from_fn(k, w, |i, j| ((i * 7 + j) as i64 + (seed % 5) as i64) % 11 - 5);
+        let mut host = TcuMachine::with_executor(WeakTensorUnit::new(16, 3), HostExecutor::new());
+        let mut sys = TcuMachine::with_executor(WeakTensorUnit::new(16, 3), SystolicExecutor::new());
+        let ch = host.tensor_mul_padded(&a, &b);
+        let cs = sys.tensor_mul_padded(&a, &b);
+        prop_assert_eq!(&ch, &cs);
+        prop_assert_eq!(ch, matmul_naive(&a, &b));
+        prop_assert_eq!(host.stats(), sys.stats());
+    }
+}
