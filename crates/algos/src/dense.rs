@@ -130,6 +130,114 @@ pub fn multiply_rect_view<T: Scalar, U: TensorUnit, E: Executor>(
     c
 }
 
+/// Deferred fast path (feature `sched`): record the Theorem 2 blocked
+/// flow into a `tcu-sched` op graph and run the coalesced schedule.
+///
+/// With the natural block size `√m` the recorded stream is identical to
+/// [`multiply`]'s op-for-op (nothing can merge) and the simulated
+/// `Stats` totals match the eager path exactly — what the pack cache
+/// then removes is host-side strip re-packing, not model charges. With
+/// a *smaller* block size (see [`multiply_scheduled_blocked`]) the
+/// scheduler's width/inner merging rebuilds full-footprint invocations
+/// out of the narrow recording, recovering the model-optimal charge
+/// from suboptimally-blocked code.
+///
+/// # Panics
+/// Panics unless operands are square of equal dimension `d` with `√m | d`.
+#[cfg(feature = "sched")]
+#[must_use]
+pub fn multiply_scheduled<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
+    let s = mach.sqrt_m();
+    multiply_scheduled_blocked(mach, a, b, s)
+}
+
+/// [`multiply_scheduled`] with an explicit recording block size
+/// `blk ≤ √m` (the coalescing ablation: a block-`blk` recording on a
+/// `√m`-unit machine merges `(√m/blk)²` narrow ops into each emitted
+/// invocation). For non-`√m` blocks the merged inner chains reassociate
+/// per-element sums, so use ring scalars (integers, `F_p`) when exact
+/// equality with the eager path matters; at `blk = √m` results are
+/// bit-identical for every scalar type.
+///
+/// # Panics
+/// Panics unless operands are square of equal dimension `d`, with
+/// `blk | d`, `blk | √m`, and `d ≥ √m`.
+#[cfg(feature = "sched")]
+#[must_use]
+pub fn multiply_scheduled_blocked<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    blk: usize,
+) -> Matrix<T> {
+    use tcu_core::{PadPolicy, TensorOp};
+    use tcu_sched::{ExecEnv, OpGraph, OperandRef, Scheduler};
+
+    let d = a.rows();
+    assert!(
+        a.cols() == d && b.rows() == d && b.cols() == d,
+        "operands must be d×d"
+    );
+    let s = mach.sqrt_m();
+    assert!(
+        blk >= 1 && d.is_multiple_of(blk) && s.is_multiple_of(blk) && d >= s,
+        "need blk | d, blk | √m = {s}, d ≥ √m (got blk = {blk}, d = {d})"
+    );
+
+    let mut g = OpGraph::new();
+    let ab = g.buffer("A", d, d);
+    let bb = g.buffer("B", d, d);
+    let cb = g.buffer("C", d, d);
+    let q = d / blk;
+    let pad = if blk == s {
+        PadPolicy::Strict
+    } else {
+        PadPolicy::ZeroPad
+    };
+    for j in 0..q {
+        for k in 0..q {
+            g.record(
+                TensorOp {
+                    rows: d,
+                    inner: blk,
+                    width: blk,
+                    accumulate: true,
+                    pad,
+                },
+                OperandRef::new(ab, 0, k * blk, d, blk),
+                OperandRef::new(bb, k * blk, j * blk, blk, blk),
+                OperandRef::new(cb, 0, j * blk, d, blk),
+            );
+        }
+    }
+
+    let plan = Scheduler::new().plan(&g, mach.unit());
+    let mut c = Matrix::<T>::zeros(d, d);
+    let mut env = ExecEnv::new(&g);
+    env.bind_input(ab, a.view());
+    env.bind_input(bb, b.view());
+    env.bind_output(cb, c.view_mut());
+    plan.run(mach, &mut env);
+
+    // Theorem 2's final summation, billed per *emitted* op: every
+    // column of C pays one add per accumulate pass beyond the first.
+    // Coalescing reduces this too — a merged k-chain sums inside the
+    // invocation instead of on the CPU.
+    let mut passes = vec![0u64; d];
+    for sn in plan.nodes() {
+        for p in &mut passes[sn.node.out.c0..sn.node.out.c0 + sn.node.out.cols] {
+            *p += 1;
+        }
+    }
+    let adds: u64 = passes.iter().map(|&p| (p - 1) * d as u64).sum();
+    mach.charge(adds);
+    c
+}
+
 /// Ablation: the classic three-loop blocked order, issuing one *square*
 /// tensor invocation per `(i, k, j)` block triple. Correct, but reloads
 /// the weights constantly: `(d/√m)³` invocations instead of `(d/√m)²`,
@@ -330,5 +438,53 @@ mod tests {
         let a = pseudo(6, 6, 17);
         let id = Matrix::<i64>::identity(6);
         assert_eq!(multiply(&mut mach, &a, &id), a);
+    }
+
+    #[cfg(feature = "sched")]
+    #[test]
+    fn scheduled_at_native_block_matches_eager_stats_exactly() {
+        let (m, l) = (16usize, 1000u64);
+        for d in [16usize, 32, 64] {
+            let a = pseudo(d, d, 21);
+            let b = pseudo(d, d, 22);
+            let mut eager = TcuMachine::model(m, l);
+            let want = multiply(&mut eager, &a, &b);
+            let mut sched = TcuMachine::model(m, l);
+            sched.executor_mut().enable_pack_cache(d / 4);
+            let got = multiply_scheduled(&mut sched, &a, &b);
+            assert_eq!(got, want, "d = {d}");
+            assert_eq!(got, matmul_naive(&a, &b), "d = {d}");
+            // Same op multiset, same CPU summation bill: full parity.
+            assert_eq!(sched.stats(), eager.stats(), "d = {d}");
+            // Every strip packed once, reused across the block columns.
+            let cache = sched.executor().pack_cache_stats().expect("cache on");
+            assert_eq!(cache.misses, (d / 4) as u64, "d = {d}");
+        }
+    }
+
+    #[cfg(feature = "sched")]
+    #[test]
+    fn narrow_recording_coalesces_back_to_native_charges() {
+        // Block-2 recording on a √m = 4 machine: the scheduler merges
+        // each 2×2-of-narrow-ops group into one full-footprint op, so
+        // the charge matches the natively-blocked flow (modulo the CPU
+        // adds the merged k-chains absorb), and results stay exact.
+        let (m, l) = (16usize, 500u64);
+        let d = 32usize;
+        let a = pseudo(d, d, 23);
+        let b = pseudo(d, d, 24);
+        let mut native = TcuMachine::model(m, l);
+        let want = multiply(&mut native, &a, &b);
+        let mut narrow = TcuMachine::model(m, l);
+        let got = multiply_scheduled_blocked(&mut narrow, &a, &b, 2);
+        assert_eq!(got, want);
+        // Full parity with the natively-blocked flow: merging rebuilds
+        // the same invocation grid (charge rows pad to the footprint
+        // either way) and the same per-column add chains.
+        assert_eq!(narrow.stats(), native.stats());
+        // The un-coalesced narrow recording would have paid 4× the
+        // calls — (d/2)² instead of (d/4)².
+        let q = (d / 2) as u64;
+        assert_eq!(native.stats().tensor_calls * 4, q * q);
     }
 }

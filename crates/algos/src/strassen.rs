@@ -84,6 +84,182 @@ pub fn multiply_strassen_with_base<T: Scalar, U: TensorUnit, E: Executor>(
     rec_strassen(mach, a.view(), b.view(), base_dim.max(1))
 }
 
+/// Deferred fast path (feature `sched`): the standard eight-product
+/// recursion with every base product recorded into one `tcu-sched` op
+/// graph before anything executes. The recursion only ever multiplies
+/// sub-blocks of the *original* operands (all combining additions come
+/// after the products), so the whole product tree is a single batch of
+/// independent ops over regions of `A` and `B` — one wave the scheduler
+/// may reorder, coalesce, and strip-cache at will. Base products are
+/// emitted grouped by left-operand block with column-adjacent weight
+/// blocks consecutive, which is exactly the shape width-merging fuses:
+/// with a base dimension below `√m` (see
+/// [`multiply_recursive_scheduled_with_base`]) pairs of products
+/// collapse into one invocation. Results are bit-identical to
+/// [`multiply_recursive`] for every scalar type (the leaf products
+/// write disjoint slots, so merging fuses truly independent ops and no
+/// sum is reassociated), and at base `√m` the simulated `Stats` totals
+/// match the eager recursion exactly.
+///
+/// # Panics
+/// Panics unless operands are square, of equal power-of-two dimension.
+#[cfg(feature = "sched")]
+#[must_use]
+pub fn multiply_recursive_scheduled<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
+    let base = mach.sqrt_m();
+    multiply_recursive_scheduled_with_base(mach, a, b, base)
+}
+
+/// [`multiply_recursive_scheduled`] with an explicit base-case
+/// dimension `≤ √m` (the coalescing ablation hook).
+///
+/// # Panics
+/// Panics unless operands are square of equal power-of-two dimension
+/// and `1 ≤ base_dim ≤ √m`.
+#[cfg(feature = "sched")]
+#[must_use]
+pub fn multiply_recursive_scheduled_with_base<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    base_dim: usize,
+) -> Matrix<T> {
+    use tcu_sched::{ExecEnv, OpGraph, Scheduler};
+
+    check_square_pow2(a.view(), b.view());
+    let d = a.rows();
+    let s = mach.sqrt_m();
+    assert!(
+        (1..=s).contains(&base_dim),
+        "scheduled base dimension must satisfy 1 ≤ base ≤ √m = {s}"
+    );
+    // Leaf tile side: halve until the tile fits the base case.
+    let mut tile = d;
+    while tile > base_dim {
+        tile /= 2;
+    }
+    let leaves = {
+        let mut n = 1usize;
+        let mut t = d;
+        while t > tile {
+            n *= 8;
+            t /= 2;
+        }
+        n
+    };
+
+    let mut g = OpGraph::new();
+    let ab = g.buffer("A", d, d);
+    let bb = g.buffer("B", d, d);
+    let pb = g.buffer("P", tile, leaves * tile);
+    let mut next = 0usize;
+    record_products(&mut g, ab, bb, pb, 0, 0, 0, 0, d, tile, &mut next);
+    debug_assert_eq!(next, leaves);
+
+    let plan = Scheduler::new().plan(&g, mach.unit());
+    let mut products = Matrix::<T>::zeros(tile, leaves * tile);
+    let mut env = ExecEnv::new(&g);
+    env.bind_input(ab, a.view());
+    env.bind_input(bb, b.view());
+    env.bind_output(pb, products.view_mut());
+    plan.run(mach, &mut env);
+
+    let mut next = 0usize;
+    combine_products(mach, &products, d, tile, &mut next)
+}
+
+/// Emit the recursion's base products in left-operand-major order:
+/// for each `A` quadrant, its two weight quadrants are column- (or
+/// row-) adjacent regions of the original `B`, so consecutive leaf
+/// pairs share the left strip against adjacent weights — the width-
+/// merge shape. `(ar, ac)` / `(br, bc)` anchor the current sub-blocks.
+#[cfg(feature = "sched")]
+#[allow(clippy::too_many_arguments)]
+fn record_products(
+    g: &mut tcu_sched::OpGraph,
+    ab: tcu_sched::BufferId,
+    bb: tcu_sched::BufferId,
+    pb: tcu_sched::BufferId,
+    ar: usize,
+    ac: usize,
+    br: usize,
+    bc: usize,
+    d: usize,
+    tile: usize,
+    next: &mut usize,
+) {
+    use tcu_sched::OperandRef;
+    if d <= tile {
+        let idx = *next;
+        *next += 1;
+        g.record(
+            tcu_core::TensorOp::padded(tile, tile, tile),
+            OperandRef::new(ab, ar, ac, tile, tile),
+            OperandRef::new(bb, br, bc, tile, tile),
+            OperandRef::new(pb, 0, idx * tile, tile, tile),
+        );
+        return;
+    }
+    let h = d / 2;
+    // (a11, b11), (a11, b12): same left block, adjacent weight columns.
+    let mut rec = |dar, dac, dbr, dbc| {
+        record_products(
+            g,
+            ab,
+            bb,
+            pb,
+            ar + dar * h,
+            ac + dac * h,
+            br + dbr * h,
+            bc + dbc * h,
+            h,
+            tile,
+            next,
+        );
+    };
+    rec(0, 0, 0, 0); // a11·b11
+    rec(0, 0, 0, 1); // a11·b12
+    rec(0, 1, 1, 0); // a12·b21
+    rec(0, 1, 1, 1); // a12·b22
+    rec(1, 0, 0, 0); // a21·b11
+    rec(1, 0, 0, 1); // a21·b12
+    rec(1, 1, 1, 0); // a22·b21
+    rec(1, 1, 1, 1); // a22·b22
+}
+
+/// Reassemble the product batch bottom-up, consuming leaves in the
+/// emission order of [`record_products`] and billing the combining
+/// additions exactly as the eager recursion does.
+#[cfg(feature = "sched")]
+fn combine_products<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    products: &Matrix<T>,
+    d: usize,
+    tile: usize,
+    next: &mut usize,
+) -> Matrix<T> {
+    if d <= tile {
+        let idx = *next;
+        *next += 1;
+        return products.block(0, idx * tile, tile, tile);
+    }
+    let h = d / 2;
+    let m1 = combine_products(mach, products, h, tile, next); // a11·b11
+    let m2 = combine_products(mach, products, h, tile, next); // a11·b12
+    let m3 = combine_products(mach, products, h, tile, next); // a12·b21
+    let m4 = combine_products(mach, products, h, tile, next); // a12·b22
+    let m5 = combine_products(mach, products, h, tile, next); // a21·b11
+    let m6 = combine_products(mach, products, h, tile, next); // a21·b12
+    let m7 = combine_products(mach, products, h, tile, next); // a22·b21
+    let m8 = combine_products(mach, products, h, tile, next); // a22·b22
+    mach.charge(4 * (h * h) as u64);
+    assemble(&m1.add(&m3), &m2.add(&m4), &m5.add(&m7), &m6.add(&m8))
+}
+
 fn check_square_pow2<T: Scalar>(a: MatrixView<'_, T>, b: MatrixView<'_, T>) {
     let d = a.rows();
     assert!(
@@ -377,5 +553,64 @@ mod tests {
         let mut mach = TcuMachine::model(16, 0);
         let a = pseudo(12, 12, 11);
         let _ = multiply_strassen(&mut mach, &a, &a.clone());
+    }
+
+    #[cfg(feature = "sched")]
+    #[test]
+    fn scheduled_recursion_matches_eager_results_and_stats() {
+        let (m, l) = (16usize, 777u64);
+        for d in [4usize, 8, 16, 32] {
+            let a = pseudo(d, d, 31);
+            let b = pseudo(d, d, 32);
+            let mut eager = TcuMachine::model(m, l);
+            let want = multiply_recursive(&mut eager, &a, &b);
+            let mut sched = TcuMachine::model(m, l);
+            let got = multiply_recursive_scheduled(&mut sched, &a, &b);
+            assert_eq!(got, want, "d = {d}");
+            assert_eq!(sched.stats(), eager.stats(), "d = {d}");
+        }
+    }
+
+    #[cfg(feature = "sched")]
+    #[test]
+    fn sub_footprint_base_coalesces_product_pairs() {
+        // Base 2 on a √m = 4 machine: leaf products come in (same left
+        // block, adjacent weight columns) pairs, which width-merging
+        // fuses — half the invocations of the eager base-2 ablation,
+        // same full-footprint charge per invocation, same result.
+        let (m, l) = (16usize, 1000u64);
+        let d = 16usize;
+        let a = pseudo(d, d, 33);
+        let b = pseudo(d, d, 34);
+        let mut eager = TcuMachine::model(m, l);
+        let want = multiply_recursive_with_base(&mut eager, &a, &b, 2);
+        let mut sched = TcuMachine::model(m, l);
+        let got = multiply_recursive_scheduled_with_base(&mut sched, &a, &b, 2);
+        assert_eq!(got, want);
+        assert_eq!(got, matmul_naive(&a, &b));
+        assert_eq!(
+            sched.stats().tensor_calls * 2,
+            eager.stats().tensor_calls,
+            "width merging must halve the base-product invocations"
+        );
+        assert!(sched.time() < eager.time());
+    }
+
+    #[cfg(feature = "sched")]
+    #[test]
+    fn scheduled_recursion_is_float_exact() {
+        // Width merges never reassociate a sum, so even f64 results are
+        // bit-identical to the eager recursion — including with a
+        // sub-footprint base where merging actually happens.
+        let d = 16usize;
+        let a = Matrix::from_fn(d, d, |i, j| (i as f64 - 3.5) * 0.25 + j as f64 * 0.125);
+        let b = Matrix::from_fn(d, d, |i, j| (j as f64 - 8.0) * 0.5 - i as f64 * 0.0625);
+        for base in [4usize, 2] {
+            let mut eager = TcuMachine::model(16, 5);
+            let want = multiply_recursive_with_base(&mut eager, &a, &b, base);
+            let mut sched = TcuMachine::model(16, 5);
+            let got = multiply_recursive_scheduled_with_base(&mut sched, &a, &b, base);
+            assert_eq!(got, want, "base = {base}");
+        }
     }
 }

@@ -7,10 +7,15 @@
 //! Comparison is on `speedup_tiled` per case (matched by name): the
 //! seed-kernel-vs-tiled-kernel ratio measured on the *same* machine in
 //! the same run, so the check is meaningful across hosts of different
-//! absolute speed. Cases present in only one file (the CI smoke run
-//! sweeps fewer sizes than the committed full run) are reported and
-//! skipped. A case regresses when its fresh speedup falls more than
-//! `threshold` percent (default 20) below the baseline's.
+//! absolute speed. `speedup_parallel` is compared too, but **only when
+//! both files were measured with the same `available_parallelism`** —
+//! a parallel-path ratio from a 1-core runner says nothing about a
+//! multi-core baseline, so mismatched core counts skip the parallel
+//! comparison entirely rather than annotating noise. Cases present in
+//! only one file (the CI smoke run sweeps fewer sizes than the
+//! committed full run) are reported and skipped. A case regresses when
+//! its fresh speedup falls more than `threshold` percent (default 20)
+//! below the baseline's.
 //!
 //! Exit status is non-zero when any case regresses, unless
 //! `--informational` is passed — the mode CI uses on small shared
@@ -22,27 +27,42 @@ use std::process::ExitCode;
 struct CaseSpeedup {
     name: String,
     speedup_tiled: f64,
+    speedup_parallel: Option<f64>,
+}
+
+/// One parsed bench file: its cases plus the core count it ran with
+/// (`available_parallelism`, falling back to the pre-PR-4 field
+/// `host_threads` for older baselines).
+struct BenchFile {
+    cases: Vec<CaseSpeedup>,
+    cores: Option<f64>,
 }
 
 /// Extract `(name, speedup_tiled)` pairs from the bench JSON. The file
 /// is machine-written by `bench_matmul` with one case object per line,
 /// so a line-oriented field scan is exact for it (no general JSON
 /// parser needed — the workspace is dependency-free by design).
-fn parse_cases(text: &str) -> Vec<CaseSpeedup> {
-    let mut out = Vec::new();
+fn parse_file(text: &str) -> BenchFile {
+    let mut cases = Vec::new();
+    let mut cores = None;
     for line in text.lines() {
+        if cores.is_none() {
+            cores = field_num(line, "available_parallelism")
+                .or_else(|| field_num(line, "host_threads"));
+        }
         let Some(name) = field_str(line, "name") else {
             continue;
         };
         let Some(speedup_tiled) = field_num(line, "speedup_tiled") else {
             continue;
         };
-        out.push(CaseSpeedup {
+        cases.push(CaseSpeedup {
             name,
             speedup_tiled,
+            speedup_parallel: field_num(line, "speedup_parallel"),
         });
     }
-    out
+    BenchFile { cases, cores }
 }
 
 fn field_str(line: &str, key: &str) -> Option<String> {
@@ -88,8 +108,9 @@ fn main() -> ExitCode {
             std::process::exit(2);
         })
     };
-    let fresh = parse_cases(&read(fresh_path));
-    let base = parse_cases(&read(base_path));
+    let fresh_file = parse_file(&read(fresh_path));
+    let base_file = parse_file(&read(base_path));
+    let (fresh, base) = (&fresh_file.cases, &base_file.cases);
     if fresh.is_empty() || base.is_empty() {
         eprintln!(
             "bench_diff: no cases parsed (fresh: {}, baseline: {})",
@@ -98,35 +119,59 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    let same_cores = match (fresh_file.cores, base_file.cores) {
+        (Some(f), Some(b)) => f == b,
+        _ => false,
+    };
+    if !same_cores {
+        println!(
+            "bench_diff: core counts differ (fresh {:?}, baseline {:?}); \
+             parallel-path comparisons skipped",
+            fresh_file.cores, base_file.cores
+        );
+    }
 
     let mut regressions = 0u32;
     let mut compared = 0u32;
-    for f in &fresh {
+    for f in fresh {
         let Some(b) = base.iter().find(|b| b.name == f.name) else {
             println!("{:<20}  fresh-only case, skipped", f.name);
             continue;
         };
         compared += 1;
-        let delta_pct = (f.speedup_tiled / b.speedup_tiled - 1.0) * 100.0;
-        let regressed = delta_pct < -threshold;
-        let verdict = if regressed { "REGRESSED" } else { "ok" };
-        println!(
-            "{:<20}  speedup {:.2}x vs baseline {:.2}x  ({:+.1}%)  {verdict}",
-            f.name, f.speedup_tiled, b.speedup_tiled, delta_pct
-        );
-        if regressed {
-            regressions += 1;
-            // GitHub annotation: warning in informational mode, error
-            // when the gate is hard.
-            let level = if informational { "warning" } else { "error" };
+        let mut checks: Vec<(&str, f64, f64)> = vec![("tiled", f.speedup_tiled, b.speedup_tiled)];
+        match (f.speedup_parallel, b.speedup_parallel) {
+            (Some(fp), Some(bp)) if same_cores => checks.push(("parallel", fp, bp)),
+            (Some(_), Some(_)) => {
+                println!(
+                    "{:<20}  parallel comparison skipped (core-count mismatch)",
+                    f.name
+                );
+            }
+            _ => {}
+        }
+        for (kind, fs, bs) in checks {
+            let delta_pct = (fs / bs - 1.0) * 100.0;
+            let regressed = delta_pct < -threshold;
+            let verdict = if regressed { "REGRESSED" } else { "ok" };
             println!(
-                "::{level}::bench {}: tiled speedup {:.2}x fell {:.1}% below the committed \
-                 baseline {:.2}x (threshold {threshold}%)",
-                f.name, f.speedup_tiled, -delta_pct, b.speedup_tiled
+                "{:<20}  {kind} speedup {fs:.2}x vs baseline {bs:.2}x  ({delta_pct:+.1}%)  {verdict}",
+                f.name
             );
+            if regressed {
+                regressions += 1;
+                // GitHub annotation: warning in informational mode, error
+                // when the gate is hard.
+                let level = if informational { "warning" } else { "error" };
+                println!(
+                    "::{level}::bench {}: {kind} speedup {fs:.2}x fell {:.1}% below the committed \
+                     baseline {bs:.2}x (threshold {threshold}%)",
+                    f.name, -delta_pct
+                );
+            }
         }
     }
-    for b in &base {
+    for b in base {
         if !fresh.iter().any(|f| f.name == b.name) {
             println!("{:<20}  baseline-only case, skipped", b.name);
         }

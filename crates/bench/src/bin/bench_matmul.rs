@@ -19,7 +19,6 @@
 //! All variants are checked element-equal against `matmul_naive` before
 //! timing, so the numbers can never come from a wrong kernel.
 
-use std::time::Instant;
 use tcu_linalg::kernels;
 use tcu_linalg::ops::matmul_naive;
 use tcu_linalg::{Matrix, Scalar};
@@ -113,23 +112,6 @@ fn main() {
     println!("wrote {out_path}");
 }
 
-/// Best-of-3-runs wall-clock of `f` in ns/op, after one warmup run
-/// (minimum filters scheduler noise on shared machines).
-fn time_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
-    let mut best = f64::INFINITY;
-    std::hint::black_box(f());
-    let runs = 3;
-    for _ in 0..runs {
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            std::hint::black_box(f());
-        }
-        let dt = t0.elapsed().as_nanos() as f64 / f64::from(reps);
-        best = best.min(dt);
-    }
-    best
-}
-
 fn workload(r: usize, c: usize, seed: u64) -> Matrix<f64> {
     Matrix::from_fn(r, c, |i, j| {
         let x = (i as u64)
@@ -160,12 +142,12 @@ fn bench_tensor_mul(n: usize, quick: bool, threads: usize) -> Case {
     assert!(tcu_linalg::ops::max_abs_diff(&matmul_seed(&wide.block(0, s, n, s), &b), &want) < 1e-9);
 
     let reps: u32 = if quick { 20 } else { 200 };
-    let seed_ns = time_ns(reps, || {
+    let seed_ns = tcu_bench::time_ns(reps, || {
         let strip = wide.block(0, s, n, s);
         matmul_seed(&strip, &b)
     });
-    let tiled_ns = time_ns(reps, || kernels::matmul(wide.subview(0, s, n, s), b.view()));
-    let par_ns = time_ns(reps, || {
+    let tiled_ns = tcu_bench::time_ns(reps, || kernels::matmul(wide.subview(0, s, n, s), b.view()));
+    let par_ns = tcu_bench::time_ns(reps, || {
         kernels::matmul_threads(wide.subview(0, s, n, s), b.view(), threads)
     });
     Case {
@@ -247,9 +229,9 @@ fn bench_blocked(d: usize, quick: bool, threads: usize) -> Case {
     assert!(tcu_linalg::ops::max_abs_diff(&seed_flow(), &packed_flow()) < 1e-6 * d as f64);
 
     let reps: u32 = if quick { 3 } else { 10 };
-    let seed_ns = time_ns(reps, seed_flow);
-    let tiled_ns = time_ns(reps, packed_flow);
-    let par_ns = time_ns(reps, || view_flow(threads));
+    let seed_ns = tcu_bench::time_ns(reps, seed_flow);
+    let tiled_ns = tcu_bench::time_ns(reps, packed_flow);
+    let par_ns = tcu_bench::time_ns(reps, || view_flow(threads));
     Case {
         name: format!("blocked d={d}"),
         n: d,
@@ -266,6 +248,9 @@ fn render_json(cases: &[Case], quick: bool, threads: usize) -> String {
     out.push_str("  \"bench\": \"matmul\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"host_threads\": {threads},\n"));
+    // Core count of the measuring box: bench_diff refuses to compare
+    // parallel-path speedups across runs with different counts.
+    out.push_str(&format!("  \"available_parallelism\": {threads},\n"));
     out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         out.push_str("    {");

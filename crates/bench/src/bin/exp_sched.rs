@@ -1,0 +1,400 @@
+//! Scheduling-runtime benchmark: the PR-3 eager issue path versus the
+//! `tcu-sched` deferred path on the blocked Theorem 2 flow. Emits
+//! machine-readable `BENCH_sched.json` (override with `--out <path>`);
+//! `--quick` shrinks sizes/reps for the CI smoke run.
+//!
+//! Scheduling is a plan-once / run-many runtime (the graph and its
+//! schedule are reusable across data bindings), so the timed scheduled
+//! flow is the *run*: recording + planning cost is measured once and
+//! reported separately as `plan_ns`.
+//!
+//! Three cases:
+//!
+//! * `packcache d=<d>` — the E2 hot path (`√m = 16`, strict full-width
+//!   blocks, `f64`): eager `dense::multiply` re-reads each `A` strip
+//!   through page-strided views once per block column, while the
+//!   scheduled run tags operands so `HostExecutor`'s pack cache packs
+//!   each strip once per run and re-uses it `d/√m` times. Model charges
+//!   are identical (nothing can coalesce at full width); the win is
+//!   host wall-clock and packed-strip traffic.
+//! * `coalesce d=<d>` — the same flow recorded in 16-wide blocks but
+//!   planned for a `√m = 32` unit: width+inner merging fuses each 2×2
+//!   group of narrow ops into one full-footprint invocation — 4× fewer
+//!   invocations and streamed rows *in simulated time*, the model's own
+//!   cost terms.
+//! * `strassen d=<d> base=8` — the recursive flow with a sub-footprint
+//!   base: the scheduler width-merges leaf-product pairs, halving base
+//!   invocations versus the eager recursion at the same base. This case
+//!   times the whole scheduled call (record + plan + run): with 8³ tiny
+//!   leaf products the planning overhead is the dominant wall cost, and
+//!   the win is purely in simulated time — which is the honest story
+//!   for latency-bound recursion.
+//!
+//! Every variant is checked element-equal against its eager counterpart
+//! before timing, so the numbers can never come from a wrong schedule.
+
+use tcu_algos::{dense, strassen};
+use tcu_core::{Stats, TcuMachine};
+use tcu_linalg::Matrix;
+
+const SQRT_M: usize = 16;
+
+fn workload(r: usize, c: usize, seed: u64) -> Matrix<f64> {
+    Matrix::from_fn(r, c, |i, j| {
+        let x = (i as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((j as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(seed);
+        (x % 4096) as f64 / 2048.0 - 1.0
+    })
+}
+
+struct Case {
+    name: String,
+    d: usize,
+    sqrt_m: usize,
+    reps: u32,
+    eager_ns: f64,
+    sched_ns: f64,
+    plan_ns: f64,
+    eager_invocations: u64,
+    sched_invocations: u64,
+    eager_sim_time: u64,
+    sched_sim_time: u64,
+    pack_lookups: u64,
+    pack_misses: u64,
+    packed_bytes: u64,
+}
+
+impl Case {
+    /// Packed-strip traffic ratio: what a pack-per-invocation policy
+    /// moves divided by what the cache moved (1.0 when caching is not
+    /// part of the case).
+    fn pack_ratio(&self) -> f64 {
+        if self.pack_misses == 0 {
+            1.0
+        } else {
+            self.pack_lookups as f64 / self.pack_misses as f64
+        }
+    }
+}
+
+/// Eager vs scheduled+pack-cache on the strict `√m = 16` blocked flow.
+fn bench_packcache(d: usize, quick: bool) -> Case {
+    use tcu_core::TensorOp;
+    use tcu_sched::{ExecEnv, OpGraph, OperandRef, Scheduler};
+
+    let a = workload(d, d, 1);
+    let b = workload(d, d, 2);
+    let s = SQRT_M;
+    let q = d / s;
+
+    let eager_run = || {
+        let mut mach = TcuMachine::model(s * s, 0);
+        let c = dense::multiply(&mut mach, &a, &b);
+        (c, mach.stats().clone())
+    };
+    // Correctness + accounting parity through the algos-level entry
+    // point (which also bills the CPU final summation).
+    let (c_eager, eager_stats) = eager_run();
+    let (c_sched, sched_stats, cache) = {
+        let mut mach = TcuMachine::model(s * s, 0);
+        mach.executor_mut().enable_pack_cache(q);
+        let c = dense::multiply_scheduled(&mut mach, &a, &b);
+        let cache = mach.executor().pack_cache_stats().expect("cache enabled");
+        (c, mach.stats().clone(), cache)
+    };
+    assert_eq!(c_eager, c_sched, "scheduled result must equal eager");
+    assert_eq!(
+        eager_stats, sched_stats,
+        "full-width blocks must charge identically"
+    );
+
+    // Timed flow: record + plan once, then run per rep (the runtime's
+    // plan-once / run-many contract).
+    let mut g = OpGraph::new();
+    let ab = g.buffer("A", d, d);
+    let bb = g.buffer("B", d, d);
+    let cb = g.buffer("C", d, d);
+    let record = |g: &mut OpGraph| {
+        for j in 0..q {
+            for k in 0..q {
+                g.record(
+                    TensorOp::mul_acc(d, s),
+                    OperandRef::new(ab, 0, k * s, d, s),
+                    OperandRef::new(bb, k * s, j * s, s, s),
+                    OperandRef::new(cb, 0, j * s, d, s),
+                );
+            }
+        }
+    };
+    record(&mut g);
+    let unit = *TcuMachine::model(s * s, 0).unit();
+    let plan = Scheduler::new().plan(&g, &unit);
+    let plan_ns = tcu_bench::time_ns(if quick { 2 } else { 5 }, || {
+        // Ids are registration indices, so the handles `record` closes
+        // over transfer to a fresh graph with the same buffer layout.
+        let mut g2 = OpGraph::new();
+        let _ = (
+            g2.buffer("A", d, d),
+            g2.buffer("B", d, d),
+            g2.buffer("C", d, d),
+        );
+        record(&mut g2);
+        Scheduler::new().plan(&g2, &unit)
+    });
+
+    let sched_once = || {
+        let mut mach = TcuMachine::model(s * s, 0);
+        mach.executor_mut().enable_pack_cache(q);
+        let mut c = Matrix::<f64>::zeros(d, d);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(cb, c.view_mut());
+        plan.run(&mut mach, &mut env);
+        c
+    };
+    assert_eq!(sched_once(), c_eager, "planned run must equal eager");
+
+    let reps: u32 = if quick { 3 } else { 10 };
+    let eager_ns = tcu_bench::time_ns(reps, || eager_run().0);
+    let sched_ns = tcu_bench::time_ns(reps, sched_once);
+    Case {
+        name: format!("packcache d={d}"),
+        d,
+        sqrt_m: s,
+        reps,
+        eager_ns,
+        sched_ns,
+        plan_ns,
+        eager_invocations: eager_stats.tensor_calls,
+        sched_invocations: sched_stats.tensor_calls,
+        eager_sim_time: eager_stats.time(),
+        sched_sim_time: sched_stats.time(),
+        pack_lookups: cache.lookups,
+        pack_misses: cache.misses,
+        packed_bytes: cache.packed_bytes,
+    }
+}
+
+/// Narrow (block-16) recording planned for a `√m = 32` unit: the
+/// coalescing win in the model's own cost terms. The eager reference is
+/// the same narrow stream charged without coalescing.
+fn bench_coalesce(d: usize, quick: bool) -> Case {
+    use tcu_core::TensorOp;
+    use tcu_sched::{ExecEnv, OpGraph, OperandRef, Scheduler};
+
+    let blk = 16usize;
+    let s = 32usize;
+    let l = 10_000u64;
+    let a = workload(d, d, 3);
+    let b = workload(d, d, 4);
+
+    let mut g = OpGraph::new();
+    let ab = g.buffer("A", d, d);
+    let bb = g.buffer("B", d, d);
+    let cb = g.buffer("C", d, d);
+    let q = d / blk;
+    for j in 0..q {
+        for k in 0..q {
+            g.record(
+                TensorOp {
+                    accumulate: true,
+                    ..TensorOp::padded(d, blk, blk)
+                },
+                OperandRef::new(ab, 0, k * blk, d, blk),
+                OperandRef::new(bb, k * blk, j * blk, blk, blk),
+                OperandRef::new(cb, 0, j * blk, d, blk),
+            );
+        }
+    }
+
+    let unit = tcu_core::ModelTensorUnit::new(s * s, l);
+    let plan_eager = Scheduler::new().without_coalescing().plan(&g, &unit);
+    let plan_coal = Scheduler::new().plan(&g, &unit);
+    let plan_ns = tcu_bench::time_ns(if quick { 2 } else { 5 }, || {
+        Scheduler::new().plan(&g, &unit)
+    });
+
+    let run = |plan: &tcu_sched::Schedule| {
+        let mut mach = TcuMachine::with_executor(unit, tcu_core::HostExecutor::new());
+        mach.executor_mut().enable_pack_cache(q);
+        let mut c = Matrix::<f64>::zeros(d, d);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(cb, c.view_mut());
+        plan.run(&mut mach, &mut env);
+        (c, mach.stats().clone())
+    };
+
+    let (_, eager_stats) = run(&plan_eager);
+    let (c_coal, sched_stats) = run(&plan_coal);
+    // f64 + inner merging reassociates per-element sums, so compare to
+    // the oracle within round-off rather than bitwise.
+    let want = tcu_linalg::kernels::matmul(a.view(), b.view());
+    assert!(
+        tcu_linalg::ops::max_abs_diff(&c_coal, &want) < 1e-9 * d as f64,
+        "coalesced result must match the oracle"
+    );
+
+    let reps: u32 = if quick { 3 } else { 10 };
+    let eager_ns = tcu_bench::time_ns(reps, || run(&plan_eager).0);
+    let sched_ns = tcu_bench::time_ns(reps, || run(&plan_coal).0);
+    Case {
+        name: format!("coalesce d={d}"),
+        d,
+        sqrt_m: s,
+        reps,
+        eager_ns,
+        sched_ns,
+        plan_ns,
+        eager_invocations: eager_stats.tensor_calls,
+        sched_invocations: sched_stats.tensor_calls,
+        eager_sim_time: eager_stats.time(),
+        sched_sim_time: sched_stats.time(),
+        pack_lookups: 0,
+        pack_misses: 0,
+        packed_bytes: 0,
+    }
+}
+
+/// Eager vs scheduled recursive multiplication at a sub-footprint base.
+fn bench_strassen(d: usize, quick: bool) -> Case {
+    let base = 8usize;
+    let l = 1000u64;
+    let ai = Matrix::from_fn(d, d, |i, j| ((i * 67 + j * 29) % 41) as i64 - 20);
+    let bi = Matrix::from_fn(d, d, |i, j| ((i * 31 + j * 17) % 37) as i64 - 18);
+
+    let eager_run = || {
+        let mut mach = TcuMachine::model(SQRT_M * SQRT_M, l);
+        let c = strassen::multiply_recursive_with_base(&mut mach, &ai, &bi, base);
+        (c, mach.stats().clone())
+    };
+    let sched_run = || {
+        let mut mach = TcuMachine::model(SQRT_M * SQRT_M, l);
+        mach.executor_mut().enable_pack_cache(64);
+        let c = strassen::multiply_recursive_scheduled_with_base(&mut mach, &ai, &bi, base);
+        (c, mach.stats().clone())
+    };
+    let (c_eager, eager_stats): (Matrix<i64>, Stats) = eager_run();
+    let (c_sched, sched_stats) = sched_run();
+    assert_eq!(c_eager, c_sched, "scheduled recursion must equal eager");
+
+    let reps: u32 = if quick { 2 } else { 5 };
+    let eager_ns = tcu_bench::time_ns(reps, || eager_run().0);
+    let sched_ns = tcu_bench::time_ns(reps, || sched_run().0);
+    Case {
+        name: format!("strassen d={d} base={base}"),
+        d,
+        sqrt_m: SQRT_M,
+        reps,
+        eager_ns,
+        sched_ns,
+        // Recording + planning is inside sched_ns for this case (the
+        // algos entry point owns the graph); see the module docs.
+        plan_ns: 0.0,
+        eager_invocations: eager_stats.tensor_calls,
+        sched_invocations: sched_stats.tensor_calls,
+        eager_sim_time: eager_stats.time(),
+        sched_sim_time: sched_stats.time(),
+        pack_lookups: 0,
+        pack_misses: 0,
+        packed_bytes: 0,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_sched.json".to_string(), Clone::clone);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    let d_block = if quick { 256 } else { 512 };
+    let d_str = if quick { 32 } else { 64 };
+    let cases = vec![
+        bench_packcache(d_block, quick),
+        bench_coalesce(d_block, quick),
+        bench_strassen(d_str, quick),
+    ];
+
+    let mut table = tcu_bench::Table::new(
+        "BENCH sched — eager issue path vs deferred schedule (host wall-clock + model charges)",
+        &[
+            "case",
+            "reps",
+            "eager ns/op",
+            "sched ns/op",
+            "wall speedup",
+            "eager invocs",
+            "sched invocs",
+            "sim speedup",
+            "pack ratio",
+            "plan ns",
+        ],
+    );
+    for c in &cases {
+        table.row(vec![
+            c.name.clone(),
+            c.reps.to_string(),
+            tcu_bench::fmt_f(c.eager_ns, 0),
+            tcu_bench::fmt_f(c.sched_ns, 0),
+            tcu_bench::fmt_f(c.eager_ns / c.sched_ns, 2),
+            tcu_bench::fmt_u64(c.eager_invocations),
+            tcu_bench::fmt_u64(c.sched_invocations),
+            tcu_bench::fmt_f(c.eager_sim_time as f64 / c.sched_sim_time as f64, 2),
+            tcu_bench::fmt_f(c.pack_ratio(), 1),
+            tcu_bench::fmt_f(c.plan_ns, 0),
+        ]);
+    }
+    table.print();
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"sched\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {threads},\n"));
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str("    {");
+        json.push_str(&format!(
+            "\"name\": \"{}\", \"d\": {}, \"sqrt_m\": {}, \"reps\": {}, \
+             \"eager_ns_per_op\": {:.1}, \"sched_ns_per_op\": {:.1}, \
+             \"plan_ns\": {:.1}, \
+             \"speedup_wall\": {:.3}, \"eager_invocations\": {}, \
+             \"sched_invocations\": {}, \"eager_sim_time\": {}, \
+             \"sched_sim_time\": {}, \"speedup_sim\": {:.3}, \
+             \"pack_lookups\": {}, \"pack_misses\": {}, \
+             \"packed_bytes\": {}, \"pack_ratio\": {:.3}",
+            c.name,
+            c.d,
+            c.sqrt_m,
+            c.reps,
+            c.eager_ns,
+            c.sched_ns,
+            c.plan_ns,
+            c.eager_ns / c.sched_ns,
+            c.eager_invocations,
+            c.sched_invocations,
+            c.eager_sim_time,
+            c.sched_sim_time,
+            c.eager_sim_time as f64 / c.sched_sim_time as f64,
+            c.pack_lookups,
+            c.pack_misses,
+            c.packed_bytes,
+            c.pack_ratio(),
+        ));
+        json.push('}');
+        if i + 1 < cases.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_sched.json");
+    println!("wrote {out_path}");
+}

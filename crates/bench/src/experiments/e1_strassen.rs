@@ -45,6 +45,8 @@ pub fn run(quick: bool) {
             let _ = strassen::multiply_recursive(&mut mach_s, &a, &b);
             let mut mach_t = TcuMachine::model(m, l);
             let _ = strassen::multiply_strassen(&mut mach_t, &a, &b);
+            crate::report_stats(&format!("E1 standard d={d} l={l}"), &mach_s);
+            crate::report_stats(&format!("E1 strassen d={d} l={l}"), &mach_t);
             assert_eq!(mach_s.time(), strassen::recursive_time(d as u64, 16, l));
             assert_eq!(mach_t.time(), strassen::strassen_time(d as u64, 16, l));
             xs.push((d * d / m) as f64); // n/m

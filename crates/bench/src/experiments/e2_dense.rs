@@ -41,6 +41,7 @@ pub fn run(quick: bool) {
         let b = input(d, 2);
         let mut mach = TcuMachine::model(m, l);
         let _ = dense::multiply(&mut mach, &a, &b);
+        crate::report_stats(&format!("E2 dense d={d}"), &mach);
         let predicted = dense::multiply_time(d as u64, s, l);
         assert_eq!(mach.time(), predicted, "exact closed form");
         xs.push(d as f64);

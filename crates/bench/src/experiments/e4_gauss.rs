@@ -36,6 +36,7 @@ pub fn run(quick: bool) {
         let mut c = augmented_from(&a, &b);
         let mut mach = TcuMachine::model(m, l);
         gauss::ge_forward(&mut mach, &mut c);
+        crate::report_stats(&format!("E4 gauss d={d}"), &mach);
         let closed = gauss::ge_forward_time(d as u64, s, l);
         assert_eq!(mach.time(), closed);
         // Unblocked Figure 2 charge: 3 ops per inner iteration.

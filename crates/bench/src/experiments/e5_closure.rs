@@ -34,6 +34,7 @@ pub fn run(quick: bool) {
         let mut d = random_digraph(n, 2.0 / n as f64, &mut rng);
         let mut mach = TcuMachine::model(m, l);
         closure::transitive_closure(&mut mach, &mut d);
+        crate::report_stats(&format!("E5 closure n={n}"), &mach);
         let closed = closure::transitive_closure_time(n as u64, s, l);
         assert_eq!(mach.time(), closed);
         let host = closure::host_closure_time(n as u64);

@@ -36,6 +36,7 @@ pub fn run(quick: bool) {
         let x = random_vector_c64(n, &mut rng);
         let mut mach = TcuMachine::model(m, l);
         let _ = fft::dft(&mut mach, &x);
+        crate::report_stats(&format!("E7 dft n={n}"), &mach);
         let logm = (n as f64).ln() / (m as f64).ln();
         let bound = (n as u64 + l) as f64 * logm.max(1.0);
         measured.push(mach.time() as f64);

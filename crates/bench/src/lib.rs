@@ -11,14 +11,61 @@
 
 pub mod experiments;
 
-/// Shared CLI entry point for every experiment binary: parses the one
-/// flag the harness supports (`--quick`, the reduced smoke-test sweep)
-/// and invokes the experiment with it. The 18 `exp_*` binaries and
-/// `run_all` are one-line wrappers over this, so flag handling and any
-/// future harness plumbing live in exactly one place.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by [`experiment_main`] when `--stats` (or `TCU_STATS=1`) asks
+/// for per-machine summaries; read by [`report_stats`].
+static STATS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Shared CLI entry point for every experiment binary: parses the flags
+/// the harness supports (`--quick`, the reduced smoke-test sweep;
+/// `--stats`, per-machine [`tcu_core::StatsSummary`] lines) and invokes
+/// the experiment. The `exp_*` binaries and `run_all` are one-line
+/// wrappers over this, so flag handling and any future harness plumbing
+/// live in exactly one place.
 pub fn experiment_main(run: fn(bool)) {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--stats") || std::env::var_os("TCU_STATS").is_some() {
+        STATS_ENABLED.store(true, Ordering::Relaxed);
+    }
     run(quick);
+}
+
+/// `true` when the harness was asked for per-machine stats summaries.
+#[must_use]
+pub fn stats_enabled() -> bool {
+    STATS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Print `mach`'s [`tcu_core::StatsSummary`] under `label` when the
+/// binary ran with `--stats` (or `TCU_STATS=1`); no-op otherwise.
+/// Experiments call this after each workload, which is how scheduler
+/// wins (fewer invocations, fewer charged rows) become visible in any
+/// `exp_*` table without changing the tables themselves.
+pub fn report_stats<U: tcu_core::TensorUnit, E: tcu_core::Executor>(
+    label: &str,
+    mach: &tcu_core::TcuMachine<U, E>,
+) {
+    if stats_enabled() {
+        println!("[stats] {label}: {}", mach.stats_summary());
+    }
+}
+
+/// Best-of-3-runs wall-clock of `f` in ns per call, after one warmup
+/// call (the minimum filters scheduler noise on shared machines). The
+/// one timing methodology every wall-clock bench bin uses, so a change
+/// here changes them all consistently.
+pub fn time_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    std::hint::black_box(f());
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / f64::from(reps));
+    }
+    best
 }
 
 /// A printable experiment table.

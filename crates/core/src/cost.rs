@@ -55,6 +55,56 @@ impl Stats {
     }
 }
 
+/// One-look digest of a machine's activity: the [`Stats`] counters plus
+/// the per-op-kind breakdown of the *logical* ops issued (before any
+/// tall-split into hardware invocations). Produced by
+/// `TcuMachine::stats_summary`; the experiment harness prints it behind
+/// `--stats` so scheduler wins (fewer invocations, fewer rows) are
+/// visible in every `exp_*` bin.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSummary {
+    /// Logical tensor ops issued (`issue`/`issue_into` calls).
+    pub ops_issued: u64,
+    /// Of those: strict overwriting products.
+    pub muls: u64,
+    /// Strict fused-accumulate products.
+    pub mul_accs: u64,
+    /// Zero-padded overwriting products.
+    pub padded: u64,
+    /// Zero-padded fused-accumulate products.
+    pub padded_accs: u64,
+    /// Hardware invocations charged (≥ `ops_issued`: tall splits).
+    pub invocations: u64,
+    /// Total rows charged across invocations.
+    pub rows_charged: u64,
+    /// Simulated time inside the tensor unit (incl. latency).
+    pub tensor_time: u64,
+    /// Scalar CPU operations charged.
+    pub scalar_ops: u64,
+    /// Total simulated time.
+    pub time: u64,
+}
+
+impl std::fmt::Display for StatsSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ops issued {} (mul {}, mul+acc {}, padded {}, padded+acc {}); \
+             invocations {}, rows charged {}, tensor time {}, scalar ops {}, total time {}",
+            self.ops_issued,
+            self.muls,
+            self.mul_accs,
+            self.padded,
+            self.padded_accs,
+            self.invocations,
+            self.rows_charged,
+            self.tensor_time,
+            self.scalar_ops,
+            self.time,
+        )
+    }
+}
+
 /// Closed-form model cost of a single tensor invocation with an `n`-row
 /// left operand on an (m, ℓ)-TCU with `√m = sqrt_m`: exactly `n·√m + ℓ`.
 #[inline]

@@ -19,8 +19,34 @@
 //! backends against the model charge, the machine ignores it.
 
 use crate::op::TensorOp;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::Arc;
 use tcu_linalg::kernels;
 use tcu_linalg::{MatrixView, MatrixViewMut, Scalar};
+
+/// Stable identity of a *left-operand region* across invocations: which
+/// logical buffer it lives in, which write-generation of that buffer it
+/// was read at, and the exact sub-rectangle. Schedulers that know their
+/// operands' provenance (the `tcu-sched` op-graph runtime) attach one to
+/// each issued op via [`crate::TcuMachine::issue_into_tagged`]; executors
+/// may use it as a cache key for derived operand forms (packed strips),
+/// because two invocations with equal `OperandId`s are guaranteed to
+/// read bit-identical data. Plain `issue_into` passes `None` — untagged
+/// ops are never cached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OperandId {
+    /// Logical buffer the operand is a region of (caller-assigned).
+    pub buffer: u64,
+    /// Number of writes the region had absorbed when the op was
+    /// recorded; a later write to the region must bump this, which
+    /// makes stale cache entries unreachable.
+    pub generation: u64,
+    /// Top-left corner of the region within the buffer.
+    pub origin: (usize, usize),
+    /// Region extent (`rows × cols`).
+    pub extent: (usize, usize),
+}
 
 /// A numeric backend for tensor instructions.
 ///
@@ -43,6 +69,110 @@ pub trait Executor {
         b: MatrixView<'_, T>,
         out: &mut MatrixViewMut<'_, T>,
     ) -> u64;
+
+    /// [`Self::execute`] with the left operand's provenance attached.
+    /// Backends that cache derived operand forms (packed strips) key
+    /// them by `a_id`; the default implementation ignores the tag, so
+    /// every executor works unchanged under a scheduling runtime.
+    /// Results must be bit-identical to the untagged path.
+    fn execute_tagged<T: Scalar>(
+        &mut self,
+        op: &TensorOp,
+        a: MatrixView<'_, T>,
+        a_id: Option<OperandId>,
+        b: MatrixView<'_, T>,
+        out: &mut MatrixViewMut<'_, T>,
+    ) -> u64 {
+        let _ = a_id;
+        self.execute(op, a, b, out)
+    }
+}
+
+/// Running counters of a [`HostExecutor`] pack cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackCacheStats {
+    /// Tagged executions that consulted the cache.
+    pub lookups: u64,
+    /// Lookups served by an already-packed strip.
+    pub hits: u64,
+    /// Lookups that had to pack (insert) the strip.
+    pub misses: u64,
+    /// Bytes written into pack buffers across all misses — the "packed
+    /// bytes moved" metric of the scheduling benchmarks (a pack-per-
+    /// invocation policy pays this once per *lookup* instead).
+    pub packed_bytes: u64,
+    /// Entries dropped to stay within capacity (FIFO order).
+    pub evictions: u64,
+}
+
+/// FIFO-bounded map from `(element type, OperandId)` to a packed strip.
+///
+/// Entries are type-erased (`PackedA<T>` behind `Arc<dyn Any>`) because
+/// the executor is monomorphic per *call*, not per machine — one cache
+/// serves `f64` ops and `i64` ops side by side. Generation bumps in the
+/// key make stale strips unreachable; FIFO eviction bounds memory.
+#[derive(Clone, Default)]
+struct PackCache {
+    capacity: usize,
+    entries: HashMap<(TypeId, OperandId), Arc<dyn Any + Send + Sync>>,
+    order: Vec<(TypeId, OperandId)>,
+    stats: PackCacheStats,
+}
+
+impl std::fmt::Debug for PackCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PackCache {{ capacity: {}, entries: {}, stats: {:?} }}",
+            self.capacity,
+            self.entries.len(),
+            self.stats
+        )
+    }
+}
+
+impl PackCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// The packed form of `a` under `id`: reused on hit, packed and
+    /// inserted on miss (evicting the oldest entry when full).
+    fn get_or_pack<T: Scalar>(
+        &mut self,
+        id: OperandId,
+        a: MatrixView<'_, T>,
+    ) -> Arc<kernels::PackedA<T>> {
+        let key = (TypeId::of::<T>(), id);
+        self.stats.lookups += 1;
+        if let Some(entry) = self.entries.get(&key) {
+            if let Ok(packed) = Arc::clone(entry).downcast::<kernels::PackedA<T>>() {
+                if (packed.rows(), packed.cols()) == (a.rows(), a.cols()) {
+                    self.stats.hits += 1;
+                    return packed;
+                }
+            }
+            // Shape or type disagreement under an equal id is a caller
+            // bug, but stay safe: treat as a miss and repack.
+            self.entries.remove(&key);
+            self.order.retain(|k| *k != key);
+        }
+        let packed = Arc::new(kernels::pack_a(a));
+        self.stats.misses += 1;
+        self.stats.packed_bytes += packed.bytes() as u64;
+        if self.entries.len() >= self.capacity {
+            let oldest = self.order.remove(0);
+            self.entries.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+        self.entries
+            .insert(key, Arc::clone(&packed) as Arc<dyn Any + Send + Sync>);
+        self.order.push(key);
+        packed
+    }
 }
 
 /// The default backend: the tiled, register-blocked host kernels of
@@ -54,6 +184,7 @@ pub trait Executor {
 #[derive(Clone, Debug)]
 pub struct HostExecutor {
     threads: usize,
+    cache: Option<PackCache>,
 }
 
 impl HostExecutor {
@@ -65,7 +196,10 @@ impl HostExecutor {
             .and_then(|v| v.parse::<usize>().ok())
             .unwrap_or(1)
             .max(1);
-        Self { threads }
+        Self {
+            threads,
+            cache: None,
+        }
     }
 
     /// Fixed worker count (clamped to ≥ 1).
@@ -73,7 +207,36 @@ impl HostExecutor {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            cache: None,
         }
+    }
+
+    /// Turn on executor-level strip caching for tagged ops: the packed
+    /// form of each distinct left-operand region (keyed by
+    /// [`OperandId`], i.e. buffer + generation + rectangle) is kept
+    /// across invocations, so a blocked flow that re-streams the same
+    /// strip against many weight blocks packs it once instead of once
+    /// per invocation. At most `capacity` strips are held (FIFO
+    /// eviction, clamped to ≥ 1). Untagged ops are unaffected; results
+    /// are bit-identical either way. Note the trade: the packed-strip
+    /// kernel is serial, so tagged ops bypass the row-band threaded
+    /// path — a multi-threaded executor exchanges its parallelism for
+    /// pack reuse on those ops (untagged ops keep their threading).
+    /// Resets any previous cache state.
+    pub fn enable_pack_cache(&mut self, capacity: usize) {
+        self.cache = Some(PackCache::new(capacity));
+    }
+
+    /// Drop the pack cache (tagged ops fall back to the plain kernels).
+    pub fn disable_pack_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// Counters of the pack cache since [`Self::enable_pack_cache`]
+    /// (`None` when caching is off).
+    #[must_use]
+    pub fn pack_cache_stats(&self) -> Option<PackCacheStats> {
+        self.cache.as_ref().map(|c| c.stats)
     }
 
     /// Current worker count.
@@ -110,6 +273,27 @@ impl Executor for HostExecutor {
         kernels::matmul_into(out, a, b, op.accumulate, self.threads);
         // Native cost: scalar multiply-adds performed.
         (op.rows * op.inner * op.width) as u64
+    }
+
+    fn execute_tagged<T: Scalar>(
+        &mut self,
+        op: &TensorOp,
+        a: MatrixView<'_, T>,
+        a_id: Option<OperandId>,
+        b: MatrixView<'_, T>,
+        out: &mut MatrixViewMut<'_, T>,
+    ) -> u64 {
+        match (a_id, self.cache.as_mut()) {
+            (Some(id), Some(cache)) => {
+                // The packed band runs serially; that's bit-identical
+                // to every threaded band split, so nothing observable
+                // changes — only the pack traffic.
+                let packed = cache.get_or_pack(id, a);
+                kernels::matmul_packed_into(out, &packed, b, op.accumulate);
+                (op.rows * op.inner * op.width) as u64
+            }
+            _ => self.execute(op, a, b, out),
+        }
     }
 }
 
@@ -257,6 +441,95 @@ mod tests {
         );
         assert_eq!(cost, 0);
         assert_eq!(out, Matrix::<i64>::zeros(4, 4));
+    }
+
+    #[test]
+    fn pack_cache_hits_reuse_strips_and_stay_bit_identical() {
+        let big = pseudo(24, 12, 5);
+        let strip = big.subview(0, 4, 24, 4);
+        let b1 = pseudo(4, 4, 6);
+        let b2 = pseudo(4, 4, 7);
+        let id = OperandId {
+            buffer: 3,
+            generation: 0,
+            origin: (0, 4),
+            extent: (24, 4),
+        };
+
+        let mut plain = HostExecutor::with_threads(1);
+        let mut cached = HostExecutor::with_threads(1);
+        cached.enable_pack_cache(8);
+        for (i, blk) in [&b1, &b2, &b1].iter().enumerate() {
+            let op = if i == 0 {
+                TensorOp::mul(24, 4)
+            } else {
+                TensorOp::mul_acc(24, 4)
+            };
+            let mut want = Matrix::<i64>::zeros(24, 4);
+            let mut got = Matrix::<i64>::zeros(24, 4);
+            let _ = plain.execute(&op, strip, blk.view(), &mut want.view_mut());
+            let _ = cached.execute_tagged(&op, strip, Some(id), blk.view(), &mut got.view_mut());
+            // Overwrite and accumulate modes both served from the cache.
+            assert_eq!(got, want, "op {i}");
+        }
+        let stats = cached.pack_cache_stats().expect("cache enabled");
+        assert_eq!((stats.lookups, stats.hits, stats.misses), (3, 2, 1));
+        assert_eq!(stats.packed_bytes, 24 * 4 * 8);
+
+        // A new generation is a different key: repack, no stale reuse.
+        let next = OperandId {
+            generation: 1,
+            ..id
+        };
+        let mut out = Matrix::<i64>::zeros(24, 4);
+        let _ = cached.execute_tagged(
+            &TensorOp::mul(24, 4),
+            strip,
+            Some(next),
+            b1.view(),
+            &mut out.view_mut(),
+        );
+        assert_eq!(cached.pack_cache_stats().expect("enabled").misses, 2);
+
+        // Untagged ops bypass the cache entirely.
+        let _ = cached.execute_tagged(
+            &TensorOp::mul(24, 4),
+            strip,
+            None,
+            b1.view(),
+            &mut out.view_mut(),
+        );
+        assert_eq!(cached.pack_cache_stats().expect("enabled").lookups, 4);
+    }
+
+    #[test]
+    fn pack_cache_evicts_fifo_at_capacity() {
+        let a = pseudo(8, 4, 9);
+        let b = pseudo(4, 4, 10);
+        let mut exec = HostExecutor::with_threads(1);
+        exec.enable_pack_cache(2);
+        let mut out = Matrix::<i64>::zeros(8, 4);
+        let id = |buf: u64| OperandId {
+            buffer: buf,
+            generation: 0,
+            origin: (0, 0),
+            extent: (8, 4),
+        };
+        for buf in [0u64, 1, 2, 0] {
+            let _ = exec.execute_tagged(
+                &TensorOp::mul(8, 4),
+                a.view(),
+                Some(id(buf)),
+                b.view(),
+                &mut out.view_mut(),
+            );
+        }
+        let stats = exec.pack_cache_stats().expect("enabled");
+        // Buffer 0 was evicted by buffer 2's insert, so its second use
+        // repacks (and evicts buffer 1 in turn): 4 misses, 2 evictions.
+        assert_eq!((stats.misses, stats.evictions, stats.hits), (4, 2, 0));
+        exec.disable_pack_cache();
+        assert!(exec.pack_cache_stats().is_none());
     }
 
     #[test]

@@ -60,8 +60,8 @@ pub mod parallel;
 pub mod tensor_unit;
 pub mod trace;
 
-pub use cost::Stats;
-pub use exec::{Executor, HostExecutor, ReplayExecutor};
+pub use cost::{Stats, StatsSummary};
+pub use exec::{Executor, HostExecutor, OperandId, PackCacheStats, ReplayExecutor};
 pub use machine::TcuMachine;
 pub use op::{PadPolicy, TensorOp};
 pub use parallel::{partition_lpt, ParallelTcuMachine, Partition};

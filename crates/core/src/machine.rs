@@ -21,8 +21,8 @@
 //! matrices in the next — exactly as the paper's algorithms do (reals for
 //! GE, integers for transitive closure, complex numbers for the DFT).
 
-use crate::cost::Stats;
-use crate::exec::{Executor, HostExecutor};
+use crate::cost::{Stats, StatsSummary};
+use crate::exec::{Executor, HostExecutor, OperandId};
 use crate::op::{PadPolicy, TensorOp};
 use crate::tensor_unit::{ModelTensorUnit, TensorUnit, WeakTensorUnit};
 use crate::trace::TraceLog;
@@ -38,6 +38,11 @@ pub struct TcuMachine<U: TensorUnit, E: Executor = HostExecutor> {
     exec: E,
     stats: Stats,
     trace: Option<TraceLog>,
+    /// Logical ops issued, by (accumulate, pad) kind — the
+    /// [`StatsSummary`] breakdown. Not part of [`Stats`] (the pinned
+    /// accounting surface) and not reconstructed by [`Self::replay`],
+    /// which only sees per-invocation events.
+    issued_kinds: [u64; 4],
 }
 
 impl TcuMachine<ModelTensorUnit> {
@@ -98,6 +103,7 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
             exec,
             stats: Stats::default(),
             trace: None,
+            issued_kinds: [0; 4],
         }
     }
 
@@ -168,8 +174,30 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
     /// Zero all counters (and any in-progress trace).
     pub fn reset(&mut self) {
         self.stats = Stats::default();
+        self.issued_kinds = [0; 4];
         if let Some(t) = &mut self.trace {
             *t = TraceLog::new();
+        }
+    }
+
+    /// One-look digest of everything issued so far: the [`Stats`]
+    /// counters plus the per-kind breakdown of logical ops. The kind
+    /// counts come from the issue path, so a replayed trace contributes
+    /// invocations and rows but no logical-op kinds.
+    #[must_use]
+    pub fn stats_summary(&self) -> StatsSummary {
+        let [muls, mul_accs, padded, padded_accs] = self.issued_kinds;
+        StatsSummary {
+            ops_issued: self.issued_kinds.iter().sum(),
+            muls,
+            mul_accs,
+            padded,
+            padded_accs,
+            invocations: self.stats.tensor_calls,
+            rows_charged: self.stats.tensor_rows,
+            tensor_time: self.stats.tensor_time,
+            scalar_ops: self.stats.scalar_ops,
+            time: self.stats.time(),
         }
     }
 
@@ -202,6 +230,26 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
         b: MatrixView<'_, T>,
         out: &mut MatrixViewMut<'_, T>,
     ) {
+        self.issue_into_tagged(op, a, None, b, out);
+    }
+
+    /// [`Self::issue_into`] with the left operand's provenance attached:
+    /// `a_id` names the logical buffer region (and write-generation) the
+    /// view was carved from, letting the executor cache derived forms of
+    /// it across invocations (see [`crate::OperandId`] and
+    /// `HostExecutor::enable_pack_cache`). Accounting is identical to
+    /// the untagged path — the tag only reaches the numeric backend.
+    ///
+    /// # Panics
+    /// Same shape rules as [`Self::issue_into`].
+    pub fn issue_into_tagged<T: Scalar>(
+        &mut self,
+        op: TensorOp,
+        a: MatrixView<'_, T>,
+        a_id: Option<OperandId>,
+        b: MatrixView<'_, T>,
+        out: &mut MatrixViewMut<'_, T>,
+    ) {
         assert_eq!(
             (a.rows(), a.cols()),
             (op.rows, op.inner),
@@ -229,7 +277,7 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
             "matmul_acc: output shape mismatch"
         );
         self.charge_op(&op);
-        let _ = self.exec.execute(&op, a, b, out);
+        let _ = self.exec.execute_tagged(&op, a, a_id, b, out);
     }
 
     /// [`Self::issue_into`] allocating the `rows × width` product
@@ -351,6 +399,13 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
     /// support, `⌈n/√m⌉` square invocations otherwise. Trace events
     /// record the *per-invocation* descriptor (rows as charged).
     fn charge_op(&mut self, op: &TensorOp) {
+        let kind = match (op.pad, op.accumulate) {
+            (PadPolicy::Strict, false) => 0,
+            (PadPolicy::Strict, true) => 1,
+            (PadPolicy::ZeroPad, false) => 2,
+            (PadPolicy::ZeroPad, true) => 3,
+        };
+        self.issued_kinds[kind] += 1;
         let s = self.sqrt_m();
         let n = op.charge_rows(s);
         if self.unit.supports_tall() {
@@ -602,6 +657,65 @@ mod tests {
         assert_eq!(numeric.stats(), ghost.stats());
         assert_eq!(c_num, matmul_naive(&a, &b));
         assert_eq!(c_ghost, Matrix::<i64>::zeros(8, 4));
+    }
+
+    #[test]
+    fn stats_summary_breaks_ops_down_by_kind() {
+        let mut mach = TcuMachine::weak(16, 5);
+        let a = iota(8, 4);
+        let b = iota(4, 4);
+        let _ = mach.tensor_mul(&a, &b); // strict, splits into 2 tiles
+        let _ = mach.tensor_mul_padded(&iota(2, 3), &iota(3, 2));
+        let mut out = mach.tensor_mul(&a, &b);
+        mach.tensor_mul_acc_view(a.view(), b.view(), &mut out.view_mut());
+        mach.charge(9);
+        let s = mach.stats_summary();
+        assert_eq!(s.ops_issued, 4);
+        assert_eq!((s.muls, s.mul_accs, s.padded, s.padded_accs), (2, 1, 1, 0));
+        // Weak unit: each 8-row strict op is 2 invocations; the padded
+        // and accumulate ops are 1 each... acc op is 8 rows -> 2 tiles.
+        assert_eq!(s.invocations, mach.stats().tensor_calls);
+        assert_eq!(s.rows_charged, mach.stats().tensor_rows);
+        assert_eq!(s.scalar_ops, 9);
+        assert_eq!(s.time, mach.time());
+        let line = s.to_string();
+        assert!(line.contains("ops issued 4") && line.contains("mul+acc 1"));
+        mach.reset();
+        assert_eq!(mach.stats_summary(), crate::cost::StatsSummary::default());
+    }
+
+    #[test]
+    fn tagged_issue_matches_untagged_exactly() {
+        let big = iota(16, 12);
+        let b = iota(4, 4);
+        let mut plain = TcuMachine::model(16, 3);
+        plain.enable_trace();
+        let mut tagged = TcuMachine::model(16, 3);
+        tagged.executor_mut().enable_pack_cache(4);
+        tagged.enable_trace();
+        let id = OperandId {
+            buffer: 0,
+            generation: 0,
+            origin: (0, 4),
+            extent: (16, 4),
+        };
+        let want = plain.tensor_mul_view(big.subview(0, 4, 16, 4), b.view());
+        for _ in 0..3 {
+            let mut got = Matrix::<i64>::zeros(16, 4);
+            tagged.issue_into_tagged(
+                TensorOp::mul(16, 4),
+                big.subview(0, 4, 16, 4),
+                Some(id),
+                b.view(),
+                &mut got.view_mut(),
+            );
+            assert_eq!(got, want);
+        }
+        let cache = tagged.executor().pack_cache_stats().expect("cache on");
+        assert_eq!((cache.misses, cache.hits), (1, 2));
+        // Accounting is unchanged by tagging: 3 tagged ops = 3× one op.
+        assert_eq!(tagged.stats().tensor_calls, 3);
+        assert_eq!(tagged.stats().tensor_time, 3 * plain.stats().tensor_time);
     }
 
     #[test]

@@ -170,6 +170,15 @@ impl<T: Scalar> PackedA<T> {
     pub fn cols(&self) -> usize {
         self.cols
     }
+
+    /// Bytes of packed storage — what a pack-cache accounts as "packed
+    /// bytes moved" per miss (panel zero-padding included: the buffer is
+    /// what the kernel actually scans).
+    #[inline]
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
 }
 
 /// Pack `a` into [`MR`]-row interleaved panels (see [`PackedA`]).
@@ -208,6 +217,24 @@ pub fn matmul_acc_packed<T: Scalar>(
     a: &PackedA<T>,
     b: MatrixView<'_, T>,
 ) {
+    matmul_packed_into(c, a, b, true);
+}
+
+/// Unified packed-strip entry for the executor layer: `C (+)= A·B` with
+/// a pre-packed left operand and the accumulate flag decided at runtime —
+/// the pack-cache execution path of `HostExecutor` dispatches here with
+/// whatever `TensorOp.accumulate` says. Overwrite mode writes every
+/// element of `c` (no pre-zeroing needed); both modes are bit-identical
+/// to [`matmul_into`] on the unpacked view.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()` or `c` is not `a.rows × b.cols`.
+pub fn matmul_packed_into<T: Scalar>(
+    c: &mut MatrixViewMut<'_, T>,
+    a: &PackedA<T>,
+    b: MatrixView<'_, T>,
+    accumulate: bool,
+) {
     let (n, k, p) = (a.rows, a.cols, b.cols());
     assert_eq!(k, b.rows(), "matmul: inner dimensions must agree");
     assert_eq!(
@@ -215,24 +242,47 @@ pub fn matmul_acc_packed<T: Scalar>(
         (n, p),
         "matmul_acc: output shape mismatch"
     );
-    if n == 0 || p == 0 || k == 0 {
-        // An empty inner dimension accumulates nothing.
+    if n == 0 || p == 0 {
+        return;
+    }
+    if k == 0 {
+        // An empty inner dimension accumulates nothing — but overwrite
+        // mode must still zero the destination like `matmul_into` does.
+        if !accumulate {
+            for i in 0..n {
+                c.row_mut(i).fill(T::ZERO);
+            }
+        }
         return;
     }
     let packed_b = pack_b(b);
-    // Same const-dimension dispatch as `mul_band`: the hot square
-    // shapes run fully unrolled inner products.
+    if accumulate {
+        packed_band::<T, true>(a, &packed_b, k, p, c);
+    } else {
+        packed_band::<T, false>(a, &packed_b, k, p, c);
+    }
+}
+
+/// Const-dimension dispatch for the packed band (same hot square shapes
+/// as `mul_band`: fully unrolled inner products).
+fn packed_band<T: Scalar, const ACC: bool>(
+    a: &PackedA<T>,
+    packed_b: &[T],
+    k: usize,
+    p: usize,
+    c: &mut MatrixViewMut<'_, T>,
+) {
     match (k, p) {
-        (4, 4) => packed_band_impl::<T>(a, &packed_b, 4, 4, c),
-        (8, 8) => packed_band_impl::<T>(a, &packed_b, 8, 8, c),
-        (16, 16) => packed_band_impl::<T>(a, &packed_b, 16, 16, c),
-        (32, 32) => packed_band_impl::<T>(a, &packed_b, 32, 32, c),
-        _ => packed_band_impl::<T>(a, &packed_b, k, p, c),
+        (4, 4) => packed_band_impl::<T, ACC>(a, packed_b, 4, 4, c),
+        (8, 8) => packed_band_impl::<T, ACC>(a, packed_b, 8, 8, c),
+        (16, 16) => packed_band_impl::<T, ACC>(a, packed_b, 16, 16, c),
+        (32, 32) => packed_band_impl::<T, ACC>(a, packed_b, 32, 32, c),
+        _ => packed_band_impl::<T, ACC>(a, packed_b, k, p, c),
     }
 }
 
 #[inline(always)]
-fn packed_band_impl<T: Scalar>(
+fn packed_band_impl<T: Scalar, const ACC: bool>(
     a: &PackedA<T>,
     packed_b: &[T],
     k: usize,
@@ -249,10 +299,10 @@ fn packed_band_impl<T: Scalar>(
             let w = NR.min(p - j0);
             let bpanel = &packed_b[q * k * NR..(q + 1) * k * NR];
             match mr {
-                1 => micro_kernel_packed::<T, 1>(apanel, bpanel, k, j0, w, i0, c),
-                2 => micro_kernel_packed::<T, 2>(apanel, bpanel, k, j0, w, i0, c),
-                3 => micro_kernel_packed::<T, 3>(apanel, bpanel, k, j0, w, i0, c),
-                _ => micro_kernel_packed::<T, MR>(apanel, bpanel, k, j0, w, i0, c),
+                1 => micro_kernel_packed::<T, 1, ACC>(apanel, bpanel, k, j0, w, i0, c),
+                2 => micro_kernel_packed::<T, 2, ACC>(apanel, bpanel, k, j0, w, i0, c),
+                3 => micro_kernel_packed::<T, 3, ACC>(apanel, bpanel, k, j0, w, i0, c),
+                _ => micro_kernel_packed::<T, MR, ACC>(apanel, bpanel, k, j0, w, i0, c),
             }
         }
     }
@@ -262,9 +312,9 @@ fn packed_band_impl<T: Scalar>(
 /// row values contiguously, so the inner loop is two forward scans. The
 /// `kk` loop ascends from zero accumulators — the exact per-element
 /// order of `matmul_naive`, so results are bit-identical to the
-/// view-reading kernel.
+/// view-reading kernel (spilling by add when `ACC`, by overwrite else).
 #[inline(always)]
-fn micro_kernel_packed<T: Scalar, const RB: usize>(
+fn micro_kernel_packed<T: Scalar, const RB: usize, const ACC: bool>(
     apanel: &[T],
     bpanel: &[T],
     k: usize,
@@ -287,8 +337,12 @@ fn micro_kernel_packed<T: Scalar, const RB: usize>(
     }
     for (r, accr) in acc.iter().enumerate() {
         let crow = &mut c.row_mut(i0 + r)[j0..j0 + w];
-        for (o, &v) in crow.iter_mut().zip(&accr[..w]) {
-            *o = o.add(v);
+        if ACC {
+            for (o, &v) in crow.iter_mut().zip(&accr[..w]) {
+                *o = o.add(v);
+            }
+        } else {
+            crow.copy_from_slice(&accr[..w]);
         }
     }
 }
@@ -637,6 +691,36 @@ mod tests {
         let mut got = Matrix::<f64>::zeros(11, 5);
         matmul_acc_packed(&mut got.view_mut(), &pack_a(a.view()), b.view());
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn packed_overwrite_matches_matmul_into() {
+        let a = pseudo(21, 16, 51);
+        let b = pseudo(16, 16, 52);
+        let mut want = pseudo(21, 16, 53);
+        matmul_into(&mut want.view_mut(), a.view(), b.view(), false, 1);
+        // Overwrite mode must fully replace prior contents.
+        let mut got = pseudo(21, 16, 53);
+        matmul_packed_into(&mut got.view_mut(), &pack_a(a.view()), b.view(), false);
+        assert_eq!(got, want);
+        assert_eq!(
+            pack_a(a.view()).bytes(),
+            24 * 16 * std::mem::size_of::<i64>()
+        );
+    }
+
+    #[test]
+    fn packed_overwrite_with_empty_inner_zeroes_output() {
+        let a = Matrix::<i64>::zeros(3, 0);
+        let b = Matrix::<i64>::zeros(0, 5);
+        let mut c = pseudo(3, 5, 54);
+        matmul_packed_into(&mut c.view_mut(), &pack_a(a.view()), b.view(), false);
+        assert_eq!(c, Matrix::<i64>::zeros(3, 5));
+        // Accumulate mode leaves the destination untouched.
+        let mut c2 = pseudo(3, 5, 54);
+        let before = c2.clone();
+        matmul_packed_into(&mut c2.view_mut(), &pack_a(a.view()), b.view(), true);
+        assert_eq!(c2, before);
     }
 
     #[test]

@@ -317,6 +317,36 @@ impl<'a, T: Scalar> MatrixViewMut<'a, T> {
         self.zip_apply(src, T::add);
     }
 
+    /// Reborrow a mutable `h × w` sub-block anchored at `(r0, c0)` — the
+    /// region write path of the deferred scheduler, which binds one
+    /// mutable view per logical output buffer and carves each op's
+    /// destination out of it.
+    ///
+    /// # Panics
+    /// Panics if the block exceeds the view bounds.
+    #[must_use]
+    pub fn subview_mut(
+        &mut self,
+        r0: usize,
+        c0: usize,
+        h: usize,
+        w: usize,
+    ) -> MatrixViewMut<'_, T> {
+        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "subview bounds");
+        let base = (r0 * self.row_stride + c0).min(self.data.len());
+        let end = if h == 0 || w == 0 {
+            base
+        } else {
+            base + (h - 1) * self.row_stride + w
+        };
+        MatrixViewMut {
+            rows: h,
+            cols: w,
+            row_stride: self.row_stride,
+            data: &mut self.data[base..end],
+        }
+    }
+
     /// Split into two disjoint mutable views at row `r`: `[0, r)` and
     /// `[r, rows)`. Repeated splits carve a matrix into the disjoint row
     /// bands handed to parallel workers.
@@ -440,6 +470,29 @@ mod tests {
         assert_eq!(v.to_matrix(), m);
         assert_eq!(v.at(2, 4), m[(2, 4)]);
         assert_eq!(v.row(1), m.row(1));
+    }
+
+    #[test]
+    fn nested_subview_mut_writes_the_right_region() {
+        let mut m = iota(6, 7);
+        let want = {
+            let mut w = m.clone();
+            for i in 2..4 {
+                for j in 3..5 {
+                    w[(i, j)] = -1;
+                }
+            }
+            w
+        };
+        let mut outer = m.subview_mut(1, 1, 4, 5);
+        let mut inner = outer.subview_mut(1, 2, 2, 2);
+        assert_eq!((inner.rows(), inner.cols()), (2, 2));
+        for i in 0..2 {
+            inner.row_mut(i).fill(-1);
+        }
+        assert_eq!(m, want);
+        // Degenerate regions are fine anywhere in bounds.
+        let _ = m.subview_mut(0, 0, 6, 7).subview_mut(6, 7, 0, 0);
     }
 
     #[test]

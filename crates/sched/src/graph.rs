@@ -1,0 +1,403 @@
+//! The deferred op stream: logical buffers, operand regions, and the
+//! hazard-analyzed [`OpGraph`].
+//!
+//! Callers *record* tensor ops instead of issuing them: each node names
+//! a [`TensorOp`] plus the three operand regions — rectangles of named
+//! logical buffers — it reads (`a`, `b`) and writes (`out`). The graph
+//! infers the dependency structure automatically from region overlap:
+//! two nodes conflict when one's write rectangle intersects anything the
+//! other touches (read-after-write, write-after-read, write-after-write
+//! all reduce to that test), and conflicting nodes must execute in
+//! recording order. Everything else is reorderable — which is exactly
+//! the freedom the [`crate::Scheduler`] exploits to coalesce compatible
+//! ops and group invocations that share a left-operand strip.
+
+use tcu_core::TensorOp;
+
+/// Handle to a logical buffer registered with [`OpGraph::buffer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufferId(pub(crate) usize);
+
+impl BufferId {
+    /// Position of the buffer in its graph's registration order.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A rectangle of a logical buffer: what one op operand occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OperandRef {
+    /// The buffer the region lives in.
+    pub buf: BufferId,
+    /// First row of the region.
+    pub r0: usize,
+    /// First column of the region.
+    pub c0: usize,
+    /// Region height.
+    pub rows: usize,
+    /// Region width.
+    pub cols: usize,
+}
+
+impl OperandRef {
+    /// The `rows × cols` region of `buf` anchored at `(r0, c0)`.
+    #[must_use]
+    pub fn new(buf: BufferId, r0: usize, c0: usize, rows: usize, cols: usize) -> Self {
+        Self {
+            buf,
+            r0,
+            c0,
+            rows,
+            cols,
+        }
+    }
+
+    /// `true` iff the two regions share at least one element.
+    #[must_use]
+    pub fn overlaps(&self, other: &OperandRef) -> bool {
+        self.buf == other.buf
+            && self.r0 < other.r0 + other.rows
+            && other.r0 < self.r0 + self.rows
+            && self.c0 < other.c0 + other.cols
+            && other.c0 < self.c0 + self.cols
+    }
+}
+
+/// One recorded tensor op: the descriptor plus its operand regions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Node {
+    /// The instruction descriptor (shapes, accumulate flag, pad policy).
+    pub op: TensorOp,
+    /// Left operand region (`op.rows × op.inner`).
+    pub a: OperandRef,
+    /// Right operand region (`op.inner × op.width`).
+    pub b: OperandRef,
+    /// Destination region (`op.rows × op.width`), overwritten or
+    /// accumulated into per `op.accumulate`.
+    pub out: OperandRef,
+}
+
+impl Node {
+    /// `true` iff executing the two nodes in either order could differ:
+    /// one's write rectangle intersects something the other touches.
+    #[must_use]
+    pub fn conflicts(&self, other: &Node) -> bool {
+        self.out.overlaps(&other.a)
+            || self.out.overlaps(&other.b)
+            || self.out.overlaps(&other.out)
+            || self.a.overlaps(&other.out)
+            || self.b.overlaps(&other.out)
+    }
+
+    /// Total order used wherever independent nodes need a canonical
+    /// sequence (within-level schedule order, merge-scan order): every
+    /// field of the node, so two nodes compare equal only when they are
+    /// the same instruction on the same data — in which case their order
+    /// is immaterial. Crucially *not* the recording index, which is what
+    /// makes schedules invariant under dependency-respecting shuffles of
+    /// the recording order.
+    #[must_use]
+    pub fn canonical_key(&self) -> impl Ord {
+        (self.out, self.a, self.b, op_key(&self.op))
+    }
+}
+
+/// `TensorOp` as an orderable tuple (the descriptor derives no `Ord`).
+fn op_key(op: &TensorOp) -> (usize, usize, usize, bool, u8) {
+    (
+        op.rows,
+        op.inner,
+        op.width,
+        op.accumulate,
+        matches!(op.pad, tcu_core::PadPolicy::ZeroPad).into(),
+    )
+}
+
+/// Shape of a registered logical buffer, plus the role the recorded ops
+/// have given it so far (input-read, output-written, or neither yet).
+#[derive(Clone, Debug)]
+pub(crate) struct BufferInfo {
+    pub(crate) name: String,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) read: bool,
+    pub(crate) written: bool,
+}
+
+/// A recorded stream of tensor ops over named logical buffers, with
+/// dependencies inferred from operand-region overlap.
+#[derive(Clone, Debug, Default)]
+pub struct OpGraph {
+    pub(crate) buffers: Vec<BufferInfo>,
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl OpGraph {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a `rows × cols` logical buffer under `name` (names are
+    /// diagnostic only; identity is the returned id).
+    pub fn buffer(&mut self, name: &str, rows: usize, cols: usize) -> BufferId {
+        self.buffers.push(BufferInfo {
+            name: name.to_string(),
+            rows,
+            cols,
+            read: false,
+            written: false,
+        });
+        BufferId(self.buffers.len() - 1)
+    }
+
+    /// Number of registered buffers.
+    #[must_use]
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Diagnostic name of a buffer.
+    ///
+    /// # Panics
+    /// Panics if `id` is not from this graph.
+    #[must_use]
+    pub fn buffer_name(&self, id: BufferId) -> &str {
+        &self.buffers[id.0].name
+    }
+
+    /// Shape of a buffer.
+    ///
+    /// # Panics
+    /// Panics if `id` is not from this graph.
+    #[must_use]
+    pub fn buffer_shape(&self, id: BufferId) -> (usize, usize) {
+        let b = &self.buffers[id.0];
+        (b.rows, b.cols)
+    }
+
+    /// Record one op reading `a`/`b` and writing `out`. Recording order
+    /// is program order: conflicting ops keep it, independent ops may be
+    /// reordered and coalesced by the scheduler.
+    ///
+    /// # Panics
+    /// Panics if a region is out of its buffer's bounds, if a region
+    /// shape disagrees with the descriptor, or if `out` names a buffer
+    /// also used as `a`/`b` anywhere (the runtime binds buffers as
+    /// whole-buffer inputs or outputs, so reading written data back
+    /// through the graph is not supported — run a second graph instead).
+    pub fn record(&mut self, op: TensorOp, a: OperandRef, b: OperandRef, out: OperandRef) -> usize {
+        self.check_region(&a, "left operand");
+        self.check_region(&b, "right operand");
+        self.check_region(&out, "output");
+        assert_eq!(
+            (a.rows, a.cols),
+            (op.rows, op.inner),
+            "left region must be rows × inner"
+        );
+        assert_eq!(
+            (b.rows, b.cols),
+            (op.inner, op.width),
+            "right region must be inner × width"
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (op.rows, op.width),
+            "output region must be rows × width"
+        );
+        assert!(
+            out.buf != a.buf && out.buf != b.buf,
+            "an op may not write the buffer it reads: outputs and inputs \
+             are distinct bindings at run time"
+        );
+        for (id, role_write) in [(a.buf, false), (b.buf, false), (out.buf, true)] {
+            let info = &mut self.buffers[id.0];
+            let clash = if role_write { info.read } else { info.written };
+            assert!(
+                !clash,
+                "buffer '{}' is used as both an input and an output in this \
+                 graph; split the pipeline into two graphs",
+                info.name
+            );
+            if role_write {
+                info.written = true;
+            } else {
+                info.read = true;
+            }
+        }
+        self.nodes.push(Node { op, a, b, out });
+        self.nodes.len() - 1
+    }
+
+    /// The recorded nodes, in program (recording) order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of recorded ops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn check_region(&self, r: &OperandRef, what: &str) {
+        let info = self
+            .buffers
+            .get(r.buf.0)
+            .unwrap_or_else(|| panic!("{what}: unknown buffer id"));
+        assert!(
+            r.r0 + r.rows <= info.rows && r.c0 + r.cols <= info.cols,
+            "{what}: region exceeds buffer '{}' ({} × {})",
+            info.name,
+            info.rows,
+            info.cols
+        );
+    }
+}
+
+/// Directed hazard edges over a node list: `succs[i]` holds every later
+/// node that conflicts with node `i` (program order orients each pair).
+/// The quadratic pair scan is exact — no false independence — and cheap
+/// at the graph sizes the blocked algorithms record (thousands of ops).
+#[must_use]
+pub(crate) fn hazard_successors(nodes: &[Node]) -> Vec<Vec<usize>> {
+    let mut succs = vec![Vec::new(); nodes.len()];
+    for i in 0..nodes.len() {
+        for j in i + 1..nodes.len() {
+            if nodes[i].conflicts(&nodes[j]) {
+                succs[i].push(j);
+            }
+        }
+    }
+    succs
+}
+
+/// Dependency depth of every node: 0 for sources, else one more than
+/// the deepest conflicting predecessor. Depends only on the conflict
+/// structure, so it is invariant under dependency-respecting shuffles
+/// of the recording order.
+#[must_use]
+pub(crate) fn levels(nodes: &[Node], succs: &[Vec<usize>]) -> Vec<usize> {
+    let mut level = vec![0usize; nodes.len()];
+    for i in 0..nodes.len() {
+        for &j in &succs[i] {
+            level[j] = level[j].max(level[i] + 1);
+        }
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn padded(rows: usize, inner: usize, width: usize, acc: bool) -> TensorOp {
+        TensorOp {
+            accumulate: acc,
+            ..TensorOp::padded(rows, inner, width)
+        }
+    }
+
+    #[test]
+    fn regions_overlap_only_within_a_buffer() {
+        let mut g = OpGraph::new();
+        let x = g.buffer("x", 8, 8);
+        let y = g.buffer("y", 8, 8);
+        let r = |b, r0, c0| OperandRef::new(b, r0, c0, 4, 4);
+        assert!(r(x, 0, 0).overlaps(&r(x, 3, 3)));
+        assert!(!r(x, 0, 0).overlaps(&r(x, 4, 0)));
+        assert!(!r(x, 0, 0).overlaps(&r(x, 0, 4)));
+        assert!(!r(x, 0, 0).overlaps(&r(y, 0, 0)));
+        assert_eq!(g.buffer_name(y), "y");
+        assert_eq!(g.buffer_shape(x), (8, 8));
+    }
+
+    #[test]
+    fn hazards_order_conflicting_ops_and_free_independent_ones() {
+        let mut g = OpGraph::new();
+        let a = g.buffer("a", 8, 4);
+        let b = g.buffer("b", 4, 8);
+        let c = g.buffer("c", 8, 8);
+        let op = padded(8, 4, 4, true);
+        let areg = OperandRef::new(a, 0, 0, 8, 4);
+        // Two accumulates into the same block: ordered. A third into a
+        // disjoint block: free.
+        g.record(
+            op,
+            areg,
+            OperandRef::new(b, 0, 0, 4, 4),
+            OperandRef::new(c, 0, 0, 8, 4),
+        );
+        g.record(
+            op,
+            areg,
+            OperandRef::new(b, 0, 4, 4, 4),
+            OperandRef::new(c, 0, 0, 8, 4),
+        );
+        g.record(
+            op,
+            areg,
+            OperandRef::new(b, 0, 4, 4, 4),
+            OperandRef::new(c, 0, 4, 8, 4),
+        );
+        let succs = hazard_successors(g.nodes());
+        assert_eq!(succs[0], vec![1]);
+        assert!(succs[1].is_empty() && succs[2].is_empty());
+        assert_eq!(levels(g.nodes(), &succs), vec![0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn out_of_bounds_region_rejected() {
+        let mut g = OpGraph::new();
+        let a = g.buffer("a", 8, 4);
+        let b = g.buffer("b", 4, 4);
+        let c = g.buffer("c", 8, 4);
+        g.record(
+            padded(8, 4, 4, false),
+            OperandRef::new(a, 1, 0, 8, 4),
+            OperandRef::new(b, 0, 0, 4, 4),
+            OperandRef::new(c, 0, 0, 8, 4),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "both an input and an output")]
+    fn reading_a_written_buffer_rejected() {
+        let mut g = OpGraph::new();
+        let a = g.buffer("a", 4, 4);
+        let b = g.buffer("b", 4, 4);
+        let c = g.buffer("c", 4, 4);
+        let d = g.buffer("d", 4, 4);
+        let whole = |buf| OperandRef::new(buf, 0, 0, 4, 4);
+        g.record(padded(4, 4, 4, false), whole(a), whole(b), whole(c));
+        // c is written above; using it as a left operand must fail.
+        g.record(padded(4, 4, 4, false), whole(c), whole(b), whole(d));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows × inner")]
+    fn region_shape_must_match_descriptor() {
+        let mut g = OpGraph::new();
+        let a = g.buffer("a", 8, 4);
+        let b = g.buffer("b", 4, 4);
+        let c = g.buffer("c", 8, 4);
+        g.record(
+            padded(8, 4, 4, false),
+            OperandRef::new(a, 0, 0, 4, 4),
+            OperandRef::new(b, 0, 0, 4, 4),
+            OperandRef::new(c, 0, 0, 8, 4),
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Schedule execution: bind data to the graph's logical buffers and
+//! drive the planned op stream through a [`TcuMachine`].
+//!
+//! [`ExecEnv`] maps every [`BufferId`] to real storage — immutable
+//! [`MatrixView`]s for buffers the graph reads, mutable views for
+//! buffers it writes — and [`Schedule::run`] issues the emitted nodes
+//! in serial order through [`TcuMachine::issue_into_tagged`]. Each left
+//! operand is tagged with an [`OperandId`] carrying the buffer id, the
+//! environment's *epoch* (a process-unique stamp allocated per
+//! environment, standing in for the buffer's write-generation: bound
+//! data is borrowed, hence frozen, for the environment's lifetime), and
+//! the region rectangle — so a pack-caching executor reuses packed
+//! strips across every invocation of the run that streams the same
+//! region, and can never confuse them with a different run's data.
+//!
+//! Accounting flows through the machine exactly as eager execution
+//! does: per-op model charges into `Stats` and the trace. What changes
+//! with scheduling is *which* (coalesced) ops are issued and in what
+//! (canonical) order — never how an issued op is charged.
+
+use crate::graph::{BufferId, OperandRef};
+use crate::scheduler::Schedule;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tcu_core::{Executor, OperandId, TcuMachine, TensorUnit};
+use tcu_linalg::{MatrixView, MatrixViewMut, Scalar};
+
+/// Process-wide epoch allocator: every environment gets a distinct
+/// stamp, so operand tags from different environments (different data)
+/// can never collide in an executor cache.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Data bindings for one run of a schedule: per-buffer views, split
+/// into read-only inputs and mutable outputs.
+#[derive(Debug)]
+pub struct ExecEnv<'a, T: Scalar> {
+    epoch: u64,
+    shapes: Vec<(usize, usize)>,
+    inputs: Vec<Option<MatrixView<'a, T>>>,
+    outputs: Vec<Option<MatrixViewMut<'a, T>>>,
+}
+
+impl<'a, T: Scalar> ExecEnv<'a, T> {
+    /// Fresh bindings for `graph`'s buffers (all unbound, new epoch).
+    #[must_use]
+    pub fn new(graph: &crate::OpGraph) -> Self {
+        let shapes = (0..graph.buffer_count())
+            .map(|i| graph.buffer_shape(BufferId(i)))
+            .collect::<Vec<_>>();
+        Self {
+            epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+            inputs: vec![None; shapes.len()],
+            outputs: shapes.iter().map(|_| None).collect(),
+            shapes,
+        }
+    }
+
+    /// The environment's cache-key epoch (diagnostic).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Bind a read-only buffer to a view of its exact registered shape.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or an id from another graph.
+    pub fn bind_input(&mut self, id: BufferId, view: MatrixView<'a, T>) {
+        assert_eq!(
+            (view.rows(), view.cols()),
+            self.shapes[id.0],
+            "input binding shape mismatch"
+        );
+        self.inputs[id.0] = Some(view);
+    }
+
+    /// Bind a written buffer to a mutable view of its registered shape.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or an id from another graph.
+    pub fn bind_output(&mut self, id: BufferId, view: MatrixViewMut<'a, T>) {
+        assert_eq!(
+            (view.rows(), view.cols()),
+            self.shapes[id.0],
+            "output binding shape mismatch"
+        );
+        self.outputs[id.0] = Some(view);
+    }
+
+    fn input_region(&self, r: &OperandRef) -> MatrixView<'a, T> {
+        self.inputs[r.buf.0]
+            .as_ref()
+            .unwrap_or_else(|| panic!("buffer {} read but not bound as input", r.buf.0))
+            .subview(r.r0, r.c0, r.rows, r.cols)
+    }
+}
+
+impl Schedule {
+    /// Execute the planned stream on `mach` with `env`'s bindings: each
+    /// emitted node issues one tagged tensor instruction (charged and
+    /// traced by the machine exactly like an eager call), outputs land
+    /// in the bound views. The serial order is the schedule's canonical
+    /// order; on a pack-caching host executor, repeated left-operand
+    /// regions are packed once per environment.
+    ///
+    /// # Panics
+    /// Panics if the machine's `√m` differs from the one the schedule
+    /// was planned for, if the environment's buffer shapes disagree
+    /// with the planned graph's, or if a referenced buffer is unbound.
+    pub fn run<T: Scalar, U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut TcuMachine<U, E>,
+        env: &mut ExecEnv<'_, T>,
+    ) {
+        assert_eq!(
+            mach.sqrt_m(),
+            self.sqrt_m,
+            "schedule was planned for a different tensor-unit size"
+        );
+        assert_eq!(
+            env.shapes, self.buffer_shapes,
+            "environment built for a different graph (buffer shapes disagree)"
+        );
+        let epoch = env.epoch;
+        for sn in self.nodes() {
+            let node = &sn.node;
+            let a = env.input_region(&node.a);
+            let b = env.input_region(&node.b);
+            let tag = OperandId {
+                buffer: node.a.buf.0 as u64,
+                generation: epoch,
+                origin: (node.a.r0, node.a.c0),
+                extent: (node.a.rows, node.a.cols),
+            };
+            let out = env.outputs[node.out.buf.0].as_mut().unwrap_or_else(|| {
+                panic!("buffer {} written but not bound as output", node.out.buf.0)
+            });
+            let mut out_view =
+                out.subview_mut(node.out.r0, node.out.c0, node.out.rows, node.out.cols);
+            mach.issue_into_tagged(node.op, a, Some(tag), b, &mut out_view);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpGraph, Scheduler};
+    use tcu_core::{ReplayExecutor, TensorOp};
+    use tcu_linalg::ops::matmul_naive;
+    use tcu_linalg::Matrix;
+
+    fn pseudo(r: usize, c: usize, seed: i64) -> Matrix<i64> {
+        Matrix::from_fn(r, c, |i, j| {
+            ((i as i64 * 131 + j as i64 * 31 + seed).wrapping_mul(48271) >> 5) % 97 - 48
+        })
+    }
+
+    /// Record, plan, run: the smallest end-to-end flow — one strip
+    /// streamed against two adjacent weight blocks on a unit twice as
+    /// wide, which the scheduler collapses into a single invocation.
+    #[test]
+    fn two_block_columns_collapse_and_match_the_oracle() {
+        let d = 16usize;
+        let a = pseudo(d, 4, 1);
+        let b = pseudo(4, 8, 2);
+        let mut g = OpGraph::new();
+        let ab = g.buffer("A", d, 4);
+        let bb = g.buffer("B", 4, 8);
+        let cb = g.buffer("C", d, 8);
+        for j in 0..2 {
+            g.record(
+                TensorOp::padded(d, 4, 4),
+                crate::OperandRef::new(ab, 0, 0, d, 4),
+                crate::OperandRef::new(bb, 0, j * 4, 4, 4),
+                crate::OperandRef::new(cb, 0, j * 4, d, 4),
+            );
+        }
+        let mut mach = TcuMachine::model(64, 1000);
+        let plan = Scheduler::new().plan(&g, mach.unit());
+        assert_eq!(plan.ops(), 1);
+        assert_eq!(plan.nodes()[0].fused, 2);
+
+        let mut c = Matrix::<i64>::zeros(d, 8);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(cb, c.view_mut());
+        plan.run(&mut mach, &mut env);
+        assert_eq!(c, matmul_naive(&a, &b));
+        // One invocation charged instead of two: d·√m + ℓ once.
+        assert_eq!(mach.time(), (d * 8) as u64 + 1000);
+        assert_eq!(mach.stats().tensor_calls, 1);
+    }
+
+    #[test]
+    fn run_charges_exactly_what_the_plan_predicts() {
+        let d = 32usize;
+        let mut g = OpGraph::new();
+        let ab = g.buffer("A", d, d);
+        let bb = g.buffer("B", d, d);
+        let cb = g.buffer("C", d, d);
+        let s = 8usize;
+        for j in 0..d / s {
+            for k in 0..d / s {
+                g.record(
+                    TensorOp {
+                        accumulate: true,
+                        ..TensorOp::padded(d, s, s)
+                    },
+                    crate::OperandRef::new(ab, 0, k * s, d, s),
+                    crate::OperandRef::new(bb, k * s, j * s, s, s),
+                    crate::OperandRef::new(cb, 0, j * s, d, s),
+                );
+            }
+        }
+        let mut mach = TcuMachine::with_executor(
+            tcu_core::ModelTensorUnit::new(64, 9),
+            ReplayExecutor::default(),
+        );
+        let plan = Scheduler::new().plan(&g, mach.unit());
+        let (a, b) = (pseudo(d, d, 3), pseudo(d, d, 4));
+        let mut c = Matrix::<i64>::zeros(d, d);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(cb, c.view_mut());
+        plan.run(&mut mach, &mut env);
+        assert_eq!(mach.stats().tensor_calls, plan.invocations());
+        assert_eq!(mach.stats().tensor_rows, plan.charged_rows());
+        assert_eq!(mach.stats().tensor_time, plan.tensor_time());
+        // Replay executor ran no numerics.
+        assert_eq!(c, Matrix::<i64>::zeros(d, d));
+    }
+
+    #[test]
+    fn pack_cache_hits_across_the_run_and_fresh_envs_miss() {
+        let d = 32usize;
+        let s = 8usize;
+        let b = pseudo(d, d, 6);
+        let mut g = OpGraph::new();
+        let ab = g.buffer("A", d, d);
+        let bb = g.buffer("B", d, d);
+        let cb = g.buffer("C", d, d);
+        let q = d / s;
+        for j in 0..q {
+            for k in 0..q {
+                g.record(
+                    TensorOp {
+                        accumulate: true,
+                        ..TensorOp::padded(d, s, s)
+                    },
+                    crate::OperandRef::new(ab, 0, k * s, d, s),
+                    crate::OperandRef::new(bb, k * s, j * s, s, s),
+                    crate::OperandRef::new(cb, 0, j * s, d, s),
+                );
+            }
+        }
+        let mut mach = TcuMachine::model(s * s, 7);
+        mach.executor_mut().enable_pack_cache(2 * q);
+        let plan = Scheduler::new().plan(&g, mach.unit());
+        assert_eq!(plan.ops(), q * q, "√m-wide blocks cannot merge");
+
+        let run_once = |mach: &mut TcuMachine<_, _>, seed: i64| {
+            let aa = pseudo(d, d, seed);
+            let mut c = Matrix::<i64>::zeros(d, d);
+            let mut env = ExecEnv::new(&g);
+            env.bind_input(ab, aa.view());
+            env.bind_input(bb, b.view());
+            env.bind_output(cb, c.view_mut());
+            plan.run(mach, &mut env);
+            (c, aa)
+        };
+        let (c1, a1) = run_once(&mut mach, 5);
+        assert_eq!(c1, matmul_naive(&a1, &b));
+        let stats = mach.executor().pack_cache_stats().expect("cache on");
+        // q distinct strips, q² lookups: q misses, q(q−1) hits.
+        assert_eq!(stats.misses, q as u64);
+        assert_eq!(stats.hits, (q * (q - 1)) as u64);
+
+        // A second environment re-packs (new epoch): no stale reuse
+        // even though buffer ids coincide.
+        let (c2, a2) = run_once(&mut mach, 50);
+        assert_eq!(c2, matmul_naive(&a2, &b));
+        let stats = mach.executor().pack_cache_stats().expect("cache on");
+        assert_eq!(stats.misses, 2 * q as u64);
+    }
+}

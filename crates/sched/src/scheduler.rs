@@ -1,0 +1,686 @@
+//! Graph → schedule: coalescing passes and deterministic list scheduling.
+//!
+//! [`Scheduler::plan`] runs three phases over a recorded [`OpGraph`]:
+//!
+//! 1. **Coalescing** (optional): rewrite the node list into fewer,
+//!    wider invocations wherever the model's shape contract allows —
+//!    see [width merging](#width-merging) and [inner
+//!    merging](#inner-merging) below. Every merge removes one whole
+//!    `n·√m + ℓ` invocation charge, which is the model's own cost term,
+//!    not a host implementation detail.
+//! 2. **Leveling**: dependency depth from the hazard structure. Nodes
+//!    of equal depth are mutually independent (a conflict edge always
+//!    increases depth), so each depth is a wave the machine may run in
+//!    any order — or on parallel units.
+//! 3. **Emission**: a canonical serial order (depth, then
+//!    [`Node::canonical_key`]) plus one [`tcu_core::Partition`] per wave
+//!    from [`tcu_core::partition_lpt`], exactly the partitioner the
+//!    parallel machine uses. Single-unit replay and multi-unit dispatch
+//!    therefore charge identical per-op Stats; only the makespan —
+//!    the max-loaded unit per wave — depends on the unit count.
+//!
+//! The emitted order depends only on the *dependency structure and
+//! contents* of the graph, never on recording order: any
+//! dependency-respecting shuffle of the recording yields the same
+//! schedule, stats, and trace (`tests/determinism.rs` pins this).
+//!
+//! # Width merging
+//!
+//! Two same-depth zero-padded ops that stream the **same left-operand
+//! region** against horizontally adjacent weight blocks, writing
+//! horizontally adjacent output blocks, are one wider instruction:
+//! `C[:, j0..j1] (+)= A·B[:, j0..j1]`. Legal whenever the combined
+//! width still fits the unit (`≤ √m`) *and* hoisting the later member
+//! to the earlier one's position crosses nothing it must stay ordered
+//! with — an interposed write to an overlapping region blocks the merge
+//! unless both sides accumulate, which commutes exactly over rings
+//! (see [`width_merge_pass`]). The fused instruction itself computes
+//! each output column's inner product untouched; when a hoist crosses
+//! an interposed accumulate, float sums into that region reassociate
+//! (rings stay exact). This is the ROADMAP's "E2 re-streamed strips"
+//! collapse: the strip is streamed once for the merged ops instead of
+//! once per block column.
+//!
+//! # Inner merging
+//!
+//! An accumulate chain `C += A₁·B₁; C += A₂·B₂` whose left operands are
+//! horizontally adjacent (and weight blocks vertically adjacent) is one
+//! instruction with the concatenated inner dimension, when that still
+//! fits `√m`. For ring scalars (integers, `F_p`) results are exactly
+//! equal; for floats the fused chain reassociates the per-element sum
+//! (documented, and why the pinned equivalence tests run over `i64`).
+
+use crate::graph::{hazard_successors, levels, Node, OpGraph};
+use tcu_core::{partition_lpt, PadPolicy, Partition, TensorUnit};
+
+/// Planner configuration: unit count and whether coalescing runs.
+#[derive(Clone, Copy, Debug)]
+pub struct Scheduler {
+    units: usize,
+    coalesce: bool,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler {
+    /// Single unit, coalescing on.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            units: 1,
+            coalesce: true,
+        }
+    }
+
+    /// Schedule onto `p ≥ 1` identical tensor units.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    #[must_use]
+    pub fn with_units(mut self, p: usize) -> Self {
+        assert!(p >= 1, "need at least one unit");
+        self.units = p;
+        self
+    }
+
+    /// Disable the coalescing passes (hazard-respecting reordering and
+    /// wave scheduling still run): the ablation the benchmarks compare
+    /// against, and the mode whose charges match the eager path op-for-op.
+    #[must_use]
+    pub fn without_coalescing(mut self) -> Self {
+        self.coalesce = false;
+        self
+    }
+
+    /// Plan `graph` for a machine with `unit`'s costing policy.
+    ///
+    /// # Panics
+    /// Panics if a recorded op violates `unit`'s shape contract.
+    #[must_use]
+    pub fn plan<U: TensorUnit>(&self, graph: &OpGraph, unit: &U) -> Schedule {
+        let s = unit.sqrt_m();
+        let mut nodes: Vec<Node> = graph.nodes().to_vec();
+        for n in &nodes {
+            n.op.validate(s);
+        }
+        let mut fused: Vec<u32> = vec![1; nodes.len()];
+        if self.coalesce {
+            loop {
+                let merged = width_merge_pass(&mut nodes, &mut fused, s)
+                    + inner_merge_pass(&mut nodes, &mut fused, s);
+                if merged == 0 {
+                    break;
+                }
+            }
+        }
+
+        // Level, then order canonically within level.
+        let succs = hazard_successors(&nodes);
+        let lv = levels(&nodes, &succs);
+        let mut order: Vec<usize> = (0..nodes.len()).collect();
+        order.sort_by(|&i, &j| {
+            (lv[i], nodes[i].canonical_key()).cmp(&(lv[j], nodes[j].canonical_key()))
+        });
+
+        let mut scheduled = Vec::with_capacity(order.len());
+        let mut waves = Vec::new();
+        let mut makespan = 0u64;
+        let (mut invocations, mut charged_rows, mut tensor_time) = (0u64, 0u64, 0u64);
+        let mut w0 = 0usize;
+        for (pos, &i) in order.iter().enumerate() {
+            scheduled.push(ScheduledNode {
+                node: nodes[i],
+                level: lv[i],
+                fused: fused[i],
+            });
+            let wave_ends = pos + 1 == order.len() || lv[order[pos + 1]] != lv[i];
+            if wave_ends {
+                let costs: Vec<u64> = scheduled[w0..]
+                    .iter()
+                    .flat_map(|sn| invocation_rows(&sn.node, unit))
+                    .map(|rows| {
+                        invocations += 1;
+                        charged_rows += rows as u64;
+                        let cost = unit.invocation_cost(rows);
+                        tensor_time += cost;
+                        cost
+                    })
+                    .collect();
+                let partition = partition_lpt(&costs, self.units);
+                makespan += partition.makespan();
+                waves.push(partition);
+                w0 = pos + 1;
+            }
+        }
+
+        Schedule {
+            nodes: scheduled,
+            waves,
+            recorded_ops: graph.len(),
+            buffer_shapes: (0..graph.buffer_count())
+                .map(|i| graph.buffer_shape(crate::BufferId(i)))
+                .collect(),
+            units: self.units,
+            sqrt_m: s,
+            makespan,
+            invocations,
+            charged_rows,
+            tensor_time,
+        }
+    }
+}
+
+/// The hardware invocations one node decomposes into under `unit`: one
+/// tall call, or `⌈n/√m⌉` square tiles without native tall support —
+/// the same split the serial machine's charge path applies.
+fn invocation_rows<U: TensorUnit>(node: &Node, unit: &U) -> Vec<usize> {
+    let s = unit.sqrt_m();
+    let n = node.op.charge_rows(s);
+    if unit.supports_tall() {
+        vec![n]
+    } else {
+        vec![s; n.div_ceil(s)]
+    }
+}
+
+/// One emitted op: the (possibly merged) node, its dependency depth,
+/// and how many recorded ops it stands for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledNode {
+    /// The instruction and its operand regions.
+    pub node: Node,
+    /// Dependency depth (wave index).
+    pub level: usize,
+    /// Recorded ops this node coalesces (1 = not merged).
+    pub fused: u32,
+}
+
+/// A planned execution: canonical serial order, per-wave unit
+/// partitions, and the model-cost aggregates of the planned stream.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    nodes: Vec<ScheduledNode>,
+    waves: Vec<Partition>,
+    recorded_ops: usize,
+    pub(crate) buffer_shapes: Vec<(usize, usize)>,
+    units: usize,
+    pub(crate) sqrt_m: usize,
+    makespan: u64,
+    invocations: u64,
+    charged_rows: u64,
+    tensor_time: u64,
+}
+
+impl Schedule {
+    /// The emitted ops in serial execution order.
+    #[must_use]
+    pub fn nodes(&self) -> &[ScheduledNode] {
+        &self.nodes
+    }
+
+    /// Ops after coalescing.
+    #[must_use]
+    pub fn ops(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Ops as recorded, before coalescing.
+    #[must_use]
+    pub fn recorded_ops(&self) -> usize {
+        self.recorded_ops
+    }
+
+    /// Recorded ops eliminated by coalescing.
+    #[must_use]
+    pub fn coalesced_away(&self) -> usize {
+        self.recorded_ops - self.nodes.len()
+    }
+
+    /// Dependency levels (independent-op waves).
+    #[must_use]
+    pub fn waves(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// Per-wave unit assignments: the [`tcu_core::partition_lpt`]
+    /// schedule of each wave's invocation costs onto `units()` units
+    /// (invocation order follows [`Self::nodes`], tall splits expanded).
+    #[must_use]
+    pub fn wave_partitions(&self) -> &[Partition] {
+        &self.waves
+    }
+
+    /// Unit count the makespan was planned for.
+    #[must_use]
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Hardware invocations the planned stream charges (after tall
+    /// splits under the planning unit).
+    #[must_use]
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Total rows charged across planned invocations.
+    #[must_use]
+    pub fn charged_rows(&self) -> u64 {
+        self.charged_rows
+    }
+
+    /// Total tensor-unit work of the planned stream (the `Stats`
+    /// tensor-time a single-unit run of this schedule charges).
+    #[must_use]
+    pub fn tensor_time(&self) -> u64 {
+        self.tensor_time
+    }
+
+    /// Simulated wall-clock of the tensor work on `units()` units: the
+    /// sum of per-wave LPT makespans. Equals [`Self::tensor_time`] on
+    /// one unit.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+}
+
+/// Merge same-depth ops that stream one left-operand region against
+/// adjacent weight columns into wider invocations. Returns merges made.
+///
+/// Equal depth guarantees the *pair* is unordered, but the merged node
+/// executes at the earlier member's program position — so the later
+/// member is hoisted across everything recorded between them. That is
+/// only sound when every interposed conflicting node commutes with it:
+/// under the graph's input/output-disjoint binding rule a conflict is
+/// always a write into an overlapping output region, which commutes
+/// exactly (over rings) iff both sides accumulate. Anything else — an
+/// interposed overwrite, or hoisting an overwrite itself — blocks the
+/// merge ([`hoist_is_benign`]).
+fn width_merge_pass(nodes: &mut Vec<Node>, fused: &mut Vec<u32>, s: usize) -> usize {
+    let succs = hazard_successors(nodes);
+    let lv = levels(nodes, &succs);
+    // Sort candidates so chain members become consecutive: everything
+    // that must agree first, then the b-column that must be adjacent.
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    order.sort_by_key(|&i| {
+        let n = &nodes[i];
+        (
+            lv[i],
+            n.a,
+            n.op.accumulate,
+            n.b.buf,
+            n.b.r0,
+            n.out.buf,
+            n.out.r0,
+            n.b.c0,
+            n.out.c0,
+        )
+    });
+    let mut removed = vec![false; nodes.len()];
+    let mut merges = 0usize;
+    let mut chain_head: Option<usize> = None;
+    for w in order.windows(2) {
+        let (i, j) = (w[0], w[1]);
+        let head = chain_head.unwrap_or(i);
+        let (h, n) = (nodes[head], nodes[j]);
+        let mergeable = lv[i] == lv[j]
+            && h.op.pad == PadPolicy::ZeroPad
+            && n.op.pad == PadPolicy::ZeroPad
+            && h.op.accumulate == n.op.accumulate
+            && h.a == n.a
+            && (n.b.buf, n.b.r0, n.b.rows) == (h.b.buf, h.b.r0, h.b.rows)
+            && (n.out.buf, n.out.r0, n.out.rows) == (h.out.buf, h.out.r0, h.out.rows)
+            && n.b.c0 == h.b.c0 + h.op.width
+            && n.out.c0 == h.out.c0 + h.op.width
+            && h.op.width + n.op.width <= s
+            && hoist_is_benign(nodes, &removed, head, j);
+        if mergeable {
+            let head_node = &mut nodes[head];
+            head_node.op.width += n.op.width;
+            head_node.b.cols += n.b.cols;
+            head_node.out.cols += n.out.cols;
+            fused[head] += fused[j];
+            removed[j] = true;
+            merges += 1;
+            chain_head = Some(head);
+        } else {
+            chain_head = None;
+        }
+    }
+    compact(nodes, fused, &removed);
+    merges
+}
+
+/// `true` iff folding node `j` into the merge head at slot `head` moves
+/// `j` across nothing it must stay ordered with: every live node
+/// recorded strictly between the two slots either doesn't conflict with
+/// `j`, or the conflict is accumulate-with-accumulate (which commutes
+/// exactly over rings; floats reassociate, as the module docs note).
+/// The head must precede `j` in program order — merging backwards would
+/// instead move the *earlier* member across the window, so it is simply
+/// refused. Slots already merged away this pass are skipped: their
+/// constraints live on at their (earlier) host slot, which stays ahead
+/// of the merged node.
+fn hoist_is_benign(nodes: &[Node], removed: &[bool], head: usize, j: usize) -> bool {
+    head < j
+        && (head + 1..j).all(|w| {
+            removed[w]
+                || !nodes[w].conflicts(&nodes[j])
+                || (nodes[w].op.accumulate && nodes[j].op.accumulate)
+        })
+}
+
+/// Merge accumulate chains over adjacent inner-dimension slices into
+/// single invocations with the concatenated inner dimension. Returns
+/// merges made.
+fn inner_merge_pass(nodes: &mut Vec<Node>, fused: &mut Vec<u32>, s: usize) -> usize {
+    let mut merges = 0usize;
+    loop {
+        let succs = hazard_successors(nodes);
+        let lv = levels(nodes, &succs);
+        let mut order: Vec<usize> = (0..nodes.len()).collect();
+        order.sort_by(|&i, &j| {
+            (lv[i], nodes[i].canonical_key()).cmp(&(lv[j], nodes[j].canonical_key()))
+        });
+        let mut best: Option<(usize, usize)> = None;
+        'scan: for &i in &order {
+            let h = nodes[i];
+            if h.op.pad != PadPolicy::ZeroPad || !h.op.accumulate {
+                continue;
+            }
+            for &j in &succs[i] {
+                let n = nodes[j];
+                let mergeable = n.op.pad == PadPolicy::ZeroPad
+                    && n.op.accumulate
+                    && n.out == h.out
+                    && (n.a.buf, n.a.r0, n.a.rows) == (h.a.buf, h.a.r0, h.a.rows)
+                    && n.a.c0 == h.a.c0 + h.op.inner
+                    && (n.b.buf, n.b.c0, n.b.cols) == (h.b.buf, h.b.c0, h.b.cols)
+                    && n.b.r0 == h.b.r0 + h.op.inner
+                    && h.op.inner + n.op.inner <= s
+                    && !reachable_avoiding(&succs, i, j);
+                if mergeable {
+                    best = Some((i, j));
+                    break 'scan;
+                }
+            }
+        }
+        let Some((i, j)) = best else {
+            return merges;
+        };
+        let add = nodes[j];
+        let head = &mut nodes[i];
+        head.op.inner += add.op.inner;
+        head.a.cols += add.a.cols;
+        head.b.rows += add.b.rows;
+        fused[i] += fused[j];
+        let mut removed = vec![false; nodes.len()];
+        removed[j] = true;
+        compact(nodes, fused, &removed);
+        merges += 1;
+    }
+}
+
+/// `true` iff `to` is reachable from `from` through the hazard DAG by a
+/// path of length ≥ 2 (the direct edge is ignored). A merge of two
+/// conflicting nodes is only sound when nothing is forced strictly
+/// between them.
+fn reachable_avoiding(succs: &[Vec<usize>], from: usize, to: usize) -> bool {
+    let mut seen = vec![false; succs.len()];
+    let mut stack: Vec<usize> = succs[from].iter().copied().filter(|&x| x != to).collect();
+    while let Some(x) = stack.pop() {
+        if seen[x] {
+            continue;
+        }
+        seen[x] = true;
+        for &y in &succs[x] {
+            if y == to {
+                return true;
+            }
+            if !seen[y] {
+                stack.push(y);
+            }
+        }
+    }
+    false
+}
+
+/// Drop the nodes flagged in `removed`, preserving program order.
+fn compact(nodes: &mut Vec<Node>, fused: &mut Vec<u32>, removed: &[bool]) {
+    let mut k = 0usize;
+    nodes.retain(|_| {
+        k += 1;
+        !removed[k - 1]
+    });
+    let mut k = 0usize;
+    fused.retain(|_| {
+        k += 1;
+        !removed[k - 1]
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OperandRef;
+    use tcu_core::{ModelTensorUnit, TensorOp, WeakTensorUnit};
+
+    /// The blocked Theorem-2 loop at block size `blk` over `d × d`
+    /// buffers: the canonical recording every scheduler test reuses.
+    fn blocked_graph(d: usize, blk: usize) -> (OpGraph, [crate::BufferId; 3]) {
+        let mut g = OpGraph::new();
+        let a = g.buffer("A", d, d);
+        let b = g.buffer("B", d, d);
+        let c = g.buffer("C", d, d);
+        let q = d / blk;
+        for j in 0..q {
+            for k in 0..q {
+                g.record(
+                    TensorOp {
+                        accumulate: true,
+                        ..TensorOp::padded(d, blk, blk)
+                    },
+                    OperandRef::new(a, 0, k * blk, d, blk),
+                    OperandRef::new(b, k * blk, j * blk, blk, blk),
+                    OperandRef::new(c, 0, j * blk, d, blk),
+                );
+            }
+        }
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn blocked_flow_coalesces_to_quarter_on_a_double_width_unit() {
+        // Block-16 recording on a √m = 32 unit: width merging pairs the
+        // column blocks, inner merging pairs the k-slices — 4× fewer
+        // invocations, each still ≤ √m, and 4× fewer streamed charges.
+        let d = 64usize;
+        let (g, _) = blocked_graph(d, 16);
+        assert_eq!(g.len(), 16);
+        let unit = ModelTensorUnit::new(32 * 32, 100);
+        let plan = Scheduler::new().plan(&g, &unit);
+        assert_eq!(plan.ops(), 4);
+        assert_eq!(plan.coalesced_away(), 12);
+        assert_eq!(plan.invocations(), 4);
+        for sn in plan.nodes() {
+            assert_eq!(sn.fused, 4);
+            assert_eq!((sn.node.op.inner, sn.node.op.width), (32, 32));
+        }
+        // Un-coalesced plan charges 4× the invocations and rows.
+        let eager = Scheduler::new().without_coalescing().plan(&g, &unit);
+        assert_eq!(eager.ops(), 16);
+        assert_eq!(eager.charged_rows(), 4 * plan.charged_rows());
+    }
+
+    #[test]
+    fn strict_full_width_ops_never_merge() {
+        let d = 64usize;
+        let (g, _) = blocked_graph(d, 16);
+        // On a √m = 16 unit the blocks already fill the footprint.
+        let unit = ModelTensorUnit::new(256, 10);
+        let plan = Scheduler::new().plan(&g, &unit);
+        assert_eq!(plan.ops(), 16);
+        assert_eq!(plan.coalesced_away(), 0);
+        // 4 accumulate waves of 4 independent column blocks each.
+        assert_eq!(plan.waves(), 4);
+    }
+
+    #[test]
+    fn schedule_is_canonical_and_wave_partitions_reuse_lpt() {
+        let (g, _) = blocked_graph(64, 16);
+        let unit = ModelTensorUnit::new(256, 5);
+        let p1 = Scheduler::new().plan(&g, &unit);
+        let p4 = Scheduler::new().with_units(4).plan(&g, &unit);
+        // Same serial order and per-op charges; only makespan differs.
+        assert_eq!(p1.nodes(), p4.nodes());
+        assert_eq!(p1.tensor_time(), p4.tensor_time());
+        assert_eq!(p1.makespan(), p1.tensor_time());
+        // 4 equal ops per wave on 4 units: makespan = 1 op per wave.
+        assert_eq!(p4.makespan() * 4, p4.tensor_time());
+    }
+
+    #[test]
+    fn weak_units_split_tall_ops_into_square_invocations() {
+        let (g, _) = blocked_graph(64, 16);
+        let unit = WeakTensorUnit::new(256, 5);
+        let plan = Scheduler::new().plan(&g, &unit);
+        assert_eq!(plan.ops(), 16);
+        // Every 64-row op splits into 4 square invocations.
+        assert_eq!(plan.invocations(), 64);
+        assert_eq!(plan.charged_rows(), 64 * 16);
+    }
+
+    #[test]
+    fn interposed_overwrite_blocks_width_merge() {
+        // overwrite C[:,0..4]; acc C[:,0..4] += A·B₁; overwrite
+        // C[:,4..8]; acc C[:,4..8] += A·B₂ — the two accumulates are
+        // same-level width-merge candidates sharing the left strip, but
+        // fusing them would hoist the second accumulate above the
+        // overwrite of its own region (recorded between them), dropping
+        // its contribution. The merge must be refused.
+        let mut g = OpGraph::new();
+        let a = g.buffer("a", 8, 4);
+        let b = g.buffer("b", 4, 8);
+        let x = g.buffer("x", 8, 8);
+        let xb = g.buffer("xb", 4, 8);
+        let c = g.buffer("c", 8, 8);
+        let astrip = OperandRef::new(a, 0, 0, 8, 4);
+        let acc = TensorOp {
+            accumulate: true,
+            ..TensorOp::padded(8, 4, 4)
+        };
+        for half in 0..2usize {
+            // Distinct left strips, so the overwrites themselves are
+            // not merge candidates — only the unsound accumulate hoist
+            // is on offer.
+            g.record(
+                TensorOp::padded(8, 4, 4),
+                OperandRef::new(x, 0, half * 4, 8, 4),
+                OperandRef::new(xb, 0, half * 4, 4, 4),
+                OperandRef::new(c, 0, half * 4, 8, 4),
+            );
+            g.record(
+                acc,
+                astrip,
+                OperandRef::new(b, 0, half * 4, 4, 4),
+                OperandRef::new(c, 0, half * 4, 8, 4),
+            );
+        }
+        let unit = ModelTensorUnit::new(64, 0);
+        let plan = Scheduler::new().plan(&g, &unit);
+        assert_eq!(
+            plan.ops(),
+            4,
+            "hoisting an accumulate across an overwrite of its region \
+             must be refused (and overwrites themselves may not merge \
+             across the interposed accumulate)"
+        );
+
+        // Numeric proof, not just a count: run the plan and compare to
+        // program-order evaluation.
+        use crate::ExecEnv;
+        use tcu_core::TcuMachine;
+        use tcu_linalg::ops::matmul_naive;
+        use tcu_linalg::Matrix;
+        let am = Matrix::from_fn(8, 4, |i, j| (i * 3 + j) as i64 % 5 - 2);
+        let bm = Matrix::from_fn(4, 8, |i, j| (i * 7 + j) as i64 % 9 - 4);
+        let xm = Matrix::from_fn(8, 8, |i, j| (i + j * 5) as i64 % 7 - 3);
+        let xbm = Matrix::from_fn(4, 8, |i, j| (i * 2 + j * 3) as i64 % 11 - 5);
+        let mut cm = Matrix::<i64>::zeros(8, 8);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(a, am.view());
+        env.bind_input(b, bm.view());
+        env.bind_input(x, xm.view());
+        env.bind_input(xb, xbm.view());
+        env.bind_output(c, cm.view_mut());
+        let mut mach = TcuMachine::model(64, 0);
+        plan.run(&mut mach, &mut env);
+        // Program-order reference: per half, overwrite then accumulate.
+        let acc_full = matmul_naive(&am, &bm);
+        let mut want = Matrix::<i64>::zeros(8, 8);
+        for half in 0..2usize {
+            let ow = matmul_naive(&xm.block(0, half * 4, 8, 4), &xbm.block(0, half * 4, 4, 4));
+            want.set_block(0, half * 4, &ow);
+            let mut region = want.subview_mut(0, half * 4, 8, 4);
+            region.add_assign(acc_full.view().subview(0, half * 4, 8, 4));
+        }
+        assert_eq!(cm, want);
+    }
+
+    #[test]
+    fn interposed_accumulates_commute_so_width_merge_proceeds() {
+        // The block-16-on-√m-32 shape in miniature: accumulates into
+        // different column blocks interleave in program order, but every
+        // interposed conflict is accumulate-with-accumulate — hoisting
+        // commutes exactly, so the merges must still happen.
+        let (g, _) = blocked_graph(16, 4);
+        let unit = ModelTensorUnit::new(64, 0);
+        let plan = Scheduler::new().plan(&g, &unit);
+        assert_eq!(plan.ops(), 4);
+        assert_eq!(plan.coalesced_away(), 12);
+    }
+
+    #[test]
+    fn interposed_writer_blocks_inner_merge() {
+        // C += A₀·B₀ ; C = X (overwrite) ; C += A₁·B₁ — the k-chain is
+        // broken by the overwrite, so nothing may merge across it.
+        let mut g = OpGraph::new();
+        let a = g.buffer("a", 8, 8);
+        let b = g.buffer("b", 8, 4);
+        let x = g.buffer("x", 8, 4);
+        let xb = g.buffer("xb", 4, 4);
+        let c = g.buffer("c", 8, 4);
+        let acc = TensorOp {
+            accumulate: true,
+            ..TensorOp::padded(8, 4, 4)
+        };
+        let out = OperandRef::new(c, 0, 0, 8, 4);
+        g.record(
+            acc,
+            OperandRef::new(a, 0, 0, 8, 4),
+            OperandRef::new(b, 0, 0, 4, 4),
+            out,
+        );
+        g.record(
+            TensorOp::padded(8, 4, 4),
+            OperandRef::new(x, 0, 0, 8, 4),
+            OperandRef::new(xb, 0, 0, 4, 4),
+            out,
+        );
+        g.record(
+            acc,
+            OperandRef::new(a, 0, 4, 8, 4),
+            OperandRef::new(b, 4, 0, 4, 4),
+            out,
+        );
+        let unit = ModelTensorUnit::new(64, 0);
+        let plan = Scheduler::new().plan(&g, &unit);
+        assert_eq!(plan.ops(), 3, "overwrite in the chain must block merging");
+        assert_eq!(plan.waves(), 3);
+    }
+}

@@ -27,14 +27,16 @@ pub use tcu_algos as algos;
 pub use tcu_core as core;
 pub use tcu_extmem as extmem;
 pub use tcu_linalg as linalg;
+pub use tcu_sched as sched;
 pub use tcu_systolic as systolic;
 
 /// The most commonly used items, for `use tcu::prelude::*`.
 pub mod prelude {
     pub use tcu_core::{
-        Executor, HostExecutor, ModelMachine, PadPolicy, ParallelTcuMachine, ReplayExecutor, Stats,
-        TcuMachine, TensorOp, TensorUnit, WeakMachine,
+        Executor, HostExecutor, ModelMachine, OperandId, PadPolicy, ParallelTcuMachine,
+        ReplayExecutor, Stats, StatsSummary, TcuMachine, TensorOp, TensorUnit, WeakMachine,
     };
     pub use tcu_linalg::{Complex64, Field, Fp61, Half, Matrix, Scalar};
+    pub use tcu_sched::{ExecEnv, OpGraph, OperandRef, Schedule, Scheduler};
     pub use tcu_systolic::{SystolicArray, SystolicExecutor, SystolicTensorUnit};
 }
