@@ -90,6 +90,102 @@ pub fn transitive_closure<U: TensorUnit, E: Executor>(
     }
 }
 
+/// Deferred fast path (feature `sched`): [`transitive_closure`] with
+/// every stage's `D` updates recorded into a `tcu-sched` op graph and
+/// run as a planned, tagged stream.
+///
+/// Per pivot block `kk`, the stacked tall operand (every `X_{i,k}`,
+/// `i ≠ k`) is recorded as the single left operand streamed against all
+/// `q − 1` weight blocks — the pack cache's best case: one pack per
+/// stage, `q − 2` re-uses — while the weights `X_{k,j}` are zero-copy
+/// regions of the adjacency matrix itself (the eager path copies each
+/// block out to appease the borrow checker; the graph runtime just
+/// names the rectangle). Products land in a scratch buffer and the
+/// (∨-clamp) fold back into `X` stays on the CPU, charged exactly as
+/// the eager kernel `D` charges it — `Stats` and results are identical.
+///
+/// # Panics
+/// Panics unless `d` is square 0/1 with `√m | n`.
+#[cfg(feature = "sched")]
+pub fn transitive_scheduled<U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    d: &mut Matrix<i64>,
+) {
+    use tcu_core::TensorOp;
+    use tcu_sched::{ExecEnv, OpGraph, OperandRef, Scheduler};
+
+    let n = d.rows();
+    assert!(d.is_square(), "adjacency matrix must be square");
+    assert!(
+        d.as_slice().iter().all(|&x| x == 0 || x == 1),
+        "entries must be 0/1"
+    );
+    let s = mach.sqrt_m();
+    assert!(n.is_multiple_of(s), "√m = {s} must divide n = {n}");
+    let q = n / s;
+
+    for kk in 0..q {
+        let mut xkk = d.block(kk * s, kk * s, s, s);
+        kernel_a(mach, &mut xkk);
+        d.set_block(kk * s, kk * s, &xkk);
+        for j in 0..q {
+            if j != kk {
+                let mut xkj = d.block(kk * s, j * s, s, s);
+                kernel_b(mach, &mut xkj, &xkk);
+                d.set_block(kk * s, j * s, &xkj);
+            }
+        }
+        for i in 0..q {
+            if i != kk {
+                let mut xik = d.block(i * s, kk * s, s, s);
+                kernel_c(mach, &mut xik, &xkk);
+                d.set_block(i * s, kk * s, &xik);
+            }
+        }
+
+        if q == 1 {
+            continue;
+        }
+        let rows = (q - 1) * s;
+        let mut tall = Matrix::<i64>::zeros(rows, s);
+        let others: Vec<usize> = (0..q).filter(|&i| i != kk).collect();
+        for (bi, &i) in others.iter().enumerate() {
+            tall.set_block_view(bi * s, 0, d.subview(i * s, kk * s, s, s));
+        }
+
+        let mut g = OpGraph::new();
+        let tb = g.buffer("T", rows, s);
+        let xb = g.buffer("X", n, n);
+        let pb = g.buffer("P", rows, rows);
+        let t_whole = OperandRef::new(tb, 0, 0, rows, s);
+        for (bj, &j) in others.iter().enumerate() {
+            g.record(
+                TensorOp::mul(rows, s),
+                t_whole,
+                OperandRef::new(xb, kk * s, j * s, s, s),
+                OperandRef::new(pb, 0, bj * s, rows, s),
+            );
+        }
+        let plan = Scheduler::new().plan(&g, mach.unit());
+        let mut prods = Matrix::<i64>::zeros(rows, rows);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(tb, tall.view());
+        env.bind_input(xb, d.view());
+        env.bind_output(pb, prods.view_mut());
+        plan.run(mach, &mut env);
+
+        for (bj, &j) in others.iter().enumerate() {
+            for (bi, &i) in others.iter().enumerate() {
+                mach.charge(2 * (s * s) as u64);
+                d.subview_mut(i * s, j * s, s, s)
+                    .zip_apply(prods.subview(bi * s, bj * s, s, s), |x, p| {
+                        i64::from(x + p > 0)
+                    });
+            }
+        }
+    }
+}
+
 /// Kernel `A` (Figure 7): in-block closure with (∨, ∧); 2 ops per inner
 /// iteration.
 fn kernel_a<U: TensorUnit, E: Executor>(mach: &mut TcuMachine<U, E>, x: &mut Matrix<i64>) {
@@ -284,5 +380,42 @@ mod tests {
         let mut mach = TcuMachine::model(4, 0);
         let mut d = Matrix::from_fn(4, 4, |i, j| (i + j) as i64);
         transitive_closure(&mut mach, &mut d);
+    }
+
+    #[cfg(feature = "sched")]
+    #[test]
+    fn scheduled_closure_matches_eager_with_identical_stats() {
+        for (n, m, density) in [(16usize, 16usize, 0.1), (32, 16, 0.2), (24, 4, 0.15)] {
+            let mut rng = StdRng::seed_from_u64(500 + n as u64);
+            let adj = random_digraph(n, density, &mut rng);
+            let mut eager = TcuMachine::model(m, 7);
+            let mut want = adj.clone();
+            transitive_closure(&mut eager, &mut want);
+            let mut sched = TcuMachine::model(m, 7);
+            sched.executor_mut().enable_pack_cache(2);
+            let mut got = adj.clone();
+            transitive_scheduled(&mut sched, &mut got);
+            assert_eq!(got, want, "n={n} m={m}");
+            assert_eq!(got, transitive_closure_host(&adj), "n={n} m={m}");
+            assert_eq!(sched.stats(), eager.stats(), "n={n} m={m}");
+        }
+    }
+
+    #[cfg(feature = "sched")]
+    #[test]
+    fn scheduled_closure_packs_each_stage_stack_once() {
+        let (n, m) = (32usize, 16usize);
+        let q = n / 4;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut d = random_digraph(n, 0.2, &mut rng);
+        let mut mach = TcuMachine::model(m, 0);
+        mach.executor_mut().enable_pack_cache(2);
+        transitive_scheduled(&mut mach, &mut d);
+        let cache = mach.executor().pack_cache_stats().expect("cache on");
+        // q stages, each streaming one stacked operand against q − 1
+        // weight blocks: one pack and q − 2 hits per stage.
+        assert_eq!(cache.lookups, (q * (q - 1)) as u64);
+        assert_eq!(cache.misses, q as u64);
+        assert_eq!(cache.hits, (q * (q - 2)) as u64);
     }
 }

@@ -87,6 +87,96 @@ pub fn ge_forward<T: Field, U: TensorUnit, E: Executor>(
     }
 }
 
+/// Deferred fast path (feature `sched`): [`ge_forward`] with every
+/// stage's Schur-complement update (`D` kernels) recorded into a
+/// `tcu-sched` op graph and run as a planned, tagged stream.
+///
+/// This is the versioned pipeline capability at work: the graph reads
+/// the pivot *panel* of `X` — the column of blocks below the diagonal —
+/// while accumulating into `X`'s trailing block columns, so one buffer
+/// is both streamed and updated (the pre-versioned planner rejected
+/// exactly this). The panel is the stream's only left operand, which is
+/// the pack cache's best case: packed once per stage, re-used for every
+/// remaining block column. Model accounting is identical to the eager
+/// path — same tall invocations, same CPU charges (the fused
+/// accumulates absorb the per-block adds on the host, but Theorem 2's
+/// final summation is still billed) — and results are bit-identical for
+/// every `Field` scalar, floats included (the fused accumulate performs
+/// the same per-element sum as product-then-add).
+///
+/// # Panics
+/// Panics unless `x` is square with `√m | √n`, or if a pivot used by
+/// the no-pivoting scheme is zero.
+#[cfg(feature = "sched")]
+pub fn eliminate_scheduled<T: Field, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    x: &mut Matrix<T>,
+) {
+    use tcu_core::TensorOp;
+    use tcu_sched::{ExecEnv, OpGraph, OperandRef, Scheduler};
+
+    let d = x.rows();
+    assert!(x.is_square(), "augmented matrix must be square");
+    let s = mach.sqrt_m();
+    assert!(d.is_multiple_of(s), "√m = {s} must divide √n = {d}");
+    let q = d / s;
+
+    for kk in 0..q {
+        // A, B, C: the same CPU kernels as the eager path.
+        let mut xkk = x.block(kk * s, kk * s, s, s);
+        kernel_a(mach, &mut xkk);
+        x.set_block(kk * s, kk * s, &xkk);
+
+        let mut xprime: Vec<Matrix<T>> = Vec::with_capacity(q - kk - 1);
+        for j in kk + 1..q {
+            let mut xkj = x.block(kk * s, j * s, s, s);
+            let xp = kernel_b(mach, &mut xkj, &xkk);
+            x.set_block(kk * s, j * s, &xkj);
+            xprime.push(xp);
+        }
+        for i in kk + 1..q {
+            let mut xik = x.block(i * s, kk * s, s, s);
+            kernel_c(mach, &mut xik, &xkk);
+            x.set_block(i * s, kk * s, &xik);
+        }
+
+        let rem = q - kk - 1;
+        if rem == 0 {
+            continue;
+        }
+        // The scaled pivot-row blocks, side by side, are the weights.
+        let mut w = Matrix::<T>::zeros(s, rem * s);
+        for (bj, xp) in xprime.iter().enumerate() {
+            w.set_block(0, bj * s, xp);
+        }
+        // D as a recorded stream: per trailing block column j, stream
+        // X's own pivot panel (contiguous below the diagonal — no
+        // gather) against W_j, accumulating straight into X's column.
+        let rows = rem * s;
+        let mut g = OpGraph::new();
+        let xb = g.buffer("X", d, d);
+        let wb = g.buffer("W", s, rem * s);
+        let panel = OperandRef::new(xb, (kk + 1) * s, kk * s, rows, s);
+        for (bj, j) in (kk + 1..q).enumerate() {
+            g.record(
+                TensorOp::mul_acc(rows, s),
+                panel,
+                OperandRef::new(wb, 0, bj * s, s, s),
+                OperandRef::new(xb, (kk + 1) * s, j * s, rows, s),
+            );
+        }
+        let plan = Scheduler::new().plan(&g, mach.unit());
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(wb, w.view());
+        env.bind_output(xb, x.view_mut());
+        plan.run(mach, &mut env);
+        // The fused accumulates absorbed the eager path's per-block host
+        // adds; the model still bills them as CPU work, so Stats match
+        // the eager run exactly.
+        mach.charge((rem * rem * s * s) as u64);
+    }
+}
+
 /// Kernel `A` (Figure 4): unblocked no-pivot elimination inside one
 /// `√m × √m` block; 3 scalar ops per inner iteration.
 fn kernel_a<T: Field, U: TensorUnit, E: Executor>(mach: &mut TcuMachine<U, E>, x: &mut Matrix<T>) {
@@ -301,5 +391,65 @@ mod tests {
         let mut mach = TcuMachine::model(16, 0);
         let mut c = Matrix::<f64>::identity(10);
         ge_forward(&mut mach, &mut c);
+    }
+
+    #[cfg(feature = "sched")]
+    #[test]
+    fn scheduled_elimination_is_bit_identical_with_identical_stats() {
+        for (d, m) in [(16usize, 16usize), (32, 16), (24, 16), (32, 4)] {
+            let (_, _, c0) = augmented(d, 77 + d as u64);
+            let mut eager = TcuMachine::model(m, 1000);
+            let mut want = c0.clone();
+            ge_forward(&mut eager, &mut want);
+            let mut sched = TcuMachine::model(m, 1000);
+            sched.executor_mut().enable_pack_cache(4);
+            let mut got = c0;
+            eliminate_scheduled(&mut sched, &mut got);
+            // Fused accumulates perform the same per-element sums, so
+            // even f64 agrees under IEEE equality.
+            assert_eq!(got, want, "d={d} m={m}");
+            assert_eq!(sched.stats(), eager.stats(), "d={d} m={m}");
+        }
+    }
+
+    #[cfg(feature = "sched")]
+    #[test]
+    fn scheduled_elimination_exact_over_prime_field() {
+        let d = 16usize;
+        let c0 = Matrix::from_fn(d, d, |i, j| {
+            if i == d - 1 {
+                Fp61::ZERO
+            } else if i == j {
+                Fp61::new(7)
+            } else {
+                Fp61::new(((3 * i + 5 * j) % 3) as u64)
+            }
+        });
+        let mut eager = TcuMachine::model(16, 3);
+        let mut want = c0.clone();
+        ge_forward(&mut eager, &mut want);
+        let mut sched = TcuMachine::model(16, 3);
+        let mut got = c0;
+        eliminate_scheduled(&mut sched, &mut got);
+        assert_eq!(got, want);
+        assert_eq!(sched.stats(), eager.stats());
+    }
+
+    #[cfg(feature = "sched")]
+    #[test]
+    fn scheduled_elimination_packs_each_pivot_panel_once() {
+        let (d, m) = (32usize, 16usize);
+        let q = d / 4;
+        let (_, _, c0) = augmented(d, 5);
+        let mut mach = TcuMachine::model(m, 10);
+        mach.executor_mut().enable_pack_cache(2);
+        let mut x = c0;
+        eliminate_scheduled(&mut mach, &mut x);
+        let cache = mach.executor().pack_cache_stats().expect("cache on");
+        // Per stage with rem > 0: the panel is the only left operand —
+        // one pack, rem − 1 re-uses.
+        assert_eq!(cache.lookups, (q * (q - 1) / 2) as u64);
+        assert_eq!(cache.misses, (q - 1) as u64);
+        assert_eq!(cache.hits, cache.lookups - cache.misses);
     }
 }

@@ -1,21 +1,30 @@
-//! Compare a freshly measured `BENCH_matmul.json` against the committed
-//! baseline and flag speedup regressions.
+//! Compare a freshly measured bench JSON (`BENCH_matmul.json` or
+//! `BENCH_sched.json`) against the committed baseline and flag
+//! regressions.
 //!
 //! Usage: `bench_diff <fresh.json> <baseline.json> [--threshold <pct>]
 //! [--informational]`
 //!
-//! Comparison is on `speedup_tiled` per case (matched by name): the
-//! seed-kernel-vs-tiled-kernel ratio measured on the *same* machine in
-//! the same run, so the check is meaningful across hosts of different
-//! absolute speed. `speedup_parallel` is compared too, but **only when
-//! both files were measured with the same `available_parallelism`** —
-//! a parallel-path ratio from a 1-core runner says nothing about a
-//! multi-core baseline, so mismatched core counts skip the parallel
-//! comparison entirely rather than annotating noise. Cases present in
-//! only one file (the CI smoke run sweeps fewer sizes than the
-//! committed full run) are reported and skipped. A case regresses when
-//! its fresh speedup falls more than `threshold` percent (default 20)
-//! below the baseline's.
+//! Three per-case metrics are diffed, each only when present in both
+//! files (matched by case name):
+//!
+//! * `speedup_tiled` — the seed-kernel-vs-tiled-kernel ratio measured
+//!   on the *same* machine in the same run, so the check is meaningful
+//!   across hosts of different absolute speed. Regression = fresh ratio
+//!   more than `threshold` percent *below* baseline.
+//! * `speedup_parallel` — compared **only when both files were measured
+//!   with the same `available_parallelism`**: a parallel-path ratio
+//!   from a 1-core runner says nothing about a multi-core baseline, so
+//!   mismatched core counts skip the comparison entirely rather than
+//!   annotating noise.
+//! * `plan_ms` — scheduler planning wall time (the `exp_sched` cases).
+//!   Lower is better: regression = fresh time more than `threshold`
+//!   percent *above* baseline. This is the gate that pins the
+//!   bucketed-hazard-index + batched-merge planning cost (the all-pairs
+//!   scan it replaced took ≈92 ms on the shared 1024-op case).
+//!
+//! Cases present in only one file (the CI smoke run sweeps fewer sizes
+//! than the committed full run) are reported and skipped.
 //!
 //! Exit status is non-zero when any case regresses, unless
 //! `--informational` is passed — the mode CI uses on small shared
@@ -26,8 +35,9 @@ use std::process::ExitCode;
 
 struct CaseSpeedup {
     name: String,
-    speedup_tiled: f64,
+    speedup_tiled: Option<f64>,
     speedup_parallel: Option<f64>,
+    plan_ms: Option<f64>,
 }
 
 /// One parsed bench file: its cases plus the core count it ran with
@@ -53,13 +63,16 @@ fn parse_file(text: &str) -> BenchFile {
         let Some(name) = field_str(line, "name") else {
             continue;
         };
-        let Some(speedup_tiled) = field_num(line, "speedup_tiled") else {
+        let speedup_tiled = field_num(line, "speedup_tiled");
+        let plan_ms = field_num(line, "plan_ms").filter(|&ms| ms > 0.0);
+        if speedup_tiled.is_none() && plan_ms.is_none() {
             continue;
-        };
+        }
         cases.push(CaseSpeedup {
             name,
             speedup_tiled,
             speedup_parallel: field_num(line, "speedup_parallel"),
+            plan_ms,
         });
     }
     BenchFile { cases, cores }
@@ -139,9 +152,15 @@ fn main() -> ExitCode {
             continue;
         };
         compared += 1;
-        let mut checks: Vec<(&str, f64, f64)> = vec![("tiled", f.speedup_tiled, b.speedup_tiled)];
+        // (kind, fresh, baseline, higher_is_better, unit suffix)
+        let mut checks: Vec<(&str, f64, f64, bool, &str)> = Vec::new();
+        if let (Some(ft), Some(bt)) = (f.speedup_tiled, b.speedup_tiled) {
+            checks.push(("tiled speedup", ft, bt, true, "x"));
+        }
         match (f.speedup_parallel, b.speedup_parallel) {
-            (Some(fp), Some(bp)) if same_cores => checks.push(("parallel", fp, bp)),
+            (Some(fp), Some(bp)) if same_cores => {
+                checks.push(("parallel speedup", fp, bp, true, "x"));
+            }
             (Some(_), Some(_)) => {
                 println!(
                     "{:<20}  parallel comparison skipped (core-count mismatch)",
@@ -150,12 +169,19 @@ fn main() -> ExitCode {
             }
             _ => {}
         }
-        for (kind, fs, bs) in checks {
+        if let (Some(fp), Some(bp)) = (f.plan_ms, b.plan_ms) {
+            checks.push(("plan time", fp, bp, false, "ms"));
+        }
+        for (kind, fs, bs, higher_better, unit) in checks {
             let delta_pct = (fs / bs - 1.0) * 100.0;
-            let regressed = delta_pct < -threshold;
+            let regressed = if higher_better {
+                delta_pct < -threshold
+            } else {
+                delta_pct > threshold
+            };
             let verdict = if regressed { "REGRESSED" } else { "ok" };
             println!(
-                "{:<20}  {kind} speedup {fs:.2}x vs baseline {bs:.2}x  ({delta_pct:+.1}%)  {verdict}",
+                "{:<20}  {kind} {fs:.2}{unit} vs baseline {bs:.2}{unit}  ({delta_pct:+.1}%)  {verdict}",
                 f.name
             );
             if regressed {
@@ -163,10 +189,12 @@ fn main() -> ExitCode {
                 // GitHub annotation: warning in informational mode, error
                 // when the gate is hard.
                 let level = if informational { "warning" } else { "error" };
+                let dir = if higher_better { "below" } else { "above" };
                 println!(
-                    "::{level}::bench {}: {kind} speedup {fs:.2}x fell {:.1}% below the committed \
-                     baseline {bs:.2}x (threshold {threshold}%)",
-                    f.name, -delta_pct
+                    "::{level}::bench {}: {kind} {fs:.2}{unit} moved {:.1}% {dir} the committed \
+                     baseline {bs:.2}{unit} (threshold {threshold}%)",
+                    f.name,
+                    delta_pct.abs()
                 );
             }
         }

@@ -8,7 +8,7 @@
 //! flow is the *run*: recording + planning cost is measured once and
 //! reported separately as `plan_ns`.
 //!
-//! Three cases:
+//! Six cases:
 //!
 //! * `packcache d=<d>` — the E2 hot path (`√m = 16`, strict full-width
 //!   blocks, `f64`): eager `dense::multiply` re-reads each `A` strip
@@ -22,6 +22,12 @@
 //!   group of narrow ops into one full-footprint invocation — 4× fewer
 //!   invocations and streamed rows *in simulated time*, the model's own
 //!   cost terms.
+//! * `plan d=512 ops=1024` — *planner wall time* on the canonical
+//!   1024-op coalesce graph, coalescing off (`eager ns/op`) and on
+//!   (`sched ns/op` = `plan_ms`). Runs at full size even under
+//!   `--quick`, so CI can diff the committed `plan_ms` baseline and
+//!   catch a regression of the bucketed-hazard-index + batched-merge
+//!   planning cost (the PR-4 all-pairs scan took ≈92 ms here).
 //! * `strassen d=<d> base=8` — the recursive flow with a sub-footprint
 //!   base: the scheduler width-merges leaf-product pairs, halving base
 //!   invocations versus the eager recursion at the same base. This case
@@ -29,11 +35,20 @@
 //!   leaf products the planning overhead is the dominant wall cost, and
 //!   the win is purely in simulated time — which is the honest story
 //!   for latency-bound recursion.
+//! * `gauss d=<d>` / `closure n=<n>` — the panel-re-streaming paper
+//!   workloads on their scheduled fast paths
+//!   (`gauss::eliminate_scheduled`, `closure::transitive_scheduled`):
+//!   model charges are asserted identical to eager, and the pack-ratio
+//!   column shows each stage's pivot panel packed once and re-streamed
+//!   against every remaining block column. Wall-clock runs below eager
+//!   at these sizes — each stage records and plans its own small graph
+//!   and stages panel snapshots — so the honest win here is strip
+//!   traffic and `--stats` observability, not host time.
 //!
 //! Every variant is checked element-equal against its eager counterpart
 //! before timing, so the numbers can never come from a wrong schedule.
 
-use tcu_algos::{dense, strassen};
+use tcu_algos::{closure, dense, gauss, strassen, workloads};
 use tcu_core::{Stats, TcuMachine};
 use tcu_linalg::Matrix;
 
@@ -260,6 +275,163 @@ fn bench_coalesce(d: usize, quick: bool) -> Case {
     }
 }
 
+/// Planner wall time on the canonical 1024-op coalesce graph — always
+/// full size, so quick (CI) runs share this case with the committed
+/// baseline and `bench_diff` can gate `plan_ms`.
+fn bench_plan(quick: bool) -> Case {
+    use tcu_core::TensorOp;
+    use tcu_sched::{OpGraph, OperandRef, Scheduler};
+
+    let (d, blk, s) = (512usize, 16usize, 32usize);
+    let mut g = OpGraph::new();
+    let ab = g.buffer("A", d, d);
+    let bb = g.buffer("B", d, d);
+    let cb = g.buffer("C", d, d);
+    let q = d / blk;
+    for j in 0..q {
+        for k in 0..q {
+            g.record(
+                TensorOp {
+                    accumulate: true,
+                    ..TensorOp::padded(d, blk, blk)
+                },
+                OperandRef::new(ab, 0, k * blk, d, blk),
+                OperandRef::new(bb, k * blk, j * blk, blk, blk),
+                OperandRef::new(cb, 0, j * blk, d, blk),
+            );
+        }
+    }
+    assert_eq!(g.len(), 1024);
+    let unit = tcu_core::ModelTensorUnit::new(s * s, 10_000);
+    let plan_eager = Scheduler::new().without_coalescing().plan(&g, &unit);
+    let plan_coal = Scheduler::new().plan(&g, &unit);
+    assert_eq!(plan_coal.invocations() * 4, plan_eager.invocations());
+
+    let reps: u32 = if quick { 3 } else { 10 };
+    let eager_ns = tcu_bench::time_ns(reps, || {
+        Scheduler::new().without_coalescing().plan(&g, &unit)
+    });
+    let sched_ns = tcu_bench::time_ns(reps, || Scheduler::new().plan(&g, &unit));
+    Case {
+        name: "plan d=512 ops=1024".to_string(),
+        d,
+        sqrt_m: s,
+        reps,
+        // For this case both timings *are* planner runs: coalescing off
+        // vs on; plan_ns (hence plan_ms) records the full coalescing
+        // planner, the number the CI gate pins.
+        eager_ns,
+        sched_ns,
+        plan_ns: sched_ns,
+        eager_invocations: plan_eager.invocations(),
+        sched_invocations: plan_coal.invocations(),
+        eager_sim_time: plan_eager.makespan(),
+        sched_sim_time: plan_coal.makespan(),
+        pack_lookups: 0,
+        pack_misses: 0,
+        packed_bytes: 0,
+    }
+}
+
+/// Eager vs scheduled Gaussian elimination (the Theorem 4 flow): the
+/// per-stage pivot panel streamed against every trailing block column.
+fn bench_gauss(d: usize, quick: bool) -> Case {
+    use tcu_linalg::decomp::{augmented_from, diag_dominant};
+
+    let s = SQRT_M;
+    let a = diag_dominant(d - 1, d as u64);
+    let b: Vec<f64> = (0..d - 1).map(|i| (i % 5) as f64 - 2.0).collect();
+    let c0 = augmented_from(&a, &b);
+
+    let eager_run = || {
+        let mut mach = TcuMachine::model(s * s, 0);
+        let mut x = c0.clone();
+        gauss::ge_forward(&mut mach, &mut x);
+        (x, mach.stats().clone())
+    };
+    let sched_run = || {
+        let mut mach = TcuMachine::model(s * s, 0);
+        mach.executor_mut().enable_pack_cache(2);
+        let mut x = c0.clone();
+        gauss::eliminate_scheduled(&mut mach, &mut x);
+        let cache = mach.executor().pack_cache_stats().expect("cache enabled");
+        (x, mach.stats().clone(), cache)
+    };
+    let (x_eager, eager_stats) = eager_run();
+    let (x_sched, sched_stats, cache) = sched_run();
+    assert_eq!(x_eager, x_sched, "scheduled elimination must equal eager");
+    assert_eq!(eager_stats, sched_stats, "charges must be identical");
+
+    let reps: u32 = if quick { 2 } else { 5 };
+    let eager_ns = tcu_bench::time_ns(reps, || eager_run().0);
+    let sched_ns = tcu_bench::time_ns(reps, || sched_run().0);
+    Case {
+        name: format!("gauss d={d}"),
+        d,
+        sqrt_m: s,
+        reps,
+        eager_ns,
+        sched_ns,
+        // Record + plan happen per stage inside the timed call.
+        plan_ns: 0.0,
+        eager_invocations: eager_stats.tensor_calls,
+        sched_invocations: sched_stats.tensor_calls,
+        eager_sim_time: eager_stats.time(),
+        sched_sim_time: sched_stats.time(),
+        pack_lookups: cache.lookups,
+        pack_misses: cache.misses,
+        packed_bytes: cache.packed_bytes,
+    }
+}
+
+/// Eager vs scheduled transitive closure (the Theorem 5 flow).
+fn bench_closure(n: usize, quick: bool) -> Case {
+    use rand::{rngs::StdRng, SeedableRng};
+
+    let s = SQRT_M;
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let adj = workloads::random_digraph(n, 2.0 / n as f64, &mut rng);
+
+    let eager_run = || {
+        let mut mach = TcuMachine::model(s * s, 0);
+        let mut x = adj.clone();
+        closure::transitive_closure(&mut mach, &mut x);
+        (x, mach.stats().clone())
+    };
+    let sched_run = || {
+        let mut mach = TcuMachine::model(s * s, 0);
+        mach.executor_mut().enable_pack_cache(2);
+        let mut x = adj.clone();
+        closure::transitive_scheduled(&mut mach, &mut x);
+        let cache = mach.executor().pack_cache_stats().expect("cache enabled");
+        (x, mach.stats().clone(), cache)
+    };
+    let (x_eager, eager_stats) = eager_run();
+    let (x_sched, sched_stats, cache) = sched_run();
+    assert_eq!(x_eager, x_sched, "scheduled closure must equal eager");
+    assert_eq!(eager_stats, sched_stats, "charges must be identical");
+
+    let reps: u32 = if quick { 2 } else { 5 };
+    let eager_ns = tcu_bench::time_ns(reps, || eager_run().0);
+    let sched_ns = tcu_bench::time_ns(reps, || sched_run().0);
+    Case {
+        name: format!("closure n={n}"),
+        d: n,
+        sqrt_m: s,
+        reps,
+        eager_ns,
+        sched_ns,
+        plan_ns: 0.0,
+        eager_invocations: eager_stats.tensor_calls,
+        sched_invocations: sched_stats.tensor_calls,
+        eager_sim_time: eager_stats.time(),
+        sched_sim_time: sched_stats.time(),
+        pack_lookups: cache.lookups,
+        pack_misses: cache.misses,
+        packed_bytes: cache.packed_bytes,
+    }
+}
+
 /// Eager vs scheduled recursive multiplication at a sub-footprint base.
 fn bench_strassen(d: usize, quick: bool) -> Case {
     let base = 8usize;
@@ -317,10 +489,14 @@ fn main() {
 
     let d_block = if quick { 256 } else { 512 };
     let d_str = if quick { 32 } else { 64 };
+    let d_ge = if quick { 128 } else { 256 };
     let cases = vec![
         bench_packcache(d_block, quick),
         bench_coalesce(d_block, quick),
+        bench_plan(quick),
         bench_strassen(d_str, quick),
+        bench_gauss(d_ge, quick),
+        bench_closure(d_ge, quick),
     ];
 
     let mut table = tcu_bench::Table::new(
@@ -364,7 +540,7 @@ fn main() {
         json.push_str(&format!(
             "\"name\": \"{}\", \"d\": {}, \"sqrt_m\": {}, \"reps\": {}, \
              \"eager_ns_per_op\": {:.1}, \"sched_ns_per_op\": {:.1}, \
-             \"plan_ns\": {:.1}, \
+             \"plan_ns\": {:.1}, \"plan_ms\": {:.3}, \
              \"speedup_wall\": {:.3}, \"eager_invocations\": {}, \
              \"sched_invocations\": {}, \"eager_sim_time\": {}, \
              \"sched_sim_time\": {}, \"speedup_sim\": {:.3}, \
@@ -377,6 +553,7 @@ fn main() {
             c.eager_ns,
             c.sched_ns,
             c.plan_ns,
+            c.plan_ns / 1e6,
             c.eager_ns / c.sched_ns,
             c.eager_invocations,
             c.sched_invocations,

@@ -37,6 +37,17 @@ pub fn run(quick: bool) {
         let mut mach = TcuMachine::model(m, l);
         gauss::ge_forward(&mut mach, &mut c);
         crate::report_stats(&format!("E4 gauss d={d}"), &mach);
+        if crate::stats_enabled() {
+            // The scheduled fast path charges identically; its summary
+            // line adds the pack-cache counters (each stage's pivot
+            // panel packed once, re-streamed per block column).
+            let mut smach = TcuMachine::model(m, l);
+            smach.executor_mut().enable_pack_cache(2);
+            let mut sc = augmented_from(&a, &b);
+            gauss::eliminate_scheduled(&mut smach, &mut sc);
+            assert_eq!(smach.time(), mach.time());
+            crate::report_stats(&format!("E4 gauss d={d} scheduled"), &smach);
+        }
         let closed = gauss::ge_forward_time(d as u64, s, l);
         assert_eq!(mach.time(), closed);
         // Unblocked Figure 2 charge: 3 ops per inner iteration.

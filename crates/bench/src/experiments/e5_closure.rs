@@ -31,10 +31,22 @@ pub fn run(quick: bool) {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &n in ns {
-        let mut d = random_digraph(n, 2.0 / n as f64, &mut rng);
+        let adj = random_digraph(n, 2.0 / n as f64, &mut rng);
+        let mut d = adj.clone();
         let mut mach = TcuMachine::model(m, l);
         closure::transitive_closure(&mut mach, &mut d);
         crate::report_stats(&format!("E5 closure n={n}"), &mach);
+        if crate::stats_enabled() {
+            // Scheduled fast path: identical charges plus pack-cache
+            // counters (one stacked-operand pack per pivot stage).
+            let mut smach = TcuMachine::model(m, l);
+            smach.executor_mut().enable_pack_cache(2);
+            let mut sd = adj;
+            closure::transitive_scheduled(&mut smach, &mut sd);
+            assert_eq!(sd, d);
+            assert_eq!(smach.time(), mach.time());
+            crate::report_stats(&format!("E5 closure n={n} scheduled"), &smach);
+        }
         let closed = closure::transitive_closure_time(n as u64, s, l);
         assert_eq!(mach.time(), closed);
         let host = closure::host_closure_time(n as u64);

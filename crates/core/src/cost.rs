@@ -83,6 +83,10 @@ pub struct StatsSummary {
     pub scalar_ops: u64,
     /// Total simulated time.
     pub time: u64,
+    /// Counters of the executor's derived-operand (pack) cache, when the
+    /// backend keeps one — `None` otherwise. Host-side observability
+    /// only: nothing in the cache touches simulated time.
+    pub pack_cache: Option<crate::exec::PackCacheStats>,
 }
 
 impl std::fmt::Display for StatsSummary {
@@ -101,7 +105,15 @@ impl std::fmt::Display for StatsSummary {
             self.tensor_time,
             self.scalar_ops,
             self.time,
-        )
+        )?;
+        if let Some(c) = &self.pack_cache {
+            write!(
+                f,
+                "; pack cache: {} lookups, {} hits, {} misses, {} evictions, {} packed bytes",
+                c.lookups, c.hits, c.misses, c.evictions, c.packed_bytes,
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -86,6 +86,15 @@ pub trait Executor {
         let _ = a_id;
         self.execute(op, a, b, out)
     }
+
+    /// Counters of the backend's derived-operand cache, when it keeps
+    /// one (the host executor's pack cache). `None` for cache-less
+    /// backends — the default. Lets generic reporting (the machine's
+    /// `stats_summary`, the `--stats` experiment output) surface cache
+    /// behaviour without naming a concrete executor type.
+    fn cache_stats(&self) -> Option<PackCacheStats> {
+        None
+    }
 }
 
 /// Running counters of a [`HostExecutor`] pack cache.
@@ -294,6 +303,10 @@ impl Executor for HostExecutor {
             }
             _ => self.execute(op, a, b, out),
         }
+    }
+
+    fn cache_stats(&self) -> Option<PackCacheStats> {
+        self.pack_cache_stats()
     }
 }
 

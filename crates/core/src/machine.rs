@@ -181,7 +181,8 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
     }
 
     /// One-look digest of everything issued so far: the [`Stats`]
-    /// counters plus the per-kind breakdown of logical ops. The kind
+    /// counters plus the per-kind breakdown of logical ops, plus the
+    /// executor's pack-cache counters when it keeps a cache. The kind
     /// counts come from the issue path, so a replayed trace contributes
     /// invocations and rows but no logical-op kinds.
     #[must_use]
@@ -198,6 +199,7 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
             tensor_time: self.stats.tensor_time,
             scalar_ops: self.stats.scalar_ops,
             time: self.stats.time(),
+            pack_cache: self.exec.cache_stats(),
         }
     }
 

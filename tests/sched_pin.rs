@@ -60,6 +60,66 @@ fn scheduled_e2_matches_the_unscheduled_oracle_and_the_seed_pin() {
 }
 
 #[test]
+fn two_stage_pipeline_charges_exactly_twice_the_pinned_e2_run() {
+    // One versioned graph holding M = A·B then C = M·B at the native
+    // block size, on the E2-pinned machine: the planned stream must
+    // charge exactly 2× the seed-pinned E2 counters (two back-to-back
+    // blocked multiplications, nothing coalescable), stage 2 must
+    // consume stage 1's output through generation-staged reads, and the
+    // pack cache must retire stage-1 strips (M's strips are packed at
+    // their post-write generation).
+    use tcu::core::TensorOp;
+    use tcu::sched::{ExecEnv, OpGraph, OperandRef, Scheduler};
+
+    let d = 64usize;
+    let s = 4usize;
+    let a = pseudo(d, d, 3);
+    let b = pseudo(d, d, 4);
+    let mut g = OpGraph::new();
+    let ab = g.buffer("A", d, d);
+    let bb = g.buffer("B", d, d);
+    let mb = g.buffer("M", d, d);
+    let cb = g.buffer("C", d, d);
+    let q = d / s;
+    for (src, dst) in [(ab, mb), (mb, cb)] {
+        for j in 0..q {
+            for k in 0..q {
+                g.record(
+                    TensorOp::mul_acc(d, s),
+                    OperandRef::new(src, 0, k * s, d, s),
+                    OperandRef::new(bb, k * s, j * s, s, s),
+                    OperandRef::new(dst, 0, j * s, d, s),
+                );
+            }
+        }
+    }
+    let mut mach = TcuMachine::model(16, 1000);
+    mach.executor_mut().enable_pack_cache(2 * q);
+    let plan = Scheduler::new().plan(&g, mach.unit());
+    let (mut m, mut c) = (Matrix::<i64>::zeros(d, d), Matrix::<i64>::zeros(d, d));
+    let mut env = ExecEnv::new(&g);
+    env.bind_input(ab, a.view());
+    env.bind_input(bb, b.view());
+    env.bind_output(mb, m.view_mut());
+    env.bind_output(cb, c.view_mut());
+    plan.run(&mut mach, &mut env);
+
+    let want_m = matmul_naive(&a, &b);
+    assert_eq!(m, want_m);
+    assert_eq!(c, matmul_naive(&want_m, &b));
+    // 2× the cost_invariance E2 pins (the CPU summation is not part of
+    // the recorded stream, so only tensor counters double).
+    assert_eq!(mach.stats().tensor_calls, 2 * 256);
+    assert_eq!(mach.stats().tensor_rows, 2 * 16_384);
+    assert_eq!(mach.stats().tensor_time, 2 * 321_536);
+    assert_eq!(mach.stats().tensor_latency_time, 2 * 256_000);
+    // Strip traffic: A's 16 strips pack once each for stage 1; M's 16
+    // strips pack once each at their written generation for stage 2.
+    let cache = mach.executor().pack_cache_stats().expect("cache on");
+    assert_eq!((cache.lookups, cache.misses), (512, 32));
+}
+
+#[test]
 fn narrow_recording_coalesces_to_the_pinned_native_charges() {
     // Record the same product in quarter-footprint blocks: coalescing
     // must rebuild the native invocation grid and land on the *same*
