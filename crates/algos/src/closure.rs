@@ -107,12 +107,13 @@ pub fn transitive_closure<U: TensorUnit, E: Executor>(
 /// # Panics
 /// Panics unless `d` is square 0/1 with `√m | n`.
 #[cfg(feature = "sched")]
-pub fn transitive_scheduled<U: TensorUnit, E: Executor>(
+pub fn transitive_scheduled<U: TensorUnit + 'static, E: Executor>(
     mach: &mut TcuMachine<U, E>,
     d: &mut Matrix<i64>,
 ) {
+    use crate::plan_memo::plan_cached;
     use tcu_core::TensorOp;
-    use tcu_sched::{ExecEnv, OpGraph, OperandRef, Scheduler};
+    use tcu_sched::{ExecEnv, OpGraph, OperandRef};
 
     let n = d.rows();
     assert!(d.is_square(), "adjacency matrix must be square");
@@ -153,26 +154,31 @@ pub fn transitive_scheduled<U: TensorUnit, E: Executor>(
             tall.set_block_view(bi * s, 0, d.subview(i * s, kk * s, s, s));
         }
 
-        let mut g = OpGraph::new();
-        let tb = g.buffer("T", rows, s);
-        let xb = g.buffer("X", n, n);
-        let pb = g.buffer("P", rows, rows);
-        let t_whole = OperandRef::new(tb, 0, 0, rows, s);
-        for (bj, &j) in others.iter().enumerate() {
-            g.record(
-                TensorOp::mul(rows, s),
-                t_whole,
-                OperandRef::new(xb, kk * s, j * s, s, s),
-                OperandRef::new(pb, 0, bj * s, rows, s),
-            );
-        }
-        let plan = Scheduler::new().plan(&g, mach.unit());
+        // The stage graph depends only on (n, s, kk) — memoize its plan
+        // so repeated closures at one shape skip planning altogether.
+        let planned = plan_cached("closure-d", [n, s, kk, 0], mach.unit(), 1, || {
+            let mut g = OpGraph::new();
+            let tb = g.buffer("T", rows, s);
+            let xb = g.buffer("X", n, n);
+            let pb = g.buffer("P", rows, rows);
+            let t_whole = OperandRef::new(tb, 0, 0, rows, s);
+            for (bj, &j) in others.iter().enumerate() {
+                g.record(
+                    TensorOp::mul(rows, s),
+                    t_whole,
+                    OperandRef::new(xb, kk * s, j * s, s, s),
+                    OperandRef::new(pb, 0, bj * s, rows, s),
+                );
+            }
+            (g, vec![tb, xb, pb])
+        });
+        let (tb, xb, pb) = (planned.bufs[0], planned.bufs[1], planned.bufs[2]);
         let mut prods = Matrix::<i64>::zeros(rows, rows);
-        let mut env = ExecEnv::new(&g);
+        let mut env = ExecEnv::new(&planned.graph);
         env.bind_input(tb, tall.view());
         env.bind_input(xb, d.view());
         env.bind_output(pb, prods.view_mut());
-        plan.run(mach, &mut env);
+        planned.plan.run(mach, &mut env);
 
         for (bj, &j) in others.iter().enumerate() {
             for (bi, &i) in others.iter().enumerate() {

@@ -108,12 +108,13 @@ pub fn ge_forward<T: Field, U: TensorUnit, E: Executor>(
 /// Panics unless `x` is square with `√m | √n`, or if a pivot used by
 /// the no-pivoting scheme is zero.
 #[cfg(feature = "sched")]
-pub fn eliminate_scheduled<T: Field, U: TensorUnit, E: Executor>(
+pub fn eliminate_scheduled<T: Field, U: TensorUnit + 'static, E: Executor>(
     mach: &mut TcuMachine<U, E>,
     x: &mut Matrix<T>,
 ) {
+    use crate::plan_memo::plan_cached;
     use tcu_core::TensorOp;
-    use tcu_sched::{ExecEnv, OpGraph, OperandRef, Scheduler};
+    use tcu_sched::{ExecEnv, OpGraph, OperandRef};
 
     let d = x.rows();
     assert!(x.is_square(), "augmented matrix must be square");
@@ -152,24 +153,30 @@ pub fn eliminate_scheduled<T: Field, U: TensorUnit, E: Executor>(
         // D as a recorded stream: per trailing block column j, stream
         // X's own pivot panel (contiguous below the diagonal — no
         // gather) against W_j, accumulating straight into X's column.
+        // The stage graph is a pure function of (d, s, kk), so its plan
+        // is memoized across calls (repeated eliminations at the same
+        // shape skip planning entirely).
         let rows = rem * s;
-        let mut g = OpGraph::new();
-        let xb = g.buffer("X", d, d);
-        let wb = g.buffer("W", s, rem * s);
-        let panel = OperandRef::new(xb, (kk + 1) * s, kk * s, rows, s);
-        for (bj, j) in (kk + 1..q).enumerate() {
-            g.record(
-                TensorOp::mul_acc(rows, s),
-                panel,
-                OperandRef::new(wb, 0, bj * s, s, s),
-                OperandRef::new(xb, (kk + 1) * s, j * s, rows, s),
-            );
-        }
-        let plan = Scheduler::new().plan(&g, mach.unit());
-        let mut env = ExecEnv::new(&g);
+        let planned = plan_cached("gauss-d", [d, s, kk, 0], mach.unit(), 1, || {
+            let mut g = OpGraph::new();
+            let xb = g.buffer("X", d, d);
+            let wb = g.buffer("W", s, rem * s);
+            let panel = OperandRef::new(xb, (kk + 1) * s, kk * s, rows, s);
+            for (bj, j) in (kk + 1..q).enumerate() {
+                g.record(
+                    TensorOp::mul_acc(rows, s),
+                    panel,
+                    OperandRef::new(wb, 0, bj * s, s, s),
+                    OperandRef::new(xb, (kk + 1) * s, j * s, rows, s),
+                );
+            }
+            (g, vec![xb, wb])
+        });
+        let (xb, wb) = (planned.bufs[0], planned.bufs[1]);
+        let mut env = ExecEnv::new(&planned.graph);
         env.bind_input(wb, w.view());
         env.bind_output(xb, x.view_mut());
-        plan.run(mach, &mut env);
+        planned.plan.run(mach, &mut env);
         // The fused accumulates absorbed the eager path's per-block host
         // adds; the model still bills them as CPU work, so Stats match
         // the eager run exactly.

@@ -1,0 +1,156 @@
+//! Bounded memo for recorded op graphs and their schedules.
+//!
+//! The deferred algorithm paths (`strassen`, `gauss`, `closure`) record
+//! a *structural* op graph — buffer shapes and region rectangles, no
+//! element data — and plan it before executing. The graph depends only
+//! on a handful of integer parameters, yet small problems pay the full
+//! record + coalesce + level + partition cost on every call, which is
+//! exactly the `strassen d=64 base=8` wall cliff in `BENCH_sched.json`:
+//! planning ~8³ leaf products costs more wall-clock than the products.
+//!
+//! [`plan_cached`] keys the finished `(OpGraph, buffers, Schedule)`
+//! triple by the builder's identity and parameters plus everything the
+//! planner consults on the unit (`√m`, ℓ, tall-operand support, the
+//! concrete unit *type*, and the planned unit count), so a replayed
+//! call re-uses the plan and goes straight to binding and execution.
+//! Graphs are scalar-agnostic, so one entry serves every element type.
+//!
+//! The memo is thread-local (plans are cheap to rebuild per thread and
+//! this keeps the fast path free of locks) and FIFO-bounded at
+//! [`MEMO_CAP`] entries so pathological parameter sweeps cannot retain
+//! unbounded memory.
+
+use std::any::TypeId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tcu_core::TensorUnit;
+use tcu_sched::{BufferId, OpGraph, Schedule, Scheduler};
+
+/// Maximum number of retained plans per thread (FIFO eviction).
+pub const MEMO_CAP: usize = 64;
+
+/// A recorded graph, the buffer handles its builder declared (in
+/// declaration order), and the schedule planned for it.
+pub struct PlannedGraph {
+    /// The recorded op graph (needed to open an `ExecEnv`).
+    pub graph: OpGraph,
+    /// Buffer handles in the order the builder created them.
+    pub bufs: Vec<BufferId>,
+    /// The planned schedule for `graph`.
+    pub plan: Schedule,
+}
+
+/// Everything that can change the planner's output for a fixed builder.
+type Key = (
+    &'static str, // builder identity
+    [usize; 4],   // builder parameters (dimension, tile, stage, …)
+    TypeId,       // concrete unit type (cost model)
+    usize,        // √m
+    u64,          // ℓ
+    bool,         // tall-operand support
+    usize,        // planned unit count
+);
+
+thread_local! {
+    static MEMO: RefCell<Vec<(Key, Rc<PlannedGraph>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Return the memoized plan for `(tag, dims)` under `unit`/`units`,
+/// building and planning the graph via `build` on a miss.
+///
+/// `build` must be a pure function of `(tag, dims)`: it returns the
+/// recorded graph and its buffer handles, and the same inputs must
+/// always produce a structurally identical graph (the memo replays the
+/// cached one instead of calling it again).
+pub fn plan_cached<U: TensorUnit + 'static>(
+    tag: &'static str,
+    dims: [usize; 4],
+    unit: &U,
+    units: usize,
+    build: impl FnOnce() -> (OpGraph, Vec<BufferId>),
+) -> Rc<PlannedGraph> {
+    let key: Key = (
+        tag,
+        dims,
+        TypeId::of::<U>(),
+        unit.sqrt_m(),
+        unit.latency(),
+        unit.supports_tall(),
+        units,
+    );
+    MEMO.with(|memo| {
+        if let Some((_, hit)) = memo.borrow().iter().find(|(k, _)| *k == key) {
+            return Rc::clone(hit);
+        }
+        let (graph, bufs) = build();
+        let plan = Scheduler::new().with_units(units).plan(&graph, unit);
+        let entry = Rc::new(PlannedGraph { graph, bufs, plan });
+        let mut memo = memo.borrow_mut();
+        if memo.len() == MEMO_CAP {
+            memo.remove(0);
+        }
+        memo.push((key, Rc::clone(&entry)));
+        entry
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcu_core::{ModelTensorUnit, TensorOp};
+    use tcu_sched::OperandRef;
+
+    fn tiny_graph(d: usize) -> (OpGraph, Vec<BufferId>) {
+        let mut g = OpGraph::new();
+        let a = g.buffer("A", d, d);
+        let b = g.buffer("B", d, d);
+        let c = g.buffer("C", d, d);
+        g.record(
+            TensorOp::padded(d, d, d),
+            OperandRef::new(a, 0, 0, d, d),
+            OperandRef::new(b, 0, 0, d, d),
+            OperandRef::new(c, 0, 0, d, d),
+        );
+        (g, vec![a, b, c])
+    }
+
+    #[test]
+    fn hit_returns_the_same_plan_and_skips_the_builder() {
+        let unit = ModelTensorUnit::new(16, 3);
+        let first = plan_cached("test-tiny", [4, 0, 0, 0], &unit, 1, || tiny_graph(4));
+        let second = plan_cached("test-tiny", [4, 0, 0, 0], &unit, 1, || {
+            panic!("builder must not run on a hit")
+        });
+        assert!(Rc::ptr_eq(&first, &second));
+        assert_eq!(first.bufs.len(), 3);
+    }
+
+    #[test]
+    fn distinct_parameters_and_units_get_distinct_plans() {
+        let unit = ModelTensorUnit::new(16, 3);
+        let a = plan_cached("test-param", [4, 0, 0, 0], &unit, 1, || tiny_graph(4));
+        let b = plan_cached("test-param", [8, 0, 0, 0], &unit, 1, || tiny_graph(4));
+        assert!(!Rc::ptr_eq(&a, &b));
+        let slow = ModelTensorUnit::new(16, 999);
+        let c = plan_cached("test-param", [4, 0, 0, 0], &slow, 1, || tiny_graph(4));
+        assert!(!Rc::ptr_eq(&a, &c), "latency is part of the key");
+    }
+
+    #[test]
+    fn memo_is_fifo_bounded() {
+        let unit = ModelTensorUnit::new(16, 5);
+        let first = plan_cached("test-cap", [0, 0, 0, 1], &unit, 1, || tiny_graph(4));
+        for i in 1..=MEMO_CAP {
+            let _ = plan_cached("test-cap", [i, 0, 0, 1], &unit, 1, || tiny_graph(4));
+        }
+        // The oldest entry was evicted: the builder must run again.
+        let mut rebuilt = false;
+        let again = plan_cached("test-cap", [0, 0, 0, 1], &unit, 1, || {
+            rebuilt = true;
+            tiny_graph(4)
+        });
+        assert!(rebuilt, "FIFO eviction must drop the oldest entry");
+        assert!(!Rc::ptr_eq(&first, &again));
+    }
+}

@@ -105,7 +105,7 @@ pub fn multiply_strassen_with_base<T: Scalar, U: TensorUnit, E: Executor>(
 /// Panics unless operands are square, of equal power-of-two dimension.
 #[cfg(feature = "sched")]
 #[must_use]
-pub fn multiply_recursive_scheduled<T: Scalar, U: TensorUnit, E: Executor>(
+pub fn multiply_recursive_scheduled<T: Scalar, U: TensorUnit + 'static, E: Executor>(
     mach: &mut TcuMachine<U, E>,
     a: &Matrix<T>,
     b: &Matrix<T>,
@@ -113,6 +113,17 @@ pub fn multiply_recursive_scheduled<T: Scalar, U: TensorUnit, E: Executor>(
     let base = mach.sqrt_m();
     multiply_recursive_scheduled_with_base(mach, a, b, base)
 }
+
+/// Largest leaf-product count for which the scheduled recursion's graph
+/// and plan are memoized across calls (see [`crate::plan_memo`]).
+///
+/// Below this bound the record + coalesce + plan pipeline dominates the
+/// actual products on repeated small multiplies (the `strassen d=64`
+/// wall cliff the benchmarks exposed), so the plan is cached and
+/// replayed; above it, planning is a vanishing fraction of the work and
+/// the memory for a retained graph would be wasted.
+#[cfg(feature = "sched")]
+pub const PLAN_MEMO_MAX_LEAVES: usize = 4096;
 
 /// [`multiply_recursive_scheduled`] with an explicit base-case
 /// dimension `≤ √m` (the coalescing ablation hook).
@@ -122,12 +133,14 @@ pub fn multiply_recursive_scheduled<T: Scalar, U: TensorUnit, E: Executor>(
 /// and `1 ≤ base_dim ≤ √m`.
 #[cfg(feature = "sched")]
 #[must_use]
-pub fn multiply_recursive_scheduled_with_base<T: Scalar, U: TensorUnit, E: Executor>(
+pub fn multiply_recursive_scheduled_with_base<T: Scalar, U: TensorUnit + 'static, E: Executor>(
     mach: &mut TcuMachine<U, E>,
     a: &Matrix<T>,
     b: &Matrix<T>,
     base_dim: usize,
 ) -> Matrix<T> {
+    use crate::plan_memo::{plan_cached, PlannedGraph};
+    use std::rc::Rc;
     use tcu_sched::{ExecEnv, OpGraph, Scheduler};
 
     check_square_pow2(a.view(), b.view());
@@ -152,21 +165,34 @@ pub fn multiply_recursive_scheduled_with_base<T: Scalar, U: TensorUnit, E: Execu
         n
     };
 
-    let mut g = OpGraph::new();
-    let ab = g.buffer("A", d, d);
-    let bb = g.buffer("B", d, d);
-    let pb = g.buffer("P", tile, leaves * tile);
-    let mut next = 0usize;
-    record_products(&mut g, ab, bb, pb, 0, 0, 0, 0, d, tile, &mut next);
-    debug_assert_eq!(next, leaves);
+    let build = || {
+        let mut g = OpGraph::new();
+        let ab = g.buffer("A", d, d);
+        let bb = g.buffer("B", d, d);
+        let pb = g.buffer("P", tile, leaves * tile);
+        let mut next = 0usize;
+        record_products(&mut g, ab, bb, pb, 0, 0, 0, 0, d, tile, &mut next);
+        debug_assert_eq!(next, leaves);
+        (g, vec![ab, bb, pb])
+    };
+    // Small recursions pay more for planning than for the products, so
+    // their plans are memoized; past the leaf bound the plan is a
+    // vanishing cost and is rebuilt fresh.
+    let planned = if leaves <= PLAN_MEMO_MAX_LEAVES {
+        plan_cached("strassen8", [d, tile, 0, 0], mach.unit(), 1, build)
+    } else {
+        let (graph, bufs) = build();
+        let plan = Scheduler::new().plan(&graph, mach.unit());
+        Rc::new(PlannedGraph { graph, bufs, plan })
+    };
+    let (ab, bb, pb) = (planned.bufs[0], planned.bufs[1], planned.bufs[2]);
 
-    let plan = Scheduler::new().plan(&g, mach.unit());
     let mut products = Matrix::<T>::zeros(tile, leaves * tile);
-    let mut env = ExecEnv::new(&g);
+    let mut env = ExecEnv::new(&planned.graph);
     env.bind_input(ab, a.view());
     env.bind_input(bb, b.view());
     env.bind_output(pb, products.view_mut());
-    plan.run(mach, &mut env);
+    planned.plan.run(mach, &mut env);
 
     let mut next = 0usize;
     combine_products(mach, &products, d, tile, &mut next)

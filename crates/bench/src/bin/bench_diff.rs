@@ -17,6 +17,12 @@
 //!   from a 1-core runner says nothing about a multi-core baseline, so
 //!   mismatched core counts skip the comparison entirely rather than
 //!   annotating noise.
+//! * `speedup_wall` — gated only for thread-parallel cases (those
+//!   emitted with `threads > 1`, i.e. `exp_sched`'s `parwave`
+//!   `run_parallel` cases), and like `speedup_parallel` only when core
+//!   counts match; otherwise an explicit "skipped (cores N vs M)" line
+//!   is printed instead of a silent skip. Serial cases' wall ratios
+//!   remain informational table columns, not gates.
 //! * `plan_ms` — scheduler planning wall time (the `exp_sched` cases).
 //!   Lower is better: regression = fresh time more than `threshold`
 //!   percent *above* baseline. This is the gate that pins the
@@ -37,7 +43,22 @@ struct CaseSpeedup {
     name: String,
     speedup_tiled: Option<f64>,
     speedup_parallel: Option<f64>,
+    /// Wall-clock speedup of the case's fast path over its reference.
+    /// Gated only for thread-parallel cases (`threads > 1`), and only
+    /// when core counts match — serial wall ratios stay informational.
+    speedup_wall: Option<f64>,
+    /// Worker threads the case ran with (`exp_sched`'s `parwave` cases
+    /// emit > 1; absent or 1 marks a serial case).
+    threads: Option<f64>,
     plan_ms: Option<f64>,
+}
+
+impl CaseSpeedup {
+    /// `true` when this case exercised real thread parallelism, making
+    /// its wall-clock ratio a core-count-sensitive metric.
+    fn is_parallel(&self) -> bool {
+        self.threads.is_some_and(|t| t > 1.0)
+    }
 }
 
 /// One parsed bench file: its cases plus the core count it ran with
@@ -65,13 +86,18 @@ fn parse_file(text: &str) -> BenchFile {
         };
         let speedup_tiled = field_num(line, "speedup_tiled");
         let plan_ms = field_num(line, "plan_ms").filter(|&ms| ms > 0.0);
-        if speedup_tiled.is_none() && plan_ms.is_none() {
+        let speedup_wall = field_num(line, "speedup_wall");
+        let threads = field_num(line, "threads");
+        let parallel_wall = threads.is_some_and(|t| t > 1.0) && speedup_wall.is_some();
+        if speedup_tiled.is_none() && plan_ms.is_none() && !parallel_wall {
             continue;
         }
         cases.push(CaseSpeedup {
             name,
             speedup_tiled,
             speedup_parallel: field_num(line, "speedup_parallel"),
+            speedup_wall,
+            threads,
             plan_ms,
         });
     }
@@ -157,15 +183,33 @@ fn main() -> ExitCode {
         if let (Some(ft), Some(bt)) = (f.speedup_tiled, b.speedup_tiled) {
             checks.push(("tiled speedup", ft, bt, true, "x"));
         }
+        let cores_note = || {
+            let show = |c: Option<f64>| c.map_or_else(|| "?".to_string(), |v| format!("{v}"));
+            format!(
+                "skipped (cores {} vs {})",
+                show(fresh_file.cores),
+                show(base_file.cores)
+            )
+        };
         match (f.speedup_parallel, b.speedup_parallel) {
             (Some(fp), Some(bp)) if same_cores => {
                 checks.push(("parallel speedup", fp, bp, true, "x"));
             }
             (Some(_), Some(_)) => {
-                println!(
-                    "{:<20}  parallel comparison skipped (core-count mismatch)",
-                    f.name
-                );
+                println!("{:<20}  parallel comparison {}", f.name, cores_note());
+            }
+            _ => {}
+        }
+        // Thread-parallel cases (exp_sched's `parwave`): their wall
+        // ratio is the tentpole metric, gated exactly like any other
+        // when the runner matches the baseline's core count.
+        match (f.speedup_wall, b.speedup_wall) {
+            (Some(fw), Some(bw)) if f.is_parallel() || b.is_parallel() => {
+                if same_cores {
+                    checks.push(("wall speedup", fw, bw, true, "x"));
+                } else {
+                    println!("{:<20}  wall speedup {}", f.name, cores_note());
+                }
             }
             _ => {}
         }

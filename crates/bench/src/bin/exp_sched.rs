@@ -28,13 +28,21 @@
 //!   `--quick`, so CI can diff the committed `plan_ms` baseline and
 //!   catch a regression of the bucketed-hazard-index + batched-merge
 //!   planning cost (the PR-4 all-pairs scan took ≈92 ms here).
-//! * `strassen d=<d> base=8` — the recursive flow with a sub-footprint
-//!   base: the scheduler width-merges leaf-product pairs, halving base
-//!   invocations versus the eager recursion at the same base. This case
-//!   times the whole scheduled call (record + plan + run): with 8³ tiny
-//!   leaf products the planning overhead is the dominant wall cost, and
-//!   the win is purely in simulated time — which is the honest story
-//!   for latency-bound recursion.
+//! * `strassen d=<d> base=8 memo<=N` — the recursive flow with a
+//!   sub-footprint base: the scheduler width-merges leaf-product pairs,
+//!   halving base invocations versus the eager recursion at the same
+//!   base. This case times the whole scheduled call; recursions at or
+//!   below `N` leaf products re-use a memoized plan
+//!   (`tcu_algos::plan_memo`), so record + plan cost — formerly the
+//!   dominant wall cost here, the 0.158× cliff — is paid once in the
+//!   warmup and the timed rounds run plan-free.
+//! * `parwave d=<d> units=<p>` — the serial scheduled run versus
+//!   `run_parallel` on `p` threaded units over the packcache-style
+//!   accumulation graph (each wave holds `d/√m` independent column-block
+//!   products). Results are asserted bit-identical before timing; the
+//!   `speedup_wall` of these cases is what `bench_diff` gates on runners
+//!   whose core count matches the committed baseline's (a 1-core
+//!   recording honestly shows ≤1× and is skipped elsewhere).
 //! * `gauss d=<d>` / `closure n=<n>` — the panel-re-streaming paper
 //!   workloads on their scheduled fast paths
 //!   (`gauss::eliminate_scheduled`, `closure::transitive_scheduled`):
@@ -68,6 +76,11 @@ struct Case {
     name: String,
     d: usize,
     sqrt_m: usize,
+    /// Worker threads (= planned units) the scheduled flow ran with; 1
+    /// for the serial cases. `bench_diff` gates `speedup_wall` for
+    /// cases with `threads > 1` only when the runner's core count
+    /// matches the baseline's.
+    threads: usize,
     reps: u32,
     eager_ns: f64,
     sched_ns: f64,
@@ -179,6 +192,7 @@ fn bench_packcache(d: usize, quick: bool) -> Case {
         name: format!("packcache d={d}"),
         d,
         sqrt_m: s,
+        threads: 1,
         reps,
         eager_ns,
         sched_ns,
@@ -261,6 +275,7 @@ fn bench_coalesce(d: usize, quick: bool) -> Case {
         name: format!("coalesce d={d}"),
         d,
         sqrt_m: s,
+        threads: 1,
         reps,
         eager_ns,
         sched_ns,
@@ -316,6 +331,7 @@ fn bench_plan(quick: bool) -> Case {
         name: "plan d=512 ops=1024".to_string(),
         d,
         sqrt_m: s,
+        threads: 1,
         reps,
         // For this case both timings *are* planner runs: coalescing off
         // vs on; plan_ns (hence plan_ms) records the full coalescing
@@ -369,6 +385,7 @@ fn bench_gauss(d: usize, quick: bool) -> Case {
         name: format!("gauss d={d}"),
         d,
         sqrt_m: s,
+        threads: 1,
         reps,
         eager_ns,
         sched_ns,
@@ -418,6 +435,7 @@ fn bench_closure(n: usize, quick: bool) -> Case {
         name: format!("closure n={n}"),
         d: n,
         sqrt_m: s,
+        threads: 1,
         reps,
         eager_ns,
         sched_ns,
@@ -458,9 +476,17 @@ fn bench_strassen(d: usize, quick: bool) -> Case {
     let eager_ns = tcu_bench::time_ns(reps, || eager_run().0);
     let sched_ns = tcu_bench::time_ns(reps, || sched_run().0);
     Case {
-        name: format!("strassen d={d} base={base}"),
+        // The memo bound is part of the name: plans for recursions at
+        // or below `PLAN_MEMO_MAX_LEAVES` leaves are cached across
+        // calls (the fix for this case's old planning-wall cliff), so a
+        // change to the threshold re-keys the baseline on purpose.
+        name: format!(
+            "strassen d={d} base={base} memo<={}",
+            strassen::PLAN_MEMO_MAX_LEAVES
+        ),
         d,
         sqrt_m: SQRT_M,
+        threads: 1,
         reps,
         eager_ns,
         sched_ns,
@@ -471,6 +497,91 @@ fn bench_strassen(d: usize, quick: bool) -> Case {
         sched_invocations: sched_stats.tensor_calls,
         eager_sim_time: eager_stats.time(),
         sched_sim_time: sched_stats.time(),
+        pack_lookups: 0,
+        pack_misses: 0,
+        packed_bytes: 0,
+    }
+}
+
+/// Serial scheduled run vs `run_parallel` on `units` threaded units —
+/// the tentpole's wave-parallel wall-clock case. The graph is the
+/// packcache accumulation flow: each of the `q` waves holds `q`
+/// independent column-block products, which the planner LPT-partitions
+/// across units and the wave driver executes on real threads. Results
+/// are asserted bit-identical to the serial scheduled run before
+/// timing; `speedup_wall` (eager = serial scheduled run here) is the
+/// number `bench_diff` gates when the runner's core count matches the
+/// baseline's.
+fn bench_parwave(d: usize, units: usize, quick: bool) -> Case {
+    use tcu_core::{ModelTensorUnit, ParallelTcuMachine, TensorOp};
+    use tcu_sched::{ExecEnv, OpGraph, OperandRef, Scheduler};
+
+    let s = SQRT_M;
+    let q = d / s;
+    let a = workload(d, d, 5);
+    let b = workload(d, d, 6);
+
+    let mut g = OpGraph::new();
+    let ab = g.buffer("A", d, d);
+    let bb = g.buffer("B", d, d);
+    let cb = g.buffer("C", d, d);
+    for j in 0..q {
+        for k in 0..q {
+            g.record(
+                TensorOp::mul_acc(d, s),
+                OperandRef::new(ab, 0, k * s, d, s),
+                OperandRef::new(bb, k * s, j * s, s, s),
+                OperandRef::new(cb, 0, j * s, d, s),
+            );
+        }
+    }
+    let unit = ModelTensorUnit::new(s * s, 0);
+    let plan_serial = Scheduler::new().plan(&g, &unit);
+    let plan_par = Scheduler::new().with_units(units).plan(&g, &unit);
+
+    let serial_run = || {
+        let mut mach = TcuMachine::with_executor(unit, tcu_core::HostExecutor::new());
+        let mut c = Matrix::<f64>::zeros(d, d);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(cb, c.view_mut());
+        plan_serial.run(&mut mach, &mut env);
+        (c, mach.stats().clone())
+    };
+    let par_run = || {
+        let mut mach = ParallelTcuMachine::new(unit, units);
+        let mut c = Matrix::<f64>::zeros(d, d);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(cb, c.view_mut());
+        plan_par.run_parallel(&mut mach, &mut env);
+        (c, mach.stats().clone())
+    };
+    let (c_serial, serial_stats) = serial_run();
+    let (c_par, par_stats) = par_run();
+    assert_eq!(c_serial, c_par, "run_parallel must be bit-identical");
+    assert_eq!(serial_stats, par_stats, "charges must be identical");
+
+    let reps: u32 = if quick { 2 } else { 5 };
+    let eager_ns = tcu_bench::time_ns(reps, || serial_run().0);
+    let sched_ns = tcu_bench::time_ns(reps, || par_run().0);
+    Case {
+        name: format!("parwave d={d} units={units}"),
+        d,
+        sqrt_m: s,
+        threads: units,
+        reps,
+        eager_ns,
+        sched_ns,
+        plan_ns: 0.0,
+        eager_invocations: plan_serial.invocations(),
+        sched_invocations: plan_par.invocations(),
+        // Simulated time is the planned makespan: the multi-unit plan's
+        // wave-parallel charge versus the single-unit serial charge.
+        eager_sim_time: plan_serial.makespan(),
+        sched_sim_time: plan_par.makespan(),
         pack_lookups: 0,
         pack_misses: 0,
         packed_bytes: 0,
@@ -497,6 +608,11 @@ fn main() {
         bench_strassen(d_str, quick),
         bench_gauss(d_ge, quick),
         bench_closure(d_ge, quick),
+        // Always full size (like `plan`), so the CI smoke run shares
+        // these case names with the committed baseline and bench_diff
+        // can gate the wave-parallel wall speedups.
+        bench_parwave(512, 2, quick),
+        bench_parwave(512, 4, quick),
     ];
 
     let mut table = tcu_bench::Table::new(
@@ -538,7 +654,7 @@ fn main() {
     for (i, c) in cases.iter().enumerate() {
         json.push_str("    {");
         json.push_str(&format!(
-            "\"name\": \"{}\", \"d\": {}, \"sqrt_m\": {}, \"reps\": {}, \
+            "\"name\": \"{}\", \"d\": {}, \"sqrt_m\": {}, \"threads\": {}, \"reps\": {}, \
              \"eager_ns_per_op\": {:.1}, \"sched_ns_per_op\": {:.1}, \
              \"plan_ns\": {:.1}, \"plan_ms\": {:.3}, \
              \"speedup_wall\": {:.3}, \"eager_invocations\": {}, \
@@ -549,6 +665,7 @@ fn main() {
             c.name,
             c.d,
             c.sqrt_m,
+            c.threads,
             c.reps,
             c.eager_ns,
             c.sched_ns,

@@ -55,7 +55,12 @@ pub struct OperandId {
 /// pre-validated by the machine) and returns the backend's native cost
 /// of doing so. Implementations must be deterministic: the same op and
 /// operands always produce bit-identical output.
-pub trait Executor {
+///
+/// Executors are `Send`: the multi-unit wave driver moves each unit's
+/// executor into its own worker thread for the duration of a wave
+/// (determinism is unaffected — every unit still sees its ops in the
+/// schedule's canonical order).
+pub trait Executor: Send {
     /// Backend name for diagnostics and experiment tables.
     fn name(&self) -> &'static str;
 

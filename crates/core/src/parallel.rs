@@ -22,6 +22,7 @@ use crate::cost::Stats;
 use crate::exec::{Executor, HostExecutor, OperandId};
 use crate::op::TensorOp;
 use crate::tensor_unit::TensorUnit;
+use crate::trace::TraceLog;
 use tcu_linalg::{Matrix, MatrixView, MatrixViewMut, Scalar};
 
 /// A TCU machine with `p` identical tensor units.
@@ -37,6 +38,7 @@ pub struct ParallelTcuMachine<U: TensorUnit, E: Executor = HostExecutor> {
     unit: U,
     execs: Vec<E>,
     stats: Stats,
+    trace: Option<TraceLog>,
     /// Simulated time spent in batch makespans (subset of
     /// `stats.tensor_time`, which keeps the *work* for utilization
     /// accounting).
@@ -84,6 +86,7 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
             unit,
             execs: vec![exec; p],
             stats: Stats::default(),
+            trace: None,
             makespan_time: 0,
         }
     }
@@ -105,6 +108,14 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
     #[inline]
     pub fn unit_executor_mut(&mut self, u: usize) -> &mut E {
         &mut self.execs[u]
+    }
+
+    /// All units' backends at once — the wave driver borrows the slice
+    /// and hands each unit's executor to that unit's worker thread for
+    /// the duration of one wave.
+    #[inline]
+    pub fn unit_executors_mut(&mut self) -> &mut [E] {
+        &mut self.execs
     }
 
     /// Number of tensor units.
@@ -131,6 +142,23 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
     /// Serial CPU work (1 time unit per op).
     pub fn charge(&mut self, ops: u64) {
         self.stats.record_scalar(ops);
+        if let Some(t) = &mut self.trace {
+            t.push_scalar(ops);
+        }
+    }
+
+    /// Start recording an execution trace; any previous trace is
+    /// discarded. Tensor events are recorded in *charge order* — the
+    /// schedule's canonical serial order under the wave driver — so a
+    /// parallel run's trace is byte-identical to the serial machine's.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(TraceLog::new());
+    }
+
+    /// Stop recording and return the trace collected since
+    /// [`Self::enable_trace`].
+    pub fn take_trace(&mut self) -> TraceLog {
+        self.trace.take().unwrap_or_default()
     }
 
     /// Simulated wall-clock time: serial CPU work plus the makespan of
@@ -219,13 +247,31 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
             (op.rows, op.width),
             "output does not match the op descriptor"
         );
+        self.charge_wave_op(&op);
+        let _ = self.execs[unit_idx].execute_tagged(&op, a, a_id, b, out);
+    }
+
+    /// Meter one scheduled op without executing it: validate against the
+    /// model, then record its hardware invocations into `Stats` and the
+    /// trace exactly as the serial machine's charge path does (one event
+    /// per invocation, `rows` set to what each invocation streams). The
+    /// wave driver charges every op of a wave in canonical order on the
+    /// main thread *before* the wave's numerics run on worker threads —
+    /// accounting is therefore deterministic and byte-identical to a
+    /// serial scheduled run regardless of thread interleaving.
+    ///
+    /// # Panics
+    /// Panics if `op` violates the model's shape contract.
+    pub fn charge_wave_op(&mut self, op: &TensorOp) {
         op.validate(self.sqrt_m());
-        for rows in self.invocation_rows(&op) {
+        for rows in self.invocation_rows(op) {
             let cost = self.unit.invocation_cost(rows);
             let lat = self.unit.invocation_latency(rows);
             self.stats.record_tensor(rows as u64, cost, lat);
+            if let Some(t) = &mut self.trace {
+                t.push_tensor(TensorOp { rows, ..*op }, cost);
+            }
         }
-        let _ = self.execs[unit_idx].execute_tagged(&op, a, a_id, b, out);
     }
 
     /// Advance simulated wall-clock by a completed wave's makespan (the

@@ -169,6 +169,37 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
         staged.insert(key, snap);
     }
 
+    /// Snapshot `region` at content version `gen` if it reads a written
+    /// buffer and no snapshot of that version exists yet — the wave
+    /// driver's staging pass. Unlike [`Self::ensure_staged`], no output
+    /// binding has been moved out when this runs, so same-buffer reads
+    /// go straight through the bound view. Waves never read a region a
+    /// same-wave op writes (hazards split them into different waves), so
+    /// staging a whole wave up front sees exactly the bytes per-op lazy
+    /// staging would.
+    fn stage_region(
+        &self,
+        staged: &mut HashMap<StageKey, Matrix<T>>,
+        region: &OperandRef,
+        gen: u32,
+    ) {
+        let buf = region.buf.0;
+        if self.inputs[buf].is_some() {
+            return;
+        }
+        let key = stage_key(region, gen);
+        if staged.contains_key(&key) {
+            return;
+        }
+        let snap = self.outputs[buf]
+            .as_ref()
+            .unwrap_or_else(|| panic!("buffer {buf} read but not bound as input or output"))
+            .as_view()
+            .subview(region.r0, region.c0, region.rows, region.cols)
+            .to_matrix();
+        staged.insert(key, snap);
+    }
+
     /// The view a read operand streams from: the bound input region
     /// (zero-copy), or the staged snapshot of the named version.
     fn read_region<'s>(
@@ -305,22 +336,42 @@ impl Schedule {
     }
 
     /// Execute the planned stream *across the units* of a parallel
-    /// machine, consuming [`Schedule::wave_partitions`] directly: each
-    /// wave's hardware invocations run on the units the planner's LPT
-    /// partition assigned, per-op charges flow into `Stats` exactly as a
-    /// serial scheduled run charges them, and wall-clock advances by one
-    /// makespan per wave — so `mach.time()` lands on
-    /// [`Schedule::makespan`] (plus any scalar work) while numeric
-    /// results stay bit-identical to [`Schedule::run`] for every unit
-    /// count. Each unit owns its executor, so pack caches are per unit,
-    /// following the placement.
+    /// machine, consuming [`Schedule::wave_partitions`] directly — and,
+    /// unlike the serial [`Schedule::run`], on real threads: each wave
+    /// spawns one scoped worker per unit with work, running that unit's
+    /// assigned ops on that unit's own executor (hence its own pack
+    /// cache). Concurrency is safe by construction — ops sharing a wave
+    /// never overlap in any written region, which a debug assertion
+    /// re-verifies per wave — and deterministic by design:
+    ///
+    /// * **accounting** (per-op `Stats` charges and trace events) is
+    ///   recorded on the main thread in the schedule's canonical order
+    ///   *before* the wave's numerics run, exactly as a serial scheduled
+    ///   run charges them; wall-clock advances by one makespan per wave,
+    ///   so `mach.time()` lands on [`Schedule::makespan`] (plus scalar
+    ///   work);
+    /// * **numerics** land in per-op scratch buffers — pre-seeded with
+    ///   the destination bytes for accumulating ops, so the kernel
+    ///   performs the identical arithmetic on identical values — and the
+    ///   main thread merges the disjoint results back in canonical
+    ///   order, making elements bit-identical to [`Schedule::run`] for
+    ///   every unit count;
+    /// * **pack-cache counters** are per unit, and each worker consumes
+    ///   its ops in canonical order, so every unit's executor sees the
+    ///   exact op subsequence a serial placement-following run would —
+    ///   cache stats cannot depend on thread interleaving.
+    ///
+    /// A wave whose work all lands on one unit runs inline on the
+    /// calling thread (same executor, same order — only spawn overhead
+    /// is saved).
     ///
     /// # Panics
     /// Panics if the machine's `√m` or unit count differs from what the
     /// schedule was planned for, if the machine's unit splits ops
     /// differently than the planning unit did (tall support must
     /// agree), if the environment's buffer shapes disagree with the
-    /// planned graph's, or if a referenced buffer is unbound.
+    /// planned graph's, if a referenced buffer is unbound, or if a
+    /// worker thread panics.
     pub fn run_parallel<T: Scalar, U: TensorUnit, E: Executor>(
         &self,
         mach: &mut ParallelTcuMachine<U, E>,
@@ -344,64 +395,206 @@ impl Schedule {
             epoch: env.epoch,
             run: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
         };
+        let mut staged: HashMap<StageKey, Matrix<T>> = HashMap::new();
+        let nodes = self.nodes();
+        let (mut start, mut wave) = (0usize, 0usize);
+        while start < nodes.len() {
+            let mut end = start + 1;
+            while end < nodes.len() && nodes[end].level == nodes[start].level {
+                end += 1;
+            }
+            self.run_wave(mach, env, &mut staged, &stamps, &nodes[start..end], wave);
+            wave += 1;
+            start = end;
+        }
+    }
+
+    /// Execute one wave of independent ops across the machine's units.
+    fn run_wave<T: Scalar, U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut ParallelTcuMachine<U, E>,
+        env: &mut ExecEnv<'_, T>,
+        staged: &mut HashMap<StageKey, Matrix<T>>,
+        stamps: &TagStamps,
+        wave_nodes: &[crate::ScheduledNode],
+        wave: usize,
+    ) {
+        if cfg!(debug_assertions) {
+            assert_wave_outputs_disjoint(wave_nodes);
+        }
+        // Staging pass: snapshot every written-buffer read of the wave
+        // before anything executes (see `stage_region` for why this
+        // matches lazy per-op staging byte-for-byte).
+        for sn in wave_nodes {
+            env.stage_region(staged, &sn.node.a, sn.a_gen);
+            env.stage_region(staged, &sn.node.b, sn.b_gen);
+        }
+        let staged = &*staged;
+
+        // Charging + assembly pass, in canonical order: meter each op,
+        // resolve its operand views and cache tag, and build its work
+        // item on the unit the planner assigned its first invocation to.
         let s = mach.sqrt_m();
         let tall = mach.unit().supports_tall();
-        let mut staged: HashMap<StageKey, Matrix<T>> = HashMap::new();
-        let (mut wave, mut inv_at, mut wave_level) = (0usize, 0usize, 0usize);
-        for (pos, sn) in self.nodes().iter().enumerate() {
-            if pos == 0 {
-                wave_level = sn.level;
-            } else if sn.level != wave_level {
-                self.finish_wave(mach, wave, inv_at);
-                wave += 1;
-                inv_at = 0;
-                wave_level = sn.level;
-            }
+        let partition = &self.wave_partitions()[wave];
+        let mut per_unit: Vec<Vec<WaveItem<'_, T>>> =
+            (0..mach.units()).map(|_| Vec::new()).collect();
+        let mut inv_at = 0usize;
+        for (idx, sn) in wave_nodes.iter().enumerate() {
             let node = &sn.node;
             let invocations = if tall {
                 1
             } else {
                 node.op.charge_rows(s).div_ceil(s)
             };
-            let unit = *self.wave_partitions()[wave]
-                .assignment
-                .get(inv_at)
-                .unwrap_or_else(|| {
-                    panic!(
-                        "machine splits ops differently than the schedule planned \
-                         (tall-operand support must match the planning unit)"
-                    )
-                });
+            let unit = *partition.assignment.get(inv_at).unwrap_or_else(|| {
+                panic!(
+                    "machine splits ops differently than the schedule planned \
+                     (tall-operand support must match the planning unit)"
+                )
+            });
             inv_at += invocations;
 
-            let (a, b, tag, mut host) = env.prepare_node(&mut staged, &stamps, sn);
-            let mut out_view =
-                host.subview_mut(node.out.r0, node.out.c0, node.out.rows, node.out.cols);
-            mach.issue_into_on_unit(unit, node.op, a, Some(tag), b, &mut out_view);
-            env.outputs[node.out.buf.0] = Some(host);
-        }
-        if !self.nodes().is_empty() {
-            self.finish_wave(mach, wave, inv_at);
-        }
-    }
+            let a = env.read_region(staged, &node.a, sn.a_gen);
+            let b = env.read_region(staged, &node.b, sn.b_gen);
+            assert!(
+                node.op.matches((a.rows(), a.cols()), (b.rows(), b.cols())),
+                "operands do not match the op descriptor"
+            );
+            let out = &node.out;
+            assert_eq!(
+                (out.rows, out.cols),
+                (node.op.rows, node.op.width),
+                "output region does not match the op descriptor"
+            );
+            let input_bound = env.inputs[node.a.buf.0].is_some();
+            let tag = operand_tag(stamps, input_bound, &node.a, sn.a_gen);
+            mach.charge_wave_op(&node.op);
 
-    /// Close out wave `wave`: check the invocation count against the
-    /// planned partition (a mismatch means the running unit splits ops
-    /// differently than the planning unit) and charge the makespan.
-    fn finish_wave<U: TensorUnit, E: Executor>(
-        &self,
-        mach: &mut ParallelTcuMachine<U, E>,
-        wave: usize,
-        invocations: usize,
-    ) {
-        let partition = &self.wave_partitions()[wave];
+            // Per-op scratch destination: zeros suffice for overwrite
+            // ops (the kernel writes every element); accumulating ops
+            // are seeded with the exact destination bytes, so running
+            // the kernel on the scratch performs the identical
+            // arithmetic an in-place accumulate would.
+            let mut scratch = Matrix::<T>::zeros(node.op.rows, node.op.width);
+            if node.op.accumulate {
+                let host = env.outputs[out.buf.0].as_ref().unwrap_or_else(|| {
+                    panic!("buffer {} written but not bound as output", out.buf.0)
+                });
+                scratch
+                    .view_mut()
+                    .copy_from(host.as_view().subview(out.r0, out.c0, out.rows, out.cols));
+            }
+            per_unit[unit].push(WaveItem {
+                idx,
+                op: node.op,
+                a,
+                tag,
+                b,
+                scratch,
+            });
+        }
         assert_eq!(
-            invocations,
+            inv_at,
             partition.assignment.len(),
             "machine splits ops differently than the schedule planned \
              (tall-operand support must match the planning unit)"
         );
+
+        // Execution: one scoped thread per unit with work, each running
+        // its items in canonical order on its own executor. Single-unit
+        // waves run inline — the identical code path minus the spawn.
+        let busy = per_unit.iter().filter(|v| !v.is_empty()).count();
+        let mut finished: Vec<(usize, Matrix<T>)> = Vec::with_capacity(wave_nodes.len());
+        if busy <= 1 {
+            if let Some(u) = per_unit.iter().position(|v| !v.is_empty()) {
+                let items = std::mem::take(&mut per_unit[u]);
+                finished = run_items(&mut mach.unit_executors_mut()[u], items);
+            }
+        } else {
+            let execs = mach.unit_executors_mut();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(busy);
+                for (exec, items) in execs.iter_mut().zip(per_unit) {
+                    if !items.is_empty() {
+                        handles.push(scope.spawn(move || run_items(exec, items)));
+                    }
+                }
+                for h in handles {
+                    finished.extend(h.join().expect("wave worker panicked"));
+                }
+            });
+        }
+
+        // Merge pass, canonical order: copy each scratch into its
+        // (disjoint) destination region of the bound outputs.
+        finished.sort_unstable_by_key(|(idx, _)| *idx);
+        for (idx, scratch) in finished {
+            let out = &wave_nodes[idx].node.out;
+            env.outputs[out.buf.0]
+                .as_mut()
+                .expect("output bound (checked at assembly)")
+                .subview_mut(out.r0, out.c0, out.rows, out.cols)
+                .copy_from(scratch.view());
+        }
         mach.complete_wave(partition.makespan());
+    }
+}
+
+/// One op's share of a wave, bound for a specific unit's worker.
+struct WaveItem<'v, T: Scalar> {
+    /// Position within the wave (canonical order), for the merge pass.
+    idx: usize,
+    op: tcu_core::TensorOp,
+    a: MatrixView<'v, T>,
+    tag: OperandId,
+    b: MatrixView<'v, T>,
+    scratch: Matrix<T>,
+}
+
+/// Run one unit's wave items in canonical order on its executor,
+/// returning the filled scratches for the merge pass.
+fn run_items<T: Scalar, E: Executor>(
+    exec: &mut E,
+    items: Vec<WaveItem<'_, T>>,
+) -> Vec<(usize, Matrix<T>)> {
+    items
+        .into_iter()
+        .map(|item| {
+            let WaveItem {
+                idx,
+                op,
+                a,
+                tag,
+                b,
+                mut scratch,
+            } = item;
+            let _ = exec.execute_tagged(&op, a, Some(tag), b, &mut scratch.view_mut());
+            (idx, scratch)
+        })
+        .collect()
+}
+
+/// The soundness precondition of concurrent wave execution: no two ops
+/// of one wave write overlapping output elements. The scheduler
+/// guarantees this by construction — `Node::conflicts` flags every
+/// write overlap and the leveler separates conflicting nodes — so the
+/// wave driver re-checks it in debug builds only (the check is
+/// quadratic in wave width).
+///
+/// # Panics
+/// Panics if two ops of the wave write overlapping regions.
+fn assert_wave_outputs_disjoint(wave: &[crate::ScheduledNode]) {
+    for (i, x) in wave.iter().enumerate() {
+        for y in &wave[i + 1..] {
+            assert!(
+                !x.node.out.overlaps(&y.node.out),
+                "wave holds overlapping output regions {:?} and {:?} — \
+                 concurrent execution would race; this is a scheduler bug",
+                x.node.out,
+                y.node.out
+            );
+        }
     }
 }
 
@@ -787,5 +980,51 @@ mod tests {
         let m = pseudo(8, 8, 1);
         let mut env = ExecEnv::new(&g);
         env.bind_input(mb, m.view());
+    }
+
+    /// Build one wave's worth of scheduled nodes writing the given
+    /// output rectangles of a shared buffer (for the disjointness
+    /// check's own tests — a real `Scheduler` can never emit such a
+    /// wave, which is exactly why the assertion exists).
+    fn wave_writing(outs: &[(usize, usize, usize, usize)]) -> Vec<crate::ScheduledNode> {
+        let s = 4usize;
+        let mut g = OpGraph::new();
+        let ab = g.buffer("A", s, s);
+        let bb = g.buffer("B", s, s);
+        let cb = g.buffer("C", 4 * s, 4 * s);
+        outs.iter()
+            .map(|&(r0, c0, rows, cols)| crate::ScheduledNode {
+                node: crate::Node {
+                    op: TensorOp::padded(rows, s, cols),
+                    a: crate::OperandRef::new(ab, 0, 0, rows, s),
+                    b: crate::OperandRef::new(bb, 0, 0, s, cols),
+                    out: crate::OperandRef::new(cb, r0, c0, rows, cols),
+                    a_gen: 0,
+                    b_gen: 0,
+                    out_gen: 0,
+                },
+                level: 0,
+                fused: 1,
+                a_gen: 0,
+                b_gen: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn disjoint_wave_outputs_pass_the_assertion() {
+        // Adjacent but non-overlapping rectangles, including a shared
+        // edge — exactly the tightest layout a wave legally holds.
+        let wave = wave_writing(&[(0, 0, 4, 4), (0, 4, 4, 4), (4, 0, 4, 4), (4, 4, 8, 8)]);
+        assert_wave_outputs_disjoint(&wave);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping output regions")]
+    fn disjointness_assertion_catches_an_overlapping_wave() {
+        // The second rectangle shares element (4, 4) with the third —
+        // a deliberate scheduling-invariant violation.
+        let wave = wave_writing(&[(0, 0, 4, 4), (0, 4, 8, 4), (4, 4, 4, 4)]);
+        assert_wave_outputs_disjoint(&wave);
     }
 }
