@@ -111,6 +111,21 @@ pub fn transitive_scheduled<U: TensorUnit + 'static, E: Executor>(
     mach: &mut TcuMachine<U, E>,
     d: &mut Matrix<i64>,
 ) {
+    try_transitive_scheduled(mach, d).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// Fallible form of [`transitive_scheduled`]: execution faults surface
+/// as [`tcu_core::TcuError`] instead of panicking. Shape and 0/1-entry
+/// preconditions still panic — they are caller bugs, not runtime
+/// faults.
+///
+/// # Errors
+/// Propagates any [`tcu_core::TcuError`] from [`tcu_sched::Schedule::try_run`].
+#[cfg(feature = "sched")]
+pub fn try_transitive_scheduled<U: TensorUnit + 'static, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    d: &mut Matrix<i64>,
+) -> Result<(), tcu_core::TcuError> {
     use crate::plan_memo::plan_cached;
     use tcu_core::TensorOp;
     use tcu_sched::{ExecEnv, OpGraph, OperandRef};
@@ -175,10 +190,10 @@ pub fn transitive_scheduled<U: TensorUnit + 'static, E: Executor>(
         let (tb, xb, pb) = (planned.bufs[0], planned.bufs[1], planned.bufs[2]);
         let mut prods = Matrix::<i64>::zeros(rows, rows);
         let mut env = ExecEnv::new(&planned.graph);
-        env.bind_input(tb, tall.view());
-        env.bind_input(xb, d.view());
-        env.bind_output(pb, prods.view_mut());
-        planned.plan.run(mach, &mut env);
+        env.try_bind_input(tb, tall.view())?;
+        env.try_bind_input(xb, d.view())?;
+        env.try_bind_output(pb, prods.view_mut())?;
+        planned.plan.try_run(mach, &mut env)?;
 
         for (bj, &j) in others.iter().enumerate() {
             for (bi, &i) in others.iter().enumerate() {
@@ -190,6 +205,7 @@ pub fn transitive_scheduled<U: TensorUnit + 'static, E: Executor>(
             }
         }
     }
+    Ok(())
 }
 
 /// Kernel `A` (Figure 7): in-block closure with (∨, ∧); 2 ops per inner

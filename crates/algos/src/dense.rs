@@ -174,6 +174,23 @@ pub fn multiply_scheduled_blocked<T: Scalar, U: TensorUnit, E: Executor>(
     b: &Matrix<T>,
     blk: usize,
 ) -> Matrix<T> {
+    try_multiply_scheduled_blocked(mach, a, b, blk).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`multiply_scheduled_blocked`]: execution faults
+/// (binding, validation, unit failures) surface as
+/// [`tcu_core::TcuError`] instead of panicking. Shape preconditions on
+/// the operands still panic — they are caller bugs, not runtime faults.
+///
+/// # Errors
+/// Propagates any [`tcu_core::TcuError`] from [`tcu_sched::Schedule::try_run`].
+#[cfg(feature = "sched")]
+pub fn try_multiply_scheduled_blocked<T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    blk: usize,
+) -> Result<Matrix<T>, tcu_core::TcuError> {
     use tcu_core::{PadPolicy, TensorOp};
     use tcu_sched::{ExecEnv, OpGraph, OperandRef, Scheduler};
 
@@ -218,10 +235,10 @@ pub fn multiply_scheduled_blocked<T: Scalar, U: TensorUnit, E: Executor>(
     let plan = Scheduler::new().plan(&g, mach.unit());
     let mut c = Matrix::<T>::zeros(d, d);
     let mut env = ExecEnv::new(&g);
-    env.bind_input(ab, a.view());
-    env.bind_input(bb, b.view());
-    env.bind_output(cb, c.view_mut());
-    plan.run(mach, &mut env);
+    env.try_bind_input(ab, a.view())?;
+    env.try_bind_input(bb, b.view())?;
+    env.try_bind_output(cb, c.view_mut())?;
+    plan.try_run(mach, &mut env)?;
 
     // Theorem 2's final summation, billed per *emitted* op: every
     // column of C pays one add per accumulate pass beyond the first.
@@ -235,7 +252,7 @@ pub fn multiply_scheduled_blocked<T: Scalar, U: TensorUnit, E: Executor>(
     }
     let adds: u64 = passes.iter().map(|&p| (p - 1) * d as u64).sum();
     mach.charge(adds);
-    c
+    Ok(c)
 }
 
 /// Ablation: the classic three-loop blocked order, issuing one *square*

@@ -112,6 +112,20 @@ pub fn eliminate_scheduled<T: Field, U: TensorUnit + 'static, E: Executor>(
     mach: &mut TcuMachine<U, E>,
     x: &mut Matrix<T>,
 ) {
+    try_eliminate_scheduled(mach, x).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// Fallible form of [`eliminate_scheduled`]: execution faults surface
+/// as [`tcu_core::TcuError`] instead of panicking. Shape preconditions
+/// still panic — they are caller bugs, not runtime faults.
+///
+/// # Errors
+/// Propagates any [`tcu_core::TcuError`] from [`tcu_sched::Schedule::try_run`].
+#[cfg(feature = "sched")]
+pub fn try_eliminate_scheduled<T: Field, U: TensorUnit + 'static, E: Executor>(
+    mach: &mut TcuMachine<U, E>,
+    x: &mut Matrix<T>,
+) -> Result<(), tcu_core::TcuError> {
     use crate::plan_memo::plan_cached;
     use tcu_core::TensorOp;
     use tcu_sched::{ExecEnv, OpGraph, OperandRef};
@@ -174,14 +188,15 @@ pub fn eliminate_scheduled<T: Field, U: TensorUnit + 'static, E: Executor>(
         });
         let (xb, wb) = (planned.bufs[0], planned.bufs[1]);
         let mut env = ExecEnv::new(&planned.graph);
-        env.bind_input(wb, w.view());
-        env.bind_output(xb, x.view_mut());
-        planned.plan.run(mach, &mut env);
+        env.try_bind_input(wb, w.view())?;
+        env.try_bind_output(xb, x.view_mut())?;
+        planned.plan.try_run(mach, &mut env)?;
         // The fused accumulates absorbed the eager path's per-block host
         // adds; the model still bills them as CPU work, so Stats match
         // the eager run exactly.
         mach.charge((rem * rem * s * s) as u64);
     }
+    Ok(())
 }
 
 /// Kernel `A` (Figure 4): unblocked no-pivot elimination inside one

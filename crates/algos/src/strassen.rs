@@ -139,6 +139,28 @@ pub fn multiply_recursive_scheduled_with_base<T: Scalar, U: TensorUnit + 'static
     b: &Matrix<T>,
     base_dim: usize,
 ) -> Matrix<T> {
+    try_multiply_recursive_scheduled_with_base(mach, a, b, base_dim)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`multiply_recursive_scheduled_with_base`]:
+/// execution faults surface as [`tcu_core::TcuError`] instead of
+/// panicking. Shape preconditions still panic — they are caller bugs,
+/// not runtime faults.
+///
+/// # Errors
+/// Propagates any [`tcu_core::TcuError`] from [`tcu_sched::Schedule::try_run`].
+#[cfg(feature = "sched")]
+pub fn try_multiply_recursive_scheduled_with_base<
+    T: Scalar,
+    U: TensorUnit + 'static,
+    E: Executor,
+>(
+    mach: &mut TcuMachine<U, E>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    base_dim: usize,
+) -> Result<Matrix<T>, tcu_core::TcuError> {
     use crate::plan_memo::{plan_cached, PlannedGraph};
     use std::rc::Rc;
     use tcu_sched::{ExecEnv, OpGraph, Scheduler};
@@ -189,13 +211,13 @@ pub fn multiply_recursive_scheduled_with_base<T: Scalar, U: TensorUnit + 'static
 
     let mut products = Matrix::<T>::zeros(tile, leaves * tile);
     let mut env = ExecEnv::new(&planned.graph);
-    env.bind_input(ab, a.view());
-    env.bind_input(bb, b.view());
-    env.bind_output(pb, products.view_mut());
-    planned.plan.run(mach, &mut env);
+    env.try_bind_input(ab, a.view())?;
+    env.try_bind_input(bb, b.view())?;
+    env.try_bind_output(pb, products.view_mut())?;
+    planned.plan.try_run(mach, &mut env)?;
 
     let mut next = 0usize;
-    combine_products(mach, &products, d, tile, &mut next)
+    Ok(combine_products(mach, &products, d, tile, &mut next))
 }
 
 /// Emit the recursion's base products in left-operand-major order:

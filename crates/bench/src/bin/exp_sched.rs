@@ -8,7 +8,7 @@
 //! flow is the *run*: recording + planning cost is measured once and
 //! reported separately as `plan_ns`.
 //!
-//! Six cases:
+//! Seven case families:
 //!
 //! * `packcache d=<d>` — the E2 hot path (`√m = 16`, strict full-width
 //!   blocks, `f64`): eager `dense::multiply` re-reads each `A` strip
@@ -43,6 +43,14 @@
 //!   `speedup_wall` of these cases is what `bench_diff` gates on runners
 //!   whose core count matches the committed baseline's (a 1-core
 //!   recording honestly shows ≤1× and is skipped elsewhere).
+//! * `faults d=<d> units=<p> rate=<r>` — `run_parallel` on plain
+//!   executors versus the fault-tolerant `try_run_parallel` on
+//!   `FaultyExecutor`s injecting `r` transient faults per mille (plus a
+//!   permanent victim when `r > 0`). `rate=0` pins the fault-free
+//!   containment overhead in wall-clock (the gated number); nonzero
+//!   rates chart recovery's simulated cost — retry backoff + requeue
+//!   makespan — against fault density. Elements and `Stats` are
+//!   asserted byte-identical before timing (the recovery contract).
 //! * `gauss d=<d>` / `closure n=<n>` — the panel-re-streaming paper
 //!   workloads on their scheduled fast paths
 //!   (`gauss::eliminate_scheduled`, `closure::transitive_scheduled`):
@@ -588,6 +596,112 @@ fn bench_parwave(d: usize, units: usize, quick: bool) -> Case {
     }
 }
 
+/// The fault-tolerance overhead and recovery-cost case: `run_parallel`
+/// on plain executors versus `try_run_parallel` on [`FaultyExecutor`]s
+/// injecting a seeded plan at `rate` transient faults per mille (plus
+/// one permanent victim when `rate > 0`). At `rate = 0` the injector is
+/// a pure counted pass-through, so `speedup_wall` *is* the fault-free
+/// containment overhead (the per-op `catch_unwind` + the wrapper's plan
+/// probe) — the number the gate keeps honest. At `rate > 0` the wall
+/// ratio shows recovery's host cost and the sim ratio its simulated
+/// cost (retry backoff + requeue makespan over the planned makespan),
+/// as a function of fault rate. Elements and `Stats` are asserted
+/// byte-identical to the fault-free run before timing — the recovery
+/// contract, re-checked where the numbers are made.
+fn bench_faults(d: usize, units: usize, rate: u32, quick: bool) -> Case {
+    use tcu_core::{
+        assign_unit_ids, silence_injected_fault_panics, FaultPlan, FaultyExecutor, HostExecutor,
+        ModelTensorUnit, ParallelTcuMachine, TensorOp,
+    };
+    use tcu_sched::{ExecEnv, OpGraph, OperandRef, Scheduler};
+
+    silence_injected_fault_panics();
+    let s = SQRT_M;
+    let q = d / s;
+    let a = workload(d, d, 7);
+    let b = workload(d, d, 8);
+
+    let mut g = OpGraph::new();
+    let ab = g.buffer("A", d, d);
+    let bb = g.buffer("B", d, d);
+    let cb = g.buffer("C", d, d);
+    for j in 0..q {
+        for k in 0..q {
+            g.record(
+                TensorOp::mul_acc(d, s),
+                OperandRef::new(ab, 0, k * s, d, s),
+                OperandRef::new(bb, k * s, j * s, s, s),
+                OperandRef::new(cb, 0, j * s, d, s),
+            );
+        }
+    }
+    let unit = ModelTensorUnit::new(s * s, 0);
+    let plan = Scheduler::new().with_units(units).plan(&g, &unit);
+    // Horizon covers every execution a unit could perform even after
+    // quarantine concentrates the whole stream on one survivor.
+    let fplan = if rate == 0 {
+        FaultPlan::none()
+    } else {
+        FaultPlan::seeded(u64::from(rate), units, 2 * plan.invocations(), rate, 1)
+    };
+
+    let plain_run = || {
+        let mut mach = ParallelTcuMachine::new(unit, units);
+        let mut c = Matrix::<f64>::zeros(d, d);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(cb, c.view_mut());
+        plan.run_parallel(&mut mach, &mut env);
+        (c, mach.stats().clone())
+    };
+    let faulty_run = || {
+        let mut mach = ParallelTcuMachine::with_executor(
+            unit,
+            units,
+            FaultyExecutor::new(HostExecutor::new(), fplan.clone()),
+        );
+        assign_unit_ids(&mut mach);
+        let mut c = Matrix::<f64>::zeros(d, d);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(cb, c.view_mut());
+        plan.try_run_parallel(&mut mach, &mut env)
+            .expect("seeded plans are recoverable");
+        drop(env);
+        (c, mach.stats().clone(), mach.time())
+    };
+    let (c_plain, plain_stats) = plain_run();
+    let (c_faulty, faulty_stats, faulty_time) = faulty_run();
+    assert_eq!(c_plain, c_faulty, "recovery must be element-unobservable");
+    assert_eq!(plain_stats, faulty_stats, "recovery must not touch Stats");
+
+    let reps: u32 = if quick { 2 } else { 5 };
+    let eager_ns = tcu_bench::time_ns(reps, || plain_run().0);
+    let sched_ns = tcu_bench::time_ns(reps, || faulty_run().0);
+    Case {
+        name: format!("faults d={d} units={units} rate={rate}"),
+        d,
+        sqrt_m: s,
+        threads: units,
+        reps,
+        eager_ns,
+        sched_ns,
+        plan_ns: 0.0,
+        eager_invocations: plan.invocations(),
+        sched_invocations: plan.invocations(),
+        // Simulated time: planned makespan vs the faulty run's clock
+        // (makespan + retry backoff + requeue makespan) — the recovery
+        // cost in the model's own terms.
+        eager_sim_time: plan.makespan(),
+        sched_sim_time: faulty_time,
+        pack_lookups: 0,
+        pack_misses: 0,
+        packed_bytes: 0,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -613,6 +727,13 @@ fn main() {
         // can gate the wave-parallel wall speedups.
         bench_parwave(512, 2, quick),
         bench_parwave(512, 4, quick),
+        // Fault tolerance: rate=0 pins the fault-free containment
+        // overhead on the parwave workload (wall speedup ≈ 1), the
+        // nonzero rates chart recovery cost against fault density in
+        // simulated time. Full size always, same reason as `parwave`.
+        bench_faults(512, 4, 0, quick),
+        bench_faults(512, 4, 20, quick),
+        bench_faults(512, 4, 100, quick),
     ];
 
     let mut table = tcu_bench::Table::new(

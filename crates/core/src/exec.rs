@@ -387,6 +387,12 @@ pub(crate) fn replay_events<U: crate::TensorUnit>(
                     t.push_scalar(ops);
                 }
             }
+            // Recovery annotations carry no chargeable work: replay
+            // re-derives the fault-free accounting, which is exactly
+            // what the recovery contract says the original run charged.
+            crate::trace::TraceEvent::Fault { .. }
+            | crate::trace::TraceEvent::Retry { .. }
+            | crate::trace::TraceEvent::Quarantine { .. } => {}
         }
     }
 }

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # tcu-core — the (m, ℓ)-TCU computational model
 //!
 //! This crate implements the machine model of Chowdhury, Silvestri &
@@ -53,7 +54,9 @@
 //! resulting closed-form totals exactly.
 
 pub mod cost;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod machine;
 pub mod op;
 pub mod parallel;
@@ -61,7 +64,12 @@ pub mod tensor_unit;
 pub mod trace;
 
 pub use cost::{Stats, StatsSummary};
+pub use error::{BindRole, TcuError};
 pub use exec::{Executor, HostExecutor, OperandId, PackCacheStats, ReplayExecutor};
+pub use fault::{
+    assign_unit_ids, silence_injected_fault_panics, FaultKind, FaultPlan, FaultStats,
+    FaultyExecutor, InjectedFault, RecoveryPolicy,
+};
 pub use machine::TcuMachine;
 pub use op::{PadPolicy, TensorOp};
 pub use parallel::{partition_lpt, ParallelTcuMachine, Partition};

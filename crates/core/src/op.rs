@@ -101,30 +101,51 @@ impl TensorOp {
         }
     }
 
+    /// Check the descriptor against a unit of the given `√m`, returning
+    /// [`crate::TcuError::OpInvalid`] with the model's shape-contract
+    /// message on violation. [`Self::validate`] is the panicking form.
+    pub fn check(&self, sqrt_m: usize) -> Result<(), crate::TcuError> {
+        let s = sqrt_m;
+        let reason = match self.pad {
+            PadPolicy::Strict => {
+                if self.inner != s {
+                    Some(format!("left operand must have √m = {s} columns"))
+                } else if self.width != s {
+                    Some("right operand must be √m × √m".to_string())
+                } else if self.rows < s {
+                    Some(format!(
+                        "model requires n ≥ √m rows (got {}); pad first",
+                        self.rows
+                    ))
+                } else {
+                    None
+                }
+            }
+            PadPolicy::ZeroPad => {
+                if self.inner > s {
+                    Some("inner dimension exceeds √m".to_string())
+                } else if self.width > s {
+                    Some("right operand width exceeds √m".to_string())
+                } else {
+                    None
+                }
+            }
+        };
+        match reason {
+            Some(reason) => Err(crate::TcuError::OpInvalid { reason }),
+            None => Ok(()),
+        }
+    }
+
     /// Validate the descriptor against a unit of the given `√m`.
     ///
     /// # Panics
-    /// Panics with the model's shape contract messages on violation.
+    /// Panics with the model's shape contract messages on violation
+    /// (the `Display` of the [`crate::TcuError::OpInvalid`] that
+    /// [`Self::check`] returns).
     pub fn validate(&self, sqrt_m: usize) {
-        let s = sqrt_m;
-        match self.pad {
-            PadPolicy::Strict => {
-                assert_eq!(self.inner, s, "left operand must have √m = {s} columns");
-                assert_eq!(
-                    (self.inner, self.width),
-                    (s, s),
-                    "right operand must be √m × √m"
-                );
-                assert!(
-                    self.rows >= s,
-                    "model requires n ≥ √m rows (got {}); pad first",
-                    self.rows
-                );
-            }
-            PadPolicy::ZeroPad => {
-                assert!(self.inner <= s, "inner dimension exceeds √m");
-                assert!(self.width <= s, "right operand width exceeds √m");
-            }
+        if let Err(e) = self.check(sqrt_m) {
+            panic!("{e}");
         }
     }
 
@@ -192,6 +213,15 @@ mod tests {
     #[should_panic(expected = "inner dimension exceeds √m")]
     fn validate_rejects_oversized_padded_inner() {
         TensorOp::padded(4, 5, 4).validate(4);
+    }
+
+    #[test]
+    fn check_returns_typed_errors_with_the_panic_wording() {
+        assert!(TensorOp::mul(4, 4).check(4).is_ok());
+        let short = TensorOp::mul(2, 4).check(4).unwrap_err();
+        assert!(short.to_string().contains("n ≥ √m"), "{short}");
+        let wide = TensorOp::padded(4, 4, 5).check(4).unwrap_err();
+        assert!(wide.to_string().contains("width exceeds √m"), "{wide}");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::cost::Stats;
 use crate::exec::{Executor, HostExecutor, OperandId};
+use crate::fault::FaultStats;
 use crate::op::TensorOp;
 use crate::tensor_unit::TensorUnit;
 use crate::trace::TraceLog;
@@ -43,6 +44,10 @@ pub struct ParallelTcuMachine<U: TensorUnit, E: Executor = HostExecutor> {
     /// `stats.tensor_time`, which keeps the *work* for utilization
     /// accounting).
     makespan_time: u64,
+    /// Recovery accounting: what the fault-tolerant wave driver did that
+    /// a fault-free run would not. Kept outside `stats` so `Stats` stay
+    /// byte-identical between a recovered run and a fault-free one.
+    fault_stats: FaultStats,
 }
 
 impl<U: TensorUnit> ParallelTcuMachine<U> {
@@ -88,6 +93,7 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
             stats: Stats::default(),
             trace: None,
             makespan_time: 0,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -281,6 +287,65 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
         self.makespan_time += makespan;
     }
 
+    /// Recovery counters accumulated by the fault-tolerant wave driver
+    /// (all zero on a fault-free run).
+    #[must_use]
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// Record a contained unit fault (transient or permanent) as a
+    /// trace annotation plus a [`FaultStats`] counter. Never touches
+    /// `Stats` — recovery must be unobservable there.
+    pub fn record_fault(&mut self, unit: usize, transient: bool) {
+        if transient {
+            self.fault_stats.transient_faults += 1;
+        } else {
+            self.fault_stats.permanent_faults += 1;
+        }
+        if let Some(t) = &mut self.trace {
+            t.push_fault(unit, transient);
+        }
+    }
+
+    /// Record a retry of a `rows`-row op on `unit` and charge its
+    /// simulated backoff into wall-clock: the op's invocation cost
+    /// again, doubled per extra attempt (`attempt` counts from 2, the
+    /// first retry). The charge lands in `makespan_time` — observable
+    /// via [`Self::time`] — never in `Stats`. Returns the backoff
+    /// charged.
+    pub fn record_retry(&mut self, unit: usize, attempt: u32, rows: usize) -> u64 {
+        let backoff = self
+            .unit
+            .invocation_cost(rows)
+            .wrapping_shl(attempt.saturating_sub(2));
+        self.fault_stats.retries += 1;
+        self.fault_stats.backoff_time += backoff;
+        self.makespan_time += backoff;
+        if let Some(t) = &mut self.trace {
+            t.push_retry(unit, attempt, backoff);
+        }
+        backoff
+    }
+
+    /// Record the quarantine of `unit` with `requeued` ops moved onto
+    /// survivors.
+    pub fn record_quarantine(&mut self, unit: usize, requeued: usize) {
+        self.fault_stats.quarantined_units += 1;
+        self.fault_stats.requeued_ops += requeued as u64;
+        if let Some(t) = &mut self.trace {
+            t.push_quarantine(unit, requeued);
+        }
+    }
+
+    /// Charge the extra simulated makespan of a re-partitioned batch of
+    /// requeued ops (the LPT makespan of the batch over the surviving
+    /// units). Like backoff, this lands in `makespan_time` only.
+    pub fn charge_recovery(&mut self, makespan: u64) {
+        self.fault_stats.recovery_makespan += makespan;
+        self.makespan_time += makespan;
+    }
+
     /// Issue a batch of *independent* ops (`Cᵢ = Aᵢ·Bᵢ`): each op is
     /// validated and charged exactly as on the serial machine (including
     /// the tall-split into square invocations on units without native
@@ -406,7 +471,8 @@ pub fn partition_lpt(costs: &[u64], p: usize) -> Partition {
     let mut assignment = vec![0usize; costs.len()];
     let mut loads = vec![0u64; p];
     for i in order {
-        let unit = (0..p).min_by_key(|&u| (loads[u], u)).expect("p >= 1");
+        // `p >= 1` is asserted above, so the minimum always exists.
+        let unit = (0..p).min_by_key(|&u| (loads[u], u)).unwrap_or(0);
         assignment[i] = unit;
         loads[unit] += costs[i];
     }
@@ -592,6 +658,37 @@ mod tests {
             let c = par.unit_executor(u).pack_cache_stats().expect("cache on");
             assert_eq!((c.misses, c.hits), (1, 0), "unit {u}");
         }
+    }
+
+    #[test]
+    fn recovery_accounting_charges_time_but_never_stats() {
+        let mut mach = ParallelTcuMachine::new(ModelTensorUnit::new(16, 7), 2);
+        mach.enable_trace();
+        let clean_stats = mach.stats().clone();
+
+        mach.record_fault(1, true);
+        let b1 = mach.record_retry(1, 2, 8); // first retry: 1× cost
+        let b2 = mach.record_retry(1, 3, 8); // second retry: 2× cost
+        mach.record_fault(0, false);
+        mach.record_quarantine(0, 3);
+        mach.charge_recovery(100);
+
+        let cost = 8 * 4 + 7;
+        assert_eq!((b1, b2), (cost, 2 * cost));
+        assert_eq!(mach.time(), b1 + b2 + 100, "backoff + recovery in time()");
+        assert_eq!(mach.stats(), &clean_stats, "Stats must stay untouched");
+        let fs = mach.fault_stats();
+        assert_eq!(fs.transient_faults, 1);
+        assert_eq!(fs.permanent_faults, 1);
+        assert_eq!(fs.retries, 2);
+        assert_eq!(fs.backoff_time, b1 + b2);
+        assert_eq!(fs.quarantined_units, 1);
+        assert_eq!(fs.requeued_ops, 3);
+        assert_eq!(fs.recovery_makespan, 100);
+
+        let trace = mach.take_trace();
+        assert_eq!(trace.fault_events().len(), 5);
+        assert_eq!(trace.digest(), TraceLog::new().digest());
     }
 
     #[test]

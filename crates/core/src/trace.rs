@@ -33,6 +33,47 @@ pub enum TraceEvent {
         /// Number of unit-cost CPU operations in the run.
         ops: u64,
     },
+    /// A tensor unit faulted during a parallel wave and the fault was
+    /// contained. Recovery events are *annotations*, not work: they are
+    /// excluded from the digest and from every work summary, so a
+    /// recovered run's trace digests identically to the fault-free run.
+    Fault {
+        /// The faulting unit.
+        unit: usize,
+        /// `true` for a transient fault (retried), `false` for a
+        /// permanent one (unit quarantined or run failed).
+        transient: bool,
+    },
+    /// A faulted op was retried on its unit after simulated backoff.
+    Retry {
+        /// The retrying unit.
+        unit: usize,
+        /// Attempt number issued (2 = first retry).
+        attempt: u32,
+        /// Simulated backoff time charged into the run's makespan.
+        backoff: u64,
+    },
+    /// A permanently failed unit was quarantined and its remaining wave
+    /// assignments re-partitioned onto the surviving units.
+    Quarantine {
+        /// The quarantined unit.
+        unit: usize,
+        /// Ops moved onto survivors.
+        requeued: usize,
+    },
+}
+
+impl TraceEvent {
+    /// `true` for the recovery annotations ([`TraceEvent::Fault`],
+    /// [`TraceEvent::Retry`], [`TraceEvent::Quarantine`]) that describe
+    /// *how* a run executed rather than *what* it computed.
+    #[must_use]
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            Self::Fault { .. } | Self::Retry { .. } | Self::Quarantine { .. }
+        )
+    }
 }
 
 /// An append-only log of [`TraceEvent`]s with consecutive scalar segments
@@ -67,6 +108,28 @@ impl TraceLog {
         }
     }
 
+    /// Record a contained unit fault. Recovery events never coalesce
+    /// with scalar segments — the wave driver charges no scalar work
+    /// while recovering, so a fault annotation can never split a run
+    /// that a fault-free execution would have merged.
+    pub fn push_fault(&mut self, unit: usize, transient: bool) {
+        self.events.push(TraceEvent::Fault { unit, transient });
+    }
+
+    /// Record a retry attempt and its charged backoff.
+    pub fn push_retry(&mut self, unit: usize, attempt: u32, backoff: u64) {
+        self.events.push(TraceEvent::Retry {
+            unit,
+            attempt,
+            backoff,
+        });
+    }
+
+    /// Record a unit quarantine and the number of requeued ops.
+    pub fn push_quarantine(&mut self, unit: usize, requeued: usize) {
+        self.events.push(TraceEvent::Quarantine { unit, requeued });
+    }
+
     /// The recorded events, in execution order.
     #[must_use]
     pub fn events(&self) -> &[TraceEvent] {
@@ -89,7 +152,7 @@ impl TraceLog {
             .iter()
             .map(|e| match e {
                 TraceEvent::Scalar { ops } => *ops,
-                TraceEvent::Tensor { .. } => 0,
+                _ => 0,
             })
             .sum()
     }
@@ -101,7 +164,7 @@ impl TraceLog {
             .iter()
             .map(|e| match e {
                 TraceEvent::Tensor { op, .. } => op.rows as u64,
-                TraceEvent::Scalar { .. } => 0,
+                _ => 0,
             })
             .sum()
     }
@@ -114,9 +177,36 @@ impl TraceLog {
             .iter()
             .map(|e| match e {
                 TraceEvent::Tensor { cost, .. } => *cost,
-                TraceEvent::Scalar { .. } => 0,
+                _ => 0,
             })
             .sum()
+    }
+
+    /// The log with recovery annotations dropped: exactly the event
+    /// stream a fault-free execution of the same schedule records. The
+    /// chaos suite compares `faulted.without_faults().events()` against
+    /// the fault-free run's `events()` — the strongest form of the
+    /// recovery-is-unobservable contract.
+    #[must_use]
+    pub fn without_faults(&self) -> TraceLog {
+        TraceLog {
+            events: self
+                .events
+                .iter()
+                .filter(|e| !e.is_fault())
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// The recorded recovery annotations, in execution order.
+    #[must_use]
+    pub fn fault_events(&self) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.is_fault())
+            .copied()
+            .collect()
     }
 
     /// `true` iff nothing has been recorded.
@@ -146,9 +236,15 @@ impl TraceLog {
             h = h.wrapping_mul(PRIME);
         };
         for ev in &self.events {
+            // Recovery annotations are not part of the trace schema:
+            // skipping them here is what makes a recovered run's digest
+            // equal the fault-free digest by construction.
             let (tag, payload) = match ev {
                 TraceEvent::Tensor { op, .. } => (b'T', op.rows as u64),
                 TraceEvent::Scalar { ops } => (b'S', *ops),
+                TraceEvent::Fault { .. }
+                | TraceEvent::Retry { .. }
+                | TraceEvent::Quarantine { .. } => continue,
             };
             eat(tag);
             for b in payload.to_le_bytes() {
@@ -221,5 +317,60 @@ mod tests {
         c.push_scalar(10);
         assert_eq!(a.digest(), c.digest());
         assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn fault_events_are_annotations_not_work() {
+        let mut clean = TraceLog::new();
+        clean.push_tensor(tensor(8), 32);
+        clean.push_scalar(10);
+        clean.push_tensor(tensor(24), 96);
+
+        let mut faulty = TraceLog::new();
+        faulty.push_tensor(tensor(8), 32);
+        faulty.push_fault(1, true);
+        faulty.push_retry(1, 2, 45);
+        faulty.push_scalar(10);
+        faulty.push_fault(0, false);
+        faulty.push_quarantine(0, 3);
+        faulty.push_tensor(tensor(24), 96);
+
+        // Digest and every work summary ignore the annotations...
+        assert_eq!(faulty.digest(), clean.digest());
+        assert_eq!(faulty.tensor_calls(), clean.tensor_calls());
+        assert_eq!(faulty.tensor_rows(), clean.tensor_rows());
+        assert_eq!(faulty.tensor_cost(), clean.tensor_cost());
+        assert_eq!(faulty.scalar_ops(), clean.scalar_ops());
+        // ...without_faults() strips them to the clean stream exactly...
+        assert_eq!(faulty.without_faults().events(), clean.events());
+        // ...and fault_events() exposes just the recovery story.
+        assert_eq!(
+            faulty.fault_events(),
+            vec![
+                TraceEvent::Fault {
+                    unit: 1,
+                    transient: true
+                },
+                TraceEvent::Retry {
+                    unit: 1,
+                    attempt: 2,
+                    backoff: 45
+                },
+                TraceEvent::Fault {
+                    unit: 0,
+                    transient: false
+                },
+                TraceEvent::Quarantine {
+                    unit: 0,
+                    requeued: 3
+                },
+            ]
+        );
+        assert!(TraceEvent::Fault {
+            unit: 0,
+            transient: true
+        }
+        .is_fault());
+        assert!(!TraceEvent::Scalar { ops: 1 }.is_fault());
     }
 }

@@ -56,6 +56,11 @@ pub fn replay_trace_detailed(trace: &TraceLog, sqrt_m: usize) -> ReplayBreakdown
             TraceEvent::Scalar { ops } => {
                 out.scalar_ios += 3 * ops;
             }
+            // Recovery annotations (fault/retry/quarantine) move no
+            // data in the EM model — the recovered ops' tensor events
+            // already carry their full I/O charge.
+            TraceEvent::Fault { .. } | TraceEvent::Retry { .. } | TraceEvent::Quarantine { .. } => {
+            }
         }
     }
     out

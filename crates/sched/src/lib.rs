@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # tcu-sched — deferred op-stream runtime for the (m, ℓ)-TCU simulator
 //!
 //! In the TCU model, an algorithm's cost is its instruction stream: each
@@ -35,6 +36,13 @@
 //! Scheduling is strictly opt-in: nothing in the eager
 //! `TcuMachine::tensor_mul*` path changes, and with coalescing disabled
 //! a scheduled run charges exactly the ops that were recorded.
+//!
+//! Execution is fallible end to end: [`Schedule::try_run`] and
+//! [`Schedule::try_run_parallel`] surface binding, validation, and unit
+//! faults as [`tcu_core::TcuError`]s, and the parallel path retries or
+//! quarantines faulty units (see the [`run`] module docs for the fault
+//! model). The panicking `run`/`run_parallel` forms are thin unwrapping
+//! wrappers kept for callers that treat faults as bugs.
 
 pub mod graph;
 pub mod run;

@@ -46,12 +46,41 @@
 //! schedule's canonical serial order — waves hold only independent ops,
 //! so this equals any true interleaving — which keeps multi-unit runs
 //! bit-identical to serial runs and to each other for every unit count.
+//!
+//! # Fault tolerance
+//!
+//! Every entry point has a fallible `try_*` form returning
+//! [`TcuError`] — binding mistakes, plan/machine mismatches, and op
+//! contract violations come back as values; the legacy `bind_*`/`run*`
+//! names are thin wrappers that panic with the error's `Display`
+//! (preserving every historical panic message). On top of that,
+//! [`Schedule::try_run_parallel`] *recovers* from unit faults: each
+//! worker contains per-op panics with `catch_unwind`, transient faults
+//! (an [`InjectedFault`] payload, as injected by
+//! [`tcu_core::FaultyExecutor`]) are retried in place with simulated
+//! backoff charged into wall-clock, and permanently failing units are
+//! quarantined — for the rest of the *run*, not just the wave — with
+//! their unexecuted items re-partitioned onto the survivors via
+//! [`partition_lpt`]. Recovery is unobservable in results by
+//! construction: per-op `Stats`/trace charges happen on the main thread
+//! before numerics, faulted ops re-execute against intact (or
+//! re-seeded) scratch, and fault/retry/quarantine trace annotations are
+//! excluded from the digest — so a recoverable faulty run's elements,
+//! `Stats`, and digest are byte-identical to the fault-free run's, with
+//! only `time()` (backoff + requeue makespans) and
+//! [`tcu_core::FaultStats`] recording that recovery happened. A
+//! non-[`InjectedFault`] worker panic (a real executor bug) is treated
+//! as a permanent unit fault whose in-flight scratch is conservatively
+//! rebuilt from the environment before requeueing.
 
 use crate::graph::{BufferId, OperandRef};
 use crate::scheduler::Schedule;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use tcu_core::{Executor, OperandId, ParallelTcuMachine, TcuMachine, TensorUnit};
+use tcu_core::{
+    partition_lpt, BindRole, Executor, FaultKind, InjectedFault, OperandId, ParallelTcuMachine,
+    RecoveryPolicy, TcuError, TcuMachine, TensorUnit,
+};
 use tcu_linalg::{Matrix, MatrixView, MatrixViewMut, Scalar};
 
 /// Process-wide epoch allocator: every environment gets a distinct
@@ -99,6 +128,34 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
         self.epoch
     }
 
+    /// Bind a read-only buffer to a view of its exact registered shape,
+    /// returning the binding error instead of panicking. Fails on a
+    /// shape mismatch, an id from another graph, or a buffer the graph
+    /// writes (written buffers need [`Self::try_bind_output`], and
+    /// reads of them resolve against per-op generations).
+    pub fn try_bind_input(
+        &mut self,
+        id: BufferId,
+        view: MatrixView<'a, T>,
+    ) -> Result<(), TcuError> {
+        let expected = *self.shapes.get(id.0).ok_or(TcuError::PlanMismatch {
+            what: "binding names a buffer from another graph",
+        })?;
+        if (view.rows(), view.cols()) != expected {
+            return Err(TcuError::BindShape {
+                buffer: id.0,
+                role: BindRole::Input,
+                expected,
+                got: (view.rows(), view.cols()),
+            });
+        }
+        if self.written[id.0] {
+            return Err(TcuError::BindWrittenAsInput { buffer: id.0 });
+        }
+        self.inputs[id.0] = Some(view);
+        Ok(())
+    }
+
     /// Bind a read-only buffer to a view of its exact registered shape.
     ///
     /// # Panics
@@ -106,17 +163,32 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
     /// the graph writes (written buffers need [`Self::bind_output`], and
     /// reads of them resolve against per-op generations).
     pub fn bind_input(&mut self, id: BufferId, view: MatrixView<'a, T>) {
-        assert_eq!(
-            (view.rows(), view.cols()),
-            self.shapes[id.0],
-            "input binding shape mismatch"
-        );
-        assert!(
-            !self.written[id.0],
-            "buffer {} is written by the graph; bind it mutably with bind_output",
-            id.0
-        );
-        self.inputs[id.0] = Some(view);
+        self.try_bind_input(id, view)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Bind a written buffer to a mutable view of its registered shape,
+    /// returning the binding error instead of panicking. Reads the
+    /// graph performs on the same buffer (pipelines) are served from
+    /// generation-keyed snapshots of this binding.
+    pub fn try_bind_output(
+        &mut self,
+        id: BufferId,
+        view: MatrixViewMut<'a, T>,
+    ) -> Result<(), TcuError> {
+        let expected = *self.shapes.get(id.0).ok_or(TcuError::PlanMismatch {
+            what: "binding names a buffer from another graph",
+        })?;
+        if (view.rows(), view.cols()) != expected {
+            return Err(TcuError::BindShape {
+                buffer: id.0,
+                role: BindRole::Output,
+                expected,
+                got: (view.rows(), view.cols()),
+            });
+        }
+        self.outputs[id.0] = Some(view);
+        Ok(())
     }
 
     /// Bind a written buffer to a mutable view of its registered shape.
@@ -126,12 +198,8 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
     /// # Panics
     /// Panics on shape mismatch or an id from another graph.
     pub fn bind_output(&mut self, id: BufferId, view: MatrixViewMut<'a, T>) {
-        assert_eq!(
-            (view.rows(), view.cols()),
-            self.shapes[id.0],
-            "output binding shape mismatch"
-        );
-        self.outputs[id.0] = Some(view);
+        self.try_bind_output(id, view)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Snapshot `region` at content version `gen` into `staged` if a
@@ -146,27 +214,31 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
         gen: u32,
         out_buf: usize,
         host: &MatrixViewMut<'_, T>,
-    ) {
+    ) -> Result<(), TcuError> {
         let buf = region.buf.0;
         if self.inputs[buf].is_some() {
-            return;
+            return Ok(());
         }
         let key = stage_key(region, gen);
         if staged.contains_key(&key) {
-            return;
+            return Ok(());
         }
         let src = if buf == out_buf {
             host.as_view()
         } else {
             self.outputs[buf]
                 .as_ref()
-                .unwrap_or_else(|| panic!("buffer {buf} read but not bound as input or output"))
+                .ok_or(TcuError::Unbound {
+                    buffer: buf,
+                    written: false,
+                })?
                 .as_view()
         };
         let snap = src
             .subview(region.r0, region.c0, region.rows, region.cols)
             .to_matrix();
         staged.insert(key, snap);
+        Ok(())
     }
 
     /// Snapshot `region` at content version `gen` if it reads a written
@@ -182,22 +254,26 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
         staged: &mut HashMap<StageKey, Matrix<T>>,
         region: &OperandRef,
         gen: u32,
-    ) {
+    ) -> Result<(), TcuError> {
         let buf = region.buf.0;
         if self.inputs[buf].is_some() {
-            return;
+            return Ok(());
         }
         let key = stage_key(region, gen);
         if staged.contains_key(&key) {
-            return;
+            return Ok(());
         }
         let snap = self.outputs[buf]
             .as_ref()
-            .unwrap_or_else(|| panic!("buffer {buf} read but not bound as input or output"))
+            .ok_or(TcuError::Unbound {
+                buffer: buf,
+                written: false,
+            })?
             .as_view()
             .subview(region.r0, region.c0, region.rows, region.cols)
             .to_matrix();
         staged.insert(key, snap);
+        Ok(())
     }
 
     /// The view a read operand streams from: the bound input region
@@ -212,7 +288,7 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
             Some(v) => v.subview(region.r0, region.c0, region.rows, region.cols),
             None => staged
                 .get(&stage_key(region, gen))
-                .expect("snapshot staged before use")
+                .unwrap_or_else(|| unreachable!("snapshot staged before use"))
                 .view(),
         }
     }
@@ -229,24 +305,35 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
         staged: &'s mut HashMap<StageKey, Matrix<T>>,
         stamps: &TagStamps,
         sn: &crate::ScheduledNode,
-    ) -> (
-        MatrixView<'s, T>,
-        MatrixView<'s, T>,
-        OperandId,
-        MatrixViewMut<'a, T>,
-    ) {
+    ) -> Result<
+        (
+            MatrixView<'s, T>,
+            MatrixView<'s, T>,
+            OperandId,
+            MatrixViewMut<'a, T>,
+        ),
+        TcuError,
+    > {
         let node = &sn.node;
         let out_buf = node.out.buf.0;
-        let host = self.outputs[out_buf].take().unwrap_or_else(|| {
-            panic!("buffer {out_buf} written but not bound as output");
-        });
-        self.ensure_staged(staged, &node.a, sn.a_gen, out_buf, &host);
-        self.ensure_staged(staged, &node.b, sn.b_gen, out_buf, &host);
+        let host = self.outputs[out_buf].take().ok_or(TcuError::Unbound {
+            buffer: out_buf,
+            written: true,
+        })?;
+        // Stage before taking the read views: a staging failure must
+        // not leave the output binding moved out.
+        if let Err(e) = self
+            .ensure_staged(staged, &node.a, sn.a_gen, out_buf, &host)
+            .and_then(|()| self.ensure_staged(staged, &node.b, sn.b_gen, out_buf, &host))
+        {
+            self.outputs[out_buf] = Some(host);
+            return Err(e);
+        }
         let a = self.read_region(staged, &node.a, sn.a_gen);
         let b = self.read_region(staged, &node.b, sn.b_gen);
         let input_bound = self.inputs[node.a.buf.0].is_some();
         let tag = operand_tag(stamps, input_bound, &node.a, sn.a_gen);
-        (a, b, tag, host)
+        Ok((a, b, tag, host))
     }
 }
 
@@ -311,15 +398,33 @@ impl Schedule {
         mach: &mut TcuMachine<U, E>,
         env: &mut ExecEnv<'_, T>,
     ) {
-        assert_eq!(
-            mach.sqrt_m(),
-            self.sqrt_m,
-            "schedule was planned for a different tensor-unit size"
-        );
-        assert_eq!(
-            env.shapes, self.buffer_shapes,
-            "environment built for a different graph (buffer shapes disagree)"
-        );
+        self.try_run(mach, env).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`Schedule::run`], returning errors instead of panicking:
+    /// plan/machine mismatches, op contract violations, and unbound
+    /// buffers come back as [`TcuError`]s. On `Err`, the bound outputs
+    /// hold whatever the already-issued prefix of the stream wrote (an
+    /// error aborts mid-stream, it does not roll back). Fault
+    /// *recovery* (retry, quarantine) is a property of the parallel
+    /// wave driver — see [`Schedule::try_run_parallel`]; the serial
+    /// path has no worker threads to contain, so an executor panic here
+    /// propagates.
+    pub fn try_run<T: Scalar, U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut TcuMachine<U, E>,
+        env: &mut ExecEnv<'_, T>,
+    ) -> Result<(), TcuError> {
+        if mach.sqrt_m() != self.sqrt_m {
+            return Err(TcuError::PlanMismatch {
+                what: "schedule was planned for a different tensor-unit size",
+            });
+        }
+        if env.shapes != self.buffer_shapes {
+            return Err(TcuError::PlanMismatch {
+                what: "environment built for a different graph (buffer shapes disagree)",
+            });
+        }
         let stamps = TagStamps {
             epoch: env.epoch,
             run: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
@@ -327,12 +432,14 @@ impl Schedule {
         let mut staged: HashMap<StageKey, Matrix<T>> = HashMap::new();
         for sn in self.nodes() {
             let node = &sn.node;
-            let (a, b, tag, mut host) = env.prepare_node(&mut staged, &stamps, sn);
+            node.op.check(self.sqrt_m)?;
+            let (a, b, tag, mut host) = env.prepare_node(&mut staged, &stamps, sn)?;
             let mut out_view =
                 host.subview_mut(node.out.r0, node.out.c0, node.out.rows, node.out.cols);
             mach.issue_into_tagged(node.op, a, Some(tag), b, &mut out_view);
             env.outputs[node.out.buf.0] = Some(host);
         }
+        Ok(())
     }
 
     /// Execute the planned stream *across the units* of a parallel
@@ -371,31 +478,79 @@ impl Schedule {
     /// differently than the planning unit did (tall support must
     /// agree), if the environment's buffer shapes disagree with the
     /// planned graph's, if a referenced buffer is unbound, or if a
-    /// worker thread panics.
+    /// fault was unrecoverable under the default [`RecoveryPolicy`].
     pub fn run_parallel<T: Scalar, U: TensorUnit, E: Executor>(
         &self,
         mach: &mut ParallelTcuMachine<U, E>,
         env: &mut ExecEnv<'_, T>,
     ) {
-        assert_eq!(
-            mach.sqrt_m(),
-            self.sqrt_m,
-            "schedule was planned for a different tensor-unit size"
-        );
-        assert_eq!(
-            mach.units(),
-            self.units(),
-            "schedule was planned for a different unit count"
-        );
-        assert_eq!(
-            env.shapes, self.buffer_shapes,
-            "environment built for a different graph (buffer shapes disagree)"
-        );
+        self.try_run_parallel(mach, env)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`Schedule::run_parallel`] with fault recovery under the default
+    /// [`RecoveryPolicy`] (3 attempts per op, quarantine on). See
+    /// [`Schedule::try_run_parallel_with`].
+    pub fn try_run_parallel<T: Scalar, U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut ParallelTcuMachine<U, E>,
+        env: &mut ExecEnv<'_, T>,
+    ) -> Result<(), TcuError> {
+        self.try_run_parallel_with(mach, env, RecoveryPolicy::default())
+    }
+
+    /// The fault-tolerant parallel driver: [`Schedule::run_parallel`]
+    /// semantics, plus containment and recovery of worker faults under
+    /// `policy`.
+    ///
+    /// Every per-op panic on a worker is caught. An [`InjectedFault`]
+    /// payload marked transient is retried on the same unit (bounded by
+    /// `policy.max_attempts`, each retry charging simulated backoff
+    /// into wall-clock); one marked permanent — or any *other* panic
+    /// payload, i.e. a real executor bug — kills the unit: with
+    /// `policy.quarantine` the unit is retired for the rest of the run
+    /// and its unexecuted items are re-partitioned onto the survivors
+    /// (charging the requeued batch's LPT makespan), without it the run
+    /// fails with [`TcuError::UnitFault`]. A run out of retries fails
+    /// with [`TcuError::RetriesExhausted`]; losing every unit with work
+    /// still pending fails with [`TcuError::AllUnitsQuarantined`].
+    ///
+    /// For every *recoverable* fault schedule the recovery contract
+    /// holds: output elements, `Stats`, and the trace digest are
+    /// byte-identical to the fault-free run, with the recovery story
+    /// visible only in `time()`, [`tcu_core::FaultStats`], and the
+    /// digest-exempt fault/retry/quarantine trace annotations. On
+    /// `Err`, outputs hold the completed waves' results only — the
+    /// failing wave's scratches are discarded, never half-merged.
+    pub fn try_run_parallel_with<T: Scalar, U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut ParallelTcuMachine<U, E>,
+        env: &mut ExecEnv<'_, T>,
+        policy: RecoveryPolicy,
+    ) -> Result<(), TcuError> {
+        if mach.sqrt_m() != self.sqrt_m {
+            return Err(TcuError::PlanMismatch {
+                what: "schedule was planned for a different tensor-unit size",
+            });
+        }
+        if mach.units() != self.units() {
+            return Err(TcuError::PlanMismatch {
+                what: "schedule was planned for a different unit count",
+            });
+        }
+        if env.shapes != self.buffer_shapes {
+            return Err(TcuError::PlanMismatch {
+                what: "environment built for a different graph (buffer shapes disagree)",
+            });
+        }
         let stamps = TagStamps {
             epoch: env.epoch,
             run: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
         };
         let mut staged: HashMap<StageKey, Matrix<T>> = HashMap::new();
+        // Quarantine outlives the wave: a unit that failed permanently
+        // stays retired for the remainder of this run.
+        let mut quarantined = vec![false; mach.units()];
         let nodes = self.nodes();
         let (mut start, mut wave) = (0usize, 0usize);
         while start < nodes.len() {
@@ -403,13 +558,25 @@ impl Schedule {
             while end < nodes.len() && nodes[end].level == nodes[start].level {
                 end += 1;
             }
-            self.run_wave(mach, env, &mut staged, &stamps, &nodes[start..end], wave);
+            self.run_wave(
+                mach,
+                env,
+                &mut staged,
+                &stamps,
+                &nodes[start..end],
+                wave,
+                policy,
+                &mut quarantined,
+            )?;
             wave += 1;
             start = end;
         }
+        Ok(())
     }
 
-    /// Execute one wave of independent ops across the machine's units.
+    /// Execute one wave of independent ops across the machine's units,
+    /// containing and recovering worker faults under `policy`.
+    #[allow(clippy::too_many_arguments)]
     fn run_wave<T: Scalar, U: TensorUnit, E: Executor>(
         &self,
         mach: &mut ParallelTcuMachine<U, E>,
@@ -418,7 +585,9 @@ impl Schedule {
         stamps: &TagStamps,
         wave_nodes: &[crate::ScheduledNode],
         wave: usize,
-    ) {
+        policy: RecoveryPolicy,
+        quarantined: &mut [bool],
+    ) -> Result<(), TcuError> {
         if cfg!(debug_assertions) {
             assert_wave_outputs_disjoint(wave_nodes);
         }
@@ -426,118 +595,193 @@ impl Schedule {
         // before anything executes (see `stage_region` for why this
         // matches lazy per-op staging byte-for-byte).
         for sn in wave_nodes {
-            env.stage_region(staged, &sn.node.a, sn.a_gen);
-            env.stage_region(staged, &sn.node.b, sn.b_gen);
+            env.stage_region(staged, &sn.node.a, sn.a_gen)?;
+            env.stage_region(staged, &sn.node.b, sn.b_gen)?;
         }
         let staged = &*staged;
+        // Immutable reborrow for the assembly/execution phases: items
+        // hold views into the environment; the merge pass below resumes
+        // mutable access once every item is dropped.
+        let envr = &*env;
 
         // Charging + assembly pass, in canonical order: meter each op,
         // resolve its operand views and cache tag, and build its work
-        // item on the unit the planner assigned its first invocation to.
+        // item on the unit the planner assigned its first invocation
+        // to. Items bound for already-quarantined units are displaced
+        // and re-partitioned onto the survivors below. Charges always
+        // happen here, on the main thread, in canonical order — faults
+        // can delay numerics, never reorder accounting.
         let s = mach.sqrt_m();
         let tall = mach.unit().supports_tall();
+        let units = mach.units();
         let partition = &self.wave_partitions()[wave];
-        let mut per_unit: Vec<Vec<WaveItem<'_, T>>> =
-            (0..mach.units()).map(|_| Vec::new()).collect();
+        let split_mismatch = TcuError::PlanMismatch {
+            what: "machine splits ops differently than the schedule planned \
+                   (tall-operand support must match the planning unit)",
+        };
+        let mut pending: Vec<Vec<WaveItem<'_, T>>> = (0..units).map(|_| Vec::new()).collect();
+        let mut displaced: Vec<WaveItem<'_, T>> = Vec::new();
         let mut inv_at = 0usize;
         for (idx, sn) in wave_nodes.iter().enumerate() {
             let node = &sn.node;
+            node.op.check(s)?;
             let invocations = if tall {
                 1
             } else {
                 node.op.charge_rows(s).div_ceil(s)
             };
-            let unit = *partition.assignment.get(inv_at).unwrap_or_else(|| {
-                panic!(
-                    "machine splits ops differently than the schedule planned \
-                     (tall-operand support must match the planning unit)"
-                )
-            });
+            let Some(&unit) = partition.assignment.get(inv_at) else {
+                return Err(split_mismatch);
+            };
             inv_at += invocations;
-
-            let a = env.read_region(staged, &node.a, sn.a_gen);
-            let b = env.read_region(staged, &node.b, sn.b_gen);
-            assert!(
-                node.op.matches((a.rows(), a.cols()), (b.rows(), b.cols())),
-                "operands do not match the op descriptor"
-            );
-            let out = &node.out;
-            assert_eq!(
-                (out.rows, out.cols),
-                (node.op.rows, node.op.width),
-                "output region does not match the op descriptor"
-            );
-            let input_bound = env.inputs[node.a.buf.0].is_some();
-            let tag = operand_tag(stamps, input_bound, &node.a, sn.a_gen);
             mach.charge_wave_op(&node.op);
-
-            // Per-op scratch destination: zeros suffice for overwrite
-            // ops (the kernel writes every element); accumulating ops
-            // are seeded with the exact destination bytes, so running
-            // the kernel on the scratch performs the identical
-            // arithmetic an in-place accumulate would.
-            let mut scratch = Matrix::<T>::zeros(node.op.rows, node.op.width);
-            if node.op.accumulate {
-                let host = env.outputs[out.buf.0].as_ref().unwrap_or_else(|| {
-                    panic!("buffer {} written but not bound as output", out.buf.0)
-                });
-                scratch
-                    .view_mut()
-                    .copy_from(host.as_view().subview(out.r0, out.c0, out.rows, out.cols));
+            let item = build_item(envr, staged, stamps, idx, sn)?;
+            if quarantined[unit] {
+                displaced.push(item);
+            } else {
+                pending[unit].push(item);
             }
-            per_unit[unit].push(WaveItem {
-                idx,
-                op: node.op,
-                a,
-                tag,
-                b,
-                scratch,
-            });
         }
-        assert_eq!(
-            inv_at,
-            partition.assignment.len(),
-            "machine splits ops differently than the schedule planned \
-             (tall-operand support must match the planning unit)"
-        );
+        if inv_at != partition.assignment.len() {
+            return Err(split_mismatch);
+        }
+        requeue_onto_survivors(mach, &mut pending, displaced, quarantined, wave)?;
 
-        // Execution: one scoped thread per unit with work, each running
-        // its items in canonical order on its own executor. Single-unit
-        // waves run inline — the identical code path minus the spawn.
-        let busy = per_unit.iter().filter(|v| !v.is_empty()).count();
+        // Execution rounds: one scoped thread per unit with work, each
+        // running its items in canonical order on its own executor with
+        // per-op fault containment. A round ends when every worker
+        // returns; units that died during the round are quarantined and
+        // their unexecuted items re-partitioned, then the next round
+        // runs the requeued work. Single-worker rounds run inline — the
+        // identical code path minus the spawn.
+        let max_attempts = policy.max_attempts.max(1);
         let mut finished: Vec<(usize, Matrix<T>)> = Vec::with_capacity(wave_nodes.len());
-        if busy <= 1 {
-            if let Some(u) = per_unit.iter().position(|v| !v.is_empty()) {
-                let items = std::mem::take(&mut per_unit[u]);
-                finished = run_items(&mut mach.unit_executors_mut()[u], items);
+        loop {
+            let busy = pending.iter().filter(|v| !v.is_empty()).count();
+            if busy == 0 {
+                break;
             }
-        } else {
-            let execs = mach.unit_executors_mut();
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(busy);
-                for (exec, items) in execs.iter_mut().zip(per_unit) {
-                    if !items.is_empty() {
-                        handles.push(scope.spawn(move || run_items(exec, items)));
+            // Wave indices assigned this round, per unit — enough to
+            // rebuild a unit's entire round from the environment if its
+            // worker dies so hard its outcome is lost (outputs are
+            // pristine until the merge pass, so rebuilt items are
+            // byte-identical to the originals).
+            let assigned: Vec<Vec<usize>> = pending
+                .iter()
+                .map(|v| v.iter().map(|it| it.idx).collect())
+                .collect();
+            let mut outcomes: Vec<(usize, UnitOutcome<'_, T>)> = Vec::with_capacity(busy);
+            if busy == 1 {
+                if let Some(u) = pending.iter().position(|v| !v.is_empty()) {
+                    let items = std::mem::take(&mut pending[u]);
+                    outcomes.push((
+                        u,
+                        run_items_contained(&mut mach.unit_executors_mut()[u], items, max_attempts),
+                    ));
+                }
+            } else {
+                let round: Vec<Vec<WaveItem<'_, T>>> =
+                    pending.iter_mut().map(std::mem::take).collect();
+                let execs = mach.unit_executors_mut();
+                outcomes = std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(busy);
+                    for (u, (exec, items)) in execs.iter_mut().zip(round).enumerate() {
+                        if !items.is_empty() {
+                            handles.push((
+                                u,
+                                scope.spawn(move || run_items_contained(exec, items, max_attempts)),
+                            ));
+                        }
+                    }
+                    // Every handle is joined — a dead worker can never
+                    // deadlock the scope or abort the process; its
+                    // escape hatch is the `lost` outcome below.
+                    handles
+                        .into_iter()
+                        .map(|(u, h)| match h.join() {
+                            Ok(outcome) => (u, outcome),
+                            Err(_) => (u, UnitOutcome::lost()),
+                        })
+                        .collect()
+                });
+            }
+
+            // Process outcomes in unit order (deterministic for a given
+            // fault plan): record fault/retry annotations, collect
+            // completed scratches, quarantine dead units and gather
+            // their unexecuted items for re-partitioning.
+            let mut requeue: Vec<WaveItem<'_, T>> = Vec::new();
+            for (u, outcome) in outcomes {
+                for note in &outcome.notes {
+                    match *note {
+                        WorkerNote::Fault { transient } => mach.record_fault(u, transient),
+                        WorkerNote::Retry { attempt, op } => {
+                            let _ = mach.record_retry(u, attempt, op.charge_rows(s));
+                        }
                     }
                 }
-                for h in handles {
-                    finished.extend(h.join().expect("wave worker panicked"));
+                finished.extend(outcome.done);
+                match outcome.terminal {
+                    None => {}
+                    Some(Terminal::Exhausted { attempts }) => {
+                        return Err(TcuError::RetriesExhausted {
+                            unit: u,
+                            wave,
+                            attempts,
+                        });
+                    }
+                    Some(Terminal::Dead { dirty }) => {
+                        if !policy.quarantine {
+                            return Err(TcuError::UnitFault { unit: u, wave });
+                        }
+                        quarantined[u] = true;
+                        let mut leftover = outcome.leftover;
+                        if outcome.lost {
+                            // The whole round is rebuilt: nothing the
+                            // worker did reached the outputs, and the
+                            // charges were recorded at assembly.
+                            leftover = assigned[u]
+                                .iter()
+                                .map(|&idx| build_item(envr, staged, stamps, idx, &wave_nodes[idx]))
+                                .collect::<Result<_, _>>()?;
+                        } else if dirty {
+                            // A non-injected panic may have fired mid-
+                            // write: rebuild the in-flight item's
+                            // scratch from the (untouched) environment.
+                            if let Some(first) = leftover.first_mut() {
+                                *first = build_item(
+                                    envr,
+                                    staged,
+                                    stamps,
+                                    first.idx,
+                                    &wave_nodes[first.idx],
+                                )?;
+                            }
+                        }
+                        mach.record_quarantine(u, leftover.len());
+                        requeue.extend(leftover);
+                    }
                 }
-            });
+            }
+            requeue_onto_survivors(mach, &mut pending, requeue, quarantined, wave)?;
         }
+        drop(pending);
 
         // Merge pass, canonical order: copy each scratch into its
-        // (disjoint) destination region of the bound outputs.
+        // (disjoint) destination region of the bound outputs. Reached
+        // only when every item of the wave completed — an error above
+        // discards the wave's scratches instead of half-merging them.
         finished.sort_unstable_by_key(|(idx, _)| *idx);
         for (idx, scratch) in finished {
             let out = &wave_nodes[idx].node.out;
             env.outputs[out.buf.0]
                 .as_mut()
-                .expect("output bound (checked at assembly)")
+                .unwrap_or_else(|| unreachable!("output bound (checked at assembly)"))
                 .subview_mut(out.r0, out.c0, out.rows, out.cols)
                 .copy_from(scratch.view());
         }
         mach.complete_wave(partition.makespan());
+        Ok(())
     }
 }
 
@@ -552,27 +796,226 @@ struct WaveItem<'v, T: Scalar> {
     scratch: Matrix<T>,
 }
 
-/// Run one unit's wave items in canonical order on its executor,
-/// returning the filled scratches for the merge pass.
-fn run_items<T: Scalar, E: Executor>(
+/// Resolve one wave node into its executable work item: operand views
+/// (bound inputs or staged snapshots), left-operand cache tag, and a
+/// scratch destination — zeros for overwrite ops (the kernel writes
+/// every element), the exact destination bytes for accumulating ops
+/// (so the kernel performs the identical arithmetic an in-place
+/// accumulate would). Also the rebuild path for faulted items: outputs
+/// stay untouched until the wave's merge pass, so building the same
+/// item twice yields byte-identical operands and seed.
+fn build_item<'s, T: Scalar>(
+    env: &'s ExecEnv<'_, T>,
+    staged: &'s HashMap<StageKey, Matrix<T>>,
+    stamps: &TagStamps,
+    idx: usize,
+    sn: &crate::ScheduledNode,
+) -> Result<WaveItem<'s, T>, TcuError> {
+    let node = &sn.node;
+    let a = env.read_region(staged, &node.a, sn.a_gen);
+    let b = env.read_region(staged, &node.b, sn.b_gen);
+    assert!(
+        node.op.matches((a.rows(), a.cols()), (b.rows(), b.cols())),
+        "operands do not match the op descriptor"
+    );
+    let out = &node.out;
+    assert_eq!(
+        (out.rows, out.cols),
+        (node.op.rows, node.op.width),
+        "output region does not match the op descriptor"
+    );
+    let input_bound = env.inputs[node.a.buf.0].is_some();
+    let tag = operand_tag(stamps, input_bound, &node.a, sn.a_gen);
+    let mut scratch = Matrix::<T>::zeros(node.op.rows, node.op.width);
+    if node.op.accumulate {
+        let host = env.outputs[out.buf.0].as_ref().ok_or(TcuError::Unbound {
+            buffer: out.buf.0,
+            written: true,
+        })?;
+        scratch
+            .view_mut()
+            .copy_from(host.as_view().subview(out.r0, out.c0, out.rows, out.cols));
+    }
+    Ok(WaveItem {
+        idx,
+        op: node.op,
+        a,
+        tag,
+        b,
+        scratch,
+    })
+}
+
+/// A recovery annotation produced on a worker thread, recorded into the
+/// machine by the main thread (in unit order, so trace annotations are
+/// deterministic for a given fault plan).
+#[derive(Clone, Copy)]
+enum WorkerNote {
+    /// A contained fault (transient = retried, permanent = unit died).
+    Fault { transient: bool },
+    /// A retry attempt; the op identifies the backoff's cost basis.
+    Retry {
+        attempt: u32,
+        op: tcu_core::TensorOp,
+    },
+}
+
+/// Why a unit's worker stopped executing mid-round.
+enum Terminal {
+    /// One op stayed transiently faulting through `max_attempts`.
+    Exhausted { attempts: u32 },
+    /// The unit failed permanently. `dirty` means the panic was not an
+    /// [`InjectedFault`] (which fires before any write), so the
+    /// in-flight item's scratch must be rebuilt before requeueing.
+    Dead { dirty: bool },
+}
+
+/// Everything one unit's worker produced in one execution round.
+struct UnitOutcome<'v, T: Scalar> {
+    /// Completed `(wave index, filled scratch)` pairs for the merge.
+    done: Vec<(usize, Matrix<T>)>,
+    /// Fault/retry annotations, in occurrence order.
+    notes: Vec<WorkerNote>,
+    /// Why the worker stopped early, if it did.
+    terminal: Option<Terminal>,
+    /// Items not executed (the in-flight item first).
+    leftover: Vec<WaveItem<'v, T>>,
+    /// The worker died outside per-op containment and its state is
+    /// gone; the caller rebuilds the whole round from the environment.
+    lost: bool,
+}
+
+impl<T: Scalar> UnitOutcome<'_, T> {
+    /// The synthetic outcome for a worker whose join failed.
+    fn lost() -> Self {
+        Self {
+            done: Vec::new(),
+            notes: vec![WorkerNote::Fault { transient: false }],
+            terminal: Some(Terminal::Dead { dirty: true }),
+            leftover: Vec::new(),
+            lost: true,
+        }
+    }
+}
+
+/// Run one unit's wave items in canonical order on its executor, with
+/// per-op fault containment: every execution is wrapped in
+/// `catch_unwind`, transient [`InjectedFault`]s retry in place (bounded
+/// by `max_attempts` — each retry consumes the executor's next
+/// execution index, so a fault plan spacing its transients out by one
+/// index always recovers), and permanent faults or foreign panics stop
+/// the unit, returning the unexecuted items for requeueing. Injected
+/// faults fire before the executor touches the scratch, so a retried
+/// or requeued item's seed is exactly as built.
+fn run_items_contained<'v, T: Scalar, E: Executor>(
     exec: &mut E,
-    items: Vec<WaveItem<'_, T>>,
-) -> Vec<(usize, Matrix<T>)> {
-    items
-        .into_iter()
-        .map(|item| {
-            let WaveItem {
-                idx,
-                op,
-                a,
-                tag,
-                b,
-                mut scratch,
-            } = item;
-            let _ = exec.execute_tagged(&op, a, Some(tag), b, &mut scratch.view_mut());
-            (idx, scratch)
+    items: Vec<WaveItem<'v, T>>,
+    max_attempts: u32,
+) -> UnitOutcome<'v, T> {
+    let mut out = UnitOutcome {
+        done: Vec::new(),
+        notes: Vec::new(),
+        terminal: None,
+        leftover: Vec::new(),
+        lost: false,
+    };
+    let mut iter = items.into_iter();
+    while let Some(mut item) = iter.next() {
+        let mut attempt = 1u32;
+        loop {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = exec.execute_tagged(
+                    &item.op,
+                    item.a,
+                    Some(item.tag),
+                    item.b,
+                    &mut item.scratch.view_mut(),
+                );
+            }));
+            match result {
+                Ok(()) => {
+                    out.done.push((item.idx, item.scratch));
+                    break;
+                }
+                Err(payload) => {
+                    let terminal = match payload.downcast::<InjectedFault>() {
+                        Ok(fault) if fault.kind == FaultKind::Transient => {
+                            out.notes.push(WorkerNote::Fault { transient: true });
+                            if attempt >= max_attempts {
+                                Some(Terminal::Exhausted { attempts: attempt })
+                            } else {
+                                attempt += 1;
+                                out.notes.push(WorkerNote::Retry {
+                                    attempt,
+                                    op: item.op,
+                                });
+                                None
+                            }
+                        }
+                        Ok(_) => {
+                            out.notes.push(WorkerNote::Fault { transient: false });
+                            Some(Terminal::Dead { dirty: false })
+                        }
+                        Err(_foreign) => {
+                            out.notes.push(WorkerNote::Fault { transient: false });
+                            Some(Terminal::Dead { dirty: true })
+                        }
+                    };
+                    if let Some(terminal) = terminal {
+                        out.terminal = Some(terminal);
+                        out.leftover.push(item);
+                        out.leftover.extend(iter);
+                        return out;
+                    }
+                    // else: retry the same item on the next loop pass.
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Re-partition `batch` (items displaced off quarantined units) onto
+/// the surviving units via LPT over the items' invocation costs,
+/// charging the batch's makespan as recovery time. Fails with
+/// [`TcuError::AllUnitsQuarantined`] when work remains and no unit
+/// survives.
+fn requeue_onto_survivors<'v, T: Scalar, U: TensorUnit, E: Executor>(
+    mach: &mut ParallelTcuMachine<U, E>,
+    pending: &mut [Vec<WaveItem<'v, T>>],
+    batch: Vec<WaveItem<'v, T>>,
+    quarantined: &[bool],
+    wave: usize,
+) -> Result<(), TcuError> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    let survivors: Vec<usize> = (0..pending.len()).filter(|&u| !quarantined[u]).collect();
+    if survivors.is_empty() {
+        return Err(TcuError::AllUnitsQuarantined {
+            wave,
+            pending: batch.len(),
+        });
+    }
+    let s = mach.sqrt_m();
+    let tall = mach.unit().supports_tall();
+    let costs: Vec<u64> = batch
+        .iter()
+        .map(|it| {
+            let n = it.op.charge_rows(s);
+            if tall {
+                mach.unit().invocation_cost(n)
+            } else {
+                (n.div_ceil(s) as u64) * mach.unit().invocation_cost(s)
+            }
         })
-        .collect()
+        .collect();
+    let part = partition_lpt(&costs, survivors.len());
+    mach.charge_recovery(part.makespan());
+    for (item, &slot) in batch.into_iter().zip(&part.assignment) {
+        pending[survivors[slot]].push(item);
+    }
+    Ok(())
 }
 
 /// The soundness precondition of concurrent wave execution: no two ops
