@@ -95,14 +95,21 @@ pub fn transitive_closure<U: TensorUnit, E: Executor>(
 /// run as a planned, tagged stream.
 ///
 /// Per pivot block `kk`, the stacked tall operand (every `X_{i,k}`,
-/// `i ≠ k`) is recorded as the single left operand streamed against all
-/// `q − 1` weight blocks — the pack cache's best case: one pack per
-/// stage, `q − 2` re-uses — while the weights `X_{k,j}` are zero-copy
-/// regions of the adjacency matrix itself (the eager path copies each
-/// block out to appease the borrow checker; the graph runtime just
-/// names the rectangle). Products land in a scratch buffer and the
-/// (∨-clamp) fold back into `X` stays on the CPU, charged exactly as
-/// the eager kernel `D` charges it — `Stats` and results are identical.
+/// `i ≠ k`) is recorded as the single left operand streamed against the
+/// `q − 1` weight blocks — so the pack cache, when enabled, packs the
+/// stack once per plan and re-uses it for every other op in that plan —
+/// while the weights `X_{k,j}` are zero-copy regions of the adjacency
+/// matrix itself (the eager path copies each block out to appease the
+/// borrow checker; the graph runtime just names the rectangle). The
+/// weight blocks are processed in chunks of [`D_CHUNK`] block-columns
+/// per plan, with the (∨-clamp) fold back into `X` run after each
+/// chunk: batching *all* `q − 1` products before folding would push the
+/// product panel out to an `(q−1)²s²`-element round-trip that evicts
+/// both `X` and the products themselves, while per-chunk folding keeps
+/// the working set near the eager path's mul-then-fold locality without
+/// giving up the planned, tagged stream. The fold stays on the CPU,
+/// charged exactly as the eager kernel `D` charges it — `Stats` and
+/// results are identical.
 ///
 /// # Panics
 /// Panics unless `d` is square 0/1 with `√m | n`.
@@ -113,6 +120,27 @@ pub fn transitive_scheduled<U: TensorUnit + 'static, E: Executor>(
 ) {
     try_transitive_scheduled(mach, d).unwrap_or_else(|e| panic!("{e}"));
 }
+
+// Per-thread scratch pool for `try_transitive_scheduled`: the
+// `(tall, prods)` pair of the last completed call, handed back to the
+// next call of the same shape. Dropped (not restored) on the error
+// path — a faulted run just re-allocates next time.
+#[cfg(feature = "sched")]
+thread_local! {
+    static SCRATCH: core::cell::RefCell<Option<(Matrix<i64>, Matrix<i64>)>> =
+        const { core::cell::RefCell::new(None) };
+}
+
+/// Block-columns of `D`-stage updates batched per plan in
+/// [`try_transitive_scheduled`]. Chosen so the product panel
+/// (`D_CHUNK · (q−1) · s²` elements) stays L2-resident at the bench
+/// shape (n = 256, s = 16 → 120 KiB): profiling chunk sizes 2/4/8/15
+/// showed 2 dominated by per-plan machinery, 15 (everything in one
+/// plan) dominated by the 460 KiB product round-trip evicting `X`
+/// between fold and the next stage's kernels, and 4 ≈ 8 at the sweet
+/// spot.
+#[cfg(feature = "sched")]
+const D_CHUNK: usize = 4;
 
 /// Fallible form of [`transitive_scheduled`]: execution faults surface
 /// as [`tcu_core::TcuError`] instead of panicking. Shape and 0/1-entry
@@ -140,6 +168,34 @@ pub fn try_transitive_scheduled<U: TensorUnit + 'static, E: Executor>(
     assert!(n.is_multiple_of(s), "√m = {s} must divide n = {n}");
     let q = n / s;
 
+    // Stage-invariant scratch, hoisted out of the stage loop AND reused
+    // across calls on this thread: `tall` (the stacked column strip)
+    // and `prods` (the product panel) keep one shape across all stages
+    // and are fully overwritten before any read in every stage — `tall`
+    // by the q−1 block copies, `prods` by the q−1 overwriting muls into
+    // its disjoint column bands (together the bands tile the whole
+    // panel) — so neither zeroing nor a fresh allocation buys anything.
+    // The thread-local pool matters for the run-many shape: a fresh n²
+    // buffer per call pays its first-touch page faults inside the timed
+    // run, every run, which is exactly the class of per-run cost the
+    // plan-once/run-many contract exists to amortize away.
+    let rows = q.saturating_sub(1) * s;
+    let chunk_cap = D_CHUNK.min(q.saturating_sub(1));
+    let (mut tall, mut prods) = SCRATCH.with(|c| {
+        let (t, p) = c
+            .borrow_mut()
+            .take()
+            .unwrap_or_else(|| (Matrix::zeros(0, 0), Matrix::zeros(0, 0)));
+        let reshape = |m: Matrix<i64>, r: usize, w: usize| {
+            if (m.rows(), m.cols()) == (r, w) {
+                m
+            } else {
+                Matrix::zeros(r, w)
+            }
+        };
+        (reshape(t, rows, s), reshape(p, rows * chunk_cap, s))
+    });
+
     for kk in 0..q {
         let mut xkk = d.block(kk * s, kk * s, s, s);
         kernel_a(mach, &mut xkk);
@@ -162,49 +218,50 @@ pub fn try_transitive_scheduled<U: TensorUnit + 'static, E: Executor>(
         if q == 1 {
             continue;
         }
-        let rows = (q - 1) * s;
-        let mut tall = Matrix::<i64>::zeros(rows, s);
         let others: Vec<usize> = (0..q).filter(|&i| i != kk).collect();
         for (bi, &i) in others.iter().enumerate() {
             tall.set_block_view(bi * s, 0, d.subview(i * s, kk * s, s, s));
         }
 
-        // The stage graph depends only on (n, s, kk) — memoize its plan
-        // so repeated closures at one shape skip planning altogether.
-        let planned = plan_cached("closure-d", [n, s, kk, 0], mach.unit(), 1, || {
-            let mut g = OpGraph::new();
-            let tb = g.buffer("T", rows, s);
-            let xb = g.buffer("X", n, n);
-            let pb = g.buffer("P", rows, rows);
-            let t_whole = OperandRef::new(tb, 0, 0, rows, s);
-            for (bj, &j) in others.iter().enumerate() {
-                g.record(
-                    TensorOp::mul(rows, s),
-                    t_whole,
-                    OperandRef::new(xb, kk * s, j * s, s, s),
-                    OperandRef::new(pb, 0, bj * s, rows, s),
-                );
-            }
-            (g, vec![tb, xb, pb])
-        });
-        let (tb, xb, pb) = (planned.bufs[0], planned.bufs[1], planned.bufs[2]);
-        let mut prods = Matrix::<i64>::zeros(rows, rows);
-        let mut env = ExecEnv::new(&planned.graph);
-        env.try_bind_input(tb, tall.view())?;
-        env.try_bind_input(xb, d.view())?;
-        env.try_bind_output(pb, prods.view_mut())?;
-        planned.plan.try_run(mach, &mut env)?;
+        for (ci, chunk) in others.chunks(D_CHUNK).enumerate() {
+            // The chunk graph depends only on (n, s, kk, ci) — memoize
+            // its plan so repeated closures at one shape skip planning
+            // altogether.
+            let planned = plan_cached("closure-d", [n, s, kk, ci], mach.unit(), 1, || {
+                let mut g = OpGraph::new();
+                let tb = g.buffer("T", rows, s);
+                let xb = g.buffer("X", n, n);
+                let pb = g.buffer("P", rows * chunk.len(), s);
+                let t_whole = OperandRef::new(tb, 0, 0, rows, s);
+                for (bj, &j) in chunk.iter().enumerate() {
+                    g.record(
+                        TensorOp::mul(rows, s),
+                        t_whole,
+                        OperandRef::new(xb, kk * s, j * s, s, s),
+                        OperandRef::new(pb, bj * rows, 0, rows, s),
+                    );
+                }
+                (g, vec![tb, xb, pb])
+            });
+            let (tb, xb, pb) = (planned.bufs[0], planned.bufs[1], planned.bufs[2]);
+            let mut env = ExecEnv::new(&planned.graph);
+            env.try_bind_input(tb, tall.view())?;
+            env.try_bind_input(xb, d.view())?;
+            env.try_bind_output(pb, prods.subview_mut(0, 0, rows * chunk.len(), s))?;
+            planned.plan.try_run(mach, &mut env)?;
 
-        for (bj, &j) in others.iter().enumerate() {
-            for (bi, &i) in others.iter().enumerate() {
-                mach.charge(2 * (s * s) as u64);
-                d.subview_mut(i * s, j * s, s, s)
-                    .zip_apply(prods.subview(bi * s, bj * s, s, s), |x, p| {
-                        i64::from(x + p > 0)
-                    });
+            for (bj, &j) in chunk.iter().enumerate() {
+                for (bi, &i) in others.iter().enumerate() {
+                    mach.charge(2 * (s * s) as u64);
+                    d.subview_mut(i * s, j * s, s, s)
+                        .zip_apply(prods.subview(bj * rows + bi * s, 0, s, s), |x, p| {
+                            i64::from(x + p > 0)
+                        });
+                }
             }
         }
     }
+    SCRATCH.with(|c| *c.borrow_mut() = Some((tall, prods)));
     Ok(())
 }
 
@@ -435,9 +492,12 @@ mod tests {
         transitive_scheduled(&mut mach, &mut d);
         let cache = mach.executor().pack_cache_stats().expect("cache on");
         // q stages, each streaming one stacked operand against q − 1
-        // weight blocks: one pack and q − 2 hits per stage.
+        // weight blocks in ⌈(q−1)/D_CHUNK⌉ chunk plans: one lookup per
+        // mul, one pack per chunk plan (a fresh env re-stamps the
+        // operand), and a hit for every other mul in the chunk.
+        let chunks_per_stage = (q - 1).div_ceil(D_CHUNK);
         assert_eq!(cache.lookups, (q * (q - 1)) as u64);
-        assert_eq!(cache.misses, q as u64);
-        assert_eq!(cache.hits, (q * (q - 2)) as u64);
+        assert_eq!(cache.misses, (q * chunks_per_stage) as u64);
+        assert_eq!(cache.hits, (q * (q - 1 - chunks_per_stage)) as u64);
     }
 }

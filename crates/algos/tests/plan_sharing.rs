@@ -1,0 +1,95 @@
+//! Structural plan-sharing properties of `tcu_algos::plan_memo`.
+//!
+//! The memo's contract (ISSUE 8): two builders that record the *same
+//! structure* — differing only in buffer names and/or any
+//! dependency-respecting recording order — produce equal shape-hashes
+//! and converge on **one** memo entry (same `Rc`), while a dimension or
+//! region change must miss and plan its own schedule. The positive
+//! cases here use fully independent op streams (disjoint output
+//! rectangles, reads from unwritten inputs), for which *every*
+//! permutation of the recording is dependency-respecting.
+#![cfg(feature = "sched")]
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use tcu_algos::plan_memo::{plan_cache_stats, plan_cached};
+use tcu_core::{ModelTensorUnit, TensorOp};
+use tcu_sched::{BufferId, OpGraph, OperandRef};
+
+const DIM: usize = 32;
+const S: usize = 8;
+const Q: usize = DIM / S;
+
+/// Record the `Q × Q` independent block products `C[j,k] = A[j,k] ·
+/// B[k,j]` with the given buffer `names`, starting at position `rot` of
+/// the (j, k) enumeration and wrapping — a cyclic recording-order
+/// shuffle that is always dependency-respecting because every output
+/// rectangle is distinct and reads touch only unwritten inputs.
+fn build(names: [&'static str; 3], rot: usize, shrink: usize) -> (OpGraph, Vec<BufferId>) {
+    let mut g = OpGraph::new();
+    let a = g.buffer(names[0], DIM, DIM);
+    let b = g.buffer(names[1], DIM, DIM);
+    let c = g.buffer(names[2], DIM, DIM - shrink);
+    let total = Q * Q;
+    for i in 0..total {
+        let idx = (i + rot) % total;
+        let (j, k) = (idx / Q, idx % Q);
+        g.record(
+            TensorOp::padded(S, S, S),
+            OperandRef::new(a, j * S, k * S, S, S),
+            OperandRef::new(b, k * S, j * S, S, S),
+            OperandRef::new(c, j * S, (k * S).min(DIM - shrink - S), S, S),
+        );
+    }
+    (g, vec![a, b, c])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Name- and order-differing recordings of one structure: equal
+    // shape-hashes, one shared memo entry, zero extra planning.
+    #[test]
+    fn renamed_reordered_builders_share_one_memo_entry(seed in 0u64..10_000) {
+        let rot = (seed as usize % (Q * Q - 1)) + 1;
+        let (g1, _) = build(["A", "B", "C"], 0, 0);
+        let (g2, _) = build(["Left", "Right", "Out"], rot, 0);
+        prop_assert_eq!(g1.shape_hash(), g2.shape_hash());
+        prop_assert!(g1.shape_eq(&g2));
+
+        // Distinct parameter keys (the latency differs per seed) force
+        // the parameter level to miss, so sharing must come from the
+        // structural level.
+        let unit = ModelTensorUnit::new(S * S, seed);
+        let before = plan_cache_stats();
+        let first = plan_cached("share-prop-a", [DIM, S, 0, 0], &unit, 1, || {
+            build(["A", "B", "C"], 0, 0)
+        });
+        let second = plan_cached("share-prop-b", [DIM, S, rot, 0], &unit, 1, || {
+            build(["Left", "Right", "Out"], rot, 0)
+        });
+        let after = plan_cache_stats();
+        prop_assert!(
+            Rc::ptr_eq(&first, &second),
+            "shape-equal builders must share one entry"
+        );
+        prop_assert!(
+            after.misses - before.misses <= 1,
+            "at most the first builder's plan is computed"
+        );
+
+        // Negative: a buffer-dimension change misses the structural
+        // level and plans its own schedule.
+        let shrunk = plan_cached("share-prop-c", [DIM, S, rot, 1], &unit, 1, || {
+            build(["Left", "Right", "Out"], rot, S)
+        });
+        prop_assert!(!Rc::ptr_eq(&first, &shrunk), "dim change must miss");
+
+        // Negative: a region change (every op funneled into the last
+        // admissible column) misses too.
+        let (g_moved, _) = build(["A", "B", "C"], 0, S);
+        prop_assert_ne!(g1.shape_hash(), g_moved.shape_hash());
+        prop_assert!(!g1.shape_eq(&g_moved));
+    }
+}

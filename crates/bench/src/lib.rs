@@ -68,6 +68,51 @@ pub fn time_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
     best
 }
 
+/// Paired wall-clock of two rivals in ns per call, for cases whose
+/// *ratio* is the reported number (eager vs scheduled). Rounds
+/// interleave the rivals — `a b`, `b a`, `a b`, … — so a
+/// frequency-drift or noisy-neighbour episode lands on both sides
+/// instead of whichever rival happened to own that window (which is
+/// what makes a ratio of two separate [`time_ns`] calls swing ±10% on
+/// shared machines), and the slot *order* flips each round because an
+/// identical-workload A/B on this class of box shows the first slot of
+/// a pair measuring 1–3% slower than the second. Each side reports its
+/// best round, like [`time_ns`].
+pub fn time_pair_ns<RA, RB>(
+    reps: u32,
+    mut a: impl FnMut() -> RA,
+    mut b: impl FnMut() -> RB,
+) -> (f64, f64) {
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    std::hint::black_box(a());
+    std::hint::black_box(b());
+    let mut time_a = |best: &mut f64| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(a());
+        }
+        *best = best.min(t0.elapsed().as_nanos() as f64 / f64::from(reps));
+    };
+    let mut time_b = |best: &mut f64| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(b());
+        }
+        *best = best.min(t0.elapsed().as_nanos() as f64 / f64::from(reps));
+    };
+    for round in 0..6 {
+        if round % 2 == 0 {
+            time_a(&mut best_a);
+            time_b(&mut best_b);
+        } else {
+            time_b(&mut best_b);
+            time_a(&mut best_a);
+        }
+    }
+    (best_a, best_b)
+}
+
 /// A printable experiment table.
 #[derive(Clone, Debug)]
 pub struct Table {

@@ -20,7 +20,8 @@
 
 use crate::op::TensorOp;
 use std::any::{Any, TypeId};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 use tcu_linalg::kernels;
 use tcu_linalg::{MatrixView, MatrixViewMut, Scalar};
@@ -102,6 +103,34 @@ pub trait Executor: Send {
     }
 }
 
+/// Derived pack-cache capacity for a blocked flow whose left operands
+/// are strips of a `dims = (rows, cols)` buffer on a `√m = sqrt_m`
+/// unit, with the cache split across `units` per-unit executors.
+///
+/// One blocked pass streams at most `⌈cols/√m⌉` distinct left strips
+/// (one per block column of the operand); a pipelined flow can keep two
+/// stages' strips live at once, and each of `units` executors only ever
+/// sees the strips placed on its unit. Hence
+/// `⌈2·⌈cols/√m⌉ / units⌉`, clamped to `[2, 1024]` — at least a working
+/// pair so ping-pong reuse never thrashes, and a hard ceiling so a huge
+/// operand cannot turn the cache into an unbounded retainer.
+///
+/// The environment variable `TCU_PACK_CACHE_CAP`, when set to a
+/// positive integer, overrides the derivation entirely (benchmark
+/// ablations sweep it without recompiling).
+#[must_use]
+pub fn pack_cache_capacity(dims: (usize, usize), sqrt_m: usize, units: usize) -> usize {
+    if let Some(cap) = std::env::var("TCU_PACK_CACHE_CAP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&c| c > 0)
+    {
+        return cap;
+    }
+    let strips = dims.1.div_ceil(sqrt_m.max(1));
+    (2 * strips).div_ceil(units.max(1)).clamp(2, 1024)
+}
+
 /// Running counters of a [`HostExecutor`] pack cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PackCacheStats {
@@ -119,17 +148,53 @@ pub struct PackCacheStats {
     pub evictions: u64,
 }
 
+/// Multiply-mix hasher for pack-cache keys: the key is already a bag of
+/// word-sized fields with high entropy in the low bits (buffer ids,
+/// generations, rectangle coordinates), so one multiply-xor round per
+/// word distributes fine — and the lookup sits on the per-op hot path of
+/// scheduled execution, where the default SipHash's setup cost per tiny
+/// key is measurable across thousands of small ops.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Keys hash only word-sized fields, but TypeId feeds an opaque
+        // blob through here — fold it 8 bytes at a time.
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// FIFO-bounded map from `(element type, OperandId)` to a packed strip.
 ///
 /// Entries are type-erased (`PackedA<T>` behind `Arc<dyn Any>`) because
 /// the executor is monomorphic per *call*, not per machine — one cache
 /// serves `f64` ops and `i64` ops side by side. Generation bumps in the
-/// key make stale strips unreachable; FIFO eviction bounds memory.
+/// key make stale strips unreachable; FIFO eviction bounds memory (the
+/// order queue pops from the front, so a full cache evicts in O(1), not
+/// O(capacity) — a run that replaces its whole working set every epoch
+/// pays per insert, not per insert times capacity).
 #[derive(Clone, Default)]
 struct PackCache {
     capacity: usize,
-    entries: HashMap<(TypeId, OperandId), Arc<dyn Any + Send + Sync>>,
-    order: Vec<(TypeId, OperandId)>,
+    entries: HashMap<(TypeId, OperandId), Arc<dyn Any + Send + Sync>, BuildHasherDefault<FxHasher>>,
+    order: VecDeque<(TypeId, OperandId)>,
     stats: PackCacheStats,
 }
 
@@ -178,13 +243,14 @@ impl PackCache {
         self.stats.misses += 1;
         self.stats.packed_bytes += packed.bytes() as u64;
         if self.entries.len() >= self.capacity {
-            let oldest = self.order.remove(0);
-            self.entries.remove(&oldest);
-            self.stats.evictions += 1;
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
         }
         self.entries
             .insert(key, Arc::clone(&packed) as Arc<dyn Any + Send + Sync>);
-        self.order.push(key);
+        self.order.push_back(key);
         packed
     }
 }
@@ -554,6 +620,72 @@ mod tests {
         assert_eq!((stats.misses, stats.evictions, stats.hits), (4, 2, 0));
         exec.disable_pack_cache();
         assert!(exec.pack_cache_stats().is_none());
+    }
+
+    #[test]
+    fn derived_capacity_bounds_the_cache_and_env_overrides_it() {
+        // d = 32, √m = 4, 1 unit: ⌈32/4⌉ = 8 strips, two stages → 16.
+        assert_eq!(pack_cache_capacity((32, 32), 4, 1), 16);
+        // Split across 4 units: ⌈16/4⌉ = 4 per-unit strips.
+        assert_eq!(pack_cache_capacity((32, 32), 4, 4), 4);
+        // Tiny operands still get a working pair; huge ones hit the cap.
+        assert_eq!(pack_cache_capacity((4, 4), 4, 8), 2);
+        assert_eq!(pack_cache_capacity((1 << 20, 1 << 20), 4, 1), 1024);
+
+        // Eviction engages exactly at the derived bound: insert one
+        // strip per block column twice over — the first pass fills the
+        // cache to capacity, one extra distinct strip then evicts FIFO.
+        let cap = pack_cache_capacity((8, 8), 4, 1); // 2 strips × 2 = 4
+        assert_eq!(cap, 4);
+        let a = pseudo(8, 4, 11);
+        let b = pseudo(4, 4, 12);
+        let mut exec = HostExecutor::with_threads(1);
+        exec.enable_pack_cache(cap);
+        let mut out = Matrix::<i64>::zeros(8, 4);
+        let id = |buf: u64| OperandId {
+            buffer: buf,
+            generation: 0,
+            origin: (0, 0),
+            extent: (8, 4),
+        };
+        for buf in 0..cap as u64 {
+            let _ = exec.execute_tagged(
+                &TensorOp::mul(8, 4),
+                a.view(),
+                Some(id(buf)),
+                b.view(),
+                &mut out.view_mut(),
+            );
+        }
+        assert_eq!(
+            exec.pack_cache_stats().expect("enabled").evictions,
+            0,
+            "the derived bound holds a full pass without eviction"
+        );
+        let _ = exec.execute_tagged(
+            &TensorOp::mul(8, 4),
+            a.view(),
+            Some(id(cap as u64)),
+            b.view(),
+            &mut out.view_mut(),
+        );
+        assert_eq!(
+            exec.pack_cache_stats().expect("enabled").evictions,
+            1,
+            "one strip past the derived bound evicts exactly once"
+        );
+
+        // The env override wins over the derivation (checked in-test to
+        // keep the process-global variable scoped to one test).
+        std::env::set_var("TCU_PACK_CACHE_CAP", "7");
+        assert_eq!(pack_cache_capacity((32, 32), 4, 1), 7);
+        std::env::set_var("TCU_PACK_CACHE_CAP", "not-a-number");
+        assert_eq!(
+            pack_cache_capacity((32, 32), 4, 1),
+            16,
+            "bad values fall back"
+        );
+        std::env::remove_var("TCU_PACK_CACHE_CAP");
     }
 
     #[test]

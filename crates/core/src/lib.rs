@@ -65,14 +65,16 @@ pub mod trace;
 
 pub use cost::{Stats, StatsSummary};
 pub use error::{BindRole, TcuError};
-pub use exec::{Executor, HostExecutor, OperandId, PackCacheStats, ReplayExecutor};
+pub use exec::{
+    pack_cache_capacity, Executor, HostExecutor, OperandId, PackCacheStats, ReplayExecutor,
+};
 pub use fault::{
     assign_unit_ids, silence_injected_fault_panics, FaultKind, FaultPlan, FaultStats,
     FaultyExecutor, InjectedFault, RecoveryPolicy,
 };
 pub use machine::TcuMachine;
 pub use op::{PadPolicy, TensorOp};
-pub use parallel::{partition_lpt, ParallelTcuMachine, Partition};
+pub use parallel::{partition_lpt, ParallelTcuMachine, Partition, WaveAccountant};
 pub use tensor_unit::{exact_sqrt, ModelTensorUnit, TensorUnit, WeakTensorUnit};
 pub use trace::{TraceEvent, TraceLog};
 

@@ -269,15 +269,7 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
     /// # Panics
     /// Panics if `op` violates the model's shape contract.
     pub fn charge_wave_op(&mut self, op: &TensorOp) {
-        op.validate(self.sqrt_m());
-        for rows in self.invocation_rows(op) {
-            let cost = self.unit.invocation_cost(rows);
-            let lat = self.unit.invocation_latency(rows);
-            self.stats.record_tensor(rows as u64, cost, lat);
-            if let Some(t) = &mut self.trace {
-                t.push_tensor(TensorOp { rows, ..*op }, cost);
-            }
-        }
+        self.wave_parts().0.charge_wave_op(op);
     }
 
     /// Advance simulated wall-clock by a completed wave's makespan (the
@@ -298,14 +290,7 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
     /// trace annotation plus a [`FaultStats`] counter. Never touches
     /// `Stats` — recovery must be unobservable there.
     pub fn record_fault(&mut self, unit: usize, transient: bool) {
-        if transient {
-            self.fault_stats.transient_faults += 1;
-        } else {
-            self.fault_stats.permanent_faults += 1;
-        }
-        if let Some(t) = &mut self.trace {
-            t.push_fault(unit, transient);
-        }
+        self.wave_parts().0.record_fault(unit, transient);
     }
 
     /// Record a retry of a `rows`-row op on `unit` and charge its
@@ -315,35 +300,41 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
     /// via [`Self::time`] — never in `Stats`. Returns the backoff
     /// charged.
     pub fn record_retry(&mut self, unit: usize, attempt: u32, rows: usize) -> u64 {
-        let backoff = self
-            .unit
-            .invocation_cost(rows)
-            .wrapping_shl(attempt.saturating_sub(2));
-        self.fault_stats.retries += 1;
-        self.fault_stats.backoff_time += backoff;
-        self.makespan_time += backoff;
-        if let Some(t) = &mut self.trace {
-            t.push_retry(unit, attempt, backoff);
-        }
-        backoff
+        self.wave_parts().0.record_retry(unit, attempt, rows)
     }
 
     /// Record the quarantine of `unit` with `requeued` ops moved onto
     /// survivors.
     pub fn record_quarantine(&mut self, unit: usize, requeued: usize) {
-        self.fault_stats.quarantined_units += 1;
-        self.fault_stats.requeued_ops += requeued as u64;
-        if let Some(t) = &mut self.trace {
-            t.push_quarantine(unit, requeued);
-        }
+        self.wave_parts().0.record_quarantine(unit, requeued);
     }
 
     /// Charge the extra simulated makespan of a re-partitioned batch of
     /// requeued ops (the LPT makespan of the batch over the surviving
     /// units). Like backoff, this lands in `makespan_time` only.
     pub fn charge_recovery(&mut self, makespan: u64) {
-        self.fault_stats.recovery_makespan += makespan;
-        self.makespan_time += makespan;
+        self.wave_parts().0.charge_recovery(makespan);
+    }
+
+    /// Split the machine into its accounting half and its executors —
+    /// the borrow seam of persistent-pool wave execution. The returned
+    /// [`WaveAccountant`] owns mutable access to `Stats`, the trace,
+    /// wall-clock, and [`FaultStats`]; the executor slice is free to be
+    /// handed out element-wise to long-lived worker threads. The main
+    /// thread can therefore keep charging, annotating, and completing
+    /// waves for the whole run while every unit's executor lives on its
+    /// own worker.
+    pub fn wave_parts(&mut self) -> (WaveAccountant<'_, U>, &mut [E]) {
+        (
+            WaveAccountant {
+                unit: &self.unit,
+                stats: &mut self.stats,
+                trace: &mut self.trace,
+                makespan_time: &mut self.makespan_time,
+                fault_stats: &mut self.fault_stats,
+            },
+            &mut self.execs,
+        )
     }
 
     /// Issue a batch of *independent* ops (`Cᵢ = Aᵢ·Bᵢ`): each op is
@@ -433,6 +424,113 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
             .map(|&(a, b)| (TensorOp::mul(a.rows(), s), a, b))
             .collect();
         self.issue_batch(&batch)
+    }
+}
+
+/// The accounting half of a [`ParallelTcuMachine`], borrowed apart from
+/// its executors via [`ParallelTcuMachine::wave_parts`].
+///
+/// Wave execution needs two disjoint capabilities at once: worker
+/// threads need exclusive, long-lived access to *their unit's* executor,
+/// and the main thread needs to keep metering charges, recovery
+/// annotations, and wave makespans in canonical order. This split makes
+/// that borrow structure explicit — every method here touches only the
+/// shared costing policy and the accounting state, never an executor —
+/// and each method is the exact body the machine's same-named method
+/// delegates to, so charging through the accountant is byte-identical
+/// to charging through the machine.
+#[derive(Debug)]
+pub struct WaveAccountant<'m, U: TensorUnit> {
+    unit: &'m U,
+    stats: &'m mut Stats,
+    trace: &'m mut Option<TraceLog>,
+    makespan_time: &'m mut u64,
+    fault_stats: &'m mut FaultStats,
+}
+
+impl<U: TensorUnit> WaveAccountant<'_, U> {
+    /// `√m` of the units.
+    #[inline]
+    #[must_use]
+    pub fn sqrt_m(&self) -> usize {
+        self.unit.sqrt_m()
+    }
+
+    /// The shared costing policy.
+    #[inline]
+    #[must_use]
+    pub fn unit(&self) -> &U {
+        self.unit
+    }
+
+    /// See [`ParallelTcuMachine::charge_wave_op`].
+    ///
+    /// # Panics
+    /// Panics if `op` violates the model's shape contract.
+    pub fn charge_wave_op(&mut self, op: &TensorOp) {
+        let s = self.sqrt_m();
+        op.validate(s);
+        let n = op.charge_rows(s);
+        let (count, rows) = if self.unit.supports_tall() {
+            (1, n)
+        } else {
+            (n.div_ceil(s), s)
+        };
+        for _ in 0..count {
+            let cost = self.unit.invocation_cost(rows);
+            let lat = self.unit.invocation_latency(rows);
+            self.stats.record_tensor(rows as u64, cost, lat);
+            if let Some(t) = self.trace.as_mut() {
+                t.push_tensor(TensorOp { rows, ..*op }, cost);
+            }
+        }
+    }
+
+    /// See [`ParallelTcuMachine::complete_wave`].
+    pub fn complete_wave(&mut self, makespan: u64) {
+        *self.makespan_time += makespan;
+    }
+
+    /// See [`ParallelTcuMachine::record_fault`].
+    pub fn record_fault(&mut self, unit: usize, transient: bool) {
+        if transient {
+            self.fault_stats.transient_faults += 1;
+        } else {
+            self.fault_stats.permanent_faults += 1;
+        }
+        if let Some(t) = self.trace.as_mut() {
+            t.push_fault(unit, transient);
+        }
+    }
+
+    /// See [`ParallelTcuMachine::record_retry`].
+    pub fn record_retry(&mut self, unit: usize, attempt: u32, rows: usize) -> u64 {
+        let backoff = self
+            .unit
+            .invocation_cost(rows)
+            .wrapping_shl(attempt.saturating_sub(2));
+        self.fault_stats.retries += 1;
+        self.fault_stats.backoff_time += backoff;
+        *self.makespan_time += backoff;
+        if let Some(t) = self.trace.as_mut() {
+            t.push_retry(unit, attempt, backoff);
+        }
+        backoff
+    }
+
+    /// See [`ParallelTcuMachine::record_quarantine`].
+    pub fn record_quarantine(&mut self, unit: usize, requeued: usize) {
+        self.fault_stats.quarantined_units += 1;
+        self.fault_stats.requeued_ops += requeued as u64;
+        if let Some(t) = self.trace.as_mut() {
+            t.push_quarantine(unit, requeued);
+        }
+    }
+
+    /// See [`ParallelTcuMachine::charge_recovery`].
+    pub fn charge_recovery(&mut self, makespan: u64) {
+        self.fault_stats.recovery_makespan += makespan;
+        *self.makespan_time += makespan;
     }
 }
 

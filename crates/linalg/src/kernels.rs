@@ -141,9 +141,13 @@ pub fn matmul_into<T: Scalar>(
 }
 
 /// A left operand packed once into contiguous [`MR`]-row panels:
-/// `panel t`, covering rows `[t·MR, t·MR + MR)`, stores slot `kk` as the
-/// `MR` column-`kk` values of those rows (zero-padded past the ragged
-/// bottom edge). One pack per *strip* — not per invocation — is the
+/// `panel t`, covering rows `[t·MR, t·MR + MR)`, stores those rows
+/// back-to-back, each as its `k` values in column order (rows past the
+/// ragged bottom edge are zero). Keeping the rows *row-major inside the
+/// panel* lets the packed micro-kernel read `A` exactly like the view
+/// kernel reads its rows — same loads, same codegen — with the panel
+/// merely guaranteeing the rows sit on one or two cache lines instead
+/// of a page apart. One pack per *strip* — not per invocation — is the
 /// cache lever for blocked flows: a `d × √m` strip of a `d × d` matrix
 /// has page-sized row strides (TLB-hostile, one cache line per row
 /// touch), and the blocked algorithm re-streams it once per block
@@ -192,10 +196,7 @@ pub fn pack_a<T: Scalar>(a: MatrixView<'_, T>) -> PackedA<T> {
         let h = MR.min(n - i0);
         let panel = &mut data[t * k * MR..(t + 1) * k * MR];
         for r in 0..h {
-            let arow = a.row(i0 + r);
-            for kk in 0..k {
-                panel[kk * MR + r] = arow[kk];
-            }
+            panel[r * k..(r + 1) * k].copy_from_slice(a.row(i0 + r));
         }
     }
     PackedA {
@@ -308,11 +309,13 @@ fn packed_band_impl<T: Scalar, const ACC: bool>(
     }
 }
 
-/// [`micro_kernel`] over a packed `A` panel: slot `kk` holds the `MR`
-/// row values contiguously, so the inner loop is two forward scans. The
-/// `kk` loop ascends from zero accumulators — the exact per-element
-/// order of `matmul_naive`, so results are bit-identical to the
-/// view-reading kernel (spilling by add when `ACC`, by overwrite else).
+/// [`micro_kernel`] over a packed `A` panel: the panel's rows are
+/// row-major slices, so this body is the view kernel's verbatim — only
+/// the row pointers come from the compact panel instead of the strided
+/// source. The `kk` loop ascends from zero accumulators — the exact
+/// per-element order of `matmul_naive`, so results are bit-identical to
+/// the view-reading kernel (spilling by add when `ACC`, by overwrite
+/// else).
 #[inline(always)]
 fn micro_kernel_packed<T: Scalar, const RB: usize, const ACC: bool>(
     apanel: &[T],
@@ -324,11 +327,14 @@ fn micro_kernel_packed<T: Scalar, const RB: usize, const ACC: bool>(
     c: &mut MatrixViewMut<'_, T>,
 ) {
     let mut acc = [[T::ZERO; NR]; RB];
+    let mut arows: [&[T]; RB] = [&[]; RB];
+    for (r, ar) in arows.iter_mut().enumerate() {
+        *ar = &apanel[r * k..(r + 1) * k];
+    }
     for kk in 0..k {
-        let avals = &apanel[kk * MR..kk * MR + MR];
         let brow = &bpanel[kk * NR..kk * NR + NR];
         for r in 0..RB {
-            let av = avals[r];
+            let av = arows[r][kk];
             let accr = &mut acc[r];
             for jj in 0..NR {
                 accr[jj] = accr[jj].mul_add(av, brow[jj]);

@@ -1,0 +1,342 @@
+//! Schedule compilation: lower a planned [`Schedule`] into a dense
+//! [`ExecutablePlan`] the runtime can replay with no hash lookups, no
+//! per-op environment scans, and no staging decisions in the hot loop.
+//!
+//! Planning resolves *what* to execute (coalesced ops, canonical order,
+//! wave partitions); compilation resolves *how*: every operand read is
+//! interned into a slot of a run-local snapshot arena keyed by
+//! `(buffer, rectangle, generation)`, every staging decision — does this
+//! read need a snapshot, and exactly before which op must it be taken —
+//! is precomputed into sorted directive lists, and the wave structure is
+//! flattened into index ranges. The result is structural (no data, no
+//! scalar type): one compiled plan serves every environment whose buffer
+//! shapes match, which is what lets `gauss`/`closure` compile a stage's
+//! schedule once and re-run it against rebound buffers per step.
+//!
+//! Three directive classes cover every binding pattern:
+//!
+//! * **`serial_stages`** — reads of written buffers that some op reads
+//!   *while writing the same buffer*. Safe Rust cannot hold the output
+//!   binding mutably and read it at once, so the serial runtime
+//!   snapshots these (only these — every other read is zero-copy) right
+//!   before their first reader.
+//! * **`par_stages`** — every read of a written buffer. Wave workers
+//!   run while the main thread retains mutable access to the outputs,
+//!   so the parallel runtime snapshots each such region once, at the
+//!   wave of its first reader (the hazard order makes the bytes
+//!   identical wherever in that window the snapshot is taken).
+//! * **`cond_stages`** — reads of buffers the graph never writes.
+//!   Normally input-bound and zero-copy; if the caller bound one as an
+//!   output instead, the parallel runtime snapshots it once at run
+//!   start (its content cannot change during the run).
+//!
+//! Compilation happens implicitly on first execution and is cached in
+//! the schedule (see [`Schedule::compile`]), so `run`/`try_run*` are
+//! thin compile-then-execute wrappers and repeat runs skip straight to
+//! the precomputed form.
+
+use crate::graph::OperandRef;
+use crate::run::ExecEnv;
+use crate::scheduler::Schedule;
+use std::collections::HashMap;
+use tcu_core::{TcuError, TensorOp};
+use tcu_linalg::Scalar;
+
+/// Identity of one read snapshot: buffer, rectangle, content version.
+type ReadKey = (usize, usize, usize, usize, usize, u32);
+
+/// One compiled operand read: the resolved rectangle, its content
+/// version, its snapshot slot, and whether the *serial* runtime serves
+/// it from the snapshot (the parallel runtime decides per slot at run
+/// time instead, since staging there also depends on input bindings).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CompiledRead {
+    pub(crate) buf: usize,
+    pub(crate) r0: usize,
+    pub(crate) c0: usize,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) gen: u32,
+    pub(crate) slot: u32,
+    pub(crate) serial_staged: bool,
+}
+
+/// One emitted op with every operand resolved to concrete offsets.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CompiledOp {
+    pub(crate) op: TensorOp,
+    pub(crate) out_buf: usize,
+    pub(crate) out_r0: usize,
+    pub(crate) out_c0: usize,
+    pub(crate) out_rows: usize,
+    pub(crate) out_cols: usize,
+    pub(crate) a: CompiledRead,
+    pub(crate) b: CompiledRead,
+}
+
+/// A precomputed staging decision: snapshot `(buf, rectangle)` into
+/// `slot` before op `before_op` (the key's first reader) executes.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct StageDirective {
+    pub(crate) buf: usize,
+    pub(crate) r0: usize,
+    pub(crate) c0: usize,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) slot: u32,
+    pub(crate) before_op: u32,
+}
+
+/// A [`Schedule`] lowered to its executable form: dense op array,
+/// sorted staging directives, and flattened wave ranges. Structural —
+/// it references logical buffers and slots, never data — so one
+/// compiled plan is re-runnable against any rebound environment of the
+/// same buffer shapes.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutablePlan {
+    pub(crate) ops: Vec<CompiledOp>,
+    /// Written-buffer keys with a same-buffer reader, by `before_op`.
+    pub(crate) serial_stages: Vec<StageDirective>,
+    /// Every written-buffer key, sorted by `before_op`.
+    pub(crate) par_stages: Vec<StageDirective>,
+    /// Never-written-buffer keys (staged at run start if not
+    /// input-bound; parallel runtime only).
+    pub(crate) cond_stages: Vec<StageDirective>,
+    /// Snapshot-arena size (one slot per distinct read key).
+    pub(crate) slots: usize,
+    /// `ops` index range of each wave, in wave order.
+    pub(crate) wave_ranges: Vec<(usize, usize)>,
+}
+
+impl ExecutablePlan {
+    /// Compiled ops (equals the schedule's emitted ops).
+    #[must_use]
+    pub fn ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Waves (equals the schedule's).
+    #[must_use]
+    pub fn waves(&self) -> usize {
+        self.wave_ranges.len()
+    }
+
+    /// Distinct read keys (the snapshot arena's size). Most are never
+    /// materialized: only [`Self::staged_reads`] snapshot on the
+    /// parallel path, and strictly fewer on the serial path.
+    #[must_use]
+    pub fn read_slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Read keys the parallel runtime snapshots (written-buffer reads).
+    #[must_use]
+    pub fn staged_reads(&self) -> usize {
+        self.par_stages.len()
+    }
+
+    /// Read keys the serial runtime snapshots (same-buffer
+    /// read-while-write only — everything else is zero-copy).
+    #[must_use]
+    pub fn serial_staged_reads(&self) -> usize {
+        self.serial_stages.len()
+    }
+}
+
+/// Intern one operand read: find-or-create its arena slot, record the
+/// first reader and whether any reader also writes the buffer.
+#[allow(clippy::too_many_arguments)]
+fn intern_read(
+    region: &OperandRef,
+    gen: u32,
+    op_index: usize,
+    out_buf: usize,
+    slot_of: &mut HashMap<ReadKey, u32>,
+    keys: &mut Vec<ReadKey>,
+    first_reader: &mut Vec<u32>,
+    same_buf: &mut Vec<bool>,
+) -> CompiledRead {
+    let key = (
+        region.buf.0,
+        region.r0,
+        region.c0,
+        region.rows,
+        region.cols,
+        gen,
+    );
+    let slot = *slot_of.entry(key).or_insert_with(|| {
+        keys.push(key);
+        first_reader.push(op_index as u32);
+        same_buf.push(false);
+        (keys.len() - 1) as u32
+    });
+    if region.buf.0 == out_buf {
+        same_buf[slot as usize] = true;
+    }
+    CompiledRead {
+        buf: region.buf.0,
+        r0: region.r0,
+        c0: region.c0,
+        rows: region.rows,
+        cols: region.cols,
+        gen,
+        slot,
+        serial_staged: false,
+    }
+}
+
+/// Lower `sched` into its executable form. Validates every op against
+/// the planned `√m` once (execution re-checks nothing), resolves each
+/// read to a slot of the snapshot arena, and classifies every slot into
+/// the directive lists described in the module docs. Directive lists
+/// come out sorted by `before_op` for free: slots are created in
+/// first-reader order.
+///
+/// # Panics
+/// Panics if an emitted node's operand or output rectangles disagree
+/// with its op descriptor — a scheduler bug, not a caller error (the
+/// graph validates these shapes at record time and coalescing preserves
+/// them).
+pub(crate) fn compile_schedule(sched: &Schedule) -> Result<ExecutablePlan, TcuError> {
+    let nodes = sched.nodes();
+    // A buffer is written iff an emitted node writes it: coalescing
+    // merges writes into fewer nodes but never removes a buffer's last
+    // write, so this matches the recorded graph's notion exactly.
+    let mut written = vec![false; sched.buffer_shapes.len()];
+    for sn in nodes {
+        written[sn.node.out.buf.0] = true;
+    }
+
+    let mut slot_of: HashMap<ReadKey, u32> = HashMap::new();
+    let mut keys: Vec<ReadKey> = Vec::new();
+    let mut first_reader: Vec<u32> = Vec::new();
+    let mut same_buf: Vec<bool> = Vec::new();
+    let mut ops: Vec<CompiledOp> = Vec::with_capacity(nodes.len());
+    let mut wave_ranges: Vec<(usize, usize)> = Vec::new();
+    let mut wstart = 0usize;
+    for (i, sn) in nodes.iter().enumerate() {
+        let node = &sn.node;
+        node.op.check(sched.sqrt_m)?;
+        if i > 0 && sn.level != nodes[i - 1].level {
+            wave_ranges.push((wstart, i));
+            wstart = i;
+        }
+        let out_buf = node.out.buf.0;
+        let a = intern_read(
+            &node.a,
+            sn.a_gen,
+            i,
+            out_buf,
+            &mut slot_of,
+            &mut keys,
+            &mut first_reader,
+            &mut same_buf,
+        );
+        let b = intern_read(
+            &node.b,
+            sn.b_gen,
+            i,
+            out_buf,
+            &mut slot_of,
+            &mut keys,
+            &mut first_reader,
+            &mut same_buf,
+        );
+        assert!(
+            node.op
+                .matches((node.a.rows, node.a.cols), (node.b.rows, node.b.cols)),
+            "operands do not match the op descriptor"
+        );
+        assert_eq!(
+            (node.out.rows, node.out.cols),
+            (node.op.rows, node.op.width),
+            "output region does not match the op descriptor"
+        );
+        ops.push(CompiledOp {
+            op: node.op,
+            out_buf,
+            out_r0: node.out.r0,
+            out_c0: node.out.c0,
+            out_rows: node.out.rows,
+            out_cols: node.out.cols,
+            a,
+            b,
+        });
+    }
+    if !nodes.is_empty() {
+        wave_ranges.push((wstart, nodes.len()));
+    }
+
+    let mut serial_stages = Vec::new();
+    let mut par_stages = Vec::new();
+    let mut cond_stages = Vec::new();
+    for (slot, key) in keys.iter().enumerate() {
+        let d = StageDirective {
+            buf: key.0,
+            r0: key.1,
+            c0: key.2,
+            rows: key.3,
+            cols: key.4,
+            slot: slot as u32,
+            before_op: first_reader[slot],
+        };
+        if written[d.buf] {
+            par_stages.push(d);
+            if same_buf[slot] {
+                serial_stages.push(d);
+            }
+        } else {
+            cond_stages.push(d);
+        }
+    }
+    // A key with *any* same-buffer reader serves *all* its serial
+    // readers from the snapshot — one snapshot, one code path, and the
+    // bytes are identical either way (the snapshot is taken at the
+    // region's exact content version).
+    for cop in &mut ops {
+        for r in [&mut cop.a, &mut cop.b] {
+            if written[r.buf] && same_buf[r.slot as usize] {
+                r.serial_staged = true;
+            }
+        }
+    }
+
+    Ok(ExecutablePlan {
+        ops,
+        serial_stages,
+        par_stages,
+        cond_stages,
+        slots: keys.len(),
+        wave_ranges,
+    })
+}
+
+impl Schedule {
+    /// The compiled form of this schedule, lowering it on first use and
+    /// caching the result in the schedule itself.
+    pub(crate) fn compiled(&self) -> Result<&ExecutablePlan, TcuError> {
+        if let Some(p) = self.compiled.get() {
+            return Ok(p);
+        }
+        let plan = compile_schedule(self)?;
+        Ok(self.compiled.get_or_init(|| plan))
+    }
+
+    /// Compile this schedule against `env`'s buffer shapes, returning
+    /// the cached [`ExecutablePlan`].
+    ///
+    /// Compilation is structural — it depends on the schedule alone —
+    /// so the environment only serves as a shape witness here: the call
+    /// fails exactly when running against `env` would. The plan is
+    /// computed once per schedule and cached; `run`/`try_run*` call
+    /// this implicitly, so explicit compilation is only useful to front
+    /// the (small) lowering cost or to inspect the compiled shape.
+    pub fn compile<T: Scalar>(&self, env: &ExecEnv<'_, T>) -> Result<&ExecutablePlan, TcuError> {
+        if env.shapes() != &self.buffer_shapes[..] {
+            return Err(TcuError::PlanMismatch {
+                what: "environment built for a different graph (buffer shapes disagree)",
+            });
+        }
+        self.compiled()
+    }
+}

@@ -44,10 +44,12 @@
 //! model). The panicking `run`/`run_parallel` forms are thin unwrapping
 //! wrappers kept for callers that treat faults as bugs.
 
+pub mod compile;
 pub mod graph;
 pub mod run;
 pub mod scheduler;
 
+pub use compile::ExecutablePlan;
 pub use graph::{BufferId, Node, OpGraph, OperandRef};
 pub use run::ExecEnv;
 pub use scheduler::{Schedule, ScheduledNode, Scheduler};

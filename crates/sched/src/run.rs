@@ -4,32 +4,41 @@
 //!
 //! [`ExecEnv`] maps every [`BufferId`] to real storage — immutable
 //! [`MatrixView`]s for buffers the graph only reads, mutable views for
-//! buffers it writes — and [`Schedule::run`] issues the emitted nodes
-//! in serial order through [`TcuMachine::issue_into_tagged`]. Each left
+//! buffers it writes. Execution itself runs off the schedule's compiled
+//! form (see [`crate::compile`]): the first run lowers the schedule
+//! into an [`crate::ExecutablePlan`] whose ops carry concrete buffer
+//! offsets, precomputed staging directives, and flattened wave ranges,
+//! so the per-op hot loop does no hash lookups, no environment scans,
+//! and no staging decisions — it indexes dense arrays. Each left
 //! operand is tagged with an [`OperandId`] whose generation combines a
 //! process-unique stamp (the environment's *epoch* for frozen
 //! input-bound reads, a fresh per-run stamp for reads of written
-//! buffers — see `TagStamps`) with the operand's emission-order content
-//! version from the schedule — so a pack-caching executor reuses packed
-//! strips across every invocation that streams the same region *at the
-//! same version*, a write in a pipeline retires the stale strip (its
-//! readers carry the bumped generation), and re-running a schedule
-//! against mutated outputs can never be served last run's bytes.
+//! buffers — see [`tag_stamps`]) with the operand's emission-order
+//! content version from the schedule — so a pack-caching executor
+//! reuses packed strips across every invocation that streams the same
+//! region *at the same version*, a write in a pipeline retires the
+//! stale strip (its readers carry the bumped generation), and
+//! re-running a schedule against mutated outputs can never be served
+//! last run's bytes.
 //!
 //! # Reading written buffers (pipelines)
 //!
 //! A versioned graph may read regions of buffers it also writes — the
 //! Schur-complement update streaming the pivot panel of the matrix it
 //! updates, or a second pipeline stage consuming the first stage's
-//! product. Such reads are *staged*: the runtime snapshots the region
-//! once per `(region, generation)` into a run-local buffer and streams
-//! the snapshot. The snapshot is taken when execution first reaches a
-//! read of that version, which the hazard order guarantees is after
-//! exactly the writes the version names — and it is taken once, not per
-//! op, so a pivot panel re-streamed against every block column costs
-//! one gather per stage, the same marshalling the eager blocked
-//! algorithms perform. (Simulated cost is untouched either way: in the
-//! model, operand marshalling is covered by the invocation charge.)
+//! product. The hazard order guarantees that when a reader of content
+//! version `gen` executes, the region holds exactly the bytes that
+//! version names — so *direct* reads of written buffers are always
+//! correct, and snapshots exist only where safe-Rust borrows force
+//! them: on the serial path, solely the same-buffer read-while-write
+//! case (one gather per `(region, generation)`, the same marshalling
+//! the eager blocked algorithms perform — every cross-buffer read is
+//! zero-copy); on the parallel path, every written-buffer read (worker
+//! threads cannot borrow the outputs the main thread retains mutable
+//! access to). Which reads snapshot, and before which op, is decided at
+//! compile time; the run-time arena just fills the precomputed slots.
+//! (Simulated cost is untouched either way: in the model, operand
+//! marshalling is covered by the invocation charge.)
 //!
 //! Accounting flows through the machine exactly as eager execution
 //! does: per-op model charges into `Stats` and the trace. What changes
@@ -41,11 +50,16 @@
 //! [`Schedule::run_parallel`] consumes [`Schedule::wave_partitions`]
 //! directly: every wave's invocations are issued on the units the
 //! planner's LPT partition assigned them to (each unit owning its own
-//! executor, hence its own pack cache), and the machine's wall-clock
-//! advances by one makespan per wave. Numerics still execute in the
-//! schedule's canonical serial order — waves hold only independent ops,
-//! so this equals any true interleaving — which keeps multi-unit runs
-//! bit-identical to serial runs and to each other for every unit count.
+//! executor, hence its own pack cache), on a pool of worker threads
+//! spawned **once per run** — each unit's worker holds its executor for
+//! the whole run and receives per-round batches over a channel, instead
+//! of a fresh `thread::scope` per wave. Per-op scratch comes from a
+//! main-thread recycling pool (re-zeroed or re-seeded per op, so the
+//! numerics are exactly a fresh allocation's). Numerics still execute
+//! in the schedule's canonical serial order — waves hold only
+//! independent ops, so this equals any true interleaving — which keeps
+//! multi-unit runs bit-identical to serial runs and to each other for
+//! every unit count.
 //!
 //! # Fault tolerance
 //!
@@ -71,15 +85,18 @@
 //! [`tcu_core::FaultStats`] recording that recovery happened. A
 //! non-[`InjectedFault`] worker panic (a real executor bug) is treated
 //! as a permanent unit fault whose in-flight scratch is conservatively
-//! rebuilt from the environment before requeueing.
+//! rebuilt from the environment before requeueing; a worker that dies
+//! outside per-op containment (its channel disconnects) is recovered
+//! the same way, with its whole round rebuilt.
 
-use crate::graph::{BufferId, OperandRef};
+use crate::compile::{CompiledRead, ExecutablePlan};
+use crate::graph::BufferId;
 use crate::scheduler::Schedule;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use tcu_core::{
     partition_lpt, BindRole, Executor, FaultKind, InjectedFault, OperandId, ParallelTcuMachine,
-    RecoveryPolicy, TcuError, TcuMachine, TensorUnit,
+    RecoveryPolicy, TcuError, TcuMachine, TensorUnit, WaveAccountant,
 };
 use tcu_linalg::{Matrix, MatrixView, MatrixViewMut, Scalar};
 
@@ -99,9 +116,6 @@ pub struct ExecEnv<'a, T: Scalar> {
     inputs: Vec<Option<MatrixView<'a, T>>>,
     outputs: Vec<Option<MatrixViewMut<'a, T>>>,
 }
-
-/// Key of one staged read snapshot: buffer, rectangle, content version.
-type StageKey = (usize, usize, usize, usize, usize, u32);
 
 impl<'a, T: Scalar> ExecEnv<'a, T> {
     /// Fresh bindings for `graph`'s buffers (all unbound, new epoch).
@@ -126,6 +140,12 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
     #[must_use]
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Registered buffer shapes, in buffer-id order (the witness
+    /// [`Schedule::compile`] checks an environment against).
+    pub(crate) fn shapes(&self) -> &[(usize, usize)] {
+        &self.shapes
     }
 
     /// Bind a read-only buffer to a view of its exact registered shape,
@@ -201,147 +221,9 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
         self.try_bind_output(id, view)
             .unwrap_or_else(|e| panic!("{e}"));
     }
-
-    /// Snapshot `region` at content version `gen` into `staged` if a
-    /// read of it must be served from a written buffer and no snapshot
-    /// of that version exists yet. `host` is the current op's output
-    /// binding, temporarily moved out of `self.outputs` (the
-    /// same-buffer read-while-write case reads through it).
-    fn ensure_staged(
-        &self,
-        staged: &mut HashMap<StageKey, Matrix<T>>,
-        region: &OperandRef,
-        gen: u32,
-        out_buf: usize,
-        host: &MatrixViewMut<'_, T>,
-    ) -> Result<(), TcuError> {
-        let buf = region.buf.0;
-        if self.inputs[buf].is_some() {
-            return Ok(());
-        }
-        let key = stage_key(region, gen);
-        if staged.contains_key(&key) {
-            return Ok(());
-        }
-        let src = if buf == out_buf {
-            host.as_view()
-        } else {
-            self.outputs[buf]
-                .as_ref()
-                .ok_or(TcuError::Unbound {
-                    buffer: buf,
-                    written: false,
-                })?
-                .as_view()
-        };
-        let snap = src
-            .subview(region.r0, region.c0, region.rows, region.cols)
-            .to_matrix();
-        staged.insert(key, snap);
-        Ok(())
-    }
-
-    /// Snapshot `region` at content version `gen` if it reads a written
-    /// buffer and no snapshot of that version exists yet — the wave
-    /// driver's staging pass. Unlike [`Self::ensure_staged`], no output
-    /// binding has been moved out when this runs, so same-buffer reads
-    /// go straight through the bound view. Waves never read a region a
-    /// same-wave op writes (hazards split them into different waves), so
-    /// staging a whole wave up front sees exactly the bytes per-op lazy
-    /// staging would.
-    fn stage_region(
-        &self,
-        staged: &mut HashMap<StageKey, Matrix<T>>,
-        region: &OperandRef,
-        gen: u32,
-    ) -> Result<(), TcuError> {
-        let buf = region.buf.0;
-        if self.inputs[buf].is_some() {
-            return Ok(());
-        }
-        let key = stage_key(region, gen);
-        if staged.contains_key(&key) {
-            return Ok(());
-        }
-        let snap = self.outputs[buf]
-            .as_ref()
-            .ok_or(TcuError::Unbound {
-                buffer: buf,
-                written: false,
-            })?
-            .as_view()
-            .subview(region.r0, region.c0, region.rows, region.cols)
-            .to_matrix();
-        staged.insert(key, snap);
-        Ok(())
-    }
-
-    /// The view a read operand streams from: the bound input region
-    /// (zero-copy), or the staged snapshot of the named version.
-    fn read_region<'s>(
-        &'s self,
-        staged: &'s HashMap<StageKey, Matrix<T>>,
-        region: &OperandRef,
-        gen: u32,
-    ) -> MatrixView<'s, T> {
-        match self.inputs[region.buf.0].as_ref() {
-            Some(v) => v.subview(region.r0, region.c0, region.rows, region.cols),
-            None => staged
-                .get(&stage_key(region, gen))
-                .unwrap_or_else(|| unreachable!("snapshot staged before use"))
-                .view(),
-        }
-    }
-
-    /// Resolve one emitted node's operands for issue: move its output
-    /// binding out of the environment (the caller hands it back after
-    /// issuing), snapshot any written-buffer reads at their versions,
-    /// and build the left operand's cache tag. The staging/tagging
-    /// protocol lives here, once, for both [`Schedule::run`] and
-    /// [`Schedule::run_parallel`].
-    #[allow(clippy::type_complexity)]
-    fn prepare_node<'s>(
-        &'s mut self,
-        staged: &'s mut HashMap<StageKey, Matrix<T>>,
-        stamps: &TagStamps,
-        sn: &crate::ScheduledNode,
-    ) -> Result<
-        (
-            MatrixView<'s, T>,
-            MatrixView<'s, T>,
-            OperandId,
-            MatrixViewMut<'a, T>,
-        ),
-        TcuError,
-    > {
-        let node = &sn.node;
-        let out_buf = node.out.buf.0;
-        let host = self.outputs[out_buf].take().ok_or(TcuError::Unbound {
-            buffer: out_buf,
-            written: true,
-        })?;
-        // Stage before taking the read views: a staging failure must
-        // not leave the output binding moved out.
-        if let Err(e) = self
-            .ensure_staged(staged, &node.a, sn.a_gen, out_buf, &host)
-            .and_then(|()| self.ensure_staged(staged, &node.b, sn.b_gen, out_buf, &host))
-        {
-            self.outputs[out_buf] = Some(host);
-            return Err(e);
-        }
-        let a = self.read_region(staged, &node.a, sn.a_gen);
-        let b = self.read_region(staged, &node.b, sn.b_gen);
-        let input_bound = self.inputs[node.a.buf.0].is_some();
-        let tag = operand_tag(stamps, input_bound, &node.a, sn.a_gen);
-        Ok((a, b, tag, host))
-    }
 }
 
-fn stage_key(r: &OperandRef, gen: u32) -> StageKey {
-    (r.buf.0, r.r0, r.c0, r.rows, r.cols, gen)
-}
-
-/// Cache-tag stamps for one execution of a schedule.
+/// Per-buffer cache-tag stamps for one execution of a schedule.
 ///
 /// A tag is sound only while equal tags guarantee equal bytes, so two
 /// stamps with different lifetimes back the two read sources:
@@ -356,28 +238,55 @@ fn stage_key(r: &OperandRef, gen: u32) -> StageKey {
 ///   so their reads carry a fresh per-run stamp, retiring every strip
 ///   packed from written data when the run ends.
 ///
-/// Both stamps are drawn from one process-wide counter, so they can
-/// never collide with each other. The stamp occupies the upper 32 bits
-/// of `OperandId::generation` (emission generation below): aliasing
-/// would need 2³² environments+runs while a strip from the first still
-/// sits in a bounded FIFO cache — noted here rather than guarded,
-/// since the guard would be a panic after four billion runs.
-struct TagStamps {
-    epoch: u64,
-    run: u64,
+/// Input bindings cannot change mid-run (the run borrows the
+/// environment mutably), so the per-buffer choice is resolved once here
+/// instead of per op. Both stamps are drawn from one process-wide
+/// counter, so they can never collide with each other. The stamp
+/// occupies the upper 32 bits of `OperandId::generation` (emission
+/// generation below): aliasing would need 2³² environments+runs while
+/// a strip from the first still sits in a bounded FIFO cache — noted
+/// here rather than guarded, since the guard would be a panic after
+/// four billion runs.
+fn tag_stamps<T: Scalar>(env: &ExecEnv<'_, T>) -> Vec<u64> {
+    let run = NEXT_EPOCH.fetch_add(1, Ordering::Relaxed);
+    env.inputs
+        .iter()
+        .map(|i| if i.is_some() { env.epoch } else { run })
+        .collect()
 }
 
-fn operand_tag(stamps: &TagStamps, input_bound: bool, region: &OperandRef, gen: u32) -> OperandId {
-    let stamp = if input_bound {
-        stamps.epoch
-    } else {
-        stamps.run
-    };
+/// The cache tag of one compiled read under its buffer's run stamp.
+fn read_tag(r: &CompiledRead, stamp: u64) -> OperandId {
     OperandId {
-        buffer: region.buf.0 as u64,
-        generation: stamp.wrapping_shl(32) | u64::from(gen),
-        origin: (region.r0, region.c0),
-        extent: (region.rows, region.cols),
+        buffer: r.buf as u64,
+        generation: stamp.wrapping_shl(32) | u64::from(r.gen),
+        origin: (r.r0, r.c0),
+        extent: (r.rows, r.cols),
+    }
+}
+
+/// Resolve a compiled read on the serial path: the staged snapshot for
+/// same-buffer reads, otherwise zero-copy from the bound input or
+/// output view (callers check bindings first — see `try_run`).
+fn serial_read<'s, T: Scalar>(
+    arena: &'s [Option<Matrix<T>>],
+    inputs: &'s [Option<MatrixView<'_, T>>],
+    outputs: &'s [Option<MatrixViewMut<'_, T>>],
+    r: &CompiledRead,
+) -> MatrixView<'s, T> {
+    if r.serial_staged {
+        return arena[r.slot as usize]
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("snapshot staged before use"))
+            .view();
+    }
+    match inputs[r.buf].as_ref() {
+        Some(v) => v.subview(r.r0, r.c0, r.rows, r.cols),
+        None => outputs[r.buf]
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("direct read checked bound"))
+            .as_view()
+            .subview(r.r0, r.c0, r.rows, r.cols),
     }
 }
 
@@ -403,9 +312,11 @@ impl Schedule {
 
     /// [`Schedule::run`], returning errors instead of panicking:
     /// plan/machine mismatches, op contract violations, and unbound
-    /// buffers come back as [`TcuError`]s. On `Err`, the bound outputs
-    /// hold whatever the already-issued prefix of the stream wrote (an
-    /// error aborts mid-stream, it does not roll back). Fault
+    /// buffers come back as [`TcuError`]s. Compilation errors (an op
+    /// violating the planned unit's contract) surface before anything
+    /// executes; on a mid-stream `Err` (an unbound buffer), the bound
+    /// outputs hold whatever the already-issued prefix of the stream
+    /// wrote (an error aborts mid-stream, it does not roll back). Fault
     /// *recovery* (retry, quarantine) is a property of the parallel
     /// wave driver — see [`Schedule::try_run_parallel`]; the serial
     /// path has no worker threads to contain, so an executor panic here
@@ -425,31 +336,77 @@ impl Schedule {
                 what: "environment built for a different graph (buffer shapes disagree)",
             });
         }
-        let stamps = TagStamps {
-            epoch: env.epoch,
-            run: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
-        };
-        let mut staged: HashMap<StageKey, Matrix<T>> = HashMap::new();
-        for sn in self.nodes() {
-            let node = &sn.node;
-            node.op.check(self.sqrt_m)?;
-            let (a, b, tag, mut host) = env.prepare_node(&mut staged, &stamps, sn)?;
-            let mut out_view =
-                host.subview_mut(node.out.r0, node.out.c0, node.out.rows, node.out.cols);
-            mach.issue_into_tagged(node.op, a, Some(tag), b, &mut out_view);
-            env.outputs[node.out.buf.0] = Some(host);
+        let plan = self.compiled()?;
+        let stamps = tag_stamps(env);
+        let mut arena: Vec<Option<Matrix<T>>> = (0..plan.slots).map(|_| None).collect();
+        let mut next_stage = 0usize;
+        for (i, cop) in plan.ops.iter().enumerate() {
+            let mut host = env.outputs[cop.out_buf].take().ok_or(TcuError::Unbound {
+                buffer: cop.out_buf,
+                written: true,
+            })?;
+            // Snapshot every same-buffer-read key whose first reader is
+            // this op. The snapshot is taken before the op executes —
+            // exactly the content version the key names, by the hazard
+            // order — and an error must not leave the output binding
+            // moved out.
+            while next_stage < plan.serial_stages.len()
+                && plan.serial_stages[next_stage].before_op as usize == i
+            {
+                let d = plan.serial_stages[next_stage];
+                let snap = if d.buf == cop.out_buf {
+                    host.as_view()
+                        .subview(d.r0, d.c0, d.rows, d.cols)
+                        .to_matrix()
+                } else {
+                    match env.outputs[d.buf].as_ref() {
+                        Some(v) => v.as_view().subview(d.r0, d.c0, d.rows, d.cols).to_matrix(),
+                        None => {
+                            env.outputs[cop.out_buf] = Some(host);
+                            return Err(TcuError::Unbound {
+                                buffer: d.buf,
+                                written: false,
+                            });
+                        }
+                    }
+                };
+                arena[d.slot as usize] = Some(snap);
+                next_stage += 1;
+            }
+            // Direct (zero-copy) reads fail *before* any view is taken,
+            // so the output binding can be restored on the way out.
+            for r in [&cop.a, &cop.b] {
+                if !r.serial_staged
+                    && env.inputs[r.buf].is_none()
+                    && env.outputs[r.buf].is_none()
+                    && r.buf != cop.out_buf
+                {
+                    env.outputs[cop.out_buf] = Some(host);
+                    return Err(TcuError::Unbound {
+                        buffer: r.buf,
+                        written: false,
+                    });
+                }
+            }
+            let a = serial_read(&arena, &env.inputs, &env.outputs, &cop.a);
+            let b = serial_read(&arena, &env.inputs, &env.outputs, &cop.b);
+            let tag = read_tag(&cop.a, stamps[cop.a.buf]);
+            let mut out_view = host.subview_mut(cop.out_r0, cop.out_c0, cop.out_rows, cop.out_cols);
+            mach.issue_into_tagged(cop.op, a, Some(tag), b, &mut out_view);
+            env.outputs[cop.out_buf] = Some(host);
         }
         Ok(())
     }
 
     /// Execute the planned stream *across the units* of a parallel
     /// machine, consuming [`Schedule::wave_partitions`] directly — and,
-    /// unlike the serial [`Schedule::run`], on real threads: each wave
-    /// spawns one scoped worker per unit with work, running that unit's
-    /// assigned ops on that unit's own executor (hence its own pack
-    /// cache). Concurrency is safe by construction — ops sharing a wave
-    /// never overlap in any written region, which a debug assertion
-    /// re-verifies per wave — and deterministic by design:
+    /// unlike the serial [`Schedule::run`], on real threads: one
+    /// persistent worker per unit is spawned for the run, each holding
+    /// that unit's own executor (hence its own pack cache) and running
+    /// the ops the planner assigned it, wave by wave. Concurrency is
+    /// safe by construction — ops sharing a wave never overlap in any
+    /// written region, which a debug assertion re-verifies per wave —
+    /// and deterministic by design:
     ///
     /// * **accounting** (per-op `Stats` charges and trace events) is
     ///   recorded on the main thread in the schedule's canonical order
@@ -467,10 +424,6 @@ impl Schedule {
     ///   its ops in canonical order, so every unit's executor sees the
     ///   exact op subsequence a serial placement-following run would —
     ///   cache stats cannot depend on thread interleaving.
-    ///
-    /// A wave whose work all lands on one unit runs inline on the
-    /// calling thread (same executor, same order — only spawn overhead
-    /// is saved).
     ///
     /// # Panics
     /// Panics if the machine's `√m` or unit count differs from what the
@@ -543,251 +496,302 @@ impl Schedule {
                 what: "environment built for a different graph (buffer shapes disagree)",
             });
         }
-        let stamps = TagStamps {
-            epoch: env.epoch,
-            run: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
-        };
-        let mut staged: HashMap<StageKey, Matrix<T>> = HashMap::new();
+        let plan = self.compiled()?;
+        let stamps = tag_stamps(env);
+        let units = mach.units();
+        let max_attempts = policy.max_attempts.max(1);
+
+        // The run-local snapshot arena: one slot per compiled read key,
+        // filled at most once per run (`OnceLock`, so the main thread
+        // can keep staging while workers hold shared borrows). Reads of
+        // never-written buffers are staged up front when not input-
+        // bound — their content cannot change during the run.
+        let arena: Vec<OnceLock<Matrix<T>>> = (0..plan.slots).map(|_| OnceLock::new()).collect();
+        for d in &plan.cond_stages {
+            if env.inputs[d.buf].is_some() {
+                continue;
+            }
+            let snap = env.outputs[d.buf]
+                .as_ref()
+                .ok_or(TcuError::Unbound {
+                    buffer: d.buf,
+                    written: false,
+                })?
+                .as_view()
+                .subview(d.r0, d.c0, d.rows, d.cols)
+                .to_matrix();
+            let _ = arena[d.slot as usize].set(snap);
+        }
+
+        // Borrow split for the run: workers see the arena and the
+        // frozen inputs; the main thread keeps the outputs (staging
+        // sources, accumulate seeds, merges) and the machine's
+        // accounting half, while each worker owns one unit's executor.
+        let arena = &arena;
+        let inputs = &env.inputs;
+        let outputs = &mut env.outputs;
+        let (mut acct, execs) = mach.wave_parts();
         // Quarantine outlives the wave: a unit that failed permanently
         // stays retired for the remainder of this run.
-        let mut quarantined = vec![false; mach.units()];
-        let nodes = self.nodes();
-        let (mut start, mut wave) = (0usize, 0usize);
-        while start < nodes.len() {
-            let mut end = start + 1;
-            while end < nodes.len() && nodes[end].level == nodes[start].level {
-                end += 1;
-            }
-            self.run_wave(
-                mach,
-                env,
-                &mut staged,
-                &stamps,
-                &nodes[start..end],
-                wave,
-                policy,
-                &mut quarantined,
-            )?;
-            wave += 1;
-            start = end;
-        }
-        Ok(())
-    }
+        let mut quarantined = vec![false; units];
+        let mut pool: Vec<Matrix<T>> = Vec::new();
 
-    /// Execute one wave of independent ops across the machine's units,
-    /// containing and recovering worker faults under `policy`.
-    #[allow(clippy::too_many_arguments)]
-    fn run_wave<T: Scalar, U: TensorUnit, E: Executor>(
-        &self,
-        mach: &mut ParallelTcuMachine<U, E>,
-        env: &mut ExecEnv<'_, T>,
-        staged: &mut HashMap<StageKey, Matrix<T>>,
-        stamps: &TagStamps,
-        wave_nodes: &[crate::ScheduledNode],
-        wave: usize,
-        policy: RecoveryPolicy,
-        quarantined: &mut [bool],
-    ) -> Result<(), TcuError> {
-        if cfg!(debug_assertions) {
-            assert_wave_outputs_disjoint(wave_nodes);
-        }
-        // Staging pass: snapshot every written-buffer read of the wave
-        // before anything executes (see `stage_region` for why this
-        // matches lazy per-op staging byte-for-byte).
-        for sn in wave_nodes {
-            env.stage_region(staged, &sn.node.a, sn.a_gen)?;
-            env.stage_region(staged, &sn.node.b, sn.b_gen)?;
-        }
-        let staged = &*staged;
-        // Immutable reborrow for the assembly/execution phases: items
-        // hold views into the environment; the merge pass below resumes
-        // mutable access once every item is dropped.
-        let envr = &*env;
-
-        // Charging + assembly pass, in canonical order: meter each op,
-        // resolve its operand views and cache tag, and build its work
-        // item on the unit the planner assigned its first invocation
-        // to. Items bound for already-quarantined units are displaced
-        // and re-partitioned onto the survivors below. Charges always
-        // happen here, on the main thread, in canonical order — faults
-        // can delay numerics, never reorder accounting.
-        let s = mach.sqrt_m();
-        let tall = mach.unit().supports_tall();
-        let units = mach.units();
-        let partition = &self.wave_partitions()[wave];
-        let split_mismatch = TcuError::PlanMismatch {
-            what: "machine splits ops differently than the schedule planned \
-                   (tall-operand support must match the planning unit)",
-        };
-        let mut pending: Vec<Vec<WaveItem<'_, T>>> = (0..units).map(|_| Vec::new()).collect();
-        let mut displaced: Vec<WaveItem<'_, T>> = Vec::new();
-        let mut inv_at = 0usize;
-        for (idx, sn) in wave_nodes.iter().enumerate() {
-            let node = &sn.node;
-            node.op.check(s)?;
-            let invocations = if tall {
-                1
-            } else {
-                node.op.charge_rows(s).div_ceil(s)
-            };
-            let Some(&unit) = partition.assignment.get(inv_at) else {
-                return Err(split_mismatch);
-            };
-            inv_at += invocations;
-            mach.charge_wave_op(&node.op);
-            let item = build_item(envr, staged, stamps, idx, sn)?;
-            if quarantined[unit] {
-                displaced.push(item);
-            } else {
-                pending[unit].push(item);
-            }
-        }
-        if inv_at != partition.assignment.len() {
-            return Err(split_mismatch);
-        }
-        requeue_onto_survivors(mach, &mut pending, displaced, quarantined, wave)?;
-
-        // Execution rounds: one scoped thread per unit with work, each
-        // running its items in canonical order on its own executor with
-        // per-op fault containment. A round ends when every worker
-        // returns; units that died during the round are quarantined and
-        // their unexecuted items re-partitioned, then the next round
-        // runs the requeued work. Single-worker rounds run inline — the
-        // identical code path minus the spawn.
-        let max_attempts = policy.max_attempts.max(1);
-        let mut finished: Vec<(usize, Matrix<T>)> = Vec::with_capacity(wave_nodes.len());
-        loop {
-            let busy = pending.iter().filter(|v| !v.is_empty()).count();
-            if busy == 0 {
-                break;
-            }
-            // Wave indices assigned this round, per unit — enough to
-            // rebuild a unit's entire round from the environment if its
-            // worker dies so hard its outcome is lost (outputs are
-            // pristine until the merge pass, so rebuilt items are
-            // byte-identical to the originals).
-            let assigned: Vec<Vec<usize>> = pending
-                .iter()
-                .map(|v| v.iter().map(|it| it.idx).collect())
-                .collect();
-            let mut outcomes: Vec<(usize, UnitOutcome<'_, T>)> = Vec::with_capacity(busy);
-            if busy == 1 {
-                if let Some(u) = pending.iter().position(|v| !v.is_empty()) {
-                    let items = std::mem::take(&mut pending[u]);
-                    outcomes.push((
-                        u,
-                        run_items_contained(&mut mach.unit_executors_mut()[u], items, max_attempts),
-                    ));
-                }
-            } else {
-                let round: Vec<Vec<WaveItem<'_, T>>> =
-                    pending.iter_mut().map(std::mem::take).collect();
-                let execs = mach.unit_executors_mut();
-                outcomes = std::thread::scope(|scope| {
-                    let mut handles = Vec::with_capacity(busy);
-                    for (u, (exec, items)) in execs.iter_mut().zip(round).enumerate() {
-                        if !items.is_empty() {
-                            handles.push((
-                                u,
-                                scope.spawn(move || run_items_contained(exec, items, max_attempts)),
-                            ));
+        std::thread::scope(|scope| {
+            // One persistent worker per unit for the whole run: tasks
+            // arrive as (items, max_attempts) rounds, outcomes return on
+            // the paired channel. A worker exits when the task sender
+            // drops (normal shutdown) or its outcome can no longer be
+            // delivered.
+            let mut task_tx = Vec::with_capacity(units);
+            let mut result_rx = Vec::with_capacity(units);
+            let mut handles = Vec::with_capacity(units);
+            for exec in execs.iter_mut() {
+                let (ttx, trx) = std::sync::mpsc::channel();
+                let (rtx, rrx) = std::sync::mpsc::channel();
+                handles.push(scope.spawn(move || {
+                    while let Ok((items, max)) = trx.recv() {
+                        if rtx.send(run_items_contained(exec, items, max)).is_err() {
+                            break;
                         }
                     }
-                    // Every handle is joined — a dead worker can never
-                    // deadlock the scope or abort the process; its
-                    // escape hatch is the `lost` outcome below.
-                    handles
-                        .into_iter()
-                        .map(|(u, h)| match h.join() {
-                            Ok(outcome) => (u, outcome),
-                            Err(_) => (u, UnitOutcome::lost()),
-                        })
-                        .collect()
-                });
+                }));
+                task_tx.push(ttx);
+                result_rx.push(rrx);
             }
 
-            // Process outcomes in unit order (deterministic for a given
-            // fault plan): record fault/retry annotations, collect
-            // completed scratches, quarantine dead units and gather
-            // their unexecuted items for re-partitioning.
-            let mut requeue: Vec<WaveItem<'_, T>> = Vec::new();
-            for (u, outcome) in outcomes {
-                for note in &outcome.notes {
-                    match *note {
-                        WorkerNote::Fault { transient } => mach.record_fault(u, transient),
-                        WorkerNote::Retry { attempt, op } => {
-                            let _ = mach.record_retry(u, attempt, op.charge_rows(s));
+            let run_result = (|| -> Result<(), TcuError> {
+                let mut next_stage = 0usize;
+                for (wave, &(wstart, wend)) in plan.wave_ranges.iter().enumerate() {
+                    let wave_nodes = &self.nodes()[wstart..wend];
+                    if cfg!(debug_assertions) {
+                        assert_wave_outputs_disjoint(wave_nodes);
+                    }
+                    // Staging pass: snapshot every written-buffer read
+                    // first consumed in this wave before anything
+                    // executes (the hazard order makes this byte-equal
+                    // to per-op lazy staging: a region's bytes are
+                    // frozen between its last `gen` write and its last
+                    // `gen` reader).
+                    while next_stage < plan.par_stages.len()
+                        && (plan.par_stages[next_stage].before_op as usize) < wend
+                    {
+                        let d = plan.par_stages[next_stage];
+                        let snap = outputs[d.buf]
+                            .as_ref()
+                            .ok_or(TcuError::Unbound {
+                                buffer: d.buf,
+                                written: false,
+                            })?
+                            .as_view()
+                            .subview(d.r0, d.c0, d.rows, d.cols)
+                            .to_matrix();
+                        let _ = arena[d.slot as usize].set(snap);
+                        next_stage += 1;
+                    }
+
+                    // Charging + assembly pass, in canonical order:
+                    // meter each op, resolve its operand views and
+                    // cache tag, and build its work item on the unit
+                    // the planner assigned its first invocation to.
+                    // Items bound for already-quarantined units are
+                    // displaced and re-partitioned onto the survivors
+                    // below. Charges always happen here, on the main
+                    // thread, in canonical order — faults can delay
+                    // numerics, never reorder accounting.
+                    let s = acct.sqrt_m();
+                    let tall = acct.unit().supports_tall();
+                    let partition = &self.wave_partitions()[wave];
+                    let mut pending: Vec<Vec<WaveItem<'_, T>>> =
+                        (0..units).map(|_| Vec::new()).collect();
+                    let mut displaced: Vec<WaveItem<'_, T>> = Vec::new();
+                    let mut inv_at = 0usize;
+                    for i in wstart..wend {
+                        let cop = &plan.ops[i];
+                        let invocations = if tall {
+                            1
+                        } else {
+                            cop.op.charge_rows(s).div_ceil(s)
+                        };
+                        let Some(&unit) = partition.assignment.get(inv_at) else {
+                            return Err(split_mismatch());
+                        };
+                        inv_at += invocations;
+                        acct.charge_wave_op(&cop.op);
+                        let item = build_item(arena, inputs, outputs, &stamps, &mut pool, plan, i)?;
+                        if quarantined[unit] {
+                            displaced.push(item);
+                        } else {
+                            pending[unit].push(item);
                         }
                     }
-                }
-                finished.extend(outcome.done);
-                match outcome.terminal {
-                    None => {}
-                    Some(Terminal::Exhausted { attempts }) => {
-                        return Err(TcuError::RetriesExhausted {
-                            unit: u,
-                            wave,
-                            attempts,
-                        });
+                    if inv_at != partition.assignment.len() {
+                        return Err(split_mismatch());
                     }
-                    Some(Terminal::Dead { dirty }) => {
-                        if !policy.quarantine {
-                            return Err(TcuError::UnitFault { unit: u, wave });
+                    requeue_onto_survivors(&mut acct, &mut pending, displaced, &quarantined, wave)?;
+
+                    // Execution rounds: dispatch every unit's batch to
+                    // its persistent worker, then collect outcomes in
+                    // unit order (deterministic for a given fault
+                    // plan). A round ends when every dispatched worker
+                    // answers; units that died during the round are
+                    // quarantined and their unexecuted items
+                    // re-partitioned, then the next round runs the
+                    // requeued work.
+                    let mut finished: Vec<(usize, Matrix<T>)> = Vec::with_capacity(wend - wstart);
+                    loop {
+                        let was_busy: Vec<bool> = pending.iter().map(|v| !v.is_empty()).collect();
+                        if !was_busy.iter().any(|&b| b) {
+                            break;
                         }
-                        quarantined[u] = true;
-                        let mut leftover = outcome.leftover;
-                        if outcome.lost {
-                            // The whole round is rebuilt: nothing the
-                            // worker did reached the outputs, and the
-                            // charges were recorded at assembly.
-                            leftover = assigned[u]
-                                .iter()
-                                .map(|&idx| build_item(envr, staged, stamps, idx, &wave_nodes[idx]))
-                                .collect::<Result<_, _>>()?;
-                        } else if dirty {
-                            // A non-injected panic may have fired mid-
-                            // write: rebuild the in-flight item's
-                            // scratch from the (untouched) environment.
-                            if let Some(first) = leftover.first_mut() {
-                                *first = build_item(
-                                    envr,
-                                    staged,
-                                    stamps,
-                                    first.idx,
-                                    &wave_nodes[first.idx],
-                                )?;
+                        // Wave indices assigned this round, per unit —
+                        // enough to rebuild a unit's entire round from
+                        // the environment if its worker dies so hard
+                        // its outcome is lost (outputs are pristine
+                        // until the merge pass, so rebuilt items are
+                        // byte-identical to the originals).
+                        let assigned: Vec<Vec<usize>> = pending
+                            .iter()
+                            .map(|v| v.iter().map(|it| it.idx).collect())
+                            .collect();
+                        let mut sent = vec![false; units];
+                        for u in 0..units {
+                            if was_busy[u] {
+                                let items = std::mem::take(&mut pending[u]);
+                                sent[u] = task_tx[u].send((items, max_attempts)).is_ok();
                             }
                         }
-                        mach.record_quarantine(u, leftover.len());
-                        requeue.extend(leftover);
+                        // Process outcomes in unit order: record
+                        // fault/retry annotations, collect completed
+                        // scratches, quarantine dead units and gather
+                        // their unexecuted items for re-partitioning.
+                        // A failed send or a disconnected result
+                        // channel means the worker itself is gone —
+                        // the `lost` outcome, recovered like any other
+                        // permanent unit death.
+                        let mut requeue: Vec<WaveItem<'_, T>> = Vec::new();
+                        for u in 0..units {
+                            if !was_busy[u] {
+                                continue;
+                            }
+                            let outcome = if sent[u] {
+                                result_rx[u].recv().unwrap_or_else(|_| UnitOutcome::lost())
+                            } else {
+                                UnitOutcome::lost()
+                            };
+                            for note in &outcome.notes {
+                                match *note {
+                                    WorkerNote::Fault { transient } => {
+                                        acct.record_fault(u, transient);
+                                    }
+                                    WorkerNote::Retry { attempt, op } => {
+                                        let _ = acct.record_retry(u, attempt, op.charge_rows(s));
+                                    }
+                                }
+                            }
+                            finished.extend(outcome.done);
+                            match outcome.terminal {
+                                None => {}
+                                Some(Terminal::Exhausted { attempts }) => {
+                                    return Err(TcuError::RetriesExhausted {
+                                        unit: u,
+                                        wave,
+                                        attempts,
+                                    });
+                                }
+                                Some(Terminal::Dead { dirty }) => {
+                                    if !policy.quarantine {
+                                        return Err(TcuError::UnitFault { unit: u, wave });
+                                    }
+                                    quarantined[u] = true;
+                                    let mut leftover = outcome.leftover;
+                                    if outcome.lost {
+                                        // The whole round is rebuilt:
+                                        // nothing the worker did
+                                        // reached the outputs, and the
+                                        // charges were recorded at
+                                        // assembly.
+                                        leftover = assigned[u]
+                                            .iter()
+                                            .map(|&idx| {
+                                                build_item(
+                                                    arena, inputs, outputs, &stamps, &mut pool,
+                                                    plan, idx,
+                                                )
+                                            })
+                                            .collect::<Result<_, _>>()?;
+                                    } else if dirty {
+                                        // A non-injected panic may have
+                                        // fired mid-write: rebuild the
+                                        // in-flight item's scratch from
+                                        // the (untouched) environment.
+                                        if let Some(first) = leftover.first_mut() {
+                                            *first = build_item(
+                                                arena, inputs, outputs, &stamps, &mut pool, plan,
+                                                first.idx,
+                                            )?;
+                                        }
+                                    }
+                                    acct.record_quarantine(u, leftover.len());
+                                    requeue.extend(leftover);
+                                }
+                            }
+                        }
+                        requeue_onto_survivors(
+                            &mut acct,
+                            &mut pending,
+                            requeue,
+                            &quarantined,
+                            wave,
+                        )?;
                     }
-                }
-            }
-            requeue_onto_survivors(mach, &mut pending, requeue, quarantined, wave)?;
-        }
-        drop(pending);
 
-        // Merge pass, canonical order: copy each scratch into its
-        // (disjoint) destination region of the bound outputs. Reached
-        // only when every item of the wave completed — an error above
-        // discards the wave's scratches instead of half-merging them.
-        finished.sort_unstable_by_key(|(idx, _)| *idx);
-        for (idx, scratch) in finished {
-            let out = &wave_nodes[idx].node.out;
-            env.outputs[out.buf.0]
-                .as_mut()
-                .unwrap_or_else(|| unreachable!("output bound (checked at assembly)"))
-                .subview_mut(out.r0, out.c0, out.rows, out.cols)
-                .copy_from(scratch.view());
-        }
-        mach.complete_wave(partition.makespan());
-        Ok(())
+                    // Merge pass, canonical order: copy each scratch
+                    // into its (disjoint) destination region of the
+                    // bound outputs, then recycle it. Reached only when
+                    // every item of the wave completed — an error above
+                    // discards the wave's scratches instead of
+                    // half-merging them.
+                    finished.sort_unstable_by_key(|(idx, _)| *idx);
+                    for (idx, scratch) in finished {
+                        let cop = &plan.ops[idx];
+                        outputs[cop.out_buf]
+                            .as_mut()
+                            .unwrap_or_else(|| unreachable!("output bound (checked at assembly)"))
+                            .subview_mut(cop.out_r0, cop.out_c0, cop.out_rows, cop.out_cols)
+                            .copy_from(scratch.view());
+                        pool.push(scratch);
+                    }
+                    acct.complete_wave(partition.makespan());
+                }
+                Ok(())
+            })();
+
+            // Shut the pool down and join every worker before leaving
+            // the scope: joining consumes any worker panic, so a dead
+            // worker can never re-raise at scope exit (lost workers
+            // were already recovered as quarantines above).
+            drop(task_tx);
+            for h in handles {
+                let _ = h.join();
+            }
+            run_result
+        })
+    }
+}
+
+/// The plan/machine disagreement error of the wave driver's partition
+/// walk (the planning unit and the executing machine must split tall
+/// operands identically for the per-invocation assignment to line up).
+fn split_mismatch() -> TcuError {
+    TcuError::PlanMismatch {
+        what: "machine splits ops differently than the schedule planned \
+               (tall-operand support must match the planning unit)",
     }
 }
 
 /// One op's share of a wave, bound for a specific unit's worker.
 struct WaveItem<'v, T: Scalar> {
-    /// Position within the wave (canonical order), for the merge pass.
+    /// Compiled-op index (canonical order), for the merge pass.
     idx: usize,
     op: tcu_core::TensorOp,
     a: MatrixView<'v, T>,
@@ -796,49 +800,90 @@ struct WaveItem<'v, T: Scalar> {
     scratch: Matrix<T>,
 }
 
-/// Resolve one wave node into its executable work item: operand views
-/// (bound inputs or staged snapshots), left-operand cache tag, and a
-/// scratch destination — zeros for overwrite ops (the kernel writes
-/// every element), the exact destination bytes for accumulating ops
-/// (so the kernel performs the identical arithmetic an in-place
+/// Resolve a compiled read on the parallel path: the staged snapshot
+/// if its slot is filled (written-buffer reads always, never-written
+/// output-bound reads at run start), otherwise zero-copy from the
+/// bound input.
+fn wave_read<'v, T: Scalar>(
+    arena: &'v [OnceLock<Matrix<T>>],
+    inputs: &'v [Option<MatrixView<'_, T>>],
+    r: &CompiledRead,
+) -> Result<MatrixView<'v, T>, TcuError> {
+    if let Some(m) = arena[r.slot as usize].get() {
+        return Ok(m.view());
+    }
+    match inputs[r.buf].as_ref() {
+        Some(v) => Ok(v.subview(r.r0, r.c0, r.rows, r.cols)),
+        None => Err(TcuError::Unbound {
+            buffer: r.buf,
+            written: false,
+        }),
+    }
+}
+
+/// An exactly-shaped scratch matrix from the recycling pool, or a
+/// fresh zeroed one. Recycled scratch is re-zeroed when the op needs
+/// zeros (`zero`): an executor is allowed to skip numerics entirely
+/// (replay), so a recycled buffer must present the same bytes a fresh
+/// allocation would. Accumulating callers skip the zeroing and seed
+/// every element from the destination instead.
+fn take_scratch<T: Scalar>(
+    pool: &mut Vec<Matrix<T>>,
+    rows: usize,
+    cols: usize,
+    zero: bool,
+) -> Matrix<T> {
+    if let Some(pos) = pool
+        .iter()
+        .position(|m| m.rows() == rows && m.cols() == cols)
+    {
+        let mut m = pool.swap_remove(pos);
+        if zero {
+            m.as_mut_slice().fill(T::ZERO);
+        }
+        m
+    } else {
+        Matrix::zeros(rows, cols)
+    }
+}
+
+/// Resolve one compiled op into its executable work item: operand
+/// views (staged snapshots or bound inputs), left-operand cache tag,
+/// and a scratch destination — zeros for overwrite ops (the kernel
+/// writes every element), the exact destination bytes for accumulating
+/// ops (so the kernel performs the identical arithmetic an in-place
 /// accumulate would). Also the rebuild path for faulted items: outputs
 /// stay untouched until the wave's merge pass, so building the same
 /// item twice yields byte-identical operands and seed.
-fn build_item<'s, T: Scalar>(
-    env: &'s ExecEnv<'_, T>,
-    staged: &'s HashMap<StageKey, Matrix<T>>,
-    stamps: &TagStamps,
+fn build_item<'v, T: Scalar>(
+    arena: &'v [OnceLock<Matrix<T>>],
+    inputs: &'v [Option<MatrixView<'_, T>>],
+    outputs: &[Option<MatrixViewMut<'_, T>>],
+    stamps: &[u64],
+    pool: &mut Vec<Matrix<T>>,
+    plan: &ExecutablePlan,
     idx: usize,
-    sn: &crate::ScheduledNode,
-) -> Result<WaveItem<'s, T>, TcuError> {
-    let node = &sn.node;
-    let a = env.read_region(staged, &node.a, sn.a_gen);
-    let b = env.read_region(staged, &node.b, sn.b_gen);
-    assert!(
-        node.op.matches((a.rows(), a.cols()), (b.rows(), b.cols())),
-        "operands do not match the op descriptor"
-    );
-    let out = &node.out;
-    assert_eq!(
-        (out.rows, out.cols),
-        (node.op.rows, node.op.width),
-        "output region does not match the op descriptor"
-    );
-    let input_bound = env.inputs[node.a.buf.0].is_some();
-    let tag = operand_tag(stamps, input_bound, &node.a, sn.a_gen);
-    let mut scratch = Matrix::<T>::zeros(node.op.rows, node.op.width);
-    if node.op.accumulate {
-        let host = env.outputs[out.buf.0].as_ref().ok_or(TcuError::Unbound {
-            buffer: out.buf.0,
+) -> Result<WaveItem<'v, T>, TcuError> {
+    let cop = &plan.ops[idx];
+    let a = wave_read(arena, inputs, &cop.a)?;
+    let b = wave_read(arena, inputs, &cop.b)?;
+    let tag = read_tag(&cop.a, stamps[cop.a.buf]);
+    let mut scratch = take_scratch(pool, cop.op.rows, cop.op.width, !cop.op.accumulate);
+    if cop.op.accumulate {
+        let host = outputs[cop.out_buf].as_ref().ok_or(TcuError::Unbound {
+            buffer: cop.out_buf,
             written: true,
         })?;
-        scratch
-            .view_mut()
-            .copy_from(host.as_view().subview(out.r0, out.c0, out.rows, out.cols));
+        scratch.view_mut().copy_from(host.as_view().subview(
+            cop.out_r0,
+            cop.out_c0,
+            cop.out_rows,
+            cop.out_cols,
+        ));
     }
     Ok(WaveItem {
         idx,
-        op: node.op,
+        op: cop.op,
         a,
         tag,
         b,
@@ -872,7 +917,7 @@ enum Terminal {
 
 /// Everything one unit's worker produced in one execution round.
 struct UnitOutcome<'v, T: Scalar> {
-    /// Completed `(wave index, filled scratch)` pairs for the merge.
+    /// Completed `(op index, filled scratch)` pairs for the merge.
     done: Vec<(usize, Matrix<T>)>,
     /// Fault/retry annotations, in occurrence order.
     notes: Vec<WorkerNote>,
@@ -886,7 +931,7 @@ struct UnitOutcome<'v, T: Scalar> {
 }
 
 impl<T: Scalar> UnitOutcome<'_, T> {
-    /// The synthetic outcome for a worker whose join failed.
+    /// The synthetic outcome for a worker whose channel disconnected.
     fn lost() -> Self {
         Self {
             done: Vec::new(),
@@ -980,8 +1025,8 @@ fn run_items_contained<'v, T: Scalar, E: Executor>(
 /// charging the batch's makespan as recovery time. Fails with
 /// [`TcuError::AllUnitsQuarantined`] when work remains and no unit
 /// survives.
-fn requeue_onto_survivors<'v, T: Scalar, U: TensorUnit, E: Executor>(
-    mach: &mut ParallelTcuMachine<U, E>,
+fn requeue_onto_survivors<'v, T: Scalar, U: TensorUnit>(
+    acct: &mut WaveAccountant<'_, U>,
     pending: &mut [Vec<WaveItem<'v, T>>],
     batch: Vec<WaveItem<'v, T>>,
     quarantined: &[bool],
@@ -997,21 +1042,21 @@ fn requeue_onto_survivors<'v, T: Scalar, U: TensorUnit, E: Executor>(
             pending: batch.len(),
         });
     }
-    let s = mach.sqrt_m();
-    let tall = mach.unit().supports_tall();
+    let s = acct.sqrt_m();
+    let tall = acct.unit().supports_tall();
     let costs: Vec<u64> = batch
         .iter()
         .map(|it| {
             let n = it.op.charge_rows(s);
             if tall {
-                mach.unit().invocation_cost(n)
+                acct.unit().invocation_cost(n)
             } else {
-                (n.div_ceil(s) as u64) * mach.unit().invocation_cost(s)
+                (n.div_ceil(s) as u64) * acct.unit().invocation_cost(s)
             }
         })
         .collect();
     let part = partition_lpt(&costs, survivors.len());
-    mach.charge_recovery(part.makespan());
+    acct.charge_recovery(part.makespan());
     for (item, &slot) in batch.into_iter().zip(&part.assignment) {
         pending[survivors[slot]].push(item);
     }

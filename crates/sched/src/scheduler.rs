@@ -186,6 +186,7 @@ impl Scheduler {
             invocations,
             charged_rows,
             tensor_time,
+            compiled: std::sync::OnceLock::new(),
         }
     }
 }
@@ -239,6 +240,9 @@ pub struct Schedule {
     invocations: u64,
     charged_rows: u64,
     tensor_time: u64,
+    /// Lazily compiled executable form (first run, or an explicit
+    /// [`Schedule::compile`], fills it; every later run reuses it).
+    pub(crate) compiled: std::sync::OnceLock<crate::compile::ExecutablePlan>,
 }
 
 impl Schedule {

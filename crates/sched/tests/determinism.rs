@@ -259,6 +259,22 @@ fn check_shuffle_invariance(g1: &OpGraph, bufs: &Bufs, seed: u64) {
     prop_assert_eq!(m1p, m2p);
 }
 
+/// Rebuild `g` with differently-named buffers: shape-equal by
+/// construction (names are the only difference).
+fn renamed(g: &OpGraph) -> OpGraph {
+    let mut g2 = OpGraph::new();
+    let _ = (
+        g2.buffer("West", DIM, DIM),
+        g2.buffer("Xen", DIM, DIM),
+        g2.buffer("Yak", DIM, DIM),
+        g2.buffer("Zed", DIM, DIM),
+    );
+    for Node { op, a, b, out, .. } in g.nodes() {
+        g2.record(*op, *a, *b, *out);
+    }
+    g2
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -295,5 +311,101 @@ proptest! {
     fn raw_pipeline_numerics_match_the_eager_reference(seed in 0u64..10_000) {
         let (g, bufs) = random_graph(seed, true);
         check_numerics(&g, &bufs, seed);
+    }
+
+    // The structural fingerprint plan caches key on: renaming buffers
+    // or applying any dependency-respecting shuffle leaves both the
+    // shape hash and exact shape equality intact, while adding an op,
+    // growing a buffer, or moving an operand rectangle breaks both
+    // (the negative cases a memo must treat as misses).
+    #[test]
+    fn shape_hash_erases_names_and_recording_order(seed in 0u64..10_000) {
+        let (g1, _) = random_graph(seed, true);
+        let h = g1.shape_hash();
+        let shuf = shuffled(&g1, seed);
+        let ren = renamed(&g1);
+        prop_assert_eq!(shuf.shape_hash(), h);
+        prop_assert!(shuf.shape_eq(&g1));
+        prop_assert_eq!(ren.shape_hash(), h);
+        prop_assert!(ren.shape_eq(&g1));
+
+        // One extra (duplicated) op: different stream, must miss.
+        let mut extra = renamed(&g1);
+        let last = *g1.nodes().last().unwrap();
+        extra.record(last.op, last.a, last.b, last.out);
+        prop_assert_ne!(extra.shape_hash(), h);
+        prop_assert!(!extra.shape_eq(&g1));
+
+        // A buffer dimension change: same nodes, different shape.
+        let mut grown = OpGraph::new();
+        let _ = (
+            grown.buffer("A", DIM, DIM),
+            grown.buffer("B", DIM, DIM),
+            grown.buffer("C", DIM + 16, DIM),
+            grown.buffer("D", DIM, DIM),
+        );
+        for Node { op, a, b, out, .. } in g1.nodes() {
+            grown.record(*op, *a, *b, *out);
+        }
+        prop_assert_ne!(grown.shape_hash(), h);
+        prop_assert!(!grown.shape_eq(&g1));
+
+        // One operand rectangle moved: hazard structure differs.
+        let (mut moved, _) = fresh_graph();
+        for (i, Node { op, a, b, out, .. }) in g1.nodes().iter().enumerate() {
+            let a2 = if i == 0 {
+                OperandRef::new(a.buf, 16 - a.r0, a.c0, a.rows, a.cols)
+            } else {
+                *a
+            };
+            moved.record(*op, a2, *b, *out);
+        }
+        prop_assert_ne!(moved.shape_hash(), h);
+        prop_assert!(!moved.shape_eq(&g1));
+    }
+
+    // A Schedule compiles once (first run) and the compiled plan re-runs
+    // against rebound same-shape buffers: element- and Stats-identical
+    // to a freshly planned run on the new data, and deterministic when
+    // re-run on the original data.
+    #[test]
+    fn compiled_plan_rerun_on_rebound_buffers_is_identical(seed in 0u64..10_000) {
+        let (g, bufs) = random_graph(seed, true);
+        let unit = ModelTensorUnit::new(SQRT_M * SQRT_M, 13);
+        let plan = Scheduler::new().plan(&g, &unit);
+
+        let run = |plan: &tcu_sched::Schedule, data_seed: i64| {
+            let a = pseudo(DIM, DIM, data_seed);
+            let b = pseudo(DIM, DIM, data_seed + 1);
+            let mut mach = TcuMachine::model(SQRT_M * SQRT_M, 13);
+            mach.executor_mut().enable_pack_cache(16);
+            let (mut c, mut d) = (
+                Matrix::<i64>::zeros(DIM, DIM),
+                Matrix::<i64>::zeros(DIM, DIM),
+            );
+            let mut env = ExecEnv::new(&g);
+            env.bind_input(bufs.a, a.view());
+            env.bind_input(bufs.b, b.view());
+            env.bind_output(bufs.c, c.view_mut());
+            env.bind_output(bufs.d, d.view_mut());
+            plan.run(&mut mach, &mut env);
+            drop(env);
+            (c, d, mach.stats().clone())
+        };
+
+        let first = run(&plan, seed as i64);
+        // Rebind to different same-shape data: the cached compiled form
+        // must compute exactly what a fresh plan computes.
+        let rerun = run(&plan, seed as i64 + 4096);
+        let fresh_plan = Scheduler::new().plan(&g, &unit);
+        let fresh = run(&fresh_plan, seed as i64 + 4096);
+        prop_assert_eq!(&rerun.0, &fresh.0);
+        prop_assert_eq!(&rerun.1, &fresh.1);
+        prop_assert_eq!(&rerun.2, &fresh.2);
+        // And re-running on the original data reproduces the first run.
+        let again = run(&plan, seed as i64);
+        prop_assert_eq!(&again.0, &first.0);
+        prop_assert_eq!(&again.1, &first.1);
+        prop_assert_eq!(&again.2, &first.2);
     }
 }

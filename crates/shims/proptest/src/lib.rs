@@ -19,7 +19,9 @@ pub use rand as __rand;
 
 /// Everything a property-test module needs in scope.
 pub mod prelude {
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
 }
 
 /// Per-test configuration (only the case count is honoured).
@@ -228,6 +230,12 @@ macro_rules! prop_assert {
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a name the proptest dialect expects.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
 }
 
 #[cfg(test)]
