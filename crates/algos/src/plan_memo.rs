@@ -106,6 +106,29 @@ thread_local! {
         hits: 0, misses: 0, shared: 0, plan_ns: 0 }) };
 }
 
+/// Telemetry: memo outcomes as instant events on the scheduler lane of
+/// the process-global recorder, when `TCU_TRACE_OUT` is set. The
+/// counters in [`PlanCacheStats`] are authoritative either way; this
+/// only places the hits and misses on the timeline.
+fn note_memo(hit: bool) {
+    if let Some(rec) = tcu_obs::env_recorder() {
+        use tcu_obs::Recorder as _;
+        let t = rec.now_ns();
+        rec.record(
+            tcu_obs::Lane::Scheduler,
+            tcu_obs::SpanEvent {
+                kind: if hit {
+                    tcu_obs::EventKind::MemoHit
+                } else {
+                    tcu_obs::EventKind::MemoMiss
+                },
+                t_ns: t,
+                dur_ns: 0,
+            },
+        );
+    }
+}
+
 /// This thread's plan-memo counters since start (or the last
 /// [`reset_plan_cache_stats`]).
 #[must_use]
@@ -151,6 +174,7 @@ pub fn plan_cached<U: TensorUnit + 'static>(
     });
     if let Some(hit) = param_hit {
         STATS.with(|s| s.borrow_mut().hits += 1);
+        note_memo(true);
         return hit;
     }
 
@@ -179,6 +203,7 @@ pub fn plan_cached<U: TensorUnit + 'static>(
                 s.hits += 1;
                 s.shared += 1;
             });
+            note_memo(true);
             hit
         }
         None => {
@@ -190,6 +215,7 @@ pub fn plan_cached<U: TensorUnit + 'static>(
                 s.misses += 1;
                 s.plan_ns += spent;
             });
+            note_memo(false);
             let entry = Rc::new(PlannedGraph { graph, bufs, plan });
             STRUCT_MEMO.with(|memo| {
                 let mut memo = memo.borrow_mut();

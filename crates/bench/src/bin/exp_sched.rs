@@ -142,6 +142,14 @@ struct Case {
     pack_misses: u64,
     packed_bytes: u64,
     memo: MemoCost,
+    /// Longest cost-weighted hazard chain of the scheduled plan — the
+    /// lower bound no unit count can beat (0 when the case's plan lives
+    /// inside an algos entry point and is not held here).
+    critical_path: u64,
+    /// `max(critical_path, ⌈work/units⌉) / makespan` of the plan: 1.0
+    /// means the LPT waves hit the structural lower bound (0.0 when the
+    /// plan is not held here).
+    sched_efficiency: f64,
 }
 
 impl Case {
@@ -257,6 +265,8 @@ fn bench_packcache(d: usize, quick: bool) -> Case {
         pack_misses: cache.misses,
         packed_bytes: cache.packed_bytes,
         memo: MemoCost::default(),
+        critical_path: plan.critical_path(),
+        sched_efficiency: plan.sched_efficiency(),
     }
 }
 
@@ -344,6 +354,8 @@ fn bench_coalesce(d: usize, quick: bool) -> Case {
         pack_misses: 0,
         packed_bytes: 0,
         memo: MemoCost::default(),
+        critical_path: plan_coal.critical_path(),
+        sched_efficiency: plan_coal.sched_efficiency(),
     }
 }
 
@@ -404,6 +416,8 @@ fn bench_plan(quick: bool) -> Case {
         pack_misses: 0,
         packed_bytes: 0,
         memo: MemoCost::default(),
+        critical_path: plan_coal.critical_path(),
+        sched_efficiency: plan_coal.sched_efficiency(),
     }
 }
 
@@ -465,6 +479,8 @@ fn bench_gauss(d: usize, quick: bool) -> Case {
         pack_misses: cache.misses,
         packed_bytes: cache.packed_bytes,
         memo,
+        critical_path: 0,
+        sched_efficiency: 0.0,
     }
 }
 
@@ -522,6 +538,8 @@ fn bench_closure(n: usize, quick: bool) -> Case {
         pack_misses: 0,
         packed_bytes: 0,
         memo,
+        critical_path: 0,
+        sched_efficiency: 0.0,
     }
 }
 
@@ -585,6 +603,8 @@ fn bench_strassen(d: usize, quick: bool) -> Case {
         pack_misses: 0,
         packed_bytes: 0,
         memo,
+        critical_path: 0,
+        sched_efficiency: 0.0,
     }
 }
 
@@ -671,6 +691,8 @@ fn bench_parwave(d: usize, units: usize, quick: bool) -> Case {
         pack_misses: 0,
         packed_bytes: 0,
         memo: MemoCost::default(),
+        critical_path: plan_par.critical_path(),
+        sched_efficiency: plan_par.sched_efficiency(),
     }
 }
 
@@ -778,6 +800,8 @@ fn bench_faults(d: usize, units: usize, rate: u32, quick: bool) -> Case {
         pack_misses: 0,
         packed_bytes: 0,
         memo: MemoCost::default(),
+        critical_path: plan.critical_path(),
+        sched_efficiency: plan.sched_efficiency(),
     }
 }
 
@@ -850,10 +874,21 @@ fn main() {
     }
     table.print();
 
+    // Run metadata, mirrored into the Perfetto trace header when
+    // `TCU_TRACE_OUT` is set (see the flush below): executor worker
+    // threads, the headline pack-cache capacity, and total plan-memo
+    // hits across every case.
+    let host_threads = tcu_core::HostExecutor::new().threads();
+    let pack_cache_cap = tcu_core::pack_cache_capacity((d_block, d_block), SQRT_M, 1);
+    let memo_hits: u64 = cases.iter().map(|c| c.memo.plan_cache_hits).sum();
+
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"sched\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"available_parallelism\": {threads},\n"));
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str(&format!("  \"pack_cache_cap\": {pack_cache_cap},\n"));
+    json.push_str(&format!("  \"memo_hits\": {memo_hits},\n"));
     json.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         json.push_str("    {");
@@ -867,7 +902,8 @@ fn main() {
              \"sched_invocations\": {}, \"eager_sim_time\": {}, \
              \"sched_sim_time\": {}, \"speedup_sim\": {:.3}, \
              \"pack_lookups\": {}, \"pack_misses\": {}, \
-             \"packed_bytes\": {}, \"pack_ratio\": {:.3}",
+             \"packed_bytes\": {}, \"pack_ratio\": {:.3}, \
+             \"critical_path\": {}, \"sched_efficiency\": {:.4}",
             c.name,
             c.d,
             c.sqrt_m,
@@ -891,6 +927,8 @@ fn main() {
             c.pack_misses,
             c.packed_bytes,
             c.pack_ratio(),
+            c.critical_path,
+            c.sched_efficiency,
         ));
         json.push('}');
         if i + 1 < cases.len() {
@@ -901,4 +939,21 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_sched.json");
     println!("wrote {out_path}");
+
+    // When `TCU_TRACE_OUT=<path>` is set, every machine this process
+    // built recorded into the global sink; write the Perfetto trace
+    // with the same run metadata the JSON header carries.
+    let meta = tcu_obs::RunMeta {
+        units: Some(cases.iter().map(|c| c.threads as u64).max().unwrap_or(1)),
+        host_threads: Some(host_threads as u64),
+        ci_cores: std::env::var("CI_CORES").ok().and_then(|v| v.parse().ok()),
+        pack_cache_capacity: Some(pack_cache_cap as u64),
+        memo_hits: Some(memo_hits),
+        extra: vec![("bench".to_string(), "sched".to_string())],
+    };
+    match tcu_obs::flush_env_trace(&meta) {
+        Ok(Some(path)) => println!("wrote {path}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("trace flush failed: {e}"),
+    }
 }

@@ -48,6 +48,29 @@ pub fn report_stats<U: tcu_core::TensorUnit, E: tcu_core::Executor>(
 ) {
     if stats_enabled() {
         println!("[stats] {label}: {}", mach.stats_summary());
+        if let Some(t) = mach.trace_log() {
+            println!("[stats] {label}: {}", t.summary());
+        }
+    }
+}
+
+/// [`report_stats`] for a [`tcu_core::ParallelTcuMachine`]: the summed
+/// per-unit [`tcu_core::StatsSummary`], the machine's
+/// [`tcu_core::FaultStats`] when any recovery happened, and the trace
+/// summary when tracing is on — so pack-cache and fault lines print in
+/// one uniform format for every experiment case.
+pub fn report_parallel_stats<U: tcu_core::TensorUnit, E: tcu_core::Executor>(
+    label: &str,
+    mach: &tcu_core::ParallelTcuMachine<U, E>,
+) {
+    if stats_enabled() {
+        println!("[stats] {label}: {}", mach.stats_summary());
+        if mach.fault_stats().any() {
+            println!("[stats] {label}: {}", mach.fault_stats());
+        }
+        if let Some(t) = mach.trace_log() {
+            println!("[stats] {label}: {}", t.summary());
+        }
     }
 }
 

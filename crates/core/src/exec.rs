@@ -101,6 +101,18 @@ pub trait Executor: Send {
     fn cache_stats(&self) -> Option<PackCacheStats> {
         None
     }
+
+    /// Attach an execution-telemetry recorder, identifying this executor
+    /// as tensor unit `unit` in the recorded lanes. Backends with
+    /// internal events worth a timeline (the host executor's pack-cache
+    /// traffic) store the pair and emit onto `Lane::Unit(unit)`; the
+    /// default ignores it, so recording stays strictly opt-in and every
+    /// executor works unattached. Recording must be unobservable:
+    /// attaching may never change results, native costs, or
+    /// [`Self::cache_stats`].
+    fn attach_recorder(&mut self, recorder: Arc<dyn tcu_obs::Recorder>, unit: u32) {
+        let _ = (recorder, unit);
+    }
 }
 
 /// Derived pack-cache capacity for a blocked flow whose left operands
@@ -265,6 +277,9 @@ impl PackCache {
 pub struct HostExecutor {
     threads: usize,
     cache: Option<PackCache>,
+    /// Telemetry sink plus the unit id this executor records as; set by
+    /// [`Executor::attach_recorder`], never consulted unless present.
+    recorder: Option<(Arc<dyn tcu_obs::Recorder>, u32)>,
 }
 
 impl HostExecutor {
@@ -279,6 +294,7 @@ impl HostExecutor {
         Self {
             threads,
             cache: None,
+            recorder: None,
         }
     }
 
@@ -288,6 +304,7 @@ impl HostExecutor {
         Self {
             threads: threads.max(1),
             cache: None,
+            recorder: None,
         }
     }
 
@@ -368,7 +385,34 @@ impl Executor for HostExecutor {
                 // The packed band runs serially; that's bit-identical
                 // to every threaded band split, so nothing observable
                 // changes — only the pack traffic.
+                let before = cache.stats;
+                let start = self.recorder.as_ref().map(|(r, _)| r.now_ns());
                 let packed = cache.get_or_pack(id, a);
+                if let (Some((rec, unit)), Some(t0)) = (self.recorder.as_ref(), start) {
+                    let after = cache.stats;
+                    rec.record(
+                        tcu_obs::Lane::Unit(*unit),
+                        tcu_obs::SpanEvent {
+                            kind: tcu_obs::EventKind::PackLookup {
+                                unit: *unit,
+                                hit: after.hits > before.hits,
+                            },
+                            t_ns: t0,
+                            dur_ns: rec.now_ns().saturating_sub(t0),
+                        },
+                    );
+                    if after.evictions > before.evictions {
+                        let t = rec.now_ns();
+                        rec.record(
+                            tcu_obs::Lane::Unit(*unit),
+                            tcu_obs::SpanEvent {
+                                kind: tcu_obs::EventKind::PackEvict { unit: *unit },
+                                t_ns: t,
+                                dur_ns: 0,
+                            },
+                        );
+                    }
+                }
                 kernels::matmul_packed_into(out, &packed, b, op.accumulate);
                 (op.rows * op.inner * op.width) as u64
             }
@@ -378,6 +422,10 @@ impl Executor for HostExecutor {
 
     fn cache_stats(&self) -> Option<PackCacheStats> {
         self.pack_cache_stats()
+    }
+
+    fn attach_recorder(&mut self, recorder: Arc<dyn tcu_obs::Recorder>, unit: u32) {
+        self.recorder = Some((recorder, unit));
     }
 }
 

@@ -275,6 +275,12 @@ impl<E: Executor> Executor for FaultyExecutor<E> {
     fn cache_stats(&self) -> Option<PackCacheStats> {
         self.inner.cache_stats()
     }
+
+    fn attach_recorder(&mut self, recorder: std::sync::Arc<dyn tcu_obs::Recorder>, unit: u32) {
+        // Injection wraps, never replaces, the backend: telemetry flows
+        // to the real executor so cache events keep their unit lane.
+        self.inner.attach_recorder(recorder, unit);
+    }
 }
 
 /// Give every unit's cloned [`FaultyExecutor`] its own unit id, so each
@@ -332,6 +338,33 @@ pub struct FaultStats {
     /// Extra simulated makespan of re-partitioned work (the LPT
     /// makespan of each requeued batch over the survivors).
     pub recovery_makespan: u64,
+}
+
+impl FaultStats {
+    /// Whether any recovery happened (all counters zero otherwise).
+    #[must_use]
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
+}
+
+impl std::fmt::Display for FaultStats {
+    /// One diagnostic line mirroring [`crate::StatsSummary`]'s shape,
+    /// so `--stats` output prints recovery uniformly for every case.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "faults {} transient, {} permanent; retries {} (backoff {}); \
+             quarantined {} units, requeued {} ops (recovery makespan {})",
+            self.transient_faults,
+            self.permanent_faults,
+            self.retries,
+            self.backoff_time,
+            self.quarantined_units,
+            self.requeued_ops,
+            self.recovery_makespan,
+        )
+    }
 }
 
 /// Suppress the default panic-hook output for [`InjectedFault`] panics

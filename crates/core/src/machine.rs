@@ -26,6 +26,7 @@ use crate::exec::{Executor, HostExecutor, OperandId};
 use crate::op::{PadPolicy, TensorOp};
 use crate::tensor_unit::{ModelTensorUnit, TensorUnit, WeakTensorUnit};
 use crate::trace::TraceLog;
+use std::sync::Arc;
 use tcu_linalg::{Matrix, MatrixView, MatrixViewMut, Scalar};
 
 /// A simulated RAM with an attached tensor unit, metering simulated time.
@@ -43,6 +44,11 @@ pub struct TcuMachine<U: TensorUnit, E: Executor = HostExecutor> {
     /// accounting surface) and not reconstructed by [`Self::replay`],
     /// which only sees per-invocation events.
     issued_kinds: [u64; 4],
+    /// Execution-telemetry sink (`tcu-obs`), `None` unless opted in via
+    /// [`Self::enable_recorder`] or `TCU_TRACE_OUT`. Strictly an
+    /// observer: it sees wall-clock and already-charged quantities, so
+    /// `Stats`/trace/results are identical with or without it.
+    recorder: Option<Arc<dyn tcu_obs::Recorder>>,
 }
 
 impl TcuMachine<ModelTensorUnit> {
@@ -98,13 +104,37 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
     /// or [`crate::ReplayExecutor`] for accounting-only runs.
     #[must_use]
     pub fn with_executor(unit: U, exec: E) -> Self {
-        Self {
+        let mut mach = Self {
             unit,
             exec,
             stats: Stats::default(),
             trace: None,
             issued_kinds: [0; 4],
+            recorder: None,
+        };
+        // `TCU_TRACE_OUT=<path>` turns tracing on process-wide with no
+        // caller changes: every machine built after the first check
+        // feeds the global sink.
+        if let Some(sink) = tcu_obs::env_recorder() {
+            mach.enable_recorder(sink);
         }
+        mach
+    }
+
+    /// Attach an execution-telemetry recorder: per-op execute spans
+    /// land on the recorder's unit-0 lane (a serial machine is one
+    /// unit), and the executor gets the chance to emit its own events
+    /// (pack-cache traffic). Purely observational — simulated time,
+    /// `Stats`, traces, and results are unchanged.
+    pub fn enable_recorder(&mut self, recorder: Arc<dyn tcu_obs::Recorder>) {
+        self.exec.attach_recorder(Arc::clone(&recorder), 0);
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached telemetry recorder, if any.
+    #[must_use]
+    pub fn recorder_handle(&self) -> Option<Arc<dyn tcu_obs::Recorder>> {
+        self.recorder.clone()
     }
 
     /// The numeric backend.
@@ -215,6 +245,13 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
         self.trace.take().unwrap_or_default()
     }
 
+    /// The trace recorded so far, without stopping or consuming it
+    /// (`None` unless [`Self::enable_trace`] was called).
+    #[must_use]
+    pub fn trace_log(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
     /// The single tensor-instruction entry point: validate `op` against
     /// the unit and the operand views, charge it under the costing
     /// policy (recording one trace event per hardware invocation), and
@@ -278,8 +315,23 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
             (op.rows, op.width),
             "matmul_acc: output shape mismatch"
         );
-        self.charge_op(&op);
+        let sim_cost = self.charge_op(&op);
+        let start = self.recorder.as_ref().map(|r| r.now_ns());
         let _ = self.exec.execute_tagged(&op, a, a_id, b, out);
+        if let (Some(rec), Some(t0)) = (self.recorder.as_ref(), start) {
+            rec.record(
+                tcu_obs::Lane::Unit(0),
+                tcu_obs::SpanEvent {
+                    kind: tcu_obs::EventKind::OpExec {
+                        unit: 0,
+                        rows: op.charge_rows(self.unit.sqrt_m()) as u64,
+                        sim_cost,
+                    },
+                    t_ns: t0,
+                    dur_ns: rec.now_ns().saturating_sub(t0),
+                },
+            );
+        }
     }
 
     /// [`Self::issue_into`] allocating the `rows × width` product
@@ -400,7 +452,8 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
     /// Meter one logical op: one native invocation on units with tall
     /// support, `⌈n/√m⌉` square invocations otherwise. Trace events
     /// record the *per-invocation* descriptor (rows as charged).
-    fn charge_op(&mut self, op: &TensorOp) {
+    /// Returns the total simulated cost charged, for telemetry.
+    fn charge_op(&mut self, op: &TensorOp) -> u64 {
         let kind = match (op.pad, op.accumulate) {
             (PadPolicy::Strict, false) => 0,
             (PadPolicy::Strict, true) => 1,
@@ -410,10 +463,12 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
         self.issued_kinds[kind] += 1;
         let s = self.sqrt_m();
         let n = op.charge_rows(s);
+        let mut charged = 0u64;
         if self.unit.supports_tall() {
             let cost = self.unit.invocation_cost(n);
             let lat = self.unit.invocation_latency(n);
             self.stats.record_tensor(n as u64, cost, lat);
+            charged += cost;
             if let Some(t) = &mut self.trace {
                 t.push_tensor(TensorOp { rows: n, ..*op }, cost);
             }
@@ -423,11 +478,13 @@ impl<U: TensorUnit, E: Executor> TcuMachine<U, E> {
                 let cost = self.unit.invocation_cost(s);
                 let lat = self.unit.invocation_latency(s);
                 self.stats.record_tensor(s as u64, cost, lat);
+                charged += cost;
                 if let Some(t) = &mut self.trace {
                     t.push_tensor(TensorOp { rows: s, ..*op }, cost);
                 }
             }
         }
+        charged
     }
 }
 

@@ -18,12 +18,13 @@
 //! backend as the serial machine, so there is exactly one
 //! multiplication code path in the workspace.
 
-use crate::cost::Stats;
-use crate::exec::{Executor, HostExecutor, OperandId};
+use crate::cost::{Stats, StatsSummary};
+use crate::exec::{Executor, HostExecutor, OperandId, PackCacheStats};
 use crate::fault::FaultStats;
 use crate::op::TensorOp;
 use crate::tensor_unit::TensorUnit;
 use crate::trace::TraceLog;
+use std::sync::Arc;
 use tcu_linalg::{Matrix, MatrixView, MatrixViewMut, Scalar};
 
 /// A TCU machine with `p` identical tensor units.
@@ -48,6 +49,10 @@ pub struct ParallelTcuMachine<U: TensorUnit, E: Executor = HostExecutor> {
     /// a fault-free run would not. Kept outside `stats` so `Stats` stay
     /// byte-identical between a recovered run and a fault-free one.
     fault_stats: FaultStats,
+    /// Execution-telemetry sink (`tcu-obs`), `None` unless opted in via
+    /// [`Self::enable_recorder`] or `TCU_TRACE_OUT`. Purely an observer
+    /// of wall-clock and already-charged quantities.
+    recorder: Option<Arc<dyn tcu_obs::Recorder>>,
 }
 
 impl<U: TensorUnit> ParallelTcuMachine<U> {
@@ -87,14 +92,40 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
         E: Clone,
     {
         assert!(p >= 1, "need at least one unit");
-        Self {
+        let mut mach = Self {
             unit,
             execs: vec![exec; p],
             stats: Stats::default(),
             trace: None,
             makespan_time: 0,
             fault_stats: FaultStats::default(),
+            recorder: None,
+        };
+        // `TCU_TRACE_OUT=<path>` turns tracing on process-wide with no
+        // caller changes.
+        if let Some(sink) = tcu_obs::env_recorder() {
+            mach.enable_recorder(sink);
         }
+        mach
+    }
+
+    /// Attach an execution-telemetry recorder: every unit's executor is
+    /// told its unit id (so pack-cache events land on the right lane),
+    /// and the fault-recovery annotations gain scheduler-lane instant
+    /// events. Purely observational — simulated time, `Stats`, traces,
+    /// and results are unchanged with or without it.
+    pub fn enable_recorder(&mut self, recorder: Arc<dyn tcu_obs::Recorder>) {
+        for (u, e) in self.execs.iter_mut().enumerate() {
+            e.attach_recorder(Arc::clone(&recorder), u as u32);
+        }
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached recorder, if any — the wave driver clones this so
+    /// its worker threads can stamp per-op execute spans.
+    #[must_use]
+    pub fn recorder_handle(&self) -> Option<Arc<dyn tcu_obs::Recorder>> {
+        self.recorder.clone()
     }
 
     /// Unit `u`'s numeric backend.
@@ -167,6 +198,13 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
         self.trace.take().unwrap_or_default()
     }
 
+    /// The trace recorded so far, without stopping or consuming it
+    /// (`None` unless [`Self::enable_trace`] was called).
+    #[must_use]
+    pub fn trace_log(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
     /// Simulated wall-clock time: serial CPU work plus the makespan of
     /// every tensor batch.
     #[must_use]
@@ -184,6 +222,36 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
     #[must_use]
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// One-look digest of the run so far, in the serial machine's
+    /// [`StatsSummary`] shape: invocation/row/time counters from
+    /// `Stats`, wall-clock from [`Self::time`], and the per-unit pack
+    /// caches summed into one line (`None` when no unit keeps a cache).
+    /// The parallel issue paths take pre-lowered descriptors, so the
+    /// logical-op kind breakdown is not tracked and reads zero.
+    #[must_use]
+    pub fn stats_summary(&self) -> StatsSummary {
+        let mut pack: Option<PackCacheStats> = None;
+        for e in &self.execs {
+            if let Some(s) = e.cache_stats() {
+                let agg = pack.get_or_insert_with(PackCacheStats::default);
+                agg.lookups += s.lookups;
+                agg.hits += s.hits;
+                agg.misses += s.misses;
+                agg.packed_bytes += s.packed_bytes;
+                agg.evictions += s.evictions;
+            }
+        }
+        StatsSummary {
+            invocations: self.stats.tensor_calls,
+            rows_charged: self.stats.tensor_rows,
+            tensor_time: self.stats.tensor_time,
+            scalar_ops: self.stats.scalar_ops,
+            time: self.time(),
+            pack_cache: pack,
+            ..StatsSummary::default()
+        }
     }
 
     /// The hardware invocations one logical op decomposes into: a single
@@ -332,6 +400,7 @@ impl<U: TensorUnit, E: Executor> ParallelTcuMachine<U, E> {
                 trace: &mut self.trace,
                 makespan_time: &mut self.makespan_time,
                 fault_stats: &mut self.fault_stats,
+                recorder: self.recorder.clone(),
             },
             &mut self.execs,
         )
@@ -446,6 +515,9 @@ pub struct WaveAccountant<'m, U: TensorUnit> {
     trace: &'m mut Option<TraceLog>,
     makespan_time: &'m mut u64,
     fault_stats: &'m mut FaultStats,
+    /// Cloned from the machine: fault/retry/quarantine annotations gain
+    /// scheduler-lane instant events when a recorder is attached.
+    recorder: Option<Arc<dyn tcu_obs::Recorder>>,
 }
 
 impl<U: TensorUnit> WaveAccountant<'_, U> {
@@ -461,6 +533,41 @@ impl<U: TensorUnit> WaveAccountant<'_, U> {
     #[must_use]
     pub fn unit(&self) -> &U {
         self.unit
+    }
+
+    /// The total simulated cost one scheduled op will be charged (the
+    /// sum over its hardware invocations) — what
+    /// [`Self::charge_wave_op`] adds to `tensor_time`, computed without
+    /// charging. The wave driver stamps it into telemetry so per-op
+    /// execute spans carry both wall ns and model cost.
+    ///
+    /// # Panics
+    /// Panics if `op` violates the model's shape contract.
+    #[must_use]
+    pub fn op_cost(&self, op: &TensorOp) -> u64 {
+        let s = self.sqrt_m();
+        op.validate(s);
+        let n = op.charge_rows(s);
+        if self.unit.supports_tall() {
+            self.unit.invocation_cost(n)
+        } else {
+            n.div_ceil(s) as u64 * self.unit.invocation_cost(s)
+        }
+    }
+
+    /// Emit an instant scheduler-lane telemetry event, when recording.
+    fn record_instant(&self, kind: tcu_obs::EventKind) {
+        if let Some(rec) = &self.recorder {
+            let t = rec.now_ns();
+            rec.record(
+                tcu_obs::Lane::Scheduler,
+                tcu_obs::SpanEvent {
+                    kind,
+                    t_ns: t,
+                    dur_ns: 0,
+                },
+            );
+        }
     }
 
     /// See [`ParallelTcuMachine::charge_wave_op`].
@@ -501,6 +608,10 @@ impl<U: TensorUnit> WaveAccountant<'_, U> {
         if let Some(t) = self.trace.as_mut() {
             t.push_fault(unit, transient);
         }
+        self.record_instant(tcu_obs::EventKind::Fault {
+            unit: unit as u32,
+            transient,
+        });
     }
 
     /// See [`ParallelTcuMachine::record_retry`].
@@ -515,6 +626,11 @@ impl<U: TensorUnit> WaveAccountant<'_, U> {
         if let Some(t) = self.trace.as_mut() {
             t.push_retry(unit, attempt, backoff);
         }
+        self.record_instant(tcu_obs::EventKind::Retry {
+            unit: unit as u32,
+            attempt,
+            backoff,
+        });
         backoff
     }
 
@@ -525,6 +641,10 @@ impl<U: TensorUnit> WaveAccountant<'_, U> {
         if let Some(t) = self.trace.as_mut() {
             t.push_quarantine(unit, requeued);
         }
+        self.record_instant(tcu_obs::EventKind::Quarantine {
+            unit: unit as u32,
+            requeued: requeued as u64,
+        });
     }
 
     /// See [`ParallelTcuMachine::charge_recovery`].

@@ -76,6 +76,47 @@ impl TraceEvent {
     }
 }
 
+impl std::fmt::Display for TraceEvent {
+    /// One human-readable line per event, shared by
+    /// [`TraceLog::summary`] and the experiments' `--stats` output so
+    /// fault annotations print identically everywhere.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Self::Tensor { op, cost } => write!(
+                f,
+                "tensor {}x{}·{}x{}{}{} (cost {cost})",
+                op.rows,
+                op.inner,
+                op.inner,
+                op.width,
+                if op.accumulate { " +acc" } else { "" },
+                if matches!(op.pad, crate::op::PadPolicy::ZeroPad) {
+                    " padded"
+                } else {
+                    ""
+                },
+            ),
+            Self::Scalar { ops } => write!(f, "scalar x{ops}"),
+            Self::Fault { unit, transient } => write!(
+                f,
+                "fault on unit {unit} ({})",
+                if transient { "transient" } else { "permanent" }
+            ),
+            Self::Retry {
+                unit,
+                attempt,
+                backoff,
+            } => write!(
+                f,
+                "retry on unit {unit}, attempt {attempt} (backoff {backoff})"
+            ),
+            Self::Quarantine { unit, requeued } => {
+                write!(f, "quarantine unit {unit}, requeued {requeued} ops")
+            }
+        }
+    }
+}
+
 /// An append-only log of [`TraceEvent`]s with consecutive scalar segments
 /// coalesced, so trace size is proportional to the number of tensor calls
 /// rather than to simulated time.
@@ -213,6 +254,30 @@ impl TraceLog {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Multi-line pretty-print of the log: one aggregate work line
+    /// (invocations, rows, cost, scalar ops), then — when recovery
+    /// happened — each fault annotation on its own indented line via
+    /// [`TraceEvent`]'s `Display`. The uniform shape every `--stats`
+    /// printout routes through.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "trace: {} invocations, {} rows, tensor cost {}, scalar ops {}",
+            self.tensor_calls(),
+            self.tensor_rows(),
+            self.tensor_cost(),
+            self.scalar_ops(),
+        );
+        let faults = self.fault_events();
+        if !faults.is_empty() {
+            out.push_str(&format!("; {} recovery events:", faults.len()));
+            for ev in faults {
+                out.push_str(&format!("\n  {ev}"));
+            }
+        }
+        out
     }
 
     /// FNV-1a digest of the event stream: event kind tag plus its

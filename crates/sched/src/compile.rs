@@ -41,6 +41,7 @@ use crate::scheduler::Schedule;
 use std::collections::HashMap;
 use tcu_core::{TcuError, TensorOp};
 use tcu_linalg::Scalar;
+use tcu_obs::Recorder as _;
 
 /// Identity of one read snapshot: buffer, rectangle, content version.
 type ReadKey = (usize, usize, usize, usize, usize, u32);
@@ -318,7 +319,23 @@ impl Schedule {
         if let Some(p) = self.compiled.get() {
             return Ok(p);
         }
+        // Telemetry: the lowering itself is a scheduler-lane span (only
+        // cold compiles land here — cache hits return above).
+        let rec = tcu_obs::env_recorder();
+        let start = rec.as_ref().map(|r| r.now_ns());
         let plan = compile_schedule(self)?;
+        if let (Some(rec), Some(t0)) = (rec, start) {
+            rec.record(
+                tcu_obs::Lane::Scheduler,
+                tcu_obs::SpanEvent {
+                    kind: tcu_obs::EventKind::Compile {
+                        ops: plan.ops.len() as u64,
+                    },
+                    t_ns: t0,
+                    dur_ns: rec.now_ns().saturating_sub(t0),
+                },
+            );
+        }
         Ok(self.compiled.get_or_init(|| plan))
     }
 

@@ -115,6 +115,7 @@ pub struct ExecEnv<'a, T: Scalar> {
     written: Vec<bool>,
     inputs: Vec<Option<MatrixView<'a, T>>>,
     outputs: Vec<Option<MatrixViewMut<'a, T>>>,
+    recorder: Option<std::sync::Arc<dyn tcu_obs::Recorder>>,
 }
 
 impl<'a, T: Scalar> ExecEnv<'a, T> {
@@ -133,7 +134,17 @@ impl<'a, T: Scalar> ExecEnv<'a, T> {
             outputs: shapes.iter().map(|_| None).collect(),
             written,
             shapes,
+            recorder: None,
         }
+    }
+
+    /// Attach an execution-telemetry recorder to this environment's
+    /// runs: the driver forwards it to the machine (per-op execute
+    /// spans, pack-cache traffic, fault annotations) and emits its own
+    /// wave/stage/merge spans through it. Purely observational —
+    /// results, `Stats`, traces, and simulated time are unchanged.
+    pub fn enable_recorder(&mut self, recorder: std::sync::Arc<dyn tcu_obs::Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// The environment's cache-key epoch (diagnostic).
@@ -337,6 +348,9 @@ impl Schedule {
             });
         }
         let plan = self.compiled()?;
+        if let (Some(rec), None) = (env.recorder.clone(), mach.recorder_handle()) {
+            mach.enable_recorder(rec);
+        }
         let stamps = tag_stamps(env);
         let mut arena: Vec<Option<Matrix<T>>> = (0..plan.slots).map(|_| None).collect();
         let mut next_stage = 0usize;
@@ -497,6 +511,15 @@ impl Schedule {
             });
         }
         let plan = self.compiled()?;
+        // Telemetry: the environment's recorder (if the machine has
+        // none of its own) is attached to the machine first, so worker
+        // executors emit pack-cache traffic and the wave accountant
+        // emits fault annotations through it. One handle then serves
+        // the driver's own wave/stage/merge spans.
+        if let (Some(rec), None) = (env.recorder.clone(), mach.recorder_handle()) {
+            mach.enable_recorder(rec);
+        }
+        let recorder = mach.recorder_handle();
         let stamps = tag_stamps(env);
         let units = mach.units();
         let max_attempts = policy.max_attempts.max(1);
@@ -545,12 +568,15 @@ impl Schedule {
             let mut task_tx = Vec::with_capacity(units);
             let mut result_rx = Vec::with_capacity(units);
             let mut handles = Vec::with_capacity(units);
-            for exec in execs.iter_mut() {
+            for (u, exec) in execs.iter_mut().enumerate() {
                 let (ttx, trx) = std::sync::mpsc::channel();
                 let (rtx, rrx) = std::sync::mpsc::channel();
+                let rec = recorder.clone();
                 handles.push(scope.spawn(move || {
                     while let Ok((items, max)) = trx.recv() {
-                        if rtx.send(run_items_contained(exec, items, max)).is_err() {
+                        let outcome =
+                            run_items_contained(exec, items, max, rec.as_deref(), u as u32);
+                        if rtx.send(outcome).is_err() {
                             break;
                         }
                     }
@@ -562,6 +588,8 @@ impl Schedule {
             let run_result = (|| -> Result<(), TcuError> {
                 let mut next_stage = 0usize;
                 for (wave, &(wstart, wend)) in plan.wave_ranges.iter().enumerate() {
+                    let rec = recorder.as_deref();
+                    let wave_t0 = rec.map(tcu_obs::Recorder::now_ns);
                     let wave_nodes = &self.nodes()[wstart..wend];
                     if cfg!(debug_assertions) {
                         assert_wave_outputs_disjoint(wave_nodes);
@@ -572,6 +600,8 @@ impl Schedule {
                     // to per-op lazy staging: a region's bytes are
                     // frozen between its last `gen` write and its last
                     // `gen` reader).
+                    let stage_t0 = rec.map(tcu_obs::Recorder::now_ns);
+                    let mut staged = 0u32;
                     while next_stage < plan.par_stages.len()
                         && (plan.par_stages[next_stage].before_op as usize) < wend
                     {
@@ -586,8 +616,15 @@ impl Schedule {
                             .subview(d.r0, d.c0, d.rows, d.cols)
                             .to_matrix();
                         let _ = arena[d.slot as usize].set(snap);
+                        staged += 1;
                         next_stage += 1;
                     }
+                    emit_span(
+                        rec,
+                        tcu_obs::Lane::Scheduler,
+                        stage_t0,
+                        tcu_obs::EventKind::Stage { copies: staged },
+                    );
 
                     // Charging + assembly pass, in canonical order:
                     // meter each op, resolve its operand views and
@@ -617,7 +654,24 @@ impl Schedule {
                         };
                         inv_at += invocations;
                         acct.charge_wave_op(&cop.op);
-                        let item = build_item(arena, inputs, outputs, &stamps, &mut pool, plan, i)?;
+                        let mut item =
+                            build_item(arena, inputs, outputs, &stamps, &mut pool, plan, i)?;
+                        item.rows = cop.op.charge_rows(s) as u64;
+                        item.sim_cost = acct.op_cost(&cop.op);
+                        if let Some(r) = rec {
+                            let t = r.now_ns();
+                            emit_span(
+                                rec,
+                                tcu_obs::Lane::Scheduler,
+                                Some(t),
+                                tcu_obs::EventKind::ScratchAcquire {
+                                    unit: unit as u32,
+                                    reused: item.reused,
+                                    bytes: (cop.op.rows * cop.op.width * std::mem::size_of::<T>())
+                                        as u64,
+                                },
+                            );
+                        }
                         if quarantined[unit] {
                             displaced.push(item);
                         } else {
@@ -628,6 +682,7 @@ impl Schedule {
                         return Err(split_mismatch());
                     }
                     requeue_onto_survivors(&mut acct, &mut pending, displaced, &quarantined, wave)?;
+                    let units_busy = pending.iter().filter(|v| !v.is_empty()).count() as u32;
 
                     // Execution rounds: dispatch every unit's batch to
                     // its persistent worker, then collect outcomes in
@@ -717,6 +772,12 @@ impl Schedule {
                                                     arena, inputs, outputs, &stamps, &mut pool,
                                                     plan, idx,
                                                 )
+                                                .map(|mut it| {
+                                                    it.rows =
+                                                        plan.ops[idx].op.charge_rows(s) as u64;
+                                                    it.sim_cost = acct.op_cost(&plan.ops[idx].op);
+                                                    it
+                                                })
                                             })
                                             .collect::<Result<_, _>>()?;
                                     } else if dirty {
@@ -725,10 +786,13 @@ impl Schedule {
                                         // in-flight item's scratch from
                                         // the (untouched) environment.
                                         if let Some(first) = leftover.first_mut() {
+                                            let (rows, sim_cost) = (first.rows, first.sim_cost);
                                             *first = build_item(
                                                 arena, inputs, outputs, &stamps, &mut pool, plan,
                                                 first.idx,
                                             )?;
+                                            first.rows = rows;
+                                            first.sim_cost = sim_cost;
                                         }
                                     }
                                     acct.record_quarantine(u, leftover.len());
@@ -751,6 +815,8 @@ impl Schedule {
                     // every item of the wave completed — an error above
                     // discards the wave's scratches instead of
                     // half-merging them.
+                    let merge_t0 = rec.map(tcu_obs::Recorder::now_ns);
+                    let merged = finished.len() as u32;
                     finished.sort_unstable_by_key(|(idx, _)| *idx);
                     for (idx, scratch) in finished {
                         let cop = &plan.ops[idx];
@@ -761,7 +827,23 @@ impl Schedule {
                             .copy_from(scratch.view());
                         pool.push(scratch);
                     }
+                    emit_span(
+                        rec,
+                        tcu_obs::Lane::Scheduler,
+                        merge_t0,
+                        tcu_obs::EventKind::Merge { items: merged },
+                    );
                     acct.complete_wave(partition.makespan());
+                    emit_span(
+                        rec,
+                        tcu_obs::Lane::Scheduler,
+                        wave_t0,
+                        tcu_obs::EventKind::Wave {
+                            wave: wave as u32,
+                            items: (wend - wstart) as u32,
+                            units_busy,
+                        },
+                    );
                 }
                 Ok(())
             })();
@@ -776,6 +858,28 @@ impl Schedule {
             }
             run_result
         })
+    }
+}
+
+/// Record one closed telemetry span: `t0` is the recorder clock at the
+/// phase's start (captured only when recording), the duration is
+/// measured here. No-op when recording is off — both arguments are
+/// `None` together, so the disabled path is two `Option` checks.
+fn emit_span(
+    rec: Option<&dyn tcu_obs::Recorder>,
+    lane: tcu_obs::Lane,
+    t0: Option<u64>,
+    kind: tcu_obs::EventKind,
+) {
+    if let (Some(r), Some(t0)) = (rec, t0) {
+        r.record(
+            lane,
+            tcu_obs::SpanEvent {
+                kind,
+                t_ns: t0,
+                dur_ns: r.now_ns().saturating_sub(t0),
+            },
+        );
     }
 }
 
@@ -798,6 +902,12 @@ struct WaveItem<'v, T: Scalar> {
     tag: OperandId,
     b: MatrixView<'v, T>,
     scratch: Matrix<T>,
+    /// Whether `scratch` came from the recycling pool (telemetry only).
+    reused: bool,
+    /// Rows the op charges (telemetry annotation for its execute span).
+    rows: u64,
+    /// Simulated cost charged for the op (telemetry annotation).
+    sim_cost: u64,
 }
 
 /// Resolve a compiled read on the parallel path: the staged snapshot
@@ -832,7 +942,7 @@ fn take_scratch<T: Scalar>(
     rows: usize,
     cols: usize,
     zero: bool,
-) -> Matrix<T> {
+) -> (Matrix<T>, bool) {
     if let Some(pos) = pool
         .iter()
         .position(|m| m.rows() == rows && m.cols() == cols)
@@ -841,9 +951,9 @@ fn take_scratch<T: Scalar>(
         if zero {
             m.as_mut_slice().fill(T::ZERO);
         }
-        m
+        (m, true)
     } else {
-        Matrix::zeros(rows, cols)
+        (Matrix::zeros(rows, cols), false)
     }
 }
 
@@ -868,7 +978,7 @@ fn build_item<'v, T: Scalar>(
     let a = wave_read(arena, inputs, &cop.a)?;
     let b = wave_read(arena, inputs, &cop.b)?;
     let tag = read_tag(&cop.a, stamps[cop.a.buf]);
-    let mut scratch = take_scratch(pool, cop.op.rows, cop.op.width, !cop.op.accumulate);
+    let (mut scratch, reused) = take_scratch(pool, cop.op.rows, cop.op.width, !cop.op.accumulate);
     if cop.op.accumulate {
         let host = outputs[cop.out_buf].as_ref().ok_or(TcuError::Unbound {
             buffer: cop.out_buf,
@@ -888,6 +998,11 @@ fn build_item<'v, T: Scalar>(
         tag,
         b,
         scratch,
+        reused,
+        // Telemetry annotations the assembly pass stamps from the
+        // accountant (a rebuild path copies them from the plan).
+        rows: 0,
+        sim_cost: 0,
     })
 }
 
@@ -956,6 +1071,8 @@ fn run_items_contained<'v, T: Scalar, E: Executor>(
     exec: &mut E,
     items: Vec<WaveItem<'v, T>>,
     max_attempts: u32,
+    rec: Option<&dyn tcu_obs::Recorder>,
+    unit: u32,
 ) -> UnitOutcome<'v, T> {
     let mut out = UnitOutcome {
         done: Vec::new(),
@@ -968,6 +1085,7 @@ fn run_items_contained<'v, T: Scalar, E: Executor>(
     while let Some(mut item) = iter.next() {
         let mut attempt = 1u32;
         loop {
+            let t0 = rec.map(tcu_obs::Recorder::now_ns);
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let _ = exec.execute_tagged(
                     &item.op,
@@ -979,6 +1097,16 @@ fn run_items_contained<'v, T: Scalar, E: Executor>(
             }));
             match result {
                 Ok(()) => {
+                    emit_span(
+                        rec,
+                        tcu_obs::Lane::Unit(unit),
+                        t0,
+                        tcu_obs::EventKind::OpExec {
+                            unit,
+                            rows: item.rows,
+                            sim_cost: item.sim_cost,
+                        },
+                    );
                     out.done.push((item.idx, item.scratch));
                     break;
                 }

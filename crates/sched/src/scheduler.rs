@@ -56,6 +56,7 @@
 
 use crate::graph::{hazard_successors, levels, Node, OpGraph, RegionBuckets};
 use tcu_core::{partition_lpt, PadPolicy, Partition, TensorUnit};
+use tcu_obs::Recorder as _;
 
 /// Planner configuration: unit count and whether coalescing runs.
 #[derive(Clone, Copy, Debug)]
@@ -106,6 +107,30 @@ impl Scheduler {
     /// Panics if a recorded op violates `unit`'s shape contract.
     #[must_use]
     pub fn plan<U: TensorUnit>(&self, graph: &OpGraph, unit: &U) -> Schedule {
+        // Telemetry wrapper only — planning itself is below. The span
+        // covers coalescing through wave partitioning and lands on the
+        // scheduler lane of the process-global sink, when tracing.
+        let rec = tcu_obs::env_recorder();
+        let start = rec.as_ref().map(|r| r.now_ns());
+        let sched = self.plan_inner(graph, unit);
+        if let (Some(rec), Some(t0)) = (rec, start) {
+            rec.record(
+                tcu_obs::Lane::Scheduler,
+                tcu_obs::SpanEvent {
+                    kind: tcu_obs::EventKind::PlanBuild {
+                        recorded: graph.len() as u64,
+                        scheduled: sched.ops() as u64,
+                        waves: sched.waves() as u64,
+                    },
+                    t_ns: t0,
+                    dur_ns: rec.now_ns().saturating_sub(t0),
+                },
+            );
+        }
+        sched
+    }
+
+    fn plan_inner<U: TensorUnit>(&self, graph: &OpGraph, unit: &U) -> Schedule {
         let s = unit.sqrt_m();
         let mut nodes: Vec<Node> = graph.nodes().to_vec();
         for n in &nodes {
@@ -125,6 +150,22 @@ impl Scheduler {
         // Level, then order canonically within level.
         let succs = hazard_successors(&nodes);
         let lv = levels(&nodes, &succs);
+
+        // Critical path: the longest cost-weighted hazard chain through
+        // the (post-coalescing) graph — the makespan no unit count can
+        // beat. Computed on the pre-sort index order, which the hazard
+        // index's forward-canonicalized edges make topological.
+        let node_costs: Vec<u64> = nodes
+            .iter()
+            .map(|n| {
+                invocation_rows(n, unit)
+                    .into_iter()
+                    .map(|rows| unit.invocation_cost(rows))
+                    .sum()
+            })
+            .collect();
+        let critical_path = tcu_obs::critical_path(&node_costs, &succs);
+
         let mut order: Vec<usize> = (0..nodes.len()).collect();
         order.sort_by(|&i, &j| {
             (lv[i], nodes[i].canonical_key()).cmp(&(lv[j], nodes[j].canonical_key()))
@@ -186,6 +227,7 @@ impl Scheduler {
             invocations,
             charged_rows,
             tensor_time,
+            critical_path,
             compiled: std::sync::OnceLock::new(),
         }
     }
@@ -240,6 +282,7 @@ pub struct Schedule {
     invocations: u64,
     charged_rows: u64,
     tensor_time: u64,
+    critical_path: u64,
     /// Lazily compiled executable form (first run, or an explicit
     /// [`Schedule::compile`], fills it; every later run reuses it).
     pub(crate) compiled: std::sync::OnceLock<crate::compile::ExecutablePlan>,
@@ -316,6 +359,37 @@ impl Schedule {
     #[must_use]
     pub fn makespan(&self) -> u64 {
         self.makespan
+    }
+
+    /// The longest cost-weighted hazard chain through the scheduled
+    /// graph: the simulated makespan no number of units can beat. On
+    /// one unit [`Self::makespan`] instead degenerates to
+    /// [`Self::tensor_time`], so the interesting comparison is
+    /// multi-unit — see [`Self::sched_efficiency`].
+    #[must_use]
+    pub fn critical_path(&self) -> u64 {
+        self.critical_path
+    }
+
+    /// How close the wave schedule gets to the best possible makespan:
+    /// `lower_bound / makespan`, where the lower bound is the larger of
+    /// the critical path and the perfect work split
+    /// `⌈tensor_time / units⌉`. Always in `(0, 1]` (every wave's LPT
+    /// load is at least the wave's average, and the critical path
+    /// threads through the per-wave maxima, so the bound never exceeds
+    /// the makespan); `1.0` means wave-synchronous LPT left nothing on
+    /// the table, lower values quantify idle-unit time a cleverer
+    /// (e.g. wave-free list) schedule could reclaim. An empty schedule
+    /// reports `1.0`.
+    #[must_use]
+    pub fn sched_efficiency(&self) -> f64 {
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        let bound = self
+            .critical_path
+            .max(self.tensor_time.div_ceil(self.units as u64));
+        bound as f64 / self.makespan as f64
     }
 }
 
