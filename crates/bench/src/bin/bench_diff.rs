@@ -28,6 +28,12 @@
 //!   percent *above* baseline. This is the gate that pins the
 //!   bucketed-hazard-index + batched-merge planning cost (the all-pairs
 //!   scan it replaced took ≈92 ms on the shared 1024-op case).
+//! * `sched_efficiency` — for the `dataflow` cases only: the structural
+//!   lower bound over the barrier-free placement's makespan. Lower is
+//!   worse; a drop of more than 10% vs baseline fails **even in
+//!   `--informational` mode**, because the number is pure simulation
+//!   (no wall-clock noise) — a regression means the placement itself
+//!   got worse, not the runner.
 //!
 //! Cases present in only one file (the CI smoke run sweeps fewer sizes
 //! than the committed full run) are reported and skipped.
@@ -49,6 +55,11 @@ use std::process::ExitCode;
 const WALL_FLOOR_CASES: [&str; 2] = ["gauss d=256", "closure n=256"];
 const WALL_FLOOR: f64 = 1.0;
 
+/// Relative drop in the `dataflow` cases' `sched_efficiency` that fails
+/// the diff. Deliberately tighter than the wall-clock `--threshold` and
+/// never downgraded to informational: the metric is deterministic.
+const EFFICIENCY_DROP_PCT: f64 = 10.0;
+
 struct CaseSpeedup {
     name: String,
     speedup_tiled: Option<f64>,
@@ -61,6 +72,9 @@ struct CaseSpeedup {
     /// emit > 1; absent or 1 marks a serial case).
     threads: Option<f64>,
     plan_ms: Option<f64>,
+    /// Structural efficiency of the planned schedule; gated hard for
+    /// the `dataflow` cases (see [`EFFICIENCY_DROP_PCT`]).
+    sched_efficiency: Option<f64>,
 }
 
 impl CaseSpeedup {
@@ -98,9 +112,16 @@ fn parse_file(text: &str) -> BenchFile {
         let plan_ms = field_num(line, "plan_ms").filter(|&ms| ms > 0.0);
         let speedup_wall = field_num(line, "speedup_wall");
         let threads = field_num(line, "threads");
+        let sched_efficiency = field_num(line, "sched_efficiency");
         let parallel_wall = threads.is_some_and(|t| t > 1.0) && speedup_wall.is_some();
         let floor_gated = WALL_FLOOR_CASES.contains(&name.as_str()) && speedup_wall.is_some();
-        if speedup_tiled.is_none() && plan_ms.is_none() && !parallel_wall && !floor_gated {
+        let efficiency_gated = name.contains("dataflow") && sched_efficiency.is_some();
+        if speedup_tiled.is_none()
+            && plan_ms.is_none()
+            && !parallel_wall
+            && !floor_gated
+            && !efficiency_gated
+        {
             continue;
         }
         cases.push(CaseSpeedup {
@@ -110,6 +131,7 @@ fn parse_file(text: &str) -> BenchFile {
             speedup_wall,
             threads,
             plan_ms,
+            sched_efficiency,
         });
     }
     BenchFile { cases, cores }
@@ -182,6 +204,10 @@ fn main() -> ExitCode {
     }
 
     let mut regressions = 0u32;
+    // Regressions that fail the run even in `--informational` mode:
+    // deterministic simulation metrics where "runner noise" is not a
+    // possible explanation.
+    let mut hard_regressions = 0u32;
     let mut compared = 0u32;
     // Absolute wall floors first: these don't need a baseline
     // counterpart — the contract is "scheduled must not lose to eager",
@@ -252,6 +278,30 @@ fn main() -> ExitCode {
         if let (Some(fp), Some(bp)) = (f.plan_ms, b.plan_ms) {
             checks.push(("plan time", fp, bp, false, "ms"));
         }
+        // The dataflow cases' structural efficiency: pure simulation,
+        // so it gates hard regardless of `--informational`.
+        if f.name.contains("dataflow") {
+            if let (Some(fe), Some(be)) = (f.sched_efficiency, b.sched_efficiency) {
+                let delta_pct = (fe / be - 1.0) * 100.0;
+                let regressed = delta_pct < -EFFICIENCY_DROP_PCT;
+                let verdict = if regressed { "REGRESSED (hard)" } else { "ok" };
+                println!(
+                    "{:<20}  sched efficiency {fe:.3} vs baseline {be:.3}  ({delta_pct:+.1}%)  {verdict}",
+                    f.name
+                );
+                if regressed {
+                    hard_regressions += 1;
+                    println!(
+                        "::error::bench {}: dataflow sched_efficiency {fe:.3} dropped {:.1}% \
+                         below the committed baseline {be:.3} (hard limit \
+                         {EFFICIENCY_DROP_PCT}%; this metric is deterministic — the placement \
+                         regressed, not the runner)",
+                        f.name,
+                        delta_pct.abs()
+                    );
+                }
+            }
+        }
         for (kind, fs, bs, higher_better, unit) in checks {
             let delta_pct = (fs / bs - 1.0) * 100.0;
             let regressed = if higher_better {
@@ -285,8 +335,14 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "bench_diff: {compared} case(s) compared, {regressions} regression(s), threshold {threshold}%{}",
-        if informational { " (informational)" } else { "" }
+        "bench_diff: {compared} case(s) compared, {} regression(s) ({hard_regressions} hard), \
+         threshold {threshold}%{}",
+        regressions + hard_regressions,
+        if informational {
+            " (informational)"
+        } else {
+            ""
+        }
     );
     if compared == 0 {
         // No overlap means the gate checked nothing — a case rename or
@@ -294,7 +350,7 @@ fn main() -> ExitCode {
         println!("::error::bench_diff compared zero cases: fresh and baseline share no case names");
         return ExitCode::from(2);
     }
-    if regressions > 0 && !informational {
+    if hard_regressions > 0 || (regressions > 0 && !informational) {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -8,7 +8,7 @@
 //! flow is the *run*: recording + planning cost is measured once and
 //! reported separately as `plan_ns`.
 //!
-//! Seven case families:
+//! Eight case families:
 //!
 //! * `packcache d=<d>` — the E2 hot path (`√m = 16`, strict full-width
 //!   blocks, `f64`): eager `dense::multiply` re-reads each `A` strip
@@ -23,11 +23,15 @@
 //!   invocations and streamed rows *in simulated time*, the model's own
 //!   cost terms.
 //! * `plan d=512 ops=1024` — *planner wall time* on the canonical
-//!   1024-op coalesce graph, coalescing off (`eager ns/op`) and on
-//!   (`sched ns/op` = `plan_ms`). Runs at full size even under
-//!   `--quick`, so CI can diff the committed `plan_ms` baseline and
-//!   catch a regression of the bucketed-hazard-index + batched-merge
-//!   planning cost (the PR-4 all-pairs scan took ≈92 ms here).
+//!   1024-op coalesce graph, coalescing off vs on. The ns/op columns
+//!   divide each planner's wall by the ops *it emits* (1024 plain, 256
+//!   coalesced) — a plan-only denominator, so `speedup_wall` here is
+//!   per-emitted-op plan cost and never mixes planner wall with a run
+//!   config. `plan_ms` is still the full coalescing-planner call. Runs
+//!   at full size even under `--quick`, so CI can diff the committed
+//!   `plan_ms` baseline and catch a regression of the
+//!   bucketed-hazard-index + batched-merge planning cost (the PR-4
+//!   all-pairs scan took ≈92 ms here).
 //! * `strassen d=<d> base=8 memo<=N` — the recursive flow with a
 //!   sub-footprint base: the scheduler width-merges leaf-product pairs,
 //!   halving base invocations versus the eager recursion at the same
@@ -36,15 +40,28 @@
 //!   (`tcu_algos::plan_memo`), so record + plan cost — formerly the
 //!   dominant wall cost here, the 0.158× cliff — is paid once in the
 //!   warmup and the timed rounds run plan-free.
-//! * `parwave d=<d> units=<p>` — the serial scheduled run versus
-//!   `run_parallel` on `p` threaded units over the packcache-style
-//!   accumulation graph (each wave holds `d/√m` independent column-block
-//!   products). Results are asserted bit-identical before timing; the
-//!   `speedup_wall` of these cases is what `bench_diff` gates on runners
-//!   whose core count matches the committed baseline's (a 1-core
-//!   recording honestly shows ≤1× and is skipped elsewhere).
-//! * `faults d=<d> units=<p> rate=<r>` — `run_parallel` on plain
-//!   executors versus the fault-tolerant `try_run_parallel` on
+//! * `parwave d=<d> units=<p>` — the serial scheduled run versus the
+//!   wave-barrier driver (`run_wave`, pinned: this family measures
+//!   *that* driver regardless of `TCU_EXEC_MODE`) on `p` threaded units
+//!   over the packcache-style accumulation graph (each wave holds
+//!   `d/√m` independent column-block products). Results are asserted
+//!   bit-identical before timing; the `speedup_wall` of these cases is
+//!   what `bench_diff` gates on runners whose core count matches the
+//!   committed baseline's (a 1-core recording honestly shows ≤1× and is
+//!   skipped elsewhere).
+//! * `dataflow d=<d> units=<p>` — the same workload and serial rival,
+//!   but the scheduled side runs the barrier-free dataflow driver
+//!   (`run_dataflow`, pinned). Directly comparable row-for-row with
+//!   `parwave`: the gap between the two families *is* the wave-barrier
+//!   dispatch overhead. On a 1-core runner the driver resolves to its
+//!   inline executor, so `sched ns/op` collapses to ≈ the serial run —
+//!   the per-op dispatch cost the barriers were hiding. Their
+//!   `sched_efficiency` (the structural bound over the dataflow
+//!   makespan) is a *hard* `bench_diff` gate — deterministic, so >10%
+//!   drops fail even in informational mode.
+//! * `faults d=<d> units=<p> rate=<r>` — `run_wave` on plain
+//!   executors versus the fault-tolerant `try_run_wave` (pinned to the
+//!   wave driver, whose recovery accounting is fully replayable) on
 //!   `FaultyExecutor`s injecting `r` transient faults per mille (plus a
 //!   permanent victim when `r > 0`). `rate=0` pins the fault-free
 //!   containment overhead in wall-clock (the gated number); nonzero
@@ -148,8 +165,16 @@ struct Case {
     critical_path: u64,
     /// `max(critical_path, ⌈work/units⌉) / makespan` of the plan: 1.0
     /// means the LPT waves hit the structural lower bound (0.0 when the
-    /// plan is not held here).
+    /// plan is not held here). For the `dataflow` cases this is
+    /// [`tcu_sched::Schedule::dataflow_efficiency`] — the same bound
+    /// over the barrier-free placement's makespan.
     sched_efficiency: f64,
+    /// Planned parallel wall over the cost-weighted critical path —
+    /// how far the schedule sits from the no-units-can-help floor
+    /// (1.0 = critical-path bound; 0.0 when the plan is not held
+    /// here). For the `dataflow` cases the numerator is the dataflow
+    /// makespan, for every other planned case the wave makespan.
+    makespan_over_cp: f64,
 }
 
 impl Case {
@@ -162,6 +187,15 @@ impl Case {
         } else {
             self.pack_lookups as f64 / self.pack_misses as f64
         }
+    }
+}
+
+/// `makespan / critical_path` guarded against plan-less cases.
+fn over_cp(makespan: u64, critical_path: u64) -> f64 {
+    if critical_path == 0 {
+        0.0
+    } else {
+        makespan as f64 / critical_path as f64
     }
 }
 
@@ -267,6 +301,7 @@ fn bench_packcache(d: usize, quick: bool) -> Case {
         memo: MemoCost::default(),
         critical_path: plan.critical_path(),
         sched_efficiency: plan.sched_efficiency(),
+        makespan_over_cp: over_cp(plan.makespan(), plan.critical_path()),
     }
 }
 
@@ -356,6 +391,7 @@ fn bench_coalesce(d: usize, quick: bool) -> Case {
         memo: MemoCost::default(),
         critical_path: plan_coal.critical_path(),
         sched_efficiency: plan_coal.sched_efficiency(),
+        makespan_over_cp: over_cp(plan_coal.makespan(), plan_coal.critical_path()),
     }
 }
 
@@ -392,10 +428,10 @@ fn bench_plan(quick: bool) -> Case {
     assert_eq!(plan_coal.invocations() * 4, plan_eager.invocations());
 
     let reps: u32 = if quick { 3 } else { 10 };
-    let eager_ns = tcu_bench::time_ns(reps, || {
+    let eager_total_ns = tcu_bench::time_ns(reps, || {
         Scheduler::new().without_coalescing().plan(&g, &unit)
     });
-    let sched_ns = tcu_bench::time_ns(reps, || Scheduler::new().plan(&g, &unit));
+    let sched_total_ns = tcu_bench::time_ns(reps, || Scheduler::new().plan(&g, &unit));
     Case {
         name: "plan d=512 ops=1024".to_string(),
         d,
@@ -403,11 +439,16 @@ fn bench_plan(quick: bool) -> Case {
         threads: 1,
         reps,
         // For this case both timings *are* planner runs: coalescing off
-        // vs on; plan_ns (hence plan_ms) records the full coalescing
-        // planner, the number the CI gate pins.
-        eager_ns,
-        sched_ns,
-        plan_ns: sched_ns,
+        // vs on. The per-op numbers divide each planner's wall by the
+        // ops *it* emits (1024 plain vs 256 coalesced), so
+        // `speedup_wall` compares plan cost per scheduled op — a
+        // plan-only denominator — instead of conflating total planner
+        // wall with the coalesce case's 4×-smaller run config. plan_ns
+        // (hence plan_ms) still records the full coalescing-planner
+        // call, the number the CI gate pins.
+        eager_ns: eager_total_ns / plan_eager.ops() as f64,
+        sched_ns: sched_total_ns / plan_coal.ops() as f64,
+        plan_ns: sched_total_ns,
         eager_invocations: plan_eager.invocations(),
         sched_invocations: plan_coal.invocations(),
         eager_sim_time: plan_eager.makespan(),
@@ -418,6 +459,7 @@ fn bench_plan(quick: bool) -> Case {
         memo: MemoCost::default(),
         critical_path: plan_coal.critical_path(),
         sched_efficiency: plan_coal.sched_efficiency(),
+        makespan_over_cp: over_cp(plan_coal.makespan(), plan_coal.critical_path()),
     }
 }
 
@@ -481,6 +523,7 @@ fn bench_gauss(d: usize, quick: bool) -> Case {
         memo,
         critical_path: 0,
         sched_efficiency: 0.0,
+        makespan_over_cp: 0.0,
     }
 }
 
@@ -540,6 +583,7 @@ fn bench_closure(n: usize, quick: bool) -> Case {
         memo,
         critical_path: 0,
         sched_efficiency: 0.0,
+        makespan_over_cp: 0.0,
     }
 }
 
@@ -605,6 +649,7 @@ fn bench_strassen(d: usize, quick: bool) -> Case {
         memo,
         critical_path: 0,
         sched_efficiency: 0.0,
+        makespan_over_cp: 0.0,
     }
 }
 
@@ -661,12 +706,12 @@ fn bench_parwave(d: usize, units: usize, quick: bool) -> Case {
         env.bind_input(ab, a.view());
         env.bind_input(bb, b.view());
         env.bind_output(cb, c.view_mut());
-        plan_par.run_parallel(&mut mach, &mut env);
+        plan_par.run_wave(&mut mach, &mut env);
         (c, mach.stats().clone())
     };
     let (c_serial, serial_stats) = serial_run();
     let (c_par, par_stats) = par_run();
-    assert_eq!(c_serial, c_par, "run_parallel must be bit-identical");
+    assert_eq!(c_serial, c_par, "run_wave must be bit-identical");
     assert_eq!(serial_stats, par_stats, "charges must be identical");
 
     let reps: u32 = if quick { 2 } else { 5 };
@@ -693,6 +738,98 @@ fn bench_parwave(d: usize, units: usize, quick: bool) -> Case {
         memo: MemoCost::default(),
         critical_path: plan_par.critical_path(),
         sched_efficiency: plan_par.sched_efficiency(),
+        makespan_over_cp: over_cp(plan_par.makespan(), plan_par.critical_path()),
+    }
+}
+
+/// Serial scheduled run vs the barrier-free dataflow driver
+/// (`run_dataflow`) on `units` — same workload and rivalry as
+/// `parwave`, so the two families are directly comparable. The
+/// placement is resolved at plan time; at run time ops dispatch as
+/// their hazard predecessors commit (no wave barriers), with single-op
+/// batching elided entirely on one core (the inline executor runs the
+/// placement order serial-style). Results are asserted bit-identical to
+/// the serial scheduled run before timing. `sched_efficiency` here is
+/// `dataflow_efficiency` — the structural lower bound over the
+/// *dataflow* makespan — and is a hard lower-is-worse `bench_diff`
+/// gate.
+fn bench_dataflow(d: usize, units: usize, quick: bool) -> Case {
+    use tcu_core::{ModelTensorUnit, ParallelTcuMachine, TensorOp};
+    use tcu_sched::{ExecEnv, OpGraph, OperandRef, Scheduler};
+
+    let s = SQRT_M;
+    let q = d / s;
+    let a = workload(d, d, 5);
+    let b = workload(d, d, 6);
+
+    let mut g = OpGraph::new();
+    let ab = g.buffer("A", d, d);
+    let bb = g.buffer("B", d, d);
+    let cb = g.buffer("C", d, d);
+    for j in 0..q {
+        for k in 0..q {
+            g.record(
+                TensorOp::mul_acc(d, s),
+                OperandRef::new(ab, 0, k * s, d, s),
+                OperandRef::new(bb, k * s, j * s, s, s),
+                OperandRef::new(cb, 0, j * s, d, s),
+            );
+        }
+    }
+    let unit = ModelTensorUnit::new(s * s, 0);
+    let plan_serial = Scheduler::new().plan(&g, &unit);
+    let plan_par = Scheduler::new().with_units(units).plan(&g, &unit);
+
+    let serial_run = || {
+        let mut mach = TcuMachine::with_executor(unit, tcu_core::HostExecutor::new());
+        let mut c = Matrix::<f64>::zeros(d, d);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(cb, c.view_mut());
+        plan_serial.run(&mut mach, &mut env);
+        (c, mach.stats().clone())
+    };
+    let df_run = || {
+        let mut mach = ParallelTcuMachine::new(unit, units);
+        let mut c = Matrix::<f64>::zeros(d, d);
+        let mut env = ExecEnv::new(&g);
+        env.bind_input(ab, a.view());
+        env.bind_input(bb, b.view());
+        env.bind_output(cb, c.view_mut());
+        plan_par.run_dataflow(&mut mach, &mut env);
+        (c, mach.stats().clone())
+    };
+    let (c_serial, serial_stats) = serial_run();
+    let (c_df, df_stats) = df_run();
+    assert_eq!(c_serial, c_df, "run_dataflow must be bit-identical");
+    assert_eq!(serial_stats, df_stats, "charges must be identical");
+
+    let reps: u32 = if quick { 2 } else { 5 };
+    let eager_ns = tcu_bench::time_ns(reps, || serial_run().0);
+    let sched_ns = tcu_bench::time_ns(reps, || df_run().0);
+    Case {
+        name: format!("dataflow d={d} units={units}"),
+        d,
+        sqrt_m: s,
+        threads: units,
+        reps,
+        eager_ns,
+        sched_ns,
+        plan_ns: 0.0,
+        eager_invocations: plan_serial.invocations(),
+        sched_invocations: plan_par.invocations(),
+        // Simulated time: the barrier-free placement's makespan versus
+        // the single-unit serial charge.
+        eager_sim_time: plan_serial.makespan(),
+        sched_sim_time: plan_par.dataflow_makespan(),
+        pack_lookups: 0,
+        pack_misses: 0,
+        packed_bytes: 0,
+        memo: MemoCost::default(),
+        critical_path: plan_par.critical_path(),
+        sched_efficiency: plan_par.dataflow_efficiency(),
+        makespan_over_cp: over_cp(plan_par.dataflow_makespan(), plan_par.critical_path()),
     }
 }
 
@@ -752,7 +889,7 @@ fn bench_faults(d: usize, units: usize, rate: u32, quick: bool) -> Case {
         env.bind_input(ab, a.view());
         env.bind_input(bb, b.view());
         env.bind_output(cb, c.view_mut());
-        plan.run_parallel(&mut mach, &mut env);
+        plan.run_wave(&mut mach, &mut env);
         (c, mach.stats().clone())
     };
     let faulty_run = || {
@@ -767,7 +904,7 @@ fn bench_faults(d: usize, units: usize, rate: u32, quick: bool) -> Case {
         env.bind_input(ab, a.view());
         env.bind_input(bb, b.view());
         env.bind_output(cb, c.view_mut());
-        plan.try_run_parallel(&mut mach, &mut env)
+        plan.try_run_wave(&mut mach, &mut env)
             .expect("seeded plans are recoverable");
         drop(env);
         (c, mach.stats().clone(), mach.time())
@@ -802,6 +939,7 @@ fn bench_faults(d: usize, units: usize, rate: u32, quick: bool) -> Case {
         memo: MemoCost::default(),
         critical_path: plan.critical_path(),
         sched_efficiency: plan.sched_efficiency(),
+        makespan_over_cp: over_cp(plan.makespan(), plan.critical_path()),
     }
 }
 
@@ -830,6 +968,11 @@ fn main() {
         // can gate the wave-parallel wall speedups.
         bench_parwave(512, 2, quick),
         bench_parwave(512, 4, quick),
+        // The barrier-free rival on the same workload/sizes, so wave
+        // and dataflow dispatch overhead diff directly. Full size
+        // always, same reason as `parwave`.
+        bench_dataflow(512, 2, quick),
+        bench_dataflow(512, 4, quick),
         // Fault tolerance: rate=0 pins the fault-free containment
         // overhead on the parwave workload (wall speedup ≈ 1), the
         // nonzero rates chart recovery cost against fault density in
@@ -851,6 +994,7 @@ fn main() {
             "sched invocs",
             "sim speedup",
             "pack ratio",
+            "msp/cp",
             "plan ns",
             "1st plan ms",
             "memo h/m",
@@ -867,6 +1011,7 @@ fn main() {
             tcu_bench::fmt_u64(c.sched_invocations),
             tcu_bench::fmt_f(c.eager_sim_time as f64 / c.sched_sim_time as f64, 2),
             tcu_bench::fmt_f(c.pack_ratio(), 1),
+            tcu_bench::fmt_f(c.makespan_over_cp, 2),
             tcu_bench::fmt_f(c.plan_ns, 0),
             tcu_bench::fmt_f(c.memo.first_plan_ns / 1e6, 3),
             format!("{}/{}", c.memo.plan_cache_hits, c.memo.plan_cache_misses),
@@ -903,7 +1048,8 @@ fn main() {
              \"sched_sim_time\": {}, \"speedup_sim\": {:.3}, \
              \"pack_lookups\": {}, \"pack_misses\": {}, \
              \"packed_bytes\": {}, \"pack_ratio\": {:.3}, \
-             \"critical_path\": {}, \"sched_efficiency\": {:.4}",
+             \"critical_path\": {}, \"sched_efficiency\": {:.4}, \
+             \"makespan_over_cp\": {:.4}",
             c.name,
             c.d,
             c.sqrt_m,
@@ -929,6 +1075,7 @@ fn main() {
             c.pack_ratio(),
             c.critical_path,
             c.sched_efficiency,
+            c.makespan_over_cp,
         ));
         json.push('}');
         if i + 1 < cases.len() {

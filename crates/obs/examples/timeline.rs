@@ -95,6 +95,12 @@ fn main() -> std::io::Result<()> {
         plan.critical_path(),
         plan.sched_efficiency(),
     );
+    println!(
+        "dataflow: makespan {}, efficiency {:.3}, steals {}",
+        plan.dataflow_makespan(),
+        plan.dataflow_efficiency(),
+        plan.dataflow_steals(),
+    );
 
     // The report invariant the docs promise: every unit's busy + idle
     // spans exactly the execution window.
@@ -104,6 +110,32 @@ fn main() -> std::io::Result<()> {
         assert_eq!(busy + idle, window, "unit {u} busy+idle == window");
         assert!(ops > 0, "unit {u} executed ops");
     }
+
+    // A second run pinned to the barrier-free dataflow driver, with its
+    // own sink: its report must surface the dispatch telemetry (ready
+    // deque depth, steal counters) the driver records.
+    let df_sink = Arc::new(ObsSink::new());
+    let mut df_mach = ParallelTcuMachine::new(unit, units);
+    let mut c2 = Matrix::<f64>::zeros(d, d);
+    let mut env = ExecEnv::new(&g);
+    env.enable_recorder(df_sink.clone());
+    env.bind_input(ab, a.view());
+    env.bind_input(bb, b.view());
+    env.bind_output(cb, c2.view_mut());
+    plan.run_dataflow(&mut df_mach, &mut env);
+    drop(env);
+    assert_eq!(c, c2, "dataflow bytes match the mode-routed run");
+
+    let df_report = df_sink.report(&meta);
+    print!("{df_report}");
+    assert!(
+        df_report.contains("ready_depth_peak"),
+        "dataflow report surfaces the ready-deque depth"
+    );
+    assert!(
+        df_report.contains("steals"),
+        "dataflow report surfaces the steal counter"
+    );
 
     let path = tcu_obs::env_trace_path().unwrap_or("tcu_timeline_trace.json");
     sink.write_chrome_trace(path, &meta)?;

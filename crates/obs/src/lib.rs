@@ -158,6 +158,23 @@ pub enum EventKind {
         /// Ops moved onto surviving units.
         requeued: u64,
     },
+    /// A batch of ops became runnable on a unit's ready deque (dataflow
+    /// driver): the dependency frontier cleared and the ops were
+    /// dispatched in one message.
+    Ready {
+        /// Unit whose deque the ops were queued on.
+        unit: u32,
+        /// Ready-deque depth drained by this dispatch.
+        depth: u32,
+    },
+    /// One op placed on a unit other than its wave-LPT home by the
+    /// dataflow placement (a deterministic plan-time steal).
+    Steal {
+        /// The op's wave-LPT home unit.
+        from: u32,
+        /// The unit that ran it instead.
+        to: u32,
+    },
 }
 
 impl EventKind {
@@ -179,6 +196,8 @@ impl EventKind {
             EventKind::Fault { .. } => "fault",
             EventKind::Retry { .. } => "retry",
             EventKind::Quarantine { .. } => "quarantine",
+            EventKind::Ready { .. } => "ready",
+            EventKind::Steal { .. } => "steal",
         }
     }
 }
@@ -245,10 +264,12 @@ pub enum Metric {
     Retries,
     Quarantines,
     EventsDropped,
+    Steals,
+    ReadyDepthPeak,
 }
 
 /// Number of registered metrics.
-const METRIC_COUNT: usize = 17;
+const METRIC_COUNT: usize = 19;
 
 /// Registry names, indexed by `Metric as usize`.
 pub const METRIC_NAMES: [&str; METRIC_COUNT] = [
@@ -269,6 +290,8 @@ pub const METRIC_NAMES: [&str; METRIC_COUNT] = [
     "retries",
     "quarantines",
     "events_dropped",
+    "steals",
+    "ready_depth_peak",
 ];
 
 /// The unified metrics registry: named monotonic counters, updated
@@ -291,6 +314,12 @@ impl Metrics {
     /// Add `by` to a counter.
     pub fn bump(&self, m: Metric, by: u64) {
         self.counters[m as usize].fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Raise a high-water-mark counter to `v` if `v` exceeds it (e.g.
+    /// [`Metric::ReadyDepthPeak`], the deepest ready deque observed).
+    pub fn bump_max(&self, m: Metric, v: u64) {
+        self.counters[m as usize].fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value of a counter.
@@ -481,6 +510,8 @@ impl ObsSink {
             EventKind::Fault { .. } => m.bump(Metric::Faults, 1),
             EventKind::Retry { .. } => m.bump(Metric::Retries, 1),
             EventKind::Quarantine { .. } => m.bump(Metric::Quarantines, 1),
+            EventKind::Ready { depth, .. } => m.bump_max(Metric::ReadyDepthPeak, u64::from(depth)),
+            EventKind::Steal { .. } => m.bump(Metric::Steals, 1),
         }
     }
 
@@ -684,6 +715,16 @@ impl ObsSink {
                 retries.0, retries.1
             ));
         }
+        // Dataflow line: present whenever a dataflow run recorded ready
+        // dispatches (the peak is >= 1 then), with the steal count even
+        // when zero — "no steals" is a result, not an absence of data.
+        let steals = self.metrics.get(Metric::Steals);
+        let ready_peak = self.metrics.get(Metric::ReadyDepthPeak);
+        if ready_peak > 0 || steals > 0 {
+            out.push_str(&format!(
+                "dataflow: steals {steals}, ready_depth_peak {ready_peak}\n"
+            ));
+        }
 
         out.push_str("metrics:");
         for (name, v) in self.metrics.snapshot() {
@@ -795,6 +836,8 @@ fn args_json(kind: &EventKind) -> String {
         EventKind::Quarantine { unit, requeued } => {
             format!("\"unit\": {unit}, \"requeued\": {requeued}")
         }
+        EventKind::Ready { unit, depth } => format!("\"unit\": {unit}, \"depth\": {depth}"),
+        EventKind::Steal { from, to } => format!("\"from\": {from}, \"to\": {to}"),
     }
 }
 

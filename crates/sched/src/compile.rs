@@ -35,7 +35,7 @@
 //! thin compile-then-execute wrappers and repeat runs skip straight to
 //! the precomputed form.
 
-use crate::graph::OperandRef;
+use crate::graph::{hazard_successors, Node, OperandRef};
 use crate::run::ExecEnv;
 use crate::scheduler::Schedule;
 use std::collections::HashMap;
@@ -107,6 +107,17 @@ pub struct ExecutablePlan {
     pub(crate) slots: usize,
     /// `ops` index range of each wave, in wave order.
     pub(crate) wave_ranges: Vec<(usize, usize)>,
+    /// Per-op hazard-predecessor count, emission order — the dataflow
+    /// driver's ready gate (an op is dispatchable once this many
+    /// predecessors have committed).
+    pub(crate) preds: Vec<u32>,
+    /// CSR hazard-successor lists over `ops`: op `i`'s successors are
+    /// `succs[succ_off[i] .. succ_off[i + 1]]`. Edges are strictly
+    /// forward in emission order (conflicting nodes always sit on
+    /// different levels, and emission sorts by level first).
+    pub(crate) succs: Vec<u32>,
+    /// `succs` offsets, length `ops + 1`.
+    pub(crate) succ_off: Vec<u32>,
 }
 
 impl ExecutablePlan {
@@ -141,6 +152,18 @@ impl ExecutablePlan {
     #[must_use]
     pub fn serial_staged_reads(&self) -> usize {
         self.serial_stages.len()
+    }
+
+    /// Hazard edges between compiled ops (the dependency count the
+    /// dataflow driver's ready gating walks).
+    #[must_use]
+    pub fn hazard_edges(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Op `i`'s hazard successors (emission-order indices, all `> i`).
+    pub(crate) fn successors_of(&self, i: usize) -> &[u32] {
+        &self.succs[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 }
 
@@ -302,6 +325,27 @@ pub(crate) fn compile_schedule(sched: &Schedule) -> Result<ExecutablePlan, TcuEr
         }
     }
 
+    // Hazard dependency structure over the *emission-ordered* ops:
+    // per-op predecessor counts and CSR successor lists. Conflicting
+    // nodes always differ in level and emission sorts by level first,
+    // so every edge points strictly forward in emission order — which
+    // is what lets the dataflow driver gate dispatch on a simple
+    // committed-predecessor countdown.
+    let emitted: Vec<Node> = nodes.iter().map(|sn| sn.node).collect();
+    let succ_lists = hazard_successors(&emitted);
+    let mut preds = vec![0u32; emitted.len()];
+    let mut succ_off = Vec::with_capacity(emitted.len() + 1);
+    let mut succs = Vec::new();
+    succ_off.push(0u32);
+    for (i, list) in succ_lists.iter().enumerate() {
+        for &j in list {
+            debug_assert!(j > i, "hazard edges must be forward in emission order");
+            preds[j] += 1;
+            succs.push(j as u32);
+        }
+        succ_off.push(succs.len() as u32);
+    }
+
     Ok(ExecutablePlan {
         ops,
         serial_stages,
@@ -309,6 +353,9 @@ pub(crate) fn compile_schedule(sched: &Schedule) -> Result<ExecutablePlan, TcuEr
         cond_stages,
         slots: keys.len(),
         wave_ranges,
+        preds,
+        succs,
+        succ_off,
     })
 }
 

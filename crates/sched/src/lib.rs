@@ -45,11 +45,13 @@
 //! wrappers kept for callers that treat faults as bugs.
 
 pub mod compile;
+pub mod dataflow;
 pub mod graph;
 pub mod run;
 pub mod scheduler;
 
 pub use compile::ExecutablePlan;
+pub use dataflow::{exec_mode, DataflowTuning, ExecMode};
 pub use graph::{BufferId, Node, OpGraph, OperandRef};
 pub use run::ExecEnv;
 pub use scheduler::{Schedule, ScheduledNode, Scheduler};

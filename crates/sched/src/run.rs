@@ -47,7 +47,9 @@
 //!
 //! # Multi-unit execution
 //!
-//! [`Schedule::run_parallel`] consumes [`Schedule::wave_partitions`]
+//! [`Schedule::run_parallel`] routes to one of two drivers (selected
+//! by [`crate::exec_mode`], dataflow by default). The **wave** driver
+//! ([`Schedule::run_wave`]) consumes [`Schedule::wave_partitions`]
 //! directly: every wave's invocations are issued on the units the
 //! planner's LPT partition assigned them to (each unit owning its own
 //! executor, hence its own pack cache), on a pool of worker threads
@@ -60,6 +62,52 @@
 //! independent ops, so this equals any true interleaving — which keeps
 //! multi-unit runs bit-identical to serial runs and to each other for
 //! every unit count.
+//!
+//! # Barrier-free dataflow execution
+//!
+//! The **dataflow** driver ([`Schedule::run_dataflow`]) removes the
+//! per-wave barrier: instead of stalling every unit at each hazard
+//! level, ops dispatch as soon as their hazard predecessors' results
+//! have been committed. All scheduling decisions are resolved *at plan
+//! time* by [`crate::dataflow`]'s deterministic placement simulation
+//! (which unit runs each op, in what per-unit order, and with which
+//! deterministic steals), so the runtime is a pure executor of fixed
+//! per-unit sequences and the results cannot depend on thread timing:
+//!
+//! * **accounting** — every op is charged on the main thread, up
+//!   front, in emission order (after validating all bindings), so
+//!   `Stats` and the trace digest are byte-identical to the serial
+//!   run's; wall-clock advances once, by the placement's simulated
+//!   makespan, so `time()` lands on [`Schedule::dataflow_makespan`]
+//!   (never above [`Schedule::makespan`]);
+//! * **numerics** — workers execute into per-op scratch exactly as the
+//!   wave driver does; the main thread commits finished scratches and
+//!   only then releases hazard successors, so overlapping writes
+//!   retire in hazard (emission) order and elements are bit-identical
+//!   to [`Schedule::run`] for every unit count, steal seed, and
+//!   interleaving;
+//! * **dispatch overhead** — each idle unit receives its entire ready
+//!   prefix as *one* channel message, and written-buffer reads are
+//!   snapshotted incrementally, right before their first reader's
+//!   dispatch, instead of per wave. On a single-core host (or under
+//!   `TCU_DF_INLINE=1`) an inline executor skips workers, channels,
+//!   and scratch entirely and replays the placement's global order
+//!   serial-style — same bytes, same per-unit cache counters, no
+//!   dispatch overhead.
+//!
+//! Fault recovery matches the wave driver (retry with backoff,
+//! quarantine + LPT re-partition of the dead unit's queued and stolen
+//! work onto survivors, preserving the per-unit queues' start-order
+//! invariant so progress is never deadlocked) with two documented
+//! deviations: charges are recorded up front, so a run that *fails*
+//! still carries the full schedule's `Stats`; and under the inline
+//! executor a *foreign* (non-injected) panic cannot be recovered — it
+//! may have half-written its in-place destination — so it fails the
+//! run where the scratch-based drivers rebuild and requeue. Under
+//! permanent faults the threaded driver's recovery charges and
+//! per-unit cache counters may vary with thread timing (the committed
+//! frontier at quarantine time is physical); elements, `Stats`, and
+//! the digest stay byte-identical regardless.
 //!
 //! # Fault tolerance
 //!
@@ -90,6 +138,7 @@
 //! the same way, with its whole round rebuilt.
 
 use crate::compile::{CompiledRead, ExecutablePlan};
+use crate::dataflow::{exec_mode, place_dataflow, DataflowPlacement, DataflowTuning, ExecMode};
 use crate::graph::BufferId;
 use crate::scheduler::Schedule;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -413,31 +462,14 @@ impl Schedule {
     }
 
     /// Execute the planned stream *across the units* of a parallel
-    /// machine, consuming [`Schedule::wave_partitions`] directly — and,
-    /// unlike the serial [`Schedule::run`], on real threads: one
-    /// persistent worker per unit is spawned for the run, each holding
-    /// that unit's own executor (hence its own pack cache) and running
-    /// the ops the planner assigned it, wave by wave. Concurrency is
-    /// safe by construction — ops sharing a wave never overlap in any
-    /// written region, which a debug assertion re-verifies per wave —
-    /// and deterministic by design:
-    ///
-    /// * **accounting** (per-op `Stats` charges and trace events) is
-    ///   recorded on the main thread in the schedule's canonical order
-    ///   *before* the wave's numerics run, exactly as a serial scheduled
-    ///   run charges them; wall-clock advances by one makespan per wave,
-    ///   so `mach.time()` lands on [`Schedule::makespan`] (plus scalar
-    ///   work);
-    /// * **numerics** land in per-op scratch buffers — pre-seeded with
-    ///   the destination bytes for accumulating ops, so the kernel
-    ///   performs the identical arithmetic on identical values — and the
-    ///   main thread merges the disjoint results back in canonical
-    ///   order, making elements bit-identical to [`Schedule::run`] for
-    ///   every unit count;
-    /// * **pack-cache counters** are per unit, and each worker consumes
-    ///   its ops in canonical order, so every unit's executor sees the
-    ///   exact op subsequence a serial placement-following run would —
-    ///   cache stats cannot depend on thread interleaving.
+    /// machine, routing to the driver [`crate::exec_mode`] selects: the
+    /// barrier-free dataflow driver ([`Schedule::run_dataflow`]) by
+    /// default, the per-wave driver ([`Schedule::run_wave`]) under
+    /// `TCU_EXEC_MODE=wave`. Both drivers produce elements, `Stats`,
+    /// and trace digests byte-identical to the serial [`Schedule::run`]
+    /// for every unit count; they differ only in host-thread structure
+    /// and in the simulated wall-clock they charge
+    /// ([`Schedule::planned_parallel_time`]).
     ///
     /// # Panics
     /// Panics if the machine's `√m` or unit count differs from what the
@@ -466,9 +498,75 @@ impl Schedule {
         self.try_run_parallel_with(mach, env, RecoveryPolicy::default())
     }
 
-    /// The fault-tolerant parallel driver: [`Schedule::run_parallel`]
-    /// semantics, plus containment and recovery of worker faults under
-    /// `policy`.
+    /// The fault-tolerant parallel entry point: routes to
+    /// [`Schedule::try_run_wave_with`] or
+    /// [`Schedule::try_run_dataflow_with`] per [`crate::exec_mode`],
+    /// with dataflow tuning read from the environment
+    /// ([`DataflowTuning::from_env`]).
+    pub fn try_run_parallel_with<T: Scalar, U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut ParallelTcuMachine<U, E>,
+        env: &mut ExecEnv<'_, T>,
+        policy: RecoveryPolicy,
+    ) -> Result<(), TcuError> {
+        match exec_mode() {
+            ExecMode::Wave => self.try_run_wave_with(mach, env, policy),
+            ExecMode::Dataflow => {
+                self.try_run_dataflow_with(mach, env, policy, DataflowTuning::from_env())
+            }
+        }
+    }
+
+    /// The per-wave-barrier parallel driver, pinned regardless of
+    /// [`crate::exec_mode`]: every wave's invocations are issued on the
+    /// units the planner's LPT partition assigned them to, and a global
+    /// barrier separates waves. Panicking wrapper over
+    /// [`Schedule::try_run_wave`].
+    ///
+    /// # Panics
+    /// As [`Schedule::run_parallel`].
+    pub fn run_wave<T: Scalar, U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut ParallelTcuMachine<U, E>,
+        env: &mut ExecEnv<'_, T>,
+    ) {
+        self.try_run_wave(mach, env)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`Schedule::run_wave`] with fault recovery under the default
+    /// [`RecoveryPolicy`], returning errors instead of panicking.
+    pub fn try_run_wave<T: Scalar, U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut ParallelTcuMachine<U, E>,
+        env: &mut ExecEnv<'_, T>,
+    ) -> Result<(), TcuError> {
+        self.try_run_wave_with(mach, env, RecoveryPolicy::default())
+    }
+
+    /// The fault-tolerant wave driver: one persistent worker per unit,
+    /// per-wave dispatch with a global barrier between hazard levels,
+    /// plus containment and recovery of worker faults under `policy`.
+    /// Concurrency is safe by construction — ops sharing a wave never
+    /// overlap in any written region, which a debug assertion
+    /// re-verifies per wave — and deterministic by design:
+    ///
+    /// * **accounting** (per-op `Stats` charges and trace events) is
+    ///   recorded on the main thread in the schedule's canonical order
+    ///   *before* the wave's numerics run, exactly as a serial scheduled
+    ///   run charges them; wall-clock advances by one makespan per wave,
+    ///   so `mach.time()` lands on [`Schedule::makespan`] (plus scalar
+    ///   work);
+    /// * **numerics** land in per-op scratch buffers — pre-seeded with
+    ///   the destination bytes for accumulating ops, so the kernel
+    ///   performs the identical arithmetic on identical values — and the
+    ///   main thread merges the disjoint results back in canonical
+    ///   order, making elements bit-identical to [`Schedule::run`] for
+    ///   every unit count;
+    /// * **pack-cache counters** are per unit, and each worker consumes
+    ///   its ops in canonical order, so every unit's executor sees the
+    ///   exact op subsequence a serial placement-following run would —
+    ///   cache stats cannot depend on thread interleaving.
     ///
     /// Every per-op panic on a worker is caught. An [`InjectedFault`]
     /// payload marked transient is retried on the same unit (bounded by
@@ -489,7 +587,7 @@ impl Schedule {
     /// digest-exempt fault/retry/quarantine trace annotations. On
     /// `Err`, outputs hold the completed waves' results only — the
     /// failing wave's scratches are discarded, never half-merged.
-    pub fn try_run_parallel_with<T: Scalar, U: TensorUnit, E: Executor>(
+    pub fn try_run_wave_with<T: Scalar, U: TensorUnit, E: Executor>(
         &self,
         mach: &mut ParallelTcuMachine<U, E>,
         env: &mut ExecEnv<'_, T>,
@@ -859,6 +957,169 @@ impl Schedule {
             run_result
         })
     }
+
+    /// The barrier-free dataflow driver, pinned regardless of
+    /// [`crate::exec_mode`]: ops dispatch as their hazard predecessors
+    /// commit, on the deterministic plan-time placement (see the
+    /// [module docs](self) and [`crate::dataflow`]). Panicking wrapper
+    /// over [`Schedule::try_run_dataflow`].
+    ///
+    /// # Panics
+    /// As [`Schedule::run_parallel`].
+    pub fn run_dataflow<T: Scalar, U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut ParallelTcuMachine<U, E>,
+        env: &mut ExecEnv<'_, T>,
+    ) {
+        self.try_run_dataflow(mach, env)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`Schedule::run_dataflow`] with fault recovery under the default
+    /// [`RecoveryPolicy`] and environment tuning, returning errors
+    /// instead of panicking.
+    pub fn try_run_dataflow<T: Scalar, U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut ParallelTcuMachine<U, E>,
+        env: &mut ExecEnv<'_, T>,
+    ) -> Result<(), TcuError> {
+        self.try_run_dataflow_with(
+            mach,
+            env,
+            RecoveryPolicy::default(),
+            DataflowTuning::from_env(),
+        )
+    }
+
+    /// The fault-tolerant dataflow driver under explicit `policy` and
+    /// `tuning`. Resolves the deterministic placement, validates every
+    /// op's bindings, charges the whole stream up front in emission
+    /// order (so `Stats` and the digest equal the serial run's even
+    /// under recovery), then executes it inline or on the worker pool
+    /// per `tuning` — the choice, like the steal seed, is byte-
+    /// unobservable in elements, `Stats`, and digest. Wall-clock
+    /// advances by [`Schedule::dataflow_makespan_seeded`] of the
+    /// tuning's seed (plus any charged backoff/recovery); on `Err` the
+    /// makespan is not charged and outputs hold only the committed
+    /// ops' results (never a torn scratch merge — though under the
+    /// inline executor, which writes destinations in place, the failing
+    /// op's own region may be partially written by a *foreign* panic).
+    pub fn try_run_dataflow_with<T: Scalar, U: TensorUnit, E: Executor>(
+        &self,
+        mach: &mut ParallelTcuMachine<U, E>,
+        env: &mut ExecEnv<'_, T>,
+        policy: RecoveryPolicy,
+        tuning: DataflowTuning,
+    ) -> Result<(), TcuError> {
+        if mach.sqrt_m() != self.sqrt_m {
+            return Err(TcuError::PlanMismatch {
+                what: "schedule was planned for a different tensor-unit size",
+            });
+        }
+        if mach.units() != self.units() {
+            return Err(TcuError::PlanMismatch {
+                what: "schedule was planned for a different unit count",
+            });
+        }
+        if env.shapes != self.buffer_shapes {
+            return Err(TcuError::PlanMismatch {
+                what: "environment built for a different graph (buffer shapes disagree)",
+            });
+        }
+        let plan = self.compiled()?;
+        if let (Some(rec), None) = (env.recorder.clone(), mach.recorder_handle()) {
+            mach.enable_recorder(rec);
+        }
+        let recorder = mach.recorder_handle();
+        let stamps = tag_stamps(env);
+        let placement = place_dataflow(self, plan, tuning.steal_seed);
+
+        // Snapshot arena, with never-written output-bound reads staged
+        // up front — exactly as the wave driver stages them (their
+        // content cannot change during the run).
+        let arena: Vec<OnceLock<Matrix<T>>> = (0..plan.slots).map(|_| OnceLock::new()).collect();
+        for d in &plan.cond_stages {
+            if env.inputs[d.buf].is_some() {
+                continue;
+            }
+            let snap = env.outputs[d.buf]
+                .as_ref()
+                .ok_or(TcuError::Unbound {
+                    buffer: d.buf,
+                    written: false,
+                })?
+                .as_view()
+                .subview(d.r0, d.c0, d.rows, d.cols)
+                .to_matrix();
+            let _ = arena[d.slot as usize].set(snap);
+        }
+
+        let arena = &arena;
+        let written = &env.written;
+        let inputs = &env.inputs;
+        let outputs = &mut env.outputs;
+        let (mut acct, execs) = mach.wave_parts();
+
+        // Upfront validation: every output bound, every read resolvable
+        // (input-bound, or output-bound and hence stageable), and the
+        // machine splitting ops exactly as the planning unit did —
+        // checked for the *whole* stream before anything is charged or
+        // executed, since charging happens up front below.
+        let s = acct.sqrt_m();
+        let tall = acct.unit().supports_tall();
+        for (i, cop) in plan.ops.iter().enumerate() {
+            if outputs[cop.out_buf].is_none() {
+                return Err(TcuError::Unbound {
+                    buffer: cop.out_buf,
+                    written: true,
+                });
+            }
+            for r in [&cop.a, &cop.b] {
+                if inputs[r.buf].is_none() && outputs[r.buf].is_none() {
+                    return Err(TcuError::Unbound {
+                        buffer: r.buf,
+                        written: false,
+                    });
+                }
+            }
+            let inv = if tall {
+                1
+            } else {
+                cop.op.charge_rows(s).div_ceil(s)
+            } as u32;
+            if inv != self.node_invocations[i] {
+                return Err(split_mismatch());
+            }
+        }
+        // Charge the entire stream in emission order on the main
+        // thread: byte-identical `Stats` and trace to the serial run,
+        // no matter how execution interleaves below.
+        for cop in &plan.ops {
+            acct.charge_wave_op(&cop.op);
+        }
+
+        if tuning.use_inline() {
+            run_dataflow_inline(
+                self,
+                plan,
+                &placement,
+                &mut acct,
+                execs,
+                arena,
+                written,
+                inputs,
+                outputs,
+                &stamps,
+                policy,
+                recorder.as_deref(),
+            )
+        } else {
+            run_dataflow_threaded(
+                self, plan, &placement, &mut acct, execs, arena, written, inputs, outputs, &stamps,
+                policy, &recorder,
+            )
+        }
+    }
 }
 
 /// Record one closed telemetry span: `t0` is the recorder clock at the
@@ -1170,18 +1431,9 @@ fn requeue_onto_survivors<'v, T: Scalar, U: TensorUnit>(
             pending: batch.len(),
         });
     }
-    let s = acct.sqrt_m();
-    let tall = acct.unit().supports_tall();
     let costs: Vec<u64> = batch
         .iter()
-        .map(|it| {
-            let n = it.op.charge_rows(s);
-            if tall {
-                acct.unit().invocation_cost(n)
-            } else {
-                (n.div_ceil(s) as u64) * acct.unit().invocation_cost(s)
-            }
-        })
+        .map(|it| invocation_cost_of(acct, &it.op))
         .collect();
     let part = partition_lpt(&costs, survivors.len());
     acct.charge_recovery(part.makespan());
@@ -1189,6 +1441,590 @@ fn requeue_onto_survivors<'v, T: Scalar, U: TensorUnit>(
         pending[survivors[slot]].push(item);
     }
     Ok(())
+}
+
+/// The simulated cost recovery LPT weighs an op at: what the executing
+/// machine's unit charges for its invocations (the shared basis of the
+/// wave and dataflow requeue paths).
+fn invocation_cost_of<U: TensorUnit>(acct: &WaveAccountant<'_, U>, op: &tcu_core::TensorOp) -> u64 {
+    let s = acct.sqrt_m();
+    let n = op.charge_rows(s);
+    if acct.unit().supports_tall() {
+        acct.unit().invocation_cost(n)
+    } else {
+        (n.div_ceil(s) as u64) * acct.unit().invocation_cost(s)
+    }
+}
+
+/// One worker→main message of the threaded dataflow driver: a batch's
+/// outcome, or a drop-guard notice that the worker died outside per-op
+/// containment (the outcome rides in a `Box` so the two variants stay
+/// close in size).
+enum DfMsg<'v, T: Scalar> {
+    Done(usize, Box<UnitOutcome<'v, T>>),
+    Gone(usize),
+}
+
+/// Arms a dataflow worker with a death notice: if the worker thread
+/// unwinds anywhere outside `run_items_contained`'s per-op containment,
+/// the guard's drop sends [`DfMsg::Gone`], so the main thread — which
+/// blocks on one shared result channel — can never wait forever on a
+/// reply that will not come. Disarmed on normal shutdown.
+struct GoneGuard<'v, T: Scalar> {
+    unit: usize,
+    tx: std::sync::mpsc::Sender<DfMsg<'v, T>>,
+    armed: bool,
+}
+
+impl<T: Scalar> Drop for GoneGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.tx.send(DfMsg::Gone(self.unit));
+        }
+    }
+}
+
+/// Stage op `idx`'s written-buffer reads whose snapshot slots are still
+/// empty — the dataflow driver's incremental replacement for the wave
+/// driver's per-wave staging pass. Sound at first-reader dispatch time:
+/// the reader's hazard predecessors (every generation-`gen` writer
+/// among them) have committed, and any later writer is hazard-gated
+/// behind this reader's own commit, so the region holds exactly the
+/// bytes the read's key names.
+fn stage_pending_reads<T: Scalar>(
+    arena: &[OnceLock<Matrix<T>>],
+    written: &[bool],
+    outputs: &[Option<MatrixViewMut<'_, T>>],
+    plan: &ExecutablePlan,
+    idx: usize,
+) -> Result<u32, TcuError> {
+    let cop = &plan.ops[idx];
+    let mut staged = 0;
+    for r in [&cop.a, &cop.b] {
+        if !written[r.buf] || arena[r.slot as usize].get().is_some() {
+            continue;
+        }
+        let snap = outputs[r.buf]
+            .as_ref()
+            .ok_or(TcuError::Unbound {
+                buffer: r.buf,
+                written: false,
+            })?
+            .as_view()
+            .subview(r.r0, r.c0, r.rows, r.cols)
+            .to_matrix();
+        let _ = arena[r.slot as usize].set(snap);
+        staged += 1;
+    }
+    Ok(staged)
+}
+
+/// Re-partition displaced op *indices* (a quarantined unit's in-flight
+/// and queued work) onto the survivors via LPT, charging the batch's
+/// makespan as recovery time, and insert each into its survivor's
+/// queue beyond the dispatch cursor, keeping every queue sorted by
+/// `(placement start, emission index)`. That invariant is the dataflow
+/// executor's deadlock-freedom proof: hazard edges only ever point to
+/// strictly larger `(start, index)` keys, so the uncommitted op with
+/// the globally smallest key always sits at some live queue's front
+/// with every predecessor committed — dispatch can always progress.
+/// (Items are rebuilt from the untouched environment at their next
+/// dispatch, which also covers a dirty in-flight scratch.)
+#[allow(clippy::too_many_arguments)]
+fn requeue_displaced<U: TensorUnit>(
+    acct: &mut WaveAccountant<'_, U>,
+    plan: &ExecutablePlan,
+    start: &[u64],
+    queues: &mut [Vec<u32>],
+    cursor: &[usize],
+    displaced: Vec<usize>,
+    quarantined: &[bool],
+    level: usize,
+) -> Result<(), TcuError> {
+    if displaced.is_empty() {
+        return Ok(());
+    }
+    let survivors: Vec<usize> = (0..queues.len()).filter(|&v| !quarantined[v]).collect();
+    if survivors.is_empty() {
+        return Err(TcuError::AllUnitsQuarantined {
+            wave: level,
+            pending: displaced.len(),
+        });
+    }
+    let costs: Vec<u64> = displaced
+        .iter()
+        .map(|&j| invocation_cost_of(acct, &plan.ops[j].op))
+        .collect();
+    let part = partition_lpt(&costs, survivors.len());
+    acct.charge_recovery(part.makespan());
+    for (&j, &slot) in displaced.iter().zip(&part.assignment) {
+        let v = survivors[slot];
+        let key = (start[j], j as u32);
+        let pos = queues[v][cursor[v]..].partition_point(|&x| (start[x as usize], x) < key);
+        queues[v].insert(cursor[v] + pos, j as u32);
+    }
+    Ok(())
+}
+
+/// Quarantine `unit` on the inline dataflow path: re-assign every not-
+/// yet-executed op of the unit (`rest` is the unexecuted suffix of the
+/// placement's global order, current op first) onto the survivors via
+/// LPT, charging the batch's makespan as recovery time. The global
+/// execution order itself is unchanged — it respects every hazard edge
+/// regardless of unit assignment — so only `unit_of` moves.
+fn quarantine_inline<U: TensorUnit>(
+    acct: &mut WaveAccountant<'_, U>,
+    plan: &ExecutablePlan,
+    rest: &[u32],
+    unit_of: &mut [u32],
+    quarantined: &mut [bool],
+    unit: usize,
+    level: usize,
+) -> Result<(), TcuError> {
+    quarantined[unit] = true;
+    let displaced: Vec<usize> = rest
+        .iter()
+        .map(|&x| x as usize)
+        .filter(|&j| unit_of[j] as usize == unit)
+        .collect();
+    acct.record_quarantine(unit, displaced.len());
+    let survivors: Vec<usize> = (0..quarantined.len())
+        .filter(|&v| !quarantined[v])
+        .collect();
+    if survivors.is_empty() {
+        return Err(TcuError::AllUnitsQuarantined {
+            wave: level,
+            pending: displaced.len(),
+        });
+    }
+    let costs: Vec<u64> = displaced
+        .iter()
+        .map(|&j| invocation_cost_of(acct, &plan.ops[j].op))
+        .collect();
+    let part = partition_lpt(&costs, survivors.len());
+    acct.charge_recovery(part.makespan());
+    for (&j, &slot) in displaced.iter().zip(&part.assignment) {
+        unit_of[j] = survivors[slot] as u32;
+    }
+    Ok(())
+}
+
+/// The inline dataflow executor: replay the placement's global
+/// `(start, unit, index)` order serial-style — no workers, no
+/// channels, no scratch — executing each op on its assigned unit's
+/// executor directly into the bound destination. Per-unit op sequences
+/// are the global order filtered by unit, i.e. exactly the threaded
+/// executor's queues, so pack-cache counters and fault-plan outcomes
+/// match the threaded driver op for op. The hot loop is the serial
+/// runtime's (on-demand staging, zero-copy reads, in-place writes),
+/// which is what makes single-core dataflow dispatch overhead ~zero.
+#[allow(clippy::too_many_arguments)]
+fn run_dataflow_inline<'v, T: Scalar, U: TensorUnit, E: Executor>(
+    sched: &Schedule,
+    plan: &ExecutablePlan,
+    placement: &DataflowPlacement,
+    acct: &mut WaveAccountant<'_, U>,
+    execs: &mut [E],
+    arena: &'v [OnceLock<Matrix<T>>],
+    written: &[bool],
+    inputs: &'v [Option<MatrixView<'_, T>>],
+    outputs: &mut [Option<MatrixViewMut<'_, T>>],
+    stamps: &[u64],
+    policy: RecoveryPolicy,
+    recorder: Option<&dyn tcu_obs::Recorder>,
+) -> Result<(), TcuError> {
+    let max_attempts = policy.max_attempts.max(1);
+    let s = acct.sqrt_m();
+    let mut unit_of = placement.unit_of.clone();
+    let mut quarantined = vec![false; execs.len()];
+    for (k, &idx) in placement.order.iter().enumerate() {
+        let i = idx as usize;
+        let cop = &plan.ops[i];
+        let level = sched.nodes()[i].level;
+        let stage_t0 = recorder.map(tcu_obs::Recorder::now_ns);
+        let staged = stage_pending_reads(arena, written, outputs, plan, i)?;
+        if staged > 0 {
+            emit_span(
+                recorder,
+                tcu_obs::Lane::Scheduler,
+                stage_t0,
+                tcu_obs::EventKind::Stage { copies: staged },
+            );
+        }
+        let rows = cop.op.charge_rows(s) as u64;
+        let sim_cost = acct.op_cost(&cop.op);
+        let u0 = unit_of[i] as usize;
+        acct.record_ready(u0, 1);
+        if placement.home[i] as usize != u0 {
+            acct.record_steal(placement.home[i] as usize, u0);
+        }
+        let mut attempt = 1u32;
+        loop {
+            let u = unit_of[i] as usize;
+            let a = wave_read(arena, inputs, &cop.a)?;
+            let b = wave_read(arena, inputs, &cop.b)?;
+            let tag = read_tag(&cop.a, stamps[cop.a.buf]);
+            let host = outputs[cop.out_buf]
+                .as_mut()
+                .unwrap_or_else(|| unreachable!("output bound (validated up front)"));
+            let mut out_view = host.subview_mut(cop.out_r0, cop.out_c0, cop.out_rows, cop.out_cols);
+            let t0 = recorder.map(tcu_obs::Recorder::now_ns);
+            let exec = &mut execs[u];
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = exec.execute_tagged(&cop.op, a, Some(tag), b, &mut out_view);
+            }));
+            match result {
+                Ok(()) => {
+                    emit_span(
+                        recorder,
+                        tcu_obs::Lane::Unit(u as u32),
+                        t0,
+                        tcu_obs::EventKind::OpExec {
+                            unit: u as u32,
+                            rows,
+                            sim_cost,
+                        },
+                    );
+                    break;
+                }
+                Err(payload) => match payload.downcast::<InjectedFault>() {
+                    Ok(fault) if fault.kind == FaultKind::Transient => {
+                        acct.record_fault(u, true);
+                        if attempt >= max_attempts {
+                            return Err(TcuError::RetriesExhausted {
+                                unit: u,
+                                wave: level,
+                                attempts: attempt,
+                            });
+                        }
+                        attempt += 1;
+                        let _ = acct.record_retry(u, attempt, cop.op.charge_rows(s));
+                    }
+                    Ok(_) => {
+                        // Injected permanent faults fire before the
+                        // executor writes, so the destination is intact
+                        // and the op re-executes cleanly on a survivor
+                        // (with a fresh retry budget, as after a wave
+                        // requeue).
+                        acct.record_fault(u, false);
+                        if !policy.quarantine {
+                            return Err(TcuError::UnitFault {
+                                unit: u,
+                                wave: level,
+                            });
+                        }
+                        quarantine_inline(
+                            acct,
+                            plan,
+                            &placement.order[k..],
+                            &mut unit_of,
+                            &mut quarantined,
+                            u,
+                            level,
+                        )?;
+                        attempt = 1;
+                    }
+                    Err(_foreign) => {
+                        // A real executor bug may have half-written its
+                        // in-place destination — inline execution has
+                        // no scratch to rebuild from, so the run fails
+                        // (the scratch-based drivers recover instead).
+                        acct.record_fault(u, false);
+                        return Err(TcuError::UnitFault {
+                            unit: u,
+                            wave: level,
+                        });
+                    }
+                },
+            }
+        }
+    }
+    acct.complete_wave(placement.makespan);
+    Ok(())
+}
+
+/// The threaded dataflow executor: per-unit worker threads drain the
+/// placement's fixed per-unit queues, the main thread dispatches each
+/// idle unit's maximal ready prefix as one batched message, and
+/// commits arriving scratches — releasing hazard successors — as
+/// frontiers clear. No barrier ever synchronizes units; determinism
+/// comes from the fixed queues (per-unit op sequences cannot depend on
+/// timing) and hazard-gated commits (overlapping writes retire in
+/// emission order).
+#[allow(clippy::too_many_arguments)]
+fn run_dataflow_threaded<'v, T: Scalar, U: TensorUnit, E: Executor>(
+    sched: &Schedule,
+    plan: &ExecutablePlan,
+    placement: &DataflowPlacement,
+    acct: &mut WaveAccountant<'_, U>,
+    execs: &mut [E],
+    arena: &'v [OnceLock<Matrix<T>>],
+    written: &[bool],
+    inputs: &'v [Option<MatrixView<'_, T>>],
+    outputs: &mut [Option<MatrixViewMut<'_, T>>],
+    stamps: &[u64],
+    policy: RecoveryPolicy,
+    recorder: &Option<std::sync::Arc<dyn tcu_obs::Recorder>>,
+) -> Result<(), TcuError> {
+    let units = execs.len();
+    let max_attempts = policy.max_attempts.max(1);
+    let s = acct.sqrt_m();
+    let mut queues = placement.unit_order.clone();
+    let mut cursor = vec![0usize; units];
+    let mut indeg = plan.preds.clone();
+    let mut in_flight = vec![false; units];
+    let mut dispatched: Vec<Vec<usize>> = vec![Vec::new(); units];
+    let mut quarantined = vec![false; units];
+    let mut pool: Vec<Matrix<T>> = Vec::new();
+    let mut remaining = plan.ops();
+
+    let run_result = std::thread::scope(|scope| {
+        let (result_tx, result_rx) = std::sync::mpsc::channel::<DfMsg<'v, T>>();
+        let mut task_tx = Vec::with_capacity(units);
+        let mut handles = Vec::with_capacity(units);
+        for (u, exec) in execs.iter_mut().enumerate() {
+            let (ttx, trx) = std::sync::mpsc::channel::<(Vec<WaveItem<'v, T>>, u32)>();
+            let rtx = result_tx.clone();
+            let rec = recorder.clone();
+            handles.push(scope.spawn(move || {
+                let mut guard = GoneGuard {
+                    unit: u,
+                    tx: rtx,
+                    armed: true,
+                };
+                while let Ok((items, max)) = trx.recv() {
+                    let outcome = run_items_contained(exec, items, max, rec.as_deref(), u as u32);
+                    if guard.tx.send(DfMsg::Done(u, Box::new(outcome))).is_err() {
+                        break;
+                    }
+                }
+                guard.armed = false;
+            }));
+            task_tx.push(ttx);
+        }
+
+        let run_result = (|| -> Result<(), TcuError> {
+            loop {
+                // Dispatch: every idle, live unit takes its maximal
+                // ready prefix — staged, built, and sent as ONE
+                // message (the batched replacement for per-wave
+                // per-round sends).
+                for u in 0..units {
+                    if quarantined[u] || in_flight[u] || cursor[u] >= queues[u].len() {
+                        continue;
+                    }
+                    let rec = recorder.as_deref();
+                    let stage_t0 = rec.map(tcu_obs::Recorder::now_ns);
+                    let mut staged = 0u32;
+                    let mut batch: Vec<WaveItem<'v, T>> = Vec::new();
+                    let mut idxs: Vec<usize> = Vec::new();
+                    while cursor[u] < queues[u].len() {
+                        let i = queues[u][cursor[u]] as usize;
+                        if indeg[i] != 0 {
+                            break;
+                        }
+                        staged += stage_pending_reads(arena, written, outputs, plan, i)?;
+                        let mut item =
+                            build_item(arena, inputs, outputs, stamps, &mut pool, plan, i)?;
+                        let cop = &plan.ops[i];
+                        item.rows = cop.op.charge_rows(s) as u64;
+                        item.sim_cost = acct.op_cost(&cop.op);
+                        if let Some(r) = rec {
+                            let t = r.now_ns();
+                            emit_span(
+                                rec,
+                                tcu_obs::Lane::Scheduler,
+                                Some(t),
+                                tcu_obs::EventKind::ScratchAcquire {
+                                    unit: u as u32,
+                                    reused: item.reused,
+                                    bytes: (cop.op.rows * cop.op.width * std::mem::size_of::<T>())
+                                        as u64,
+                                },
+                            );
+                        }
+                        batch.push(item);
+                        idxs.push(i);
+                        cursor[u] += 1;
+                    }
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    if staged > 0 {
+                        emit_span(
+                            rec,
+                            tcu_obs::Lane::Scheduler,
+                            stage_t0,
+                            tcu_obs::EventKind::Stage { copies: staged },
+                        );
+                    }
+                    acct.record_ready(u, batch.len());
+                    for &i in &idxs {
+                        let h = placement.home[i] as usize;
+                        if h != u {
+                            acct.record_steal(h, u);
+                        }
+                    }
+                    dispatched[u] = idxs;
+                    in_flight[u] = true;
+                    // A failed send means the worker is already dead;
+                    // its drop guard queued a `Gone`, which the receive
+                    // path below recovers from (outputs are untouched,
+                    // so the batch rebuilds byte-identically).
+                    let _ = task_tx[u].send((batch, max_attempts));
+                }
+                if remaining == 0 {
+                    return Ok(());
+                }
+                if !in_flight.iter().any(|&b| b) {
+                    return Err(TcuError::PlanMismatch {
+                        what: "dataflow dispatch stalled with work remaining (driver bug)",
+                    });
+                }
+                let Ok(msg) = result_rx.recv() else {
+                    return Err(TcuError::PlanMismatch {
+                        what: "dataflow result channel closed (driver bug)",
+                    });
+                };
+                match msg {
+                    DfMsg::Done(u, outcome) => {
+                        let UnitOutcome {
+                            done,
+                            notes,
+                            terminal,
+                            leftover,
+                            lost: _,
+                        } = *outcome;
+                        in_flight[u] = false;
+                        dispatched[u].clear();
+                        for note in &notes {
+                            match *note {
+                                WorkerNote::Fault { transient } => {
+                                    acct.record_fault(u, transient);
+                                }
+                                WorkerNote::Retry { attempt, op } => {
+                                    let _ = acct.record_retry(u, attempt, op.charge_rows(s));
+                                }
+                            }
+                        }
+                        // Commit: merge the batch's scratches in
+                        // emission order, then release each op's
+                        // hazard successors. Commit-on-arrival is safe
+                        // because overlapping writers are themselves
+                        // hazard-ordered — a later writer cannot even
+                        // dispatch before the earlier one commits.
+                        if !done.is_empty() {
+                            let rec = recorder.as_deref();
+                            let merge_t0 = rec.map(tcu_obs::Recorder::now_ns);
+                            let merged = done.len() as u32;
+                            let mut done = done;
+                            done.sort_unstable_by_key(|(idx, _)| *idx);
+                            for (idx, scratch) in done {
+                                let cop = &plan.ops[idx];
+                                outputs[cop.out_buf]
+                                    .as_mut()
+                                    .unwrap_or_else(|| {
+                                        unreachable!("output bound (validated up front)")
+                                    })
+                                    .subview_mut(cop.out_r0, cop.out_c0, cop.out_rows, cop.out_cols)
+                                    .copy_from(scratch.view());
+                                pool.push(scratch);
+                                for &succ in plan.successors_of(idx) {
+                                    indeg[succ as usize] -= 1;
+                                }
+                                remaining -= 1;
+                            }
+                            emit_span(
+                                rec,
+                                tcu_obs::Lane::Scheduler,
+                                merge_t0,
+                                tcu_obs::EventKind::Merge { items: merged },
+                            );
+                        }
+                        match terminal {
+                            None => {}
+                            Some(Terminal::Exhausted { attempts }) => {
+                                let lvl =
+                                    leftover.first().map_or(0, |it| sched.nodes()[it.idx].level);
+                                return Err(TcuError::RetriesExhausted {
+                                    unit: u,
+                                    wave: lvl,
+                                    attempts,
+                                });
+                            }
+                            Some(Terminal::Dead { dirty: _ }) => {
+                                let lvl =
+                                    leftover.first().map_or(0, |it| sched.nodes()[it.idx].level);
+                                if !policy.quarantine {
+                                    return Err(TcuError::UnitFault { unit: u, wave: lvl });
+                                }
+                                quarantined[u] = true;
+                                let mut displaced: Vec<usize> = leftover
+                                    .into_iter()
+                                    .map(|it| {
+                                        pool.push(it.scratch);
+                                        it.idx
+                                    })
+                                    .collect();
+                                displaced
+                                    .extend(queues[u][cursor[u]..].iter().map(|&x| x as usize));
+                                cursor[u] = queues[u].len();
+                                acct.record_quarantine(u, displaced.len());
+                                requeue_displaced(
+                                    acct,
+                                    plan,
+                                    &placement.start,
+                                    &mut queues,
+                                    &cursor,
+                                    displaced,
+                                    &quarantined,
+                                    lvl,
+                                )?;
+                            }
+                        }
+                    }
+                    DfMsg::Gone(u) => {
+                        // The worker died outside per-op containment:
+                        // its whole in-flight batch is lost, but
+                        // nothing of it was committed, so outputs are
+                        // pristine and the batch requeues by index.
+                        in_flight[u] = false;
+                        acct.record_fault(u, false);
+                        let lvl = dispatched[u].first().map_or(0, |&i| sched.nodes()[i].level);
+                        if !policy.quarantine {
+                            return Err(TcuError::UnitFault { unit: u, wave: lvl });
+                        }
+                        quarantined[u] = true;
+                        let mut displaced = std::mem::take(&mut dispatched[u]);
+                        displaced.extend(queues[u][cursor[u]..].iter().map(|&x| x as usize));
+                        cursor[u] = queues[u].len();
+                        acct.record_quarantine(u, displaced.len());
+                        requeue_displaced(
+                            acct,
+                            plan,
+                            &placement.start,
+                            &mut queues,
+                            &cursor,
+                            displaced,
+                            &quarantined,
+                            lvl,
+                        )?;
+                    }
+                }
+            }
+        })();
+
+        drop(task_tx);
+        drop(result_tx);
+        for h in handles {
+            let _ = h.join();
+        }
+        run_result
+    });
+    if run_result.is_ok() {
+        acct.complete_wave(placement.makespan);
+    }
+    run_result
 }
 
 /// The soundness precondition of concurrent wave execution: no two ops
@@ -1530,7 +2366,7 @@ mod tests {
         // multi-unit wall-clock the planner predicted.
         assert_eq!((m2, c2), (m1, c1));
         assert_eq!(par.stats(), serial.stats());
-        assert_eq!(par.time(), plan.makespan());
+        assert_eq!(par.time(), plan.planned_parallel_time());
         assert!(plan.makespan() < plan.tensor_time(), "3 units must help");
         // The units' caches collectively served every lookup.
         let (mut lookups, mut misses) = (0u64, 0u64);

@@ -175,7 +175,12 @@ impl Scheduler {
         let mut waves = Vec::new();
         let mut makespan = 0u64;
         let (mut invocations, mut charged_rows, mut tensor_time) = (0u64, 0u64, 0u64);
-        let mut w0 = 0usize;
+        // Per emitted node (emission order): total invocation cost and
+        // invocation count — the dataflow placement's cost model and
+        // its walk of the per-invocation wave assignments.
+        let mut emitted_costs: Vec<u64> = Vec::with_capacity(order.len());
+        let mut emitted_invs: Vec<u32> = Vec::with_capacity(order.len());
+        let mut wave_costs: Vec<u64> = Vec::new();
         // Serial-order write index per buffer: each emitted node's read
         // generations are the overlapping writes already emitted, which
         // is exactly when the runtime will execute them.
@@ -194,23 +199,24 @@ impl Scheduler {
                 a_gen,
                 b_gen,
             });
+            let rows_list = invocation_rows(&node, unit);
+            emitted_invs.push(rows_list.len() as u32);
+            let mut ncost = 0u64;
+            for rows in rows_list {
+                invocations += 1;
+                charged_rows += rows as u64;
+                let cost = unit.invocation_cost(rows);
+                tensor_time += cost;
+                ncost += cost;
+                wave_costs.push(cost);
+            }
+            emitted_costs.push(ncost);
             let wave_ends = pos + 1 == order.len() || lv[order[pos + 1]] != lv[i];
             if wave_ends {
-                let costs: Vec<u64> = scheduled[w0..]
-                    .iter()
-                    .flat_map(|sn| invocation_rows(&sn.node, unit))
-                    .map(|rows| {
-                        invocations += 1;
-                        charged_rows += rows as u64;
-                        let cost = unit.invocation_cost(rows);
-                        tensor_time += cost;
-                        cost
-                    })
-                    .collect();
-                let partition = partition_lpt(&costs, self.units);
+                let partition = partition_lpt(&wave_costs, self.units);
                 makespan += partition.makespan();
                 waves.push(partition);
-                w0 = pos + 1;
+                wave_costs.clear();
             }
         }
 
@@ -228,6 +234,8 @@ impl Scheduler {
             charged_rows,
             tensor_time,
             critical_path,
+            node_costs: emitted_costs,
+            node_invocations: emitted_invs,
             compiled: std::sync::OnceLock::new(),
         }
     }
@@ -283,6 +291,14 @@ pub struct Schedule {
     charged_rows: u64,
     tensor_time: u64,
     critical_path: u64,
+    /// Per emitted node, emission order: total simulated invocation
+    /// cost (the sum over its hardware invocations under the planning
+    /// unit) — the dataflow placement's cost model.
+    pub(crate) node_costs: Vec<u64>,
+    /// Per emitted node, emission order: hardware invocations it
+    /// decomposes into (1, or the tall split) — how the dataflow
+    /// placement walks the per-invocation wave assignments.
+    pub(crate) node_invocations: Vec<u32>,
     /// Lazily compiled executable form (first run, or an explicit
     /// [`Schedule::compile`], fills it; every later run reuses it).
     pub(crate) compiled: std::sync::OnceLock<crate::compile::ExecutablePlan>,

@@ -111,8 +111,12 @@ struct ChaosRun {
     fault_stats: FaultStats,
 }
 
-/// One `try_run_parallel_with` execution on a fresh machine whose every
-/// unit executor injects from `fplan`.
+/// One `try_run_wave_with` execution on a fresh machine whose every
+/// unit executor injects from `fplan`. Pinned to the wave driver: this
+/// suite is the wave driver's recovery contract (full fault-trace and
+/// `time()` replay determinism); the dataflow driver's fault contract —
+/// byte-unobservable recovery, with replay determinism scoped to what
+/// barrier-free execution can promise — lives in `dataflow_exec.rs`.
 fn run_faulty(
     g: &OpGraph,
     bufs: &Bufs,
@@ -145,7 +149,7 @@ fn run_faulty(
     env.bind_input(bufs.b, b.view());
     env.bind_output(bufs.c, c.view_mut());
     env.bind_output(bufs.d, d.view_mut());
-    let result = plan.try_run_parallel_with(&mut mach, &mut env, policy);
+    let result = plan.try_run_wave_with(&mut mach, &mut env, policy);
     drop(env);
     ChaosRun {
         result,

@@ -1,0 +1,349 @@
+//! Determinism contract of the barrier-free dataflow driver.
+//!
+//! For random RAW-pipeline graphs (the chaos / thread-count-invariance
+//! generator) at every unit count in {1, 2, 4, 8}, both dataflow
+//! executors — inline and threaded — must be byte-identical to the
+//! serial scheduled run (hence to the wave driver, whose own identity
+//! `parallel_exec.rs` pins) in *elements*, *Stats*, and *trace digest*,
+//! under every steal seed, under seeded transient fault plans, and
+//! under seeded permanent (quarantine) fault plans. The simulated clock
+//! must land exactly on [`Schedule::dataflow_makespan_seeded`] plus the
+//! charged backoff/recovery, and the placement's makespan must never
+//! exceed the wave makespan.
+//!
+//! Replay determinism is asserted to exactly the scope the driver
+//! promises (see the `tcu_sched::run` module docs): everything is
+//! repeat-deterministic except the *threaded* driver's fault counters
+//! and recovery charges under *permanent* faults, which depend on
+//! dispatch timing.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcu_core::{
+    assign_unit_ids, silence_injected_fault_panics, FaultPlan, FaultStats, FaultyExecutor,
+    HostExecutor, ModelTensorUnit, PackCacheStats, PadPolicy, ParallelTcuMachine, RecoveryPolicy,
+    TcuError, TcuMachine, TensorOp,
+};
+use tcu_linalg::Matrix;
+use tcu_sched::{BufferId, DataflowTuning, ExecEnv, OpGraph, OperandRef, Schedule, Scheduler};
+
+const DIM: usize = 32;
+const SQRT_M: usize = 8;
+const UNIT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const STEAL_SEEDS: [u64; 3] = [0, 1, 0xDEAD];
+/// Execution indices covered by seeded fault plans — past any unit's
+/// per-run execution count, so planned faults actually land.
+const HORIZON: u64 = 64;
+
+/// Buffer handles of the shared 4-buffer layout (A, B inputs; C, D
+/// read-write) the generator records over.
+struct Bufs {
+    a: BufferId,
+    b: BufferId,
+    c: BufferId,
+    d: BufferId,
+}
+
+/// The RAW-pipeline generator shared with the chaos and thread-count
+/// invariance suites — the dataflow contract must hold on the same
+/// population of graphs.
+fn random_graph(seed: u64) -> (OpGraph, Bufs) {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F));
+    let mut g = OpGraph::new();
+    let bufs = Bufs {
+        a: g.buffer("A", DIM, DIM),
+        b: g.buffer("B", DIM, DIM),
+        c: g.buffer("C", DIM, DIM),
+        d: g.buffer("D", DIM, DIM),
+    };
+    let n = rng.gen_range(4..24usize);
+    for _ in 0..n {
+        let rows = 16usize;
+        let inner = *[4usize, 8].get(rng.gen_range(0..2usize)).unwrap();
+        let width = *[4usize, 8].get(rng.gen_range(0..2usize)).unwrap();
+        let a_r0 = 16 * rng.gen_range(0..=1usize);
+        let a_c0 = 4 * rng.gen_range(0..=(DIM - inner) / 4);
+        let b_r0 = 4 * rng.gen_range(0..=(DIM - inner) / 4);
+        let b_c0 = 4 * rng.gen_range(0..=(DIM - width) / 4);
+        let (a_buf, out_buf) = if rng.gen_range(0..3u32) == 0 {
+            if rng.gen_range(0..2u32) == 0 {
+                (bufs.c, bufs.d)
+            } else {
+                (bufs.d, bufs.c)
+            }
+        } else {
+            let out = if rng.gen_range(0..2u32) == 0 {
+                bufs.c
+            } else {
+                bufs.d
+            };
+            (bufs.a, out)
+        };
+        let out_r0 = 16 * rng.gen_range(0..=1usize);
+        let out_c0 = 4 * rng.gen_range(0..=(DIM - width) / 4);
+        g.record(
+            TensorOp {
+                rows,
+                inner,
+                width,
+                accumulate: rng.gen_range(0..4u32) != 0,
+                pad: PadPolicy::ZeroPad,
+            },
+            OperandRef::new(a_buf, a_r0, a_c0, rows, inner),
+            OperandRef::new(bufs.b, b_r0, b_c0, inner, width),
+            OperandRef::new(out_buf, out_r0, out_c0, rows, width),
+        );
+    }
+    (g, bufs)
+}
+
+fn pseudo(r: usize, c: usize, seed: i64) -> Matrix<i64> {
+    Matrix::from_fn(r, c, |i, j| {
+        ((i as i64 * 131 + j as i64 * 31 + seed).wrapping_mul(48271) >> 5) % 97 - 48
+    })
+}
+
+/// Everything one dataflow run observes.
+struct DfRun {
+    result: Result<(), TcuError>,
+    c: Matrix<i64>,
+    d: Matrix<i64>,
+    stats: tcu_core::Stats,
+    digest: u64,
+    time: u64,
+    fault_stats: FaultStats,
+    caches: Vec<PackCacheStats>,
+}
+
+/// One `try_run_dataflow_with` execution on a fresh machine whose every
+/// unit executor injects from `fplan` (`FaultPlan::none()` for a clean
+/// run), under an explicit inline/threaded choice and steal seed.
+#[allow(clippy::too_many_arguments)]
+fn run_dataflow(
+    g: &OpGraph,
+    bufs: &Bufs,
+    plan: &Schedule,
+    units: usize,
+    seed: u64,
+    fplan: FaultPlan,
+    steal_seed: u64,
+    inline: bool,
+) -> DfRun {
+    silence_injected_fault_panics();
+    let unit = ModelTensorUnit::new(SQRT_M * SQRT_M, 13);
+    let mut mach = ParallelTcuMachine::with_executor(
+        unit,
+        units,
+        FaultyExecutor::new(HostExecutor::new(), fplan),
+    );
+    assign_unit_ids(&mut mach);
+    for u in 0..units {
+        mach.unit_executor_mut(u).inner_mut().enable_pack_cache(16);
+    }
+    mach.enable_trace();
+    let a = pseudo(DIM, DIM, seed as i64);
+    let b = pseudo(DIM, DIM, seed as i64 + 1);
+    let (mut c, mut d) = (
+        Matrix::<i64>::zeros(DIM, DIM),
+        Matrix::<i64>::zeros(DIM, DIM),
+    );
+    let mut env = ExecEnv::new(g);
+    env.bind_input(bufs.a, a.view());
+    env.bind_input(bufs.b, b.view());
+    env.bind_output(bufs.c, c.view_mut());
+    env.bind_output(bufs.d, d.view_mut());
+    let tuning = DataflowTuning {
+        steal_seed,
+        inline: Some(inline),
+    };
+    let result = plan.try_run_dataflow_with(&mut mach, &mut env, RecoveryPolicy::default(), tuning);
+    drop(env);
+    let caches = (0..units)
+        .map(|u| {
+            mach.unit_executor(u)
+                .inner()
+                .pack_cache_stats()
+                .expect("cache on")
+        })
+        .collect();
+    DfRun {
+        result,
+        c,
+        d,
+        stats: mach.stats().clone(),
+        digest: mach.take_trace().digest(),
+        time: mach.time(),
+        fault_stats: *mach.fault_stats(),
+        caches,
+    }
+}
+
+/// The fault-free serial scheduled reference: elements, Stats, digest.
+fn serial_reference(
+    g: &OpGraph,
+    bufs: &Bufs,
+    seed: u64,
+) -> (Matrix<i64>, Matrix<i64>, tcu_core::Stats, u64) {
+    let unit = ModelTensorUnit::new(SQRT_M * SQRT_M, 13);
+    let plan = Scheduler::new().plan(g, &unit);
+    let mut ser = TcuMachine::new(unit);
+    ser.executor_mut().enable_pack_cache(16);
+    ser.enable_trace();
+    let a = pseudo(DIM, DIM, seed as i64);
+    let b = pseudo(DIM, DIM, seed as i64 + 1);
+    let (mut c, mut d) = (
+        Matrix::<i64>::zeros(DIM, DIM),
+        Matrix::<i64>::zeros(DIM, DIM),
+    );
+    let mut env = ExecEnv::new(g);
+    env.bind_input(bufs.a, a.view());
+    env.bind_input(bufs.b, b.view());
+    env.bind_output(bufs.c, c.view_mut());
+    env.bind_output(bufs.d, d.view_mut());
+    plan.run(&mut ser, &mut env);
+    drop(env);
+    (c, d, ser.stats().clone(), ser.take_trace().digest())
+}
+
+/// Assert one run is byte-identical to the serial reference and that
+/// its clock is exactly the placement makespan plus what the fault
+/// counters say recovery charged.
+fn assert_unobservable(
+    run: &DfRun,
+    refr: &(Matrix<i64>, Matrix<i64>, tcu_core::Stats, u64),
+    plan: &Schedule,
+    steal_seed: u64,
+    label: &str,
+) {
+    prop_assert!(run.result.is_ok(), "{} failed: {:?}", label, run.result);
+    prop_assert_eq!(&run.c, &refr.0, "elements (C): {}", label);
+    prop_assert_eq!(&run.d, &refr.1, "elements (D): {}", label);
+    prop_assert_eq!(&run.stats, &refr.2, "Stats: {}", label);
+    prop_assert_eq!(run.digest, refr.3, "trace digest: {}", label);
+    let charged = run.fault_stats.backoff_time + run.fault_stats.recovery_makespan;
+    prop_assert_eq!(
+        run.time,
+        plan.dataflow_makespan_seeded(steal_seed) + charged,
+        "clock identity: {}",
+        label
+    );
+}
+
+/// The full contract at one proptest seed.
+fn check_dataflow_contract(seed: u64) {
+    let (g, bufs) = random_graph(seed);
+    let unit = ModelTensorUnit::new(SQRT_M * SQRT_M, 13);
+    let refr = serial_reference(&g, &bufs, seed);
+
+    for units in UNIT_COUNTS {
+        let plan = Scheduler::new().with_units(units).plan(&g, &unit);
+
+        // The placement never loses to the wave schedule, and never
+        // beats the model's lower bound.
+        let bound = plan
+            .critical_path()
+            .max(plan.tensor_time().div_ceil(units as u64));
+        for ss in STEAL_SEEDS {
+            let df = plan.dataflow_makespan_seeded(ss);
+            prop_assert!(df <= plan.makespan(), "df beats wave at {units} units");
+            prop_assert!(df >= bound, "df under lower bound at {units} units");
+        }
+
+        // Fault-free: inline and threaded, every steal seed — byte
+        // identical to serial, clock on the placement makespan, and
+        // inline vs threaded indistinguishable even in per-unit cache
+        // counters (their per-unit op sequences are the same).
+        for ss in STEAL_SEEDS {
+            let inline = run_dataflow(&g, &bufs, &plan, units, seed, FaultPlan::none(), ss, true);
+            let threaded =
+                run_dataflow(&g, &bufs, &plan, units, seed, FaultPlan::none(), ss, false);
+            assert_unobservable(
+                &inline,
+                &refr,
+                &plan,
+                ss,
+                &format!("inline u={units} ss={ss}"),
+            );
+            assert_unobservable(
+                &threaded,
+                &refr,
+                &plan,
+                ss,
+                &format!("threaded u={units} ss={ss}"),
+            );
+            prop_assert_eq!(
+                &inline.caches,
+                &threaded.caches,
+                "cache counters u={}",
+                units
+            );
+            prop_assert_eq!(inline.time, threaded.time);
+        }
+
+        // Transient-only faults: fully repeat-deterministic in both
+        // executors (per-unit sequences are fixed, so the same plan
+        // entries fire on the same ops), and still byte-unobservable.
+        let tplan = FaultPlan::seeded(seed ^ 0x7A11, units, HORIZON, 200, 0);
+        let ti = run_dataflow(&g, &bufs, &plan, units, seed, tplan.clone(), 0, true);
+        let tt = run_dataflow(&g, &bufs, &plan, units, seed, tplan.clone(), 0, false);
+        assert_unobservable(&ti, &refr, &plan, 0, &format!("transient inline u={units}"));
+        assert_unobservable(
+            &tt,
+            &refr,
+            &plan,
+            0,
+            &format!("transient threaded u={units}"),
+        );
+        prop_assert_eq!(
+            &ti.fault_stats,
+            &tt.fault_stats,
+            "transient stats u={}",
+            units
+        );
+        prop_assert_eq!(ti.time, tt.time, "transient clock u={}", units);
+        let ti2 = run_dataflow(&g, &bufs, &plan, units, seed, tplan.clone(), 0, true);
+        let tt2 = run_dataflow(&g, &bufs, &plan, units, seed, tplan, 0, false);
+        prop_assert_eq!(&ti2.fault_stats, &ti.fault_stats);
+        prop_assert_eq!((&ti2.caches, ti2.time), (&ti.caches, ti.time));
+        prop_assert_eq!(&tt2.fault_stats, &tt.fault_stats);
+        prop_assert_eq!((&tt2.caches, tt2.time), (&tt.caches, tt.time));
+
+        // Recoverable permanent faults (chaos-style: at most
+        // `units − 1` victims): recovery must stay byte-unobservable
+        // in both executors; the inline executor — with no dispatch
+        // timing — additionally replays its fault record exactly.
+        let pplan = FaultPlan::seeded(seed ^ 0xC44F, units, HORIZON, 150, units / 2);
+        let pi = run_dataflow(&g, &bufs, &plan, units, seed, pplan.clone(), 0, true);
+        let pt = run_dataflow(&g, &bufs, &plan, units, seed, pplan.clone(), 0, false);
+        assert_unobservable(&pi, &refr, &plan, 0, &format!("permanent inline u={units}"));
+        assert_unobservable(
+            &pt,
+            &refr,
+            &plan,
+            0,
+            &format!("permanent threaded u={units}"),
+        );
+        let pi2 = run_dataflow(&g, &bufs, &plan, units, seed, pplan, 0, true);
+        prop_assert_eq!(
+            &pi2.fault_stats,
+            &pi.fault_stats,
+            "inline replay u={}",
+            units
+        );
+        prop_assert_eq!(pi2.time, pi.time, "inline replay clock u={}", units);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Random RAW pipelines × 1/2/4/8 units × {fault-free, transient,
+    // permanent} × {inline, threaded} × steal seeds: the dataflow
+    // driver must be byte-unobservable against the serial scheduled
+    // run, with replay determinism exactly as documented.
+    #[test]
+    fn dataflow_execution_is_byte_identical_to_serial(seed in 0u64..10_000) {
+        check_dataflow_contract(seed);
+    }
+}

@@ -189,11 +189,28 @@ fn check_recorder_unobservable(seed: u64) {
             prop_assert_eq!(&on.d, &off.d, "elements (D) at {:?}", label);
             prop_assert_eq!(&on.stats, &off.stats, "Stats at {:?}", label);
             prop_assert_eq!(on.digest, off.digest, "trace digest at {:?}", label);
-            prop_assert_eq!(on.time, off.time, "simulated clock at {:?}", label);
-            // Fault-free, the clock is exactly the planned makespan
-            // (plus zero scalar work in these graphs).
+            // The simulated clock is recorder-independent except in the
+            // one documented gap: the threaded dataflow driver's
+            // recovery charges under *permanent* faults depend on
+            // dispatch timing, which a recorder may perturb (see the
+            // `tcu_sched::run` module docs).
+            let time_replayable = !faulty
+                || units < 2
+                || matches!(tcu_sched::exec_mode(), tcu_sched::ExecMode::Wave)
+                || tcu_sched::DataflowTuning::from_env().use_inline();
+            if time_replayable {
+                prop_assert_eq!(on.time, off.time, "simulated clock at {:?}", label);
+            }
+            // Fault-free, the clock is exactly the planned wall for
+            // the active driver (plus zero scalar work in these
+            // graphs).
             if !faulty {
-                prop_assert_eq!(on.time, plan.makespan(), "makespan at {:?}", label);
+                prop_assert_eq!(
+                    on.time,
+                    plan.planned_parallel_time(),
+                    "planned wall at {:?}",
+                    label
+                );
             }
 
             // The sink must have observed the run — otherwise a
@@ -204,12 +221,21 @@ fn check_recorder_unobservable(seed: u64) {
                 "per-op spans recorded at {:?}",
                 label
             );
-            prop_assert_eq!(
-                m.get(tcu_obs::Metric::Waves),
-                plan.waves() as u64,
-                "one wave span per wave at {:?}",
-                label
-            );
+            match tcu_sched::exec_mode() {
+                tcu_sched::ExecMode::Wave => prop_assert_eq!(
+                    m.get(tcu_obs::Metric::Waves),
+                    plan.waves() as u64,
+                    "one wave span per wave at {:?}",
+                    label
+                ),
+                // The dataflow driver has no waves; its dispatch
+                // telemetry (ready-deque depth) proves recording.
+                tcu_sched::ExecMode::Dataflow => prop_assert!(
+                    m.get(tcu_obs::Metric::ReadyDepthPeak) >= 1,
+                    "ready spans recorded at {:?}",
+                    label
+                ),
+            }
         }
     }
 }

@@ -34,8 +34,8 @@ fn main() {
 
     // Cross-check one assertion of the closure against the definition.
     let u = 0usize;
-    let reach_u: Vec<usize> = (0..n).filter(|&v| follows[(u, v)] == 1).collect();
-    println!("  user 0 reaches {} of {} users", reach_u.len(), n);
+    let reach_u = (0..n).filter(|&v| follows[(u, v)] == 1).count();
+    println!("  user 0 reaches {reach_u} of {} users", n);
 
     // --- Degrees of separation: Seidel APSD on the friendship graph. ---
     let n2 = 128usize;
